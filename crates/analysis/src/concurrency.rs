@@ -1,0 +1,239 @@
+//! Concurrency counting in 5-ms windows (§6.4, Figs 16–17).
+//!
+//! "We consider concurrent to mean existing within the same 5-ms window."
+//! Fig 16 counts distinct destination racks a host touches per window,
+//! split by locality; Fig 17 restricts to heavy-hitter racks (the racks
+//! carrying 50 % of the window's bytes).
+
+use crate::trace::HostTrace;
+use sonet_topology::{Locality, RackId, Topology};
+use sonet_util::{EmpiricalCdf, SimDuration};
+use std::collections::{HashMap, HashSet};
+
+/// Per-window concurrency counts split by destination locality scope.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyCdfs {
+    /// Distinct entities per window, intra-cluster destinations only.
+    pub intra_cluster: EmpiricalCdf,
+    /// Intra-datacenter (outside cluster) destinations only.
+    pub intra_datacenter: EmpiricalCdf,
+    /// Inter-datacenter destinations only.
+    pub inter_datacenter: EmpiricalCdf,
+    /// All destinations.
+    pub all: EmpiricalCdf,
+}
+
+/// What to count per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountEntity {
+    /// Distinct 5-tuple connections.
+    Flows,
+    /// Distinct destination hosts.
+    Hosts,
+    /// Distinct destination racks.
+    Racks,
+}
+
+/// Counts concurrent entities per `window` (Fig 16 uses 5 ms and
+/// `CountEntity::Racks`).
+pub fn concurrency_cdfs(
+    trace: &HostTrace,
+    topo: &Topology,
+    window: SimDuration,
+    entity: CountEntity,
+) -> ConcurrencyCdfs {
+    // Per window: sets per scope.
+    #[derive(Default)]
+    struct Sets {
+        cluster: HashSet<u64>,
+        dc: HashSet<u64>,
+        inter: HashSet<u64>,
+        all: HashSet<u64>,
+    }
+    let mut windows: HashMap<u64, Sets> = HashMap::new();
+    for obs in trace.outbound() {
+        let w = obs.at.bin_index(window);
+        let id = match entity {
+            CountEntity::Flows => {
+                // Hash the 5-tuple into a stable 64-bit id.
+                obs.key.ecmp_hash()
+            }
+            CountEntity::Hosts => obs.peer.0 as u64,
+            CountEntity::Racks => topo.host(obs.peer).rack.0 as u64,
+        };
+        let sets = windows.entry(w).or_default();
+        sets.all.insert(id);
+        match topo.locality(trace.host(), obs.peer) {
+            Locality::IntraRack | Locality::IntraCluster => {
+                sets.cluster.insert(id);
+            }
+            Locality::IntraDatacenter => {
+                sets.dc.insert(id);
+            }
+            Locality::InterDatacenter => {
+                sets.inter.insert(id);
+            }
+        }
+    }
+    let mut cluster = Vec::new();
+    let mut dc = Vec::new();
+    let mut inter = Vec::new();
+    let mut all = Vec::new();
+    for sets in windows.values() {
+        cluster.push(sets.cluster.len() as f64);
+        dc.push(sets.dc.len() as f64);
+        inter.push(sets.inter.len() as f64);
+        all.push(sets.all.len() as f64);
+    }
+    ConcurrencyCdfs {
+        intra_cluster: EmpiricalCdf::new(cluster),
+        intra_datacenter: EmpiricalCdf::new(dc),
+        inter_datacenter: EmpiricalCdf::new(inter),
+        all: EmpiricalCdf::new(all),
+    }
+}
+
+/// Fig 17: per 5-ms window, the number of *heavy-hitter racks* (the
+/// minimal rack set carrying ≥50 % of the window's bytes), split by
+/// locality scope.
+pub fn heavy_hitter_rack_cdfs(
+    trace: &HostTrace,
+    topo: &Topology,
+    window: SimDuration,
+) -> ConcurrencyCdfs {
+    #[derive(Default)]
+    struct Acc {
+        bytes: HashMap<RackId, u64>,
+    }
+    let mut windows: HashMap<u64, Acc> = HashMap::new();
+    for obs in trace.outbound() {
+        let w = obs.at.bin_index(window);
+        let rack = topo.host(obs.peer).rack;
+        *windows.entry(w).or_default().bytes.entry(rack).or_insert(0) +=
+            obs.wire_bytes as u64;
+    }
+    let mut cluster = Vec::new();
+    let mut dc = Vec::new();
+    let mut inter = Vec::new();
+    let mut all = Vec::new();
+    let src = trace.host();
+    for acc in windows.values() {
+        let total: u64 = acc.bytes.values().sum();
+        let mut entries: Vec<(RackId, u64)> =
+            acc.bytes.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let target = (total as f64 * 0.5).ceil() as u64;
+        let mut accum = 0u64;
+        let (mut c, mut d, mut i, mut a) = (0.0, 0.0, 0.0, 0.0);
+        for (rack, b) in entries {
+            if accum >= target {
+                break;
+            }
+            accum += b;
+            a += 1.0;
+            // Classify the rack by a representative host.
+            let rep = topo.rack(rack).hosts[0];
+            match topo.locality(src, rep) {
+                Locality::IntraRack | Locality::IntraCluster => c += 1.0,
+                Locality::IntraDatacenter => d += 1.0,
+                Locality::InterDatacenter => i += 1.0,
+            }
+        }
+        cluster.push(c);
+        dc.push(d);
+        inter.push(i);
+        all.push(a);
+    }
+    ConcurrencyCdfs {
+        intra_cluster: EmpiricalCdf::new(cluster),
+        intra_datacenter: EmpiricalCdf::new(dc),
+        inter_datacenter: EmpiricalCdf::new(inter),
+        all: EmpiricalCdf::new(all),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::HostTrace;
+    use sonet_netsim::{ConnId, Dir, FlowKey, Packet, PacketKind};
+    use sonet_telemetry::PacketRecord;
+    use sonet_topology::{ClusterSpec, HostId, LinkId, TopologySpec};
+    use sonet_util::SimTime;
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_dc(vec![
+            ClusterSpec::frontend(8, 4),
+            ClusterSpec::hadoop(4, 4),
+        ]))
+        .expect("valid")
+    }
+
+    fn rec(at_us: u64, src: HostId, dst: HostId, port: u16, wire: u32) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_micros(at_us),
+            link: LinkId(0),
+            pkt: Packet {
+                conn: ConnId { idx: 0, gen: 0 },
+                key: FlowKey { client: src, server: dst, client_port: port, server_port: 80 },
+                dir: Dir::ClientToServer,
+                kind: PacketKind::Data { last_of_msg: false },
+                seq: 0,
+                msg: 0,
+                payload: 0,
+                wire_bytes: wire,
+            },
+        }
+    }
+
+    #[test]
+    fn counts_distinct_racks_per_window() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        // Window 0: two distinct frontend racks + one hadoop host (other
+        // cluster, same DC). Window 1: one rack.
+        let b = topo.racks()[1].hosts[0];
+        let b2 = topo.racks()[1].hosts[1]; // same rack as b
+        let c = topo.racks()[2].hosts[0];
+        let h = topo.racks()[8].hosts[0]; // hadoop cluster
+        let records = vec![
+            rec(0, a, b, 1, 100),
+            rec(10, a, b2, 2, 100),
+            rec(20, a, c, 3, 100),
+            rec(30, a, h, 4, 100),
+            rec(5_000, a, b, 1, 100),
+        ];
+        let trace = HostTrace::from_mirror(&records, a);
+        let cdfs = concurrency_cdfs(&trace, &topo, SimDuration::from_millis(5), CountEntity::Racks);
+        // Window 0 has 2 intra-cluster racks + 1 intra-DC rack = 3 all;
+        // window 1 has 1.
+        assert_eq!(cdfs.all.sorted(), &[1.0, 3.0]);
+        assert_eq!(cdfs.intra_cluster.sorted(), &[1.0, 2.0]);
+        assert_eq!(cdfs.intra_datacenter.sorted(), &[0.0, 1.0]);
+        // Host-level: window 0 has 4 distinct hosts.
+        let hosts = concurrency_cdfs(&trace, &topo, SimDuration::from_millis(5), CountEntity::Hosts);
+        assert_eq!(hosts.all.sorted(), &[1.0, 4.0]);
+        // Flow-level: 4 distinct 5-tuples in window 0.
+        let flows = concurrency_cdfs(&trace, &topo, SimDuration::from_millis(5), CountEntity::Flows);
+        assert_eq!(flows.all.sorted(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn heavy_hitter_racks_cover_half_the_bytes() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let c = topo.racks()[2].hosts[0];
+        let d = topo.racks()[3].hosts[0];
+        // One window: rack1 600 B, rack2 250 B, rack3 150 B → HH = {rack1}.
+        let records = vec![
+            rec(0, a, b, 1, 600),
+            rec(10, a, c, 2, 250),
+            rec(20, a, d, 3, 150),
+        ];
+        let trace = HostTrace::from_mirror(&records, a);
+        let cdfs = heavy_hitter_rack_cdfs(&trace, &topo, SimDuration::from_millis(5));
+        assert_eq!(cdfs.all.sorted(), &[1.0]);
+        assert_eq!(cdfs.intra_cluster.sorted(), &[1.0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Flow reconstruction and size/duration distributions (Figs 6, 7, 9).
+//!
+//! §5.1 analyzes flows "defined by 5-tuple" from 10-minute packet traces,
+//! reporting size and duration CDFs broken down by destination locality,
+//! and the striking cache-follower result that per-*host* flow sizes
+//! collapse to a tight ≈1 MB distribution (Fig 9) while 5-tuple sizes are
+//! widely spread (Fig 6b).
+
+use crate::trace::HostTrace;
+use serde::{Deserialize, Serialize};
+use sonet_netsim::{FlowKey, PacketKind};
+use sonet_topology::{HostId, Locality, RackId, Topology};
+use sonet_util::{EmpiricalCdf, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Aggregation granularity for flow statistics (§5.1: "grouping flows by
+/// destination host or rack").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowAgg {
+    /// 5-tuple flows.
+    FiveTuple,
+    /// All flows to the same destination host.
+    Host,
+    /// All flows to the same destination rack.
+    Rack,
+}
+
+/// Statistics of one (possibly aggregated) outbound flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowStat {
+    /// Destination host (representative host for rack aggregation).
+    pub peer: HostId,
+    /// Locality of the destination.
+    pub locality: Locality,
+    /// Outbound wire bytes.
+    pub bytes: u64,
+    /// Outbound packets.
+    pub packets: u64,
+    /// First outbound packet time.
+    pub first: SimTime,
+    /// Last outbound packet time.
+    pub last: SimTime,
+    /// Whether the monitored host sent the SYN (it initiated the flow).
+    pub initiated: bool,
+}
+
+impl FlowStat {
+    /// Flow duration (first to last outbound packet).
+    pub fn duration(&self) -> SimDuration {
+        self.last.saturating_since(self.first)
+    }
+}
+
+/// Reconstructs outbound flows from a host trace at the given granularity.
+pub fn flow_stats(trace: &HostTrace, topo: &Topology, agg: FlowAgg) -> Vec<FlowStat> {
+    enum Key {
+        Tuple(FlowKey),
+        Host(HostId),
+        Rack(RackId),
+    }
+    let key_of = |peer: HostId, key: FlowKey| match agg {
+        FlowAgg::FiveTuple => Key::Tuple(key),
+        FlowAgg::Host => Key::Host(peer),
+        FlowAgg::Rack => Key::Rack(topo.host(peer).rack),
+    };
+    // Map keys to dense indices without requiring a single map type.
+    let mut tuple_idx: HashMap<FlowKey, usize> = HashMap::new();
+    let mut host_idx: HashMap<HostId, usize> = HashMap::new();
+    let mut rack_idx: HashMap<RackId, usize> = HashMap::new();
+    let mut stats: Vec<FlowStat> = Vec::new();
+
+    for obs in trace.outbound() {
+        let idx = match key_of(obs.peer, obs.key) {
+            Key::Tuple(k) => *tuple_idx.entry(k).or_insert(usize::MAX),
+            Key::Host(h) => *host_idx.entry(h).or_insert(usize::MAX),
+            Key::Rack(r) => *rack_idx.entry(r).or_insert(usize::MAX),
+        };
+        let idx = if idx == usize::MAX {
+            let new_idx = stats.len();
+            stats.push(FlowStat {
+                peer: obs.peer,
+                locality: topo.locality(trace.host(), obs.peer),
+                bytes: 0,
+                packets: 0,
+                first: obs.at,
+                last: obs.at,
+                initiated: false,
+            });
+            match key_of(obs.peer, obs.key) {
+                Key::Tuple(k) => tuple_idx.insert(k, new_idx),
+                Key::Host(h) => host_idx.insert(h, new_idx),
+                Key::Rack(r) => rack_idx.insert(r, new_idx),
+            };
+            new_idx
+        } else {
+            idx
+        };
+        let s = &mut stats[idx];
+        s.bytes += obs.wire_bytes as u64;
+        s.packets += 1;
+        s.first = s.first.min(obs.at);
+        s.last = s.last.max(obs.at);
+        if obs.kind == PacketKind::Syn {
+            s.initiated = true;
+        }
+    }
+    stats
+}
+
+/// Size CDFs (kilobytes) per destination locality plus overall — one call
+/// produces the five series of a Fig 6 panel.
+pub fn size_cdfs_by_locality(
+    flows: &[FlowStat],
+) -> (HashMap<Locality, EmpiricalCdf>, EmpiricalCdf) {
+    let mut per: HashMap<Locality, Vec<f64>> = HashMap::new();
+    let mut all = Vec::with_capacity(flows.len());
+    for f in flows {
+        let kb = f.bytes as f64 / 1000.0;
+        per.entry(f.locality).or_default().push(kb);
+        all.push(kb);
+    }
+    (
+        per.into_iter().map(|(l, v)| (l, EmpiricalCdf::new(v))).collect(),
+        EmpiricalCdf::new(all),
+    )
+}
+
+/// Duration CDFs (milliseconds) per destination locality plus overall
+/// (Fig 7 panels).
+pub fn duration_cdfs_by_locality(
+    flows: &[FlowStat],
+) -> (HashMap<Locality, EmpiricalCdf>, EmpiricalCdf) {
+    let mut per: HashMap<Locality, Vec<f64>> = HashMap::new();
+    let mut all = Vec::with_capacity(flows.len());
+    for f in flows {
+        let ms = f.duration().as_nanos() as f64 / 1e6;
+        per.entry(f.locality).or_default().push(ms);
+        all.push(ms);
+    }
+    (
+        per.into_iter().map(|(l, v)| (l, EmpiricalCdf::new(v))).collect(),
+        EmpiricalCdf::new(all),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_netsim::{ConnId, Dir, Packet};
+    use sonet_telemetry::PacketRecord;
+    use sonet_topology::{ClusterSpec, LinkId, TopologySpec};
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
+            .expect("valid")
+    }
+
+    fn rec(at_us: u64, key: FlowKey, dir: Dir, kind: PacketKind, wire: u32) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_micros(at_us),
+            link: LinkId(0),
+            pkt: Packet {
+                conn: ConnId { idx: 0, gen: 0 },
+                key,
+                dir,
+                kind,
+                seq: 0,
+                msg: 0,
+                payload: 0,
+                wire_bytes: wire,
+            },
+        }
+    }
+
+    #[test]
+    fn five_tuple_vs_host_aggregation() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let k1 = FlowKey { client: a, server: b, client_port: 1, server_port: 80 };
+        let k2 = FlowKey { client: a, server: b, client_port: 2, server_port: 80 };
+        let records = vec![
+            rec(0, k1, Dir::ClientToServer, PacketKind::Syn, 74),
+            rec(10, k1, Dir::ClientToServer, PacketKind::Data { last_of_msg: true }, 500),
+            rec(20, k2, Dir::ClientToServer, PacketKind::Syn, 74),
+            rec(30, k2, Dir::ClientToServer, PacketKind::Data { last_of_msg: true }, 700),
+        ];
+        let trace = HostTrace::from_mirror(&records, a);
+        let tuple = flow_stats(&trace, &topo, FlowAgg::FiveTuple);
+        assert_eq!(tuple.len(), 2);
+        assert!(tuple.iter().all(|f| f.initiated));
+        let host = flow_stats(&trace, &topo, FlowAgg::Host);
+        assert_eq!(host.len(), 1);
+        assert_eq!(host[0].bytes, 74 + 500 + 74 + 700);
+        assert_eq!(host[0].packets, 4);
+        assert_eq!(host[0].locality, Locality::IntraCluster);
+        assert_eq!(host[0].duration(), SimDuration::from_micros(30));
+        let rack = flow_stats(&trace, &topo, FlowAgg::Rack);
+        assert_eq!(rack.len(), 1);
+    }
+
+    #[test]
+    fn cdfs_split_by_locality() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let same_rack = topo.racks()[0].hosts[1];
+        let other_rack = topo.racks()[1].hosts[0];
+        let k1 = FlowKey { client: a, server: same_rack, client_port: 1, server_port: 80 };
+        let k2 = FlowKey { client: a, server: other_rack, client_port: 2, server_port: 80 };
+        let records = vec![
+            rec(0, k1, Dir::ClientToServer, PacketKind::Data { last_of_msg: true }, 1000),
+            rec(0, k2, Dir::ClientToServer, PacketKind::Data { last_of_msg: true }, 3000),
+        ];
+        let trace = HostTrace::from_mirror(&records, a);
+        let flows = flow_stats(&trace, &topo, FlowAgg::FiveTuple);
+        let (by_loc, all) = size_cdfs_by_locality(&flows);
+        assert_eq!(all.len(), 2);
+        assert_eq!(by_loc[&Locality::IntraRack].len(), 1);
+        assert_eq!(by_loc[&Locality::IntraCluster].len(), 1);
+        let (by_loc_d, all_d) = duration_cdfs_by_locality(&flows);
+        assert_eq!(all_d.len(), 2);
+        assert!(by_loc_d.contains_key(&Locality::IntraRack));
+    }
+
+    #[test]
+    fn responses_do_not_mark_initiation() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        // `a` is the *server*: it only sends data/ACKs, never a SYN.
+        let k = FlowKey { client: b, server: a, client_port: 5, server_port: 80 };
+        let records = vec![rec(
+            0,
+            k,
+            Dir::ServerToClient,
+            PacketKind::Data { last_of_msg: true },
+            900,
+        )];
+        let trace = HostTrace::from_mirror(&records, a);
+        let flows = flow_stats(&trace, &topo, FlowAgg::FiveTuple);
+        assert_eq!(flows.len(), 1);
+        assert!(!flows[0].initiated);
+        assert_eq!(flows[0].peer, b);
+    }
+}

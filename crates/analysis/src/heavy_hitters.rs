@@ -1,0 +1,406 @@
+//! Heavy-hitter identification, persistence, and predictability
+//! (§5.3, Table 4, Figs 10–11, 17).
+//!
+//! "We define a set of flows that we call heavy hitters, representing the
+//! minimum set of flows (or hosts, or racks in the aggregated case) that
+//! is responsible for 50 % of the observed traffic volume (in bytes) over
+//! a fixed time period."
+
+use crate::trace::HostTrace;
+use serde::{Deserialize, Serialize};
+use sonet_netsim::FlowKey;
+use sonet_topology::{HostId, RackId, Topology};
+use sonet_util::{SimDuration, Summary};
+use std::collections::{HashMap, HashSet};
+
+/// Aggregation level for heavy-hitter analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeavyHitterAgg {
+    /// 5-tuple flows.
+    Flow,
+    /// Destination hosts.
+    Host,
+    /// Destination racks.
+    Rack,
+}
+
+impl HeavyHitterAgg {
+    /// Label used in reports (matches Table 4's f/h/r rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            HeavyHitterAgg::Flow => "flow",
+            HeavyHitterAgg::Host => "host",
+            HeavyHitterAgg::Rack => "rack",
+        }
+    }
+}
+
+/// Entity identifier at any aggregation level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Entity {
+    /// A 5-tuple.
+    Flow(FlowKey),
+    /// A destination host.
+    Host(HostId),
+    /// A destination rack.
+    Rack(RackId),
+}
+
+/// Heavy hitters of one observation interval.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalHitters {
+    /// The heavy-hitter set.
+    pub hitters: HashSet<Entity>,
+    /// Bytes sent by each heavy hitter in the interval.
+    pub hitter_bytes: Vec<u64>,
+    /// Total bytes in the interval.
+    pub total_bytes: u64,
+}
+
+/// Computes per-interval entity byte counts over the trace's outbound
+/// packets.
+fn per_interval_bytes(
+    trace: &HostTrace,
+    topo: &Topology,
+    bin: SimDuration,
+    agg: HeavyHitterAgg,
+) -> Vec<(u64, HashMap<Entity, u64>)> {
+    let mut intervals: HashMap<u64, HashMap<Entity, u64>> = HashMap::new();
+    for obs in trace.outbound() {
+        let entity = match agg {
+            HeavyHitterAgg::Flow => Entity::Flow(obs.key),
+            HeavyHitterAgg::Host => Entity::Host(obs.peer),
+            HeavyHitterAgg::Rack => Entity::Rack(topo.host(obs.peer).rack),
+        };
+        *intervals
+            .entry(obs.at.bin_index(bin))
+            .or_default()
+            .entry(entity)
+            .or_insert(0) += obs.wire_bytes as u64;
+    }
+    let mut v: Vec<(u64, HashMap<Entity, u64>)> = intervals.into_iter().collect();
+    v.sort_by_key(|(i, _)| *i);
+    v
+}
+
+/// The minimum set of entities covering `fraction` of `bytes`.
+fn heavy_set(bytes: &HashMap<Entity, u64>, fraction: f64) -> IntervalHitters {
+    let total: u64 = bytes.values().sum();
+    let mut entries: Vec<(Entity, u64)> = bytes.iter().map(|(k, v)| (*k, *v)).collect();
+    // Sort by descending bytes with a deterministic tiebreak.
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let target = (total as f64 * fraction).ceil() as u64;
+    let mut acc = 0u64;
+    let mut hitters = HashSet::new();
+    let mut hitter_bytes = Vec::new();
+    for (e, b) in entries {
+        if acc >= target {
+            break;
+        }
+        acc += b;
+        hitters.insert(e);
+        hitter_bytes.push(b);
+    }
+    IntervalHitters { hitters, hitter_bytes, total_bytes: total }
+}
+
+/// Heavy hitters for every `bin`-sized interval of the trace (intervals
+/// with no traffic are skipped, like empty capture periods in the paper).
+pub fn hitters_per_interval(
+    trace: &HostTrace,
+    topo: &Topology,
+    bin: SimDuration,
+    agg: HeavyHitterAgg,
+) -> Vec<IntervalHitters> {
+    per_interval_bytes(trace, topo, bin, agg)
+        .into_iter()
+        .map(|(_, bytes)| heavy_set(&bytes, 0.5))
+        .collect()
+}
+
+/// One interval's heavy hitters together with the full per-entity byte
+/// map, for analyses that need to re-score a previous interval's hitters
+/// against this interval's traffic (the §5.4 TE thought experiment).
+#[derive(Debug, Clone, Default)]
+pub struct KeyedInterval {
+    /// The heavy-hitter set.
+    pub hitters: HashSet<Entity>,
+    /// Every entity's bytes in this interval.
+    pub entity_bytes: Vec<(Entity, u64)>,
+    /// Total bytes.
+    pub total_bytes: u64,
+}
+
+/// Per-interval heavy hitters plus full entity byte maps, keyed by
+/// interval index (non-empty intervals only, in time order).
+pub fn hitters_per_interval_keyed(
+    trace: &HostTrace,
+    topo: &Topology,
+    bin: SimDuration,
+    agg: HeavyHitterAgg,
+) -> Vec<(u64, KeyedInterval)> {
+    per_interval_bytes(trace, topo, bin, agg)
+        .into_iter()
+        .map(|(idx, bytes)| {
+            let hh = heavy_set(&bytes, 0.5);
+            let mut entity_bytes: Vec<(Entity, u64)> =
+                bytes.into_iter().collect();
+            entity_bytes.sort_by(|a, b| a.0.cmp(&b.0));
+            (
+                idx,
+                KeyedInterval {
+                    hitters: hh.hitters,
+                    total_bytes: hh.total_bytes,
+                    entity_bytes,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Table 4 row: count and rate statistics of heavy hitters in 1-ms
+/// intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HitterStats {
+    /// Summary of per-interval heavy-hitter counts.
+    pub count: Summary,
+    /// Summary of per-hitter rates in Mbps ("we measure size in terms of
+    /// rate instead of number of bytes", §5.3).
+    pub rate_mbps: Summary,
+}
+
+/// Computes Table 4 statistics at the given aggregation and interval.
+pub fn hitter_stats(
+    trace: &HostTrace,
+    topo: &Topology,
+    bin: SimDuration,
+    agg: HeavyHitterAgg,
+) -> Option<HitterStats> {
+    let per = hitters_per_interval(trace, topo, bin, agg);
+    if per.is_empty() {
+        return None;
+    }
+    let counts: Vec<f64> = per.iter().map(|h| h.hitters.len() as f64).collect();
+    let secs = bin.as_secs_f64();
+    let rates: Vec<f64> = per
+        .iter()
+        .flat_map(|h| h.hitter_bytes.iter().map(move |&b| b as f64 * 8.0 / secs / 1e6))
+        .collect();
+    Some(HitterStats {
+        count: Summary::of(&counts)?,
+        rate_mbps: Summary::of(&rates)?,
+    })
+}
+
+/// Fig 10: for each consecutive interval pair, the fraction of interval
+/// `i`'s heavy hitters that remain heavy hitters in interval `i+1`
+/// (as percentages, one value per pair).
+pub fn persistence_fractions(
+    trace: &HostTrace,
+    topo: &Topology,
+    bin: SimDuration,
+    agg: HeavyHitterAgg,
+) -> Vec<f64> {
+    let per = hitters_per_interval(trace, topo, bin, agg);
+    per.windows(2)
+        .filter(|w| !w[0].hitters.is_empty())
+        .map(|w| {
+            let kept = w[0].hitters.intersection(&w[1].hitters).count();
+            kept as f64 / w[0].hitters.len() as f64 * 100.0
+        })
+        .collect()
+}
+
+/// Fig 11: fraction of each subinterval's heavy hitters that are also
+/// heavy hitters of the *enclosing one-second interval* (percentages, one
+/// value per subinterval).
+pub fn enclosing_second_intersection(
+    trace: &HostTrace,
+    topo: &Topology,
+    bin: SimDuration,
+    agg: HeavyHitterAgg,
+) -> Vec<f64> {
+    assert!(
+        bin.as_nanos() <= 1_000_000_000,
+        "subinterval must be at most one second"
+    );
+    let per_sub = per_interval_bytes(trace, topo, bin, agg);
+    let per_sec: HashMap<u64, IntervalHitters> =
+        per_interval_bytes(trace, topo, SimDuration::from_secs(1), agg)
+            .into_iter()
+            .map(|(i, bytes)| (i, heavy_set(&bytes, 0.5)))
+            .collect();
+    let bins_per_sec = 1_000_000_000 / bin.as_nanos().max(1);
+    per_sub
+        .into_iter()
+        .filter_map(|(i, bytes)| {
+            let sub = heavy_set(&bytes, 0.5);
+            if sub.hitters.is_empty() {
+                return None;
+            }
+            let sec = per_sec.get(&(i / bins_per_sec))?;
+            let kept = sub.hitters.intersection(&sec.hitters).count();
+            Some(kept as f64 / sub.hitters.len() as f64 * 100.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::HostTrace;
+    use sonet_netsim::{ConnId, Dir, Packet, PacketKind};
+    use sonet_telemetry::PacketRecord;
+    use sonet_topology::{ClusterSpec, LinkId, TopologySpec};
+    use sonet_util::SimTime;
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
+            .expect("valid")
+    }
+
+    fn rec(at_us: u64, src: HostId, dst: HostId, port: u16, wire: u32) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_micros(at_us),
+            link: LinkId(0),
+            pkt: Packet {
+                conn: ConnId { idx: 0, gen: 0 },
+                key: FlowKey { client: src, server: dst, client_port: port, server_port: 80 },
+                dir: Dir::ClientToServer,
+                kind: PacketKind::Data { last_of_msg: false },
+                seq: 0,
+                msg: 0,
+                payload: 0,
+                wire_bytes: wire,
+            },
+        }
+    }
+
+    #[test]
+    fn heavy_set_is_minimal_50_percent_cover() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let c = topo.racks()[2].hosts[0];
+        let d = topo.racks()[3].hosts[0];
+        // One interval: flows of 600, 250, 100, 50 → heavy set = {600}.
+        let records = vec![
+            rec(0, a, b, 1, 600),
+            rec(1, a, c, 2, 250),
+            rec(2, a, d, 3, 100),
+            rec(3, a, b, 4, 50),
+        ];
+        let trace = HostTrace::from_mirror(&records, a);
+        let per = hitters_per_interval(
+            &trace,
+            &topo,
+            SimDuration::from_millis(1),
+            HeavyHitterAgg::Flow,
+        );
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0].hitters.len(), 1);
+        assert_eq!(per[0].total_bytes, 1000);
+        assert_eq!(per[0].hitter_bytes, vec![600]);
+        // Host aggregation merges the two b-bound flows: 650 vs 250 vs 100.
+        let per_host = hitters_per_interval(
+            &trace,
+            &topo,
+            SimDuration::from_millis(1),
+            HeavyHitterAgg::Host,
+        );
+        assert_eq!(per_host[0].hitters.len(), 1);
+        assert!(per_host[0].hitters.contains(&Entity::Host(b)));
+    }
+
+    #[test]
+    fn persistence_measures_set_overlap() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let c = topo.racks()[2].hosts[0];
+        // Interval 0: b dominates. Interval 1: b dominates again.
+        // Interval 2: c dominates.
+        let records = vec![
+            rec(0, a, b, 1, 900),
+            rec(10, a, c, 2, 100),
+            rec(1_000, a, b, 1, 900),
+            rec(1_010, a, c, 2, 100),
+            rec(2_000, a, c, 2, 900),
+            rec(2_010, a, b, 1, 100),
+        ];
+        let trace = HostTrace::from_mirror(&records, a);
+        let p = persistence_fractions(
+            &trace,
+            &topo,
+            SimDuration::from_millis(1),
+            HeavyHitterAgg::Flow,
+        );
+        assert_eq!(p, vec![100.0, 0.0]);
+    }
+
+    #[test]
+    fn enclosing_second_intersection_bounds() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let c = topo.racks()[2].hosts[0];
+        // Over the second, b dominates; in ms-interval 1, c is the
+        // instantaneous hitter → 0 % intersection for that subinterval.
+        let records = vec![
+            rec(0, a, b, 1, 5_000),
+            rec(1_000, a, c, 2, 400),
+            rec(1_001, a, b, 1, 100),
+        ];
+        let trace = HostTrace::from_mirror(&records, a);
+        let v = enclosing_second_intersection(
+            &trace,
+            &topo,
+            SimDuration::from_millis(1),
+            HeavyHitterAgg::Flow,
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 100.0);
+        assert_eq!(v[1], 0.0);
+    }
+
+    #[test]
+    fn stats_summarize_counts_and_rates() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let records: Vec<PacketRecord> = (0..10)
+            .map(|i| rec(i * 1_000, a, b, 1, 1250))
+            .collect();
+        let trace = HostTrace::from_mirror(&records, a);
+        let stats = hitter_stats(
+            &trace,
+            &topo,
+            SimDuration::from_millis(1),
+            HeavyHitterAgg::Flow,
+        )
+        .expect("non-empty");
+        assert_eq!(stats.count.p50, 1.0);
+        // 1250 bytes / 1 ms = 10 Mbps.
+        assert!((stats.rate_mbps.p50 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        let topo = topo();
+        let trace = HostTrace::from_mirror(&[], topo.racks()[0].hosts[0]);
+        assert!(hitter_stats(
+            &trace,
+            &topo,
+            SimDuration::from_millis(1),
+            HeavyHitterAgg::Flow
+        )
+        .is_none());
+        assert!(persistence_fractions(
+            &trace,
+            &topo,
+            SimDuration::from_millis(1),
+            HeavyHitterAgg::Flow
+        )
+        .is_empty());
+    }
+}

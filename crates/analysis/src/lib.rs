@@ -1,0 +1,31 @@
+//! # sonet-analysis
+//!
+//! The analysis library behind every table and figure of the paper:
+//! flow reconstruction from packet-header traces, locality breakdowns,
+//! demand matrices, per-destination rate stability, heavy-hitter dynamics,
+//! packet-level statistics, arrival processes, and concurrency counting.
+//!
+//! Inputs are the telemetry crate's outputs — [`sonet_telemetry::PacketRecord`]
+//! captures from port mirrors (sub-second analyses) and
+//! [`sonet_telemetry::ScubaTable`] rows from Fbflow (fleet-wide analyses) —
+//! plus the engine's own counters for utilization and buffering.
+//!
+//! Each module names the table/figure it implements; the experiment index
+//! in DESIGN.md §4 maps the other direction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrency;
+pub mod flows;
+pub mod heavy_hitters;
+pub mod locality;
+pub mod packets;
+pub mod rates;
+pub mod te;
+pub mod trace;
+pub mod utilization;
+
+pub use flows::{FlowAgg, FlowStat};
+pub use heavy_hitters::HeavyHitterAgg;
+pub use trace::{HostTrace, PacketObs};

@@ -1,0 +1,281 @@
+//! Packet-level statistics: sizes, arrival processes, on/off structure
+//! (§6.1–6.2, Figs 12–14).
+
+use crate::trace::HostTrace;
+use serde::{Deserialize, Serialize};
+use sonet_netsim::PacketKind;
+use sonet_util::{EmpiricalCdf, SimDuration};
+use std::collections::HashMap;
+
+/// Packet size CDF over the host's outbound packets (Fig 12).
+pub fn packet_size_cdf(trace: &HostTrace) -> EmpiricalCdf {
+    EmpiricalCdf::new(
+        trace
+            .outbound()
+            .iter()
+            .map(|o| o.wire_bytes as f64)
+            .collect(),
+    )
+}
+
+/// Fraction of outbound packets at or above `mtu_bytes` (paper: 5–10 %
+/// full-MTU for non-Hadoop services).
+pub fn full_mtu_fraction(trace: &HostTrace, mtu_bytes: u32) -> f64 {
+    let total = trace.outbound().len();
+    if total == 0 {
+        return 0.0;
+    }
+    let full = trace
+        .outbound()
+        .iter()
+        .filter(|o| o.wire_bytes >= mtu_bytes)
+        .count();
+    full as f64 / total as f64
+}
+
+/// Bimodality check for Hadoop (§6.1: "almost all packets are either MTU
+/// length or TCP ACKs"): fraction of packets within `slack` bytes
+/// of either mode.
+pub fn bimodal_fraction(trace: &HostTrace, ack_bytes: u32, mtu_bytes: u32, slack: u32) -> f64 {
+    let total = trace.outbound().len();
+    if total == 0 {
+        return 0.0;
+    }
+    let near = trace
+        .outbound()
+        .iter()
+        .filter(|o| {
+            o.wire_bytes <= ack_bytes + slack
+                || o.wire_bytes + slack >= mtu_bytes
+        })
+        .count();
+    near as f64 / total as f64
+}
+
+/// Outbound packet counts per `bin` over `[0, horizon_bins × bin)`
+/// (Fig 13's time series).
+pub fn binned_counts(trace: &HostTrace, bin: SimDuration, horizon_bins: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; horizon_bins];
+    for obs in trace.outbound() {
+        let b = obs.at.bin_index(bin) as usize;
+        if b < horizon_bins {
+            counts[b] += 1;
+        }
+    }
+    counts
+}
+
+/// On/off structure metrics of a binned series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnOffMetrics {
+    /// Fraction of bins with zero packets (≈0 for continuous arrivals;
+    /// large for on/off traffic).
+    pub empty_fraction: f64,
+    /// Coefficient of variation of per-bin counts (bursty ≫ 1).
+    pub cov: f64,
+}
+
+/// Computes on/off metrics for a binned count series.
+pub fn onoff_metrics(counts: &[u32]) -> OnOffMetrics {
+    if counts.is_empty() {
+        return OnOffMetrics { empty_fraction: 0.0, cov: 0.0 };
+    }
+    let n = counts.len() as f64;
+    let empty = counts.iter().filter(|&&c| c == 0).count() as f64 / n;
+    let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+        .sum::<f64>()
+        / n;
+    OnOffMetrics {
+        empty_fraction: empty,
+        cov: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+    }
+}
+
+/// Per-destination-host binned counts, for checking that on/off behaviour
+/// "remerges" per destination (§6.2).
+pub fn per_destination_onoff(
+    trace: &HostTrace,
+    bin: SimDuration,
+    horizon_bins: usize,
+) -> Vec<OnOffMetrics> {
+    let mut per_dest: HashMap<sonet_topology::HostId, Vec<u32>> = HashMap::new();
+    for obs in trace.outbound() {
+        let b = obs.at.bin_index(bin) as usize;
+        if b >= horizon_bins {
+            continue;
+        }
+        per_dest
+            .entry(obs.peer)
+            .or_insert_with(|| vec![0; horizon_bins])[b] += 1;
+    }
+    let mut v: Vec<(sonet_topology::HostId, Vec<u32>)> = per_dest.into_iter().collect();
+    v.sort_by_key(|(h, _)| *h);
+    v.into_iter().map(|(_, counts)| onoff_metrics(&counts)).collect()
+}
+
+/// Outbound packet inter-arrival CDF in microseconds (§6.2's arrival
+/// process, compared against Benson's log-normal on/off claim).
+pub fn packet_interarrival_cdf(trace: &HostTrace) -> EmpiricalCdf {
+    let gaps: Vec<f64> = trace
+        .outbound()
+        .windows(2)
+        .map(|w| w[1].at.saturating_since(w[0].at).as_nanos() as f64 / 1e3)
+        .collect();
+    EmpiricalCdf::new(gaps)
+}
+
+/// Fraction of outbound packets that ride in a *train*: following a
+/// packet to the same destination within `gap`. Kapoor et al. \[27\]
+/// "observe that packets to a given destination often arrive in trains";
+/// §6.2 notes per-destination on/off structure re-emerges even though the
+/// aggregate does not.
+pub fn train_fraction(trace: &HostTrace, gap: SimDuration) -> f64 {
+    use std::collections::HashMap;
+    let out = trace.outbound();
+    if out.len() < 2 {
+        return 0.0;
+    }
+    let mut last_to_dest: HashMap<sonet_topology::HostId, sonet_util::SimTime> = HashMap::new();
+    let mut in_train = 0usize;
+    for obs in out {
+        if let Some(&prev) = last_to_dest.get(&obs.peer) {
+            if obs.at.saturating_since(prev) <= gap {
+                in_train += 1;
+            }
+        }
+        last_to_dest.insert(obs.peer, obs.at);
+    }
+    in_train as f64 / out.len() as f64
+}
+
+/// SYN inter-arrival CDF in microseconds (Fig 14): gaps between
+/// consecutive outbound connection attempts.
+pub fn syn_interarrival_cdf(trace: &HostTrace) -> EmpiricalCdf {
+    let syn_times: Vec<_> = trace
+        .outbound()
+        .iter()
+        .filter(|o| o.kind == PacketKind::Syn)
+        .map(|o| o.at)
+        .collect();
+    let gaps: Vec<f64> = syn_times
+        .windows(2)
+        .map(|w| w[1].saturating_since(w[0]).as_nanos() as f64 / 1e3)
+        .collect();
+    EmpiricalCdf::new(gaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::HostTrace;
+    use sonet_netsim::{ConnId, Dir, FlowKey, Packet};
+    use sonet_telemetry::PacketRecord;
+    use sonet_topology::{HostId, LinkId};
+    use sonet_util::SimTime;
+
+    fn rec(at_us: u64, kind: PacketKind, wire: u32, port: u16) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_micros(at_us),
+            link: LinkId(0),
+            pkt: Packet {
+                conn: ConnId { idx: 0, gen: 0 },
+                key: FlowKey {
+                    client: HostId(0),
+                    server: HostId(1),
+                    client_port: port,
+                    server_port: 80,
+                },
+                dir: Dir::ClientToServer,
+                kind,
+                seq: 0,
+                msg: 0,
+                payload: 0,
+                wire_bytes: wire,
+            },
+        }
+    }
+
+    #[test]
+    fn size_cdf_and_mtu_fraction() {
+        let records = vec![
+            rec(0, PacketKind::Ack, 66, 1),
+            rec(1, PacketKind::Data { last_of_msg: false }, 1526, 1),
+            rec(2, PacketKind::Data { last_of_msg: true }, 200, 1),
+            rec(3, PacketKind::Ack, 66, 1),
+        ];
+        let trace = HostTrace::from_mirror(&records, HostId(0));
+        let cdf = packet_size_cdf(&trace);
+        assert_eq!(cdf.len(), 4);
+        assert!((full_mtu_fraction(&trace, 1500) - 0.25).abs() < 1e-9);
+        // 66, 66 near ACK mode; 1526 near MTU; 200 is neither.
+        assert!((bimodal_fraction(&trace, 66, 1526, 10) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binned_counts_and_onoff() {
+        // Packets only in bins 0 and 2 of 4.
+        let records = vec![
+            rec(100, PacketKind::Ack, 66, 1),
+            rec(200, PacketKind::Ack, 66, 1),
+            rec(30_000, PacketKind::Ack, 66, 1),
+        ];
+        let trace = HostTrace::from_mirror(&records, HostId(0));
+        let counts = binned_counts(&trace, SimDuration::from_millis(15), 4);
+        assert_eq!(counts, vec![2, 0, 1, 0]);
+        let m = onoff_metrics(&counts);
+        assert!((m.empty_fraction - 0.5).abs() < 1e-9);
+        assert!(m.cov > 0.5);
+        let per_dest = per_destination_onoff(&trace, SimDuration::from_millis(15), 4);
+        assert_eq!(per_dest.len(), 1);
+    }
+
+    #[test]
+    fn packet_interarrival_and_trains() {
+        // Two packets to host 1 back to back (a train), then one to host 2
+        // after a long gap.
+        let mut records = vec![
+            rec(0, PacketKind::Data { last_of_msg: false }, 100, 1),
+            rec(50, PacketKind::Data { last_of_msg: false }, 100, 1),
+            rec(100_000, PacketKind::Data { last_of_msg: false }, 100, 1),
+        ];
+        // Repoint the third packet at a different peer.
+        records[2].pkt.key.server = HostId(2);
+        let trace = HostTrace::from_mirror(&records, HostId(0));
+        let cdf = packet_interarrival_cdf(&trace);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.sorted(), &[50.0, 99_950.0]);
+        // One of three packets follows a same-destination packet within 1 ms.
+        let f = train_fraction(&trace, SimDuration::from_millis(1));
+        assert!((f - 1.0 / 3.0).abs() < 1e-9, "train fraction {f}");
+        // With a huge gap threshold, the cross-destination packet still
+        // breaks the train (different peer).
+        let f = train_fraction(&trace, SimDuration::from_secs(10));
+        assert!((f - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn syn_gaps() {
+        let records = vec![
+            rec(0, PacketKind::Syn, 74, 1),
+            rec(2_000, PacketKind::Syn, 74, 2),
+            rec(5_000, PacketKind::Syn, 74, 3),
+            rec(5_500, PacketKind::Ack, 66, 3), // not a SYN
+        ];
+        let trace = HostTrace::from_mirror(&records, HostId(0));
+        let cdf = syn_interarrival_cdf(&trace);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.sorted(), &[2_000.0, 3_000.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let trace = HostTrace::from_mirror(&[], HostId(0));
+        assert!(packet_size_cdf(&trace).is_empty());
+        assert_eq!(full_mtu_fraction(&trace, 1500), 0.0);
+        let m = onoff_metrics(&[]);
+        assert_eq!(m.empty_fraction, 0.0);
+    }
+}

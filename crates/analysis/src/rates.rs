@@ -1,0 +1,234 @@
+//! Per-destination-rack rate distributions and stability (§5.2, Fig 8).
+//!
+//! The paper compares per-second, per-destination-rack outbound rates
+//! second over second: for the load-balanced cache tier "the
+//! distributions for each of the 120 seconds are similar, and all are
+//! relatively tight", and per-rack rates stay "within a factor of two of
+//! their median size in approximately 90 % of the 1-second intervals",
+//! with "significant change" (Benson et al.'s 20 % deviation cutoff) in
+//! only ~45 % of intervals. Hadoop, not load balanced, spans orders of
+//! magnitude.
+
+use crate::trace::HostTrace;
+use serde::{Deserialize, Serialize};
+use sonet_topology::{RackId, Topology};
+use sonet_util::{EmpiricalCdf, SimDuration};
+use std::collections::HashMap;
+
+/// Per-second, per-destination-rack outbound rates.
+#[derive(Debug, Clone, Default)]
+pub struct RackRateSeries {
+    /// `rates[rack] = ` kilobytes/second sent to that rack in each second
+    /// of the observation window (zeros included once the rack has been
+    /// seen at all).
+    pub per_rack: HashMap<RackId, Vec<f64>>,
+    /// Number of seconds covered.
+    pub seconds: usize,
+}
+
+/// Builds the per-rack per-second rate series over `seconds` whole seconds.
+pub fn rack_rate_series(trace: &HostTrace, topo: &Topology, seconds: usize) -> RackRateSeries {
+    let bin = SimDuration::from_secs(1);
+    let mut per_rack: HashMap<RackId, Vec<f64>> = HashMap::new();
+    for obs in trace.outbound() {
+        let s = obs.at.bin_index(bin) as usize;
+        if s >= seconds {
+            continue;
+        }
+        let rack = topo.host(obs.peer).rack;
+        let series = per_rack.entry(rack).or_insert_with(|| vec![0.0; seconds]);
+        series[s] += obs.wire_bytes as f64 / 1000.0; // KB/s
+    }
+    RackRateSeries { per_rack, seconds }
+}
+
+impl RackRateSeries {
+    /// Fig 8a/8b: one CDF of per-rack rates for each second (only racks
+    /// with non-zero traffic that second, in KB/s).
+    pub fn per_second_cdfs(&self) -> Vec<EmpiricalCdf> {
+        (0..self.seconds)
+            .map(|s| {
+                let rates: Vec<f64> = self
+                    .per_rack
+                    .values()
+                    .map(|series| series[s])
+                    .filter(|&r| r > 0.0)
+                    .collect();
+                EmpiricalCdf::new(rates)
+            })
+            .collect()
+    }
+
+    /// Fig 8c: for each rack, the per-second rate normalized to that
+    /// rack's median rate (only racks active in at least half the
+    /// seconds, so medians are meaningful).
+    pub fn stability_cdfs(&self) -> Vec<(RackId, EmpiricalCdf)> {
+        let mut out = Vec::new();
+        for (&rack, series) in &self.per_rack {
+            let active = series.iter().filter(|&&r| r > 0.0).count();
+            if active * 2 < self.seconds.max(1) {
+                continue;
+            }
+            let cdf = EmpiricalCdf::new(series.clone());
+            let median = cdf.median().unwrap_or(0.0);
+            if median <= 0.0 {
+                continue;
+            }
+            let normalized: Vec<f64> = series.iter().map(|&r| r / median).collect();
+            out.push((rack, EmpiricalCdf::new(normalized)));
+        }
+        out.sort_by_key(|(r, _)| *r);
+        out
+    }
+
+    /// Stability metrics across all rack series.
+    pub fn stability_metrics(&self) -> StabilityMetrics {
+        let mut within_2x = 0u64;
+        let mut significant = 0u64;
+        let mut total = 0u64;
+        let mut spans = Vec::new();
+        for series in self.per_rack.values() {
+            let mut sorted: Vec<f64> = series.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let median = sorted[sorted.len() / 2];
+            if median <= 0.0 {
+                continue;
+            }
+            for &r in series {
+                total += 1;
+                if r >= median / 2.0 && r <= median * 2.0 {
+                    within_2x += 1;
+                }
+                // Benson et al.'s cutoff: a >20 % move is "significant".
+                if (r - median).abs() / median > 0.2 {
+                    significant += 1;
+                }
+            }
+            // Middle-90 % span in orders of magnitude (§5.2's "six orders
+            // of magnitude" for Hadoop).
+            let p5 = sonet_util::stats::percentile_sorted(&sorted, 5.0).max(1e-6);
+            let p95 = sonet_util::stats::percentile_sorted(&sorted, 95.0).max(1e-6);
+            spans.push((p95 / p5).log10());
+        }
+        StabilityMetrics {
+            fraction_within_2x_of_median: if total > 0 {
+                within_2x as f64 / total as f64
+            } else {
+                0.0
+            },
+            fraction_significant_change: if total > 0 {
+                significant as f64 / total as f64
+            } else {
+                0.0
+            },
+            median_mid90_span_decades: {
+                spans.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                spans.get(spans.len() / 2).copied().unwrap_or(0.0)
+            },
+        }
+    }
+}
+
+/// Aggregate stability measurements (§5.2's headline numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityMetrics {
+    /// Fraction of (rack, second) samples within 2× of the rack median
+    /// (paper: ≈0.9 for the cache).
+    pub fraction_within_2x_of_median: f64,
+    /// Fraction of samples deviating more than 20 % from the rack median
+    /// (paper: ≈0.45 for the cache).
+    pub fraction_significant_change: f64,
+    /// Median across racks of the middle-90 % span, in decades (paper: ≈6
+    /// for Hadoop, ≪1 for cache).
+    pub median_mid90_span_decades: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::HostTrace;
+    use sonet_netsim::{ConnId, Dir, FlowKey, Packet, PacketKind};
+    use sonet_telemetry::PacketRecord;
+    use sonet_topology::{ClusterSpec, HostId, LinkId, TopologySpec};
+    use sonet_util::SimTime;
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
+            .expect("valid")
+    }
+
+    fn rec(at_ms: u64, src: HostId, dst: HostId, wire: u32) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_millis(at_ms),
+            link: LinkId(0),
+            pkt: Packet {
+                conn: ConnId { idx: 0, gen: 0 },
+                key: FlowKey { client: src, server: dst, client_port: 7, server_port: 80 },
+                dir: Dir::ClientToServer,
+                kind: PacketKind::Data { last_of_msg: false },
+                seq: 0,
+                msg: 0,
+                payload: 0,
+                wire_bytes: wire,
+            },
+        }
+    }
+
+    #[test]
+    fn steady_rates_are_stable() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        // 100 KB to rack 1 every second for 10 seconds.
+        let records: Vec<PacketRecord> =
+            (0..10).map(|s| rec(s * 1000 + 5, a, b, 100_000)).collect();
+        let trace = HostTrace::from_mirror(&records, a);
+        let series = rack_rate_series(&trace, &topo, 10);
+        assert_eq!(series.per_rack.len(), 1);
+        let m = series.stability_metrics();
+        assert!((m.fraction_within_2x_of_median - 1.0).abs() < 1e-9);
+        assert_eq!(m.fraction_significant_change, 0.0);
+        assert!(m.median_mid90_span_decades < 0.01);
+        let cdfs = series.per_second_cdfs();
+        assert_eq!(cdfs.len(), 10);
+        assert!((cdfs[0].median().expect("non-empty") - 100.0).abs() < 1e-9);
+        let stability = series.stability_cdfs();
+        assert_eq!(stability.len(), 1);
+    }
+
+    #[test]
+    fn bursty_rates_are_unstable() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        // Wildly varying per-second volume.
+        let sizes = [1_000u32, 4_000_000, 2_000, 3_500_000, 1_500, 2_500_000, 900, 100, 50_000, 10];
+        let records: Vec<PacketRecord> = sizes
+            .iter()
+            .enumerate()
+            .map(|(s, &w)| rec(s as u64 * 1000 + 5, a, b, w))
+            .collect();
+        let trace = HostTrace::from_mirror(&records, a);
+        let m = rack_rate_series(&trace, &topo, 10).stability_metrics();
+        assert!(m.fraction_within_2x_of_median < 0.6, "{m:?}");
+        assert!(m.fraction_significant_change > 0.5, "{m:?}");
+        assert!(m.median_mid90_span_decades > 2.0, "{m:?}");
+    }
+
+    #[test]
+    fn inactive_racks_excluded_from_stability_series() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let c = topo.racks()[2].hosts[0];
+        // Rack of c only active 1 of 10 seconds.
+        let mut records: Vec<PacketRecord> =
+            (0..10).map(|s| rec(s * 1000 + 5, a, b, 100_000)).collect();
+        records.push(rec(2_500, a, c, 999));
+        let trace = HostTrace::from_mirror(&records, a);
+        let series = rack_rate_series(&trace, &topo, 10);
+        assert_eq!(series.per_rack.len(), 2);
+        let stability = series.stability_cdfs();
+        assert_eq!(stability.len(), 1, "sparse rack must be filtered");
+    }
+}

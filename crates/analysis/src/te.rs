@@ -1,0 +1,182 @@
+//! Traffic-engineering predictability (§5.4).
+//!
+//! "For any such scheme to work, however, it must be possible to first
+//! identify the heavy hitters, and then realize some benefit. ...
+//! Previous work has suggested traffic engineering schemes can be
+//! effective if 35 % of traffic is predictable; only rack-level heavy
+//! hitters reach that level of predictability for either Web or cache
+//! servers."
+//!
+//! [`predictability`] quantifies this directly: schedule interval `i`'s
+//! heavy hitters based on interval `i-1`'s observation, and measure what
+//! fraction of interval `i`'s bytes they actually carry. That fraction is
+//! the ceiling on what a reactive TE scheme (circuit provisioning, path
+//! pinning, special buffering) could possibly treat.
+
+use crate::heavy_hitters::{hitters_per_interval_keyed, HeavyHitterAgg};
+use crate::trace::HostTrace;
+use serde::{Deserialize, Serialize};
+use sonet_topology::Topology;
+use sonet_util::{percentile, SimDuration};
+
+/// Outcome of the reactive-TE thought experiment at one aggregation level
+/// and timescale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TePredictability {
+    /// Aggregation level evaluated.
+    pub agg: HeavyHitterAgg,
+    /// Observation/scheduling interval in milliseconds.
+    pub bin_ms: u64,
+    /// Median fraction of an interval's bytes carried by the previous
+    /// interval's heavy hitters (percent).
+    pub median_covered_pct: f64,
+    /// 10th percentile of the covered fraction.
+    pub p10_covered_pct: f64,
+    /// Number of interval transitions evaluated.
+    pub intervals: usize,
+}
+
+impl TePredictability {
+    /// Whether this configuration clears Benson et al.'s 35 %-predictable
+    /// effectiveness bar.
+    pub fn clears_benson_bar(&self) -> bool {
+        self.median_covered_pct >= 35.0
+    }
+}
+
+/// Evaluates reactive-TE predictability over a trace.
+///
+/// Returns `None` when the trace has fewer than two non-empty intervals.
+pub fn predictability(
+    trace: &HostTrace,
+    topo: &Topology,
+    bin: SimDuration,
+    agg: HeavyHitterAgg,
+) -> Option<TePredictability> {
+    let per = hitters_per_interval_keyed(trace, topo, bin, agg);
+    if per.len() < 2 {
+        return None;
+    }
+    let mut covered = Vec::with_capacity(per.len() - 1);
+    for w in per.windows(2) {
+        let (_, prev) = &w[0];
+        let (_, next) = &w[1];
+        if next.total_bytes == 0 {
+            continue;
+        }
+        let bytes_by_prev_hitters: u64 = next
+            .entity_bytes
+            .iter()
+            .filter(|(e, _)| prev.hitters.contains(e))
+            .map(|(_, b)| *b)
+            .sum();
+        covered.push(bytes_by_prev_hitters as f64 / next.total_bytes as f64 * 100.0);
+    }
+    if covered.is_empty() {
+        return None;
+    }
+    Some(TePredictability {
+        agg,
+        bin_ms: bin.as_millis(),
+        median_covered_pct: percentile(&covered, 50.0)?,
+        p10_covered_pct: percentile(&covered, 10.0)?,
+        intervals: covered.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::HostTrace;
+    use sonet_netsim::{ConnId, Dir, FlowKey, Packet, PacketKind};
+    use sonet_telemetry::PacketRecord;
+    use sonet_topology::{ClusterSpec, HostId, LinkId, TopologySpec};
+    use sonet_util::SimTime;
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
+            .expect("valid")
+    }
+
+    fn rec(at_ms: u64, src: HostId, dst: HostId, port: u16, wire: u32) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_millis(at_ms),
+            link: LinkId(0),
+            pkt: Packet {
+                conn: ConnId { idx: 0, gen: 0 },
+                key: FlowKey { client: src, server: dst, client_port: port, server_port: 80 },
+                dir: Dir::ClientToServer,
+                kind: PacketKind::Data { last_of_msg: false },
+                seq: 0,
+                msg: 0,
+                payload: 0,
+                wire_bytes: wire,
+            },
+        }
+    }
+
+    #[test]
+    fn perfectly_stable_hitters_are_fully_predictable() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        // Every interval: b carries all bytes.
+        let records: Vec<PacketRecord> =
+            (0..10).map(|s| rec(s * 100, a, b, 1, 10_000)).collect();
+        let trace = HostTrace::from_mirror(&records, a);
+        let p = predictability(&trace, &topo, SimDuration::from_millis(100), HeavyHitterAgg::Flow)
+            .expect("enough intervals");
+        assert_eq!(p.median_covered_pct, 100.0);
+        assert!(p.clears_benson_bar());
+        assert_eq!(p.intervals, 9);
+    }
+
+    #[test]
+    fn churning_hitters_are_unpredictable() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        // Each interval a different flow dominates; the old hitter vanishes.
+        let records: Vec<PacketRecord> = (0..10)
+            .map(|s| {
+                let dst = topo.racks()[1 + (s as usize % 5)].hosts[0];
+                rec(s * 100, a, dst, s as u16, 10_000)
+            })
+            .collect();
+        let trace = HostTrace::from_mirror(&records, a);
+        let p = predictability(&trace, &topo, SimDuration::from_millis(100), HeavyHitterAgg::Flow)
+            .expect("enough intervals");
+        assert_eq!(p.median_covered_pct, 0.0);
+        assert!(!p.clears_benson_bar());
+    }
+
+    #[test]
+    fn rack_aggregation_is_more_predictable_than_flows() {
+        let topo = topo();
+        let a = topo.racks()[0].hosts[0];
+        let rack = &topo.racks()[1];
+        // Flows churn (new ports) but always toward the same rack.
+        let records: Vec<PacketRecord> = (0..10)
+            .map(|s| rec(s * 100, a, rack.hosts[(s % 4) as usize], s as u16, 10_000))
+            .collect();
+        let trace = HostTrace::from_mirror(&records, a);
+        let flow = predictability(&trace, &topo, SimDuration::from_millis(100), HeavyHitterAgg::Flow)
+            .expect("intervals");
+        let rack_p = predictability(&trace, &topo, SimDuration::from_millis(100), HeavyHitterAgg::Rack)
+            .expect("intervals");
+        assert_eq!(flow.median_covered_pct, 0.0);
+        assert_eq!(rack_p.median_covered_pct, 100.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        let topo = topo();
+        let trace = HostTrace::from_mirror(&[], topo.racks()[0].hosts[0]);
+        assert!(predictability(
+            &trace,
+            &topo,
+            SimDuration::from_millis(100),
+            HeavyHitterAgg::Flow
+        )
+        .is_none());
+    }
+}

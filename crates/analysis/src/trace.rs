@@ -1,0 +1,177 @@
+//! Per-host views over port-mirror captures.
+//!
+//! A mirror capture interleaves both directions of every mirrored host's
+//! access links. [`HostTrace`] splits one host's packets into outbound and
+//! inbound streams, each time-sorted — the starting point of all
+//! sub-second analyses. The paper's per-server figures are framed around
+//! *outbound* traffic ("traffic sent by the server", §4.2), so most
+//! analyses consume [`HostTrace::outbound`].
+
+use serde::{Deserialize, Serialize};
+use sonet_netsim::{FlowKey, PacketKind};
+use sonet_telemetry::PacketRecord;
+use sonet_topology::HostId;
+use sonet_util::SimTime;
+
+/// One packet observation relative to a monitored host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketObs {
+    /// Capture timestamp.
+    pub at: SimTime,
+    /// The other endpoint.
+    pub peer: HostId,
+    /// Connection 5-tuple.
+    pub key: FlowKey,
+    /// Packet type.
+    pub kind: PacketKind,
+    /// Wire bytes.
+    pub wire_bytes: u32,
+    /// Application payload bytes.
+    pub payload: u32,
+}
+
+/// A monitored host's capture, split by direction.
+#[derive(Debug, Clone)]
+pub struct HostTrace {
+    host: HostId,
+    out: Vec<PacketObs>,
+    inbound: Vec<PacketObs>,
+}
+
+impl HostTrace {
+    /// Extracts `host`'s view from a mirror capture. Packets not touching
+    /// `host` are ignored, so one rack-wide capture can be split into
+    /// per-host traces.
+    pub fn from_mirror(records: &[PacketRecord], host: HostId) -> HostTrace {
+        let mut out = Vec::new();
+        let mut inbound = Vec::new();
+        for r in records {
+            let p = &r.pkt;
+            if p.wire_src() == host {
+                out.push(PacketObs {
+                    at: r.at,
+                    peer: p.wire_dst(),
+                    key: p.key,
+                    kind: p.kind,
+                    wire_bytes: p.wire_bytes,
+                    payload: p.payload,
+                });
+            } else if p.wire_dst() == host {
+                inbound.push(PacketObs {
+                    at: r.at,
+                    peer: p.wire_src(),
+                    key: p.key,
+                    kind: p.kind,
+                    wire_bytes: p.wire_bytes,
+                    payload: p.payload,
+                });
+            }
+        }
+        out.sort_by_key(|o| o.at);
+        inbound.sort_by_key(|o| o.at);
+        HostTrace { host, out, inbound }
+    }
+
+    /// The monitored host.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Packets sent by the host, time-sorted.
+    pub fn outbound(&self) -> &[PacketObs] {
+        &self.out
+    }
+
+    /// Packets received by the host, time-sorted.
+    pub fn inbound(&self) -> &[PacketObs] {
+        &self.inbound
+    }
+
+    /// All packets touching the host, time-sorted (allocates).
+    pub fn all(&self) -> Vec<PacketObs> {
+        let mut v: Vec<PacketObs> =
+            self.out.iter().chain(self.inbound.iter()).copied().collect();
+        v.sort_by_key(|o| o.at);
+        v
+    }
+
+    /// Capture span `(first, last)` over both directions, if non-empty.
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        let first = match (self.out.first(), self.inbound.first()) {
+            (Some(a), Some(b)) => a.at.min(b.at),
+            (Some(a), None) => a.at,
+            (None, Some(b)) => b.at,
+            (None, None) => return None,
+        };
+        let last = match (self.out.last(), self.inbound.last()) {
+            (Some(a), Some(b)) => a.at.max(b.at),
+            (Some(a), None) => a.at,
+            (None, Some(b)) => b.at,
+            (None, None) => return None,
+        };
+        Some((first, last))
+    }
+
+    /// Total outbound wire bytes.
+    pub fn outbound_bytes(&self) -> u64 {
+        self.out.iter().map(|o| o.wire_bytes as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_netsim::{ConnId, Dir, Packet};
+    use sonet_topology::LinkId;
+
+    fn rec(at_us: u64, client: u32, server: u32, dir: Dir, wire: u32) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_micros(at_us),
+            link: LinkId(0),
+            pkt: Packet {
+                conn: ConnId { idx: 0, gen: 0 },
+                key: FlowKey {
+                    client: HostId(client),
+                    server: HostId(server),
+                    client_port: 1000,
+                    server_port: 80,
+                },
+                dir,
+                kind: PacketKind::Data { last_of_msg: false },
+                seq: 0,
+                msg: 0,
+                payload: wire - 66,
+                wire_bytes: wire,
+            },
+        }
+    }
+
+    #[test]
+    fn splits_directions_and_sorts() {
+        let records = vec![
+            rec(30, 1, 2, Dir::ServerToClient, 100), // inbound to host1
+            rec(10, 1, 2, Dir::ClientToServer, 200), // outbound from host1
+            rec(20, 1, 2, Dir::ClientToServer, 300),
+            rec(5, 3, 4, Dir::ClientToServer, 400), // unrelated
+        ];
+        let t = HostTrace::from_mirror(&records, HostId(1));
+        assert_eq!(t.outbound().len(), 2);
+        assert_eq!(t.inbound().len(), 1);
+        assert!(t.outbound()[0].at < t.outbound()[1].at);
+        assert_eq!(t.outbound()[0].peer, HostId(2));
+        assert_eq!(t.inbound()[0].peer, HostId(2));
+        assert_eq!(t.outbound_bytes(), 500);
+        let (first, last) = t.span().expect("non-empty");
+        assert_eq!(first, SimTime::from_micros(10));
+        assert_eq!(last, SimTime::from_micros(30));
+        assert_eq!(t.all().len(), 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = HostTrace::from_mirror(&[], HostId(9));
+        assert!(t.span().is_none());
+        assert_eq!(t.outbound_bytes(), 0);
+        assert!(t.all().is_empty());
+    }
+}

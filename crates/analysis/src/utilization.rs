@@ -1,0 +1,134 @@
+//! Link utilization rollups (§4.1, Fig 15b).
+
+use serde::{Deserialize, Serialize};
+use sonet_netsim::SimOutputs;
+use sonet_topology::{Node, SwitchKind, Topology};
+use sonet_util::{Summary, SimDuration};
+
+/// The layer a link belongs to, for §4.1's per-layer utilization story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkLayer {
+    /// Host ↔ RSW access links.
+    Edge,
+    /// RSW ↔ CSW uplinks.
+    RswCsw,
+    /// CSW ↔ FC aggregation.
+    CswFc,
+    /// Everything else (DR, backbone).
+    Core,
+}
+
+/// Classifies a link into its layer.
+pub fn layer_of(topo: &Topology, link_idx: usize) -> LinkLayer {
+    let link = &topo.links()[link_idx];
+    let kind = |n: Node| match n {
+        Node::Host(_) => None,
+        Node::Switch(s) => Some(topo.switches()[s.index()].kind),
+    };
+    match (kind(link.from), kind(link.to)) {
+        (None, _) | (_, None) => LinkLayer::Edge,
+        (Some(SwitchKind::Rsw), Some(SwitchKind::Csw))
+        | (Some(SwitchKind::Csw), Some(SwitchKind::Rsw)) => LinkLayer::RswCsw,
+        (Some(SwitchKind::Csw), Some(SwitchKind::Fc))
+        | (Some(SwitchKind::Fc), Some(SwitchKind::Csw)) => LinkLayer::CswFc,
+        _ => LinkLayer::Core,
+    }
+}
+
+/// Average utilization (fraction of capacity) of every link in a layer
+/// over the run, considering only links that carried any traffic when
+/// `active_only` is set (idle provisioned links would otherwise dominate).
+pub fn layer_utilization(
+    topo: &Topology,
+    out: &SimOutputs,
+    layer: LinkLayer,
+    duration: SimDuration,
+    active_only: bool,
+) -> Option<Summary> {
+    let secs = duration.as_secs_f64();
+    if secs <= 0.0 {
+        return None;
+    }
+    let mut utils = Vec::new();
+    for (i, link) in topo.links().iter().enumerate() {
+        if layer_of(topo, i) != layer {
+            continue;
+        }
+        let bytes = out.link_counters[i].tx_bytes;
+        if active_only && bytes == 0 {
+            continue;
+        }
+        let bps = bytes as f64 * 8.0 / secs;
+        utils.push(bps / (link.gbps * 1e9));
+    }
+    Summary::of(&utils)
+}
+
+/// Per-interval utilization series for one tracked link, as a fraction of
+/// capacity (Fig 15b's time series).
+pub fn utilization_series(
+    topo: &Topology,
+    out: &SimOutputs,
+    link: sonet_topology::LinkId,
+) -> Option<Vec<f64>> {
+    let interval = out.util_interval?;
+    let series = out.util_series.get(&link)?;
+    let secs = interval.as_secs_f64();
+    let cap_bps = topo.links()[link.index()].gbps * 1e9;
+    Some(series.iter().map(|&b| b as f64 * 8.0 / secs / cap_bps).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_netsim::{NullTap, SimConfig, Simulator};
+    use sonet_topology::{ClusterSpec, TopologySpec};
+    use sonet_util::{SimDuration, SimTime};
+    use std::sync::Arc;
+
+    #[test]
+    fn layers_classified_and_utilization_positive() {
+        let topo = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
+                .expect("valid"),
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let up = topo.host_uplink(a);
+        sim.track_utilization(SimDuration::from_millis(10), &[up]);
+        let c = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(c, SimTime::ZERO, 1_000_000, 0, SimDuration::ZERO).expect("send");
+        sim.run_until(SimTime::from_millis(100));
+        let (out, _) = sim.finish();
+
+        let edge = layer_utilization(
+            &topo,
+            &out,
+            LinkLayer::Edge,
+            SimDuration::from_millis(100),
+            true,
+        )
+        .expect("some active edge links");
+        assert!(edge.max > 0.0);
+        // The transfer crossed an RSW→CSW link too.
+        let agg = layer_utilization(
+            &topo,
+            &out,
+            LinkLayer::RswCsw,
+            SimDuration::from_millis(100),
+            true,
+        )
+        .expect("active rsw-csw links");
+        assert!(agg.max > 0.0);
+
+        let series = utilization_series(&topo, &out, up).expect("tracked");
+        assert!(!series.is_empty());
+        assert!(series.iter().copied().fold(0.0, f64::max) > 0.0);
+        assert!(series.iter().all(|&u| u <= 1.0 + 1e-9));
+
+        // Classification sanity.
+        assert_eq!(layer_of(&topo, up.index()), LinkLayer::Edge);
+    }
+}

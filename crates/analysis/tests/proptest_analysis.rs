@@ -1,0 +1,113 @@
+//! Property-based tests: conservation laws the analyses must obey for
+//! arbitrary traces.
+
+use proptest::prelude::*;
+use sonet_analysis::concurrency::{concurrency_cdfs, CountEntity};
+use sonet_analysis::flows::{flow_stats, FlowAgg};
+use sonet_analysis::locality::locality_timeseries;
+use sonet_analysis::HostTrace;
+use sonet_netsim::{ConnId, Dir, FlowKey, Packet, PacketKind};
+use sonet_telemetry::PacketRecord;
+use sonet_topology::{ClusterSpec, HostId, LinkId, Topology, TopologySpec};
+use sonet_util::{SimDuration, SimTime};
+
+fn plant() -> Topology {
+    Topology::build(TopologySpec::single_dc(vec![
+        ClusterSpec::frontend(6, 4),
+        ClusterSpec::hadoop(3, 4),
+    ]))
+    .expect("valid")
+}
+
+/// Strategy: a random packet stream out of host 0.
+fn arb_records(n_hosts: u32) -> impl Strategy<Value = Vec<PacketRecord>> {
+    prop::collection::vec(
+        (0u64..2_000_000, 1u32..n_hosts, 0u16..200, 66u32..1600),
+        1..200,
+    )
+    .prop_map(move |entries| {
+        entries
+            .into_iter()
+            .map(|(at_us, peer, port, wire)| PacketRecord {
+                at: SimTime::from_micros(at_us),
+                link: LinkId(0),
+                pkt: Packet {
+                    conn: ConnId { idx: 0, gen: 0 },
+                    key: FlowKey {
+                        client: HostId(0),
+                        server: HostId(peer),
+                        client_port: port,
+                        server_port: 80,
+                    },
+                    dir: Dir::ClientToServer,
+                    kind: PacketKind::Data { last_of_msg: false },
+                    seq: 0,
+                    msg: 0,
+                    payload: 0,
+                    wire_bytes: wire,
+                },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flow aggregation conserves bytes and packets at every granularity.
+    #[test]
+    fn flow_stats_conserve(records in arb_records(36)) {
+        let topo = plant();
+        let trace = HostTrace::from_mirror(&records, HostId(0));
+        let total_bytes = trace.outbound_bytes();
+        let total_pkts = trace.outbound().len() as u64;
+        for agg in [FlowAgg::FiveTuple, FlowAgg::Host, FlowAgg::Rack] {
+            let flows = flow_stats(&trace, &topo, agg);
+            prop_assert_eq!(flows.iter().map(|f| f.bytes).sum::<u64>(), total_bytes);
+            prop_assert_eq!(flows.iter().map(|f| f.packets).sum::<u64>(), total_pkts);
+        }
+        // Granularities only merge, never split.
+        let t = flow_stats(&trace, &topo, FlowAgg::FiveTuple).len();
+        let h = flow_stats(&trace, &topo, FlowAgg::Host).len();
+        let r = flow_stats(&trace, &topo, FlowAgg::Rack).len();
+        prop_assert!(r <= h && h <= t);
+    }
+
+    /// The locality time series accounts for every outbound byte that
+    /// falls inside the horizon.
+    #[test]
+    fn timeseries_conserves_bytes(records in arb_records(36)) {
+        let topo = plant();
+        let trace = HostTrace::from_mirror(&records, HostId(0));
+        let horizon = SimTime::from_secs(3);
+        let series = locality_timeseries(&trace, &topo, SimDuration::from_secs(1), horizon);
+        let series_bytes: f64 = series
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|mbps| mbps / 8.0 * 1e6) // Mbps over 1 s → bytes
+            .sum();
+        let expected: u64 = trace
+            .outbound()
+            .iter()
+            .filter(|o| o.at < horizon)
+            .map(|o| o.wire_bytes as u64)
+            .sum();
+        prop_assert!((series_bytes - expected as f64).abs() < 1.0);
+    }
+
+    /// Per-window concurrency scopes partition the "All" count.
+    #[test]
+    fn concurrency_scopes_partition(records in arb_records(36)) {
+        let topo = plant();
+        let trace = HostTrace::from_mirror(&records, HostId(0));
+        for entity in [CountEntity::Flows, CountEntity::Hosts, CountEntity::Racks] {
+            let c = concurrency_cdfs(&trace, &topo, SimDuration::from_millis(5), entity);
+            let sum_scopes: f64 = c.intra_cluster.sorted().iter().sum::<f64>()
+                + c.intra_datacenter.sorted().iter().sum::<f64>()
+                + c.inter_datacenter.sorted().iter().sum::<f64>();
+            let all: f64 = c.all.sorted().iter().sum();
+            prop_assert!((sum_scopes - all).abs() < 1e-9,
+                "scope counts {sum_scopes} != all {all}");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Ablations of design choices DESIGN.md calls out:
+//!
+//! 1. **Fbflow sampling rate** — how much does 1:N sampling distort the
+//!    locality breakdown that Tables 2–3 depend on?
+//! 2. **Load-balancing quality** — §5.2 credits load balancing for rate
+//!    stability; replace uniform cache selection with Zipf-skewed picks
+//!    and watch per-destination-rack stability degrade.
+//! 3. **Connection pooling** — §6.2 credits pooling for the cache tier's
+//!    long SYN inter-arrivals; disable it and watch flow intensity jump.
+//! 4. **Switch buffer sharing (DT alpha)** — the shared-buffer admission
+//!    of §6.3; sweep alpha and observe the drop/occupancy trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_analysis::packets::syn_interarrival_cdf;
+use sonet_analysis::rates::rack_rate_series;
+use sonet_analysis::HostTrace;
+use sonet_bench::{banner, fast_mode, BENCH_SEED};
+use sonet_netsim::{BufferConfig, SimConfig, Simulator};
+use sonet_telemetry::{FbflowConfig, FbflowSampler, PortMirror, Tagger};
+use sonet_topology::{ClusterSpec, HostRole, Locality, Topology, TopologySpec};
+use sonet_util::{Rng, SimDuration, SimTime};
+use sonet_workload::profile::{DestSelector, PoolMode};
+use sonet_workload::{HotObjectConfig, LoadBalance, ServiceProfiles, Workload};
+use std::sync::Arc;
+
+fn secs() -> u64 {
+    if fast_mode() {
+        2
+    } else {
+        8
+    }
+}
+
+fn frontend_topo() -> Arc<Topology> {
+    let (racks, hosts) = if fast_mode() { (6, 3) } else { (12, 5) };
+    Arc::new(
+        Topology::build(TopologySpec::single_dc(vec![
+            ClusterSpec::frontend(racks, hosts),
+            ClusterSpec::cache(2, hosts),
+            ClusterSpec::service(2, hosts),
+            ClusterSpec::database(2, hosts),
+            ClusterSpec::hadoop(2, hosts),
+        ]))
+        .expect("valid"),
+    )
+}
+
+/// Runs a frontend workload and returns the cache-follower trace.
+fn run_cachef_trace(
+    topo: &Arc<Topology>,
+    profiles: ServiceProfiles,
+) -> (HostTrace, sonet_netsim::SimOutputs) {
+    let mut wl = Workload::new(Arc::clone(topo), profiles, BENCH_SEED).expect("workload");
+    let host = wl.monitored_host(HostRole::CacheFollower).expect("cache-f exists");
+    let mirror = PortMirror::new(4_000_000);
+    let mut sim =
+        Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
+    sim.watch_link(topo.host_uplink(host));
+    sim.watch_link(topo.host_downlink(host));
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_secs(secs()) {
+        t += SimDuration::from_millis(250);
+        wl.generate(&mut sim, t).expect("generate");
+        sim.run_until(t);
+    }
+    let (out, mirror) = sim.finish();
+    (HostTrace::from_mirror(mirror.records(), host), out)
+}
+
+// -----------------------------------------------------------------
+// 1. Fbflow sampling-rate sensitivity
+// -----------------------------------------------------------------
+
+fn ablation_sampling(topo: &Arc<Topology>) {
+    println!("\n-- ablation 1: Fbflow sampling rate vs locality accuracy --");
+    let mut profiles = ServiceProfiles::default();
+    profiles.rate_scale = if fast_mode() { 5.0 } else { 10.0 };
+
+    // Ground truth (sampling 1:1) vs production-style 1:N.
+    let mut truth_rack = None;
+    println!("rate      samples   rack-local %   error vs 1:1");
+    for rate in [1u64, 100, 1_000, 30_000] {
+        let mut wl =
+            Workload::new(Arc::clone(topo), profiles.clone(), BENCH_SEED).expect("workload");
+        let sampler = FbflowSampler::new(topo, FbflowConfig { sampling_rate: rate }, Rng::new(9));
+        let mut sim =
+            Simulator::new(Arc::clone(topo), SimConfig::default(), sampler).expect("config");
+        FbflowSampler::deploy_fleet_wide(&mut sim, topo);
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(secs()) {
+            t += SimDuration::from_millis(250);
+            wl.generate(&mut sim, t).expect("generate");
+            sim.run_until(t);
+        }
+        let (_, sampler) = sim.finish();
+        let n = sampler.samples().len();
+        let table = Tagger::new(topo).ingest(sampler.into_samples());
+        let rack = {
+            let total = table.total_bytes().max(1);
+            let by = table.bytes_by(|r| r.locality);
+            *by.get(&Locality::IntraRack).unwrap_or(&0) as f64 / total as f64 * 100.0
+        };
+        let err = truth_rack.map(|t: f64| (rack - t).abs()).unwrap_or(0.0);
+        if truth_rack.is_none() {
+            truth_rack = Some(rack);
+        }
+        println!("1:{rate:<7} {n:>8}   {rack:>10.2}     {err:>6.2}");
+    }
+}
+
+// -----------------------------------------------------------------
+// 2. Load-balancing quality
+// -----------------------------------------------------------------
+
+fn ablation_load_balance(topo: &Arc<Topology>) {
+    println!("\n-- ablation 2: load balancing & hot objects vs rate stability (§5.2) --");
+    println!("scenario           within-2x-of-median %   significant-change %   mid90 span (dec)");
+    // Hot-object rotation fast enough to churn several times per run.
+    let rotation_ms = secs() * 1000 / 8;
+    let hot = |mitigated: bool| HotObjectConfig {
+        hot_fraction: 0.8,
+        rotation: sonet_util::SimDuration::from_millis(rotation_ms),
+        detect_after: sonet_util::SimDuration::from_millis(rotation_ms / 8),
+        mitigated,
+    };
+    enum Case {
+        Lb(LoadBalance),
+        Hot(bool),
+    }
+    for (label, case) in [
+        ("uniform", Case::Lb(LoadBalance::Uniform)),
+        ("zipf(1.0)", Case::Lb(LoadBalance::Zipf { s: 1.0 })),
+        ("hot, mitigated", Case::Hot(true)),
+        ("hot, unmitigated", Case::Hot(false)),
+    ] {
+        let mut profiles = ServiceProfiles::default();
+        profiles.rate_scale = if fast_mode() { 5.0 } else { 10.0 };
+        match case {
+            Case::Lb(lb) => {
+                // Skew every web→cache pick.
+                for p in &mut profiles.web {
+                    if let DestSelector::RoleInCluster { role, lb: slot } = &mut p.dest {
+                        if *role == HostRole::CacheFollower {
+                            *slot = lb;
+                        }
+                    }
+                }
+            }
+            Case::Hot(mitigated) => profiles.hot_objects = hot(mitigated),
+        }
+        let (trace, _) = run_cachef_trace(topo, profiles.clone());
+        let series = rack_rate_series(&trace, topo, secs() as usize);
+        let m = series.stability_metrics();
+        // Cluster-wide: worst per-follower load spike (max-second over
+        // median-second of that follower's serve bytes) — hot objects hit
+        // whichever follower is "home", so the view must span all of them.
+        let spike = follower_load_spike(topo, profiles, rotation_ms / 2);
+        println!(
+            "{label:<18} {:>18.1}   {:>18.1}   {:>12.2}   spike x{:.1}",
+            m.fraction_within_2x_of_median * 100.0,
+            m.fraction_significant_change * 100.0,
+            m.median_mid90_span_decades,
+            spike
+        );
+    }
+}
+
+/// Runs the workload while tracking every cache follower's uplink per
+/// second; returns the worst (max/median) per-second load ratio across
+/// followers — §5.2's "large increases in load would indicate the
+/// presence of relatively hot objects".
+fn follower_load_spike(topo: &Arc<Topology>, profiles: ServiceProfiles, interval_ms: u64) -> f64 {
+    let mut wl = Workload::new(Arc::clone(topo), profiles, BENCH_SEED).expect("workload");
+    let mut sim = Simulator::new(Arc::clone(topo), SimConfig::default(), sonet_netsim::NullTap)
+        .expect("config");
+    let followers: Vec<_> = topo.hosts_with_role(HostRole::CacheFollower).to_vec();
+    let links: Vec<_> = followers.iter().map(|&h| topo.host_uplink(h)).collect();
+    sim.track_utilization(SimDuration::from_millis(interval_ms.max(50)), &links);
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_secs(secs()) {
+        t += SimDuration::from_millis(250);
+        wl.generate(&mut sim, t).expect("generate");
+        sim.run_until(t);
+    }
+    let (out, _) = sim.finish();
+    let mut worst: f64 = 1.0;
+    for l in links {
+        let Some(series) = out.util_series.get(&l) else { continue };
+        let mut sorted: Vec<u64> = series.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2].max(1);
+        let max = *sorted.last().expect("non-empty");
+        worst = worst.max(max as f64 / median as f64);
+    }
+    worst
+}
+
+// -----------------------------------------------------------------
+// 3. Connection pooling
+// -----------------------------------------------------------------
+
+fn ablation_pooling(topo: &Arc<Topology>) {
+    println!("\n-- ablation 3: connection pooling vs flow intensity (§6.2) --");
+    println!("pooling      median SYN inter-arrival (ms)   SYNs observed");
+    for (label, mode) in [
+        ("all pooled", Some(PoolMode::Pooled)),
+        ("default mix", None),
+        ("none pooled", Some(PoolMode::Ephemeral)),
+    ] {
+        let mut profiles = ServiceProfiles::default();
+        profiles.rate_scale = if fast_mode() { 5.0 } else { 10.0 };
+        if let Some(mode) = mode {
+            for list in [
+                &mut profiles.web,
+                &mut profiles.cache_follower,
+                &mut profiles.cache_leader,
+                &mut profiles.multifeed,
+                &mut profiles.misc,
+            ] {
+                for p in list.iter_mut() {
+                    p.pool = mode;
+                }
+            }
+        }
+        let (trace, _) = run_cachef_trace(topo, profiles);
+        let syns = trace
+            .outbound()
+            .iter()
+            .filter(|o| o.kind == sonet_netsim::PacketKind::Syn)
+            .count();
+        let cdf = syn_interarrival_cdf(&trace);
+        let median_ms = cdf.median().map(|v| v / 1000.0).unwrap_or(f64::NAN);
+        println!("{label:<12} {median_ms:>14.2}   {syns:>10}");
+    }
+}
+
+// -----------------------------------------------------------------
+// 4. Shared-buffer DT alpha sweep
+// -----------------------------------------------------------------
+
+fn ablation_buffer_alpha(topo: &Arc<Topology>) {
+    println!("\n-- ablation 4: DT alpha vs drops under incast (§6.3) --");
+    println!("alpha    buffer    egress drops   completed");
+    for (alpha, shared) in [(0.25, 1u64 << 20), (1.0, 1 << 20), (4.0, 1 << 20), (1.0, 12 << 20)] {
+        let mut cfg = SimConfig::default();
+        cfg.rsw_buffer = BufferConfig { shared_bytes: shared, alpha };
+        let mut sim = Simulator::new(Arc::clone(topo), cfg, sonet_netsim::NullTap)
+            .expect("config");
+        // Incast: many hosts burst into one web host.
+        let dst = topo.hosts_with_role(HostRole::Web)[0];
+        let senders: Vec<_> = topo
+            .hosts_with_role(HostRole::Web)
+            .iter()
+            .copied()
+            .filter(|&h| h != dst)
+            .take(24)
+            .collect();
+        for &src in &senders {
+            let c = sim.open_connection(SimTime::ZERO, src, dst, 80).expect("open");
+            sim.send_message(c, SimTime::from_micros(5), 400_000, 0, SimDuration::ZERO)
+                .expect("send");
+        }
+        sim.run_to_quiescence();
+        let down = topo.host_downlink(dst);
+        let drops = sim.link_counters(down).drop_packets;
+        let (out, _) = sim.finish();
+        println!(
+            "{alpha:<6}  {:>6} MB  {drops:>12}   {:>9}",
+            shared >> 20,
+            out.completed_requests
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Ablations: sampling rate, load balancing, pooling, buffer alpha");
+    let topo = frontend_topo();
+    ablation_sampling(&topo);
+    ablation_load_balance(&topo);
+    ablation_pooling(&topo);
+    ablation_buffer_alpha(&topo);
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("cachef_trace_1s", |b| {
+        b.iter(|| {
+            let mut profiles = ServiceProfiles::default();
+            profiles.rate_scale = 2.0;
+            run_cachef_trace(&topo, profiles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

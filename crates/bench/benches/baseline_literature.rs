@@ -1,0 +1,135 @@
+//! Paper-vs-literature contrast (Table 1 of the paper).
+//!
+//! Runs the literature-baseline workload (Benson/Kandula-style rack-local,
+//! on/off, bimodal MapReduce traffic) beside this paper's Hadoop workload
+//! on the same cluster shape, and prints the headline contrasts:
+//! rack locality, on/off structure, packet bimodality, and concurrent
+//! destinations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_analysis::concurrency::{concurrency_cdfs, CountEntity};
+use sonet_analysis::packets::{binned_counts, onoff_metrics, packet_size_cdf};
+use sonet_analysis::HostTrace;
+use sonet_bench::{banner, fast_mode, BENCH_SEED};
+use sonet_netsim::{SimConfig, Simulator};
+use sonet_telemetry::PortMirror;
+use sonet_topology::{ClusterId, ClusterSpec, Topology, TopologySpec};
+use sonet_util::{SimDuration, SimTime};
+use sonet_workload::literature::LiteratureConfig;
+use sonet_workload::{LiteratureWorkload, ServiceProfiles, Workload};
+use std::sync::Arc;
+
+struct Contrast {
+    leaving_rack_pct: f64,
+    empty_15ms: f64,
+    median_packet: f64,
+    concurrent_hosts_p50: f64,
+}
+
+fn topo() -> Arc<Topology> {
+    let (racks, hosts) = if fast_mode() { (4, 4) } else { (8, 8) };
+    Arc::new(
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::hadoop(racks, hosts)]))
+            .expect("valid"),
+    )
+}
+
+fn measure(trace: &HostTrace, topo: &Topology, secs: u64) -> Contrast {
+    let out_bytes = trace.outbound_bytes().max(1);
+    let leaving: u64 = trace
+        .outbound()
+        .iter()
+        .filter(|o| topo.locality(trace.host(), o.peer) != sonet_topology::Locality::IntraRack)
+        .map(|o| o.wire_bytes as u64)
+        .sum();
+    let bins = (secs * 1000 / 15) as usize;
+    let counts = binned_counts(trace, SimDuration::from_millis(15), bins);
+    let conc = concurrency_cdfs(trace, topo, SimDuration::from_millis(5), CountEntity::Hosts);
+    Contrast {
+        leaving_rack_pct: leaving as f64 / out_bytes as f64 * 100.0,
+        empty_15ms: onoff_metrics(&counts).empty_fraction,
+        median_packet: packet_size_cdf(trace).median().unwrap_or(0.0),
+        concurrent_hosts_p50: conc.all.median().unwrap_or(0.0),
+    }
+}
+
+fn run_literature(topo: &Arc<Topology>, secs: u64) -> Contrast {
+    let mut wl = LiteratureWorkload::new(
+        Arc::clone(topo),
+        LiteratureConfig::default(),
+        ClusterId(0),
+        BENCH_SEED,
+    );
+    let mirror = PortMirror::new(2_000_000);
+    let mut sim =
+        Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
+    let host = topo.racks()[0].hosts[0];
+    sim.watch_link(topo.host_uplink(host));
+    sim.watch_link(topo.host_downlink(host));
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_secs(secs) {
+        t += SimDuration::from_millis(250);
+        wl.generate(&mut sim, t).expect("generate");
+        sim.run_until(t);
+    }
+    let (_, mirror) = sim.finish();
+    let trace = HostTrace::from_mirror(mirror.records(), host);
+    measure(&trace, topo, secs)
+}
+
+fn run_paper_hadoop(topo: &Arc<Topology>, secs: u64) -> Contrast {
+    let mut profiles = ServiceProfiles::default();
+    profiles.rate_scale = if fast_mode() { 5.0 } else { 10.0 };
+    let mut wl = Workload::new(Arc::clone(topo), profiles, BENCH_SEED).expect("workload");
+    let host = wl.monitored_host(sonet_topology::HostRole::Hadoop).expect("hadoop host");
+    wl.ensure_busy_start(host, secs as f64);
+    let mirror = PortMirror::new(4_000_000);
+    let mut sim =
+        Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
+    sim.watch_link(topo.host_uplink(host));
+    sim.watch_link(topo.host_downlink(host));
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_secs(secs) {
+        t += SimDuration::from_millis(250);
+        wl.generate(&mut sim, t).expect("generate");
+        sim.run_until(t);
+    }
+    let (_, mirror) = sim.finish();
+    let trace = HostTrace::from_mirror(mirror.records(), host);
+    measure(&trace, topo, secs)
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Baseline contrast: literature MapReduce vs this paper's Hadoop (Table 1)");
+    let topo = topo();
+    let secs = if fast_mode() { 3 } else { 10 };
+    let lit = run_literature(&topo, secs);
+    let fb = run_paper_hadoop(&topo, secs);
+    println!("metric                      literature   facebook-style   paper expectation");
+    println!(
+        "bytes leaving rack (%)      {:>10.1}   {:>14.1}   lit ~20-50, fb ~24 (busy)",
+        lit.leaving_rack_pct, fb.leaving_rack_pct
+    );
+    println!(
+        "empty 15-ms bins (frac)     {:>10.2}   {:>14.2}   lit on/off >> fb continuous",
+        lit.empty_15ms, fb.empty_15ms
+    );
+    println!(
+        "median packet (bytes)       {:>10.0}   {:>14.0}   both bimodal-ish for bulk",
+        lit.median_packet, fb.median_packet
+    );
+    println!(
+        "concurrent hosts / 5 ms     {:>10.1}   {:>14.1}   lit <5, fb ~25",
+        lit.concurrent_hosts_p50, fb.concurrent_hosts_p50
+    );
+
+    let mut g = c.benchmark_group("baseline_literature");
+    g.sample_size(10);
+    g.bench_function("literature_1s", |b| {
+        b.iter(|| run_literature(&topo, 1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

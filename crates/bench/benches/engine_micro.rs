@@ -1,0 +1,106 @@
+//! Engine micro-benchmarks: the hot paths underneath every experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sonet_bench::banner;
+use sonet_netsim::{NullTap, SimConfig, Simulator};
+use sonet_topology::{ClusterSpec, Topology, TopologySpec};
+use sonet_util::{EmpiricalCdf, Rng, SimDuration, SimTime};
+use std::sync::Arc;
+
+fn topo() -> Arc<Topology> {
+    Arc::new(
+        Topology::build(TopologySpec::single_dc(vec![
+            ClusterSpec::frontend(16, 8),
+            ClusterSpec::hadoop(8, 8),
+        ]))
+        .expect("valid"),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Engine micro-benchmarks");
+    let topo = topo();
+
+    // ECMP route computation across locality classes.
+    let a = topo.racks()[0].hosts[0];
+    let same_rack = topo.racks()[0].hosts[1];
+    let same_cluster = topo.racks()[1].hosts[0];
+    let hadoop = topo.hosts_with_role(sonet_topology::HostRole::Hadoop)[0];
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("route_intra_rack", |b| {
+        b.iter(|| topo.route(a, same_rack, 12345))
+    });
+    g.bench_function("route_intra_cluster", |b| {
+        b.iter(|| topo.route(a, same_cluster, 12345))
+    });
+    g.bench_function("route_intra_dc", |b| b.iter(|| topo.route(a, hadoop, 12345)));
+
+    // Packet engine throughput: a 1-MB request/response exchange.
+    g.bench_function("transfer_1mb", |b| {
+        b.iter_batched(
+            || {
+                let mut sim =
+                    Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+                        .expect("config");
+                let conn = sim
+                    .open_connection(SimTime::ZERO, a, same_cluster, 80)
+                    .expect("open");
+                sim.send_message(conn, SimTime::ZERO, 1 << 20, 1024, SimDuration::ZERO)
+                    .expect("send");
+                sim
+            },
+            |mut sim| {
+                sim.run_to_quiescence();
+                let (out, _) = sim.finish();
+                out.delivered_packets
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Many small RPCs (the frontend's bread and butter).
+    g.bench_function("rpc_1000_small", |b| {
+        b.iter_batched(
+            || {
+                let mut sim =
+                    Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+                        .expect("config");
+                let conn = sim
+                    .open_connection(SimTime::ZERO, a, same_cluster, 80)
+                    .expect("open");
+                for i in 0..1000u64 {
+                    sim.send_message(
+                        conn,
+                        SimTime::from_micros(i * 10),
+                        200,
+                        800,
+                        SimDuration::from_micros(50),
+                    )
+                    .expect("send");
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_to_quiescence();
+                let (out, _) = sim.finish();
+                out.completed_requests
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Statistics substrate.
+    let mut rng = Rng::new(7);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.f64() * 1e6).collect();
+    g.bench_function("cdf_build_100k", |b| {
+        b.iter(|| EmpiricalCdf::new(samples.clone()))
+    });
+    let cdf = EmpiricalCdf::new(samples);
+    g.bench_function("cdf_quantiles", |b| {
+        b.iter(|| (cdf.quantile(10.0), cdf.quantile(50.0), cdf.quantile(90.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

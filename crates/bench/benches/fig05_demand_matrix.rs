@@ -1,0 +1,23 @@
+//! Figure 5: rack/cluster demand matrices (§4.3)
+//!
+//! Regenerates the result from the fleet-tier Fbflow day (printed as
+//! paper-vs-measured) and times the analysis stage over the cached table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_bench::{banner, bench_lab};
+use sonet_core::reports;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 5: rack/cluster demand matrices (§4.3)");
+    let mut lab = bench_lab();
+    let report = lab.fig5();
+    println!("{}", report.render());
+    let fleet = lab.fleet();
+    let mut g = c.benchmark_group("fig05_demand_matrix");
+    g.sample_size(10);
+    g.bench_function("analysis", |b| b.iter(|| reports::fig5(fleet)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

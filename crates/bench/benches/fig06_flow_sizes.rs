@@ -1,0 +1,23 @@
+//! Figure 6: flow size CDFs by locality (§5.1)
+//!
+//! Regenerates the result from a standard packet-tier capture (printed as
+//! paper-vs-measured) and times the analysis stage over the cached trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_bench::{banner, bench_lab};
+use sonet_core::reports;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 6: flow size CDFs by locality (§5.1)");
+    let mut lab = bench_lab();
+    let report = lab.fig6();
+    println!("{}", report.render());
+    let cap = lab.capture();
+    let mut g = c.benchmark_group("fig06_flow_sizes");
+    g.sample_size(10);
+    g.bench_function("analysis", |b| b.iter(|| reports::fig6(cap)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

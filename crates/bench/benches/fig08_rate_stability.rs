@@ -1,0 +1,31 @@
+//! Figure 8: per-destination-rack rate distributions and stability (§5.2).
+//!
+//! Regenerates the stability comparison (Hadoop vs load-balanced cache)
+//! and times the rate-series construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_analysis::rates::rack_rate_series;
+use sonet_bench::{banner, bench_lab};
+use sonet_core::reports;
+use sonet_topology::HostRole;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 8: per-destination-rack rate stability (§5.2)");
+    let mut lab = bench_lab();
+    if let Some(report) = lab.fig8() {
+        println!("{}", report.render());
+    }
+    let cap = lab.capture();
+    let seconds = cap.duration.as_secs() as usize;
+    let cache = cap.trace(HostRole::CacheFollower).expect("cache-f is monitored");
+    let mut g = c.benchmark_group("fig08_rate_stability");
+    g.sample_size(10);
+    g.bench_function("rack_rate_series", |b| {
+        b.iter(|| rack_rate_series(cache, &cap.topo, seconds))
+    });
+    g.bench_function("full_report", |b| b.iter(|| reports::fig8(cap)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

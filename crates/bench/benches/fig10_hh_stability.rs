@@ -1,0 +1,25 @@
+//! Figure 10: heavy-hitter stability (§5.3)
+//!
+//! Regenerates the result from a standard packet-tier capture (printed as
+//! paper-vs-measured) and times the analysis stage over the cached trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_bench::{banner, bench_lab};
+use sonet_core::reports;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 10: heavy-hitter stability (§5.3)");
+    let mut lab = bench_lab();
+    let report = lab.fig10();
+    println!("{}", report.render());
+    // §5.4's companion question: is that stability worth anything to TE?
+    println!("{}", lab.te_predictability().render());
+    let cap = lab.capture();
+    let mut g = c.benchmark_group("fig10_hh_stability");
+    g.sample_size(10);
+    g.bench_function("analysis", |b| b.iter(|| reports::fig10(cap)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

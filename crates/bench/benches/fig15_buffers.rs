@@ -1,0 +1,25 @@
+//! Figure 15: buffer occupancy, utilization, and drops over a compressed
+//! day (§6.3).
+//!
+//! This experiment runs its own simulation (switch-side telemetry at
+//! 10-µs sampling); the bench times the report serialization since the
+//! simulation itself is the setup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_bench::{banner, bench_lab};
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 15: buffer occupancy / utilization / drops (§6.3)");
+    let mut lab = bench_lab();
+    let report = lab.fig15();
+    println!("{}", report.render());
+    let mut g = c.benchmark_group("fig15_buffers");
+    g.sample_size(10);
+    g.bench_function("report_serialize", |b| {
+        b.iter(|| serde_json::to_string(&report).expect("report serializes"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

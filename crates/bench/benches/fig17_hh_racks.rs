@@ -1,0 +1,23 @@
+//! Figure 17: concurrent heavy-hitter racks per 5 ms (§6.4)
+//!
+//! Regenerates the result from a standard packet-tier capture (printed as
+//! paper-vs-measured) and times the analysis stage over the cached trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_bench::{banner, bench_lab};
+use sonet_core::reports;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 17: concurrent heavy-hitter racks per 5 ms (§6.4)");
+    let mut lab = bench_lab();
+    let report = lab.fig17();
+    println!("{}", report.render());
+    let cap = lab.capture();
+    let mut g = c.benchmark_group("fig17_hh_racks");
+    g.sample_size(10);
+    g.bench_function("analysis", |b| b.iter(|| reports::fig17(cap)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! §4.4's implications for connection fabrics, tested in simulation:
+//!
+//! * "The low utilization levels found at the edge of the network
+//!   reinforce common practice of oversubscribing the aggregation and
+//!   core" — sweep the RSW→CSW uplink rate downward and watch RPC
+//!   latencies and drops stay flat until the fabric is cut far below the
+//!   nominal 4 × 10 Gbps.
+//! * "RSWs that deliver something less than full non-blocking line-rate
+//!   connectivity between all of their ports may be viable."
+//! * The Fabric migration (§3.1 \[9\]): the same workload on a pod-based
+//!   plant with uniform spine provisioning performs equivalently.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_bench::{banner, fast_mode, BENCH_SEED};
+use sonet_netsim::{NullTap, SimConfig, Simulator};
+use sonet_topology::{fabric_like_spec, ClusterSpec, Topology, TopologySpec};
+use sonet_util::{percentile, SimDuration, SimTime};
+use sonet_workload::{ServiceProfiles, Workload};
+use std::sync::Arc;
+
+fn secs() -> u64 {
+    if fast_mode() {
+        2
+    } else {
+        6
+    }
+}
+
+fn base_spec() -> TopologySpec {
+    let (fe, hosts) = if fast_mode() { (6, 3) } else { (12, 5) };
+    TopologySpec::single_dc(vec![
+        ClusterSpec::frontend(fe, hosts),
+        ClusterSpec::cache(2, hosts),
+        ClusterSpec::service(2, hosts),
+        ClusterSpec::database(2, hosts),
+        ClusterSpec::hadoop(4, hosts),
+    ])
+}
+
+struct Outcome {
+    p50_us: f64,
+    p99_us: f64,
+    drops: u64,
+    completed: u64,
+}
+
+fn run(spec: TopologySpec) -> Outcome {
+    let topo = Arc::new(Topology::build(spec).expect("valid spec"));
+    let mut profiles = ServiceProfiles::default();
+    profiles.rate_scale = if fast_mode() { 5.0 } else { 10.0 };
+    let mut wl = Workload::new(Arc::clone(&topo), profiles, BENCH_SEED).expect("workload");
+    let mut sim =
+        Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+    sim.record_latencies(true);
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_secs(secs()) {
+        t += SimDuration::from_millis(250);
+        wl.generate(&mut sim, t).expect("generate");
+        sim.run_until(t);
+    }
+    let (out, _) = sim.finish();
+    let lat_us: Vec<f64> = out
+        .rpc_latencies
+        .iter()
+        .map(|d| d.as_nanos() as f64 / 1e3)
+        .collect();
+    Outcome {
+        p50_us: percentile(&lat_us, 50.0).unwrap_or(f64::NAN),
+        p99_us: percentile(&lat_us, 99.0).unwrap_or(f64::NAN),
+        drops: out.link_counters.iter().map(|c| c.drop_packets).sum(),
+        completed: out.completed_requests,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    banner("Implications (§4.4): oversubscription sweep + Fabric migration");
+
+    println!("\n-- RSW uplink provisioning sweep (nominal 4 x 10 Gbps) --");
+    println!("uplink Gbps   RPC p50 (us)   RPC p99 (us)   drops   completed");
+    for gbps in [10.0, 5.0, 2.5, 1.25, 0.5] {
+        let mut spec = base_spec();
+        spec.rsw_uplink_gbps = gbps;
+        let o = run(spec);
+        println!(
+            "{gbps:<12} {:>12.0} {:>14.0} {:>7} {:>11}",
+            o.p50_us, o.p99_us, o.drops, o.completed
+        );
+    }
+
+    println!("\n-- 4-post clusters vs Fabric pods (same hosts, same workload) --");
+    println!("plant        RPC p50 (us)   RPC p99 (us)   drops   completed");
+    let four_post = run(base_spec());
+    println!(
+        "4-post       {:>12.0} {:>14.0} {:>7} {:>11}",
+        four_post.p50_us, four_post.p99_us, four_post.drops, four_post.completed
+    );
+    let fabric = run(fabric_like_spec(&base_spec()));
+    println!(
+        "fabric       {:>12.0} {:>14.0} {:>7} {:>11}",
+        fabric.p50_us, fabric.p99_us, fabric.drops, fabric.completed
+    );
+
+    let mut g = c.benchmark_group("implications_fabric");
+    g.sample_size(10);
+    g.bench_function("frontend_run_1s", |b| {
+        b.iter(|| {
+            let topo = Arc::new(Topology::build(base_spec()).expect("valid"));
+            let mut profiles = ServiceProfiles::default();
+            profiles.rate_scale = 2.0;
+            let mut wl =
+                Workload::new(Arc::clone(&topo), profiles, BENCH_SEED).expect("workload");
+            let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+                .expect("config");
+            wl.generate(&mut sim, SimTime::from_secs(1)).expect("generate");
+            sim.run_until(SimTime::from_secs(1));
+            let (out, _) = sim.finish();
+            out.delivered_packets
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

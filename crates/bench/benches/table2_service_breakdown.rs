@@ -1,0 +1,23 @@
+//! Table 2: outbound traffic mix per host type (§3.2)
+//!
+//! Regenerates the result from a standard packet-tier capture (printed as
+//! paper-vs-measured) and times the analysis stage over the cached trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_bench::{banner, bench_lab};
+use sonet_core::reports;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 2: outbound traffic mix per host type (§3.2)");
+    let mut lab = bench_lab();
+    let report = lab.table2();
+    println!("{}", report.render());
+    let cap = lab.capture();
+    let mut g = c.benchmark_group("table2_service_breakdown");
+    g.sample_size(10);
+    g.bench_function("analysis", |b| b.iter(|| reports::table2(cap)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 3: traffic locality by cluster type (§4.3)
+//!
+//! Regenerates the result from the fleet-tier Fbflow day (printed as
+//! paper-vs-measured) and times the analysis stage over the cached table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonet_bench::{banner, bench_lab};
+use sonet_core::reports;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 3: traffic locality by cluster type (§4.3)");
+    let mut lab = bench_lab();
+    let report = lab.table3();
+    println!("{}", report.render());
+    let fleet = lab.fleet();
+    let mut g = c.benchmark_group("table3_locality");
+    g.sample_size(10);
+    g.bench_function("analysis", |b| b.iter(|| reports::table3(fleet)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! The standard fleet-tier run: generate a day of Fbflow-style samples
+//! over the fleet plant and tag them into a Scuba table.
+
+use crate::scenario::{fleet_spec, ScenarioScale};
+use serde::{Deserialize, Serialize};
+use sonet_telemetry::{ScubaTable, Tagger};
+use sonet_topology::Topology;
+use sonet_workload::{FleetConfig, FleetModel};
+use std::sync::Arc;
+
+/// Configuration of a fleet-tier run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRunConfig {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Plant size.
+    pub scale: ScenarioScale,
+    /// Samples per host across the simulated day.
+    pub samples_per_host: u32,
+}
+
+impl FleetRunConfig {
+    /// Bench-grade fleet run.
+    pub fn standard(seed: u64) -> FleetRunConfig {
+        FleetRunConfig { seed, scale: ScenarioScale::Standard, samples_per_host: 200 }
+    }
+
+    /// Test-grade fleet run.
+    pub fn fast(seed: u64) -> FleetRunConfig {
+        FleetRunConfig { seed, scale: ScenarioScale::Tiny, samples_per_host: 50 }
+    }
+}
+
+/// The fleet plant plus its tagged day of Fbflow samples.
+pub struct FleetData {
+    /// The plant.
+    pub topo: Arc<Topology>,
+    /// Tagged sample table.
+    pub table: ScubaTable,
+    /// Destination picks that had to relax their desired locality.
+    pub relaxed_picks: u64,
+}
+
+impl FleetData {
+    /// Runs the fleet tier.
+    pub fn run(cfg: &FleetRunConfig) -> FleetData {
+        let topo =
+            Arc::new(Topology::build(fleet_spec(cfg.scale)).expect("preset specs are valid"));
+        let mut model = FleetModel::new(
+            Arc::clone(&topo),
+            FleetConfig { samples_per_host: cfg.samples_per_host, ..FleetConfig::default() },
+            cfg.seed,
+        );
+        let samples = model.generate();
+        let table = Tagger::new(&topo).ingest(samples);
+        FleetData { topo, table, relaxed_picks: model.relaxed_picks() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_run_produces_tagged_rows() {
+        let data = FleetData::run(&FleetRunConfig::fast(3));
+        assert!(!data.table.is_empty());
+        assert_eq!(
+            data.table.len() as u64,
+            data.topo.hosts().len() as u64 * 50
+        );
+        // Relaxations should be rare on a complete plant.
+        let frac = data.relaxed_picks as f64 / data.table.len() as f64;
+        assert!(frac < 0.10, "relaxed fraction {frac}");
+    }
+}

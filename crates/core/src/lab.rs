@@ -1,0 +1,225 @@
+//! The experiment harness: one lazily shared capture + fleet run, one
+//! method per table/figure.
+
+use crate::capture::{CaptureConfig, StandardCapture};
+use crate::fleet_run::{FleetData, FleetRunConfig};
+use crate::reports::{
+    self, ConcurrencyReport, Fig12Report, Fig13Report, Fig14Report, Fig15Config, Fig15Report,
+    Fig4Report, Fig5Report, Fig8Report, Fig9Report, FlowCdfReport, HitterDynamicsReport,
+    Table2Report, Table3Report, Table4Report, UtilizationReport,
+};
+
+/// Top-level configuration of a [`Lab`].
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Packet-tier capture parameters.
+    pub capture: CaptureConfig,
+    /// Fleet-tier parameters.
+    pub fleet: FleetRunConfig,
+    /// Fig 15 (buffer study) parameters.
+    pub fig15: Fig15Config,
+}
+
+impl LabConfig {
+    /// Bench-grade configuration (tens of seconds of simulated traffic).
+    pub fn standard(seed: u64) -> LabConfig {
+        LabConfig {
+            capture: CaptureConfig::standard(seed),
+            fleet: FleetRunConfig::standard(seed),
+            fig15: Fig15Config::standard(seed),
+        }
+    }
+
+    /// Test-grade configuration (a few seconds on a tiny plant).
+    pub fn fast(seed: u64) -> LabConfig {
+        LabConfig {
+            capture: CaptureConfig::fast(seed),
+            fleet: FleetRunConfig::fast(seed),
+            fig15: Fig15Config::fast(seed),
+        }
+    }
+}
+
+/// Lazily materialized experiment inputs plus one method per experiment.
+pub struct Lab {
+    cfg: LabConfig,
+    capture: Option<StandardCapture>,
+    fleet: Option<FleetData>,
+}
+
+impl Lab {
+    /// Creates an empty lab; substrates are built on first use.
+    pub fn new(cfg: LabConfig) -> Lab {
+        Lab { cfg, capture: None, fleet: None }
+    }
+
+    /// The packet-tier capture (runs the simulation on first call).
+    pub fn capture(&mut self) -> &StandardCapture {
+        if self.capture.is_none() {
+            self.capture = Some(StandardCapture::run(&self.cfg.capture));
+        }
+        self.capture.as_ref().expect("just materialized")
+    }
+
+    /// The fleet-tier data (generated on first call).
+    pub fn fleet(&mut self) -> &FleetData {
+        if self.fleet.is_none() {
+            self.fleet = Some(FleetData::run(&self.cfg.fleet));
+        }
+        self.fleet.as_ref().expect("just materialized")
+    }
+
+    /// Table 2: outbound service mix per host type.
+    pub fn table2(&mut self) -> Table2Report {
+        reports::table2(self.capture())
+    }
+
+    /// Table 3: locality per cluster type (fleet tier).
+    pub fn table3(&mut self) -> Table3Report {
+        reports::table3(self.fleet())
+    }
+
+    /// Table 4: heavy hitters in 1-ms intervals.
+    pub fn table4(&mut self) -> Table4Report {
+        reports::table4(self.capture())
+    }
+
+    /// Fig 4: per-second locality time series.
+    pub fn fig4(&mut self) -> Fig4Report {
+        reports::fig4(self.capture())
+    }
+
+    /// Fig 5: demand matrices (fleet tier).
+    pub fn fig5(&mut self) -> Fig5Report {
+        reports::fig5(self.fleet())
+    }
+
+    /// Fig 6: flow size CDFs by locality.
+    pub fn fig6(&mut self) -> FlowCdfReport {
+        reports::fig6(self.capture())
+    }
+
+    /// Fig 7: flow duration CDFs by locality.
+    pub fn fig7(&mut self) -> FlowCdfReport {
+        reports::fig7(self.capture())
+    }
+
+    /// Fig 8: per-destination-rack rate stability.
+    pub fn fig8(&mut self) -> Option<Fig8Report> {
+        reports::fig8(self.capture())
+    }
+
+    /// Fig 9: cache-follower per-host flow sizes.
+    pub fn fig9(&mut self) -> Option<Fig9Report> {
+        reports::fig9(self.capture())
+    }
+
+    /// Fig 10: heavy-hitter persistence.
+    pub fn fig10(&mut self) -> HitterDynamicsReport {
+        reports::fig10(self.capture())
+    }
+
+    /// Fig 11: heavy-hitter intersection with the enclosing second.
+    pub fn fig11(&mut self) -> HitterDynamicsReport {
+        reports::fig11(self.capture())
+    }
+
+    /// Fig 12: packet size distributions.
+    pub fn fig12(&mut self) -> Fig12Report {
+        reports::fig12(self.capture())
+    }
+
+    /// Fig 13: Hadoop (non-)on/off arrival structure.
+    pub fn fig13(&mut self) -> Option<Fig13Report> {
+        reports::fig13(self.capture())
+    }
+
+    /// Fig 14: SYN inter-arrival CDFs.
+    pub fn fig14(&mut self) -> Fig14Report {
+        reports::fig14(self.capture())
+    }
+
+    /// Fig 15: buffer occupancy study (runs its own simulation).
+    pub fn fig15(&mut self) -> Fig15Report {
+        reports::fig15(&self.cfg.fig15)
+    }
+
+    /// Fig 16: concurrent racks per 5-ms window.
+    pub fn fig16(&mut self) -> ConcurrencyReport {
+        reports::fig16(self.capture())
+    }
+
+    /// Fig 17: concurrent heavy-hitter racks per 5-ms window.
+    pub fn fig17(&mut self) -> ConcurrencyReport {
+        reports::fig17(self.capture())
+    }
+
+    /// §4.1 utilization rollup.
+    pub fn utilization(&mut self) -> UtilizationReport {
+        reports::utilization(self.capture())
+    }
+
+    /// §5.4 traffic-engineering predictability table.
+    pub fn te_predictability(&mut self) -> reports::TeReport {
+        reports::te_predictability(self.capture())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_topology::HostRole;
+
+    #[test]
+    fn lab_runs_every_packet_tier_experiment_fast() {
+        let mut lab = Lab::new(LabConfig::fast(11));
+        let t2 = lab.table2();
+        assert!(!t2.rows.is_empty());
+        assert!(t2.render().contains("Web"));
+        let t4 = lab.table4();
+        assert!(!t4.rows.is_empty());
+        let f4 = lab.fig4();
+        assert!(f4.locality_fractions(HostRole::Web).is_some());
+        let f6 = lab.fig6();
+        assert!(!f6.rows.is_empty());
+        let f7 = lab.fig7();
+        assert!(!f7.rows.is_empty());
+        assert!(lab.fig8().is_some());
+        assert!(lab.fig9().is_some());
+        let f10 = lab.fig10();
+        assert!(!f10.rows.is_empty());
+        let f11 = lab.fig11();
+        assert!(!f11.rows.is_empty());
+        let f12 = lab.fig12();
+        assert!(f12.median_for(HostRole::Web).is_some());
+        assert!(lab.fig13().is_some());
+        let f14 = lab.fig14();
+        assert!(!f14.rows.is_empty());
+        let f16 = lab.fig16();
+        assert!(!f16.rows.is_empty());
+        let f17 = lab.fig17();
+        assert!(!f17.rows.is_empty());
+        let util = lab.utilization();
+        assert!(!util.rows.is_empty());
+    }
+
+    #[test]
+    fn lab_runs_fleet_experiments_fast() {
+        let mut lab = Lab::new(LabConfig::fast(13));
+        let t3 = lab.table3();
+        assert!(t3.table.all.bytes > 0);
+        assert!(t3.render().contains("Cluster"));
+        let f5 = lab.fig5();
+        assert!(f5.hadoop.diagonal_fraction > 0.0);
+        assert!(f5.render().contains("bipartite"));
+    }
+
+    #[test]
+    fn fig15_produces_series() {
+        let mut lab = Lab::new(LabConfig::fast(17));
+        let f15 = lab.fig15();
+        assert!(!f15.web_median.is_empty());
+        assert_eq!(f15.web_drops.len(), 4);
+        assert!(f15.render().contains("occupancy"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # sonet-core
+//!
+//! The public face of `sonet-dc`: scenario presets, the experiment
+//! harness, and typed reports for every table and figure of *Inside the
+//! Social Network's (Datacenter) Network* (SIGCOMM 2015).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use sonet_core::{Lab, LabConfig};
+//!
+//! let mut lab = Lab::new(LabConfig::fast(42));
+//! let t3 = lab.table3();
+//! println!("{}", t3.render());
+//! ```
+//!
+//! A [`Lab`] lazily builds the two data substrates the paper's analyses
+//! consume — a packet-tier port-mirror capture ([`capture::StandardCapture`])
+//! and a fleet-tier Fbflow table ([`fleet_run::FleetData`]) — and exposes
+//! one method per experiment (`table2()` … `fig17()`). Reports know their
+//! paper-expected values and render as ASCII tables, so benches and
+//! examples print paper-vs-measured side by side.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod fleet_run;
+pub mod lab;
+pub mod render;
+pub mod reports;
+pub mod scenario;
+
+pub use capture::{CaptureConfig, StandardCapture};
+pub use fleet_run::{FleetData, FleetRunConfig};
+pub use lab::{Lab, LabConfig};
+pub use scenario::{packet_tier_spec, fleet_spec, ScenarioScale};

@@ -1,0 +1,127 @@
+//! ASCII rendering helpers for reports.
+
+use sonet_util::EmpiricalCdf;
+
+/// Renders an ASCII table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(c.len());
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    out.push('\n');
+    let sep: String = {
+        let mut s = String::from("|");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('|');
+        }
+        s
+    };
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with sensible precision for reports.
+pub fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a CDF as `p10/p50/p90` quantiles.
+pub fn quantiles(cdf: &EmpiricalCdf) -> String {
+    match (cdf.quantile(10.0), cdf.quantile(50.0), cdf.quantile(90.0)) {
+        (Some(a), Some(b), Some(c)) => format!("{}/{}/{}", num(a), num(b), num(c)),
+        _ => "-".into(),
+    }
+}
+
+/// Renders a CDF as a compact series of `(value, fraction)` points.
+pub fn cdf_series(cdf: &EmpiricalCdf, points: usize) -> String {
+    cdf.series(points)
+        .into_iter()
+        .map(|(v, f)| format!("({}, {:.2})", num(v), f))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders a time series as a sparkline-ish row of numbers (downsampled).
+pub fn series_row(values: &[f64], points: usize) -> String {
+    if values.is_empty() {
+        return "-".into();
+    }
+    let step = (values.len() / points.max(1)).max(1);
+    values
+        .iter()
+        .step_by(step)
+        .take(points)
+        .map(|&v| num(v))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn num_precision() {
+        assert_eq!(num(1234.5), "1234");
+        assert_eq!(num(12.34), "12.3");
+        assert_eq!(num(1.234), "1.23");
+        assert_eq!(num(f64::NAN), "-");
+    }
+
+    #[test]
+    fn quantiles_and_series() {
+        let cdf = EmpiricalCdf::new((1..=100).map(|x| x as f64).collect());
+        let q = quantiles(&cdf);
+        assert!(q.contains('/'));
+        assert!(!cdf_series(&cdf, 5).is_empty());
+        assert_eq!(series_row(&[], 5), "-");
+        assert_eq!(series_row(&[1.0, 2.0, 3.0, 4.0], 2), "1.00 3.00");
+    }
+}

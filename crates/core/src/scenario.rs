@@ -1,0 +1,120 @@
+//! Scenario presets: topology specs sized for different budgets.
+//!
+//! Production scale (hundreds of thousands of hosts) is replaced by
+//! scaled-down plants that preserve the *structure* every experiment
+//! depends on: role-homogeneous racks, the ~75/20/few frontend mix,
+//! cache leaders in a separate cluster (often a separate datacenter),
+//! and a second datacenter so all four locality classes exist.
+
+use serde::{Deserialize, Serialize};
+use sonet_topology::{ClusterSpec, DatacenterSpec, SiteSpec, TopologySpec};
+
+/// How big a plant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioScale {
+    /// Minimal plant for unit/integration tests (seconds of runtime).
+    Tiny,
+    /// Bench-sized plant: large enough for meaningful per-ms statistics.
+    Standard,
+    /// Fleet-tier plant for Fbflow experiments (thousands of hosts,
+    /// flow-level only — never packet-simulated).
+    Fleet,
+}
+
+/// The packet-tier plant: two datacenters on two sites. DC0 holds the
+/// monitored Frontend cluster plus a Hadoop cluster, a Service cluster,
+/// and a Database cluster; DC1 holds the Cache (leader) cluster plus a
+/// small Frontend, so leader traffic is split intra-/inter-DC as in §4.2.
+pub fn packet_tier_spec(scale: ScenarioScale) -> TopologySpec {
+    let (fe_racks, hosts, hadoop_racks, cache_racks, svc_racks, db_racks) = match scale {
+        ScenarioScale::Tiny => (6, 3, 3, 2, 2, 2),
+        ScenarioScale::Standard => (16, 5, 8, 4, 6, 3),
+        ScenarioScale::Fleet => (24, 8, 16, 6, 10, 4),
+    };
+    TopologySpec {
+        sites: vec![
+            SiteSpec {
+                datacenters: vec![DatacenterSpec {
+                    clusters: vec![
+                        ClusterSpec::frontend(fe_racks, hosts),
+                        ClusterSpec::hadoop(hadoop_racks, hosts),
+                        ClusterSpec::service(svc_racks, hosts),
+                        ClusterSpec::database(db_racks, hosts),
+                        ClusterSpec::cache(cache_racks.max(2) / 2, hosts),
+                    ],
+                }],
+            },
+            SiteSpec {
+                datacenters: vec![DatacenterSpec {
+                    clusters: vec![
+                        ClusterSpec::cache(cache_racks, hosts),
+                        ClusterSpec::frontend((fe_racks / 2).max(4), hosts),
+                        ClusterSpec::database(db_racks, hosts),
+                        ClusterSpec::service((svc_racks / 2).max(2), hosts),
+                    ],
+                }],
+            },
+        ],
+        ..TopologySpec::default()
+    }
+}
+
+/// The fleet-tier plant: two sites × one datacenter each, every cluster
+/// type in both, with a 64-rack Hadoop cluster and 64-rack Frontend
+/// cluster in DC0 so Fig 5's 64×64 matrices can be read off directly.
+pub fn fleet_spec(scale: ScenarioScale) -> TopologySpec {
+    let (big, hosts) = match scale {
+        ScenarioScale::Tiny => (16, 4),
+        ScenarioScale::Standard | ScenarioScale::Fleet => (64, 10),
+    };
+    let dc = |fe: u32| DatacenterSpec {
+        clusters: vec![
+            ClusterSpec::frontend(fe, hosts),      // cluster 0 (per DC)
+            ClusterSpec::hadoop(big, hosts),       // cluster 1
+            ClusterSpec::service(big / 2, hosts),  // cluster 2
+            ClusterSpec::database(big / 4, hosts), // cluster 3
+            ClusterSpec::cache(big / 4, hosts),    // cluster 4
+            ClusterSpec::frontend(big / 2, hosts), // cluster 5 (second FE)
+            ClusterSpec::hadoop(big / 2, hosts),   // cluster 6
+            ClusterSpec::service(big / 4, hosts),  // cluster 7
+        ],
+    };
+    TopologySpec {
+        sites: vec![
+            SiteSpec { datacenters: vec![dc(big)] },
+            SiteSpec { datacenters: vec![dc(big / 2)] },
+        ],
+        ..TopologySpec::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_topology::{ClusterType, Topology};
+
+    #[test]
+    fn packet_tier_builds_at_all_scales() {
+        for scale in [ScenarioScale::Tiny, ScenarioScale::Standard, ScenarioScale::Fleet] {
+            let topo = Topology::build(packet_tier_spec(scale)).expect("valid");
+            assert_eq!(topo.datacenters().len(), 2);
+            // Every cluster type present somewhere.
+            for t in ClusterType::ALL {
+                assert!(
+                    topo.first_cluster_of_type(t).is_some(),
+                    "{t} missing at {scale:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_has_64_rack_clusters_at_standard() {
+        let topo = Topology::build(fleet_spec(ScenarioScale::Standard)).expect("valid");
+        let hadoop = topo.first_cluster_of_type(ClusterType::Hadoop).expect("hadoop");
+        assert_eq!(topo.cluster(hadoop).racks.len(), 64);
+        let fe = topo.first_cluster_of_type(ClusterType::Frontend).expect("fe");
+        assert_eq!(topo.cluster(fe).racks.len(), 64);
+        assert!(topo.hosts().len() > 3000, "fleet should be thousands of hosts");
+    }
+}

@@ -1,0 +1,1463 @@
+//! The discrete-event engine.
+//!
+//! A calendar of timestamped events drives packets across their routes.
+//! Each directed link is a FIFO: serialization starts when the link frees,
+//! and switch egress queues admit packets against a shared buffer pool
+//! with dynamic-threshold sharing (see [`crate::config::BufferConfig`]).
+//!
+//! The engine is single-threaded and fully deterministic: event ties are
+//! broken by insertion order, and no randomness exists below the workload
+//! layer.
+
+use crate::config::SimConfig;
+use crate::conn::{Conn, ConnPhase, DirState, MsgMeta};
+use crate::packet::{ConnId, Dir, FlowKey, Packet, PacketKind};
+use crate::tap::PacketTap;
+use serde::{Deserialize, Serialize};
+use sonet_topology::{HostId, LinkId, Node, SwitchId, Topology};
+use sonet_util::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by the simulator API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The requested time is in the simulated past.
+    TimeInPast {
+        /// The rejected timestamp.
+        requested: SimTime,
+        /// The current simulation clock.
+        now: SimTime,
+    },
+    /// Unknown connection handle.
+    NoSuchConn(ConnId),
+    /// The connection is closed.
+    ConnClosed(ConnId),
+    /// Source and destination host are the same.
+    SelfConnection(HostId),
+    /// A message must carry at least one request byte.
+    EmptyRequest,
+    /// Bad configuration.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TimeInPast { requested, now } => {
+                write!(f, "requested time {requested} is before simulation clock {now}")
+            }
+            SimError::NoSuchConn(c) => write!(f, "unknown connection {c}"),
+            SimError::ConnClosed(c) => write!(f, "{c} is closed"),
+            SimError::SelfConnection(h) => write!(f, "{h} cannot connect to itself"),
+            SimError::EmptyRequest => write!(f, "messages must carry at least 1 request byte"),
+            SimError::Config(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-link transmit/drop counters (the SNMP-style counters of §6.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkCounters {
+    /// Bytes successfully serialized onto the link.
+    pub tx_bytes: u64,
+    /// Packets successfully serialized onto the link.
+    pub tx_packets: u64,
+    /// Bytes dropped at admission (egress drops).
+    pub drop_bytes: u64,
+    /// Packets dropped at admission.
+    pub drop_packets: u64,
+}
+
+/// Aggregated buffer occupancy for one switch over one aggregation window
+/// (the per-second median/max series of Fig 15a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferWindowStat {
+    /// Which switch.
+    pub switch: SwitchId,
+    /// Window start time.
+    pub window_start: SimTime,
+    /// Median sampled occupancy (bytes).
+    pub median: u64,
+    /// Maximum sampled occupancy (bytes).
+    pub max: u64,
+    /// Mean sampled occupancy (bytes).
+    pub mean: f64,
+    /// Number of samples in the window.
+    pub samples: u32,
+    /// Shared pool capacity (bytes), for normalization.
+    pub capacity: u64,
+}
+
+/// Everything the engine hands back at the end of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutputs {
+    /// Per-link counters, indexed by `LinkId`.
+    pub link_counters: Vec<LinkCounters>,
+    /// Per-interval transmitted bytes for utilization-tracked links.
+    pub util_series: HashMap<LinkId, Vec<u64>>,
+    /// Interval used for `util_series`.
+    pub util_interval: Option<SimDuration>,
+    /// Buffer occupancy windows, in time order, for sampled switches.
+    pub buffer_stats: Vec<BufferWindowStat>,
+    /// Total packets delivered to hosts.
+    pub delivered_packets: u64,
+    /// Total application messages whose request fully arrived at servers.
+    pub completed_requests: u64,
+    /// Messages rejected because their connection closed first.
+    pub messages_on_closed: u64,
+    /// In-flight packets discarded because their connection slot was
+    /// recycled mid-flight (only possible after an explicit close).
+    pub stale_packets: u64,
+    /// End-to-end request latencies (request issue → response fully
+    /// received, or → request fully received for one-way messages), when
+    /// [`Simulator::record_latencies`] was enabled.
+    pub rpc_latencies: Vec<SimDuration>,
+    /// Final simulation clock.
+    pub ended_at: SimTime,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Put `pkt` on hop `hop` of its route.
+    Transmit { pkt: Packet, hop: u8 },
+    /// `pkt` fully arrived at its destination host.
+    Deliver { pkt: Packet },
+    /// A packet finished serializing: release buffer/backlog accounting.
+    Release { link: u32, bytes: u32 },
+    /// Retransmission timer.
+    Rto { conn: ConnId, dir: Dir },
+    /// Server finished computing the response to message `msg`.
+    Service { conn: ConnId, msg: u32 },
+    /// Emit the SYN for a connection.
+    OpenConn { conn: ConnId },
+    /// Re-emit the SYN if the handshake has not completed yet.
+    SynRetry { conn: ConnId },
+    /// Application queues a message on a connection.
+    SendMsg { conn: ConnId, req: u64, meta: MsgMeta },
+    /// Application closes a connection.
+    Close { conn: ConnId },
+    /// Release a closed connection's slot for reuse after quarantine.
+    Retire { conn: ConnId },
+    /// Periodic buffer occupancy sample.
+    BufSample,
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct BufSampler {
+    interval: SimDuration,
+    window: SimDuration,
+    switches: Vec<SwitchId>,
+    window_start: SimTime,
+    /// One sample vector per sampled switch.
+    samples: Vec<Vec<u64>>,
+}
+
+/// The packet-level simulator. See the crate docs for the model.
+pub struct Simulator<T: PacketTap> {
+    topo: Arc<Topology>,
+    cfg: SimConfig,
+    now: SimTime,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    conns: Vec<Conn>,
+    /// Slot indices available for reuse (quarantine elapsed).
+    free_conns: Vec<u32>,
+    next_port: Vec<u16>,
+    // Link state, indexed by LinkId.
+    link_free_at: Vec<SimTime>,
+    link_backlog: Vec<u64>,
+    link_counters: Vec<LinkCounters>,
+    link_gbps: Vec<f64>,
+    link_prop: Vec<u64>,
+    /// Switch index if the link's transmitter is a switch.
+    link_from_switch: Vec<Option<u32>>,
+    watched: Vec<bool>,
+    util_tracked: Vec<bool>,
+    // Switch state, indexed by SwitchId.
+    switch_occ: Vec<u64>,
+    switch_cap: Vec<u64>,
+    switch_alpha: Vec<f64>,
+    // Telemetry.
+    tap: T,
+    util_interval: Option<SimDuration>,
+    util_series: HashMap<LinkId, Vec<u64>>,
+    buf_sampler: Option<BufSampler>,
+    buffer_stats: Vec<BufferWindowStat>,
+    // Totals.
+    delivered_packets: u64,
+    completed_requests: u64,
+    messages_on_closed: u64,
+    stale_packets: u64,
+    record_latencies: bool,
+    latencies: Vec<SimDuration>,
+    /// Events in the heap that are not periodic buffer samples; lets
+    /// [`Simulator::run_to_quiescence`] terminate while sampling is armed.
+    real_events: u64,
+}
+
+impl<T: PacketTap> Simulator<T> {
+    /// Creates a simulator over `topo` with the given transport/buffer
+    /// configuration, delivering watched-link packets to `tap`.
+    pub fn new(topo: Arc<Topology>, cfg: SimConfig, tap: T) -> Result<Simulator<T>, SimError> {
+        cfg.validate().map_err(SimError::Config)?;
+        let n_links = topo.links().len();
+        let n_switches = topo.switches().len();
+        let n_hosts = topo.hosts().len();
+
+        let mut link_from_switch = Vec::with_capacity(n_links);
+        let mut link_gbps = Vec::with_capacity(n_links);
+        let mut link_prop = Vec::with_capacity(n_links);
+        for link in topo.links() {
+            link_from_switch.push(match link.from {
+                Node::Switch(s) => Some(s.0),
+                Node::Host(_) => None,
+            });
+            link_gbps.push(link.gbps);
+            link_prop.push(link.propagation_ns);
+        }
+        let mut switch_cap = Vec::with_capacity(n_switches);
+        let mut switch_alpha = Vec::with_capacity(n_switches);
+        for sw in topo.switches() {
+            let b = cfg.buffer_for(sw.kind);
+            switch_cap.push(b.shared_bytes);
+            switch_alpha.push(b.alpha);
+        }
+
+        Ok(Simulator {
+            topo,
+            cfg,
+            now: SimTime::ZERO,
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            conns: Vec::new(),
+            free_conns: Vec::new(),
+            next_port: vec![32768; n_hosts],
+            link_free_at: vec![SimTime::ZERO; n_links],
+            link_backlog: vec![0; n_links],
+            link_counters: vec![LinkCounters::default(); n_links],
+            link_gbps,
+            link_prop,
+            link_from_switch,
+            watched: vec![false; n_links],
+            util_tracked: vec![false; n_links],
+            switch_occ: vec![0; n_switches],
+            switch_cap,
+            switch_alpha,
+            tap,
+            util_interval: None,
+            util_series: HashMap::new(),
+            buf_sampler: None,
+            buffer_stats: Vec::new(),
+            delivered_packets: 0,
+            completed_requests: 0,
+            messages_on_closed: 0,
+            stale_packets: 0,
+            record_latencies: false,
+            latencies: Vec::new(),
+            real_events: 0,
+        })
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Transport configuration in effect.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Starts delivering packets on `link` to the tap.
+    pub fn watch_link(&mut self, link: LinkId) {
+        self.watched[link.index()] = true;
+    }
+
+    /// Live view of a link's counters (SNMP-style mid-run poll; the full
+    /// vector is also returned by [`Simulator::finish`]).
+    pub fn link_counters(&self, link: LinkId) -> LinkCounters {
+        self.link_counters[link.index()]
+    }
+
+    /// Enables end-to-end RPC latency recording (one sample per completed
+    /// message; disabled by default to keep long runs lean).
+    pub fn record_latencies(&mut self, on: bool) {
+        self.record_latencies = on;
+    }
+
+    /// Records per-`interval` transmitted bytes for each given link
+    /// (powers utilization time series such as Fig 15b).
+    pub fn track_utilization(&mut self, interval: SimDuration, links: &[LinkId]) {
+        assert!(!interval.is_zero(), "utilization interval must be positive");
+        self.util_interval = Some(interval);
+        for &l in links {
+            self.util_tracked[l.index()] = true;
+            self.util_series.entry(l).or_default();
+        }
+    }
+
+    /// Samples the shared-buffer occupancy of `switches` every `interval`,
+    /// aggregating (median/max/mean) per `window` — the Fig 15a pipeline:
+    /// 10-µs samples aggregated per second.
+    pub fn sample_buffers(
+        &mut self,
+        interval: SimDuration,
+        window: SimDuration,
+        switches: Vec<SwitchId>,
+    ) {
+        assert!(!interval.is_zero() && !window.is_zero(), "sampler periods must be positive");
+        let n = switches.len();
+        self.buf_sampler = Some(BufSampler {
+            interval,
+            window,
+            switches,
+            window_start: self.now,
+            samples: vec![Vec::new(); n],
+        });
+        self.schedule(self.now, Ev::BufSample);
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        if !matches!(ev, Ev::BufSample) {
+            self.real_events += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Scheduled { at, seq, ev }));
+    }
+
+    /// Opens a TCP-like connection from `client` to `server:server_port`
+    /// at absolute time `at` (SYN emission time). Routes are pinned by the
+    /// flow's ECMP hash, as hardware hashing pins real flows.
+    pub fn open_connection(
+        &mut self,
+        at: SimTime,
+        client: HostId,
+        server: HostId,
+        server_port: u16,
+    ) -> Result<ConnId, SimError> {
+        if at < self.now {
+            return Err(SimError::TimeInPast { requested: at, now: self.now });
+        }
+        if client == server {
+            return Err(SimError::SelfConnection(client));
+        }
+        let port = self.next_port[client.index()];
+        self.next_port[client.index()] = port.checked_add(1).unwrap_or(32768);
+        let key = FlowKey { client, server, client_port: port, server_port };
+        let hash = key.ecmp_hash();
+        let id = match self.free_conns.pop() {
+            Some(idx) => ConnId { idx, gen: self.conns[idx as usize].id.gen + 1 },
+            None => ConnId { idx: self.conns.len() as u32, gen: 0 },
+        };
+        let conn = Conn {
+            id,
+            key,
+            phase: ConnPhase::Opening,
+            route_fwd: self.topo.route(client, server, hash),
+            route_rev: self.topo.route(server, client, hash),
+            c2s: DirState::default(),
+            s2c: DirState::default(),
+            msg_meta: Vec::new(),
+            resp_req_issued: Vec::new(),
+            pre_open: Vec::new(),
+            next_server_msg: 0,
+            opened_at: at,
+        };
+        if (id.idx as usize) < self.conns.len() {
+            self.conns[id.idx as usize] = conn;
+        } else {
+            self.conns.push(conn);
+        }
+        self.schedule(at, Ev::OpenConn { conn: id });
+        Ok(id)
+    }
+
+    /// Queues a request/response exchange on `conn` at absolute time `at`:
+    /// the client sends `request_bytes`; once the full request reaches the
+    /// server it works for `service_time` and then sends `response_bytes`
+    /// back (zero for one-way transfers).
+    pub fn send_message(
+        &mut self,
+        conn: ConnId,
+        at: SimTime,
+        request_bytes: u64,
+        response_bytes: u64,
+        service_time: SimDuration,
+    ) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::TimeInPast { requested: at, now: self.now });
+        }
+        if request_bytes == 0 {
+            return Err(SimError::EmptyRequest);
+        }
+        let c = self
+            .conns
+            .get(conn.index())
+            .filter(|c| c.id == conn)
+            .ok_or(SimError::NoSuchConn(conn))?;
+        if c.phase == ConnPhase::Closed {
+            return Err(SimError::ConnClosed(conn));
+        }
+        self.schedule(
+            at,
+            Ev::SendMsg {
+                conn,
+                req: request_bytes,
+                meta: MsgMeta { response_bytes, service_time, issued_at: at },
+            },
+        );
+        Ok(())
+    }
+
+    /// Closes `conn` at absolute time `at` (FIN emission).
+    pub fn close_connection(&mut self, conn: ConnId, at: SimTime) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::TimeInPast { requested: at, now: self.now });
+        }
+        if self.conns.get(conn.index()).map(|c| c.id) != Some(conn) {
+            return Err(SimError::NoSuchConn(conn));
+        }
+        self.schedule(at, Ev::Close { conn });
+        Ok(())
+    }
+
+    /// Runs the event loop until the clock reaches `until` (all events at
+    /// or before `until` are processed; the clock then rests at `until`).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(head)) = self.events.peek() {
+            if head.at > until {
+                break;
+            }
+            let Reverse(Scheduled { at, ev, .. }) = self.events.pop().expect("peeked");
+            self.now = at;
+            if !matches!(ev, Ev::BufSample) {
+                self.real_events -= 1;
+            }
+            self.handle(ev);
+        }
+        self.now = until;
+    }
+
+    /// Drains every remaining event other than the periodic buffer
+    /// sampler, which reschedules itself forever and would otherwise keep
+    /// the calendar non-empty (use after the last injection when a
+    /// natural quiesce is wanted rather than a fixed horizon).
+    pub fn run_to_quiescence(&mut self) {
+        while self.real_events > 0 {
+            let Some(Reverse(Scheduled { at, ev, .. })) = self.events.pop() else { break };
+            self.now = at;
+            if !matches!(ev, Ev::BufSample) {
+                self.real_events -= 1;
+            }
+            self.handle(ev);
+        }
+    }
+
+    /// Finishes the run: flushes telemetry windows and returns the outputs
+    /// together with the tap.
+    pub fn finish(mut self) -> (SimOutputs, T) {
+        self.flush_buffer_window(true);
+        let outputs = SimOutputs {
+            link_counters: self.link_counters,
+            util_series: self.util_series,
+            util_interval: self.util_interval,
+            buffer_stats: self.buffer_stats,
+            delivered_packets: self.delivered_packets,
+            completed_requests: self.completed_requests,
+            messages_on_closed: self.messages_on_closed,
+            stale_packets: self.stale_packets,
+            rpc_latencies: std::mem::take(&mut self.latencies),
+            ended_at: self.now,
+        };
+        (outputs, self.tap)
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Transmit { pkt, hop } => self.on_transmit(pkt, hop),
+            Ev::Deliver { pkt } => self.on_deliver(pkt),
+            Ev::Release { link, bytes } => {
+                self.link_backlog[link as usize] -= bytes as u64;
+                if let Some(sw) = self.link_from_switch[link as usize] {
+                    self.switch_occ[sw as usize] -= bytes as u64;
+                }
+            }
+            Ev::Rto { conn, dir } => {
+                if self.conn_live(conn) {
+                    self.on_rto(conn, dir);
+                }
+            }
+            Ev::Service { conn, msg } => {
+                if self.conn_live(conn) {
+                    self.on_service(conn, msg);
+                }
+            }
+            Ev::OpenConn { conn } => self.on_open(conn),
+            Ev::SynRetry { conn } => {
+                if self.conn_live(conn)
+                    && self.conns[conn.index()].phase == ConnPhase::Opening
+                {
+                    self.on_open(conn);
+                }
+            }
+            Ev::SendMsg { conn, req, meta } => {
+                if self.conn_live(conn) {
+                    self.on_send_msg(conn, req, meta);
+                }
+            }
+            Ev::Close { conn } => {
+                if self.conn_live(conn) {
+                    self.on_close(conn);
+                }
+            }
+            Ev::Retire { conn } => {
+                if self.conn_live(conn) {
+                    self.free_conns.push(conn.idx);
+                }
+            }
+            Ev::BufSample => self.on_buf_sample(),
+        }
+    }
+
+    /// True if `conn` refers to the current occupant of its slot.
+    fn conn_live(&self, conn: ConnId) -> bool {
+        self.conns
+            .get(conn.index())
+            .is_some_and(|c| c.id == conn)
+    }
+
+    fn on_transmit(&mut self, pkt: Packet, hop: u8) {
+        if !self.conn_live(pkt.conn) {
+            self.stale_packets += 1;
+            return;
+        }
+        let route = self.conns[pkt.conn.index()].route(pkt.dir);
+        let link = route[hop as usize];
+        let last_hop = hop as usize + 1 == route.len();
+        let li = link.index();
+        let w = pkt.wire_bytes;
+
+        // Shared-buffer admission at switch egress.
+        if let Some(sw) = self.link_from_switch[li] {
+            let swi = sw as usize;
+            let free = self.switch_cap[swi].saturating_sub(self.switch_occ[swi]);
+            let dt_limit = (self.switch_alpha[swi] * free as f64) as u64;
+            if self.link_backlog[li] + w as u64 > dt_limit
+                || self.switch_occ[swi] + w as u64 > self.switch_cap[swi]
+            {
+                self.link_counters[li].drop_bytes += w as u64;
+                self.link_counters[li].drop_packets += 1;
+                return;
+            }
+            self.switch_occ[swi] += w as u64;
+            self.link_backlog[li] += w as u64;
+        } else {
+            self.link_backlog[li] += w as u64;
+        }
+
+        let start = self.now.max(self.link_free_at[li]);
+        let end = start + SimDuration::for_bytes_at_gbps(w as u64, self.link_gbps[li]);
+        self.link_free_at[li] = end;
+        self.link_counters[li].tx_bytes += w as u64;
+        self.link_counters[li].tx_packets += 1;
+        self.schedule(end, Ev::Release { link: li as u32, bytes: w });
+
+        if self.watched[li] {
+            self.tap.on_packet(end, link, &pkt);
+        }
+        if self.util_tracked[li] {
+            let interval = self.util_interval.expect("tracked links imply interval");
+            let idx = end.bin_index(interval) as usize;
+            let series = self
+                .util_series
+                .get_mut(&link)
+                .expect("tracked links are pre-registered");
+            if series.len() <= idx {
+                series.resize(idx + 1, 0);
+            }
+            series[idx] += w as u64;
+        }
+
+        let arrive = end + SimDuration::from_nanos(self.link_prop[li]);
+        if last_hop {
+            self.schedule(arrive, Ev::Deliver { pkt });
+        } else {
+            self.schedule(arrive, Ev::Transmit { pkt, hop: hop + 1 });
+        }
+    }
+
+    fn on_deliver(&mut self, pkt: Packet) {
+        if !self.conn_live(pkt.conn) {
+            self.stale_packets += 1;
+            return;
+        }
+        self.delivered_packets += 1;
+        match pkt.kind {
+            PacketKind::Syn => {
+                // Server accepts immediately.
+                self.emit(pkt.conn, Dir::ServerToClient, PacketKind::SynAck, 0, 0, 0);
+            }
+            PacketKind::SynAck => {
+                let conn = &mut self.conns[pkt.conn.index()];
+                if conn.phase == ConnPhase::Opening {
+                    conn.phase = ConnPhase::Open;
+                    let queued = std::mem::take(&mut conn.pre_open);
+                    for (req, meta) in queued {
+                        self.queue_request(pkt.conn, req, meta);
+                    }
+                }
+            }
+            PacketKind::Data { last_of_msg } => self.on_data(pkt, last_of_msg),
+            PacketKind::Ack | PacketKind::FinAck => self.on_ack(pkt),
+            PacketKind::Fin => {
+                let conn = &mut self.conns[pkt.conn.index()];
+                conn.phase = ConnPhase::Closed;
+                let received = conn.dir_mut(pkt.dir).received;
+                self.emit(pkt.conn, pkt.dir.flip(), PacketKind::FinAck, received, 0, 0);
+            }
+        }
+    }
+
+    fn on_data(&mut self, pkt: Packet, last_of_msg: bool) {
+        let ci = pkt.conn.index();
+        let ack_every = self.cfg.ack_every;
+        let (send_ack, fresh_boundary) = {
+            let rs = self.conns[ci].dir_mut(pkt.dir);
+            if pkt.seq == rs.received {
+                rs.received += 1;
+                rs.unacked_by_us += 1;
+                let boundary = last_of_msg;
+                let fresh_boundary = boundary
+                    && rs.last_msg_completed.map_or(true, |m| pkt.msg > m);
+                if fresh_boundary {
+                    rs.last_msg_completed = Some(pkt.msg);
+                }
+                let ack_now = rs.unacked_by_us >= ack_every || boundary;
+                if ack_now {
+                    rs.unacked_by_us = 0;
+                }
+                (ack_now, fresh_boundary)
+            } else {
+                // Out-of-order duplicate (post-retransmission): re-ACK.
+                (true, false)
+            }
+        };
+        if send_ack {
+            let cum = self.conns[ci].dir_mut(pkt.dir).received;
+            self.emit(pkt.conn, pkt.dir.flip(), PacketKind::Ack, cum, 0, 0);
+        }
+        if fresh_boundary && pkt.dir == Dir::ClientToServer {
+            // A request fully arrived at the server.
+            self.completed_requests += 1;
+            let meta = self.conns[ci].msg_meta[pkt.msg as usize];
+            if meta.response_bytes > 0 {
+                self.schedule(
+                    self.now + meta.service_time,
+                    Ev::Service { conn: pkt.conn, msg: pkt.msg },
+                );
+            } else if self.record_latencies {
+                // One-way message: complete when the request lands.
+                self.latencies.push(self.now.saturating_since(meta.issued_at));
+            }
+        }
+        if fresh_boundary && pkt.dir == Dir::ServerToClient && self.record_latencies {
+            // The response fully arrived back at the client: RPC done.
+            if let Some(&issued) = self.conns[ci].resp_req_issued.get(pkt.msg as usize) {
+                self.latencies.push(self.now.saturating_since(issued));
+            }
+        }
+    }
+
+    fn on_ack(&mut self, pkt: Packet) {
+        let ci = pkt.conn.index();
+        let data_dir = pkt.dir.flip();
+        {
+            let ds = self.conns[ci].dir_mut(data_dir);
+            if pkt.seq > ds.acked {
+                let newly = pkt.seq - ds.acked;
+                ds.acked = pkt.seq;
+                for _ in 0..newly {
+                    ds.unacked.pop();
+                }
+            } else {
+                return;
+            }
+        }
+        self.pump(pkt.conn, data_dir);
+    }
+
+    fn on_rto(&mut self, conn: ConnId, dir: Dir) {
+        let ci = conn.index();
+        let rto = self.cfg.rto;
+        #[derive(PartialEq)]
+        enum Action {
+            Idle,
+            Rearm,
+            Retransmit,
+        }
+        let action = {
+            let ds = self.conns[ci].dir_mut(dir);
+            ds.rto_armed = false;
+            if ds.in_flight() == 0 {
+                Action::Idle
+            } else if ds.acked > ds.acked_at_arm {
+                ds.rto_armed = true;
+                ds.acked_at_arm = ds.acked;
+                Action::Rearm
+            } else {
+                Action::Retransmit
+            }
+        };
+        match action {
+            Action::Idle => {}
+            Action::Rearm => {
+                let at = self.now + rto;
+                self.schedule(at, Ev::Rto { conn, dir });
+            }
+            Action::Retransmit => {
+                // Go-back-N: everything unacked returns to the head of the
+                // pending queue and is re-sent under the window.
+                let ds = self.conns[ci].dir_mut(dir);
+                ds.sent = ds.acked;
+                let unacked = std::mem::take(&mut ds.unacked);
+                ds.pending.prepend(unacked);
+                self.pump(conn, dir);
+            }
+        }
+    }
+
+    fn on_service(&mut self, conn: ConnId, msg: u32) {
+        let ci = conn.index();
+        let meta = self.conns[ci].msg_meta[msg as usize];
+        let resp_id = {
+            let c = &mut self.conns[ci];
+            let id = c.next_server_msg;
+            c.next_server_msg += 1;
+            debug_assert_eq!(c.resp_req_issued.len(), id as usize);
+            c.resp_req_issued.push(meta.issued_at);
+            id
+        };
+        self.conns[ci]
+            .s2c
+            .pending
+            .push_message(meta.response_bytes, self.cfg.mss, resp_id);
+        self.pump(conn, Dir::ServerToClient);
+    }
+
+    fn on_open(&mut self, conn: ConnId) {
+        self.emit(conn, Dir::ClientToServer, PacketKind::Syn, 0, 0, 0);
+        // Handshake loss recovery: retry until the SYN-ACK flips the phase.
+        let at = self.now + self.cfg.rto;
+        self.schedule(at, Ev::SynRetry { conn });
+    }
+
+    fn on_send_msg(&mut self, conn: ConnId, req: u64, meta: MsgMeta) {
+        let ci = conn.index();
+        match self.conns[ci].phase {
+            ConnPhase::Closed => {
+                self.messages_on_closed += 1;
+            }
+            ConnPhase::Opening => {
+                self.conns[ci].pre_open.push((req, meta));
+            }
+            ConnPhase::Open => {
+                self.queue_request(conn, req, meta);
+            }
+        }
+    }
+
+    fn queue_request(&mut self, conn: ConnId, req: u64, meta: MsgMeta) {
+        let mss = self.cfg.mss;
+        {
+            let c = &mut self.conns[conn.index()];
+            let msg_id = c.msg_meta.len() as u32;
+            c.msg_meta.push(meta);
+            c.c2s.pending.push_message(req, mss, msg_id);
+        }
+        self.pump(conn, Dir::ClientToServer);
+    }
+
+    fn on_close(&mut self, conn: ConnId) {
+        let ci = conn.index();
+        if self.conns[ci].phase != ConnPhase::Closed {
+            self.conns[ci].phase = ConnPhase::Closed;
+            self.emit(conn, Dir::ClientToServer, PacketKind::Fin, 0, 0, 0);
+            // Recycle the slot once in-flight stragglers cannot be confused
+            // with a future occupant (generation tags guard regardless).
+            let at = self.now + self.cfg.conn_quarantine;
+            self.schedule(at, Ev::Retire { conn });
+        }
+    }
+
+    /// Moves pending segments onto the wire while the window allows.
+    fn pump(&mut self, conn: ConnId, dir: Dir) {
+        let window = self.cfg.window_segments as u64;
+        let rto = self.cfg.rto;
+        loop {
+            let (seg, seq) = {
+                let ds = self.conns[conn.index()].dir_mut(dir);
+                if ds.in_flight() >= window {
+                    break;
+                }
+                let Some(seg) = ds.pending.pop() else { break };
+                let seq = ds.sent;
+                ds.sent += 1;
+                ds.unacked.push_seg(seg);
+                (seg, seq)
+            };
+            self.emit(
+                conn,
+                dir,
+                PacketKind::Data { last_of_msg: seg.last_of_msg },
+                seq,
+                seg.msg,
+                seg.payload,
+            );
+        }
+        // Arm the retransmission timer if data is outstanding.
+        let now = self.now;
+        let ds = self.conns[conn.index()].dir_mut(dir);
+        if ds.in_flight() > 0 && !ds.rto_armed {
+            ds.rto_armed = true;
+            ds.acked_at_arm = ds.acked;
+            self.schedule(now + rto, Ev::Rto { conn, dir });
+        }
+    }
+
+    /// Builds a packet and schedules its first hop now.
+    fn emit(
+        &mut self,
+        conn: ConnId,
+        dir: Dir,
+        kind: PacketKind,
+        seq: u64,
+        msg: u32,
+        payload: u32,
+    ) {
+        let key = self.conns[conn.index()].key;
+        let wire = if payload > 0 {
+            self.cfg.data_wire_bytes(payload)
+        } else {
+            self.cfg.control_bytes
+        };
+        let pkt = Packet { conn, key, dir, kind, seq, msg, payload, wire_bytes: wire };
+        self.schedule(self.now, Ev::Transmit { pkt, hop: 0 });
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer sampling
+    // ------------------------------------------------------------------
+
+    fn on_buf_sample(&mut self) {
+        let Some(sampler) = self.buf_sampler.as_mut() else { return };
+        // Close the window first if we've crossed its boundary.
+        if self.now >= sampler.window_start + sampler.window {
+            self.flush_buffer_window(false);
+        }
+        let sampler = self.buf_sampler.as_mut().expect("sampler persists");
+        for (i, sw) in sampler.switches.iter().enumerate() {
+            sampler.samples[i].push(self.switch_occ[sw.index()]);
+        }
+        let next = self.now + sampler.interval;
+        self.schedule(next, Ev::BufSample);
+    }
+
+    fn flush_buffer_window(&mut self, final_flush: bool) {
+        let Some(sampler) = self.buf_sampler.as_mut() else { return };
+        let window_start = sampler.window_start;
+        let switches = sampler.switches.clone();
+        let caps: Vec<u64> = switches.iter().map(|s| self.switch_cap[s.index()]).collect();
+        for (i, sw) in switches.iter().enumerate() {
+            let samples = std::mem::take(&mut sampler.samples[i]);
+            if samples.is_empty() {
+                continue;
+            }
+            let mut sorted = samples;
+            sorted.sort_unstable();
+            let n = sorted.len();
+            let median = sorted[n / 2];
+            let max = *sorted.last().expect("non-empty");
+            let mean = sorted.iter().sum::<u64>() as f64 / n as f64;
+            self.buffer_stats.push(BufferWindowStat {
+                switch: *sw,
+                window_start,
+                median,
+                max,
+                mean,
+                samples: n as u32,
+                capacity: caps[i],
+            });
+        }
+        if !final_flush {
+            let sampler = self.buf_sampler.as_mut().expect("sampler persists");
+            sampler.window_start = sampler.window_start + sampler.window;
+            // If the clock jumped multiple windows, snap forward.
+            while self.now >= sampler.window_start + sampler.window {
+                sampler.window_start = sampler.window_start + sampler.window;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tap::NullTap;
+    use sonet_topology::{ClusterSpec, TopologySpec};
+    use std::sync::Arc;
+
+    fn two_cluster_topo() -> Arc<Topology> {
+        Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![
+                ClusterSpec::frontend(8, 4),
+                ClusterSpec::hadoop(4, 4),
+            ]))
+            .expect("valid"),
+        )
+    }
+
+    /// Collects every observed packet.
+    #[derive(Default)]
+    struct Collector {
+        pkts: Vec<(SimTime, LinkId, Packet)>,
+    }
+    impl PacketTap for Collector {
+        fn on_packet(&mut self, at: SimTime, link: LinkId, pkt: &Packet) {
+            self.pkts.push((at, link, *pkt));
+        }
+    }
+
+    fn sim_with_collector(topo: &Arc<Topology>) -> Simulator<Collector> {
+        Simulator::new(Arc::clone(topo), SimConfig::default(), Collector::default())
+            .expect("valid config")
+    }
+
+    #[test]
+    fn handshake_then_request_response() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        sim.watch_link(topo.host_uplink(a));
+        sim.watch_link(topo.host_downlink(a));
+
+        let conn = sim
+            .open_connection(SimTime::ZERO, a, b, 80)
+            .expect("open");
+        sim.send_message(conn, SimTime::ZERO, 500, 2000, SimDuration::from_micros(100))
+            .expect("send");
+        sim.run_until(SimTime::from_millis(100));
+        let (out, tap) = sim.finish();
+
+        assert!(out.delivered_packets > 0);
+        assert_eq!(out.completed_requests, 1);
+        // The client's uplink saw a SYN then request data; downlink saw
+        // SYN-ACK, ACKs, and response data.
+        let kinds: Vec<PacketKind> = tap.pkts.iter().map(|(_, _, p)| p.kind).collect();
+        assert!(kinds.contains(&PacketKind::Syn));
+        assert!(kinds.contains(&PacketKind::SynAck));
+        assert!(kinds.iter().any(|k| k.is_data()));
+        assert!(kinds.contains(&PacketKind::Ack));
+        // Response totals 2000 payload bytes back to the client.
+        let resp_payload: u64 = tap
+            .pkts
+            .iter()
+            .filter(|(_, _, p)| p.dir == Dir::ServerToClient && p.kind.is_data())
+            .map(|(_, _, p)| p.payload as u64)
+            .sum();
+        assert_eq!(resp_payload, 2000);
+    }
+
+    #[test]
+    fn request_segmentation_matches_mss() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        sim.watch_link(topo.host_uplink(a));
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        // 4000 bytes = 1460 + 1460 + 1080.
+        sim.send_message(conn, SimTime::ZERO, 4000, 0, SimDuration::ZERO)
+            .expect("send");
+        sim.run_until(SimTime::from_millis(50));
+        let (_, tap) = sim.finish();
+        let data: Vec<u32> = tap
+            .pkts
+            .iter()
+            .filter(|(_, _, p)| p.kind.is_data())
+            .map(|(_, _, p)| p.payload)
+            .collect();
+        assert_eq!(data, vec![1460, 1460, 1080]);
+        let last_flags: Vec<bool> = tap
+            .pkts
+            .iter()
+            .filter_map(|(_, _, p)| match p.kind {
+                PacketKind::Data { last_of_msg } => Some(last_of_msg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(last_flags, vec![false, false, true]);
+    }
+
+    #[test]
+    fn per_link_timestamps_are_monotone() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let up = topo.host_uplink(a);
+        sim.watch_link(up);
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        for i in 0..20 {
+            sim.send_message(
+                conn,
+                SimTime::from_micros(i * 50),
+                1000,
+                100,
+                SimDuration::from_micros(10),
+            )
+            .expect("send");
+        }
+        sim.run_until(SimTime::from_millis(100));
+        let (_, tap) = sim.finish();
+        let times: Vec<SimTime> = tap
+            .pkts
+            .iter()
+            .filter(|(_, l, _)| *l == up)
+            .map(|(t, _, _)| *t)
+            .collect();
+        assert!(times.len() > 20);
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "per-link tap order violated");
+        }
+    }
+
+    #[test]
+    fn utilization_series_accounts_all_bytes() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let up = topo.host_uplink(a);
+        sim.track_utilization(SimDuration::from_millis(10), &[up]);
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(conn, SimTime::ZERO, 50_000, 0, SimDuration::ZERO)
+            .expect("send");
+        sim.run_until(SimTime::from_millis(200));
+        let (out, _) = sim.finish();
+        let series = &out.util_series[&up];
+        let series_total: u64 = series.iter().sum();
+        assert_eq!(series_total, out.link_counters[up.index()].tx_bytes);
+        assert!(series_total > 50_000, "includes framing and SYN");
+    }
+
+    #[test]
+    fn tiny_buffers_cause_egress_drops_but_transfer_completes() {
+        let topo = two_cluster_topo();
+        let mut cfg = SimConfig::default();
+        // Pathologically small shared buffer at the ToR to force drops.
+        cfg.rsw_buffer.shared_bytes = 8 * 1526;
+        cfg.rsw_buffer.alpha = 0.5;
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("valid config");
+        let dst = topo.racks()[0].hosts[0];
+        // Many senders burst into one receiver (incast across the cluster).
+        let mut conns = Vec::new();
+        for r in 1..8 {
+            for h in 0..4 {
+                let src = topo.racks()[r].hosts[h];
+                let c = sim.open_connection(SimTime::ZERO, src, dst, 80).expect("open");
+                sim.send_message(c, SimTime::from_micros(10), 200_000, 0, SimDuration::ZERO)
+                    .expect("send");
+                conns.push(c);
+            }
+        }
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        let down = topo.host_downlink(dst);
+        assert!(
+            out.link_counters[down.index()].drop_packets > 0,
+            "incast into a tiny shared buffer must drop"
+        );
+        // Retransmission still completes all 28 requests.
+        assert_eq!(out.completed_requests, 28);
+    }
+
+    #[test]
+    fn buffer_sampler_produces_windows() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let rsw = topo.racks()[0].rsw;
+        sim.sample_buffers(
+            SimDuration::from_micros(10),
+            SimDuration::from_millis(10),
+            vec![rsw],
+        );
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(conn, SimTime::ZERO, 1_000_000, 0, SimDuration::ZERO)
+            .expect("send");
+        sim.run_until(SimTime::from_millis(35));
+        let (out, _) = sim.finish();
+        assert!(out.buffer_stats.len() >= 3, "got {}", out.buffer_stats.len());
+        for w in &out.buffer_stats {
+            assert_eq!(w.switch, rsw);
+            assert!(w.max >= w.median);
+            assert!(w.capacity > 0);
+            assert!(w.samples > 0);
+        }
+        // Windows are in time order.
+        for pair in out.buffer_stats.windows(2) {
+            assert!(pair[0].window_start <= pair[1].window_start);
+        }
+    }
+
+    #[test]
+    fn api_validation_errors() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        assert_eq!(
+            sim.open_connection(SimTime::ZERO, a, a, 80).unwrap_err(),
+            SimError::SelfConnection(a)
+        );
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        assert_eq!(
+            sim.send_message(conn, SimTime::ZERO, 0, 0, SimDuration::ZERO).unwrap_err(),
+            SimError::EmptyRequest
+        );
+        assert!(matches!(
+            sim.send_message(ConnId { idx: 99, gen: 0 }, SimTime::ZERO, 1, 0, SimDuration::ZERO),
+            Err(SimError::NoSuchConn(_))
+        ));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(matches!(
+            sim.open_connection(SimTime::ZERO, a, b, 80),
+            Err(SimError::TimeInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn close_emits_fin_and_blocks_messages() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        sim.watch_link(topo.host_uplink(a));
+        sim.watch_link(topo.host_downlink(a));
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.close_connection(conn, SimTime::from_millis(1)).expect("close");
+        // Message scheduled after the close fires: counted, not sent.
+        sim.send_message(conn, SimTime::from_millis(2), 100, 0, SimDuration::ZERO)
+            .expect("scheduling is allowed; rejection happens at fire time");
+        sim.run_until(SimTime::from_millis(50));
+        let (out, tap) = sim.finish();
+        assert_eq!(out.messages_on_closed, 1);
+        let kinds: Vec<PacketKind> = tap.pkts.iter().map(|(_, _, p)| p.kind).collect();
+        assert!(kinds.contains(&PacketKind::Fin));
+        assert!(kinds.contains(&PacketKind::FinAck));
+    }
+
+    #[test]
+    fn window_caps_in_flight_segments() {
+        // With a window of 4 segments, at most 4 unacknowledged data
+        // packets are on the wire at once: observe the uplink and count
+        // data packets between ACK arrivals.
+        let topo = two_cluster_topo();
+        let mut cfg = SimConfig::default();
+        cfg.window_segments = 4;
+        let mut sim = Simulator::new(Arc::clone(&topo), cfg, Collector::default())
+            .expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        sim.watch_link(topo.host_uplink(a));
+        sim.watch_link(topo.host_downlink(a));
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(conn, SimTime::ZERO, 100_000, 0, SimDuration::ZERO).expect("send");
+        sim.run_to_quiescence();
+        let (_, tap) = sim.finish();
+        // Replay the tap chronologically: outstanding = data packets put
+        // on the wire minus the cumulative count acknowledged.
+        let mut sent: i64 = 0;
+        let mut acked: i64 = 0;
+        let mut max_outstanding: i64 = 0;
+        let mut events: Vec<&(SimTime, LinkId, Packet)> = tap.pkts.iter().collect();
+        events.sort_by_key(|(t, _, _)| *t);
+        for (_, _, p) in events {
+            match p.kind {
+                PacketKind::Data { .. } if p.dir == Dir::ClientToServer => {
+                    sent += 1;
+                    max_outstanding = max_outstanding.max(sent - acked);
+                }
+                PacketKind::Ack if p.dir == Dir::ServerToClient => {
+                    // Cumulative ack: seq = total segments acknowledged.
+                    acked = acked.max(p.seq as i64);
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            max_outstanding <= 4,
+            "window violated: {max_outstanding} unacked data packets on the wire"
+        );
+    }
+
+    #[test]
+    fn delayed_ack_ratio_is_one_per_two_segments() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        sim.watch_link(topo.host_downlink(a));
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        // One long one-way transfer: 100 full segments (no boundary ACKs
+        // except the last).
+        sim.send_message(conn, SimTime::ZERO, 1460 * 100, 0, SimDuration::ZERO)
+            .expect("send");
+        sim.run_to_quiescence();
+        let (_, tap) = sim.finish();
+        let acks = tap
+            .pkts
+            .iter()
+            .filter(|(_, _, p)| p.kind == PacketKind::Ack && p.dir == Dir::ServerToClient)
+            .count();
+        // 100 segments at 1 ACK per 2 → ≈50 (+1 for the boundary).
+        assert!((48..=52).contains(&acks), "acks {acks}");
+    }
+
+    #[test]
+    fn dt_admission_caps_single_queue_at_alpha_fraction() {
+        // With alpha = 1 a single hot egress queue can occupy at most half
+        // the shared pool: backlog <= alpha * (capacity - occupancy)
+        // implies backlog <= capacity / 2 when it is the only user.
+        let topo = two_cluster_topo();
+        let mut cfg = SimConfig::default();
+        cfg.rsw_buffer = crate::config::BufferConfig { shared_bytes: 64 << 10, alpha: 1.0 };
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("config");
+        let dst = topo.racks()[0].hosts[0];
+        let rsw = topo.racks()[0].rsw;
+        sim.sample_buffers(
+            SimDuration::from_micros(2),
+            SimDuration::from_millis(100),
+            vec![rsw],
+        );
+        // Hammer one downlink from many senders.
+        for r in 1..8 {
+            for h in 0..4 {
+                let src = topo.racks()[r].hosts[h];
+                let c = sim.open_connection(SimTime::ZERO, src, dst, 80).expect("open");
+                sim.send_message(c, SimTime::from_micros(1), 500_000, 0, SimDuration::ZERO)
+                    .expect("send");
+            }
+        }
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        let max_occ = out.buffer_stats.iter().map(|w| w.max).max().expect("windows");
+        let cap = 64 << 10;
+        assert!(
+            max_occ <= cap / 2 + 1600,
+            "DT should cap a single queue near half the pool: {max_occ} of {cap}"
+        );
+        assert!(max_occ > cap / 4, "the hot queue should reach the DT ceiling: {max_occ}");
+    }
+
+    #[test]
+    fn latency_recording_measures_rpc_round_trips() {
+        let topo = two_cluster_topo();
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        sim.record_latencies(true);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        // One RPC with a 1-ms service time and one one-way message.
+        sim.send_message(conn, SimTime::ZERO, 500, 1000, SimDuration::from_millis(1))
+            .expect("send");
+        sim.send_message(conn, SimTime::from_millis(5), 500, 0, SimDuration::ZERO)
+            .expect("send");
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        assert_eq!(out.rpc_latencies.len(), 2);
+        // The RPC includes the service time; the one-way does not.
+        let max = out.rpc_latencies.iter().max().expect("non-empty");
+        let min = out.rpc_latencies.iter().min().expect("non-empty");
+        assert!(*max >= SimDuration::from_millis(1), "rpc latency {max}");
+        assert!(*min < SimDuration::from_millis(1), "one-way latency {min}");
+    }
+
+    #[test]
+    fn latency_recording_off_by_default() {
+        let topo = two_cluster_topo();
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(conn, SimTime::ZERO, 500, 1000, SimDuration::ZERO).expect("send");
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        assert!(out.rpc_latencies.is_empty());
+    }
+
+    #[test]
+    fn connection_slots_are_recycled_after_quarantine() {
+        let topo = two_cluster_topo();
+        let mut sim = sim_with_collector(&topo);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let quarantine = sim.config().conn_quarantine;
+
+        let c1 = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(c1, SimTime::ZERO, 100, 100, SimDuration::ZERO).expect("send");
+        sim.close_connection(c1, SimTime::from_millis(5)).expect("close");
+        sim.run_until(SimTime::from_millis(5) + quarantine + SimDuration::from_millis(1));
+
+        // The freed slot is reused with a bumped generation.
+        let c2 = sim.open_connection(sim.now(), a, b, 80).expect("open");
+        assert_eq!(c2.idx, c1.idx);
+        assert_eq!(c2.gen, c1.gen + 1);
+
+        // The stale handle is rejected, the fresh one works.
+        assert_eq!(
+            sim.send_message(c1, sim.now(), 1, 0, SimDuration::ZERO).unwrap_err(),
+            SimError::NoSuchConn(c1)
+        );
+        sim.send_message(c2, sim.now(), 100, 100, SimDuration::ZERO).expect("send on reused");
+        sim.run_until(sim.now() + SimDuration::from_millis(50));
+        let (out, _) = sim.finish();
+        assert_eq!(out.completed_requests, 2);
+    }
+
+    #[test]
+    fn many_ephemeral_connections_bound_the_table() {
+        let topo = two_cluster_topo();
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        // Open/close 2000 short connections, one every 500 µs; with a
+        // 200-ms quarantine the live set stays in the hundreds.
+        let mut t = SimTime::ZERO;
+        for _ in 0..2000 {
+            let c = sim.open_connection(t, a, b, 80).expect("open");
+            sim.send_message(c, t, 200, 200, SimDuration::ZERO).expect("send");
+            sim.close_connection(c, t + SimDuration::from_millis(2)).expect("close");
+            t += SimDuration::from_micros(500);
+            sim.run_until(t);
+        }
+        sim.run_to_quiescence();
+        assert!(
+            sim.conns.len() < 1000,
+            "slot reuse should bound the table: {}",
+            sim.conns.len()
+        );
+        let (out, _) = sim.finish();
+        assert_eq!(out.completed_requests, 2000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let topo = two_cluster_topo();
+        let run = || {
+            let mut sim = sim_with_collector(&topo);
+            let a = topo.racks()[0].hosts[0];
+            let b = topo.racks()[2].hosts[1];
+            sim.watch_link(topo.host_uplink(a));
+            let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+            for i in 0..50 {
+                sim.send_message(
+                    conn,
+                    SimTime::from_micros(i * 37),
+                    700 + i * 13,
+                    300,
+                    SimDuration::from_micros(20),
+                )
+                .expect("send");
+            }
+            sim.run_until(SimTime::from_millis(200));
+            let (out, tap) = sim.finish();
+            (out.delivered_packets, tap.pkts.len(), tap.pkts.last().map(|(t, _, _)| *t))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inter_datacenter_rtt_reflects_backbone_propagation() {
+        // Build a two-DC plant and check a cross-DC response takes > 2 ms
+        // (two backbone traversals at 1 ms each, there and back).
+        let spec = TopologySpec {
+            sites: vec![
+                sonet_topology::SiteSpec {
+                    datacenters: vec![sonet_topology::DatacenterSpec {
+                        clusters: vec![ClusterSpec::frontend(4, 2)],
+                    }],
+                },
+                sonet_topology::SiteSpec {
+                    datacenters: vec![sonet_topology::DatacenterSpec {
+                        clusters: vec![ClusterSpec::cache(2, 2)],
+                    }],
+                },
+            ],
+            ..TopologySpec::default()
+        };
+        let topo = Arc::new(Topology::build(spec).expect("valid"));
+        let mut sim = sim_with_collector(&topo);
+        let web = topo.hosts_with_role(sonet_topology::HostRole::Web)[0];
+        let leader = topo.hosts_with_role(sonet_topology::HostRole::CacheLeader)[0];
+        sim.watch_link(topo.host_downlink(web));
+        let conn = sim.open_connection(SimTime::ZERO, web, leader, 11211).expect("open");
+        sim.send_message(conn, SimTime::ZERO, 100, 100, SimDuration::ZERO)
+            .expect("send");
+        sim.run_until(SimTime::from_millis(100));
+        let (_, tap) = sim.finish();
+        let resp_at = tap
+            .pkts
+            .iter()
+            .find(|(_, _, p)| p.kind.is_data() && p.dir == Dir::ServerToClient)
+            .map(|(t, _, _)| *t)
+            .expect("response observed");
+        // SYN + SYN-ACK + request + response = 4 one-way backbone crossings.
+        assert!(resp_at >= SimTime::from_millis(4), "resp at {resp_at}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Packets and flow identity.
+//!
+//! A [`FlowKey`] is the 5-tuple the paper aggregates by (§5.1 "flows
+//! (defined by 5-tuple)"); protocol is always TCP in our model, so the key
+//! stores the two hosts and two ports. [`Packet`] is the header view a tap
+//! observes — there is no payload, only sizes, which is faithful to the
+//! paper's packet-*header* traces.
+
+use serde::{Deserialize, Serialize};
+use sonet_topology::HostId;
+use std::fmt;
+
+/// Handle to a connection opened on the simulator.
+///
+/// Connection slots are recycled once a connection has been closed and
+/// quarantined (ephemeral services like Hadoop open hundreds of
+/// connections per second per host, §6.2); the generation tag makes stale
+/// handles and in-flight packets from a previous occupant detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConnId {
+    /// Slot index in the simulator's connection table.
+    pub idx: u32,
+    /// Incarnation of the slot.
+    pub gen: u32,
+}
+
+impl ConnId {
+    /// Dense index into the simulator's connection table.
+    pub const fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}.{}", self.idx, self.gen)
+    }
+}
+
+/// Direction of a packet within its connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// From the connection opener toward the accepting host.
+    ClientToServer,
+    /// From the accepting host back to the opener.
+    ServerToClient,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::ClientToServer => Dir::ServerToClient,
+            Dir::ServerToClient => Dir::ClientToServer,
+        }
+    }
+}
+
+/// TCP 5-tuple (protocol fixed to TCP).
+///
+/// `src`/`dst` are the *client* and *server* of the connection; a concrete
+/// packet's on-the-wire source/destination depend on its [`Dir`] (see
+/// [`Packet::wire_src`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Connection-opening host.
+    pub client: HostId,
+    /// Accepting host.
+    pub server: HostId,
+    /// Ephemeral port on the client.
+    pub client_port: u16,
+    /// Service port on the server (identifies the service).
+    pub server_port: u16,
+}
+
+impl FlowKey {
+    /// A stable hash used for ECMP path selection, mimicking switch
+    /// hardware hashing of the 5-tuple (FNV-1a over the tuple fields).
+    pub fn ecmp_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [
+            self.client.0 as u64,
+            self.server.0 as u64,
+            self.client_port as u64,
+            self.server_port as u64,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{}",
+            self.client, self.client_port, self.server, self.server_port
+        )
+    }
+}
+
+/// Packet type, as classified from TCP header flags in a real trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Connection request.
+    Syn,
+    /// Connection accept.
+    SynAck,
+    /// Data segment. `last_of_msg` marks a PSH-flagged message boundary.
+    Data {
+        /// True for the final segment of an application message.
+        last_of_msg: bool,
+    },
+    /// Pure acknowledgement (no payload).
+    Ack,
+    /// Connection teardown.
+    Fin,
+    /// Teardown acknowledgement.
+    FinAck,
+}
+
+impl PacketKind {
+    /// True for segments that carry application payload.
+    pub fn is_data(self) -> bool {
+        matches!(self, PacketKind::Data { .. })
+    }
+}
+
+/// A packet header as seen by a tap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Connection this packet belongs to.
+    pub conn: ConnId,
+    /// 5-tuple.
+    pub key: FlowKey,
+    /// Direction within the connection.
+    pub dir: Dir,
+    /// Header-derived type.
+    pub kind: PacketKind,
+    /// Cumulative sequence meaning: for `Data`, the segment index within
+    /// the direction; for `Ack`/`FinAck`, the cumulative count of segments
+    /// acknowledged.
+    pub seq: u64,
+    /// Application message index this segment belongs to (Data only).
+    pub msg: u32,
+    /// Application payload bytes carried.
+    pub payload: u32,
+    /// Total bytes on the wire (payload + Ethernet/IP/TCP framing).
+    pub wire_bytes: u32,
+}
+
+impl Packet {
+    /// The transmitting host of this packet, given its direction.
+    pub fn wire_src(&self) -> HostId {
+        match self.dir {
+            Dir::ClientToServer => self.key.client,
+            Dir::ServerToClient => self.key.server,
+        }
+    }
+
+    /// The receiving host of this packet.
+    pub fn wire_dst(&self) -> HostId {
+        match self.dir {
+            Dir::ClientToServer => self.key.server,
+            Dir::ServerToClient => self.key.client,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            client: HostId(1),
+            server: HostId(2),
+            client_port: 40000,
+            server_port: 80,
+        }
+    }
+
+    #[test]
+    fn ecmp_hash_is_stable_and_tuple_sensitive() {
+        let a = key();
+        let mut b = key();
+        assert_eq!(a.ecmp_hash(), b.ecmp_hash());
+        b.client_port = 40001;
+        assert_ne!(a.ecmp_hash(), b.ecmp_hash());
+    }
+
+    #[test]
+    fn wire_endpoints_follow_direction() {
+        let p = Packet {
+            conn: ConnId { idx: 0, gen: 0 },
+            key: key(),
+            dir: Dir::ServerToClient,
+            kind: PacketKind::Ack,
+            seq: 5,
+            msg: 0,
+            payload: 0,
+            wire_bytes: 66,
+        };
+        assert_eq!(p.wire_src(), HostId(2));
+        assert_eq!(p.wire_dst(), HostId(1));
+        assert_eq!(p.dir.flip(), Dir::ClientToServer);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(PacketKind::Data { last_of_msg: true }.is_data());
+        assert!(!PacketKind::Ack.is_data());
+        assert!(!PacketKind::Syn.is_data());
+    }
+}

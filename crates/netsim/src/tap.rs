@@ -1,0 +1,80 @@
+//! Packet observation.
+//!
+//! A [`PacketTap`] receives every packet the engine transmits on a
+//! *watched* link, timestamped at the end of serialization on that link —
+//! the moment a mirror port or an end-host capture would see it. The
+//! telemetry crate implements the paper's two collection systems
+//! (port mirroring and Fbflow sampling) on top of this trait.
+
+use crate::packet::Packet;
+use sonet_topology::LinkId;
+use sonet_util::SimTime;
+
+/// Observer of packets on watched links.
+pub trait PacketTap {
+    /// Called once per packet per watched link, in non-decreasing time
+    /// order per link.
+    fn on_packet(&mut self, at: SimTime, link: LinkId, pkt: &Packet);
+}
+
+/// A tap that ignores everything (for simulations without telemetry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTap;
+
+impl PacketTap for NullTap {
+    fn on_packet(&mut self, _at: SimTime, _link: LinkId, _pkt: &Packet) {}
+}
+
+impl<T: PacketTap + ?Sized> PacketTap for &mut T {
+    fn on_packet(&mut self, at: SimTime, link: LinkId, pkt: &Packet) {
+        (**self).on_packet(at, link, pkt)
+    }
+}
+
+impl<T: PacketTap + ?Sized> PacketTap for Box<T> {
+    fn on_packet(&mut self, at: SimTime, link: LinkId, pkt: &Packet) {
+        (**self).on_packet(at, link, pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{ConnId, Dir, FlowKey, PacketKind};
+    use sonet_topology::HostId;
+
+    struct Counting(u32);
+    impl PacketTap for Counting {
+        fn on_packet(&mut self, _at: SimTime, _link: LinkId, _pkt: &Packet) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn tap_forwarding_through_references_and_boxes() {
+        let pkt = Packet {
+            conn: ConnId { idx: 0, gen: 0 },
+            key: FlowKey {
+                client: HostId(0),
+                server: HostId(1),
+                client_port: 1,
+                server_port: 2,
+            },
+            dir: Dir::ClientToServer,
+            kind: PacketKind::Ack,
+            seq: 0,
+            msg: 0,
+            payload: 0,
+            wire_bytes: 66,
+        };
+        let mut c = Counting(0);
+        {
+            let by_ref: &mut Counting = &mut c;
+            by_ref.on_packet(SimTime::ZERO, LinkId(0), &pkt);
+        }
+        let mut boxed: Box<Counting> = Box::new(c);
+        boxed.on_packet(SimTime::ZERO, LinkId(0), &pkt);
+        assert_eq!(boxed.0, 2);
+        NullTap.on_packet(SimTime::ZERO, LinkId(0), &pkt); // no panic
+    }
+}

@@ -1,0 +1,174 @@
+//! Trace serialization: JSONL export/import of captures and samples.
+//!
+//! The paper's workflow "spooled \[captures\] to remote storage for
+//! analysis" (§3.3.2); this module is that hand-off. One JSON object per
+//! line keeps files streamable and greppable, and the reader tolerates
+//! (and counts) malformed lines rather than aborting a multi-gigabyte
+//! import at the first bad record.
+
+use crate::records::{FlowRecord, PacketRecord};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Import statistics: what was read and what was rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportStats {
+    /// Records successfully parsed.
+    pub ok: u64,
+    /// Lines that failed to parse and were skipped.
+    pub bad: u64,
+}
+
+/// Writes packet records as JSONL.
+pub fn write_packets<W: Write>(out: W, records: &[PacketRecord]) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    for r in records {
+        serde_json::to_writer(&mut w, r)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads packet records from JSONL, skipping malformed lines.
+pub fn read_packets<R: Read>(input: R) -> io::Result<(Vec<PacketRecord>, ImportStats)> {
+    let mut records = Vec::new();
+    let mut stats = ImportStats::default();
+    for line in BufReader::new(input).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<PacketRecord>(&line) {
+            Ok(r) => {
+                records.push(r);
+                stats.ok += 1;
+            }
+            Err(_) => stats.bad += 1,
+        }
+    }
+    Ok((records, stats))
+}
+
+/// Writes Fbflow samples as JSONL.
+pub fn write_flows<W: Write>(out: W, records: &[FlowRecord]) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    for r in records {
+        serde_json::to_writer(&mut w, r)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads Fbflow samples from JSONL, skipping malformed lines.
+pub fn read_flows<R: Read>(input: R) -> io::Result<(Vec<FlowRecord>, ImportStats)> {
+    let mut records = Vec::new();
+    let mut stats = ImportStats::default();
+    for line in BufReader::new(input).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<FlowRecord>(&line) {
+            Ok(r) => {
+                records.push(r);
+                stats.ok += 1;
+            }
+            Err(_) => stats.bad += 1,
+        }
+    }
+    Ok((records, stats))
+}
+
+/// Writes a demand matrix as CSV (plotting hand-off for Fig 5).
+pub fn write_matrix_csv<W: Write>(out: W, matrix: &[Vec<u64>]) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    for row in matrix {
+        let line = row
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_netsim::{ConnId, Dir, FlowKey, Packet, PacketKind};
+    use sonet_topology::{HostId, LinkId};
+    use sonet_util::SimTime;
+
+    fn pkt_record(at_us: u64, wire: u32) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_micros(at_us),
+            link: LinkId(3),
+            pkt: Packet {
+                conn: ConnId { idx: 7, gen: 1 },
+                key: FlowKey {
+                    client: HostId(1),
+                    server: HostId(2),
+                    client_port: 999,
+                    server_port: 80,
+                },
+                dir: Dir::ClientToServer,
+                kind: PacketKind::Data { last_of_msg: true },
+                seq: 5,
+                msg: 2,
+                payload: wire - 66,
+                wire_bytes: wire,
+            },
+        }
+    }
+
+    #[test]
+    fn packets_round_trip() {
+        let records = vec![pkt_record(0, 100), pkt_record(5, 1526)];
+        let mut buf = Vec::new();
+        write_packets(&mut buf, &records).expect("write");
+        let (back, stats) = read_packets(buf.as_slice()).expect("read");
+        assert_eq!(back, records);
+        assert_eq!(stats, ImportStats { ok: 2, bad: 0 });
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let records = vec![pkt_record(0, 100)];
+        let mut buf = Vec::new();
+        write_packets(&mut buf, &records).expect("write");
+        buf.extend_from_slice(b"{not json}\n\n");
+        write_packets(&mut buf, &records).expect("append");
+        let (back, stats) = read_packets(buf.as_slice()).expect("read");
+        assert_eq!(back.len(), 2);
+        assert_eq!(stats, ImportStats { ok: 2, bad: 1 });
+    }
+
+    #[test]
+    fn flows_round_trip() {
+        let records = vec![FlowRecord {
+            at: SimTime::from_secs(1),
+            capture_host: HostId(0),
+            src: HostId(0),
+            dst: HostId(1),
+            src_port: 40000,
+            dst_port: 80,
+            bytes: 1234,
+            packets: 3,
+        }];
+        let mut buf = Vec::new();
+        write_flows(&mut buf, &records).expect("write");
+        let (back, stats) = read_flows(buf.as_slice()).expect("read");
+        assert_eq!(back, records);
+        assert_eq!(stats.ok, 1);
+    }
+
+    #[test]
+    fn matrix_csv_layout() {
+        let m = vec![vec![1u64, 2], vec![3, 4]];
+        let mut buf = Vec::new();
+        write_matrix_csv(&mut buf, &m).expect("write");
+        assert_eq!(String::from_utf8(buf).expect("utf8"), "1,2\n3,4\n");
+    }
+}

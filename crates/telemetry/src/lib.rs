@@ -1,0 +1,36 @@
+//! # sonet-telemetry
+//!
+//! The measurement infrastructure of §3.3 of the paper, rebuilt over the
+//! simulator:
+//!
+//! * **Fbflow** (§3.3.1, Fig 3) — every machine samples its own packet
+//!   headers at 1:30 000 via an nflog-style hook ([`FbflowSampler`]); a
+//!   tagger annotates each sample with rack/cluster/datacenter/role
+//!   metadata ([`Tagger`]); annotated rows land in a Scuba-like in-memory
+//!   analytics table ([`ScubaTable`]) with per-minute aggregation.
+//! * **Port mirroring** (§3.3.2) — the RSW mirrors one host's (or rack's)
+//!   ports, bi-directionally and without loss, into a RAM-bounded capture
+//!   buffer ([`PortMirror`]); captures are full-fidelity but limited to
+//!   minutes, exactly like the paper's pinned-RAM collection servers.
+//!
+//! Switch-side telemetry (SNMP egress-drop counters, 10-µs buffer
+//! occupancy sampling used by §6.3/Fig 15) is produced by the engine
+//! itself (`sonet_netsim::SimOutputs`); this crate provides the capture
+//! side of the house.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod fbflow;
+pub mod mirror;
+pub mod records;
+pub mod scuba;
+pub mod taps;
+
+pub use export::ImportStats;
+pub use fbflow::{FbflowConfig, FbflowSampler, Tagger};
+pub use mirror::PortMirror;
+pub use records::{FlowRecord, PacketRecord, TaggedRecord};
+pub use scuba::ScubaTable;
+pub use taps::TapPair;

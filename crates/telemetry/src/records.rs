@@ -1,0 +1,74 @@
+//! Record types produced by the collection systems.
+
+use serde::{Deserialize, Serialize};
+use sonet_netsim::Packet;
+use sonet_topology::{ClusterId, ClusterType, DatacenterId, HostId, HostRole, Locality, LinkId, RackId};
+use sonet_util::SimTime;
+
+/// A full packet-header capture (port mirroring output).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Capture timestamp (end of serialization on the mirrored port).
+    pub at: SimTime,
+    /// The mirrored link the packet crossed.
+    pub link: LinkId,
+    /// The packet header.
+    pub pkt: Packet,
+}
+
+/// One Fbflow sample (or one flow-tier observation): the parsed header
+/// fields an agent extracts, before tagging.
+///
+/// `bytes`/`packets` are the *represented* amounts: for a packet-tier
+/// sample this is one packet's wire size; for the fleet flow tier it can
+/// aggregate many packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Sample timestamp.
+    pub at: SimTime,
+    /// The machine whose agent captured this sample.
+    pub capture_host: HostId,
+    /// Transmitting host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Wire bytes represented by this record.
+    pub bytes: u64,
+    /// Packets represented by this record.
+    pub packets: u64,
+}
+
+/// A record after the tagger joined it with topology metadata (§3.3.1:
+/// "taggers ... annotate it with additional information such as the rack
+/// and cluster containing the machine").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaggedRecord {
+    /// The underlying sample.
+    pub rec: FlowRecord,
+    /// Role of the transmitting host.
+    pub src_role: HostRole,
+    /// Role of the receiving host.
+    pub dst_role: HostRole,
+    /// Rack of the transmitting host.
+    pub src_rack: RackId,
+    /// Rack of the receiving host.
+    pub dst_rack: RackId,
+    /// Cluster of the transmitting host.
+    pub src_cluster: ClusterId,
+    /// Cluster of the receiving host.
+    pub dst_cluster: ClusterId,
+    /// Type of the source cluster.
+    pub src_cluster_type: ClusterType,
+    /// Type of the destination cluster.
+    pub dst_cluster_type: ClusterType,
+    /// Datacenter of the transmitting host.
+    pub src_dc: DatacenterId,
+    /// Datacenter of the receiving host.
+    pub dst_dc: DatacenterId,
+    /// Distance class between the endpoints.
+    pub locality: Locality,
+}

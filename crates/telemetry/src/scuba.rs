@@ -1,0 +1,150 @@
+//! A Scuba-like in-memory analytics table (§3.3.1: "feed it into Scuba, a
+//! real-time data analytics system"), with the per-minute aggregation
+//! granularity the paper notes Fbflow operates at in production.
+
+use crate::records::TaggedRecord;
+use sonet_util::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// In-memory table of tagged Fbflow rows with simple group-by queries.
+#[derive(Debug, Clone, Default)]
+pub struct ScubaTable {
+    rows: Vec<TaggedRecord>,
+}
+
+impl ScubaTable {
+    /// Wraps tagged rows into a table.
+    pub fn from_rows(rows: Vec<TaggedRecord>) -> ScubaTable {
+        ScubaTable { rows }
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[TaggedRecord] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total represented bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.rows.iter().map(|r| r.rec.bytes).sum()
+    }
+
+    /// Sums represented bytes grouped by an arbitrary key.
+    pub fn bytes_by<K: Eq + std::hash::Hash>(
+        &self,
+        key: impl Fn(&TaggedRecord) -> K,
+    ) -> HashMap<K, u64> {
+        let mut out = HashMap::new();
+        for row in &self.rows {
+            *out.entry(key(row)).or_insert(0) += row.rec.bytes;
+        }
+        out
+    }
+
+    /// Retains only rows matching the predicate (Scuba query filter).
+    pub fn filtered(&self, pred: impl Fn(&TaggedRecord) -> bool) -> ScubaTable {
+        ScubaTable {
+            rows: self.rows.iter().copied().filter(|r| pred(r)).collect(),
+        }
+    }
+
+    /// Per-minute represented-byte series (production Fbflow "aggregates
+    /// statistics at a per-minute granularity").
+    pub fn per_minute_bytes(&self) -> Vec<(u64, u64)> {
+        let minute = SimDuration::from_secs(60);
+        let mut acc: HashMap<u64, u64> = HashMap::new();
+        for row in &self.rows {
+            *acc.entry(row.rec.at.bin_index(minute)).or_insert(0) += row.rec.bytes;
+        }
+        let mut out: Vec<(u64, u64)> = acc.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Appends another table's rows (merging tagger shards).
+    pub fn merge(&mut self, other: ScubaTable) {
+        self.rows.extend(other.rows);
+    }
+}
+
+/// Helper for tests and benches: the minute index of a timestamp.
+pub fn minute_of(at: SimTime) -> u64 {
+    at.bin_index(SimDuration::from_secs(60))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{FlowRecord, TaggedRecord};
+    use sonet_topology::{ClusterId, ClusterType, DatacenterId, HostId, HostRole, Locality, RackId};
+
+    fn row(at_secs: u64, bytes: u64, locality: Locality) -> TaggedRecord {
+        TaggedRecord {
+            rec: FlowRecord {
+                at: SimTime::from_secs(at_secs),
+                capture_host: HostId(0),
+                src: HostId(0),
+                dst: HostId(1),
+                src_port: 1,
+                dst_port: 2,
+                bytes,
+                packets: 1,
+            },
+            src_role: HostRole::Web,
+            dst_role: HostRole::CacheFollower,
+            src_rack: RackId(0),
+            dst_rack: RackId(1),
+            src_cluster: ClusterId(0),
+            dst_cluster: ClusterId(0),
+            src_cluster_type: ClusterType::Frontend,
+            dst_cluster_type: ClusterType::Frontend,
+            src_dc: DatacenterId(0),
+            dst_dc: DatacenterId(0),
+            locality,
+        }
+    }
+
+    #[test]
+    fn totals_and_groupby() {
+        let t = ScubaTable::from_rows(vec![
+            row(0, 100, Locality::IntraCluster),
+            row(1, 200, Locality::IntraCluster),
+            row(2, 50, Locality::IntraRack),
+        ]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_bytes(), 350);
+        let by_loc = t.bytes_by(|r| r.locality);
+        assert_eq!(by_loc[&Locality::IntraCluster], 300);
+        assert_eq!(by_loc[&Locality::IntraRack], 50);
+    }
+
+    #[test]
+    fn filter_and_merge() {
+        let mut t = ScubaTable::from_rows(vec![row(0, 100, Locality::IntraRack)]);
+        let only_cluster = t.filtered(|r| r.locality == Locality::IntraCluster);
+        assert!(only_cluster.is_empty());
+        t.merge(ScubaTable::from_rows(vec![row(0, 10, Locality::IntraCluster)]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn per_minute_rollup() {
+        let t = ScubaTable::from_rows(vec![
+            row(10, 100, Locality::IntraRack),
+            row(59, 100, Locality::IntraRack),
+            row(61, 500, Locality::IntraRack),
+        ]);
+        let series = t.per_minute_bytes();
+        assert_eq!(series, vec![(0, 200), (1, 500)]);
+        assert_eq!(minute_of(SimTime::from_secs(61)), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! The next-generation *Fabric* topology (§3.1, \[9\]).
+//!
+//! "Work is underway, however, to migrate Facebook's datacenters to a
+//! next-generation Fabric architecture. ... servers are no longer grouped
+//! into clusters physically (instead, they comprise pods where all pods
+//! in a datacenter have high connectivity), the high-level logical notion
+//! of a cluster for server management purposes still exists."
+//!
+//! In the Fabric design every pod has a small number of racks whose RSWs
+//! ("fabric edge") connect to four *fabric switches* per pod, which in
+//! turn connect to four *spine planes* spanning the datacenter. We model
+//! this re-using the 4-post machinery: a pod is built like a small
+//! cluster (its four "CSWs" act as fabric switches), the FC layer acts as
+//! the spine planes, and — crucially — provisioning is uniform, giving
+//! the full-bisection pod-to-pod connectivity the design promises.
+//!
+//! The paper's observation about this migration is that the *logical*
+//! cluster traffic pattern survives it: "the rack-to-rack traffic matrix
+//! of a Frontend 'cluster' inside one of the new Fabric datacenters over
+//! a day-long period (not shown) looks similar to that shown in
+//! Figure 5." [`fabric_like_spec`] exists so experiments can check the
+//! same invariance here.
+
+use crate::spec::{ClusterSpec, DatacenterSpec, RackSpec, SiteSpec, TopologySpec};
+
+/// Number of racks per Fabric pod (the published design uses 48 but any
+/// small, uniform pod works for structural experiments).
+pub const RACKS_PER_POD: u32 = 4;
+
+/// Converts a cluster-oriented spec into a Fabric-style one: the same
+/// racks (in the same logical order, preserving role blocks) regrouped
+/// into uniform pods of [`RACKS_PER_POD`] racks, with spine-plane
+/// provisioning scaled up so pods have high mutual connectivity.
+///
+/// Logical cluster membership is not represented physically — exactly the
+/// migration the paper describes. Analyses that need the *logical*
+/// cluster (e.g. Fig 5's "Frontend 'cluster'") should group racks by
+/// their position blocks rather than by `ClusterId`.
+pub fn fabric_like_spec(clustered: &TopologySpec) -> TopologySpec {
+    let mut sites = Vec::with_capacity(clustered.sites.len());
+    for site in &clustered.sites {
+        let mut datacenters = Vec::with_capacity(site.datacenters.len());
+        for dc in &site.datacenters {
+            // Flatten all racks in logical order.
+            let racks: Vec<RackSpec> = dc
+                .clusters
+                .iter()
+                .flat_map(|c| c.racks.iter().cloned())
+                .collect();
+            // Regroup into uniform pods. Pod "type" is inherited from the
+            // majority role purely for reporting; Fabric pods are not
+            // deployment units.
+            let mut pods = Vec::new();
+            for chunk in racks.chunks(RACKS_PER_POD as usize) {
+                let ctype = dominant_type(chunk);
+                pods.push(ClusterSpec { ctype, racks: chunk.to_vec() });
+            }
+            datacenters.push(DatacenterSpec { clusters: pods });
+        }
+        sites.push(SiteSpec { datacenters });
+    }
+    TopologySpec {
+        sites,
+        // Uniform, generous spine provisioning: the defining property of
+        // the Fabric design versus oversubscribed 4-post clusters.
+        fc_count: clustered.fc_count.max(4) * 2,
+        agg_gbps: clustered.agg_gbps,
+        edge_gbps: clustered.edge_gbps,
+        rsw_uplink_gbps: clustered.rsw_uplink_gbps,
+    }
+}
+
+fn dominant_type(racks: &[RackSpec]) -> crate::role::ClusterType {
+    use crate::role::{ClusterType, HostRole};
+    let mut counts = std::collections::HashMap::new();
+    for r in racks {
+        *counts.entry(r.role).or_insert(0u32) += r.hosts;
+    }
+    let top = counts
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .map(|(r, _)| r)
+        .unwrap_or(HostRole::Misc);
+    match top {
+        HostRole::Hadoop => ClusterType::Hadoop,
+        HostRole::CacheLeader => ClusterType::Cache,
+        HostRole::Db => ClusterType::Database,
+        HostRole::Web | HostRole::CacheFollower | HostRole::Slb => ClusterType::Frontend,
+        HostRole::Multifeed | HostRole::Misc => ClusterType::Service,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::role::HostRole;
+    use crate::topology::Topology;
+
+    fn clustered() -> TopologySpec {
+        TopologySpec::single_dc(vec![
+            ClusterSpec::frontend(8, 4),
+            ClusterSpec::hadoop(4, 4),
+        ])
+    }
+
+    #[test]
+    fn fabric_preserves_hosts_and_roles() {
+        let spec = clustered();
+        let fab = fabric_like_spec(&spec);
+        assert_eq!(spec.host_count(), fab.host_count());
+        let t_old = Topology::build(spec).expect("valid");
+        let t_new = Topology::build(fab).expect("valid");
+        for role in HostRole::ALL {
+            assert_eq!(
+                t_old.hosts_with_role(role).len(),
+                t_new.hosts_with_role(role).len(),
+                "{role} count changed in fabric migration"
+            );
+        }
+    }
+
+    #[test]
+    fn fabric_pods_are_uniform_and_small() {
+        let fab = fabric_like_spec(&clustered());
+        let topo = Topology::build(fab).expect("valid");
+        for cluster in topo.clusters() {
+            assert!(cluster.racks.len() <= RACKS_PER_POD as usize);
+        }
+        // 12 racks → 3 pods.
+        assert_eq!(topo.clusters().len(), 3);
+    }
+
+    #[test]
+    fn fabric_rack_order_preserves_logical_blocks() {
+        // Rack i of the fabric plant hosts the same role as rack i of the
+        // clustered plant, so logical-cluster analyses can regroup by
+        // position.
+        let spec = clustered();
+        let t_old = Topology::build(spec.clone()).expect("valid");
+        let t_new = Topology::build(fabric_like_spec(&spec)).expect("valid");
+        assert_eq!(t_old.racks().len(), t_new.racks().len());
+        for (a, b) in t_old.racks().iter().zip(t_new.racks()) {
+            assert_eq!(a.role, b.role);
+        }
+    }
+
+    #[test]
+    fn fabric_spines_scaled_up() {
+        let spec = clustered();
+        let fab = fabric_like_spec(&spec);
+        assert!(fab.fc_count >= 2 * spec.fc_count);
+    }
+}

@@ -1,0 +1,143 @@
+//! Switching-fabric graph primitives: switches, directed links, endpoints.
+//!
+//! The 4-post design of Figure 1 has four switch layers — RSW (top of
+//! rack), CSW (cluster switch), FC ("Fat Cat" intra-datacenter
+//! aggregation), and DR (datacenter router) — plus an abstract backbone
+//! node stitching sites together. Every physical cable is modeled as two
+//! directed [`Link`]s so egress queues on each direction are independent,
+//! which is how real output-queued switches behave.
+
+use crate::ids::{ClusterId, DatacenterId, HostId, RackId, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The layer a switch lives at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchKind {
+    /// Top-of-rack switch (one per rack).
+    Rsw,
+    /// Cluster switch (four per cluster — the "4-post").
+    Csw,
+    /// Fat Cat intra-datacenter aggregation switch.
+    Fc,
+    /// Datacenter router (inter-site traffic).
+    Dr,
+    /// Abstract inter-site backbone.
+    Backbone,
+}
+
+impl fmt::Display for SwitchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SwitchKind::Rsw => "RSW",
+            SwitchKind::Csw => "CSW",
+            SwitchKind::Fc => "FC",
+            SwitchKind::Dr => "DR",
+            SwitchKind::Backbone => "BB",
+        })
+    }
+}
+
+/// A switch and where it sits in the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Switch {
+    /// Layer.
+    pub kind: SwitchKind,
+    /// Containing datacenter (None only for the backbone).
+    pub datacenter: Option<DatacenterId>,
+    /// Containing cluster (RSW and CSW only).
+    pub cluster: Option<ClusterId>,
+    /// Rack (RSW only).
+    pub rack: Option<RackId>,
+}
+
+/// One endpoint of a link: a host NIC or a switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// A server NIC.
+    Host(HostId),
+    /// A switch.
+    Switch(SwitchId),
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Host(h) => write!(f, "{h}"),
+            Node::Switch(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Identifier of a directed link (dense index into [`crate::Topology`]'s
+/// link table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// A directed link between two nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Transmitting endpoint (its egress queue drains into this link).
+    pub from: Node,
+    /// Receiving endpoint.
+    pub to: Node,
+    /// Line rate in Gbps.
+    pub gbps: f64,
+    /// One-way propagation delay in nanoseconds.
+    pub propagation_ns: u64,
+}
+
+impl Link {
+    /// True if this is a host access link in either direction (host ↔ RSW).
+    pub fn touches_host(&self) -> bool {
+        matches!(self.from, Node::Host(_)) || matches!(self.to, Node::Host(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_display() {
+        assert_eq!(Node::Host(HostId(3)).to_string(), "host3");
+        assert_eq!(Node::Switch(SwitchId(9)).to_string(), "sw9");
+    }
+
+    #[test]
+    fn link_touches_host() {
+        let l = Link {
+            from: Node::Host(HostId(0)),
+            to: Node::Switch(SwitchId(0)),
+            gbps: 10.0,
+            propagation_ns: 500,
+        };
+        assert!(l.touches_host());
+        let s = Link {
+            from: Node::Switch(SwitchId(0)),
+            to: Node::Switch(SwitchId(1)),
+            gbps: 40.0,
+            propagation_ns: 500,
+        };
+        assert!(!s.touches_host());
+    }
+
+    #[test]
+    fn switch_kind_labels() {
+        assert_eq!(SwitchKind::Rsw.to_string(), "RSW");
+        assert_eq!(SwitchKind::Backbone.to_string(), "BB");
+    }
+}

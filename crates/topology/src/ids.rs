@@ -1,0 +1,88 @@
+//! Strongly typed identifiers for every entity in the plant.
+//!
+//! All IDs are dense indices assigned at build time (`HostId(3)` is the
+//! fourth host built), which lets lookups be `Vec` indexing rather than hash
+//! maps on the simulator's hot path.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index behind this ID.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(u32::try_from(v).expect("id overflows u32"))
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A single physical server.
+    HostId,
+    "host"
+);
+id_type!(
+    /// A rack of servers sharing one top-of-rack switch.
+    RackId,
+    "rack"
+);
+id_type!(
+    /// A cluster — the unit of deployment (all racks behind one CSW set).
+    ClusterId,
+    "cluster"
+);
+id_type!(
+    /// A datacenter building.
+    DatacenterId,
+    "dc"
+);
+id_type!(
+    /// A datacenter site (campus of buildings plus backbone attachment).
+    SiteId,
+    "site"
+);
+id_type!(
+    /// A switch of any kind (RSW, CSW, FC, DR, backbone).
+    SwitchId,
+    "sw"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(HostId(7).to_string(), "host7");
+        assert_eq!(RackId(3).to_string(), "rack3");
+        assert_eq!(ClusterId(0).index(), 0);
+        let h: HostId = 12usize.into();
+        assert_eq!(h, HostId(12));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(HostId(1) < HostId(2));
+        assert_eq!(SwitchId(5), SwitchId(5));
+    }
+}

@@ -1,0 +1,38 @@
+//! # sonet-topology
+//!
+//! A model of the datacenter plant described in §3.1 of *Inside the Social
+//! Network's (Datacenter) Network* (SIGCOMM 2015): multiple **sites**, each
+//! with one or more **datacenters**, each containing **clusters** of
+//! **racks** of single-role **hosts**, wired through the classic *4-post*
+//! topology of Figure 1 — a top-of-rack switch (RSW) per rack, four cluster
+//! switches (CSWs) per cluster, a *Fat Cat* (FC) aggregation layer for
+//! intra-datacenter traffic, and datacenter routers (DRs) for inter-site
+//! traffic.
+//!
+//! The crate answers the questions the measurement analyses need:
+//!
+//! * *who is where* — role, rack, cluster, datacenter, and site of each host
+//!   ([`Topology`] lookups);
+//! * *how far apart are two hosts* — [`Locality`] classification
+//!   (intra-rack / intra-cluster / intra-datacenter / inter-datacenter),
+//!   the x-axis of Tables 2–3 and the series split of Figs 4, 6, 7, 16, 17;
+//! * *which links does a packet cross* — deterministic ECMP routes over the
+//!   Clos graph, which is what the packet simulator charges queueing and
+//!   serialization against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod graph;
+pub mod ids;
+pub mod role;
+pub mod spec;
+pub mod topology;
+
+pub use fabric::fabric_like_spec;
+pub use graph::{Link, LinkId, Node, Switch, SwitchKind};
+pub use ids::{ClusterId, DatacenterId, HostId, RackId, SiteId, SwitchId};
+pub use role::{ClusterType, HostRole, Locality};
+pub use spec::{ClusterSpec, DatacenterSpec, RackSpec, SiteSpec, TopologySpec};
+pub use topology::{Host, Topology, TopologyError};

@@ -1,0 +1,176 @@
+//! Host roles, cluster types, and traffic locality.
+//!
+//! §3.1: "each machine typically has precisely one role", and "racks
+//! typically contain only servers of the same role". §4.3 / Table 3 groups
+//! clusters into five types (Hadoop, Frontend, Service, Cache, Database)
+//! that together generate 78.6 % of all traffic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The single role a machine plays (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HostRole {
+    /// Stateless HTTP servers running the site's PHP/HHVM tier.
+    Web,
+    /// Cache followers: serve most read requests from within Frontend
+    /// clusters (§3.1, \[15\]).
+    CacheFollower,
+    /// Cache leaders: handle coherency and writes; live in Cache clusters.
+    CacheLeader,
+    /// Offline analysis / data-mining nodes (HDFS + MapReduce).
+    Hadoop,
+    /// News-feed assembly backends (§3.1, \[31\]).
+    Multifeed,
+    /// Layer-4 software load balancers (§3.2, \[37\]).
+    Slb,
+    /// MySQL servers holding user data.
+    Db,
+    /// Everything else: ads, search, messaging, background services.
+    Misc,
+}
+
+impl HostRole {
+    /// All roles, in a stable order (used for report columns).
+    pub const ALL: [HostRole; 8] = [
+        HostRole::Web,
+        HostRole::CacheFollower,
+        HostRole::CacheLeader,
+        HostRole::Hadoop,
+        HostRole::Multifeed,
+        HostRole::Slb,
+        HostRole::Db,
+        HostRole::Misc,
+    ];
+
+    /// Short label used in reports (matches the paper's table headings).
+    pub fn label(self) -> &'static str {
+        match self {
+            HostRole::Web => "Web",
+            HostRole::CacheFollower => "Cache-f",
+            HostRole::CacheLeader => "Cache-l",
+            HostRole::Hadoop => "Hadoop",
+            HostRole::Multifeed => "MF",
+            HostRole::Slb => "SLB",
+            HostRole::Db => "DB",
+            HostRole::Misc => "Rest",
+        }
+    }
+}
+
+impl fmt::Display for HostRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cluster types of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ClusterType {
+    /// Web servers + cache followers + Multifeed + SLB (heterogeneous).
+    Frontend,
+    /// Homogeneous Hadoop racks.
+    Hadoop,
+    /// Cache leader racks.
+    Cache,
+    /// Database racks.
+    Database,
+    /// Miscellaneous supporting services.
+    Service,
+}
+
+impl ClusterType {
+    /// All cluster types in Table 3's column order.
+    pub const ALL: [ClusterType; 5] = [
+        ClusterType::Hadoop,
+        ClusterType::Frontend,
+        ClusterType::Service,
+        ClusterType::Cache,
+        ClusterType::Database,
+    ];
+
+    /// Short label used in reports (Table 3 column headings).
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterType::Frontend => "FE",
+            ClusterType::Hadoop => "Hadoop",
+            ClusterType::Cache => "Cache",
+            ClusterType::Database => "DB",
+            ClusterType::Service => "Svc",
+        }
+    }
+}
+
+impl fmt::Display for ClusterType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How far apart a packet's endpoints are — the four-way split used by
+/// Tables 2–3 and Figures 4, 6, 7, 16, 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Same rack (same RSW).
+    IntraRack,
+    /// Same cluster, different rack.
+    IntraCluster,
+    /// Same datacenter, different cluster.
+    IntraDatacenter,
+    /// Different datacenter (possibly different site).
+    InterDatacenter,
+}
+
+impl Locality {
+    /// All localities, nearest first (the stacking order of Fig 4).
+    pub const ALL: [Locality; 4] = [
+        Locality::IntraRack,
+        Locality::IntraCluster,
+        Locality::IntraDatacenter,
+        Locality::InterDatacenter,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Locality::IntraRack => "Intra-Rack",
+            Locality::IntraCluster => "Intra-Cluster",
+            Locality::IntraDatacenter => "Intra-Datacenter",
+            Locality::InterDatacenter => "Inter-Datacenter",
+        }
+    }
+}
+
+impl fmt::Display for Locality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_headings() {
+        assert_eq!(HostRole::CacheFollower.label(), "Cache-f");
+        assert_eq!(HostRole::CacheLeader.label(), "Cache-l");
+        assert_eq!(ClusterType::Frontend.label(), "FE");
+        assert_eq!(Locality::IntraDatacenter.label(), "Intra-Datacenter");
+    }
+
+    #[test]
+    fn locality_orders_nearest_first() {
+        assert!(Locality::IntraRack < Locality::IntraCluster);
+        assert!(Locality::IntraCluster < Locality::IntraDatacenter);
+        assert!(Locality::IntraDatacenter < Locality::InterDatacenter);
+    }
+
+    #[test]
+    fn role_list_is_exhaustive_and_unique() {
+        let mut labels: Vec<_> = HostRole::ALL.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+}

@@ -1,0 +1,230 @@
+//! Declarative descriptions of a plant to build.
+//!
+//! A [`TopologySpec`] is plain serializable data: sites contain datacenters
+//! contain clusters contain racks of a single role. Convenience
+//! constructors produce the cluster compositions the paper describes —
+//! e.g. a Frontend cluster is roughly 75 % Web-server racks, ~20 % cache
+//! racks, and a few Multifeed/SLB racks (Fig 5b's annotation).
+
+use crate::role::{ClusterType, HostRole};
+use serde::{Deserialize, Serialize};
+
+/// A rack: `hosts` servers of one `role` behind one RSW (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RackSpec {
+    /// Role of every host in the rack (racks are role-homogeneous, §3.1).
+    pub role: HostRole,
+    /// Number of servers in the rack.
+    pub hosts: u32,
+}
+
+/// A cluster: a set of racks served by four CSWs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster type (Table 3 taxonomy).
+    pub ctype: ClusterType,
+    /// Racks, in position order.
+    pub racks: Vec<RackSpec>,
+}
+
+/// A datacenter building: clusters plus its FC aggregation layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatacenterSpec {
+    /// Clusters in the building.
+    pub clusters: Vec<ClusterSpec>,
+}
+
+/// A site: one or more datacenter buildings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Buildings on the campus.
+    pub datacenters: Vec<DatacenterSpec>,
+}
+
+/// The full plant description, plus fabric provisioning knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Sites (each with its own backbone attachment).
+    pub sites: Vec<SiteSpec>,
+    /// Host ↔ RSW link rate in Gbps (10 since the fleet-wide upgrade, §1).
+    pub edge_gbps: f64,
+    /// RSW ↔ CSW uplink rate in Gbps (10 in the 4-post design, §4.1).
+    pub rsw_uplink_gbps: f64,
+    /// CSW ↔ FC and CSW ↔ DR aggregation rate in Gbps (40, §4.1).
+    pub agg_gbps: f64,
+    /// Number of FC switches per datacenter.
+    pub fc_count: u32,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec {
+            sites: Vec::new(),
+            edge_gbps: 10.0,
+            rsw_uplink_gbps: 10.0,
+            agg_gbps: 40.0,
+            fc_count: 4,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// A Frontend cluster: ~75 % Web racks, ~20 % cache-follower racks, and
+    /// the remainder split between Multifeed and SLB racks (§4.3, Fig 5b).
+    ///
+    /// At least one rack of each constituent role is always present so the
+    /// HTTP service graph of Fig 2 is complete.
+    pub fn frontend(racks: u32, hosts_per_rack: u32) -> ClusterSpec {
+        assert!(racks >= 4, "a frontend cluster needs at least 4 racks");
+        let cache = ((racks as f64 * 0.20).round() as u32).max(1);
+        let mf = ((racks as f64 * 0.03).round() as u32).max(1);
+        let slb = ((racks as f64 * 0.02).round() as u32).max(1);
+        let web = racks - cache - mf - slb;
+        assert!(web >= 1, "frontend cluster too small for a web rack");
+        let mut specs = Vec::with_capacity(racks as usize);
+        // Web racks first, then cache, then multifeed, then SLB: the block
+        // structure makes Fig 5b's bipartite rack-to-rack pattern visible.
+        for _ in 0..web {
+            specs.push(RackSpec { role: HostRole::Web, hosts: hosts_per_rack });
+        }
+        for _ in 0..cache {
+            specs.push(RackSpec { role: HostRole::CacheFollower, hosts: hosts_per_rack });
+        }
+        for _ in 0..mf {
+            specs.push(RackSpec { role: HostRole::Multifeed, hosts: hosts_per_rack });
+        }
+        for _ in 0..slb {
+            specs.push(RackSpec { role: HostRole::Slb, hosts: hosts_per_rack });
+        }
+        ClusterSpec { ctype: ClusterType::Frontend, racks: specs }
+    }
+
+    /// A homogeneous Hadoop cluster.
+    pub fn hadoop(racks: u32, hosts_per_rack: u32) -> ClusterSpec {
+        ClusterSpec {
+            ctype: ClusterType::Hadoop,
+            racks: (0..racks)
+                .map(|_| RackSpec { role: HostRole::Hadoop, hosts: hosts_per_rack })
+                .collect(),
+        }
+    }
+
+    /// A cache-leader cluster.
+    pub fn cache(racks: u32, hosts_per_rack: u32) -> ClusterSpec {
+        ClusterSpec {
+            ctype: ClusterType::Cache,
+            racks: (0..racks)
+                .map(|_| RackSpec { role: HostRole::CacheLeader, hosts: hosts_per_rack })
+                .collect(),
+        }
+    }
+
+    /// A database cluster.
+    pub fn database(racks: u32, hosts_per_rack: u32) -> ClusterSpec {
+        ClusterSpec {
+            ctype: ClusterType::Database,
+            racks: (0..racks)
+                .map(|_| RackSpec { role: HostRole::Db, hosts: hosts_per_rack })
+                .collect(),
+        }
+    }
+
+    /// A service cluster: miscellaneous supporting services with a couple of
+    /// Multifeed racks.
+    pub fn service(racks: u32, hosts_per_rack: u32) -> ClusterSpec {
+        assert!(racks >= 2, "a service cluster needs at least 2 racks");
+        let mf = (racks / 8).max(1);
+        let mut specs = Vec::with_capacity(racks as usize);
+        for _ in 0..(racks - mf) {
+            specs.push(RackSpec { role: HostRole::Misc, hosts: hosts_per_rack });
+        }
+        for _ in 0..mf {
+            specs.push(RackSpec { role: HostRole::Multifeed, hosts: hosts_per_rack });
+        }
+        ClusterSpec { ctype: ClusterType::Service, racks: specs }
+    }
+
+    /// Total hosts in the cluster.
+    pub fn host_count(&self) -> u64 {
+        self.racks.iter().map(|r| r.hosts as u64).sum()
+    }
+
+    /// Number of racks of a given role.
+    pub fn racks_with_role(&self, role: HostRole) -> usize {
+        self.racks.iter().filter(|r| r.role == role).count()
+    }
+}
+
+impl TopologySpec {
+    /// A single-site, single-datacenter spec from cluster specs — the shape
+    /// used by the port-mirror (packet-tier) experiments.
+    pub fn single_dc(clusters: Vec<ClusterSpec>) -> TopologySpec {
+        TopologySpec {
+            sites: vec![SiteSpec {
+                datacenters: vec![DatacenterSpec { clusters }],
+            }],
+            ..TopologySpec::default()
+        }
+    }
+
+    /// Total host count across the plant.
+    pub fn host_count(&self) -> u64 {
+        self.sites
+            .iter()
+            .flat_map(|s| &s.datacenters)
+            .flat_map(|d| &d.clusters)
+            .map(|c| c.host_count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_mix_roughly_matches_paper() {
+        let c = ClusterSpec::frontend(64, 20);
+        assert_eq!(c.racks.len(), 64);
+        let web = c.racks_with_role(HostRole::Web);
+        let cache = c.racks_with_role(HostRole::CacheFollower);
+        // Paper annotation on Fig 5b: ~75 % web servers, ~20 % cache.
+        assert!((0.70..=0.80).contains(&(web as f64 / 64.0)), "web {web}");
+        assert!((0.15..=0.25).contains(&(cache as f64 / 64.0)), "cache {cache}");
+        assert!(c.racks_with_role(HostRole::Multifeed) >= 1);
+        assert!(c.racks_with_role(HostRole::Slb) >= 1);
+    }
+
+    #[test]
+    fn homogeneous_clusters() {
+        let h = ClusterSpec::hadoop(8, 16);
+        assert_eq!(h.racks_with_role(HostRole::Hadoop), 8);
+        assert_eq!(h.host_count(), 128);
+        let c = ClusterSpec::cache(4, 10);
+        assert_eq!(c.racks_with_role(HostRole::CacheLeader), 4);
+        let d = ClusterSpec::database(4, 10);
+        assert_eq!(d.racks_with_role(HostRole::Db), 4);
+    }
+
+    #[test]
+    fn service_cluster_has_multifeed() {
+        let s = ClusterSpec::service(16, 10);
+        assert!(s.racks_with_role(HostRole::Multifeed) >= 1);
+        assert!(s.racks_with_role(HostRole::Misc) >= 10);
+    }
+
+    #[test]
+    fn spec_host_count_sums() {
+        let spec = TopologySpec::single_dc(vec![
+            ClusterSpec::hadoop(2, 5),
+            ClusterSpec::frontend(8, 3),
+        ]);
+        assert_eq!(spec.host_count(), 10 + 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 racks")]
+    fn tiny_frontend_rejected() {
+        let _ = ClusterSpec::frontend(3, 10);
+    }
+}

@@ -1,0 +1,639 @@
+//! The built plant: hosts, racks, clusters, datacenters, sites, the Clos
+//! graph connecting them, and deterministic ECMP routing over it.
+
+use crate::graph::{Link, LinkId, Node, Switch, SwitchKind};
+use crate::ids::{ClusterId, DatacenterId, HostId, RackId, SiteId, SwitchId};
+use crate::role::{ClusterType, HostRole, Locality};
+use crate::spec::TopologySpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Number of cluster switches per cluster — the "4-post" of Figure 1.
+pub const CSW_PER_CLUSTER: usize = 4;
+
+/// Propagation delay for intra-building hops (a few hundred feet of fiber).
+const INTRA_DC_PROP_NS: u64 = 500;
+/// Propagation delay for the backbone hop between datacenters.
+const INTER_DC_PROP_NS: u64 = 1_000_000; // 1 ms one-way
+
+/// A server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Host {
+    /// This host's single role (§3.1).
+    pub role: HostRole,
+    /// Containing rack.
+    pub rack: RackId,
+    /// Containing cluster.
+    pub cluster: ClusterId,
+    /// Containing datacenter.
+    pub datacenter: DatacenterId,
+    /// Containing site.
+    pub site: SiteId,
+}
+
+/// A rack: hosts plus its RSW.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rack {
+    /// Role shared by every host in the rack.
+    pub role: HostRole,
+    /// Containing cluster.
+    pub cluster: ClusterId,
+    /// Hosts in the rack.
+    pub hosts: Vec<HostId>,
+    /// The rack's top-of-rack switch.
+    pub rsw: SwitchId,
+}
+
+/// A cluster: racks plus its four CSWs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Cluster type (Table 3 taxonomy).
+    pub ctype: ClusterType,
+    /// Containing datacenter.
+    pub datacenter: DatacenterId,
+    /// Racks in position order.
+    pub racks: Vec<RackId>,
+    /// The four cluster switches.
+    pub csws: [SwitchId; CSW_PER_CLUSTER],
+}
+
+/// A datacenter building: clusters, FC layer, and its router.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Datacenter {
+    /// Containing site.
+    pub site: SiteId,
+    /// Clusters in the building.
+    pub clusters: Vec<ClusterId>,
+    /// Fat Cat aggregation switches.
+    pub fcs: Vec<SwitchId>,
+    /// Datacenter router.
+    pub dr: SwitchId,
+}
+
+/// A site: datacenter buildings sharing a backbone attachment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Site {
+    /// Buildings on the campus.
+    pub datacenters: Vec<DatacenterId>,
+}
+
+/// Errors from topology construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The spec contains no hosts.
+    Empty,
+    /// A cluster had no racks.
+    EmptyCluster(ClusterId),
+    /// A rack had no hosts.
+    EmptyRack(RackId),
+    /// A link rate or FC count was non-positive.
+    BadProvisioning(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology spec contains no hosts"),
+            TopologyError::EmptyCluster(c) => write!(f, "{c} has no racks"),
+            TopologyError::EmptyRack(r) => write!(f, "{r} has no hosts"),
+            TopologyError::BadProvisioning(msg) => write!(f, "bad provisioning: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The fully built plant. See the crate docs for the responsibilities.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    spec: TopologySpec,
+    hosts: Vec<Host>,
+    racks: Vec<Rack>,
+    clusters: Vec<Cluster>,
+    datacenters: Vec<Datacenter>,
+    sites: Vec<Site>,
+    switches: Vec<Switch>,
+    links: Vec<Link>,
+    backbone: SwitchId,
+    /// `(from, to) -> link` for route assembly.
+    link_by_endpoints: HashMap<(Node, Node), LinkId>,
+    /// Hosts grouped by role, fleet-wide.
+    hosts_by_role: HashMap<HostRole, Vec<HostId>>,
+    /// Hosts grouped by (cluster, role).
+    cluster_role_hosts: HashMap<(ClusterId, HostRole), Vec<HostId>>,
+}
+
+impl Topology {
+    /// Builds the plant from a spec, wiring the full Clos graph.
+    pub fn build(spec: TopologySpec) -> Result<Topology, TopologyError> {
+        if spec.host_count() == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if spec.edge_gbps <= 0.0 || spec.rsw_uplink_gbps <= 0.0 || spec.agg_gbps <= 0.0 {
+            return Err(TopologyError::BadProvisioning("link rates must be positive".into()));
+        }
+        if spec.fc_count == 0 {
+            return Err(TopologyError::BadProvisioning("fc_count must be at least 1".into()));
+        }
+
+        let mut t = Topology {
+            spec: spec.clone(),
+            hosts: Vec::new(),
+            racks: Vec::new(),
+            clusters: Vec::new(),
+            datacenters: Vec::new(),
+            sites: Vec::new(),
+            switches: Vec::new(),
+            links: Vec::new(),
+            backbone: SwitchId(0),
+            link_by_endpoints: HashMap::new(),
+            hosts_by_role: HashMap::new(),
+            cluster_role_hosts: HashMap::new(),
+        };
+
+        t.backbone = t.add_switch(Switch {
+            kind: SwitchKind::Backbone,
+            datacenter: None,
+            cluster: None,
+            rack: None,
+        });
+
+        for site_spec in &spec.sites {
+            let site_id = SiteId(t.sites.len() as u32);
+            t.sites.push(Site { datacenters: Vec::new() });
+
+            for dc_spec in &site_spec.datacenters {
+                let dc_id = DatacenterId(t.datacenters.len() as u32);
+                let dr = t.add_switch(Switch {
+                    kind: SwitchKind::Dr,
+                    datacenter: Some(dc_id),
+                    cluster: None,
+                    rack: None,
+                });
+                let fcs: Vec<SwitchId> = (0..spec.fc_count)
+                    .map(|_| {
+                        t.add_switch(Switch {
+                            kind: SwitchKind::Fc,
+                            datacenter: Some(dc_id),
+                            cluster: None,
+                            rack: None,
+                        })
+                    })
+                    .collect();
+                t.datacenters.push(Datacenter {
+                    site: site_id,
+                    clusters: Vec::new(),
+                    fcs: fcs.clone(),
+                    dr,
+                });
+                t.sites[site_id.index()].datacenters.push(dc_id);
+
+                // DR ↔ backbone: provisioned wide enough not to be the story.
+                let bb_gbps = spec.agg_gbps * 16.0;
+                t.add_duplex(Node::Switch(dr), Node::Switch(t.backbone), bb_gbps, INTER_DC_PROP_NS);
+
+                for cluster_spec in &dc_spec.clusters {
+                    let cluster_id = ClusterId(t.clusters.len() as u32);
+                    if cluster_spec.racks.is_empty() {
+                        return Err(TopologyError::EmptyCluster(cluster_id));
+                    }
+                    let csws: [SwitchId; CSW_PER_CLUSTER] = std::array::from_fn(|_| {
+                        t.add_switch(Switch {
+                            kind: SwitchKind::Csw,
+                            datacenter: Some(dc_id),
+                            cluster: Some(cluster_id),
+                            rack: None,
+                        })
+                    });
+                    t.clusters.push(Cluster {
+                        ctype: cluster_spec.ctype,
+                        datacenter: dc_id,
+                        racks: Vec::new(),
+                        csws,
+                    });
+                    t.datacenters[dc_id.index()].clusters.push(cluster_id);
+
+                    // CSW ↔ every FC, and CSW ↔ DR.
+                    for &csw in &csws {
+                        for &fc in &fcs {
+                            t.add_duplex(
+                                Node::Switch(csw),
+                                Node::Switch(fc),
+                                spec.agg_gbps,
+                                INTRA_DC_PROP_NS,
+                            );
+                        }
+                        t.add_duplex(
+                            Node::Switch(csw),
+                            Node::Switch(dr),
+                            spec.agg_gbps,
+                            INTRA_DC_PROP_NS,
+                        );
+                    }
+
+                    for rack_spec in &cluster_spec.racks {
+                        let rack_id = RackId(t.racks.len() as u32);
+                        if rack_spec.hosts == 0 {
+                            return Err(TopologyError::EmptyRack(rack_id));
+                        }
+                        let rsw = t.add_switch(Switch {
+                            kind: SwitchKind::Rsw,
+                            datacenter: Some(dc_id),
+                            cluster: Some(cluster_id),
+                            rack: Some(rack_id),
+                        });
+                        // RSW ↔ each of the 4 CSWs.
+                        for &csw in &csws {
+                            t.add_duplex(
+                                Node::Switch(rsw),
+                                Node::Switch(csw),
+                                spec.rsw_uplink_gbps,
+                                INTRA_DC_PROP_NS,
+                            );
+                        }
+                        let mut host_ids = Vec::with_capacity(rack_spec.hosts as usize);
+                        for _ in 0..rack_spec.hosts {
+                            let host_id = HostId(t.hosts.len() as u32);
+                            t.hosts.push(Host {
+                                role: rack_spec.role,
+                                rack: rack_id,
+                                cluster: cluster_id,
+                                datacenter: dc_id,
+                                site: site_id,
+                            });
+                            t.add_duplex(
+                                Node::Host(host_id),
+                                Node::Switch(rsw),
+                                spec.edge_gbps,
+                                INTRA_DC_PROP_NS,
+                            );
+                            host_ids.push(host_id);
+                            t.hosts_by_role.entry(rack_spec.role).or_default().push(host_id);
+                            t.cluster_role_hosts
+                                .entry((cluster_id, rack_spec.role))
+                                .or_default()
+                                .push(host_id);
+                        }
+                        t.racks.push(Rack {
+                            role: rack_spec.role,
+                            cluster: cluster_id,
+                            hosts: host_ids,
+                            rsw,
+                        });
+                        t.clusters[cluster_id.index()].racks.push(rack_id);
+                    }
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    fn add_switch(&mut self, sw: Switch) -> SwitchId {
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(sw);
+        id
+    }
+
+    fn add_duplex(&mut self, a: Node, b: Node, gbps: f64, prop_ns: u64) {
+        for (from, to) in [(a, b), (b, a)] {
+            let id = LinkId(self.links.len() as u32);
+            self.links.push(Link { from, to, gbps, propagation_ns: prop_ns });
+            let prev = self.link_by_endpoints.insert((from, to), id);
+            debug_assert!(prev.is_none(), "duplicate link {from}->{to}");
+        }
+    }
+
+    fn link(&self, from: Node, to: Node) -> LinkId {
+        *self
+            .link_by_endpoints
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from}->{to}: topology invariant broken"))
+    }
+
+    /// The spec this plant was built from.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// All hosts. `HostId(i)` indexes position `i`.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// One host's record.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.index()]
+    }
+
+    /// All racks.
+    pub fn racks(&self) -> &[Rack] {
+        &self.racks
+    }
+
+    /// One rack's record.
+    pub fn rack(&self, id: RackId) -> &Rack {
+        &self.racks[id.index()]
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// One cluster's record.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// All datacenters.
+    pub fn datacenters(&self) -> &[Datacenter] {
+        &self.datacenters
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// All switches.
+    pub fn switches(&self) -> &[Switch] {
+        &self.switches
+    }
+
+    /// All directed links. `LinkId(i)` indexes position `i`.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Every host with the given role, fleet-wide (stable order).
+    pub fn hosts_with_role(&self, role: HostRole) -> &[HostId] {
+        self.hosts_by_role.get(&role).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every host with the given role inside one cluster (stable order).
+    pub fn hosts_with_role_in_cluster(&self, cluster: ClusterId, role: HostRole) -> &[HostId] {
+        self.cluster_role_hosts
+            .get(&(cluster, role))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// First cluster of a given type, if any (convenience for scenarios).
+    pub fn first_cluster_of_type(&self, ctype: ClusterType) -> Option<ClusterId> {
+        self.clusters
+            .iter()
+            .position(|c| c.ctype == ctype)
+            .map(|i| ClusterId(i as u32))
+    }
+
+    /// Locality of traffic from `a` to `b` (§4.2's four-way split).
+    pub fn locality(&self, a: HostId, b: HostId) -> Locality {
+        let ha = &self.hosts[a.index()];
+        let hb = &self.hosts[b.index()];
+        if ha.rack == hb.rack {
+            Locality::IntraRack
+        } else if ha.cluster == hb.cluster {
+            Locality::IntraCluster
+        } else if ha.datacenter == hb.datacenter {
+            Locality::IntraDatacenter
+        } else {
+            Locality::InterDatacenter
+        }
+    }
+
+    /// Deterministic ECMP route from `src` to `dst` as the sequence of
+    /// directed links a packet crosses. `flow_hash` selects among equal-cost
+    /// CSW/FC choices, so all packets of one flow take one path (as ECMP
+    /// hashing on the 5-tuple does in practice).
+    ///
+    /// Panics if `src == dst`; loopback traffic never touches the network.
+    pub fn route(&self, src: HostId, dst: HostId, flow_hash: u64) -> Vec<LinkId> {
+        assert_ne!(src, dst, "route requires distinct endpoints");
+        let hs = &self.hosts[src.index()];
+        let hd = &self.hosts[dst.index()];
+        let src_rsw = self.racks[hs.rack.index()].rsw;
+        let dst_rsw = self.racks[hd.rack.index()].rsw;
+
+        let mut path = Vec::with_capacity(8);
+        path.push(self.link(Node::Host(src), Node::Switch(src_rsw)));
+
+        if hs.rack == hd.rack {
+            path.push(self.link(Node::Switch(src_rsw), Node::Host(dst)));
+            return path;
+        }
+
+        // Pick the CSW post by flow hash (ECMP among the 4 posts).
+        let src_csw = self.clusters[hs.cluster.index()].csws
+            [(flow_hash % CSW_PER_CLUSTER as u64) as usize];
+        path.push(self.link(Node::Switch(src_rsw), Node::Switch(src_csw)));
+
+        if hs.cluster == hd.cluster {
+            path.push(self.link(Node::Switch(src_csw), Node::Switch(dst_rsw)));
+            path.push(self.link(Node::Switch(dst_rsw), Node::Host(dst)));
+            return path;
+        }
+
+        let dst_csw = self.clusters[hd.cluster.index()].csws
+            [((flow_hash >> 8) % CSW_PER_CLUSTER as u64) as usize];
+
+        if hs.datacenter == hd.datacenter {
+            let fcs = &self.datacenters[hs.datacenter.index()].fcs;
+            let fc = fcs[((flow_hash >> 16) % fcs.len() as u64) as usize];
+            path.push(self.link(Node::Switch(src_csw), Node::Switch(fc)));
+            path.push(self.link(Node::Switch(fc), Node::Switch(dst_csw)));
+        } else {
+            let src_dr = self.datacenters[hs.datacenter.index()].dr;
+            let dst_dr = self.datacenters[hd.datacenter.index()].dr;
+            path.push(self.link(Node::Switch(src_csw), Node::Switch(src_dr)));
+            path.push(self.link(Node::Switch(src_dr), Node::Switch(self.backbone)));
+            path.push(self.link(Node::Switch(self.backbone), Node::Switch(dst_dr)));
+            path.push(self.link(Node::Switch(dst_dr), Node::Switch(dst_csw)));
+        }
+
+        path.push(self.link(Node::Switch(dst_csw), Node::Switch(dst_rsw)));
+        path.push(self.link(Node::Switch(dst_rsw), Node::Host(dst)));
+        path
+    }
+
+    /// The host access link in the transmit direction (host → RSW), i.e.
+    /// the link whose utilization §4.1 reports as "less than 1 %".
+    pub fn host_uplink(&self, host: HostId) -> LinkId {
+        let rsw = self.racks[self.hosts[host.index()].rack.index()].rsw;
+        self.link(Node::Host(host), Node::Switch(rsw))
+    }
+
+    /// The host access link in the receive direction (RSW → host).
+    pub fn host_downlink(&self, host: HostId) -> LinkId {
+        let rsw = self.racks[self.hosts[host.index()].rack.index()].rsw;
+        self.link(Node::Switch(rsw), Node::Host(host))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterSpec;
+
+    fn small_plant() -> Topology {
+        // Two datacenters in two sites: DC0 has a frontend + hadoop cluster,
+        // DC1 has a cache + db cluster.
+        let spec = TopologySpec {
+            sites: vec![
+                crate::spec::SiteSpec {
+                    datacenters: vec![crate::spec::DatacenterSpec {
+                        clusters: vec![
+                            ClusterSpec::frontend(8, 4),
+                            ClusterSpec::hadoop(4, 4),
+                        ],
+                    }],
+                },
+                crate::spec::SiteSpec {
+                    datacenters: vec![crate::spec::DatacenterSpec {
+                        clusters: vec![ClusterSpec::cache(3, 4), ClusterSpec::database(2, 4)],
+                    }],
+                },
+            ],
+            ..TopologySpec::default()
+        };
+        Topology::build(spec).expect("valid plant")
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let t = small_plant();
+        assert_eq!(t.hosts().len(), (8 + 4 + 3 + 2) * 4);
+        assert_eq!(t.racks().len(), 8 + 4 + 3 + 2);
+        assert_eq!(t.clusters().len(), 4);
+        assert_eq!(t.datacenters().len(), 2);
+        assert_eq!(t.sites().len(), 2);
+        // 4 CSWs per cluster + 1 RSW per rack + fc_count FCs + 1 DR per DC + backbone.
+        let expected_switches = 4 * 4 + 17 + 4 * 2 + 2 + 1;
+        assert_eq!(t.switches().len(), expected_switches);
+    }
+
+    #[test]
+    fn every_rack_is_role_homogeneous() {
+        let t = small_plant();
+        for rack in t.racks() {
+            for &h in &rack.hosts {
+                assert_eq!(t.host(h).role, rack.role);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_classification() {
+        let t = small_plant();
+        let rack0 = &t.racks()[0];
+        let a = rack0.hosts[0];
+        let b = rack0.hosts[1];
+        assert_eq!(t.locality(a, b), Locality::IntraRack);
+
+        let rack1 = &t.racks()[1]; // same frontend cluster
+        assert_eq!(t.locality(a, rack1.hosts[0]), Locality::IntraCluster);
+
+        // Hadoop cluster is in the same DC (cluster index 1).
+        let hadoop_rack = &t.racks()[8];
+        assert_eq!(t.rack(RackId(8)).role, HostRole::Hadoop);
+        assert_eq!(t.locality(a, hadoop_rack.hosts[0]), Locality::IntraDatacenter);
+
+        // Cache cluster is in the other DC.
+        let cache_host = t.hosts_with_role(HostRole::CacheLeader)[0];
+        assert_eq!(t.locality(a, cache_host), Locality::InterDatacenter);
+    }
+
+    #[test]
+    fn route_hop_counts_by_locality() {
+        let t = small_plant();
+        let rack0 = &t.racks()[0];
+        let a = rack0.hosts[0];
+
+        // Intra-rack: host→RSW→host.
+        let r = t.route(a, rack0.hosts[1], 99);
+        assert_eq!(r.len(), 2);
+
+        // Intra-cluster: host→RSW→CSW→RSW→host.
+        let b = t.racks()[1].hosts[0];
+        let r = t.route(a, b, 99);
+        assert_eq!(r.len(), 4);
+
+        // Intra-DC: + CSW→FC→CSW.
+        let h = t.hosts_with_role(HostRole::Hadoop)[0];
+        let r = t.route(a, h, 99);
+        assert_eq!(r.len(), 6);
+
+        // Inter-DC: + CSW→DR→BB→DR→CSW.
+        let c = t.hosts_with_role(HostRole::CacheLeader)[0];
+        let r = t.route(a, c, 99);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn route_links_chain_and_start_end_correctly() {
+        let t = small_plant();
+        let a = t.racks()[0].hosts[0];
+        let c = t.hosts_with_role(HostRole::CacheLeader)[0];
+        for hash in [0u64, 1, 7, 12345, u64::MAX] {
+            let path = t.route(a, c, hash);
+            let links = t.links();
+            assert_eq!(links[path[0].index()].from, Node::Host(a));
+            assert_eq!(links[path.last().expect("non-empty").index()].to, Node::Host(c));
+            for w in path.windows(2) {
+                assert_eq!(links[w[0].index()].to, links[w[1].index()].from, "path must chain");
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_across_posts() {
+        let t = small_plant();
+        let a = t.racks()[0].hosts[0];
+        let b = t.racks()[1].hosts[0];
+        let mut seen = std::collections::HashSet::new();
+        for hash in 0..4u64 {
+            let path = t.route(a, b, hash);
+            seen.insert(path[1]); // RSW→CSW link identifies the post
+        }
+        assert_eq!(seen.len(), 4, "4 hashes should hit all 4 posts");
+    }
+
+    #[test]
+    fn host_uplink_downlink() {
+        let t = small_plant();
+        let a = t.racks()[0].hosts[0];
+        let up = t.host_uplink(a);
+        let down = t.host_downlink(a);
+        assert_eq!(t.links()[up.index()].from, Node::Host(a));
+        assert_eq!(t.links()[down.index()].to, Node::Host(a));
+        assert_ne!(up, down);
+    }
+
+    #[test]
+    fn build_errors() {
+        assert_eq!(
+            Topology::build(TopologySpec::single_dc(vec![])).unwrap_err(),
+            TopologyError::Empty
+        );
+        let mut bad = TopologySpec::single_dc(vec![ClusterSpec::hadoop(1, 1)]);
+        bad.edge_gbps = 0.0;
+        assert!(matches!(
+            Topology::build(bad).unwrap_err(),
+            TopologyError::BadProvisioning(_)
+        ));
+        let mut bad = TopologySpec::single_dc(vec![ClusterSpec::hadoop(1, 1)]);
+        bad.fc_count = 0;
+        assert!(matches!(
+            Topology::build(bad).unwrap_err(),
+            TopologyError::BadProvisioning(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn route_to_self_panics() {
+        let t = small_plant();
+        let a = t.racks()[0].hosts[0];
+        let _ = t.route(a, a, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests: structural invariants of arbitrary plants.
+
+use proptest::prelude::*;
+use sonet_topology::{
+    fabric_like_spec, ClusterSpec, DatacenterSpec, HostRole, SiteSpec, Topology, TopologySpec,
+};
+
+fn arb_spec() -> impl Strategy<Value = TopologySpec> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                (4u32..12, 1u32..6).prop_map(|(r, h)| ClusterSpec::frontend(r, h)),
+                (1u32..8, 1u32..6).prop_map(|(r, h)| ClusterSpec::hadoop(r, h)),
+                (1u32..4, 1u32..6).prop_map(|(r, h)| ClusterSpec::cache(r, h)),
+                (1u32..4, 1u32..6).prop_map(|(r, h)| ClusterSpec::database(r, h)),
+                (2u32..6, 1u32..6).prop_map(|(r, h)| ClusterSpec::service(r, h)),
+            ],
+            1..5,
+        ),
+        1usize..3,
+    )
+        .prop_map(|(clusters, dcs)| TopologySpec {
+            sites: vec![SiteSpec {
+                datacenters: (0..dcs)
+                    .map(|_| DatacenterSpec { clusters: clusters.clone() })
+                    .collect(),
+            }],
+            ..TopologySpec::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Racks are role-homogeneous, role indexes partition the host set,
+    /// and every host's containment chain is consistent.
+    #[test]
+    fn structure_invariants(spec in arb_spec()) {
+        let topo = Topology::build(spec).expect("generated specs are valid");
+
+        // Role indexes partition hosts.
+        let by_role: usize = HostRole::ALL
+            .iter()
+            .map(|&r| topo.hosts_with_role(r).len())
+            .sum();
+        prop_assert_eq!(by_role, topo.hosts().len());
+
+        for (i, rack) in topo.racks().iter().enumerate() {
+            for &h in &rack.hosts {
+                let host = topo.host(h);
+                prop_assert_eq!(host.role, rack.role);
+                prop_assert_eq!(host.rack.index(), i);
+                prop_assert_eq!(host.cluster, rack.cluster);
+                // Cluster containment chains agree.
+                let cluster = topo.cluster(host.cluster);
+                prop_assert_eq!(cluster.datacenter, host.datacenter);
+                prop_assert!(cluster.racks.contains(&host.rack));
+            }
+        }
+
+        // Every cluster has exactly 4 CSWs and every rack an RSW.
+        for cluster in topo.clusters() {
+            prop_assert_eq!(cluster.csws.len(), 4);
+        }
+    }
+
+    /// Links always come in direction pairs with matching rates.
+    #[test]
+    fn links_are_duplex_pairs(spec in arb_spec()) {
+        let topo = Topology::build(spec).expect("valid");
+        let links = topo.links();
+        prop_assert_eq!(links.len() % 2, 0);
+        for pair in links.chunks(2) {
+            prop_assert_eq!(pair[0].from, pair[1].to);
+            prop_assert_eq!(pair[0].to, pair[1].from);
+            prop_assert_eq!(pair[0].gbps, pair[1].gbps);
+        }
+    }
+
+    /// The Fabric migration preserves hosts, roles, and rack order for
+    /// any clustered plant.
+    #[test]
+    fn fabric_migration_preserves_structure(spec in arb_spec()) {
+        let fab_spec = fabric_like_spec(&spec);
+        prop_assert_eq!(spec.host_count(), fab_spec.host_count());
+        let t_old = Topology::build(spec).expect("valid");
+        let t_new = Topology::build(fab_spec).expect("valid");
+        prop_assert_eq!(t_old.racks().len(), t_new.racks().len());
+        for (a, b) in t_old.racks().iter().zip(t_new.racks()) {
+            prop_assert_eq!(a.role, b.role);
+            prop_assert_eq!(a.hosts.len(), b.hosts.len());
+        }
+    }
+}

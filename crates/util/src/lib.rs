@@ -1,0 +1,24 @@
+//! # sonet-util
+//!
+//! Foundation crate for the `sonet-dc` workspace: simulated time,
+//! deterministic random number generation, probability distributions, and
+//! the statistics toolkit (CDFs, percentiles, histograms) that every
+//! analysis in the paper reduces to.
+//!
+//! Everything here is dependency-free (besides `serde` for report
+//! serialization) and deterministic: a scenario seed fully determines every
+//! generated trace, which is what makes the reproduction's tables and
+//! figures stable across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Dist, Distribution};
+pub use rng::Rng;
+pub use stats::{percentile, percentile_sorted, EmpiricalCdf, Histogram, Summary};
+pub use time::{SimDuration, SimTime};

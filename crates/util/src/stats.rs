@@ -1,0 +1,364 @@
+//! Statistics toolkit: percentiles, summaries, empirical CDFs, histograms.
+//!
+//! Every figure in the paper is either a CDF (Figs 6–12, 14, 16, 17), a
+//! percentile table (Table 4), or a time series of per-window aggregates
+//! (Figs 4, 13, 15). This module provides those primitives with exact
+//! (sort-based) percentile semantics — the traces we analyze fit in memory
+//! by construction, mirroring the paper's own RAM-bounded capture hosts.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact percentile of a sample set using linear interpolation between
+/// order statistics (the "type 7" estimator used by numpy/R).
+///
+/// `q` is in `[0, 100]`. Returns `None` on an empty slice. The input does
+/// not need to be sorted.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    Some(percentile_sorted(&sorted, q))
+}
+
+/// Percentile of an already ascending-sorted slice (see [`percentile`]).
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = q / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number-style summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty input.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(Summary {
+            count: sorted.len(),
+            mean,
+            min: sorted[0],
+            p10: percentile_sorted(&sorted, 10.0),
+            p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// An empirical cumulative distribution function over observed samples.
+///
+/// This is the data structure behind every CDF figure: it stores the sorted
+/// samples and can be queried (`fraction_at`), inverted (`quantile`), or
+/// down-sampled to plot-ready `(value, cum_fraction)` series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from samples (need not be sorted). NaNs are rejected.
+    pub fn new(mut samples: Vec<f64>) -> EmpiricalCdf {
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "NaN sample passed to EmpiricalCdf"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN"));
+        EmpiricalCdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x` (the CDF evaluated at `x`).
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the `q`-th percentile, `q` in `[0, 100]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(percentile_sorted(&self.sorted, q))
+        }
+    }
+
+    /// Median convenience accessor.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(50.0)
+    }
+
+    /// Renders the CDF as at most `max_points` evenly spaced
+    /// `(value, cum_fraction)` points, suitable for printing a figure series.
+    pub fn series(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let points = max_points.min(n);
+        (0..points)
+            .map(|i| {
+                let idx = if points == 1 { n - 1 } else { i * (n - 1) / (points - 1) };
+                (self.sorted[idx], (idx + 1) as f64 / n as f64)
+            })
+            .collect()
+    }
+
+    /// Read-only view of the sorted samples.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(lo < hi && bins > 0, "invalid histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((v - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let last = self.bins.len() - 1;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below range / above range.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Bucket counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Bucket midpoints paired with counts.
+    pub fn midpoints(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+/// Online mean/variance accumulator (Welford), for streaming rollups where
+/// storing every sample would defeat the purpose (e.g. fleet-wide Fbflow
+/// counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Streaming {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Streaming {
+    /// New, empty accumulator.
+    pub fn new() -> Streaming {
+        Streaming {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn summary_of_known_set() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&v).expect("non-empty");
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p10 - 10.9).abs() < 1e-9);
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile_agree() {
+        let cdf = EmpiricalCdf::new((1..=1000).map(|x| x as f64).collect());
+        assert!((cdf.fraction_at(500.0) - 0.5).abs() < 1e-3);
+        assert!((cdf.quantile(50.0).expect("non-empty") - 500.5).abs() < 1.0);
+        assert_eq!(cdf.fraction_at(0.0), 0.0);
+        assert_eq!(cdf.fraction_at(2000.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let cdf = EmpiricalCdf::new(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        let series = cdf.series(3);
+        assert_eq!(series.len(), 3);
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(series.last().expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(9.99);
+        h.record(10.0);
+        h.record(5.5);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.outliers(), (1, 1));
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let vals = [3.0, 7.0, 7.0, 19.0];
+        let mut s = Streaming::new();
+        for &v in &vals {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean().expect("n>0") - 9.0).abs() < 1e-12);
+        let batch_var = vals.iter().map(|v| (v - 9.0) * (v - 9.0)).sum::<f64>() / 4.0;
+        assert!((s.variance().expect("n>0") - batch_var).abs() < 1e-9);
+        assert_eq!(s.min(), Some(3.0));
+        assert_eq!(s.max(), Some(19.0));
+    }
+}

@@ -1,0 +1,298 @@
+//! Simulated time.
+//!
+//! The simulator clock is a monotonic count of nanoseconds since the start
+//! of the scenario. Nanosecond resolution comfortably covers everything the
+//! paper measures: the finest-grained observation is the 10-microsecond
+//! buffer-occupancy sampling of Figure 15, and the shortest physical event
+//! is the serialization time of a 64-byte frame at 10 Gbps (51.2 ns).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in nanoseconds since scenario start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The scenario start instant.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs an instant from raw nanoseconds since scenario start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs an instant from microseconds since scenario start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs an instant from milliseconds since scenario start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Constructs an instant from whole seconds since scenario start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since scenario start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since scenario start (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since scenario start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole seconds since scenario start (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Seconds since scenario start as a float (for plotting/report axes).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The index of the window of length `bin` containing this instant.
+    ///
+    /// Used throughout the analysis crate to assign packets to 1/10/100-ms
+    /// (and 5-ms) observation windows.
+    pub fn bin_index(self, bin: SimDuration) -> u64 {
+        debug_assert!(bin.0 > 0, "bin width must be positive");
+        self.0 / bin.0
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Constructs a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Constructs a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Constructs a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Constructs a span from fractional seconds (truncating below 1 ns).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        SimDuration((s * 1e9) as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// The span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Serialization time of `bytes` on a link of `gbps` gigabits per second.
+    ///
+    /// Rounds up to a whole nanosecond so that back-to-back packets never
+    /// serialize in zero time.
+    pub fn for_bytes_at_gbps(bytes: u64, gbps: f64) -> Self {
+        assert!(gbps > 0.0, "link rate must be positive");
+        let ns = (bytes as f64 * 8.0 / gbps).ceil() as u64;
+        SimDuration(ns.max(1))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow: rhs is later than self"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_millis(1_500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!(t.as_millis(), 1_500);
+        assert_eq!(t.as_secs(), 1);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(2) + SimDuration::from_millis(500);
+        assert_eq!(t.as_millis(), 2_500);
+        assert_eq!((t - SimTime::from_secs(1)).as_millis(), 1_500);
+        assert_eq!(SimDuration::from_micros(3) * 4, SimDuration::from_micros(12));
+        assert_eq!(SimDuration::from_micros(12) / 4, SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(3);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(2));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bin_index_boundaries() {
+        let bin = SimDuration::from_millis(1);
+        assert_eq!(SimTime::from_nanos(0).bin_index(bin), 0);
+        assert_eq!(SimTime::from_nanos(999_999).bin_index(bin), 0);
+        assert_eq!(SimTime::from_nanos(1_000_000).bin_index(bin), 1);
+    }
+
+    #[test]
+    fn serialization_time() {
+        // 1500 bytes at 10 Gbps = 1200 ns.
+        assert_eq!(SimDuration::for_bytes_at_gbps(1500, 10.0).as_nanos(), 1200);
+        // Tiny frames still take at least 1 ns.
+        assert!(SimDuration::for_bytes_at_gbps(1, 1000.0).as_nanos() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_subtraction_underflow_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the distribution and statistics substrate.
+
+use proptest::prelude::*;
+use sonet_util::dist::{Dist, Distribution};
+use sonet_util::stats::{percentile, Histogram, Summary};
+use sonet_util::Rng;
+
+proptest! {
+    /// Bounded Pareto samples always stay within their bounds.
+    #[test]
+    fn pareto_respects_bounds(
+        alpha in 0.3f64..3.0,
+        lo in 1.0f64..1e4,
+        span in 1.5f64..1e4,
+        seed in any::<u64>(),
+    ) {
+        let hi = lo * span;
+        let d = Dist::ParetoBounded { alpha, lo, hi };
+        prop_assert!(d.validate().is_ok());
+        let mut rng = Rng::new(seed);
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            prop_assert!(v >= lo * 0.999 && v <= hi * 1.001, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Log-normal samples are positive and finite for any reasonable
+    /// parameters.
+    #[test]
+    fn lognormal_samples_positive(
+        median in 1.0f64..1e9,
+        sigma in 0.0f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let d = Dist::LogNormal { median, sigma };
+        let mut rng = Rng::new(seed);
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            prop_assert!(v > 0.0 && v.is_finite());
+        }
+    }
+
+    /// Uniform samples stay in range; empirical inverse stays between the
+    /// knot extremes.
+    #[test]
+    fn uniform_and_empirical_in_range(
+        lo in -1e6f64..1e6,
+        span in 1.0f64..1e6,
+        seed in any::<u64>(),
+    ) {
+        let hi = lo + span;
+        let u = Dist::Uniform { lo, hi };
+        let e = Dist::Empirical { points: vec![(lo, 0.0), (lo + span / 2.0, 0.6), (hi, 1.0)] };
+        prop_assert!(e.validate().is_ok());
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            let v = u.sample(&mut rng);
+            prop_assert!((lo..hi).contains(&v));
+            let w = e.sample(&mut rng);
+            prop_assert!(w >= lo && w <= hi);
+        }
+    }
+
+    /// Mixture sampling only produces values one of its components could
+    /// produce (here: one of two constants).
+    #[test]
+    fn mixture_stays_in_support(w1 in 0.01f64..10.0, w2 in 0.01f64..10.0, seed in any::<u64>()) {
+        let d = Dist::Mixture {
+            components: vec![Dist::Constant(1.0), Dist::Constant(2.0)],
+            weights: vec![w1, w2],
+        };
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            prop_assert!(v == 1.0 || v == 2.0);
+        }
+    }
+
+    /// Percentiles are monotone in q and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(mut xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+        xs.retain(|v| v.is_finite());
+        prop_assume!(!xs.is_empty());
+        let p25 = percentile(&xs, 25.0).expect("non-empty");
+        let p50 = percentile(&xs, 50.0).expect("non-empty");
+        let p75 = percentile(&xs, 75.0).expect("non-empty");
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        let s = Summary::of(&xs).expect("non-empty");
+        prop_assert!(s.min <= p25 && p75 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    /// Histogram conserves counts: bins + under + over == recorded.
+    #[test]
+    fn histogram_conserves(
+        xs in prop::collection::vec(-100.0f64..200.0, 0..300),
+        bins in 1usize..50,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        for &x in &xs {
+            h.record(x);
+        }
+        let (under, over) = h.outliers();
+        let binned: u64 = h.bins().iter().sum();
+        prop_assert_eq!(binned + under + over, xs.len() as u64);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+    }
+
+    /// Rng::below never reaches its bound and fork streams are stable.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(n) < n);
+        }
+        let f1: Vec<u64> = {
+            let mut f = Rng::new(seed).fork("x");
+            (0..5).map(|_| f.next_u64()).collect()
+        };
+        let f2: Vec<u64> = {
+            let mut f = Rng::new(seed).fork("x");
+            (0..5).map(|_| f.next_u64()).collect()
+        };
+        prop_assert_eq!(f1, f2);
+    }
+}

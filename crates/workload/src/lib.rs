@@ -1,0 +1,39 @@
+//! # sonet-workload
+//!
+//! Traffic generators for every service the paper describes (§3.2, Fig 2):
+//! Web, cache followers and leaders, Hadoop, Multifeed, SLB, database, and
+//! miscellaneous background services — plus the *literature baseline*
+//! (Benson/Kandula-style rack-local, on/off, bimodal-packet MapReduce
+//! traffic) that the paper's findings are contrasted against.
+//!
+//! Two tiers, mirroring the paper's two collection systems:
+//!
+//! * **Packet tier** ([`Workload`]) — drives the `sonet-netsim` engine with
+//!   per-host RPC call streams (connection pooling, bursty page fan-outs,
+//!   Hadoop job phases). Port-mirror experiments (Figs 4, 6–14, 16, 17,
+//!   Table 4) run here.
+//! * **Fleet tier** ([`fleet::FleetModel`]) — a flow-level model of the
+//!   whole plant that emits Fbflow-style samples directly, used for the
+//!   24-hour fleet-wide results (Tables 2–3, Fig 5) where packet-level
+//!   simulation would be prohibitive.
+//!
+//! Every profile constant is pinned to a quantitative statement in the
+//! paper; see [`profile`] for the citations and DESIGN.md §5 for the
+//! master list.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diurnal;
+pub mod fleet;
+pub mod literature;
+pub mod pool;
+pub mod profile;
+pub mod workload;
+
+pub use diurnal::DiurnalPattern;
+pub use fleet::{FleetConfig, FleetModel};
+pub use literature::LiteratureWorkload;
+pub use pool::ConnPool;
+pub use profile::{CallPattern, DestSelector, HotObjectConfig, LoadBalance, PoolMode, RpcProfile, ServiceProfiles};
+pub use workload::{Workload, WorkloadError};

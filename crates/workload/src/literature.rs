@@ -1,0 +1,326 @@
+//! The literature-baseline workload (the "previously published data"
+//! column of Table 1).
+//!
+//! Implements the traffic the prior studies describe, so benches can print
+//! paper-vs-literature contrasts:
+//!
+//! * **Rack-heavy locality** — "a majority of traffic originated by
+//!   servers (80 %) stays within the rack" (Benson et al. \[12\]; similarly
+//!   Kandula et al. \[26\], Delimitrou et al. \[17\]).
+//! * **On/off arrivals** — "a strong on/off pattern where the packet
+//!   inter-arrival follows a log-normal distribution" (Benson et al.
+//!   \[13\]).
+//! * **Bimodal packet sizes** — packets either approach the MTU or stay
+//!   ACK-small \[12\]. Achieved here with full-MTU bulk pushes whose ACK
+//!   stream supplies the small mode.
+//! * **Few concurrent destinations** — "less than 5" large flows at once
+//!   (Alizadeh et al. \[8\]): each host cycles through a small set of
+//!   partners, one per ON period.
+
+use serde::{Deserialize, Serialize};
+use sonet_netsim::{PacketTap, SimError, Simulator};
+use sonet_topology::{ClusterId, HostId, Topology};
+use sonet_util::dist::Dist;
+use sonet_util::{Distribution, Rng, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Parameters of the baseline generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiteratureConfig {
+    /// Probability an ON period's partner is rack-local (paper survey:
+    /// 50–80 %; default 0.8).
+    pub p_rack_local: f64,
+    /// ON-period duration in milliseconds (log-normal per \[13\]).
+    pub on_ms: Dist,
+    /// OFF-period duration in milliseconds (log-normal per \[13\]).
+    pub off_ms: Dist,
+    /// Bulk messages per second while ON.
+    pub on_rate_per_sec: f64,
+    /// Full-MTU segments per bulk message (geometric-ish via log-normal).
+    pub segments_per_msg: Dist,
+    /// Maximum concurrent partners per host (Alizadeh: < 5).
+    pub max_partners: usize,
+}
+
+impl Default for LiteratureConfig {
+    fn default() -> Self {
+        LiteratureConfig {
+            p_rack_local: 0.8,
+            on_ms: Dist::LogNormal { median: 80.0, sigma: 0.8 },
+            off_ms: Dist::LogNormal { median: 120.0, sigma: 1.0 },
+            on_rate_per_sec: 120.0,
+            segments_per_msg: Dist::LogNormal { median: 20.0, sigma: 0.9 },
+            max_partners: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    On,
+    Off,
+}
+
+struct HostState {
+    host: HostId,
+    rng: Rng,
+    phase: Phase,
+    phase_until: SimTime,
+    partner: Option<HostId>,
+    next_msg: SimTime,
+    /// Rotating partner set (bounds concurrent destinations).
+    partners: Vec<HostId>,
+}
+
+/// MapReduce-style baseline generator over one cluster.
+pub struct LiteratureWorkload {
+    topo: Arc<Topology>,
+    cfg: LiteratureConfig,
+    hosts: Vec<HostState>,
+    generated_until: SimTime,
+    issued: u64,
+}
+
+impl LiteratureWorkload {
+    /// Generates baseline traffic among the hosts of `cluster`.
+    pub fn new(
+        topo: Arc<Topology>,
+        cfg: LiteratureConfig,
+        cluster: ClusterId,
+        seed: u64,
+    ) -> LiteratureWorkload {
+        let root = Rng::new(seed).fork("literature");
+        let mut hosts = Vec::new();
+        for &rid in &topo.cluster(cluster).racks {
+            for &hid in &topo.rack(rid).hosts {
+                let mut rng = root.fork_idx("host", hid.0 as u64);
+                let off = cfg.off_ms.sample(&mut rng).max(1.0);
+                hosts.push(HostState {
+                    host: hid,
+                    rng,
+                    phase: Phase::Off,
+                    phase_until: SimTime::from_nanos((off * 1e6) as u64),
+                    partner: None,
+                    next_msg: SimTime::MAX,
+                    partners: Vec::new(),
+                });
+            }
+        }
+        LiteratureWorkload { topo, cfg, hosts, generated_until: SimTime::ZERO, issued: 0 }
+    }
+
+    /// Bulk messages issued so far.
+    pub fn issued_messages(&self) -> u64 {
+        self.issued
+    }
+
+    /// Generates all sends in `[generated_until, until)`.
+    pub fn generate<T: PacketTap>(
+        &mut self,
+        sim: &mut Simulator<T>,
+        until: SimTime,
+    ) -> Result<(), SimError> {
+        let mss = sim.config().mss as f64;
+        for i in 0..self.hosts.len() {
+            loop {
+                let (phase_until, next_msg) =
+                    (self.hosts[i].phase_until, self.hosts[i].next_msg);
+                let next_event = phase_until.min(next_msg);
+                if next_event >= until {
+                    break;
+                }
+                if phase_until <= next_msg {
+                    self.flip_phase(i, phase_until);
+                } else {
+                    self.send_bulk(sim, i, next_msg, mss)?;
+                }
+            }
+        }
+        self.generated_until = until;
+        Ok(())
+    }
+
+    fn flip_phase(&mut self, i: usize, at: SimTime) {
+        let cfg = self.cfg.clone();
+        // Pick the partner before mutably borrowing the host state.
+        let new_partner = {
+            let h = &self.hosts[i];
+            matches!(h.phase, Phase::Off).then(|| self.pick_partner(i))
+        };
+        let h = &mut self.hosts[i];
+        match h.phase {
+            Phase::Off => {
+                h.phase = Phase::On;
+                let on = cfg.on_ms.sample(&mut h.rng).max(1.0);
+                h.phase_until = at + SimDuration::from_nanos((on * 1e6) as u64);
+                h.partner = new_partner.flatten();
+                let gap = -h.rng.f64_open().ln() / cfg.on_rate_per_sec;
+                h.next_msg = at + SimDuration::from_secs_f64(gap);
+            }
+            Phase::On => {
+                h.phase = Phase::Off;
+                let off = cfg.off_ms.sample(&mut h.rng).max(1.0);
+                h.phase_until = at + SimDuration::from_nanos((off * 1e6) as u64);
+                h.partner = None;
+                h.next_msg = SimTime::MAX;
+            }
+        }
+    }
+
+    fn pick_partner(&self, i: usize) -> Option<HostId> {
+        let h = &self.hosts[i];
+        let mut rng = h.rng.clone();
+        let src = h.host;
+        let info = self.topo.host(src);
+        // Reuse an existing partner most of the time once the set is full
+        // (bounds concurrency per Alizadeh et al.).
+        if h.partners.len() >= self.cfg.max_partners {
+            return Some(*rng.pick(&h.partners));
+        }
+        let rack = self.topo.rack(info.rack);
+        let rack_peers: Vec<HostId> =
+            rack.hosts.iter().copied().filter(|&x| x != src).collect();
+        if rng.chance(self.cfg.p_rack_local) && !rack_peers.is_empty() {
+            return Some(*rng.pick(&rack_peers));
+        }
+        let cluster = self.topo.cluster(info.cluster);
+        let racks: Vec<_> = cluster.racks.iter().filter(|&&r| r != info.rack).collect();
+        if racks.is_empty() {
+            return rack_peers.first().copied();
+        }
+        let r = **rng.pick(&racks);
+        let hosts = &self.topo.rack(r).hosts;
+        Some(*rng.pick(hosts))
+    }
+
+    fn send_bulk<T: PacketTap>(
+        &mut self,
+        sim: &mut Simulator<T>,
+        i: usize,
+        at: SimTime,
+        mss: f64,
+    ) -> Result<(), SimError> {
+        let cfg = self.cfg.clone();
+        let (src, partner, bytes, gap) = {
+            let h = &mut self.hosts[i];
+            let segs = cfg.segments_per_msg.sample(&mut h.rng).max(1.0).round();
+            let bytes = (segs * mss) as u64; // full-MTU bulk → bimodal packets
+            let gap = -h.rng.f64_open().ln() / cfg.on_rate_per_sec;
+            (h.host, h.partner, bytes, gap)
+        };
+        if let Some(dst) = partner {
+            let at = at.max(sim.now());
+            let conn = sim.open_connection(at, src, dst, 50010)?;
+            sim.send_message(conn, at, bytes, 0, SimDuration::ZERO)?;
+            let est = SimDuration::from_secs_f64(bytes as f64 / 1.25e9 * 3.0)
+                + SimDuration::from_millis(20);
+            sim.close_connection(conn, at + est)?;
+            self.issued += 1;
+            let h = &mut self.hosts[i];
+            if !h.partners.contains(&dst) {
+                h.partners.push(dst);
+                if h.partners.len() > cfg.max_partners {
+                    h.partners.remove(0);
+                }
+            }
+        }
+        let h = &mut self.hosts[i];
+        h.next_msg = at + SimDuration::from_secs_f64(gap);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_netsim::{NullTap, SimConfig};
+    use sonet_topology::{ClusterSpec, Locality, TopologySpec};
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::hadoop(8, 8)]))
+                .expect("valid"),
+        )
+    }
+
+    #[test]
+    fn traffic_is_mostly_rack_local() {
+        let topo = topo();
+        let mut wl = LiteratureWorkload::new(
+            Arc::clone(&topo),
+            LiteratureConfig::default(),
+            ClusterId(0),
+            5,
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            t += SimDuration::from_millis(100);
+            wl.generate(&mut sim, t).expect("generate");
+            sim.run_until(t);
+        }
+        assert!(wl.issued_messages() > 100, "issued {}", wl.issued_messages());
+        let (out, _) = sim.finish();
+        // Count bytes by locality from host uplinks vs CSW-bound links:
+        // rack-local traffic never crosses an RSW uplink. Compare total
+        // host-uplink bytes to RSW→CSW bytes.
+        let mut host_up = 0u64;
+        let mut rsw_up = 0u64;
+        for (i, link) in topo.links().iter().enumerate() {
+            use sonet_topology::{Node, SwitchKind};
+            let c = out.link_counters[i].tx_bytes;
+            match (link.from, link.to) {
+                (Node::Host(_), _) => host_up += c,
+                (Node::Switch(s), Node::Switch(d)) => {
+                    if topo.switches()[s.index()].kind == SwitchKind::Rsw
+                        && topo.switches()[d.index()].kind == SwitchKind::Csw
+                    {
+                        rsw_up += c;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let leaving_frac = rsw_up as f64 / host_up as f64;
+        assert!(
+            leaving_frac < 0.45,
+            "baseline should be rack-heavy; {:.1}% left the rack",
+            leaving_frac * 100.0
+        );
+    }
+
+    #[test]
+    fn partner_set_stays_small() {
+        let topo = topo();
+        let mut wl = LiteratureWorkload::new(
+            Arc::clone(&topo),
+            LiteratureConfig::default(),
+            ClusterId(0),
+            7,
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        wl.generate(&mut sim, SimTime::from_secs(5)).expect("generate");
+        for h in &wl.hosts {
+            assert!(h.partners.len() <= wl.cfg.max_partners + 1);
+        }
+    }
+
+    #[test]
+    fn locality_classification_sanity() {
+        // The generator's rack-local picks really are intra-rack.
+        let topo = topo();
+        let wl = LiteratureWorkload::new(
+            Arc::clone(&topo),
+            LiteratureConfig { p_rack_local: 1.0, ..LiteratureConfig::default() },
+            ClusterId(0),
+            9,
+        );
+        for i in 0..wl.hosts.len() {
+            if let Some(p) = wl.pick_partner(i) {
+                assert_eq!(topo.locality(wl.hosts[i].host, p), Locality::IntraRack);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Connection pooling, mcrouter-style (§5.1 \[29\]).
+//!
+//! Pooled patterns reuse one long-lived connection per
+//! (source, destination, service-port) triple; the pool opens lazily on
+//! first use. This is what produces the paper's long-lived, internally
+//! bursty flows and decouples user-request arrivals from SYN arrivals
+//! (§6.2).
+
+use sonet_netsim::{ConnId, PacketTap, SimError, Simulator};
+use sonet_topology::HostId;
+use sonet_util::{Rng, SimTime};
+use std::collections::HashMap;
+
+/// Lazy pool of long-lived connections, `width` per (src, dst, port)
+/// triple.
+///
+/// Real pools hold several parallel connections per destination (worker
+/// processes, pipelining limits); requests pick one at random. This is
+/// what splits a host pair's volume across many 5-tuples — the spread of
+/// Fig 6b that collapses under host aggregation in Fig 9 — and drives the
+/// 100s-to-1000s concurrent connections of §6.4.
+#[derive(Debug, Clone, Default)]
+pub struct ConnPool {
+    conns: HashMap<(HostId, HostId, u16), Vec<ConnId>>,
+    total: usize,
+}
+
+impl ConnPool {
+    /// Empty pool.
+    pub fn new() -> ConnPool {
+        ConnPool::default()
+    }
+
+    /// Returns a pooled connection for `(src, dst, port)`, opening the
+    /// single member on first use (width-1 pool).
+    pub fn get_or_open<T: PacketTap>(
+        &mut self,
+        sim: &mut Simulator<T>,
+        at: SimTime,
+        src: HostId,
+        dst: HostId,
+        port: u16,
+    ) -> Result<ConnId, SimError> {
+        let mut rng = Rng::new(0); // width 1 → rng unused
+        self.get_one_of(sim, at, src, dst, port, 1, &mut rng)
+    }
+
+    /// Returns one of up to `width` pooled connections for
+    /// `(src, dst, port)`, opening members lazily and picking uniformly
+    /// once the pool is warm.
+    pub fn get_one_of<T: PacketTap>(
+        &mut self,
+        sim: &mut Simulator<T>,
+        at: SimTime,
+        src: HostId,
+        dst: HostId,
+        port: u16,
+        width: u32,
+        rng: &mut Rng,
+    ) -> Result<ConnId, SimError> {
+        let width = width.max(1) as usize;
+        let entry = self.conns.entry((src, dst, port)).or_default();
+        if entry.len() < width {
+            let c = sim.open_connection(at, src, dst, port)?;
+            entry.push(c);
+            self.total += 1;
+            return Ok(c);
+        }
+        Ok(entry[rng.below(entry.len() as u64) as usize])
+    }
+
+    /// Number of live pooled connections.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True if no connections were opened yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_netsim::{NullTap, SimConfig};
+    use sonet_topology::{ClusterSpec, Topology, TopologySpec};
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_reuses_connections() {
+        let topo = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 4)]))
+                .expect("valid"),
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let mut pool = ConnPool::new();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let c1 = pool.get_or_open(&mut sim, SimTime::ZERO, a, b, 80).expect("open");
+        let c2 = pool.get_or_open(&mut sim, SimTime::ZERO, a, b, 80).expect("reuse");
+        assert_eq!(c1, c2);
+        assert_eq!(pool.len(), 1);
+        // Different port → different connection.
+        let c3 = pool.get_or_open(&mut sim, SimTime::ZERO, a, b, 443).expect("open");
+        assert_ne!(c1, c3);
+        // Reverse direction → different connection.
+        let c4 = pool.get_or_open(&mut sim, SimTime::ZERO, b, a, 80).expect("open");
+        assert_ne!(c1, c4);
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn wide_pools_open_up_to_width_then_reuse() {
+        let topo = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 4)]))
+                .expect("valid"),
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let mut pool = ConnPool::new();
+        let mut rng = sonet_util::Rng::new(3);
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let c = pool
+                .get_one_of(&mut sim, SimTime::ZERO, a, b, 80, 4, &mut rng)
+                .expect("open");
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), 4, "pool should stabilize at its width");
+        assert_eq!(pool.len(), 4);
+    }
+}

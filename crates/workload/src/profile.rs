@@ -1,0 +1,805 @@
+//! Service traffic profiles — the quantitative heart of the reproduction.
+//!
+//! Each host role is described by a set of [`CallPattern`]s: independent
+//! RPC call streams with an arrival rate, burst structure, destination
+//! selection policy, request/response size distributions, and connection
+//! management mode. Default parameters are calibrated against the paper:
+//!
+//! * Table 2's outbound byte mixes per role;
+//! * §5.1's flow size/duration statements (pooling for cache/web, Hadoop
+//!   flows 70 % < 10 kB, median < 1 kB, < 5 % > 1 MB);
+//! * §6.1's packet sizes (non-Hadoop median < 200 B, Hadoop bimodal);
+//! * §6.2's flow inter-arrival medians (≈2 ms Web/Hadoop, 3/8 ms cache);
+//! * §4.2's locality splits per cluster type.
+//!
+//! Absolute per-host *rates* are scaled down from production (DESIGN.md
+//! §3): distribution shapes and mixes, which are what every figure
+//! measures, are rate-invariant. The `rate_scale` knob on
+//! [`ServiceProfiles`] lets experiments trade runtime for traffic volume.
+
+use crate::diurnal::DiurnalPattern;
+use serde::{Deserialize, Serialize};
+use sonet_util::dist::Dist;
+use sonet_util::SimDuration;
+
+/// Well-known server ports per role (flavor only; analysis keys on roles).
+pub mod ports {
+    /// HTTP on Web servers.
+    pub const WEB: u16 = 80;
+    /// memcached on cache hosts.
+    pub const CACHE: u16 = 11211;
+    /// Multifeed aggregators.
+    pub const MULTIFEED: u16 = 8080;
+    /// Software load balancers.
+    pub const SLB: u16 = 443;
+    /// MySQL.
+    pub const DB: u16 = 3306;
+    /// HDFS data transfer.
+    pub const HADOOP: u16 = 50010;
+    /// Miscellaneous services.
+    pub const MISC: u16 = 9000;
+}
+
+/// Request/response/service-time triple for one RPC type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcProfile {
+    /// Request payload bytes (client → server).
+    pub request: Dist,
+    /// Response payload bytes (server → client); `Constant(0)` means
+    /// one-way (no response).
+    pub response: Dist,
+    /// Server think time before the response, in microseconds.
+    pub service_us: Dist,
+}
+
+/// How a pattern manages connections.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PoolMode {
+    /// mcrouter-style long-lived pooled connection per (src, dst) pair
+    /// (§5.1: "many of Facebook's internal services use some form of
+    /// connection pooling, leading to long-lived connections").
+    Pooled,
+    /// A fresh connection per call, closed after the exchange — Hadoop's
+    /// behaviour, which drives its high SYN rate (§6.2).
+    Ephemeral,
+}
+
+/// Destination host selection policy for a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DestSelector {
+    /// A host with `role` in the caller's own cluster.
+    RoleInCluster {
+        /// Target role.
+        role: sonet_topology::HostRole,
+        /// Spread across candidates.
+        lb: LoadBalance,
+    },
+    /// A host with `role` in the caller's datacenter but outside its
+    /// cluster (if none exists outside, any host of that role in the DC).
+    RoleInDatacenter {
+        /// Target role.
+        role: sonet_topology::HostRole,
+    },
+    /// A host with `role` anywhere in the fleet; with probability
+    /// `p_remote_dc` the pick is forced to another datacenter when one
+    /// exists.
+    RoleAnywhere {
+        /// Target role.
+        role: sonet_topology::HostRole,
+        /// Probability of forcing a remote-datacenter destination.
+        p_remote_dc: f64,
+    },
+    /// Hadoop data placement: with probability `p_rack` a host in the
+    /// caller's own rack; otherwise a host in another rack of the cluster,
+    /// with racks weighted by a Zipf(`rack_skew`) law — §4.2: inter-rack
+    /// traffic reaches 95 % of racks but 17 % of racks receive 80 %.
+    HadoopPlacement {
+        /// Probability the destination is rack-local (paper: 0.757 busy).
+        p_rack: f64,
+        /// Zipf exponent of the rack popularity skew.
+        rack_skew: f64,
+    },
+}
+
+/// Load-balancing quality across candidate destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LoadBalance {
+    /// Perfect spreading (§5.2's effective load balancing).
+    Uniform,
+    /// Skewed popularity — used by the load-balancing ablation to show how
+    /// heavy-hitter stability degrades without the paper's engineering.
+    Zipf {
+        /// Skew exponent (larger = more concentrated).
+        s: f64,
+    },
+}
+
+/// One independent RPC call stream emitted by a host.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CallPattern {
+    /// Human-readable name (shows up in workload diagnostics).
+    pub name: &'static str,
+    /// Burst-arrival events per second per source host (Poisson).
+    pub bursts_per_sec: f64,
+    /// Calls per burst (e.g. the per-page cache fan-out).
+    pub burst_size: Dist,
+    /// Burst calls are spread uniformly over this window (µs).
+    pub burst_window_us: f64,
+    /// Destination policy.
+    pub dest: DestSelector,
+    /// Sizes and service time.
+    pub rpc: RpcProfile,
+    /// Connection management.
+    pub pool: PoolMode,
+    /// Parallel pooled connections per destination (ignored for ephemeral
+    /// patterns). Worker processes each keep their own connection; the
+    /// paper's cache/Web hosts carry "100s to 1000s of concurrent
+    /// connections" (§6.4).
+    pub pool_width: u32,
+    /// If true, the pattern's rate is modulated by the Hadoop phase
+    /// machine (busy/quiet); only meaningful for Hadoop hosts.
+    pub phase_locked: bool,
+}
+
+/// Hot-object dynamics and their mitigation (§5.2).
+///
+/// "Bursts of requests for an object lead the cache server to instruct
+/// the Web server to temporarily cache the hot object; sustained activity
+/// for the object leads to replication of the object or the enclosing
+/// shard across multiple cache servers to help spread the load. ... the
+/// median lifespan for objects within this [top-50] list is on the order
+/// of a few minutes."
+///
+/// When `hot_fraction > 0`, that share of Web→cache gets targets the
+/// current hot object's home follower. Every `rotation` a new hot object
+/// (hence home follower) is drawn. With `mitigated` set, requests spread
+/// uniformly again once the burst has lasted `detect_after` — the
+/// replication/web-side-caching response. The Fig 8 ablation contrasts
+/// mitigated and unmitigated runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotObjectConfig {
+    /// Share of cache gets hitting the hot object (0 disables).
+    pub hot_fraction: f64,
+    /// Hot-object lifetime.
+    pub rotation: SimDuration,
+    /// Detection + replication delay before mitigation kicks in.
+    pub detect_after: SimDuration,
+    /// Whether the mitigation machinery is active.
+    pub mitigated: bool,
+}
+
+impl Default for HotObjectConfig {
+    fn default() -> Self {
+        HotObjectConfig {
+            hot_fraction: 0.0,
+            rotation: SimDuration::from_secs(120),
+            detect_after: SimDuration::from_secs(2),
+            mitigated: true,
+        }
+    }
+}
+
+impl HotObjectConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.hot_fraction) {
+            return Err("hot_fraction must be a probability".into());
+        }
+        if self.rotation.is_zero() {
+            return Err("hot-object rotation must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Hadoop's two-phase activity cycle (§4.2: "any given data capture might
+/// observe a Hadoop node during a busy period of shuffled network traffic,
+/// or during a relatively quiet period of computation").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HadoopPhases {
+    /// Busy-phase duration (seconds).
+    pub busy_secs: Dist,
+    /// Quiet-phase duration (seconds).
+    pub quiet_secs: Dist,
+    /// Multiplier applied to Hadoop transfer rates during quiet phases.
+    pub quiet_rate_factor: f64,
+    /// Probability a host starts in the busy phase.
+    pub p_start_busy: f64,
+}
+
+/// The full parameter set: per-role call patterns plus global knobs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceProfiles {
+    /// Web server patterns.
+    pub web: Vec<CallPattern>,
+    /// Cache follower patterns.
+    pub cache_follower: Vec<CallPattern>,
+    /// Cache leader patterns.
+    pub cache_leader: Vec<CallPattern>,
+    /// Hadoop patterns (rates modulated by `hadoop_phases`).
+    pub hadoop: Vec<CallPattern>,
+    /// Multifeed patterns.
+    pub multifeed: Vec<CallPattern>,
+    /// SLB patterns. The user-request rate is auto-scaled so that
+    /// SLB→Web page requests match the Web tier's page rate.
+    pub slb: Vec<CallPattern>,
+    /// Database patterns.
+    pub db: Vec<CallPattern>,
+    /// Miscellaneous-service patterns.
+    pub misc: Vec<CallPattern>,
+    /// Hadoop phase machine.
+    pub hadoop_phases: HadoopPhases,
+    /// Hot-object dynamics for Web→cache gets (§5.2).
+    pub hot_objects: HotObjectConfig,
+    /// Global rate multiplier (scale traffic volume without reshaping it).
+    pub rate_scale: f64,
+    /// Diurnal modulation applied to all rates.
+    pub diurnal: DiurnalPattern,
+    /// Lifetime margin for ephemeral connections: the connection closes
+    /// after `est. transfer time × 3 + linger + this`.
+    pub ephemeral_close_margin: SimDuration,
+    /// Additional ephemeral-connection linger (milliseconds): tasks hold
+    /// their connection open for a while after the exchange, which is what
+    /// spreads Hadoop's flow durations (§5.1: 70 % < 10 s, median < 1 s,
+    /// few outliving a 10-minute trace).
+    pub ephemeral_linger_ms: Dist,
+}
+
+use sonet_topology::HostRole;
+
+impl ServiceProfiles {
+    /// Patterns for a role.
+    pub fn for_role(&self, role: HostRole) -> &[CallPattern] {
+        match role {
+            HostRole::Web => &self.web,
+            HostRole::CacheFollower => &self.cache_follower,
+            HostRole::CacheLeader => &self.cache_leader,
+            HostRole::Hadoop => &self.hadoop,
+            HostRole::Multifeed => &self.multifeed,
+            HostRole::Slb => &self.slb,
+            HostRole::Db => &self.db,
+            HostRole::Misc => &self.misc,
+        }
+    }
+
+    /// Validates every distribution and rate.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.rate_scale > 0.0) {
+            return Err("rate_scale must be positive".into());
+        }
+        for role in HostRole::ALL {
+            for p in self.for_role(role) {
+                if !(p.bursts_per_sec >= 0.0) {
+                    return Err(format!("{}: negative rate", p.name));
+                }
+                if p.burst_window_us < 0.0 {
+                    return Err(format!("{}: negative burst window", p.name));
+                }
+                p.burst_size.validate().map_err(|e| format!("{}: burst {e}", p.name))?;
+                p.rpc.request.validate().map_err(|e| format!("{}: req {e}", p.name))?;
+                p.rpc.response.validate().map_err(|e| format!("{}: resp {e}", p.name))?;
+                p.rpc
+                    .service_us
+                    .validate()
+                    .map_err(|e| format!("{}: service {e}", p.name))?;
+            }
+        }
+        self.hadoop_phases.busy_secs.validate().map_err(|e| format!("busy {e}"))?;
+        self.hadoop_phases.quiet_secs.validate().map_err(|e| format!("quiet {e}"))?;
+        if !(0.0..=1.0).contains(&self.hadoop_phases.p_start_busy) {
+            return Err("p_start_busy must be a probability".into());
+        }
+        self.hot_objects.validate()?;
+        self.ephemeral_linger_ms
+            .validate()
+            .map_err(|e| format!("ephemeral linger {e}"))?;
+        Ok(())
+    }
+}
+
+fn ln(median: f64, sigma: f64) -> Dist {
+    Dist::LogNormal { median, sigma }
+}
+
+fn exp_us(mean: f64) -> Dist {
+    Dist::Exponential { mean }
+}
+
+impl Default for ServiceProfiles {
+    /// Paper-calibrated defaults. Rates are per-host and scaled to roughly
+    /// 1/50 of production volume (DESIGN.md §3); `rate_scale` multiplies
+    /// them uniformly.
+    fn default() -> Self {
+        use DestSelector::*;
+        use HostRole::*;
+
+        // ------------------------------------------------------------
+        // Web servers (Table 2 row "Web": Cache 63.1, MF 15.2, SLB 5.6,
+        // Rest 16.1). A "page" is a burst of cache gets/sets plus feed
+        // and misc lookups; the SLB-bound page response is driven by the
+        // SLB tier's requests.
+        // ------------------------------------------------------------
+        let web = vec![
+            CallPattern {
+                name: "web.cache_get",
+                bursts_per_sec: 2.0, // pages/s per web host (scaled)
+                burst_size: Dist::Uniform { lo: 10.0, hi: 21.0 }, // ~15 objects/page
+                burst_window_us: 3_000.0,
+                dest: RoleInCluster { role: CacheFollower, lb: LoadBalance::Uniform },
+                rpc: RpcProfile {
+                    request: ln(120.0, 0.6),  // keys + flags
+                    // Object values: mostly hundreds of bytes with a heavy
+                    // tail [10]; keeps full-MTU packets at the paper's
+                    // 5-10 % (§6.1).
+                    response: ln(400.0, 1.0),
+                    service_us: exp_us(100.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 8,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "web.cache_set",
+                bursts_per_sec: 2.0,
+                burst_size: Dist::Uniform { lo: 2.0, hi: 6.0 }, // ~4 writes/page
+                burst_window_us: 5_000.0,
+                dest: RoleInCluster { role: CacheFollower, lb: LoadBalance::Uniform },
+                rpc: RpcProfile {
+                    request: ln(2000.0, 1.0), // rendered fragments written back
+                    response: Dist::Constant(100.0),
+                    service_us: exp_us(150.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 8,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "web.multifeed",
+                bursts_per_sec: 2.0,
+                burst_size: Dist::Constant(2.0),
+                burst_window_us: 4_000.0,
+                dest: RoleInCluster { role: Multifeed, lb: LoadBalance::Uniform },
+                rpc: RpcProfile {
+                    request: ln(2000.0, 0.5),  // viewer context
+                    response: ln(1200.0, 0.9), // ranked story ids + snippets
+                    service_us: exp_us(2_000.0),
+                },
+                // PHP request workers open per-request backend connections
+                // — a large share of the web tier's ~500 flows/s (§6.2).
+                pool: PoolMode::Ephemeral,
+                pool_width: 1,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "web.misc",
+                bursts_per_sec: 2.0,
+                burst_size: Dist::Constant(4.0),
+                burst_window_us: 10_000.0,
+                dest: RoleAnywhere { role: Misc, p_remote_dc: 0.15 },
+                rpc: RpcProfile {
+                    request: ln(850.0, 0.6),
+                    response: ln(900.0, 0.8),
+                    service_us: exp_us(1_000.0),
+                },
+                pool: PoolMode::Ephemeral,
+                pool_width: 1,
+                phase_locked: false,
+            },
+        ];
+
+        // ------------------------------------------------------------
+        // SLB (drives Web page responses; §3.2). The driver scales the
+        // per-SLB rate by n_web/n_slb so aggregate page rates match.
+        // ------------------------------------------------------------
+        let slb = vec![CallPattern {
+            name: "slb.user_request",
+            bursts_per_sec: 2.0, // auto-scaled by web/slb host ratio at build
+            burst_size: Dist::Constant(1.0),
+            burst_window_us: 0.0,
+            dest: RoleInCluster { role: Web, lb: LoadBalance::Uniform },
+            rpc: RpcProfile {
+                request: ln(550.0, 0.5),   // HTTP GET + cookies
+                response: ln(1900.0, 0.5), // compressed page (Table 2: SLB gets 5.6 %)
+                service_us: exp_us(5_000.0),
+            },
+            pool: PoolMode::Pooled,
+            pool_width: 4,
+            phase_locked: false,
+        }];
+
+        // ------------------------------------------------------------
+        // Cache followers (Table 2 row "Cache-f": Web 88.7 — driven by
+        // web.cache_get responses above — Cache 5.8, Rest 5.5).
+        // ------------------------------------------------------------
+        let cache_follower = vec![
+            CallPattern {
+                name: "cachef.leader_fetch_writeback",
+                bursts_per_sec: 4.0, // misses + write-throughs
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: CacheLeader, p_remote_dc: 0.2 },
+                rpc: RpcProfile {
+                    request: ln(350.0, 0.8), // write-through values + fetch keys
+                    response: ln(600.0, 1.0),
+                    service_us: exp_us(300.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "cachef.misc",
+                bursts_per_sec: 6.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: Misc, p_remote_dc: 0.1 },
+                rpc: RpcProfile {
+                    request: ln(550.0, 0.7),
+                    response: ln(500.0, 0.7),
+                    service_us: exp_us(500.0),
+                },
+                pool: PoolMode::Ephemeral,
+                pool_width: 1,
+                phase_locked: false,
+            },
+        ];
+
+        // ------------------------------------------------------------
+        // Cache leaders (Table 2 row "Cache-l": Cache 86.6, MF 5.9,
+        // Rest 7.5; §4.2: leaders engage primarily in intra- and
+        // inter-datacenter traffic, the cache being "a single
+        // geographically distributed instance").
+        // ------------------------------------------------------------
+        let cache_leader = vec![
+            CallPattern {
+                name: "cachel.coherency_push",
+                bursts_per_sec: 18.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: CacheFollower, p_remote_dc: 0.25 },
+                rpc: RpcProfile {
+                    request: ln(500.0, 1.1), // invalidations + object fills
+                    response: Dist::Constant(100.0),
+                    service_us: exp_us(200.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "cachel.peer_sync",
+                bursts_per_sec: 3.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleInCluster { role: CacheLeader, lb: LoadBalance::Uniform },
+                rpc: RpcProfile {
+                    request: ln(300.0, 0.5),
+                    response: ln(300.0, 0.5),
+                    service_us: exp_us(100.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 8,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "cachel.multifeed",
+                bursts_per_sec: 3.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: Multifeed, p_remote_dc: 0.1 },
+                rpc: RpcProfile {
+                    request: ln(550.0, 0.5),
+                    response: ln(500.0, 0.6),
+                    service_us: exp_us(500.0),
+                },
+                pool: PoolMode::Ephemeral,
+                pool_width: 1,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "cachel.db_readthrough",
+                bursts_per_sec: 5.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: Db, p_remote_dc: 0.35 },
+                rpc: RpcProfile {
+                    request: ln(350.0, 0.5),  // SQL query
+                    response: ln(800.0, 1.0), // rows
+                    service_us: exp_us(3_000.0),
+                },
+                pool: PoolMode::Ephemeral,
+                pool_width: 1,
+                phase_locked: false,
+            },
+        ];
+
+        // ------------------------------------------------------------
+        // Hadoop (Table 2: 99.8 % Hadoop-bound; §5.1: 70 % of flows
+        // < 10 kB and < 10 s, median < 1 kB, < 5 % > 1 MB; §6.1: bimodal
+        // ACK/MTU packets; §6.2: no pooling, ≈500 flows/s; §4.2: 75.7 %
+        // rack-local when busy with Zipf-skewed inter-rack spread).
+        // ------------------------------------------------------------
+        let hadoop = vec![
+            CallPattern {
+                name: "hadoop.transfer",
+                bursts_per_sec: 30.0, // per host while busy
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: HadoopPlacement { p_rack: 0.757, rack_skew: 1.1 },
+                rpc: RpcProfile {
+                    // 72 % tiny task/metadata exchanges, 23 % block-piece
+                    // moves, 5 % heavy shuffle/output segments (> 1 MB).
+                    request: Dist::Mixture {
+                        components: vec![
+                            ln(480.0, 1.1),
+                            ln(15_000.0, 1.2),
+                            Dist::ParetoBounded { alpha: 1.05, lo: 1.0e6, hi: 1.6e7 },
+                        ],
+                        weights: vec![0.72, 0.23, 0.05],
+                    },
+                    response: Dist::Constant(0.0), // one-way push + ACKs
+                    service_us: exp_us(100.0),
+                },
+                pool: PoolMode::Ephemeral,
+                pool_width: 1,
+                phase_locked: true,
+            },
+            CallPattern {
+                name: "hadoop.control",
+                bursts_per_sec: 15.0, // heartbeats/task control, phase-independent
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: HadoopPlacement { p_rack: 0.10, rack_skew: 0.0 },
+                rpc: RpcProfile {
+                    request: ln(300.0, 0.5),
+                    response: ln(400.0, 0.5),
+                    service_us: exp_us(200.0),
+                },
+                pool: PoolMode::Ephemeral,
+                pool_width: 1,
+                phase_locked: false,
+            },
+        ];
+
+        // ------------------------------------------------------------
+        // Multifeed: aggregators fan out to leaf/storage services (Misc)
+        // and sync with peers.
+        // ------------------------------------------------------------
+        let multifeed = vec![
+            CallPattern {
+                name: "mf.leaf_read",
+                bursts_per_sec: 10.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: Misc, p_remote_dc: 0.1 },
+                rpc: RpcProfile {
+                    request: ln(500.0, 0.6),
+                    response: ln(2500.0, 0.9),
+                    service_us: exp_us(800.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "mf.peer",
+                bursts_per_sec: 2.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: Multifeed, p_remote_dc: 0.2 },
+                rpc: RpcProfile {
+                    request: ln(900.0, 0.7),
+                    response: ln(900.0, 0.7),
+                    service_us: exp_us(400.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+        ];
+
+        // ------------------------------------------------------------
+        // Database (Table 3 "DB" column: 0 rack / 30.7 cluster / 34.5 DC /
+        // 34.8 inter-DC — "the most uniform, divided almost evenly").
+        // ------------------------------------------------------------
+        let db = vec![
+            CallPattern {
+                name: "db.intra_cluster_repl",
+                bursts_per_sec: 2.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleInCluster { role: Db, lb: LoadBalance::Uniform },
+                rpc: RpcProfile {
+                    request: ln(3000.0, 1.0), // binlog batches
+                    response: Dist::Constant(100.0),
+                    service_us: exp_us(1_000.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "db.intra_dc",
+                bursts_per_sec: 2.2,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleInDatacenter { role: Misc },
+                rpc: RpcProfile {
+                    request: ln(2800.0, 1.0),
+                    response: ln(400.0, 0.6),
+                    service_us: exp_us(1_000.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "db.geo_repl",
+                bursts_per_sec: 2.2,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: Db, p_remote_dc: 1.0 },
+                rpc: RpcProfile {
+                    request: ln(3000.0, 1.0),
+                    response: Dist::Constant(100.0),
+                    service_us: exp_us(1_000.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+        ];
+
+        // ------------------------------------------------------------
+        // Misc services (Table 3 "Svc" column: 12.1 rack / 56.3 cluster /
+        // 15.7 DC / 15.9 inter-DC — "a mixed traffic pattern ... between
+        // these extreme points").
+        // ------------------------------------------------------------
+        let misc = vec![
+            CallPattern {
+                name: "misc.rack_peer",
+                bursts_per_sec: 2.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: HadoopPlacement { p_rack: 1.0, rack_skew: 0.0 }, // same-rack shard pair
+                rpc: RpcProfile {
+                    request: ln(900.0, 0.8),
+                    response: ln(900.0, 0.8),
+                    service_us: exp_us(300.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "misc.cluster",
+                bursts_per_sec: 5.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleInCluster { role: Misc, lb: LoadBalance::Uniform },
+                rpc: RpcProfile {
+                    request: ln(800.0, 0.8),
+                    response: ln(1500.0, 1.0),
+                    service_us: exp_us(500.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+            CallPattern {
+                name: "misc.wide",
+                bursts_per_sec: 3.0,
+                burst_size: Dist::Constant(1.0),
+                burst_window_us: 0.0,
+                dest: RoleAnywhere { role: Misc, p_remote_dc: 0.5 },
+                rpc: RpcProfile {
+                    request: ln(800.0, 0.8),
+                    response: ln(1200.0, 1.0),
+                    service_us: exp_us(500.0),
+                },
+                pool: PoolMode::Pooled,
+                pool_width: 4,
+                phase_locked: false,
+            },
+        ];
+
+        ServiceProfiles {
+            web,
+            cache_follower,
+            cache_leader,
+            hadoop,
+            multifeed,
+            slb,
+            db,
+            misc,
+            hadoop_phases: HadoopPhases {
+                busy_secs: ln(15.0, 0.6),
+                quiet_secs: ln(20.0, 0.8),
+                quiet_rate_factor: 0.02,
+                p_start_busy: 0.5,
+            },
+            hot_objects: HotObjectConfig::default(),
+            rate_scale: 1.0,
+            diurnal: DiurnalPattern::flat(),
+            ephemeral_close_margin: SimDuration::from_millis(15),
+            ephemeral_linger_ms: ln(400.0, 1.3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_util::{Distribution, Rng};
+
+    #[test]
+    fn default_profiles_validate() {
+        ServiceProfiles::default().validate().expect("defaults valid");
+    }
+
+    #[test]
+    fn every_role_has_patterns() {
+        let p = ServiceProfiles::default();
+        for role in HostRole::ALL {
+            assert!(!p.for_role(role).is_empty(), "{role} has no patterns");
+        }
+    }
+
+    #[test]
+    fn hadoop_flow_sizes_match_section_5_1() {
+        // §5.1: 70 % of flows send < 10 kB; median < 1 kB; < 5 % > 1 MB.
+        let p = ServiceProfiles::default();
+        let transfer = &p.hadoop[0].rpc.request;
+        let mut rng = Rng::new(42);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| transfer.sample(&mut rng)).collect();
+        let under_10k = samples.iter().filter(|&&v| v < 10_000.0).count() as f64 / n as f64;
+        let over_1m = samples.iter().filter(|&&v| v > 1_000_000.0).count() as f64 / n as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = sorted[n / 2];
+        assert!((0.60..=0.82).contains(&under_10k), "P(<10kB) = {under_10k}");
+        assert!(over_1m <= 0.07, "P(>1MB) = {over_1m}");
+        assert!(median < 1_000.0, "median = {median}");
+    }
+
+    #[test]
+    fn web_outbound_mix_tracks_table_2() {
+        // Analytic expectation of outbound bytes per second per category
+        // (payload only; framing shifts things slightly in the full sim).
+        let p = ServiceProfiles::default();
+        let mean = |d: &Dist| match d {
+            Dist::LogNormal { median, sigma } => median * (sigma * sigma / 2.0).exp(),
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            _ => panic!("unexpected dist in web profile"),
+        };
+        let rate_of = |c: &CallPattern| c.bursts_per_sec * mean(&c.burst_size);
+        let bytes: Vec<f64> = p.web.iter().map(|c| rate_of(c) * mean(&c.rpc.request)).collect();
+        let cache = bytes[0] + bytes[1];
+        let mf = bytes[2];
+        let misc = bytes[3];
+        // Page responses to SLB: driven by slb.user_request at the web
+        // host's page rate (2/s) with the SLB pattern's response size.
+        let slb = 2.0 * mean(&p.slb[0].rpc.response);
+        let total = cache + mf + misc + slb;
+        // Table 2 Web row: Cache 63.1, MF 15.2, SLB 5.6, Rest 16.1.
+        assert!((cache / total - 0.631).abs() < 0.08, "cache share {}", cache / total);
+        assert!((mf / total - 0.152).abs() < 0.05, "mf share {}", mf / total);
+        assert!((slb / total - 0.056).abs() < 0.04, "slb share {}", slb / total);
+        assert!((misc / total - 0.161).abs() < 0.06, "misc share {}", misc / total);
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        let mut p = ServiceProfiles::default();
+        p.rate_scale = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = ServiceProfiles::default();
+        p.web[0].bursts_per_sec = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = ServiceProfiles::default();
+        p.hadoop_phases.p_start_busy = 2.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,855 @@
+//! The packet-tier workload driver.
+//!
+//! [`Workload`] owns one agent per active host. Each agent runs the
+//! [`CallPattern`]s of its role as independent Poisson burst processes,
+//! selecting destinations per pattern policy, and issues
+//! `open_connection` / `send_message` / `close_connection` calls against
+//! the simulator. Generation is windowed: call [`Workload::generate`] up
+//! to a horizon, then `Simulator::run_until` the same horizon, and repeat —
+//! memory stays bounded no matter how long the trace.
+
+use crate::pool::ConnPool;
+use crate::profile::{ports, CallPattern, DestSelector, LoadBalance, PoolMode, ServiceProfiles};
+use sonet_netsim::{PacketTap, SimError, Simulator};
+use sonet_topology::{ClusterId, DatacenterId, HostId, HostRole, Topology};
+use sonet_util::{Distribution, Rng, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from workload construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Profile validation failed.
+    BadProfiles(String),
+    /// No hosts were selected for generation.
+    NothingActive,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::BadProfiles(e) => write!(f, "invalid profiles: {e}"),
+            WorkloadError::NothingActive => write!(f, "no active hosts in workload"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Server port for a destination role.
+pub fn port_for(role: HostRole) -> u16 {
+    match role {
+        HostRole::Web => ports::WEB,
+        HostRole::CacheFollower | HostRole::CacheLeader => ports::CACHE,
+        HostRole::Multifeed => ports::MULTIFEED,
+        HostRole::Slb => ports::SLB,
+        HostRole::Db => ports::DB,
+        HostRole::Hadoop => ports::HADOOP,
+        HostRole::Misc => ports::MISC,
+    }
+}
+
+struct PatternState {
+    next_burst: SimTime,
+    /// Static per-agent rate multiplier (e.g. SLB auto-scaling).
+    rate_mult: f64,
+}
+
+struct PhaseState {
+    busy: bool,
+    until: SimTime,
+}
+
+struct Agent {
+    host: HostId,
+    role: HostRole,
+    rng: Rng,
+    patterns: Vec<PatternState>,
+    phase: Option<PhaseState>,
+    /// Per-agent preference order over the cluster's other racks (gives
+    /// each Hadoop server its own hot racks, §4.2).
+    rack_order: Vec<u32>,
+}
+
+/// Packet-tier traffic generator. See the module docs for the loop shape.
+pub struct Workload {
+    topo: Arc<Topology>,
+    profiles: Arc<ServiceProfiles>,
+    pool: ConnPool,
+    agents: Vec<Agent>,
+    generated_until: SimTime,
+    /// Hosts of a role inside each datacenter.
+    dc_role_hosts: HashMap<(DatacenterId, HostRole), Vec<HostId>>,
+    /// Hosts of a role outside each datacenter.
+    other_dc_role_hosts: HashMap<(DatacenterId, HostRole), Vec<HostId>>,
+    /// Cumulative Zipf weights cache keyed by (count, skew-milli).
+    zipf_cache: HashMap<(u32, u32), Vec<f64>>,
+    /// Calls skipped because no destination of the required role exists.
+    skipped_calls: u64,
+    /// Total calls issued.
+    issued_calls: u64,
+}
+
+impl Workload {
+    /// Builds a workload with agents on every host of `topo`.
+    pub fn new(
+        topo: Arc<Topology>,
+        profiles: ServiceProfiles,
+        seed: u64,
+    ) -> Result<Workload, WorkloadError> {
+        let all: Vec<ClusterId> = (0..topo.clusters().len())
+            .map(|i| ClusterId(i as u32))
+            .collect();
+        Workload::with_clusters(topo, profiles, seed, &all)
+    }
+
+    /// Builds a workload with agents only on hosts of `active` clusters
+    /// (the rest of the plant stays silent — useful to scope packet-tier
+    /// experiments to the monitored neighbourhood).
+    pub fn with_clusters(
+        topo: Arc<Topology>,
+        profiles: ServiceProfiles,
+        seed: u64,
+        active: &[ClusterId],
+    ) -> Result<Workload, WorkloadError> {
+        profiles.validate().map_err(WorkloadError::BadProfiles)?;
+        let root = Rng::new(seed);
+
+        let mut dc_role_hosts: HashMap<(DatacenterId, HostRole), Vec<HostId>> = HashMap::new();
+        for (i, h) in topo.hosts().iter().enumerate() {
+            dc_role_hosts
+                .entry((h.datacenter, h.role))
+                .or_default()
+                .push(HostId(i as u32));
+        }
+        let mut other_dc_role_hosts: HashMap<(DatacenterId, HostRole), Vec<HostId>> =
+            HashMap::new();
+        for dc_idx in 0..topo.datacenters().len() {
+            let dc = DatacenterId(dc_idx as u32);
+            for role in HostRole::ALL {
+                let mut v = Vec::new();
+                for (&(d, r), hosts) in &dc_role_hosts {
+                    if d != dc && r == role {
+                        v.extend_from_slice(hosts);
+                    }
+                }
+                v.sort_unstable();
+                other_dc_role_hosts.insert((dc, role), v);
+            }
+        }
+
+        let mut agents = Vec::new();
+        for &cid in active {
+            let cluster = topo.cluster(cid);
+            // SLB auto-scaling: one page served per SLB user request.
+            let n_web = topo.hosts_with_role_in_cluster(cid, HostRole::Web).len();
+            let n_slb = topo.hosts_with_role_in_cluster(cid, HostRole::Slb).len();
+            for &rid in &cluster.racks {
+                for &hid in &topo.rack(rid).hosts {
+                    let role = topo.host(hid).role;
+                    let mut rng = root.fork_idx("agent", hid.0 as u64);
+                    let pats = profiles.for_role(role);
+                    let patterns = pats
+                        .iter()
+                        .map(|p| {
+                            let rate_mult = if role == HostRole::Slb && n_slb > 0 {
+                                // Match aggregate page-request rate to the
+                                // web tier's page rate.
+                                let web_rate = profiles
+                                    .web
+                                    .first()
+                                    .map(|w| w.bursts_per_sec)
+                                    .unwrap_or(p.bursts_per_sec);
+                                (n_web as f64 * web_rate)
+                                    / (n_slb as f64 * p.bursts_per_sec.max(1e-12))
+                            } else {
+                                1.0
+                            };
+                            let mut st = PatternState { next_burst: SimTime::ZERO, rate_mult };
+                            // Stagger the first burst.
+                            let rate = effective_rate(&profiles, p, &st, SimTime::ZERO, 1.0);
+                            st.next_burst = if rate > 0.0 {
+                                SimTime::from_secs_f64_saturating(rng.f64() / rate)
+                            } else {
+                                SimTime::MAX
+                            };
+                            st
+                        })
+                        .collect();
+                    let phase = (role == HostRole::Hadoop).then(|| {
+                        let busy = rng.chance(profiles.hadoop_phases.p_start_busy);
+                        let dur = if busy {
+                            profiles.hadoop_phases.busy_secs.sample(&mut rng)
+                        } else {
+                            profiles.hadoop_phases.quiet_secs.sample(&mut rng)
+                        };
+                        PhaseState {
+                            busy,
+                            until: SimTime::from_secs_f64_saturating(dur.max(0.1)),
+                        }
+                    });
+                    // Per-agent shuffled order over the cluster's racks.
+                    let mut rack_order: Vec<u32> =
+                        cluster.racks.iter().map(|r| r.0).filter(|&r| r != rid.0).collect();
+                    rng.shuffle(&mut rack_order);
+                    agents.push(Agent { host: hid, role, rng, patterns, phase, rack_order });
+                }
+            }
+        }
+        if agents.is_empty() {
+            return Err(WorkloadError::NothingActive);
+        }
+        Ok(Workload {
+            topo,
+            profiles: Arc::new(profiles),
+            pool: ConnPool::new(),
+            agents,
+            generated_until: SimTime::ZERO,
+            dc_role_hosts,
+            other_dc_role_hosts,
+            zipf_cache: HashMap::new(),
+            skipped_calls: 0,
+            issued_calls: 0,
+        })
+    }
+
+    /// Total RPC calls issued so far.
+    pub fn issued_calls(&self) -> u64 {
+        self.issued_calls
+    }
+
+    /// Calls skipped for lack of any feasible destination.
+    pub fn skipped_calls(&self) -> u64 {
+        self.skipped_calls
+    }
+
+    /// Live pooled connections.
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// A deterministic host of `role` to attach a port mirror to (the
+    /// first host of that role among active agents).
+    pub fn monitored_host(&self, role: HostRole) -> Option<HostId> {
+        self.agents.iter().find(|a| a.role == role).map(|a| a.host)
+    }
+
+    /// Forces `host`'s Hadoop phase machine to start in a busy period of
+    /// at least `for_secs` seconds. The paper's Hadoop trace deliberately
+    /// covers "a relatively busy period" (§4.2/§5.1); captures call this
+    /// for the monitored node so short traces don't land in a quiet phase.
+    ///
+    /// No-op for hosts without a phase machine (non-Hadoop roles).
+    pub fn ensure_busy_start(&mut self, host: HostId, for_secs: f64) {
+        if let Some(agent) = self.agents.iter_mut().find(|a| a.host == host) {
+            if let Some(phase) = agent.phase.as_mut() {
+                phase.busy = true;
+                let until = SimTime::from_secs_f64_saturating(for_secs.max(0.1));
+                phase.until = phase.until.max(until);
+            }
+        }
+    }
+
+    /// Generates all calls with arrival times in `[generated_until, until)`
+    /// and schedules them on `sim`. Call before `sim.run_until(until)`.
+    pub fn generate<T: PacketTap>(
+        &mut self,
+        sim: &mut Simulator<T>,
+        until: SimTime,
+    ) -> Result<(), SimError> {
+        let from = self.generated_until;
+        debug_assert!(until >= from);
+        // Take fields apart to satisfy the borrow checker: agents are
+        // mutated while profile data is read.
+        let profiles = Arc::clone(&self.profiles);
+        for ai in 0..self.agents.len() {
+            self.advance_phase(ai, until);
+            let role = self.agents[ai].role;
+            for (pi, pattern) in profiles.for_role(role).iter().enumerate() {
+                self.run_pattern(sim, ai, pi, pattern, from, until)?;
+            }
+        }
+        self.generated_until = until;
+        Ok(())
+    }
+
+    fn advance_phase(&mut self, ai: usize, until: SimTime) {
+        let phases = self.profiles.hadoop_phases.clone();
+        let agent = &mut self.agents[ai];
+        let Some(phase) = agent.phase.as_mut() else { return };
+        while phase.until < until {
+            phase.busy = !phase.busy;
+            let dur = if phase.busy {
+                phases.busy_secs.sample(&mut agent.rng)
+            } else {
+                phases.quiet_secs.sample(&mut agent.rng)
+            };
+            phase.until = phase.until + SimDuration::from_secs_f64(dur.max(0.1));
+        }
+    }
+
+    fn run_pattern<T: PacketTap>(
+        &mut self,
+        sim: &mut Simulator<T>,
+        ai: usize,
+        pi: usize,
+        pattern: &CallPattern,
+        from: SimTime,
+        until: SimTime,
+    ) -> Result<(), SimError> {
+        loop {
+            let next = self.agents[ai].patterns[pi].next_burst;
+            if next >= until {
+                break;
+            }
+            if next >= from {
+                let burst_at = next.max(sim.now());
+                let n = {
+                    let agent = &mut self.agents[ai];
+                    pattern.burst_size.sample(&mut agent.rng).round().max(1.0) as u32
+                };
+                for _ in 0..n {
+                    let offset_us = {
+                        let agent = &mut self.agents[ai];
+                        if pattern.burst_window_us > 0.0 {
+                            agent.rng.range_f64(0.0, pattern.burst_window_us)
+                        } else {
+                            0.0
+                        }
+                    };
+                    let call_at = burst_at
+                        + SimDuration::from_nanos((offset_us * 1_000.0) as u64);
+                    self.issue_call(sim, ai, pattern, call_at)?;
+                }
+            }
+            // Draw the next inter-burst gap at the current rate.
+            let phase_factor = self.phase_factor(ai, pattern);
+            let agent = &mut self.agents[ai];
+            let st = &agent.patterns[pi];
+            let rate = effective_rate(&self.profiles, pattern, st, next, phase_factor);
+            let gap_s = if rate > 0.0 {
+                -agent.rng.f64_open().ln() / rate
+            } else {
+                // Dormant (e.g. deep quiet phase): re-check at the horizon.
+                agent.patterns[pi].next_burst = until;
+                continue;
+            };
+            agent.patterns[pi].next_burst = next + SimDuration::from_secs_f64(gap_s);
+        }
+        Ok(())
+    }
+
+    fn phase_factor(&self, ai: usize, pattern: &CallPattern) -> f64 {
+        if !pattern.phase_locked {
+            return 1.0;
+        }
+        match &self.agents[ai].phase {
+            Some(p) if !p.busy => self.profiles.hadoop_phases.quiet_rate_factor,
+            _ => 1.0,
+        }
+    }
+
+    fn issue_call<T: PacketTap>(
+        &mut self,
+        sim: &mut Simulator<T>,
+        ai: usize,
+        pattern: &CallPattern,
+        at: SimTime,
+    ) -> Result<(), SimError> {
+        let src = self.agents[ai].host;
+        let dst = match self.hot_object_dest(ai, pattern, at) {
+            Some(hot) => hot,
+            None => match self.pick_dest(ai, &pattern.dest) {
+                Some(d) => d,
+                None => {
+                    self.skipped_calls += 1;
+                    return Ok(());
+                }
+            },
+        };
+        let (req, resp, service_us) = {
+            let agent = &mut self.agents[ai];
+            (
+                pattern.rpc.request.sample(&mut agent.rng).max(1.0) as u64,
+                pattern.rpc.response.sample(&mut agent.rng).max(0.0) as u64,
+                pattern.rpc.service_us.sample(&mut agent.rng).max(0.0),
+            )
+        };
+        let service = SimDuration::from_nanos((service_us * 1_000.0) as u64);
+        let port = port_for(self.topo.host(dst).role);
+        let at = at.max(sim.now());
+        match pattern.pool {
+            PoolMode::Pooled => {
+                let conn = {
+                    let agent = &mut self.agents[ai];
+                    self.pool.get_one_of(
+                        sim,
+                        at,
+                        src,
+                        dst,
+                        port,
+                        pattern.pool_width,
+                        &mut agent.rng,
+                    )?
+                };
+                sim.send_message(conn, at, req, resp, service)?;
+            }
+            PoolMode::Ephemeral => {
+                let conn = sim.open_connection(at, src, dst, port)?;
+                sim.send_message(conn, at, req, resp, service)?;
+                // Close after a generous transfer-time estimate plus a
+                // heavy-tailed application linger (the spread behind the
+                // paper's flow-duration CDFs); generation tags keep any
+                // stragglers harmless.
+                let linger_ms = {
+                    let agent = &mut self.agents[ai];
+                    self.profiles
+                        .ephemeral_linger_ms
+                        .sample(&mut agent.rng)
+                        .clamp(1.0, 30_000.0)
+                };
+                let bytes = req + resp;
+                let est = SimDuration::from_secs_f64(bytes as f64 / 1.25e9 * 3.0)
+                    + SimDuration::from_nanos((linger_ms * 1e6) as u64)
+                    + self.profiles.ephemeral_close_margin;
+                sim.close_connection(conn, at + est)?;
+            }
+        }
+        self.issued_calls += 1;
+        Ok(())
+    }
+
+    /// §5.2 hot-object dynamics: a share of Web→cache gets targets the
+    /// current hot object's home follower until mitigation (replication /
+    /// web-side caching) spreads the burst again.
+    fn hot_object_dest(
+        &mut self,
+        ai: usize,
+        pattern: &CallPattern,
+        at: SimTime,
+    ) -> Option<HostId> {
+        let cfg = &self.profiles.hot_objects;
+        if cfg.hot_fraction <= 0.0 {
+            return None;
+        }
+        let DestSelector::RoleInCluster { role: HostRole::CacheFollower, .. } = pattern.dest
+        else {
+            return None;
+        };
+        if self.agents[ai].role != HostRole::Web {
+            return None;
+        }
+        let is_hot = {
+            let agent = &mut self.agents[ai];
+            agent.rng.chance(cfg.hot_fraction)
+        };
+        if !is_hot {
+            return None;
+        }
+        let rotation = cfg.rotation.as_nanos().max(1);
+        let epoch = at.as_nanos() / rotation;
+        let into_epoch = at.as_nanos() % rotation;
+        if cfg.mitigated && into_epoch > cfg.detect_after.as_nanos() {
+            // Replicated: the burst spreads back across all followers.
+            return None;
+        }
+        let cluster = self.topo.host(self.agents[ai].host).cluster;
+        let followers = self
+            .topo
+            .hosts_with_role_in_cluster(cluster, HostRole::CacheFollower);
+        if followers.is_empty() {
+            return None;
+        }
+        // Deterministic home follower for this (cluster, epoch).
+        let mut h = epoch ^ (cluster.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        Some(followers[(h % followers.len() as u64) as usize])
+    }
+
+    fn pick_dest(&mut self, ai: usize, selector: &DestSelector) -> Option<HostId> {
+        let src = self.agents[ai].host;
+        let src_info = *self.topo.host(src);
+        match *selector {
+            DestSelector::RoleInCluster { role, lb } => {
+                let hosts =
+                    self.topo.hosts_with_role_in_cluster(src_info.cluster, role).to_vec();
+                self.pick_from(ai, &hosts, src, lb)
+            }
+            DestSelector::RoleInDatacenter { role } => {
+                let hosts: Vec<HostId> = self
+                    .dc_role_hosts
+                    .get(&(src_info.datacenter, role))
+                    .cloned()
+                    .unwrap_or_default();
+                // Prefer hosts outside the caller's cluster.
+                let outside: Vec<HostId> = hosts
+                    .iter()
+                    .copied()
+                    .filter(|&h| self.topo.host(h).cluster != src_info.cluster && h != src)
+                    .collect();
+                let agent = &mut self.agents[ai];
+                if !outside.is_empty() {
+                    return Some(*agent.rng.pick(&outside));
+                }
+                let _ = agent;
+                self.pick_from(ai, &hosts, src, LoadBalance::Uniform)
+            }
+            DestSelector::RoleAnywhere { role, p_remote_dc } => {
+                let go_remote = {
+                    let agent = &mut self.agents[ai];
+                    agent.rng.chance(p_remote_dc)
+                };
+                if go_remote {
+                    let remote: Vec<HostId> = self
+                        .other_dc_role_hosts
+                        .get(&(src_info.datacenter, role))
+                        .cloned()
+                        .unwrap_or_default();
+                    if !remote.is_empty() {
+                        let agent = &mut self.agents[ai];
+                        return Some(*agent.rng.pick(&remote));
+                    }
+                }
+                let local: Vec<HostId> = self
+                    .dc_role_hosts
+                    .get(&(src_info.datacenter, role))
+                    .cloned()
+                    .unwrap_or_default();
+                if local.is_empty() {
+                    // Fall back to any datacenter.
+                    let remote = self
+                        .other_dc_role_hosts
+                        .get(&(src_info.datacenter, role))
+                        .cloned()
+                        .unwrap_or_default();
+                    return self.pick_from(ai, &remote, src, LoadBalance::Uniform);
+                }
+                self.pick_from(ai, &local, src, LoadBalance::Uniform)
+            }
+            DestSelector::HadoopPlacement { p_rack, rack_skew } => {
+                let rack = self.topo.rack(src_info.rack);
+                let rack_peers: Vec<HostId> =
+                    rack.hosts.iter().copied().filter(|&h| h != src).collect();
+                let go_rack = {
+                    let agent = &mut self.agents[ai];
+                    agent.rng.chance(p_rack)
+                };
+                if go_rack && !rack_peers.is_empty() {
+                    let agent = &mut self.agents[ai];
+                    return Some(*agent.rng.pick(&rack_peers));
+                }
+                // Another rack of the cluster, Zipf-weighted in this
+                // agent's private preference order.
+                let order_len = self.agents[ai].rack_order.len();
+                if order_len == 0 {
+                    if rack_peers.is_empty() {
+                        return None;
+                    }
+                    let agent = &mut self.agents[ai];
+                    return Some(*agent.rng.pick(&rack_peers));
+                }
+                let u = {
+                    let agent = &mut self.agents[ai];
+                    agent.rng.f64()
+                };
+                let cum = self.zipf_cumulative(order_len as u32, rack_skew);
+                let idx = cum.partition_point(|&c| c < u).min(order_len - 1);
+                let rack_id = self.agents[ai].rack_order[idx];
+                let hosts = self.topo.rack(sonet_topology::RackId(rack_id)).hosts.clone();
+                if hosts.is_empty() {
+                    return None;
+                }
+                let agent = &mut self.agents[ai];
+                Some(*agent.rng.pick(&hosts))
+            }
+        }
+    }
+
+    fn pick_from(
+        &mut self,
+        ai: usize,
+        hosts: &[HostId],
+        src: HostId,
+        lb: LoadBalance,
+    ) -> Option<HostId> {
+        let candidates: Vec<HostId> = hosts.iter().copied().filter(|&h| h != src).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match lb {
+            LoadBalance::Uniform => {
+                let agent = &mut self.agents[ai];
+                Some(*agent.rng.pick(&candidates))
+            }
+            LoadBalance::Zipf { s } => {
+                let u = {
+                    let agent = &mut self.agents[ai];
+                    agent.rng.f64()
+                };
+                let cum = self.zipf_cumulative(candidates.len() as u32, s);
+                let idx = cum.partition_point(|&c| c < u).min(candidates.len() - 1);
+                Some(candidates[idx])
+            }
+        }
+    }
+
+    /// Cumulative Zipf weights for `n` items with exponent `s` (cached).
+    fn zipf_cumulative(&mut self, n: u32, s: f64) -> &[f64] {
+        let key = (n, (s * 1000.0).round() as u32);
+        self.zipf_cache.entry(key).or_insert_with(|| {
+            let mut w: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(s)).collect();
+            let total: f64 = w.iter().sum();
+            let mut acc = 0.0;
+            for v in &mut w {
+                acc += *v / total;
+                *v = acc;
+            }
+            w
+        })
+    }
+}
+
+/// Effective burst rate of a pattern at time `t`.
+fn effective_rate(
+    profiles: &ServiceProfiles,
+    pattern: &CallPattern,
+    st: &PatternState,
+    t: SimTime,
+    phase_factor: f64,
+) -> f64 {
+    pattern.bursts_per_sec
+        * st.rate_mult
+        * profiles.rate_scale
+        * profiles.diurnal.multiplier(t)
+        * phase_factor
+}
+
+/// `SimTime::from_secs_f64` that saturates instead of panicking on huge
+/// values (used for "first arrival effectively never").
+trait FromSecsSaturating {
+    fn from_secs_f64_saturating(s: f64) -> SimTime;
+}
+
+impl FromSecsSaturating for SimTime {
+    fn from_secs_f64_saturating(s: f64) -> SimTime {
+        if !s.is_finite() || s > 1e9 {
+            SimTime::MAX
+        } else {
+            SimTime::from_nanos((s * 1e9) as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_netsim::{NullTap, SimConfig};
+    use sonet_topology::{ClusterSpec, Locality, TopologySpec};
+
+    fn frontend_topo() -> Arc<Topology> {
+        Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![
+                ClusterSpec::frontend(10, 4),
+                ClusterSpec::hadoop(4, 4),
+                ClusterSpec::cache(2, 4),
+                ClusterSpec::database(2, 4),
+                ClusterSpec::service(4, 4),
+            ]))
+            .expect("valid"),
+        )
+    }
+
+    #[test]
+    fn workload_generates_traffic_on_all_roles() {
+        let topo = frontend_topo();
+        let mut wl =
+            Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 1).expect("workload");
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let step = SimDuration::from_millis(100);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += step;
+            wl.generate(&mut sim, t).expect("generate");
+            sim.run_until(t);
+        }
+        assert!(wl.issued_calls() > 100, "issued {}", wl.issued_calls());
+        let (out, _) = sim.finish();
+        assert!(out.delivered_packets > 1000);
+        assert!(out.completed_requests > 50);
+        // With a full topology no pattern should lack destinations.
+        assert_eq!(wl.skipped_calls(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = frontend_topo();
+        let run = |seed: u64| {
+            let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), seed)
+                .expect("workload");
+            let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+                .expect("config");
+            wl.generate(&mut sim, SimTime::from_millis(500)).expect("generate");
+            sim.run_until(SimTime::from_millis(500));
+            let (out, _) = sim.finish();
+            (wl.issued_calls(), out.delivered_packets)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn web_traffic_is_cluster_local_not_rack_local() {
+        // §4.2: web servers talk to cache followers across the cluster;
+        // minimal rack-local traffic.
+        let topo = frontend_topo();
+        let mut wl =
+            Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 3).expect("workload");
+        let web = wl.monitored_host(HostRole::Web).expect("web host");
+        // Count destination localities of calls issued by the web host by
+        // snooping pattern destination picks directly.
+        let mut rack_local = 0;
+        let mut cluster_local = 0;
+        let ai = wl
+            .agents
+            .iter()
+            .position(|a| a.host == web)
+            .expect("agent exists");
+        for _ in 0..500 {
+            let sel = DestSelector::RoleInCluster {
+                role: HostRole::CacheFollower,
+                lb: LoadBalance::Uniform,
+            };
+            let dst = wl.pick_dest(ai, &sel).expect("dest");
+            match topo.locality(web, dst) {
+                Locality::IntraRack => rack_local += 1,
+                Locality::IntraCluster => cluster_local += 1,
+                other => panic!("unexpected locality {other}"),
+            }
+        }
+        assert_eq!(rack_local, 0, "web and cache live in different racks");
+        assert_eq!(cluster_local, 500);
+    }
+
+    #[test]
+    fn hadoop_placement_is_mostly_rack_local() {
+        let topo = frontend_topo();
+        let mut wl =
+            Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 5).expect("workload");
+        let h = wl.monitored_host(HostRole::Hadoop).expect("hadoop host");
+        let ai = wl.agents.iter().position(|a| a.host == h).expect("agent");
+        let sel = DestSelector::HadoopPlacement { p_rack: 0.757, rack_skew: 1.1 };
+        let mut rack = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let dst = wl.pick_dest(ai, &sel).expect("dest");
+            if topo.locality(h, dst) == Locality::IntraRack {
+                rack += 1;
+            }
+        }
+        let frac = rack as f64 / n as f64;
+        assert!((frac - 0.757).abs() < 0.05, "rack-local fraction {frac}");
+    }
+
+    #[test]
+    fn slb_rate_scales_with_web_population() {
+        let topo = frontend_topo();
+        let wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 9)
+            .expect("workload");
+        let slb_agent = wl
+            .agents
+            .iter()
+            .find(|a| a.role == HostRole::Slb)
+            .expect("slb agent");
+        // 7 web racks vs 1 slb rack in a 10-rack frontend → multiplier ≈ 7.
+        let mult = slb_agent.patterns[0].rate_mult;
+        assert!(mult > 2.0, "slb rate multiplier {mult}");
+    }
+
+    #[test]
+    fn scoped_workload_leaves_other_clusters_silent() {
+        let topo = frontend_topo();
+        let hadoop_cluster = topo
+            .first_cluster_of_type(sonet_topology::ClusterType::Hadoop)
+            .expect("hadoop cluster");
+        let mut wl = Workload::with_clusters(
+            Arc::clone(&topo),
+            ServiceProfiles::default(),
+            1,
+            &[hadoop_cluster],
+        )
+        .expect("workload");
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        wl.generate(&mut sim, SimTime::from_millis(500)).expect("generate");
+        sim.run_until(SimTime::from_millis(500));
+        let (out, _) = sim.finish();
+        // No web-host uplink carries traffic.
+        for &h in topo.hosts_with_role(HostRole::Web) {
+            let up = topo.host_uplink(h);
+            assert_eq!(out.link_counters[up.index()].tx_packets, 0);
+        }
+        // Hadoop uplinks do.
+        let total: u64 = topo
+            .hosts_with_role(HostRole::Hadoop)
+            .iter()
+            .map(|&h| out.link_counters[topo.host_uplink(h).index()].tx_packets)
+            .sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn hot_objects_concentrate_until_mitigated() {
+        use crate::profile::HotObjectConfig;
+        use sonet_util::SimDuration as D;
+        let topo = frontend_topo();
+        let mut profiles = ServiceProfiles::default();
+        profiles.hot_objects = HotObjectConfig {
+            hot_fraction: 1.0,
+            rotation: D::from_secs(100),
+            detect_after: D::from_secs(2),
+            mitigated: false,
+        };
+        let mut wl = Workload::new(Arc::clone(&topo), profiles, 21).expect("workload");
+        let web = wl.monitored_host(HostRole::Web).expect("web");
+        let ai = wl.agents.iter().position(|a| a.host == web).expect("agent");
+        let pattern = wl.profiles.web[0].clone();
+        // Unmitigated: every pick in the epoch lands on one follower.
+        let t = SimTime::from_secs(10);
+        let picks: Vec<_> = (0..50)
+            .map(|_| wl.hot_object_dest(ai, &pattern, t).expect("hot pick"))
+            .collect();
+        assert!(picks.windows(2).all(|w| w[0] == w[1]), "hot picks must concentrate");
+
+        // Mitigated: past the detection delay, picks fall through to
+        // normal load balancing (None from the hot path).
+        let mut profiles = ServiceProfiles::default();
+        profiles.hot_objects = HotObjectConfig {
+            hot_fraction: 1.0,
+            rotation: D::from_secs(100),
+            detect_after: D::from_secs(2),
+            mitigated: true,
+        };
+        let mut wl = Workload::new(Arc::clone(&topo), profiles, 21).expect("workload");
+        let ai = wl.agents.iter().position(|a| a.host == web).expect("agent");
+        assert!(wl.hot_object_dest(ai, &pattern, SimTime::from_secs(1)).is_some());
+        assert!(wl.hot_object_dest(ai, &pattern, SimTime::from_secs(50)).is_none());
+    }
+
+    #[test]
+    fn empty_active_set_is_an_error() {
+        let topo = frontend_topo();
+        let err = match Workload::with_clusters(
+            Arc::clone(&topo),
+            ServiceProfiles::default(),
+            1,
+            &[],
+        ) {
+            Ok(_) => panic!("empty active set should fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err, WorkloadError::NothingActive);
+    }
+}

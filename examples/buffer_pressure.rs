@@ -1,0 +1,64 @@
+//! Switch-buffer study (§6.3 / Fig 15): shared-buffer occupancy under a
+//! diurnally modulated frontend workload, plus an incast stress test
+//! showing dynamic-threshold admission at work.
+//!
+//! ```sh
+//! cargo run --release --example buffer_pressure [seconds]
+//! ```
+
+use sonet_dc::core::reports::{fig15, Fig15Config};
+use sonet_dc::core::ScenarioScale;
+use sonet_dc::netsim::{BufferConfig, NullTap, SimConfig, Simulator};
+use sonet_dc::topology::{ClusterSpec, Topology, TopologySpec};
+use sonet_dc::util::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+
+    // Part 1: the compressed-day buffer experiment behind Fig 15.
+    let report = fig15(&Fig15Config {
+        seed: 3,
+        scale: ScenarioScale::Tiny,
+        duration: SimDuration::from_secs(secs),
+        rate_scale: 25.0,
+        sample_interval: SimDuration::from_micros(50),
+        rsw_buffer: BufferConfig { shared_bytes: 32 << 10, alpha: 1.0 },
+    });
+    println!("{}", report.render());
+
+    // Part 2: incast into one host under different shared-buffer budgets.
+    println!("== incast stress: 24 senders -> 1 receiver, 400 kB each ==\n");
+    println!("buffer   alpha   egress drops   all transfers done");
+    let topo = Arc::new(
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
+            .expect("valid plant"),
+    );
+    for (shared, alpha) in [(256 << 10, 0.5), (1 << 20, 1.0), (12 << 20, 1.0)] {
+        let mut cfg = SimConfig::default();
+        cfg.rsw_buffer = BufferConfig { shared_bytes: shared, alpha };
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("valid config");
+        let dst = topo.racks()[0].hosts[0];
+        let mut n = 0u64;
+        for rack in topo.racks().iter().skip(1).take(6) {
+            for &src in &rack.hosts {
+                let c = sim.open_connection(SimTime::ZERO, src, dst, 80).expect("open");
+                sim.send_message(c, SimTime::from_micros(5), 400_000, 0, SimDuration::ZERO)
+                    .expect("send");
+                n += 1;
+            }
+        }
+        sim.run_to_quiescence();
+        let drops = sim.link_counters(topo.host_downlink(dst)).drop_packets;
+        let (out, _) = sim.finish();
+        println!(
+            "{:>5} kB  {alpha:<5} {drops:>12}   {} / {n}",
+            shared >> 10,
+            out.completed_requests
+        );
+    }
+}

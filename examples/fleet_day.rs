@@ -1,0 +1,42 @@
+//! Fleet-tier day: generate 24 hours of Fbflow samples across a
+//! multi-datacenter fleet, print Table 3 and the Fig 5 matrix summaries,
+//! and dump the demand matrices as JSON for external plotting.
+//!
+//! ```sh
+//! cargo run --release --example fleet_day [samples_per_host] [out.json]
+//! ```
+
+use sonet_dc::core::{FleetData, FleetRunConfig, ScenarioScale};
+use sonet_dc::core::reports::{fig5, table3};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let samples: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let out_path = args.next();
+
+    let fleet = FleetData::run(&FleetRunConfig {
+        seed: 2015,
+        scale: ScenarioScale::Standard,
+        samples_per_host: samples,
+    });
+    println!(
+        "fleet: {} hosts, {} Fbflow rows, {} relaxed locality picks\n",
+        fleet.topo.hosts().len(),
+        fleet.table.len(),
+        fleet.relaxed_picks
+    );
+    println!("{}", table3(&fleet).render());
+    let f5 = fig5(&fleet);
+    println!("{}", f5.render());
+
+    if let Some(path) = out_path {
+        let json = serde_json::json!({
+            "hadoop_rack_matrix": f5.hadoop_matrix,
+            "frontend_rack_matrix": f5.frontend_matrix,
+            "frontend_bipartite_fraction": f5.frontend_bipartite_fraction,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&json).expect("serializes"))
+            .expect("write output file");
+        println!("matrices written to {path}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Frontend-cluster deep dive: the paper's core workload (an HTTP request
+//! fanning out to cache/multifeed/misc backends, §3.2 Fig 2), analyzed
+//! from a port-mirror capture like §4–6 do.
+//!
+//! Prints the per-second locality series (Fig 4), the cache follower's
+//! flow-size collapse under load balancing (Fig 9), rate stability
+//! (Fig 8), heavy-hitter dynamics (Fig 10/11), and 5-ms concurrency
+//! (Fig 16/17).
+//!
+//! ```sh
+//! cargo run --release --example frontend_cluster [seed] [seconds]
+//! ```
+
+use sonet_dc::core::{CaptureConfig, Lab, LabConfig, ScenarioScale};
+use sonet_dc::util::SimDuration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let seconds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let mut cfg = LabConfig::fast(seed);
+    cfg.capture = CaptureConfig {
+        seed,
+        scale: ScenarioScale::Tiny,
+        duration: SimDuration::from_secs(seconds),
+        rate_scale: 8.0,
+        mirror_capacity: 4_000_000,
+    };
+    let mut lab = Lab::new(cfg);
+
+    println!("== frontend cluster study (seed {seed}, {seconds}s trace) ==\n");
+    println!("{}", lab.fig4().render());
+    if let Some(f8) = lab.fig8() {
+        println!("{}", f8.render());
+    }
+    if let Some(f9) = lab.fig9() {
+        println!("{}", f9.render());
+    }
+    println!("{}", lab.fig10().render());
+    println!("{}", lab.fig11().render());
+    println!("{}", lab.fig16().render());
+    println!("{}", lab.fig17().render());
+}

@@ -1,0 +1,36 @@
+//! Quickstart: build a small Facebook-style plant, capture a few seconds
+//! of traffic with a port mirror, and print the headline analyses.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sonet_dc::core::{Lab, LabConfig};
+
+fn main() {
+    // A fast lab runs in seconds: a tiny two-datacenter plant, a short
+    // port-mirror capture, and a fleet-tier Fbflow day.
+    let mut lab = Lab::new(LabConfig::fast(42));
+
+    println!("== sonet-dc quickstart ==\n");
+    let capture = lab.capture();
+    println!(
+        "capture: {} packets delivered, {} RPC calls issued\n",
+        capture.outputs.delivered_packets, capture.issued_calls
+    );
+
+    // Where does each service's outbound traffic go? (Table 2)
+    println!("{}", lab.table2().render());
+
+    // How local is traffic per cluster type? (Table 3, fleet tier)
+    println!("{}", lab.table3().render());
+
+    // How big are packets? (Fig 12)
+    println!("{}", lab.fig12().render());
+
+    // How fast do new flows arrive? (Fig 14)
+    println!("{}", lab.fig14().render());
+
+    // How busy are the links? (§4.1)
+    println!("{}", lab.utilization().render());
+}

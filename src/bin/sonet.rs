@@ -1,0 +1,208 @@
+//! `sonet` — command-line front end for the sonet-dc reproduction.
+//!
+//! ```text
+//! sonet list                         list experiment ids
+//! sonet run <id> [--seed N] [--fast] regenerate one table/figure
+//! sonet all [--seed N] [--fast]      regenerate everything
+//! sonet export-fleet <out.jsonl>     dump a fleet-tier Fbflow day
+//! sonet export-matrix <out.csv>      dump the Fig 5 frontend rack matrix
+//! ```
+
+use sonet_dc::core::reports;
+use sonet_dc::core::{FleetData, FleetRunConfig, Lab, LabConfig};
+use std::process::ExitCode;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table2", "outbound traffic mix per host type (§3.2)"),
+    ("table3", "traffic locality by cluster type (§4.3)"),
+    ("table4", "heavy hitters in 1-ms intervals (§5.3)"),
+    ("fig4", "per-second traffic locality (§4.2)"),
+    ("fig5", "rack/cluster demand matrices (§4.3)"),
+    ("fig6", "flow size CDFs by locality (§5.1)"),
+    ("fig7", "flow duration CDFs by locality (§5.1)"),
+    ("fig8", "per-destination-rack rate stability (§5.2)"),
+    ("fig9", "cache-follower per-host flow sizes (§5.1)"),
+    ("fig10", "heavy-hitter persistence (§5.3)"),
+    ("fig11", "heavy hitters vs enclosing second (§5.3)"),
+    ("fig12", "packet size distributions (§6.1)"),
+    ("fig13", "Hadoop arrivals are not on/off (§6.2)"),
+    ("fig14", "flow (SYN) inter-arrival (§6.2)"),
+    ("fig15", "buffer occupancy / utilization / drops (§6.3)"),
+    ("fig16", "concurrent racks per 5 ms (§6.4)"),
+    ("fig17", "concurrent heavy-hitter racks per 5 ms (§6.4)"),
+    ("util", "link utilization by fabric layer (§4.1)"),
+    ("te", "traffic-engineering predictability (§5.4)"),
+];
+
+struct Options {
+    seed: u64,
+    fast: bool,
+}
+
+fn parse_common(args: &[String]) -> Options {
+    let mut opts = Options { seed: 42, fast: false };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    opts.seed = v;
+                }
+            }
+            "--fast" => opts.fast = true,
+            _ => {}
+        }
+    }
+    opts
+}
+
+fn lab_for(opts: &Options) -> Lab {
+    if opts.fast {
+        Lab::new(LabConfig::fast(opts.seed))
+    } else {
+        Lab::new(LabConfig::standard(opts.seed))
+    }
+}
+
+fn run_one(lab: &mut Lab, id: &str) -> Result<(), String> {
+    let out = match id {
+        "table2" => lab.table2().render(),
+        "table3" => lab.table3().render(),
+        "table4" => lab.table4().render(),
+        "fig4" => lab.fig4().render(),
+        "fig5" => lab.fig5().render(),
+        "fig6" => lab.fig6().render(),
+        "fig7" => lab.fig7().render(),
+        "fig8" => lab
+            .fig8()
+            .map(|r| r.render())
+            .unwrap_or_else(|| "fig8: traces missing".into()),
+        "fig9" => lab
+            .fig9()
+            .map(|r| r.render())
+            .unwrap_or_else(|| "fig9: cache trace missing".into()),
+        "fig10" => lab.fig10().render(),
+        "fig11" => lab.fig11().render(),
+        "fig12" => lab.fig12().render(),
+        "fig13" => lab
+            .fig13()
+            .map(|r| r.render())
+            .unwrap_or_else(|| "fig13: hadoop trace missing".into()),
+        "fig14" => lab.fig14().render(),
+        "fig15" => lab.fig15().render(),
+        "fig16" => lab.fig16().render(),
+        "fig17" => lab.fig17().render(),
+        "util" => lab.utilization().render(),
+        "te" => lab.te_predictability().render(),
+        other => return Err(format!("unknown experiment '{other}' (try `sonet list`)")),
+    };
+    println!("{out}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("experiments:");
+            for (id, what) in EXPERIMENTS {
+                println!("  {id:<8} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(id) = args.get(1) else {
+                eprintln!("usage: sonet run <id> [--seed N] [--fast]");
+                return ExitCode::FAILURE;
+            };
+            let opts = parse_common(&args[2..]);
+            let mut lab = lab_for(&opts);
+            match run_one(&mut lab, id) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("all") => {
+            let opts = parse_common(&args[1..]);
+            let mut lab = lab_for(&opts);
+            for (id, _) in EXPERIMENTS {
+                if let Err(e) = run_one(&mut lab, id) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("export-fleet") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: sonet export-fleet <out.jsonl> [--seed N] [--fast]");
+                return ExitCode::FAILURE;
+            };
+            let opts = parse_common(&args[2..]);
+            let cfg = if opts.fast {
+                FleetRunConfig::fast(opts.seed)
+            } else {
+                FleetRunConfig::standard(opts.seed)
+            };
+            let fleet = FleetData::run(&cfg);
+            let records: Vec<_> = fleet.table.rows().iter().map(|r| r.rec).collect();
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = sonet_dc::telemetry::export::write_flows(file, &records) {
+                eprintln!("export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} Fbflow samples to {path}", records.len());
+            ExitCode::SUCCESS
+        }
+        Some("export-matrix") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: sonet export-matrix <out.csv> [--seed N] [--fast]");
+                return ExitCode::FAILURE;
+            };
+            let opts = parse_common(&args[2..]);
+            let cfg = if opts.fast {
+                FleetRunConfig::fast(opts.seed)
+            } else {
+                FleetRunConfig::standard(opts.seed)
+            };
+            let fleet = FleetData::run(&cfg);
+            let f5 = reports::fig5(&fleet);
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) =
+                sonet_dc::telemetry::export::write_matrix_csv(file, &f5.frontend_matrix)
+            {
+                eprintln!("export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote frontend rack-to-rack matrix to {path}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "sonet — reproduce 'Inside the Social Network's (Datacenter) Network'\n\
+                 usage:\n\
+                 \x20 sonet list\n\
+                 \x20 sonet run <id> [--seed N] [--fast]\n\
+                 \x20 sonet all [--seed N] [--fast]\n\
+                 \x20 sonet export-fleet <out.jsonl> [--seed N] [--fast]\n\
+                 \x20 sonet export-matrix <out.csv> [--seed N] [--fast]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # sonet-dc
+//!
+//! A full reproduction of **Inside the Social Network's (Datacenter)
+//! Network** (Roy, Zeng, Bagga, Porter, Snoeren — SIGCOMM 2015) as a Rust
+//! library: a packet-level datacenter simulator, service workload models,
+//! the paper's measurement infrastructure (Fbflow sampling and port
+//! mirroring), and the analysis pipeline that regenerates every table and
+//! figure of the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! name. Start with [`core::Lab`]:
+//!
+//! ```no_run
+//! use sonet_dc::core::{Lab, LabConfig};
+//!
+//! let mut lab = Lab::new(LabConfig::fast(42));
+//! println!("{}", lab.table2().render()); // Table 2, paper vs measured
+//! println!("{}", lab.fig12().render());  // packet size distributions
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Statistics, distributions, RNG, simulated time.
+pub use sonet_util as util;
+/// Datacenter topology: clusters, racks, 4-post Clos, locality.
+pub use sonet_topology as topology;
+/// Discrete-event packet simulator.
+pub use sonet_netsim as netsim;
+/// Service workload models (Web, cache, Hadoop, …) and baselines.
+pub use sonet_workload as workload;
+/// Fbflow, port mirroring, Scuba-like storage.
+pub use sonet_telemetry as telemetry;
+/// Flow/locality/heavy-hitter/packet analyses.
+pub use sonet_analysis as analysis;
+/// Scenarios, the experiment Lab, and per-figure reports.
+pub use sonet_core as core;

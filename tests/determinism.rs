@@ -1,0 +1,38 @@
+//! Reproducibility: a scenario seed fully determines every report, and
+//! different seeds genuinely differ.
+
+use sonet_dc::core::{Lab, LabConfig};
+
+fn report_fingerprint(seed: u64) -> String {
+    let mut lab = Lab::new(LabConfig::fast(seed));
+    let t2 = serde_json::to_string(&lab.table2()).expect("serializes");
+    let t4 = serde_json::to_string(&lab.table4()).expect("serializes");
+    let f12 = serde_json::to_string(&lab.fig12()).expect("serializes");
+    let f14 = serde_json::to_string(&lab.fig14()).expect("serializes");
+    let t3 = serde_json::to_string(&lab.table3()).expect("serializes");
+    format!("{t2}|{t4}|{f12}|{f14}|{t3}")
+}
+
+#[test]
+fn same_seed_same_reports() {
+    assert_eq!(report_fingerprint(1234), report_fingerprint(1234));
+}
+
+#[test]
+fn different_seed_different_reports() {
+    assert_ne!(report_fingerprint(1), report_fingerprint(2));
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let mut lab = Lab::new(LabConfig::fast(3));
+    // Every report type round-trips through serde_json without panicking.
+    let json = serde_json::to_value(lab.table2()).expect("t2");
+    assert!(json.is_object());
+    let json = serde_json::to_value(lab.fig5()).expect("f5");
+    assert!(json.is_object());
+    let json = serde_json::to_value(lab.fig15()).expect("f15");
+    assert!(json.is_object());
+    let json = serde_json::to_value(lab.fig16()).expect("f16");
+    assert!(json.is_object());
+}

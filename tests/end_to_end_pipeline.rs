@@ -1,0 +1,171 @@
+//! Cross-crate integration: topology → workload → packet engine →
+//! telemetry → analysis, with consistency checks between independent
+//! observation points (the same packets seen by the mirror, by Fbflow,
+//! and by the engine's own counters).
+
+use sonet_dc::analysis::HostTrace;
+use sonet_dc::netsim::{SimConfig, Simulator};
+use sonet_dc::telemetry::{FbflowConfig, FbflowSampler, PortMirror, TapPair, Tagger};
+use sonet_dc::topology::{ClusterSpec, HostRole, Topology, TopologySpec};
+use sonet_dc::util::{Rng, SimDuration, SimTime};
+use sonet_dc::workload::{ServiceProfiles, Workload};
+use std::sync::Arc;
+
+fn plant() -> Arc<Topology> {
+    Arc::new(
+        Topology::build(TopologySpec::single_dc(vec![
+            ClusterSpec::frontend(6, 3),
+            ClusterSpec::hadoop(3, 3),
+            ClusterSpec::cache(2, 3),
+            ClusterSpec::database(2, 3),
+            ClusterSpec::service(2, 3),
+        ]))
+        .expect("valid plant"),
+    )
+}
+
+#[test]
+fn mirror_and_counters_agree_exactly() {
+    let topo = plant();
+    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 5)
+        .expect("workload");
+    let web = wl.monitored_host(HostRole::Web).expect("web host");
+    let mirror = PortMirror::new(5_000_000);
+    let mut sim =
+        Simulator::new(Arc::clone(&topo), SimConfig::default(), mirror).expect("config");
+    let up = topo.host_uplink(web);
+    let down = topo.host_downlink(web);
+    sim.watch_link(up);
+    sim.watch_link(down);
+
+    let horizon = SimTime::from_secs(2);
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t += SimDuration::from_millis(200);
+        wl.generate(&mut sim, t).expect("generate");
+        sim.run_until(t);
+    }
+    let (out, mirror) = sim.finish();
+
+    // Every packet the engine serialized on the mirrored links must be in
+    // the capture, and nothing else.
+    let expected = out.link_counters[up.index()].tx_packets
+        + out.link_counters[down.index()].tx_packets;
+    assert_eq!(mirror.records().len() as u64, expected);
+    let expected_bytes = out.link_counters[up.index()].tx_bytes
+        + out.link_counters[down.index()].tx_bytes;
+    let captured_bytes: u64 =
+        mirror.records().iter().map(|r| r.pkt.wire_bytes as u64).sum();
+    assert_eq!(captured_bytes, expected_bytes);
+
+    // The host trace splits the capture without losing packets.
+    let trace = HostTrace::from_mirror(mirror.records(), web);
+    assert_eq!(
+        trace.outbound().len() + trace.inbound().len(),
+        mirror.records().len()
+    );
+    assert_eq!(
+        trace.outbound().len() as u64,
+        out.link_counters[up.index()].tx_packets
+    );
+}
+
+#[test]
+fn fbflow_estimates_converge_to_mirror_truth() {
+    // Run the same workload with a mirror (ground truth) and a 1:20
+    // Fbflow sampler; scaled-up Fbflow byte estimates should land within
+    // sampling noise of the truth.
+    let topo = plant();
+    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 8)
+        .expect("workload");
+    let web = wl.monitored_host(HostRole::Web).expect("web host");
+    let rate = 20;
+    let taps = TapPair::new(
+        PortMirror::new(5_000_000),
+        FbflowSampler::new(&topo, FbflowConfig { sampling_rate: rate }, Rng::new(3)),
+    );
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), taps)
+        .expect("config");
+    sim.watch_link(topo.host_uplink(web));
+    sim.watch_link(topo.host_downlink(web));
+
+    let horizon = SimTime::from_secs(3);
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t += SimDuration::from_millis(200);
+        wl.generate(&mut sim, t).expect("generate");
+        sim.run_until(t);
+    }
+    let (_, taps) = sim.finish();
+    let (mirror, sampler) = taps.into_parts();
+
+    let truth: u64 = mirror.records().iter().map(|r| r.pkt.wire_bytes as u64).sum();
+    let sampled: u64 = sampler.samples().iter().map(|s| s.bytes).sum();
+    let estimate = sampled * rate;
+    let rel_err = (estimate as f64 - truth as f64).abs() / truth as f64;
+    assert!(
+        rel_err < 0.30,
+        "Fbflow estimate {estimate} vs truth {truth} (rel err {rel_err:.2})"
+    );
+}
+
+#[test]
+fn tagger_locality_matches_topology_for_every_sample() {
+    let topo = plant();
+    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 9)
+        .expect("workload");
+    let sampler =
+        FbflowSampler::new(&topo, FbflowConfig { sampling_rate: 10 }, Rng::new(4));
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), sampler)
+        .expect("config");
+    FbflowSampler::deploy_fleet_wide(&mut sim, &topo);
+    wl.generate(&mut sim, SimTime::from_millis(800)).expect("generate");
+    sim.run_until(SimTime::from_millis(800));
+    let (_, sampler) = sim.finish();
+    assert!(!sampler.samples().is_empty());
+    let tagger = Tagger::new(&topo);
+    for &s in sampler.samples() {
+        let tagged = tagger.tag(s);
+        assert_eq!(tagged.locality, topo.locality(s.src, s.dst));
+        assert_eq!(tagged.src_role, topo.host(s.src).role);
+        assert_eq!(tagged.dst_rack, topo.host(s.dst).rack);
+    }
+}
+
+#[test]
+fn workload_traffic_respects_role_semantics() {
+    // Web servers never talk to DB or Hadoop (Fig 2's service graph);
+    // Hadoop talks only to Hadoop (Table 2).
+    let topo = plant();
+    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 2)
+        .expect("workload");
+    let sampler =
+        FbflowSampler::new(&topo, FbflowConfig { sampling_rate: 1 }, Rng::new(5));
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), sampler)
+        .expect("config");
+    FbflowSampler::deploy_fleet_wide(&mut sim, &topo);
+    let horizon = SimTime::from_secs(2);
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t += SimDuration::from_millis(200);
+        wl.generate(&mut sim, t).expect("generate");
+        sim.run_until(t);
+    }
+    let (_, sampler) = sim.finish();
+    for s in sampler.samples() {
+        let src_role = topo.host(s.src).role;
+        let dst_role = topo.host(s.dst).role;
+        if src_role == HostRole::Web {
+            assert!(
+                !matches!(dst_role, HostRole::Db | HostRole::Hadoop),
+                "web host talked to {dst_role}"
+            );
+        }
+        if src_role == HostRole::Hadoop {
+            assert!(
+                matches!(dst_role, HostRole::Hadoop),
+                "hadoop host talked to {dst_role}"
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! §3.1's Fabric migration claim: "the rack-to-rack traffic matrix of a
+//! Frontend 'cluster' inside one of the new Fabric datacenters ... looks
+//! similar to that shown in Figure 5."
+//!
+//! We rebuild the fleet plant as Fabric pods (same racks, same logical
+//! order, uniform pods) and check that the *logical* frontend block keeps
+//! its structure: minimal diagonal, strong Web↔cache bipartite share.
+
+use sonet_dc::telemetry::Tagger;
+use sonet_dc::topology::{
+    fabric_like_spec, ClusterSpec, HostRole, RackId, Topology, TopologySpec,
+};
+use sonet_dc::workload::{FleetConfig, FleetModel};
+use std::sync::Arc;
+
+fn bipartite_and_diag(topo: &Topology, racks: &[RackId], table: &sonet_dc::telemetry::ScubaTable) -> (f64, f64) {
+    let set: std::collections::HashSet<RackId> = racks.iter().copied().collect();
+    let mut total = 0u64;
+    let mut diag = 0u64;
+    let mut web_cache = 0u64;
+    for row in table.rows() {
+        if !set.contains(&row.src_rack) || !set.contains(&row.dst_rack) {
+            continue;
+        }
+        total += row.rec.bytes;
+        if row.src_rack == row.dst_rack {
+            diag += row.rec.bytes;
+        }
+        let ri = topo.rack(row.src_rack).role;
+        let rj = topo.rack(row.dst_rack).role;
+        if matches!(
+            (ri, rj),
+            (HostRole::Web, HostRole::CacheFollower) | (HostRole::CacheFollower, HostRole::Web)
+        ) {
+            web_cache += row.rec.bytes;
+        }
+    }
+    if total == 0 {
+        return (0.0, 0.0);
+    }
+    (web_cache as f64 / total as f64, diag as f64 / total as f64)
+}
+
+#[test]
+fn frontend_matrix_structure_survives_fabric_migration() {
+    // A clustered plant whose first 16 racks are one frontend cluster.
+    let clustered_spec = TopologySpec::single_dc(vec![
+        ClusterSpec::frontend(16, 4),
+        ClusterSpec::hadoop(8, 4),
+        ClusterSpec::cache(4, 4),
+        ClusterSpec::database(4, 4),
+        ClusterSpec::service(4, 4),
+    ]);
+    let fabric_spec = fabric_like_spec(&clustered_spec);
+
+    let measure = |spec: TopologySpec| {
+        let topo = Arc::new(Topology::build(spec).expect("valid"));
+        let mut model = FleetModel::new(
+            Arc::clone(&topo),
+            FleetConfig { samples_per_host: 80, ..FleetConfig::default() },
+            77,
+        );
+        let table = Tagger::new(&topo).ingest(model.generate());
+        // The logical frontend block is the first 16 rack positions in
+        // both plants (fabric preserves rack order).
+        let racks: Vec<RackId> = (0..16).map(RackId).collect();
+        bipartite_and_diag(&topo, &racks, &table)
+    };
+
+    let (bip_clustered, diag_clustered) = measure(clustered_spec);
+    let (bip_fabric, diag_fabric) = measure(fabric_spec);
+
+    // Both plants show the bipartite web<->cache structure with minimal
+    // diagonal...
+    assert!(bip_clustered > 0.4, "clustered bipartite {bip_clustered}");
+    assert!(bip_fabric > 0.4, "fabric bipartite {bip_fabric}");
+    assert!(diag_clustered < 0.15, "clustered diag {diag_clustered}");
+    assert!(diag_fabric < 0.15, "fabric diag {diag_fabric}");
+    // ...and the fabric numbers track the clustered ones (the paper's
+    // "looks similar").
+    assert!(
+        (bip_fabric - bip_clustered).abs() < 0.25,
+        "bipartite share moved too much: {bip_clustered} -> {bip_fabric}"
+    );
+}

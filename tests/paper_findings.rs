@@ -1,0 +1,178 @@
+//! The paper's headline findings, asserted as integration tests on fast
+//! configurations. These are the qualitative *shapes* the reproduction
+//! must preserve (Table 1 of the paper); EXPERIMENTS.md records the
+//! quantitative comparisons from the full bench runs.
+
+use sonet_dc::core::{Lab, LabConfig};
+use sonet_dc::topology::{HostRole, Locality};
+
+fn lab() -> Lab {
+    Lab::new(LabConfig::fast(42))
+}
+
+#[test]
+fn finding_1_traffic_is_neither_rack_local_nor_all_to_all() {
+    let mut lab = lab();
+    let f4 = lab.fig4();
+
+    // Web traffic: minimal rack-local, dominated by intra-cluster (§4.2).
+    let web = f4.locality_fractions(HostRole::Web).expect("web trace");
+    assert!(web[0] < 10.0, "web rack-local {}% should be minimal", web[0]);
+    assert!(web[1] > 50.0, "web cluster-local {}% should dominate", web[1]);
+
+    // Hadoop: heavily rack+cluster local.
+    let hadoop = f4.locality_fractions(HostRole::Hadoop).expect("hadoop trace");
+    assert!(
+        hadoop[0] + hadoop[1] > 90.0,
+        "hadoop rack+cluster {}% should dominate",
+        hadoop[0] + hadoop[1]
+    );
+    assert!(
+        hadoop[0] > 3.0 * web[0],
+        "hadoop ({}) must be far more rack-local than web ({})",
+        hadoop[0],
+        web[0]
+    );
+
+    // Cache leaders: spread across the datacenter and beyond (§4.2).
+    let leader = f4.locality_fractions(HostRole::CacheLeader).expect("leader trace");
+    assert!(
+        leader[2] + leader[3] > 40.0,
+        "leader DC+interDC {}% should be large",
+        leader[2] + leader[3]
+    );
+}
+
+#[test]
+fn finding_2_load_balancing_makes_cache_rates_stable() {
+    let mut lab = lab();
+    let f8 = lab.fig8().expect("both traces exist");
+    // Cache is far more stable than Hadoop on every metric.
+    assert!(
+        f8.cache.fraction_within_2x_of_median > f8.hadoop.fraction_within_2x_of_median,
+        "cache {:?} vs hadoop {:?}",
+        f8.cache,
+        f8.hadoop
+    );
+    assert!(
+        f8.cache.median_mid90_span_decades < f8.hadoop.median_mid90_span_decades,
+        "cache span {} should be tighter than hadoop {}",
+        f8.cache.median_mid90_span_decades,
+        f8.hadoop.median_mid90_span_decades
+    );
+}
+
+#[test]
+fn finding_2b_heavy_hitters_are_transient_at_flow_level() {
+    let mut lab = lab();
+    let f10 = lab.fig10();
+    use sonet_dc::analysis::heavy_hitters::HeavyHitterAgg;
+    // Rack aggregation is more persistent than 5-tuple flows (Fig 10's
+    // core message) for the cache follower at 100 ms.
+    let flow = f10.median_for(HostRole::CacheFollower, HeavyHitterAgg::Flow, 100);
+    let rack = f10.median_for(HostRole::CacheFollower, HeavyHitterAgg::Rack, 100);
+    if let (Some(flow), Some(rack)) = (flow, rack) {
+        assert!(
+            rack >= flow,
+            "rack persistence {rack}% should be >= flow persistence {flow}%"
+        );
+    }
+}
+
+#[test]
+fn finding_3_packets_are_small_and_arrivals_continuous() {
+    let mut lab = lab();
+    let f12 = lab.fig12();
+    // Non-Hadoop medians well under MTU (paper: <200 B).
+    for role in [HostRole::Web, HostRole::CacheFollower] {
+        let m = f12.median_for(role).expect("trace exists");
+        assert!(m < 400.0, "{role} median packet {m} should be small");
+    }
+    // Hadoop bimodal.
+    assert!(
+        f12.hadoop_bimodal_fraction > 0.7,
+        "hadoop bimodal fraction {}",
+        f12.hadoop_bimodal_fraction
+    );
+
+    // Busy Hadoop is not on/off at 15/100 ms (Fig 13).
+    let f13 = lab.fig13().expect("hadoop trace");
+    assert!(
+        f13.at_15ms.empty_fraction < 0.3,
+        "15-ms empty fraction {} should be small for a busy node",
+        f13.at_15ms.empty_fraction
+    );
+    assert!(
+        f13.per_dest_median_empty > f13.at_15ms.empty_fraction,
+        "per-destination series should look more on/off than the aggregate"
+    );
+}
+
+#[test]
+fn finding_3b_many_concurrent_destinations() {
+    let mut lab = lab();
+    let f16 = lab.fig16();
+    // Cache followers talk to more racks per 5 ms than web servers talk
+    // to (paper: 225-300 vs 10-125; scaled counts keep the ordering).
+    let median_of = |role: HostRole| {
+        f16.rows
+            .iter()
+            .find(|(r, scope, _)| *r == role && scope == "All")
+            .map(|(_, _, q)| {
+                q.split('/').nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.0)
+            })
+    };
+    let cache = median_of(HostRole::CacheFollower).expect("cache row");
+    assert!(cache >= 2.0, "cache follower should touch several racks per 5 ms: {cache}");
+}
+
+#[test]
+fn finding_locality_table_shape() {
+    let mut lab = lab();
+    let t3 = lab.table3();
+    let all = &t3.table.all;
+    // Neither rack-local-dominated nor all-to-all: intra-cluster is the
+    // plurality, and inter-DC exceeds nothing-but-noise levels.
+    assert!(all.cluster > all.rack, "cluster {} > rack {}", all.cluster, all.rack);
+    assert!(all.inter_dc > 2.0, "inter-DC {}%", all.inter_dc);
+    // Hadoop column: most cluster-local; Cache column: most DC-level.
+    let col = |t: sonet_dc::topology::ClusterType| {
+        t3.table
+            .per_type
+            .iter()
+            .find(|(ty, _, _)| *ty == t)
+            .map(|(_, b, _)| *b)
+            .expect("column exists")
+    };
+    let hadoop = col(sonet_dc::topology::ClusterType::Hadoop);
+    assert!(hadoop.cluster > 60.0, "hadoop cluster {}", hadoop.cluster);
+    let cache = col(sonet_dc::topology::ClusterType::Cache);
+    assert!(cache.datacenter > cache.rack, "cache DC {} rack {}", cache.datacenter, cache.rack);
+}
+
+#[test]
+fn finding_flows_long_lived_but_not_heavy() {
+    let mut lab = lab();
+    // Cache follower per-host flow sizes collapse relative to 5-tuple
+    // sizes (Fig 9).
+    let f9 = lab.fig9().expect("cache trace");
+    assert!(
+        f9.host_spread < f9.tuple_spread,
+        "host spread {} should be tighter than tuple spread {}",
+        f9.host_spread,
+        f9.tuple_spread
+    );
+}
+
+#[test]
+fn localities_cover_all_four_classes() {
+    let mut lab = lab();
+    let fleet = lab.fleet();
+    let by_loc = fleet.table.bytes_by(|r| r.locality);
+    for l in Locality::ALL {
+        assert!(
+            by_loc.get(&l).copied().unwrap_or(0) > 0,
+            "no bytes at locality {l}"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests over cross-crate invariants: random plants,
+//! random traffic, and the analysis primitives' defining properties.
+
+use proptest::prelude::*;
+use sonet_dc::netsim::{NullTap, SimConfig, Simulator};
+use sonet_dc::topology::{
+    ClusterSpec, DatacenterSpec, HostId, Locality, Node, SiteSpec, Topology, TopologySpec,
+};
+use sonet_dc::util::{EmpiricalCdf, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Strategy: a random multi-datacenter plant.
+fn arb_spec() -> impl Strategy<Value = TopologySpec> {
+    (
+        4u32..10,  // frontend racks
+        1u32..4,   // hadoop racks
+        1u32..3,   // cache racks
+        2u32..6,   // hosts per rack
+        1usize..3, // number of sites
+    )
+        .prop_map(|(fe, hd, ca, hosts, sites)| {
+            let dc = DatacenterSpec {
+                clusters: vec![
+                    ClusterSpec::frontend(fe, hosts),
+                    ClusterSpec::hadoop(hd, hosts),
+                    ClusterSpec::cache(ca, hosts),
+                ],
+            };
+            TopologySpec {
+                sites: (0..sites)
+                    .map(|_| SiteSpec { datacenters: vec![dc.clone()] })
+                    .collect(),
+                ..TopologySpec::default()
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every route is a valid chain from source NIC to destination NIC,
+    /// regardless of plant shape, endpoints, or ECMP hash.
+    #[test]
+    fn routes_always_chain((spec, hash, pick) in (arb_spec(), any::<u64>(), any::<(u32, u32)>())) {
+        let topo = Topology::build(spec).expect("generated specs are valid");
+        let n = topo.hosts().len() as u32;
+        let a = HostId(pick.0 % n);
+        let b = HostId(pick.1 % n);
+        prop_assume!(a != b);
+        let path = topo.route(a, b, hash);
+        let links = topo.links();
+        prop_assert_eq!(links[path[0].index()].from, Node::Host(a));
+        prop_assert_eq!(links[path[path.len() - 1].index()].to, Node::Host(b));
+        for w in path.windows(2) {
+            prop_assert_eq!(links[w[0].index()].to, links[w[1].index()].from);
+        }
+        // Hop count is determined by locality.
+        let expected = match topo.locality(a, b) {
+            Locality::IntraRack => 2,
+            Locality::IntraCluster => 4,
+            Locality::IntraDatacenter => 6,
+            Locality::InterDatacenter => 8,
+        };
+        prop_assert_eq!(path.len(), expected);
+    }
+
+    /// Locality is symmetric and consistent with shared containers.
+    #[test]
+    fn locality_is_symmetric((spec, pick) in (arb_spec(), any::<(u32, u32)>())) {
+        let topo = Topology::build(spec).expect("valid");
+        let n = topo.hosts().len() as u32;
+        let a = HostId(pick.0 % n);
+        let b = HostId(pick.1 % n);
+        prop_assume!(a != b);
+        prop_assert_eq!(topo.locality(a, b), topo.locality(b, a));
+    }
+
+    /// Transport conservation: whatever the message mix, the engine
+    /// delivers exactly the request payload to the server side, and
+    /// all requests complete in an uncongested plant.
+    #[test]
+    fn transport_conserves_payload(
+        sizes in prop::collection::vec(1u64..200_000, 1..12),
+        spacing_us in 1u64..5_000,
+    ) {
+        let topo = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 3)]))
+                .expect("valid"),
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        let total: u64 = sizes.iter().sum();
+        for (i, &s) in sizes.iter().enumerate() {
+            sim.send_message(
+                conn,
+                SimTime::from_micros(i as u64 * spacing_us),
+                s,
+                0,
+                SimDuration::ZERO,
+            )
+            .expect("send");
+        }
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        prop_assert_eq!(out.completed_requests, sizes.len() as u64);
+        // Payload delivered = wire bytes on the destination downlink minus
+        // framing of data packets minus control packets; instead check the
+        // uplink carried at least the payload and no drops occurred.
+        let up = topo.host_uplink(a);
+        prop_assert!(out.link_counters[up.index()].tx_bytes >= total);
+        prop_assert_eq!(out.link_counters[up.index()].drop_packets, 0);
+    }
+
+    /// The heavy-hitter set really is a minimal >= 50 % cover.
+    #[test]
+    fn heavy_hitters_cover_half_minimally(
+        bytes in prop::collection::vec(1u64..1_000_000, 1..50),
+    ) {
+        use sonet_dc::analysis::heavy_hitters::{hitters_per_interval, HeavyHitterAgg};
+        use sonet_dc::analysis::HostTrace;
+        use sonet_dc::netsim::{ConnId, Dir, FlowKey, Packet, PacketKind};
+        use sonet_dc::telemetry::PacketRecord;
+        use sonet_dc::topology::LinkId;
+
+        let topo = Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(
+            6, 4,
+        )]))
+        .expect("valid");
+        let src = topo.racks()[0].hosts[0];
+        let dst = topo.racks()[1].hosts[0];
+        // All packets in one 1-ms interval, one flow per entry.
+        let records: Vec<PacketRecord> = bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| PacketRecord {
+                at: SimTime::from_micros(i as u64 % 900),
+                link: LinkId(0),
+                pkt: Packet {
+                    conn: ConnId { idx: 0, gen: 0 },
+                    key: FlowKey {
+                        client: src,
+                        server: dst,
+                        client_port: i as u16,
+                        server_port: 80,
+                    },
+                    dir: Dir::ClientToServer,
+                    kind: PacketKind::Data { last_of_msg: false },
+                    seq: 0,
+                    msg: 0,
+                    payload: 0,
+                    wire_bytes: b.min(u32::MAX as u64) as u32,
+                },
+            })
+            .collect();
+        let trace = HostTrace::from_mirror(&records, src);
+        let per = hitters_per_interval(
+            &trace,
+            &topo,
+            SimDuration::from_millis(1),
+            HeavyHitterAgg::Flow,
+        );
+        prop_assert_eq!(per.len(), 1);
+        let hh = &per[0];
+        let hh_bytes: u64 = hh.hitter_bytes.iter().sum();
+        // Covers at least half...
+        prop_assert!(hh_bytes * 2 >= hh.total_bytes);
+        // ...and is minimal: dropping the smallest member goes below half.
+        if hh.hitter_bytes.len() > 1 {
+            let smallest = *hh.hitter_bytes.iter().min().expect("non-empty");
+            prop_assert!((hh_bytes - smallest) * 2 < hh.total_bytes);
+        }
+    }
+
+    /// CDF quantile/fraction are mutually consistent.
+    #[test]
+    fn cdf_quantile_fraction_consistent(
+        mut samples in prop::collection::vec(-1e6f64..1e6, 2..200),
+        q in 1.0f64..99.0,
+    ) {
+        samples.retain(|v| v.is_finite());
+        prop_assume!(samples.len() >= 2);
+        let n = samples.len() as f64;
+        let cdf = EmpiricalCdf::new(samples);
+        let v = cdf.quantile(q).expect("non-empty");
+        let frac = cdf.fraction_at(v);
+        // At least q% of samples are <= the q-quantile, up to the type-7
+        // interpolation slack of one order statistic (1/n).
+        prop_assert!(frac * 100.0 >= q - 100.0 / n - 1e-9, "q={q} frac={frac}");
+        // Monotonicity of the inverse.
+        let lo = cdf.quantile(q / 2.0).expect("non-empty");
+        prop_assert!(lo <= v);
+    }
+}
