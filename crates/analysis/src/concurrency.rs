@@ -109,8 +109,7 @@ pub fn heavy_hitter_rack_cdfs(
     for obs in trace.outbound() {
         let w = obs.at.bin_index(window);
         let rack = topo.host(obs.peer).rack;
-        *windows.entry(w).or_default().bytes.entry(rack).or_insert(0) +=
-            obs.wire_bytes as u64;
+        *windows.entry(w).or_default().bytes.entry(rack).or_insert(0) += obs.wire_bytes as u64;
     }
     let mut cluster = Vec::new();
     let mut dc = Vec::new();
@@ -119,8 +118,7 @@ pub fn heavy_hitter_rack_cdfs(
     let src = trace.host();
     for acc in windows.values() {
         let total: u64 = acc.bytes.values().sum();
-        let mut entries: Vec<(RackId, u64)> =
-            acc.bytes.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut entries: Vec<(RackId, u64)> = acc.bytes.iter().map(|(k, v)| (*k, *v)).collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let target = (total as f64 * 0.5).ceil() as u64;
         let mut accum = 0u64;
@@ -175,7 +173,12 @@ mod tests {
             link: LinkId(0),
             pkt: Packet {
                 conn: ConnId { idx: 0, gen: 0 },
-                key: FlowKey { client: src, server: dst, client_port: port, server_port: 80 },
+                key: FlowKey {
+                    client: src,
+                    server: dst,
+                    client_port: port,
+                    server_port: 80,
+                },
                 dir: Dir::ClientToServer,
                 kind: PacketKind::Data { last_of_msg: false },
                 seq: 0,
@@ -204,17 +207,32 @@ mod tests {
             rec(5_000, a, b, 1, 100),
         ];
         let trace = HostTrace::from_mirror(&records, a);
-        let cdfs = concurrency_cdfs(&trace, &topo, SimDuration::from_millis(5), CountEntity::Racks);
+        let cdfs = concurrency_cdfs(
+            &trace,
+            &topo,
+            SimDuration::from_millis(5),
+            CountEntity::Racks,
+        );
         // Window 0 has 2 intra-cluster racks + 1 intra-DC rack = 3 all;
         // window 1 has 1.
         assert_eq!(cdfs.all.sorted(), &[1.0, 3.0]);
         assert_eq!(cdfs.intra_cluster.sorted(), &[1.0, 2.0]);
         assert_eq!(cdfs.intra_datacenter.sorted(), &[0.0, 1.0]);
         // Host-level: window 0 has 4 distinct hosts.
-        let hosts = concurrency_cdfs(&trace, &topo, SimDuration::from_millis(5), CountEntity::Hosts);
+        let hosts = concurrency_cdfs(
+            &trace,
+            &topo,
+            SimDuration::from_millis(5),
+            CountEntity::Hosts,
+        );
         assert_eq!(hosts.all.sorted(), &[1.0, 4.0]);
         // Flow-level: 4 distinct 5-tuples in window 0.
-        let flows = concurrency_cdfs(&trace, &topo, SimDuration::from_millis(5), CountEntity::Flows);
+        let flows = concurrency_cdfs(
+            &trace,
+            &topo,
+            SimDuration::from_millis(5),
+            CountEntity::Flows,
+        );
         assert_eq!(flows.all.sorted(), &[1.0, 4.0]);
     }
 

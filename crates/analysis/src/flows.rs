@@ -120,7 +120,9 @@ pub fn size_cdfs_by_locality(
         all.push(kb);
     }
     (
-        per.into_iter().map(|(l, v)| (l, EmpiricalCdf::new(v))).collect(),
+        per.into_iter()
+            .map(|(l, v)| (l, EmpiricalCdf::new(v)))
+            .collect(),
         EmpiricalCdf::new(all),
     )
 }
@@ -138,7 +140,9 @@ pub fn duration_cdfs_by_locality(
         all.push(ms);
     }
     (
-        per.into_iter().map(|(l, v)| (l, EmpiricalCdf::new(v))).collect(),
+        per.into_iter()
+            .map(|(l, v)| (l, EmpiricalCdf::new(v)))
+            .collect(),
         EmpiricalCdf::new(all),
     )
 }
@@ -151,8 +155,7 @@ mod tests {
     use sonet_topology::{ClusterSpec, LinkId, TopologySpec};
 
     fn topo() -> Topology {
-        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
-            .expect("valid")
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)])).expect("valid")
     }
 
     fn rec(at_us: u64, key: FlowKey, dir: Dir, kind: PacketKind, wire: u32) -> PacketRecord {
@@ -177,13 +180,35 @@ mod tests {
         let topo = topo();
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
-        let k1 = FlowKey { client: a, server: b, client_port: 1, server_port: 80 };
-        let k2 = FlowKey { client: a, server: b, client_port: 2, server_port: 80 };
+        let k1 = FlowKey {
+            client: a,
+            server: b,
+            client_port: 1,
+            server_port: 80,
+        };
+        let k2 = FlowKey {
+            client: a,
+            server: b,
+            client_port: 2,
+            server_port: 80,
+        };
         let records = vec![
             rec(0, k1, Dir::ClientToServer, PacketKind::Syn, 74),
-            rec(10, k1, Dir::ClientToServer, PacketKind::Data { last_of_msg: true }, 500),
+            rec(
+                10,
+                k1,
+                Dir::ClientToServer,
+                PacketKind::Data { last_of_msg: true },
+                500,
+            ),
             rec(20, k2, Dir::ClientToServer, PacketKind::Syn, 74),
-            rec(30, k2, Dir::ClientToServer, PacketKind::Data { last_of_msg: true }, 700),
+            rec(
+                30,
+                k2,
+                Dir::ClientToServer,
+                PacketKind::Data { last_of_msg: true },
+                700,
+            ),
         ];
         let trace = HostTrace::from_mirror(&records, a);
         let tuple = flow_stats(&trace, &topo, FlowAgg::FiveTuple);
@@ -205,11 +230,33 @@ mod tests {
         let a = topo.racks()[0].hosts[0];
         let same_rack = topo.racks()[0].hosts[1];
         let other_rack = topo.racks()[1].hosts[0];
-        let k1 = FlowKey { client: a, server: same_rack, client_port: 1, server_port: 80 };
-        let k2 = FlowKey { client: a, server: other_rack, client_port: 2, server_port: 80 };
+        let k1 = FlowKey {
+            client: a,
+            server: same_rack,
+            client_port: 1,
+            server_port: 80,
+        };
+        let k2 = FlowKey {
+            client: a,
+            server: other_rack,
+            client_port: 2,
+            server_port: 80,
+        };
         let records = vec![
-            rec(0, k1, Dir::ClientToServer, PacketKind::Data { last_of_msg: true }, 1000),
-            rec(0, k2, Dir::ClientToServer, PacketKind::Data { last_of_msg: true }, 3000),
+            rec(
+                0,
+                k1,
+                Dir::ClientToServer,
+                PacketKind::Data { last_of_msg: true },
+                1000,
+            ),
+            rec(
+                0,
+                k2,
+                Dir::ClientToServer,
+                PacketKind::Data { last_of_msg: true },
+                3000,
+            ),
         ];
         let trace = HostTrace::from_mirror(&records, a);
         let flows = flow_stats(&trace, &topo, FlowAgg::FiveTuple);
@@ -228,7 +275,12 @@ mod tests {
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         // `a` is the *server*: it only sends data/ACKs, never a SYN.
-        let k = FlowKey { client: b, server: a, client_port: 5, server_port: 80 };
+        let k = FlowKey {
+            client: b,
+            server: a,
+            client_port: 5,
+            server_port: 80,
+        };
         let records = vec![rec(
             0,
             k,

@@ -101,7 +101,11 @@ fn heavy_set(bytes: &HashMap<Entity, u64>, fraction: f64) -> IntervalHitters {
         hitters.insert(e);
         hitter_bytes.push(b);
     }
-    IntervalHitters { hitters, hitter_bytes, total_bytes: total }
+    IntervalHitters {
+        hitters,
+        hitter_bytes,
+        total_bytes: total,
+    }
 }
 
 /// Heavy hitters for every `bin`-sized interval of the trace (intervals
@@ -143,9 +147,8 @@ pub fn hitters_per_interval_keyed(
         .into_iter()
         .map(|(idx, bytes)| {
             let hh = heavy_set(&bytes, 0.5);
-            let mut entity_bytes: Vec<(Entity, u64)> =
-                bytes.into_iter().collect();
-            entity_bytes.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut entity_bytes: Vec<(Entity, u64)> = bytes.into_iter().collect();
+            entity_bytes.sort_by_key(|a| a.0);
             (
                 idx,
                 KeyedInterval {
@@ -184,7 +187,11 @@ pub fn hitter_stats(
     let secs = bin.as_secs_f64();
     let rates: Vec<f64> = per
         .iter()
-        .flat_map(|h| h.hitter_bytes.iter().map(move |&b| b as f64 * 8.0 / secs / 1e6))
+        .flat_map(|h| {
+            h.hitter_bytes
+                .iter()
+                .map(move |&b| b as f64 * 8.0 / secs / 1e6)
+        })
         .collect();
     Some(HitterStats {
         count: Summary::of(&counts)?,
@@ -255,8 +262,7 @@ mod tests {
     use sonet_util::SimTime;
 
     fn topo() -> Topology {
-        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
-            .expect("valid")
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)])).expect("valid")
     }
 
     fn rec(at_us: u64, src: HostId, dst: HostId, port: u16, wire: u32) -> PacketRecord {
@@ -265,7 +271,12 @@ mod tests {
             link: LinkId(0),
             pkt: Packet {
                 conn: ConnId { idx: 0, gen: 0 },
-                key: FlowKey { client: src, server: dst, client_port: port, server_port: 80 },
+                key: FlowKey {
+                    client: src,
+                    server: dst,
+                    client_port: port,
+                    server_port: 80,
+                },
                 dir: Dir::ClientToServer,
                 kind: PacketKind::Data { last_of_msg: false },
                 seq: 0,
@@ -368,9 +379,7 @@ mod tests {
         let topo = topo();
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
-        let records: Vec<PacketRecord> = (0..10)
-            .map(|i| rec(i * 1_000, a, b, 1, 1250))
-            .collect();
+        let records: Vec<PacketRecord> = (0..10).map(|i| rec(i * 1_000, a, b, 1, 1250)).collect();
         let trace = HostTrace::from_mirror(&records, a);
         let stats = hitter_stats(
             &trace,

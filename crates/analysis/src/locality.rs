@@ -139,8 +139,7 @@ pub fn rack_demand_matrix(
     cluster: ClusterId,
 ) -> Vec<Vec<u64>> {
     let racks = &topo.cluster(cluster).racks;
-    let pos: HashMap<RackId, usize> =
-        racks.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let pos: HashMap<RackId, usize> = racks.iter().enumerate().map(|(i, &r)| (r, i)).collect();
     let mut m = vec![vec![0u64; racks.len()]; racks.len()];
     for row in table.rows() {
         if row.src_cluster == cluster && row.dst_cluster == cluster {
@@ -206,8 +205,16 @@ impl MatrixStats {
             } else {
                 0.0
             },
-            diagonal_fraction: if total > 0 { diag as f64 / total as f64 } else { 0.0 },
-            fill: if cells > 0 { nonzero as f64 / cells as f64 } else { 0.0 },
+            diagonal_fraction: if total > 0 {
+                diag as f64 / total as f64
+            } else {
+                0.0
+            },
+            fill: if cells > 0 {
+                nonzero as f64 / cells as f64
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -233,7 +240,12 @@ mod tests {
             link: LinkId(0),
             pkt: Packet {
                 conn: ConnId { idx: 0, gen: 0 },
-                key: FlowKey { client: src, server: dst, client_port: 9, server_port: 80 },
+                key: FlowKey {
+                    client: src,
+                    server: dst,
+                    client_port: 9,
+                    server_port: 80,
+                },
                 dir: Dir::ClientToServer,
                 kind: PacketKind::Data { last_of_msg: true },
                 seq: 0,
@@ -278,7 +290,10 @@ mod tests {
             SimTime::from_secs(3),
         );
         assert_eq!(series.len(), 3);
-        assert!((series[0][0] - 8.0).abs() < 1e-9, "1 MB/s = 8 Mbps rack-local");
+        assert!(
+            (series[0][0] - 8.0).abs() < 1e-9,
+            "1 MB/s = 8 Mbps rack-local"
+        );
         assert!((series[1][0] - 16.0).abs() < 1e-9);
         assert_eq!(series[2][0], 0.0);
     }

@@ -44,10 +44,7 @@ pub fn bimodal_fraction(trace: &HostTrace, ack_bytes: u32, mtu_bytes: u32, slack
     let near = trace
         .outbound()
         .iter()
-        .filter(|o| {
-            o.wire_bytes <= ack_bytes + slack
-                || o.wire_bytes + slack >= mtu_bytes
-        })
+        .filter(|o| o.wire_bytes <= ack_bytes + slack || o.wire_bytes + slack >= mtu_bytes)
         .count();
     near as f64 / total as f64
 }
@@ -78,7 +75,10 @@ pub struct OnOffMetrics {
 /// Computes on/off metrics for a binned count series.
 pub fn onoff_metrics(counts: &[u32]) -> OnOffMetrics {
     if counts.is_empty() {
-        return OnOffMetrics { empty_fraction: 0.0, cov: 0.0 };
+        return OnOffMetrics {
+            empty_fraction: 0.0,
+            cov: 0.0,
+        };
     }
     let n = counts.len() as f64;
     let empty = counts.iter().filter(|&&c| c == 0).count() as f64 / n;
@@ -113,7 +113,9 @@ pub fn per_destination_onoff(
     }
     let mut v: Vec<(sonet_topology::HostId, Vec<u32>)> = per_dest.into_iter().collect();
     v.sort_by_key(|(h, _)| *h);
-    v.into_iter().map(|(_, counts)| onoff_metrics(&counts)).collect()
+    v.into_iter()
+        .map(|(_, counts)| onoff_metrics(&counts))
+        .collect()
 }
 
 /// Outbound packet inter-arrival CDF in microseconds (§6.2's arrival

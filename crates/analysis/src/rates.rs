@@ -153,8 +153,7 @@ mod tests {
     use sonet_util::SimTime;
 
     fn topo() -> Topology {
-        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
-            .expect("valid")
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)])).expect("valid")
     }
 
     fn rec(at_ms: u64, src: HostId, dst: HostId, wire: u32) -> PacketRecord {
@@ -163,7 +162,12 @@ mod tests {
             link: LinkId(0),
             pkt: Packet {
                 conn: ConnId { idx: 0, gen: 0 },
-                key: FlowKey { client: src, server: dst, client_port: 7, server_port: 80 },
+                key: FlowKey {
+                    client: src,
+                    server: dst,
+                    client_port: 7,
+                    server_port: 80,
+                },
                 dir: Dir::ClientToServer,
                 kind: PacketKind::Data { last_of_msg: false },
                 seq: 0,
@@ -202,7 +206,9 @@ mod tests {
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         // Wildly varying per-second volume.
-        let sizes = [1_000u32, 4_000_000, 2_000, 3_500_000, 1_500, 2_500_000, 900, 100, 50_000, 10];
+        let sizes = [
+            1_000u32, 4_000_000, 2_000, 3_500_000, 1_500, 2_500_000, 900, 100, 50_000, 10,
+        ];
         let records: Vec<PacketRecord> = sizes
             .iter()
             .enumerate()

@@ -94,8 +94,7 @@ mod tests {
     use sonet_util::SimTime;
 
     fn topo() -> Topology {
-        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
-            .expect("valid")
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)])).expect("valid")
     }
 
     fn rec(at_ms: u64, src: HostId, dst: HostId, port: u16, wire: u32) -> PacketRecord {
@@ -104,7 +103,12 @@ mod tests {
             link: LinkId(0),
             pkt: Packet {
                 conn: ConnId { idx: 0, gen: 0 },
-                key: FlowKey { client: src, server: dst, client_port: port, server_port: 80 },
+                key: FlowKey {
+                    client: src,
+                    server: dst,
+                    client_port: port,
+                    server_port: 80,
+                },
                 dir: Dir::ClientToServer,
                 kind: PacketKind::Data { last_of_msg: false },
                 seq: 0,
@@ -121,11 +125,15 @@ mod tests {
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         // Every interval: b carries all bytes.
-        let records: Vec<PacketRecord> =
-            (0..10).map(|s| rec(s * 100, a, b, 1, 10_000)).collect();
+        let records: Vec<PacketRecord> = (0..10).map(|s| rec(s * 100, a, b, 1, 10_000)).collect();
         let trace = HostTrace::from_mirror(&records, a);
-        let p = predictability(&trace, &topo, SimDuration::from_millis(100), HeavyHitterAgg::Flow)
-            .expect("enough intervals");
+        let p = predictability(
+            &trace,
+            &topo,
+            SimDuration::from_millis(100),
+            HeavyHitterAgg::Flow,
+        )
+        .expect("enough intervals");
         assert_eq!(p.median_covered_pct, 100.0);
         assert!(p.clears_benson_bar());
         assert_eq!(p.intervals, 9);
@@ -143,8 +151,13 @@ mod tests {
             })
             .collect();
         let trace = HostTrace::from_mirror(&records, a);
-        let p = predictability(&trace, &topo, SimDuration::from_millis(100), HeavyHitterAgg::Flow)
-            .expect("enough intervals");
+        let p = predictability(
+            &trace,
+            &topo,
+            SimDuration::from_millis(100),
+            HeavyHitterAgg::Flow,
+        )
+        .expect("enough intervals");
         assert_eq!(p.median_covered_pct, 0.0);
         assert!(!p.clears_benson_bar());
     }
@@ -159,10 +172,20 @@ mod tests {
             .map(|s| rec(s * 100, a, rack.hosts[(s % 4) as usize], s as u16, 10_000))
             .collect();
         let trace = HostTrace::from_mirror(&records, a);
-        let flow = predictability(&trace, &topo, SimDuration::from_millis(100), HeavyHitterAgg::Flow)
-            .expect("intervals");
-        let rack_p = predictability(&trace, &topo, SimDuration::from_millis(100), HeavyHitterAgg::Rack)
-            .expect("intervals");
+        let flow = predictability(
+            &trace,
+            &topo,
+            SimDuration::from_millis(100),
+            HeavyHitterAgg::Flow,
+        )
+        .expect("intervals");
+        let rack_p = predictability(
+            &trace,
+            &topo,
+            SimDuration::from_millis(100),
+            HeavyHitterAgg::Rack,
+        )
+        .expect("intervals");
         assert_eq!(flow.median_covered_pct, 0.0);
         assert_eq!(rack_p.median_covered_pct, 100.0);
     }

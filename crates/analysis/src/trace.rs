@@ -89,8 +89,12 @@ impl HostTrace {
 
     /// All packets touching the host, time-sorted (allocates).
     pub fn all(&self) -> Vec<PacketObs> {
-        let mut v: Vec<PacketObs> =
-            self.out.iter().chain(self.inbound.iter()).copied().collect();
+        let mut v: Vec<PacketObs> = self
+            .out
+            .iter()
+            .chain(self.inbound.iter())
+            .copied()
+            .collect();
         v.sort_by_key(|o| o.at);
         v
     }

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use sonet_netsim::SimOutputs;
 use sonet_topology::{Node, SwitchKind, Topology};
-use sonet_util::{Summary, SimDuration};
+use sonet_util::{SimDuration, Summary};
 
 /// The layer a link belongs to, for §4.1's per-layer utilization story.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -75,7 +75,12 @@ pub fn utilization_series(
     let series = out.util_series.get(&link)?;
     let secs = interval.as_secs_f64();
     let cap_bps = topo.links()[link.index()].gbps * 1e9;
-    Some(series.iter().map(|&b| b as f64 * 8.0 / secs / cap_bps).collect())
+    Some(
+        series
+            .iter()
+            .map(|&b| b as f64 * 8.0 / secs / cap_bps)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -92,14 +97,16 @@ mod tests {
             Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4)]))
                 .expect("valid"),
         );
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         let up = topo.host_uplink(a);
-        sim.track_utilization(SimDuration::from_millis(10), &[up]);
+        sim.track_utilization(SimDuration::from_millis(10), &[up])
+            .expect("valid interval");
         let c = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
-        sim.send_message(c, SimTime::ZERO, 1_000_000, 0, SimDuration::ZERO).expect("send");
+        sim.send_message(c, SimTime::ZERO, 1_000_000, 0, SimDuration::ZERO)
+            .expect("send");
         sim.run_until(SimTime::from_millis(100));
         let (out, _) = sim.finish();
 

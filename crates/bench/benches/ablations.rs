@@ -51,10 +51,11 @@ fn run_cachef_trace(
     profiles: ServiceProfiles,
 ) -> (HostTrace, sonet_netsim::SimOutputs) {
     let mut wl = Workload::new(Arc::clone(topo), profiles, BENCH_SEED).expect("workload");
-    let host = wl.monitored_host(HostRole::CacheFollower).expect("cache-f exists");
+    let host = wl
+        .monitored_host(HostRole::CacheFollower)
+        .expect("cache-f exists");
     let mirror = PortMirror::new(4_000_000);
-    let mut sim =
-        Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
+    let mut sim = Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
     sim.watch_link(topo.host_uplink(host));
     sim.watch_link(topo.host_downlink(host));
     let mut t = SimTime::ZERO;
@@ -82,7 +83,13 @@ fn ablation_sampling(topo: &Arc<Topology>) {
     for rate in [1u64, 100, 1_000, 30_000] {
         let mut wl =
             Workload::new(Arc::clone(topo), profiles.clone(), BENCH_SEED).expect("workload");
-        let sampler = FbflowSampler::new(topo, FbflowConfig { sampling_rate: rate }, Rng::new(9));
+        let sampler = FbflowSampler::new(
+            topo,
+            FbflowConfig {
+                sampling_rate: rate,
+            },
+            Rng::new(9),
+        );
         let mut sim =
             Simulator::new(Arc::clone(topo), SimConfig::default(), sampler).expect("config");
         FbflowSampler::deploy_fleet_wide(&mut sim, topo);
@@ -171,11 +178,16 @@ fn ablation_load_balance(topo: &Arc<Topology>) {
 /// presence of relatively hot objects".
 fn follower_load_spike(topo: &Arc<Topology>, profiles: ServiceProfiles, interval_ms: u64) -> f64 {
     let mut wl = Workload::new(Arc::clone(topo), profiles, BENCH_SEED).expect("workload");
-    let mut sim = Simulator::new(Arc::clone(topo), SimConfig::default(), sonet_netsim::NullTap)
-        .expect("config");
+    let mut sim = Simulator::new(
+        Arc::clone(topo),
+        SimConfig::default(),
+        sonet_netsim::NullTap,
+    )
+    .expect("config");
     let followers: Vec<_> = topo.hosts_with_role(HostRole::CacheFollower).to_vec();
     let links: Vec<_> = followers.iter().map(|&h| topo.host_uplink(h)).collect();
-    sim.track_utilization(SimDuration::from_millis(interval_ms.max(50)), &links);
+    sim.track_utilization(SimDuration::from_millis(interval_ms.max(50)), &links)
+        .expect("valid interval");
     let mut t = SimTime::ZERO;
     while t < SimTime::from_secs(secs()) {
         t += SimDuration::from_millis(250);
@@ -185,7 +197,9 @@ fn follower_load_spike(topo: &Arc<Topology>, profiles: ServiceProfiles, interval
     let (out, _) = sim.finish();
     let mut worst: f64 = 1.0;
     for l in links {
-        let Some(series) = out.util_series.get(&l) else { continue };
+        let Some(series) = out.util_series.get(&l) else {
+            continue;
+        };
         let mut sorted: Vec<u64> = series.clone();
         sorted.sort_unstable();
         let median = sorted[sorted.len() / 2].max(1);
@@ -241,11 +255,18 @@ fn ablation_pooling(topo: &Arc<Topology>) {
 fn ablation_buffer_alpha(topo: &Arc<Topology>) {
     println!("\n-- ablation 4: DT alpha vs drops under incast (§6.3) --");
     println!("alpha    buffer    egress drops   completed");
-    for (alpha, shared) in [(0.25, 1u64 << 20), (1.0, 1 << 20), (4.0, 1 << 20), (1.0, 12 << 20)] {
+    for (alpha, shared) in [
+        (0.25, 1u64 << 20),
+        (1.0, 1 << 20),
+        (4.0, 1 << 20),
+        (1.0, 12 << 20),
+    ] {
         let mut cfg = SimConfig::default();
-        cfg.rsw_buffer = BufferConfig { shared_bytes: shared, alpha };
-        let mut sim = Simulator::new(Arc::clone(topo), cfg, sonet_netsim::NullTap)
-            .expect("config");
+        cfg.rsw_buffer = BufferConfig {
+            shared_bytes: shared,
+            alpha,
+        };
+        let mut sim = Simulator::new(Arc::clone(topo), cfg, sonet_netsim::NullTap).expect("config");
         // Incast: many hosts burst into one web host.
         let dst = topo.hosts_with_role(HostRole::Web)[0];
         let senders: Vec<_> = topo
@@ -256,7 +277,9 @@ fn ablation_buffer_alpha(topo: &Arc<Topology>) {
             .take(24)
             .collect();
         for &src in &senders {
-            let c = sim.open_connection(SimTime::ZERO, src, dst, 80).expect("open");
+            let c = sim
+                .open_connection(SimTime::ZERO, src, dst, 80)
+                .expect("open");
             sim.send_message(c, SimTime::from_micros(5), 400_000, 0, SimDuration::ZERO)
                 .expect("send");
         }

@@ -29,8 +29,10 @@ struct Contrast {
 fn topo() -> Arc<Topology> {
     let (racks, hosts) = if fast_mode() { (4, 4) } else { (8, 8) };
     Arc::new(
-        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::hadoop(racks, hosts)]))
-            .expect("valid"),
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::hadoop(
+            racks, hosts,
+        )]))
+        .expect("valid"),
     )
 }
 
@@ -61,8 +63,7 @@ fn run_literature(topo: &Arc<Topology>, secs: u64) -> Contrast {
         BENCH_SEED,
     );
     let mirror = PortMirror::new(2_000_000);
-    let mut sim =
-        Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
+    let mut sim = Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
     let host = topo.racks()[0].hosts[0];
     sim.watch_link(topo.host_uplink(host));
     sim.watch_link(topo.host_downlink(host));
@@ -81,11 +82,12 @@ fn run_paper_hadoop(topo: &Arc<Topology>, secs: u64) -> Contrast {
     let mut profiles = ServiceProfiles::default();
     profiles.rate_scale = if fast_mode() { 5.0 } else { 10.0 };
     let mut wl = Workload::new(Arc::clone(topo), profiles, BENCH_SEED).expect("workload");
-    let host = wl.monitored_host(sonet_topology::HostRole::Hadoop).expect("hadoop host");
+    let host = wl
+        .monitored_host(sonet_topology::HostRole::Hadoop)
+        .expect("hadoop host");
     wl.ensure_busy_start(host, secs as f64);
     let mirror = PortMirror::new(4_000_000);
-    let mut sim =
-        Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
+    let mut sim = Simulator::new(Arc::clone(topo), SimConfig::default(), mirror).expect("config");
     sim.watch_link(topo.host_uplink(host));
     sim.watch_link(topo.host_downlink(host));
     let mut t = SimTime::ZERO;

@@ -28,20 +28,21 @@ fn bench(c: &mut Criterion) {
     let hadoop = topo.hosts_with_role(sonet_topology::HostRole::Hadoop)[0];
     let mut g = c.benchmark_group("engine");
     g.bench_function("route_intra_rack", |b| {
-        b.iter(|| topo.route(a, same_rack, 12345))
+        b.iter(|| topo.route(a, same_rack, 12345).expect("route"))
     });
     g.bench_function("route_intra_cluster", |b| {
-        b.iter(|| topo.route(a, same_cluster, 12345))
+        b.iter(|| topo.route(a, same_cluster, 12345).expect("route"))
     });
-    g.bench_function("route_intra_dc", |b| b.iter(|| topo.route(a, hadoop, 12345)));
+    g.bench_function("route_intra_dc", |b| {
+        b.iter(|| topo.route(a, hadoop, 12345).expect("route"))
+    });
 
     // Packet engine throughput: a 1-MB request/response exchange.
     g.bench_function("transfer_1mb", |b| {
         b.iter_batched(
             || {
-                let mut sim =
-                    Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-                        .expect("config");
+                let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+                    .expect("config");
                 let conn = sim
                     .open_connection(SimTime::ZERO, a, same_cluster, 80)
                     .expect("open");
@@ -62,9 +63,8 @@ fn bench(c: &mut Criterion) {
     g.bench_function("rpc_1000_small", |b| {
         b.iter_batched(
             || {
-                let mut sim =
-                    Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-                        .expect("config");
+                let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+                    .expect("config");
                 let conn = sim
                     .open_connection(SimTime::ZERO, a, same_cluster, 80)
                     .expect("open");

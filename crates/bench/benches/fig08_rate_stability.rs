@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
     }
     let cap = lab.capture();
     let seconds = cap.duration.as_secs() as usize;
-    let cache = cap.trace(HostRole::CacheFollower).expect("cache-f is monitored");
+    let cache = cap
+        .trace(HostRole::CacheFollower)
+        .expect("cache-f is monitored");
     let mut g = c.benchmark_group("fig08_rate_stability");
     g.sample_size(10);
     g.bench_function("rack_rate_series", |b| {

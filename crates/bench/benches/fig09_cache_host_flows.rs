@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     banner("Figure 9: cache-follower per-host flow sizes (§5.1)");
     let mut lab = bench_lab();
     let report = lab.fig9();
-    if let Some(r) = report { println!("{}", r.render()); }
+    if let Some(r) = report {
+        println!("{}", r.render());
+    }
     let cap = lab.capture();
     let mut g = c.benchmark_group("fig09_cache_host_flows");
     g.sample_size(10);

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     banner("Figure 13: Hadoop arrivals are not on/off (§6.2)");
     let mut lab = bench_lab();
     let report = lab.fig13();
-    if let Some(r) = report { println!("{}", r.render()); }
+    if let Some(r) = report {
+        println!("{}", r.render());
+    }
     let cap = lab.capture();
     let mut g = c.benchmark_group("fig13_hadoop_onoff");
     g.sample_size(10);

@@ -49,8 +49,7 @@ fn run(spec: TopologySpec) -> Outcome {
     let mut profiles = ServiceProfiles::default();
     profiles.rate_scale = if fast_mode() { 5.0 } else { 10.0 };
     let mut wl = Workload::new(Arc::clone(&topo), profiles, BENCH_SEED).expect("workload");
-    let mut sim =
-        Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
     sim.record_latencies(true);
     let mut t = SimTime::ZERO;
     while t < SimTime::from_secs(secs()) {
@@ -107,11 +106,11 @@ fn bench(c: &mut Criterion) {
             let topo = Arc::new(Topology::build(base_spec()).expect("valid"));
             let mut profiles = ServiceProfiles::default();
             profiles.rate_scale = 2.0;
-            let mut wl =
-                Workload::new(Arc::clone(&topo), profiles, BENCH_SEED).expect("workload");
-            let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-                .expect("config");
-            wl.generate(&mut sim, SimTime::from_secs(1)).expect("generate");
+            let mut wl = Workload::new(Arc::clone(&topo), profiles, BENCH_SEED).expect("workload");
+            let mut sim =
+                Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+            wl.generate(&mut sim, SimTime::from_secs(1))
+                .expect("generate");
             sim.run_until(SimTime::from_secs(1));
             let (out, _) = sim.finish();
             out.delivered_packets

@@ -15,7 +15,9 @@ pub const BENCH_SEED: u64 = 42;
 
 /// True when the suite runs in fast/smoke mode.
 pub fn fast_mode() -> bool {
-    std::env::var("SONET_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SONET_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The lab configuration for benches (standard, or tiny in fast mode).

@@ -6,7 +6,7 @@
 use crate::scenario::{packet_tier_spec, ScenarioScale};
 use serde::{Deserialize, Serialize};
 use sonet_analysis::HostTrace;
-use sonet_netsim::{SimConfig, SimOutputs, Simulator};
+use sonet_netsim::{FaultEvent, FaultKind, FaultPlan, SimConfig, SimOutputs, Simulator};
 use sonet_telemetry::PortMirror;
 use sonet_topology::{HostId, HostRole, Topology};
 use sonet_util::{SimDuration, SimTime};
@@ -28,6 +28,10 @@ pub struct CaptureConfig {
     pub rate_scale: f64,
     /// Mirror buffer capacity in packets per §3.3.2's RAM limit.
     pub mirror_capacity: usize,
+    /// Faults injected during the run (empty = healthy baseline).
+    /// Network faults go to the engine; mirror-loss faults are applied to
+    /// the capture path at the next 250 ms generation-window boundary.
+    pub faults: FaultPlan,
 }
 
 impl CaptureConfig {
@@ -39,6 +43,7 @@ impl CaptureConfig {
             duration: SimDuration::from_secs(15),
             rate_scale: 10.0,
             mirror_capacity: 4_000_000,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -50,7 +55,14 @@ impl CaptureConfig {
             duration: SimDuration::from_secs(3),
             rate_scale: 5.0,
             mirror_capacity: 500_000,
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// The same capture with `faults` injected.
+    pub fn with_faults(mut self, faults: FaultPlan) -> CaptureConfig {
+        self.faults = faults;
+        self
     }
 }
 
@@ -79,6 +91,13 @@ pub struct StandardCapture {
     pub truncated: bool,
     /// Total calls the workload issued.
     pub issued_calls: u64,
+    /// Mirrored packets lost to injected capture faults (counted, not
+    /// silently gone).
+    pub mirror_fault_dropped: u64,
+    /// Mirrored packets lost to the mirror's memory limit.
+    pub mirror_overflow: u64,
+    /// Packets offered to the mirror (captured + overflowed + lost).
+    pub mirror_offered: u64,
 }
 
 impl StandardCapture {
@@ -110,18 +129,43 @@ impl StandardCapture {
             workload.ensure_busy_start(h, cfg.duration.as_secs_f64());
         }
 
+        // Network faults ride the engine's event calendar; telemetry
+        // faults are applied to the tap at window boundaries below.
+        cfg.faults
+            .validate(&topo)
+            .expect("fault plan is valid for this plant");
+        sim.inject_faults(&cfg.faults)
+            .expect("validated plan injects cleanly");
+        let telemetry: Vec<FaultEvent> = cfg.faults.telemetry_events().copied().collect();
+        let mut tel_next = 0;
+        let mut apply_telemetry = |sim: &mut Simulator<PortMirror>, now: SimTime| {
+            while tel_next < telemetry.len() && telemetry[tel_next].at <= now {
+                if let FaultKind::MirrorLoss { fraction } = telemetry[tel_next].kind {
+                    sim.tap_mut().set_fault_loss(fraction);
+                }
+                tel_next += 1;
+            }
+        };
+        apply_telemetry(&mut sim, SimTime::ZERO);
+
         // Windowed generation keeps memory bounded.
         let window = SimDuration::from_millis(250);
         let horizon = SimTime::ZERO + cfg.duration;
         let mut t = SimTime::ZERO;
         while t < horizon {
             t = (t + window).min(horizon);
-            workload.generate(&mut sim, t).expect("generation stays in the future");
+            workload
+                .generate(&mut sim, t)
+                .expect("generation stays in the future");
             sim.run_until(t);
+            apply_telemetry(&mut sim, t);
         }
         let issued_calls = workload.issued_calls();
         let (outputs, mirror) = sim.finish();
         let truncated = mirror.truncated();
+        let mirror_fault_dropped = mirror.fault_dropped();
+        let mirror_overflow = mirror.overflow();
+        let mirror_offered = mirror.offered();
         let records = mirror.into_records();
         let traces = monitored
             .iter()
@@ -135,6 +179,9 @@ impl StandardCapture {
             duration: cfg.duration,
             truncated,
             issued_calls,
+            mirror_fault_dropped,
+            mirror_overflow,
+            mirror_offered,
         }
     }
 
@@ -158,7 +205,10 @@ mod tests {
                 "{role} produced no outbound packets"
             );
         }
-        assert!(!cap.truncated, "tiny capture should not overflow the mirror");
+        assert!(
+            !cap.truncated,
+            "tiny capture should not overflow the mirror"
+        );
         assert!(cap.issued_calls > 0);
         assert!(cap.outputs.delivered_packets > 0);
     }
@@ -171,5 +221,70 @@ mod tests {
         let ta = &a.traces[&HostRole::Web];
         let tb = &b.traces[&HostRole::Web];
         assert_eq!(ta.outbound().len(), tb.outbound().len());
+    }
+
+    #[test]
+    fn faulted_capture_degrades_instead_of_panicking() {
+        use sonet_netsim::{FaultKind, FaultPlan};
+        use sonet_topology::{SwitchId, SwitchKind};
+
+        // Find a CSW on the same plant the capture will build.
+        let topo = Topology::build(packet_tier_spec(ScenarioScale::Tiny)).expect("valid");
+        let csw = topo
+            .switches()
+            .iter()
+            .position(|s| s.kind == SwitchKind::Csw)
+            .map(|i| SwitchId(i as u32))
+            .expect("tiny plant has CSWs");
+
+        // A CSW post dies one second in and never recovers, and the
+        // mirror's capture path fails completely half-way through.
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(1), FaultKind::SwitchDown(csw))
+            .at(
+                SimTime::from_millis(1500),
+                FaultKind::MirrorLoss { fraction: 1.0 },
+            );
+        let cap = StandardCapture::run(&CaptureConfig::fast(7).with_faults(plan));
+
+        assert_eq!(
+            cap.outputs.faults_applied, 1,
+            "network fault reached the engine"
+        );
+        assert!(
+            cap.outputs.reroutes > 0,
+            "flows re-hashed around the dead post"
+        );
+        let fault_drops: u64 = cap
+            .outputs
+            .link_counters
+            .iter()
+            .map(|c| c.fault_drop_packets)
+            .sum();
+        assert!(
+            fault_drops > 0,
+            "in-flight packets on the dead post were counted"
+        );
+        assert!(cap.mirror_fault_dropped > 0, "telemetry losses are counted");
+        assert!(
+            cap.mirror_offered > cap.mirror_fault_dropped,
+            "the first half of the capture still exists"
+        );
+        assert!(cap.outputs.delivered_packets > 0);
+
+        // Faulted runs are just as deterministic as healthy ones.
+        let plan2 = FaultPlan::new()
+            .at(SimTime::from_secs(1), FaultKind::SwitchDown(csw))
+            .at(
+                SimTime::from_millis(1500),
+                FaultKind::MirrorLoss { fraction: 1.0 },
+            );
+        let again = StandardCapture::run(&CaptureConfig::fast(7).with_faults(plan2));
+        assert_eq!(
+            cap.outputs.delivered_packets,
+            again.outputs.delivered_packets
+        );
+        assert_eq!(cap.outputs.reroutes, again.outputs.reroutes);
+        assert_eq!(cap.mirror_fault_dropped, again.mirror_fault_dropped);
     }
 }

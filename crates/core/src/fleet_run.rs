@@ -17,17 +17,31 @@ pub struct FleetRunConfig {
     pub scale: ScenarioScale,
     /// Samples per host across the simulated day.
     pub samples_per_host: u32,
+    /// Fraction of agent samples lost before reaching the tagger, in
+    /// `[0, 1]` (the fleet-tier analogue of `FaultKind::FbflowLoss`).
+    /// Losses are deterministic and counted in [`FleetData::agent_dropped`].
+    pub agent_loss: f64,
 }
 
 impl FleetRunConfig {
     /// Bench-grade fleet run.
     pub fn standard(seed: u64) -> FleetRunConfig {
-        FleetRunConfig { seed, scale: ScenarioScale::Standard, samples_per_host: 200 }
+        FleetRunConfig {
+            seed,
+            scale: ScenarioScale::Standard,
+            samples_per_host: 200,
+            agent_loss: 0.0,
+        }
     }
 
     /// Test-grade fleet run.
     pub fn fast(seed: u64) -> FleetRunConfig {
-        FleetRunConfig { seed, scale: ScenarioScale::Tiny, samples_per_host: 50 }
+        FleetRunConfig {
+            seed,
+            scale: ScenarioScale::Tiny,
+            samples_per_host: 50,
+            agent_loss: 0.0,
+        }
     }
 }
 
@@ -39,21 +53,54 @@ pub struct FleetData {
     pub table: ScubaTable,
     /// Destination picks that had to relax their desired locality.
     pub relaxed_picks: u64,
+    /// Samples lost to injected agent faults (counted, never silent).
+    pub agent_dropped: u64,
 }
 
 impl FleetData {
     /// Runs the fleet tier.
     pub fn run(cfg: &FleetRunConfig) -> FleetData {
+        assert!(
+            (0.0..=1.0).contains(&cfg.agent_loss),
+            "agent loss {} outside [0, 1]",
+            cfg.agent_loss
+        );
         let topo =
             Arc::new(Topology::build(fleet_spec(cfg.scale)).expect("preset specs are valid"));
         let mut model = FleetModel::new(
             Arc::clone(&topo),
-            FleetConfig { samples_per_host: cfg.samples_per_host, ..FleetConfig::default() },
+            FleetConfig {
+                samples_per_host: cfg.samples_per_host,
+                ..FleetConfig::default()
+            },
             cfg.seed,
         );
         let samples = model.generate();
+        // Agent-side loss thins the stream deterministically (the same
+        // ordinal hash the packet-tier telemetry uses), with every drop
+        // counted — degraded monitoring, not silently wrong monitoring.
+        let permille = (cfg.agent_loss * 1000.0).round() as u64;
+        let mut agent_dropped = 0u64;
+        let samples: Vec<_> = samples
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let keep =
+                    permille == 0 || (*i as u64 + 1).wrapping_mul(2_654_435_761) % 1000 >= permille;
+                if !keep {
+                    agent_dropped += 1;
+                }
+                keep
+            })
+            .map(|(_, s)| s)
+            .collect();
         let table = Tagger::new(&topo).ingest(samples);
-        FleetData { topo, table, relaxed_picks: model.relaxed_picks() }
+        FleetData {
+            topo,
+            table,
+            relaxed_picks: model.relaxed_picks(),
+            agent_dropped,
+        }
     }
 }
 
@@ -65,12 +112,40 @@ mod tests {
     fn fleet_run_produces_tagged_rows() {
         let data = FleetData::run(&FleetRunConfig::fast(3));
         assert!(!data.table.is_empty());
-        assert_eq!(
-            data.table.len() as u64,
-            data.topo.hosts().len() as u64 * 50
-        );
+        assert_eq!(data.table.len() as u64, data.topo.hosts().len() as u64 * 50);
         // Relaxations should be rare on a complete plant.
         let frac = data.relaxed_picks as f64 / data.table.len() as f64;
         assert!(frac < 0.10, "relaxed fraction {frac}");
+        assert_eq!(data.agent_dropped, 0);
+    }
+
+    #[test]
+    fn agent_loss_thins_fleet_samples_deterministically() {
+        let cfg = FleetRunConfig {
+            agent_loss: 0.3,
+            ..FleetRunConfig::fast(3)
+        };
+        let a = FleetData::run(&cfg);
+        let healthy = FleetData::run(&FleetRunConfig::fast(3));
+        let total = healthy.table.len() as u64;
+        assert_eq!(a.table.len() as u64 + a.agent_dropped, total);
+        let lost = a.agent_dropped as f64 / total as f64;
+        assert!(
+            (lost - 0.3).abs() < 0.05,
+            "lost fraction {lost}, wanted ≈0.3"
+        );
+        let b = FleetData::run(&cfg);
+        assert_eq!(a.table.len(), b.table.len());
+        assert_eq!(a.agent_dropped, b.agent_dropped);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn agent_loss_out_of_range_rejected() {
+        let cfg = FleetRunConfig {
+            agent_loss: 1.5,
+            ..FleetRunConfig::fast(3)
+        };
+        let _ = FleetData::run(&cfg);
     }
 }

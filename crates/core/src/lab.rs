@@ -50,7 +50,11 @@ pub struct Lab {
 impl Lab {
     /// Creates an empty lab; substrates are built on first use.
     pub fn new(cfg: LabConfig) -> Lab {
-        Lab { cfg, capture: None, fleet: None }
+        Lab {
+            cfg,
+            capture: None,
+            fleet: None,
+        }
     }
 
     /// The packet-tier capture (runs the simulation on first call).
@@ -162,6 +166,12 @@ impl Lab {
     /// §5.4 traffic-engineering predictability table.
     pub fn te_predictability(&mut self) -> reports::TeReport {
         reports::te_predictability(self.capture())
+    }
+
+    /// Degradation rollup: what the configured fault plan cost the plant
+    /// and the telemetry (all-zero on a healthy baseline).
+    pub fn degradation(&mut self) -> reports::DegradationReport {
+        reports::degradation(self.capture())
     }
 }
 

@@ -34,4 +34,5 @@ pub mod scenario;
 pub use capture::{CaptureConfig, StandardCapture};
 pub use fleet_run::{FleetData, FleetRunConfig};
 pub use lab::{Lab, LabConfig};
-pub use scenario::{packet_tier_spec, fleet_spec, ScenarioScale};
+pub use reports::DegradationReport;
+pub use scenario::{fleet_spec, packet_tier_spec, ScenarioScale};

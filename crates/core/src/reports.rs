@@ -11,8 +11,7 @@ use sonet_analysis::flows::{
     duration_cdfs_by_locality, flow_stats, size_cdfs_by_locality, FlowAgg,
 };
 use sonet_analysis::heavy_hitters::{
-    enclosing_second_intersection, hitter_stats, persistence_fractions, HeavyHitterAgg,
-    HitterStats,
+    enclosing_second_intersection, hitter_stats, persistence_fractions, HeavyHitterAgg, HitterStats,
 };
 use sonet_analysis::locality::{
     cluster_demand_matrix, locality_timeseries, rack_demand_matrix, service_matrix_row,
@@ -106,7 +105,10 @@ impl Table2Report {
                 );
             }
         }
-        format!("Table 2: outbound traffic % by destination service\n{}", table(&headers, &rows))
+        format!(
+            "Table 2: outbound traffic % by destination service\n{}",
+            table(&headers, &rows)
+        )
     }
 }
 
@@ -136,7 +138,9 @@ pub const TABLE3_PAPER_SHARES: [f64; 5] = [23.7, 21.5, 18.0, 10.2, 5.2];
 
 /// Computes Table 3 from the fleet tier.
 pub fn table3(fleet: &FleetData) -> Table3Report {
-    Table3Report { table: LocalityTable::of(&fleet.table) }
+    Table3Report {
+        table: LocalityTable::of(&fleet.table),
+    }
 }
 
 impl Table3Report {
@@ -168,7 +172,11 @@ impl Table3Report {
         for (i, name) in row_names.iter().enumerate() {
             let mut r = vec![format!("{name} (measured)"), num(pick(&self.table.all, i))];
             for t in order {
-                r.push(col(t).map(|(b, _)| num(pick(&b, i))).unwrap_or_else(|| "-".into()));
+                r.push(
+                    col(t)
+                        .map(|(b, _)| num(pick(&b, i)))
+                        .unwrap_or_else(|| "-".into()),
+                );
             }
             rows.push(r);
             let mut p = vec![format!("{name} (paper)")];
@@ -183,7 +191,10 @@ impl Table3Report {
         let mut p = vec!["Share% (paper)".to_string(), "-".to_string()];
         p.extend(TABLE3_PAPER_SHARES.iter().map(|v| num(*v)));
         rows.push(p);
-        format!("Table 3: traffic locality by cluster type\n{}", table(&headers, &rows))
+        format!(
+            "Table 3: traffic locality by cluster type\n{}",
+            table(&headers, &rows)
+        )
     }
 }
 
@@ -202,11 +213,15 @@ pub struct Table4Report {
 pub fn table4(cap: &StandardCapture) -> Table4Report {
     let mut rows = Vec::new();
     for role in TRACE_ROLES {
-        let Some(trace) = cap.trace(role) else { continue };
-        for agg in [HeavyHitterAgg::Flow, HeavyHitterAgg::Host, HeavyHitterAgg::Rack] {
-            if let Some(stats) =
-                hitter_stats(trace, &cap.topo, SimDuration::from_millis(1), agg)
-            {
+        let Some(trace) = cap.trace(role) else {
+            continue;
+        };
+        for agg in [
+            HeavyHitterAgg::Flow,
+            HeavyHitterAgg::Host,
+            HeavyHitterAgg::Rack,
+        ] {
+            if let Some(stats) = hitter_stats(trace, &cap.topo, SimDuration::from_millis(1), agg) {
                 rows.push((role, agg, stats));
             }
         }
@@ -313,7 +328,15 @@ impl Fig4Report {
 
     /// ASCII summary.
     pub fn render(&self) -> String {
-        let headers = ["Type", "Rack%", "Cluster%", "DC%", "InterDC%", "CoV(total)", "Mbps series"];
+        let headers = [
+            "Type",
+            "Rack%",
+            "Cluster%",
+            "DC%",
+            "InterDC%",
+            "CoV(total)",
+            "Mbps series",
+        ];
         let mut rows = Vec::new();
         for (role, s) in &self.series {
             let f = self.locality_fractions(*role).unwrap_or([0.0; 4]);
@@ -443,33 +466,44 @@ impl Fig5Report {
 // Figs 6, 7, 9
 // ---------------------------------------------------------------------
 
+/// One [`FlowCdfReport`] row: (role, locality → p10/p50/p90 string,
+/// overall CDF quantiles).
+pub type FlowCdfRow = (HostRole, Vec<(Locality, String)>, String);
+
 /// Fig 6/7: flow size & duration CDFs by destination locality.
 #[derive(Debug, Clone, Serialize)]
 pub struct FlowCdfReport {
     /// Which figure ("size KB" or "duration ms").
     pub what: String,
     /// Per role: (locality → p10/p50/p90 string, overall CDF quantiles).
-    pub rows: Vec<(HostRole, Vec<(Locality, String)>, String)>,
+    pub rows: Vec<FlowCdfRow>,
 }
 
 fn flow_cdf_report(cap: &StandardCapture, sizes: bool) -> FlowCdfReport {
     let mut rows = Vec::new();
     for role in [HostRole::Web, HostRole::CacheFollower, HostRole::Hadoop] {
-        let Some(trace) = cap.trace(role) else { continue };
+        let Some(trace) = cap.trace(role) else {
+            continue;
+        };
         let flows = flow_stats(trace, &cap.topo, FlowAgg::FiveTuple);
         let (per, all) = if sizes {
             size_cdfs_by_locality(&flows)
         } else {
             duration_cdfs_by_locality(&flows)
         };
-        let mut per_rows: Vec<(Locality, String)> = per
-            .iter()
-            .map(|(l, cdf)| (*l, quantiles(cdf)))
-            .collect();
+        let mut per_rows: Vec<(Locality, String)> =
+            per.iter().map(|(l, cdf)| (*l, quantiles(cdf))).collect();
         per_rows.sort_by_key(|(l, _)| *l);
         rows.push((role, per_rows, quantiles(&all)));
     }
-    FlowCdfReport { what: if sizes { "size KB".into() } else { "duration ms".into() }, rows }
+    FlowCdfReport {
+        what: if sizes {
+            "size KB".into()
+        } else {
+            "duration ms".into()
+        },
+        rows,
+    }
 }
 
 /// Computes Fig 6 (flow sizes).
@@ -493,7 +527,11 @@ impl FlowCdfReport {
                 rows.push(vec![role.label().into(), l.label().into(), q.clone()]);
             }
         }
-        format!("Flow {} CDFs by destination locality\n{}", self.what, table(&headers, &rows))
+        format!(
+            "Flow {} CDFs by destination locality\n{}",
+            self.what,
+            table(&headers, &rows)
+        )
     }
 }
 
@@ -524,8 +562,7 @@ pub fn fig9(cap: &StandardCapture) -> Option<Fig9Report> {
         let sizes: Vec<f64> = flows
             .iter()
             .filter(|f| {
-                !cluster_only
-                    || matches!(f.locality, Locality::IntraRack | Locality::IntraCluster)
+                !cluster_only || matches!(f.locality, Locality::IntraRack | Locality::IntraCluster)
             })
             .map(|f| f.bytes as f64 / 1000.0)
             .collect();
@@ -656,8 +693,14 @@ fn hitter_dynamics(
 ) -> HitterDynamicsReport {
     let mut rows = Vec::new();
     for &role in roles {
-        let Some(trace) = cap.trace(role) else { continue };
-        for agg in [HeavyHitterAgg::Flow, HeavyHitterAgg::Host, HeavyHitterAgg::Rack] {
+        let Some(trace) = cap.trace(role) else {
+            continue;
+        };
+        for agg in [
+            HeavyHitterAgg::Flow,
+            HeavyHitterAgg::Host,
+            HeavyHitterAgg::Rack,
+        ] {
             for bin_ms in [1u64, 10, 100] {
                 let vals = if enclosing {
                     enclosing_second_intersection(
@@ -667,12 +710,7 @@ fn hitter_dynamics(
                         agg,
                     )
                 } else {
-                    persistence_fractions(
-                        trace,
-                        &cap.topo,
-                        SimDuration::from_millis(bin_ms),
-                        agg,
-                    )
+                    persistence_fractions(trace, &cap.topo, SimDuration::from_millis(bin_ms), agg)
                 };
                 if vals.is_empty() {
                     continue;
@@ -697,7 +735,11 @@ fn hitter_dynamics(
 pub fn fig10(cap: &StandardCapture) -> HitterDynamicsReport {
     hitter_dynamics(
         cap,
-        &[HostRole::CacheFollower, HostRole::CacheLeader, HostRole::Web],
+        &[
+            HostRole::CacheFollower,
+            HostRole::CacheLeader,
+            HostRole::Web,
+        ],
         false,
     )
 }
@@ -758,8 +800,14 @@ pub fn te_predictability(cap: &StandardCapture) -> TeReport {
     use sonet_analysis::te::predictability;
     let mut rows = Vec::new();
     for role in [HostRole::Web, HostRole::CacheFollower] {
-        let Some(trace) = cap.trace(role) else { continue };
-        for agg in [HeavyHitterAgg::Flow, HeavyHitterAgg::Host, HeavyHitterAgg::Rack] {
+        let Some(trace) = cap.trace(role) else {
+            continue;
+        };
+        for agg in [
+            HeavyHitterAgg::Flow,
+            HeavyHitterAgg::Host,
+            HeavyHitterAgg::Rack,
+        ] {
             for bin_ms in [100u64, 1000] {
                 if let Some(p) =
                     predictability(trace, &cap.topo, SimDuration::from_millis(bin_ms), agg)
@@ -775,7 +823,14 @@ pub fn te_predictability(cap: &StandardCapture) -> TeReport {
 impl TeReport {
     /// ASCII summary.
     pub fn render(&self) -> String {
-        let headers = ["Type", "Agg", "bin ms", "median covered %", "p10 %", ">=35% bar"];
+        let headers = [
+            "Type",
+            "Agg",
+            "bin ms",
+            "median covered %",
+            "p10 %",
+            ">=35% bar",
+        ];
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -816,7 +871,9 @@ pub fn fig12(cap: &StandardCapture) -> Fig12Report {
     let mut rows = Vec::new();
     let mut hadoop_bimodal = 0.0;
     for role in TRACE_ROLES {
-        let Some(trace) = cap.trace(role) else { continue };
+        let Some(trace) = cap.trace(role) else {
+            continue;
+        };
         let cdf = packet_size_cdf(trace);
         let median = cdf.median().unwrap_or(0.0);
         let mtu_frac = full_mtu_fraction(trace, 1500);
@@ -825,13 +882,19 @@ pub fn fig12(cap: &StandardCapture) -> Fig12Report {
         }
         rows.push((role, median, mtu_frac, cdf_series(&cdf, 8)));
     }
-    Fig12Report { rows, hadoop_bimodal_fraction: hadoop_bimodal }
+    Fig12Report {
+        rows,
+        hadoop_bimodal_fraction: hadoop_bimodal,
+    }
 }
 
 impl Fig12Report {
     /// Median packet size for a role.
     pub fn median_for(&self, role: HostRole) -> Option<f64> {
-        self.rows.iter().find(|(r, _, _, _)| *r == role).map(|(_, m, _, _)| *m)
+        self.rows
+            .iter()
+            .find(|(r, _, _, _)| *r == role)
+            .map(|(_, m, _, _)| *m)
     }
 
     /// ASCII summary.
@@ -840,9 +903,7 @@ impl Fig12Report {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|(role, m, f, s)| {
-                vec![role.label().into(), num(*m), num(f * 100.0), s.clone()]
-            })
+            .map(|(role, m, f, s)| vec![role.label().into(), num(*m), num(f * 100.0), s.clone()])
             .collect();
         format!(
             "Fig 12: packet sizes (paper: non-Hadoop median <200 B with 5-10% \
@@ -934,7 +995,10 @@ pub fn fig14(cap: &StandardCapture) -> Fig14Report {
 impl Fig14Report {
     /// Median SYN inter-arrival (ms) for a role.
     pub fn median_for(&self, role: HostRole) -> Option<f64> {
-        self.rows.iter().find(|(r, _, _)| *r == role).map(|(_, m, _)| *m)
+        self.rows
+            .iter()
+            .find(|(r, _, _)| *r == role)
+            .map(|(_, m, _)| *m)
     }
 
     /// ASCII summary.
@@ -987,7 +1051,10 @@ impl Fig15Config {
             duration: SimDuration::from_secs(16),
             rate_scale: 40.0,
             sample_interval: SimDuration::from_micros(10),
-            rsw_buffer: BufferConfig { shared_bytes: 12 << 10, alpha: 1.0 },
+            rsw_buffer: BufferConfig {
+                shared_bytes: 12 << 10,
+                alpha: 1.0,
+            },
         }
     }
 
@@ -999,7 +1066,10 @@ impl Fig15Config {
             duration: SimDuration::from_secs(4),
             rate_scale: 20.0,
             sample_interval: SimDuration::from_micros(100),
-            rsw_buffer: BufferConfig { shared_bytes: 16 << 10, alpha: 1.0 },
+            rsw_buffer: BufferConfig {
+                shared_bytes: 16 << 10,
+                alpha: 1.0,
+            },
         }
     }
 }
@@ -1066,7 +1136,12 @@ pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
         .expect("frontend preset has cache racks");
     let web_rsw = topo.racks()[web_rack].rsw;
     let cache_rsw = topo.racks()[cache_rack].rsw;
-    sim.sample_buffers(cfg.sample_interval, SimDuration::from_secs(1), vec![web_rsw, cache_rsw]);
+    sim.sample_buffers(
+        cfg.sample_interval,
+        SimDuration::from_secs(1),
+        vec![web_rsw, cache_rsw],
+    )
+    .expect("valid sampler periods");
 
     // Utilization: host access links of both racks.
     let mut util_links = Vec::new();
@@ -1079,7 +1154,8 @@ pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
         util_links.push(topo.host_uplink(h));
         util_links.push(topo.host_downlink(h));
     }
-    sim.track_utilization(SimDuration::from_secs(1), &util_links);
+    sim.track_utilization(SimDuration::from_secs(1), &util_links)
+        .expect("valid interval");
 
     // Egress links of the web RSW (drop counters).
     let web_egress: Vec<_> = topo
@@ -1096,9 +1172,14 @@ pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
     let mut last_drops = 0u64;
     for s in 1..=seconds {
         let t = SimTime::from_secs(s as u64);
-        workload.generate(&mut sim, t).expect("generation stays in the future");
+        workload
+            .generate(&mut sim, t)
+            .expect("generation stays in the future");
         sim.run_until(t);
-        let total: u64 = web_egress.iter().map(|&l| sim.link_counters(l).drop_packets).sum();
+        let total: u64 = web_egress
+            .iter()
+            .map(|&l| sim.link_counters(l).drop_packets)
+            .sum();
         web_drops.push(total - last_drops);
         last_drops = total;
     }
@@ -1236,11 +1317,17 @@ pub struct ConcurrencyReport {
 
 fn concurrency_report(cap: &StandardCapture, heavy_only: bool) -> ConcurrencyReport {
     let window = SimDuration::from_millis(5);
-    let roles = [HostRole::Web, HostRole::CacheFollower, HostRole::CacheLeader];
+    let roles = [
+        HostRole::Web,
+        HostRole::CacheFollower,
+        HostRole::CacheLeader,
+    ];
     let mut rows = Vec::new();
     let mut median_flows = Vec::new();
     for role in roles {
-        let Some(trace) = cap.trace(role) else { continue };
+        let Some(trace) = cap.trace(role) else {
+            continue;
+        };
         let cdfs = if heavy_only {
             heavy_hitter_rack_cdfs(trace, &cap.topo, window)
         } else {
@@ -1260,7 +1347,11 @@ fn concurrency_report(cap: &StandardCapture, heavy_only: bool) -> ConcurrencyRep
         }
     }
     ConcurrencyReport {
-        what: if heavy_only { "heavy-hitter racks".into() } else { "racks".into() },
+        what: if heavy_only {
+            "heavy-hitter racks".into()
+        } else {
+            "racks".into()
+        },
         rows,
         median_flows,
     }
@@ -1345,6 +1436,108 @@ impl UtilizationReport {
         format!(
             "Link utilization by layer (paper: edge <1% avg, 99% of links <10%; \
              utilization rises with aggregation)\n{}",
+            table(&headers, &rows)
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degradation (fault injection)
+// ---------------------------------------------------------------------
+
+/// Graceful-degradation rollup of a faulted capture: what the injected
+/// failures cost the plant and the telemetry, and how the transport
+/// absorbed them. All quantities are zero on a healthy baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradationReport {
+    /// Fault events the engine applied.
+    pub faults_applied: u64,
+    /// Connections successfully re-hashed onto surviving ECMP paths.
+    pub reroutes: u64,
+    /// Reroute attempts that found no healthy path.
+    pub reroute_failures: u64,
+    /// Packets lost on dead links (vs. buffer drops, counted separately).
+    pub fault_dropped_packets: u64,
+    /// Bytes lost on dead links.
+    pub fault_dropped_bytes: u64,
+    /// Handshakes abandoned after the SYN retry budget.
+    pub failed_handshakes: u64,
+    /// Connections aborted by the broken-route RTO cap.
+    pub aborted_connections: u64,
+    /// Mirrored packets lost to the mirror's memory limit.
+    pub mirror_overflow: u64,
+    /// Mirrored packets lost to injected capture faults.
+    pub mirror_fault_dropped: u64,
+    /// Fraction of offered mirror traffic lost to injected faults.
+    pub telemetry_loss_fraction: f64,
+}
+
+/// Computes the degradation rollup from a capture.
+pub fn degradation(cap: &StandardCapture) -> DegradationReport {
+    let out = &cap.outputs;
+    let fault_dropped_packets: u64 = out.link_counters.iter().map(|c| c.fault_drop_packets).sum();
+    let fault_dropped_bytes: u64 = out.link_counters.iter().map(|c| c.fault_drop_bytes).sum();
+    let telemetry_loss_fraction = if cap.mirror_offered > 0 {
+        cap.mirror_fault_dropped as f64 / cap.mirror_offered as f64
+    } else {
+        0.0
+    };
+    DegradationReport {
+        faults_applied: out.faults_applied,
+        reroutes: out.reroutes,
+        reroute_failures: out.reroute_failures,
+        fault_dropped_packets,
+        fault_dropped_bytes,
+        failed_handshakes: out.failed_handshakes,
+        aborted_connections: out.aborted_connections,
+        mirror_overflow: cap.mirror_overflow,
+        mirror_fault_dropped: cap.mirror_fault_dropped,
+        telemetry_loss_fraction,
+    }
+}
+
+impl DegradationReport {
+    /// True when the run saw no faults at all.
+    pub fn is_clean(&self) -> bool {
+        self.faults_applied == 0 && self.mirror_fault_dropped == 0
+    }
+
+    /// ASCII summary.
+    pub fn render(&self) -> String {
+        let headers = ["Quantity", "Value"];
+        let rows: Vec<Vec<String>> = vec![
+            vec!["faults applied".into(), self.faults_applied.to_string()],
+            vec!["connections rerouted".into(), self.reroutes.to_string()],
+            vec!["reroute failures".into(), self.reroute_failures.to_string()],
+            vec![
+                "packets lost to faults".into(),
+                self.fault_dropped_packets.to_string(),
+            ],
+            vec![
+                "bytes lost to faults".into(),
+                self.fault_dropped_bytes.to_string(),
+            ],
+            vec![
+                "failed handshakes".into(),
+                self.failed_handshakes.to_string(),
+            ],
+            vec![
+                "aborted connections".into(),
+                self.aborted_connections.to_string(),
+            ],
+            vec!["mirror overflow".into(), self.mirror_overflow.to_string()],
+            vec![
+                "mirror fault drops".into(),
+                self.mirror_fault_dropped.to_string(),
+            ],
+            vec![
+                "telemetry loss %".into(),
+                num(self.telemetry_loss_fraction * 100.0),
+            ],
+        ];
+        format!(
+            "Degradation under injected faults (dead links eat packets, ECMP \
+             re-hashes around failures, telemetry losses are counted)\n{}",
             table(&headers, &rows)
         )
     }

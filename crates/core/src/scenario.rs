@@ -81,8 +81,12 @@ pub fn fleet_spec(scale: ScenarioScale) -> TopologySpec {
     };
     TopologySpec {
         sites: vec![
-            SiteSpec { datacenters: vec![dc(big)] },
-            SiteSpec { datacenters: vec![dc(big / 2)] },
+            SiteSpec {
+                datacenters: vec![dc(big)],
+            },
+            SiteSpec {
+                datacenters: vec![dc(big / 2)],
+            },
         ],
         ..TopologySpec::default()
     }
@@ -95,7 +99,11 @@ mod tests {
 
     #[test]
     fn packet_tier_builds_at_all_scales() {
-        for scale in [ScenarioScale::Tiny, ScenarioScale::Standard, ScenarioScale::Fleet] {
+        for scale in [
+            ScenarioScale::Tiny,
+            ScenarioScale::Standard,
+            ScenarioScale::Fleet,
+        ] {
             let topo = Topology::build(packet_tier_spec(scale)).expect("valid");
             assert_eq!(topo.datacenters().len(), 2);
             // Every cluster type present somewhere.
@@ -111,10 +119,17 @@ mod tests {
     #[test]
     fn fleet_has_64_rack_clusters_at_standard() {
         let topo = Topology::build(fleet_spec(ScenarioScale::Standard)).expect("valid");
-        let hadoop = topo.first_cluster_of_type(ClusterType::Hadoop).expect("hadoop");
+        let hadoop = topo
+            .first_cluster_of_type(ClusterType::Hadoop)
+            .expect("hadoop");
         assert_eq!(topo.cluster(hadoop).racks.len(), 64);
-        let fe = topo.first_cluster_of_type(ClusterType::Frontend).expect("fe");
+        let fe = topo
+            .first_cluster_of_type(ClusterType::Frontend)
+            .expect("fe");
         assert_eq!(topo.cluster(fe).racks.len(), 64);
-        assert!(topo.hosts().len() > 3000, "fleet should be thousands of hosts");
+        assert!(
+            topo.hosts().len() > 3000,
+            "fleet should be thousands of hosts"
+        );
     }
 }

@@ -25,12 +25,18 @@ pub struct BufferConfig {
 impl BufferConfig {
     /// Trident-class ToR: 12 MB shared, alpha 1.
     pub fn tor_default() -> BufferConfig {
-        BufferConfig { shared_bytes: 12 << 20, alpha: 1.0 }
+        BufferConfig {
+            shared_bytes: 12 << 20,
+            alpha: 1.0,
+        }
     }
 
     /// Deeper-buffered aggregation switch: 96 MB shared.
     pub fn agg_default() -> BufferConfig {
-        BufferConfig { shared_bytes: 96 << 20, alpha: 2.0 }
+        BufferConfig {
+            shared_bytes: 96 << 20,
+            alpha: 2.0,
+        }
     }
 }
 
@@ -50,6 +56,16 @@ pub struct SimConfig {
     pub ack_every: u32,
     /// Go-back-N retransmission timeout.
     pub rto: SimDuration,
+    /// Give up on a handshake after this many SYNs (exponential backoff
+    /// between attempts); the connection is then aborted instead of
+    /// retrying forever, so workloads degrade rather than wedge when a
+    /// server is unreachable.
+    pub syn_max_attempts: u32,
+    /// Abort a connection after this many consecutive retransmissions
+    /// with no acknowledgement progress *while its route is broken* (a
+    /// dead link with no healthy alternative). Timeouts on a healthy
+    /// route retransmit forever, as before.
+    pub max_consecutive_rtos: u32,
     /// How long a closed connection's slot is quarantined before reuse.
     ///
     /// Must comfortably exceed the worst-case lifetime of in-flight
@@ -77,6 +93,8 @@ impl Default for SimConfig {
             window_segments: 64,
             ack_every: 2,
             rto: SimDuration::from_millis(50),
+            syn_max_attempts: 6,
+            max_consecutive_rtos: 8,
             conn_quarantine: SimDuration::from_millis(200),
             rsw_buffer: BufferConfig::tor_default(),
             agg_buffer: BufferConfig::agg_default(),
@@ -113,6 +131,12 @@ impl SimConfig {
         if self.rto.is_zero() {
             return Err("rto must be positive".into());
         }
+        if self.syn_max_attempts == 0 {
+            return Err("syn_max_attempts must be at least 1".into());
+        }
+        if self.max_consecutive_rtos == 0 {
+            return Err("max_consecutive_rtos must be at least 1".into());
+        }
         if self.rsw_buffer.shared_bytes == 0 || self.agg_buffer.shared_bytes == 0 {
             return Err("switch buffers must be non-empty".into());
         }
@@ -129,7 +153,9 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        SimConfig::default().validate().expect("default config valid");
+        SimConfig::default()
+            .validate()
+            .expect("default config valid");
     }
 
     #[test]

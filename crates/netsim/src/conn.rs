@@ -53,14 +53,34 @@ impl SegQueue {
         let rem = (bytes % mss64) as u32;
         if rem > 0 {
             if full > 0 {
-                self.push_run(SegRun { count: full, payload: mss, msg, last_of_msg: false });
+                self.push_run(SegRun {
+                    count: full,
+                    payload: mss,
+                    msg,
+                    last_of_msg: false,
+                });
             }
-            self.push_run(SegRun { count: 1, payload: rem, msg, last_of_msg: true });
+            self.push_run(SegRun {
+                count: 1,
+                payload: rem,
+                msg,
+                last_of_msg: true,
+            });
         } else {
             if full > 1 {
-                self.push_run(SegRun { count: full - 1, payload: mss, msg, last_of_msg: false });
+                self.push_run(SegRun {
+                    count: full - 1,
+                    payload: mss,
+                    msg,
+                    last_of_msg: false,
+                });
             }
-            self.push_run(SegRun { count: 1, payload: mss, msg, last_of_msg: true });
+            self.push_run(SegRun {
+                count: 1,
+                payload: mss,
+                msg,
+                last_of_msg: true,
+            });
         }
     }
 
@@ -150,6 +170,10 @@ pub(crate) struct DirState {
     /// Value of `acked` when the current RTO timer was armed; progress
     /// since arming re-arms instead of retransmitting.
     pub acked_at_arm: u64,
+    /// Retransmissions fired since the last acknowledgement progress;
+    /// the engine aborts the connection when this exceeds its cap while
+    /// the route is broken.
+    pub consecutive_rtos: u32,
 }
 
 impl DirState {
@@ -205,6 +229,9 @@ pub(crate) struct Conn {
     pub pre_open: Vec<(u64, MsgMeta)>,
     /// Server-side message id counter (responses).
     pub next_server_msg: u32,
+    /// SYNs emitted so far (handshake retries back off exponentially and
+    /// give up at the configured cap).
+    pub syn_attempts: u32,
     /// Time the connection was opened (SYN emission).
     #[allow(dead_code)] // retained for debugging and future duration accounting
     pub opened_at: SimTime,
@@ -276,7 +303,11 @@ mod tests {
     fn huge_message_uses_constant_runs() {
         let mut q = SegQueue::default();
         q.push_message(100 << 20, 1460, 0); // 100 MB
-        assert!(q.runs.len() <= 2, "RLE should keep runs tiny: {}", q.runs.len());
+        assert!(
+            q.runs.len() <= 2,
+            "RLE should keep runs tiny: {}",
+            q.runs.len()
+        );
         assert_eq!(q.len(), (100u64 << 20).div_ceil(1460));
     }
 

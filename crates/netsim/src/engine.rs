@@ -11,10 +11,11 @@
 
 use crate::config::SimConfig;
 use crate::conn::{Conn, ConnPhase, DirState, MsgMeta};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::packet::{ConnId, Dir, FlowKey, Packet, PacketKind};
 use crate::tap::PacketTap;
 use serde::{Deserialize, Serialize};
-use sonet_topology::{HostId, LinkId, Node, SwitchId, Topology};
+use sonet_topology::{HostId, LinkHealth, LinkId, Node, SwitchId, Topology};
 use sonet_util::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -47,7 +48,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::TimeInPast { requested, now } => {
-                write!(f, "requested time {requested} is before simulation clock {now}")
+                write!(
+                    f,
+                    "requested time {requested} is before simulation clock {now}"
+                )
             }
             SimError::NoSuchConn(c) => write!(f, "unknown connection {c}"),
             SimError::ConnClosed(c) => write!(f, "{c} is closed"),
@@ -71,6 +75,10 @@ pub struct LinkCounters {
     pub drop_bytes: u64,
     /// Packets dropped at admission.
     pub drop_packets: u64,
+    /// Bytes lost to injected faults (dead link or dead switch endpoint).
+    pub fault_drop_bytes: u64,
+    /// Packets lost to injected faults.
+    pub fault_drop_packets: u64,
 }
 
 /// Aggregated buffer occupancy for one switch over one aggregation window
@@ -113,6 +121,19 @@ pub struct SimOutputs {
     /// In-flight packets discarded because their connection slot was
     /// recycled mid-flight (only possible after an explicit close).
     pub stale_packets: u64,
+    /// Fault events the engine applied.
+    pub faults_applied: u64,
+    /// Connections successfully re-hashed onto a healthy path after a
+    /// fault broke their pinned route.
+    pub reroutes: u64,
+    /// Connections whose route broke with no healthy alternative (they
+    /// keep the dead path and eventually abort).
+    pub reroute_failures: u64,
+    /// Handshakes abandoned after the SYN retry cap.
+    pub failed_handshakes: u64,
+    /// Established connections aborted by the consecutive-RTO cap while
+    /// their route was broken.
+    pub aborted_connections: u64,
     /// End-to-end request latencies (request issue → response fully
     /// received, or → request fully received for one-way messages), when
     /// [`Simulator::record_latencies`] was enabled.
@@ -138,11 +159,17 @@ enum Ev {
     /// Re-emit the SYN if the handshake has not completed yet.
     SynRetry { conn: ConnId },
     /// Application queues a message on a connection.
-    SendMsg { conn: ConnId, req: u64, meta: MsgMeta },
+    SendMsg {
+        conn: ConnId,
+        req: u64,
+        meta: MsgMeta,
+    },
     /// Application closes a connection.
     Close { conn: ConnId },
     /// Release a closed connection's slot for reuse after quarantine.
     Retire { conn: ConnId },
+    /// An injected fault takes effect.
+    Fault { kind: FaultKind },
     /// Periodic buffer occupancy sample.
     BufSample,
 }
@@ -196,6 +223,11 @@ pub struct Simulator<T: PacketTap> {
     link_counters: Vec<LinkCounters>,
     link_gbps: Vec<f64>,
     link_prop: Vec<u64>,
+    /// Per-link line-rate multiplier (1.0 nominal; lowered by
+    /// [`FaultKind::DegradeLink`]).
+    link_rate_factor: Vec<f64>,
+    /// Live/dead state of links and switches under injected faults.
+    health: LinkHealth,
     /// Switch index if the link's transmitter is a switch.
     link_from_switch: Vec<Option<u32>>,
     watched: Vec<bool>,
@@ -215,6 +247,11 @@ pub struct Simulator<T: PacketTap> {
     completed_requests: u64,
     messages_on_closed: u64,
     stale_packets: u64,
+    faults_applied: u64,
+    reroutes: u64,
+    reroute_failures: u64,
+    failed_handshakes: u64,
+    aborted_connections: u64,
     record_latencies: bool,
     latencies: Vec<SimDuration>,
     /// Events in the heap that are not periodic buffer samples; lets
@@ -250,6 +287,7 @@ impl<T: PacketTap> Simulator<T> {
             switch_alpha.push(b.alpha);
         }
 
+        let health = LinkHealth::new(&topo);
         Ok(Simulator {
             topo,
             cfg,
@@ -264,6 +302,8 @@ impl<T: PacketTap> Simulator<T> {
             link_counters: vec![LinkCounters::default(); n_links],
             link_gbps,
             link_prop,
+            link_rate_factor: vec![1.0; n_links],
+            health,
             link_from_switch,
             watched: vec![false; n_links],
             util_tracked: vec![false; n_links],
@@ -279,6 +319,11 @@ impl<T: PacketTap> Simulator<T> {
             completed_requests: 0,
             messages_on_closed: 0,
             stale_packets: 0,
+            faults_applied: 0,
+            reroutes: 0,
+            reroute_failures: 0,
+            failed_handshakes: 0,
+            aborted_connections: 0,
             record_latencies: false,
             latencies: Vec::new(),
             real_events: 0,
@@ -305,6 +350,66 @@ impl<T: PacketTap> Simulator<T> {
         self.watched[link.index()] = true;
     }
 
+    /// Mutable access to the tap (e.g. to degrade a telemetry collector
+    /// mid-run when a fault plan says so).
+    pub fn tap_mut(&mut self) -> &mut T {
+        &mut self.tap
+    }
+
+    /// Current link/switch health under the faults applied so far.
+    pub fn health(&self) -> &LinkHealth {
+        &self.health
+    }
+
+    /// Schedules one network fault. Telemetry faults are rejected — they
+    /// belong to the capture layer, not the engine.
+    pub fn inject_fault(&mut self, at: SimTime, kind: FaultKind) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::TimeInPast {
+                requested: at,
+                now: self.now,
+            });
+        }
+        if kind.is_telemetry() {
+            return Err(SimError::Config(
+                "telemetry faults are applied by the capture layer, not the engine".into(),
+            ));
+        }
+        let n_links = self.topo.links().len();
+        let n_switches = self.topo.switches().len();
+        match kind {
+            FaultKind::LinkDown(l) | FaultKind::LinkUp(l) if l.index() >= n_links => {
+                return Err(SimError::Config(format!("{l} is out of range")));
+            }
+            FaultKind::SwitchDown(s) | FaultKind::SwitchUp(s) if s.index() >= n_switches => {
+                return Err(SimError::Config(format!("{s} is out of range")));
+            }
+            FaultKind::DegradeLink { link, rate_factor } => {
+                if link.index() >= n_links {
+                    return Err(SimError::Config(format!("{link} is out of range")));
+                }
+                if !(rate_factor > 0.0 && rate_factor <= 1.0) {
+                    return Err(SimError::Config(format!(
+                        "rate factor {rate_factor} outside (0, 1]"
+                    )));
+                }
+            }
+            _ => {}
+        }
+        self.schedule(at, Ev::Fault { kind });
+        Ok(())
+    }
+
+    /// Schedules every *network* event of `plan` (telemetry events are
+    /// skipped; the capture layer replays those against its taps). Events
+    /// in the simulated past are rejected, leaving earlier ones scheduled.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        for ev in plan.network_events() {
+            self.inject_fault(ev.at, ev.kind)?;
+        }
+        Ok(())
+    }
+
     /// Live view of a link's counters (SNMP-style mid-run poll; the full
     /// vector is also returned by [`Simulator::finish`]).
     pub fn link_counters(&self, link: LinkId) -> LinkCounters {
@@ -319,13 +424,25 @@ impl<T: PacketTap> Simulator<T> {
 
     /// Records per-`interval` transmitted bytes for each given link
     /// (powers utilization time series such as Fig 15b).
-    pub fn track_utilization(&mut self, interval: SimDuration, links: &[LinkId]) {
-        assert!(!interval.is_zero(), "utilization interval must be positive");
+    pub fn track_utilization(
+        &mut self,
+        interval: SimDuration,
+        links: &[LinkId],
+    ) -> Result<(), SimError> {
+        if interval.is_zero() {
+            return Err(SimError::Config(
+                "utilization interval must be positive".into(),
+            ));
+        }
+        if let Some(&l) = links.iter().find(|l| l.index() >= self.topo.links().len()) {
+            return Err(SimError::Config(format!("{l} is out of range")));
+        }
         self.util_interval = Some(interval);
         for &l in links {
             self.util_tracked[l.index()] = true;
             self.util_series.entry(l).or_default();
         }
+        Ok(())
     }
 
     /// Samples the shared-buffer occupancy of `switches` every `interval`,
@@ -336,8 +453,16 @@ impl<T: PacketTap> Simulator<T> {
         interval: SimDuration,
         window: SimDuration,
         switches: Vec<SwitchId>,
-    ) {
-        assert!(!interval.is_zero() && !window.is_zero(), "sampler periods must be positive");
+    ) -> Result<(), SimError> {
+        if interval.is_zero() || window.is_zero() {
+            return Err(SimError::Config("sampler periods must be positive".into()));
+        }
+        if let Some(&s) = switches
+            .iter()
+            .find(|s| s.index() >= self.topo.switches().len())
+        {
+            return Err(SimError::Config(format!("{s} is out of range")));
+        }
         let n = switches.len();
         self.buf_sampler = Some(BufSampler {
             interval,
@@ -347,6 +472,7 @@ impl<T: PacketTap> Simulator<T> {
             samples: vec![Vec::new(); n],
         });
         self.schedule(self.now, Ev::BufSample);
+        Ok(())
     }
 
     fn schedule(&mut self, at: SimTime, ev: Ev) {
@@ -370,31 +496,56 @@ impl<T: PacketTap> Simulator<T> {
         server_port: u16,
     ) -> Result<ConnId, SimError> {
         if at < self.now {
-            return Err(SimError::TimeInPast { requested: at, now: self.now });
+            return Err(SimError::TimeInPast {
+                requested: at,
+                now: self.now,
+            });
         }
         if client == server {
             return Err(SimError::SelfConnection(client));
         }
         let port = self.next_port[client.index()];
         self.next_port[client.index()] = port.checked_add(1).unwrap_or(32768);
-        let key = FlowKey { client, server, client_port: port, server_port };
+        let key = FlowKey {
+            client,
+            server,
+            client_port: port,
+            server_port,
+        };
         let hash = key.ecmp_hash();
         let id = match self.free_conns.pop() {
-            Some(idx) => ConnId { idx, gen: self.conns[idx as usize].id.gen + 1 },
-            None => ConnId { idx: self.conns.len() as u32, gen: 0 },
+            Some(idx) => ConnId {
+                idx,
+                gen: self.conns[idx as usize].id.gen + 1,
+            },
+            None => ConnId {
+                idx: self.conns.len() as u32,
+                gen: 0,
+            },
+        };
+        // Route around current faults where possible; when no healthy
+        // path exists, pin the nominal route anyway — the SYN dies on the
+        // dead hop and the handshake gives up after its retry budget, which
+        // is how a real connect() to an unreachable server behaves.
+        let pick_route = |src: HostId, dst: HostId| {
+            self.topo
+                .route_healthy(src, dst, hash, &self.health)
+                .or_else(|_| self.topo.route(src, dst, hash))
+                .expect("distinct endpoints were checked above")
         };
         let conn = Conn {
             id,
             key,
             phase: ConnPhase::Opening,
-            route_fwd: self.topo.route(client, server, hash),
-            route_rev: self.topo.route(server, client, hash),
+            route_fwd: pick_route(client, server),
+            route_rev: pick_route(server, client),
             c2s: DirState::default(),
             s2c: DirState::default(),
             msg_meta: Vec::new(),
             resp_req_issued: Vec::new(),
             pre_open: Vec::new(),
             next_server_msg: 0,
+            syn_attempts: 0,
             opened_at: at,
         };
         if (id.idx as usize) < self.conns.len() {
@@ -419,7 +570,10 @@ impl<T: PacketTap> Simulator<T> {
         service_time: SimDuration,
     ) -> Result<(), SimError> {
         if at < self.now {
-            return Err(SimError::TimeInPast { requested: at, now: self.now });
+            return Err(SimError::TimeInPast {
+                requested: at,
+                now: self.now,
+            });
         }
         if request_bytes == 0 {
             return Err(SimError::EmptyRequest);
@@ -437,7 +591,11 @@ impl<T: PacketTap> Simulator<T> {
             Ev::SendMsg {
                 conn,
                 req: request_bytes,
-                meta: MsgMeta { response_bytes, service_time, issued_at: at },
+                meta: MsgMeta {
+                    response_bytes,
+                    service_time,
+                    issued_at: at,
+                },
             },
         );
         Ok(())
@@ -446,7 +604,10 @@ impl<T: PacketTap> Simulator<T> {
     /// Closes `conn` at absolute time `at` (FIN emission).
     pub fn close_connection(&mut self, conn: ConnId, at: SimTime) -> Result<(), SimError> {
         if at < self.now {
-            return Err(SimError::TimeInPast { requested: at, now: self.now });
+            return Err(SimError::TimeInPast {
+                requested: at,
+                now: self.now,
+            });
         }
         if self.conns.get(conn.index()).map(|c| c.id) != Some(conn) {
             return Err(SimError::NoSuchConn(conn));
@@ -478,7 +639,9 @@ impl<T: PacketTap> Simulator<T> {
     /// natural quiesce is wanted rather than a fixed horizon).
     pub fn run_to_quiescence(&mut self) {
         while self.real_events > 0 {
-            let Some(Reverse(Scheduled { at, ev, .. })) = self.events.pop() else { break };
+            let Some(Reverse(Scheduled { at, ev, .. })) = self.events.pop() else {
+                break;
+            };
             self.now = at;
             if !matches!(ev, Ev::BufSample) {
                 self.real_events -= 1;
@@ -500,6 +663,11 @@ impl<T: PacketTap> Simulator<T> {
             completed_requests: self.completed_requests,
             messages_on_closed: self.messages_on_closed,
             stale_packets: self.stale_packets,
+            faults_applied: self.faults_applied,
+            reroutes: self.reroutes,
+            reroute_failures: self.reroute_failures,
+            failed_handshakes: self.failed_handshakes,
+            aborted_connections: self.aborted_connections,
             rpc_latencies: std::mem::take(&mut self.latencies),
             ended_at: self.now,
         };
@@ -532,9 +700,7 @@ impl<T: PacketTap> Simulator<T> {
             }
             Ev::OpenConn { conn } => self.on_open(conn),
             Ev::SynRetry { conn } => {
-                if self.conn_live(conn)
-                    && self.conns[conn.index()].phase == ConnPhase::Opening
-                {
+                if self.conn_live(conn) && self.conns[conn.index()].phase == ConnPhase::Opening {
                     self.on_open(conn);
                 }
             }
@@ -553,15 +719,14 @@ impl<T: PacketTap> Simulator<T> {
                     self.free_conns.push(conn.idx);
                 }
             }
+            Ev::Fault { kind } => self.on_fault(kind),
             Ev::BufSample => self.on_buf_sample(),
         }
     }
 
     /// True if `conn` refers to the current occupant of its slot.
     fn conn_live(&self, conn: ConnId) -> bool {
-        self.conns
-            .get(conn.index())
-            .is_some_and(|c| c.id == conn)
+        self.conns.get(conn.index()).is_some_and(|c| c.id == conn)
     }
 
     fn on_transmit(&mut self, pkt: Packet, hop: u8) {
@@ -574,6 +739,15 @@ impl<T: PacketTap> Simulator<T> {
         let last_hop = hop as usize + 1 == route.len();
         let li = link.index();
         let w = pkt.wire_bytes;
+
+        // A dead link (or dead switch endpoint) eats the packet; the
+        // transport's retransmission machinery — not the network — is
+        // responsible for recovery, exactly as with a real outage.
+        if !self.health.all_up() && !self.health.link_usable(&self.topo, link) {
+            self.link_counters[li].fault_drop_bytes += w as u64;
+            self.link_counters[li].fault_drop_packets += 1;
+            return;
+        }
 
         // Shared-buffer admission at switch egress.
         if let Some(sw) = self.link_from_switch[li] {
@@ -594,11 +768,18 @@ impl<T: PacketTap> Simulator<T> {
         }
 
         let start = self.now.max(self.link_free_at[li]);
-        let end = start + SimDuration::for_bytes_at_gbps(w as u64, self.link_gbps[li]);
+        let gbps = self.link_gbps[li] * self.link_rate_factor[li];
+        let end = start + SimDuration::for_bytes_at_gbps(w as u64, gbps);
         self.link_free_at[li] = end;
         self.link_counters[li].tx_bytes += w as u64;
         self.link_counters[li].tx_packets += 1;
-        self.schedule(end, Ev::Release { link: li as u32, bytes: w });
+        self.schedule(
+            end,
+            Ev::Release {
+                link: li as u32,
+                bytes: w,
+            },
+        );
 
         if self.watched[li] {
             self.tap.on_packet(end, link, &pkt);
@@ -628,6 +809,17 @@ impl<T: PacketTap> Simulator<T> {
         if !self.conn_live(pkt.conn) {
             self.stale_packets += 1;
             return;
+        }
+        // The access link died while the packet was propagating on it:
+        // the packet is lost with the link.
+        if !self.health.all_up() {
+            let route = self.conns[pkt.conn.index()].route(pkt.dir);
+            let last = *route.last().expect("routes are non-empty");
+            if !self.health.link_usable(&self.topo, last) {
+                self.link_counters[last.index()].fault_drop_bytes += pkt.wire_bytes as u64;
+                self.link_counters[last.index()].fault_drop_packets += 1;
+                return;
+            }
         }
         self.delivered_packets += 1;
         match pkt.kind {
@@ -665,8 +857,7 @@ impl<T: PacketTap> Simulator<T> {
                 rs.received += 1;
                 rs.unacked_by_us += 1;
                 let boundary = last_of_msg;
-                let fresh_boundary = boundary
-                    && rs.last_msg_completed.map_or(true, |m| pkt.msg > m);
+                let fresh_boundary = boundary && rs.last_msg_completed.is_none_or(|m| pkt.msg > m);
                 if fresh_boundary {
                     rs.last_msg_completed = Some(pkt.msg);
                 }
@@ -691,11 +882,15 @@ impl<T: PacketTap> Simulator<T> {
             if meta.response_bytes > 0 {
                 self.schedule(
                     self.now + meta.service_time,
-                    Ev::Service { conn: pkt.conn, msg: pkt.msg },
+                    Ev::Service {
+                        conn: pkt.conn,
+                        msg: pkt.msg,
+                    },
                 );
             } else if self.record_latencies {
                 // One-way message: complete when the request lands.
-                self.latencies.push(self.now.saturating_since(meta.issued_at));
+                self.latencies
+                    .push(self.now.saturating_since(meta.issued_at));
             }
         }
         if fresh_boundary && pkt.dir == Dir::ServerToClient && self.record_latencies {
@@ -714,6 +909,7 @@ impl<T: PacketTap> Simulator<T> {
             if pkt.seq > ds.acked {
                 let newly = pkt.seq - ds.acked;
                 ds.acked = pkt.seq;
+                ds.consecutive_rtos = 0;
                 for _ in 0..newly {
                     ds.unacked.pop();
                 }
@@ -753,6 +949,27 @@ impl<T: PacketTap> Simulator<T> {
                 self.schedule(at, Ev::Rto { conn, dir });
             }
             Action::Retransmit => {
+                // No progress since arming. If the pinned route broke,
+                // first try to re-hash onto surviving equal-cost paths
+                // (control-plane convergence, surfaced at transport
+                // timescale); if no alternative exists, count the barren
+                // retransmissions and eventually abort instead of retrying
+                // into a dead link forever. On a healthy route, retransmit
+                // indefinitely as plain go-back-N.
+                if self.route_is_broken(ci) && !self.try_reroute(ci) {
+                    let already_closed = self.conns[ci].phase == ConnPhase::Closed;
+                    let ds = self.conns[ci].dir_mut(dir);
+                    ds.consecutive_rtos += 1;
+                    if ds.consecutive_rtos > self.cfg.max_consecutive_rtos {
+                        if !already_closed {
+                            self.aborted_connections += 1;
+                        }
+                        self.abort_conn(conn);
+                        return;
+                    }
+                } else {
+                    self.conns[ci].dir_mut(dir).consecutive_rtos = 0;
+                }
                 // Go-back-N: everything unacked returns to the head of the
                 // pending queue and is re-sent under the window.
                 let ds = self.conns[ci].dir_mut(dir);
@@ -783,10 +1000,110 @@ impl<T: PacketTap> Simulator<T> {
     }
 
     fn on_open(&mut self, conn: ConnId) {
+        let ci = conn.index();
+        self.conns[ci].syn_attempts += 1;
+        let attempts = self.conns[ci].syn_attempts;
+        if attempts > self.cfg.syn_max_attempts {
+            // The server is unreachable: give up instead of wedging the
+            // workload behind an eternal handshake.
+            self.failed_handshakes += 1;
+            self.abort_conn(conn);
+            return;
+        }
+        // A fault may have broken the route picked at open time; re-hash
+        // before burning another SYN on a dead link. If no healthy path
+        // exists the SYN is sent anyway (and counted as a fault drop).
+        if self.route_is_broken(ci) {
+            self.try_reroute(ci);
+        }
         self.emit(conn, Dir::ClientToServer, PacketKind::Syn, 0, 0, 0);
-        // Handshake loss recovery: retry until the SYN-ACK flips the phase.
-        let at = self.now + self.cfg.rto;
-        self.schedule(at, Ev::SynRetry { conn });
+        // Handshake loss recovery: retry until the SYN-ACK flips the
+        // phase, backing off exponentially (capped) like a real connect().
+        let backoff = self.cfg.rto * (1u64 << (attempts - 1).min(10));
+        self.schedule(self.now + backoff, Ev::SynRetry { conn });
+    }
+
+    /// Closes a connection abruptly (no FIN): queues are dropped, pending
+    /// timers find nothing in flight, and the slot retires after
+    /// quarantine. Used when faults make progress impossible.
+    fn abort_conn(&mut self, conn: ConnId) {
+        let ci = conn.index();
+        let c = &mut self.conns[ci];
+        let was_closed = c.phase == ConnPhase::Closed;
+        c.phase = ConnPhase::Closed;
+        c.pre_open.clear();
+        c.c2s = DirState::default();
+        c.s2c = DirState::default();
+        // A conn that closed normally already scheduled its Retire;
+        // scheduling a second one would double-free the slot.
+        if !was_closed {
+            let at = self.now + self.cfg.conn_quarantine;
+            self.schedule(at, Ev::Retire { conn });
+        }
+    }
+
+    /// True when any link of either pinned route of `conns[ci]` is
+    /// currently unusable.
+    fn route_is_broken(&self, ci: usize) -> bool {
+        if self.health.all_up() {
+            return false;
+        }
+        let c = &self.conns[ci];
+        c.route_fwd
+            .iter()
+            .chain(c.route_rev.iter())
+            .any(|&l| !self.health.link_usable(&self.topo, l))
+    }
+
+    fn on_fault(&mut self, kind: FaultKind) {
+        self.faults_applied += 1;
+        match kind {
+            FaultKind::LinkDown(l) => self.health.set_link_up(l, false),
+            FaultKind::LinkUp(l) => self.health.set_link_up(l, true),
+            FaultKind::SwitchDown(s) => self.health.set_switch_up(s, false),
+            FaultKind::SwitchUp(s) => self.health.set_switch_up(s, true),
+            FaultKind::DegradeLink { link, rate_factor } => {
+                self.link_rate_factor[link.index()] = rate_factor;
+            }
+            // Telemetry faults never reach the engine (inject_fault
+            // rejects them); keep the match exhaustive without panicking.
+            FaultKind::MirrorLoss { .. } | FaultKind::FbflowLoss { .. } => {}
+        }
+    }
+
+    /// Re-hashes a connection whose pinned route broke onto surviving
+    /// equal-cost paths, as switches re-balance ECMP groups when members
+    /// die. Called lazily from the transport's loss-recovery paths (RTO,
+    /// SYN retry) — packets already committed to the dead path are lost
+    /// and counted in [`LinkCounters::fault_drop_packets`], exactly as
+    /// with a real outage. Returns `false` (and counts the failure) when
+    /// no healthy alternative exists; the connection keeps its dead route
+    /// until the RTO cap aborts it or the fault heals.
+    fn try_reroute(&mut self, ci: usize) -> bool {
+        let key = self.conns[ci].key;
+        let hash = key.ecmp_hash();
+        let fwd = self
+            .topo
+            .route_healthy(key.client, key.server, hash, &self.health);
+        let rev = self
+            .topo
+            .route_healthy(key.server, key.client, hash, &self.health);
+        match (fwd, rev) {
+            (Ok(fwd), Ok(rev)) => {
+                // Same locality ⇒ same hop count, so in-flight packets'
+                // hop indices stay valid on the replacement route.
+                debug_assert_eq!(fwd.len(), self.conns[ci].route_fwd.len());
+                debug_assert_eq!(rev.len(), self.conns[ci].route_rev.len());
+                self.conns[ci].route_fwd = fwd;
+                self.conns[ci].route_rev = rev;
+                self.reroutes += 1;
+                true
+            }
+            _ => {
+                self.reroute_failures += 1;
+                false
+            }
+        }
     }
 
     fn on_send_msg(&mut self, conn: ConnId, req: u64, meta: MsgMeta) {
@@ -846,7 +1163,9 @@ impl<T: PacketTap> Simulator<T> {
             self.emit(
                 conn,
                 dir,
-                PacketKind::Data { last_of_msg: seg.last_of_msg },
+                PacketKind::Data {
+                    last_of_msg: seg.last_of_msg,
+                },
                 seq,
                 seg.msg,
                 seg.payload,
@@ -863,22 +1182,23 @@ impl<T: PacketTap> Simulator<T> {
     }
 
     /// Builds a packet and schedules its first hop now.
-    fn emit(
-        &mut self,
-        conn: ConnId,
-        dir: Dir,
-        kind: PacketKind,
-        seq: u64,
-        msg: u32,
-        payload: u32,
-    ) {
+    fn emit(&mut self, conn: ConnId, dir: Dir, kind: PacketKind, seq: u64, msg: u32, payload: u32) {
         let key = self.conns[conn.index()].key;
         let wire = if payload > 0 {
             self.cfg.data_wire_bytes(payload)
         } else {
             self.cfg.control_bytes
         };
-        let pkt = Packet { conn, key, dir, kind, seq, msg, payload, wire_bytes: wire };
+        let pkt = Packet {
+            conn,
+            key,
+            dir,
+            kind,
+            seq,
+            msg,
+            payload,
+            wire_bytes: wire,
+        };
         self.schedule(self.now, Ev::Transmit { pkt, hop: 0 });
     }
 
@@ -887,7 +1207,9 @@ impl<T: PacketTap> Simulator<T> {
     // ------------------------------------------------------------------
 
     fn on_buf_sample(&mut self) {
-        let Some(sampler) = self.buf_sampler.as_mut() else { return };
+        let Some(sampler) = self.buf_sampler.as_mut() else {
+            return;
+        };
         // Close the window first if we've crossed its boundary.
         if self.now >= sampler.window_start + sampler.window {
             self.flush_buffer_window(false);
@@ -901,10 +1223,15 @@ impl<T: PacketTap> Simulator<T> {
     }
 
     fn flush_buffer_window(&mut self, final_flush: bool) {
-        let Some(sampler) = self.buf_sampler.as_mut() else { return };
+        let Some(sampler) = self.buf_sampler.as_mut() else {
+            return;
+        };
         let window_start = sampler.window_start;
         let switches = sampler.switches.clone();
-        let caps: Vec<u64> = switches.iter().map(|s| self.switch_cap[s.index()]).collect();
+        let caps: Vec<u64> = switches
+            .iter()
+            .map(|s| self.switch_cap[s.index()])
+            .collect();
         for (i, sw) in switches.iter().enumerate() {
             let samples = std::mem::take(&mut sampler.samples[i]);
             if samples.is_empty() {
@@ -928,10 +1255,10 @@ impl<T: PacketTap> Simulator<T> {
         }
         if !final_flush {
             let sampler = self.buf_sampler.as_mut().expect("sampler persists");
-            sampler.window_start = sampler.window_start + sampler.window;
+            sampler.window_start += sampler.window;
             // If the clock jumped multiple windows, snap forward.
             while self.now >= sampler.window_start + sampler.window {
-                sampler.window_start = sampler.window_start + sampler.window;
+                sampler.window_start += sampler.window;
             }
         }
     }
@@ -979,11 +1306,15 @@ mod tests {
         sim.watch_link(topo.host_uplink(a));
         sim.watch_link(topo.host_downlink(a));
 
-        let conn = sim
-            .open_connection(SimTime::ZERO, a, b, 80)
-            .expect("open");
-        sim.send_message(conn, SimTime::ZERO, 500, 2000, SimDuration::from_micros(100))
-            .expect("send");
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(
+            conn,
+            SimTime::ZERO,
+            500,
+            2000,
+            SimDuration::from_micros(100),
+        )
+        .expect("send");
         sim.run_until(SimTime::from_millis(100));
         let (out, tap) = sim.finish();
 
@@ -1077,7 +1408,8 @@ mod tests {
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         let up = topo.host_uplink(a);
-        sim.track_utilization(SimDuration::from_millis(10), &[up]);
+        sim.track_utilization(SimDuration::from_millis(10), &[up])
+            .expect("track");
         let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
         sim.send_message(conn, SimTime::ZERO, 50_000, 0, SimDuration::ZERO)
             .expect("send");
@@ -1096,15 +1428,16 @@ mod tests {
         // Pathologically small shared buffer at the ToR to force drops.
         cfg.rsw_buffer.shared_bytes = 8 * 1526;
         cfg.rsw_buffer.alpha = 0.5;
-        let mut sim =
-            Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("valid config");
+        let mut sim = Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("valid config");
         let dst = topo.racks()[0].hosts[0];
         // Many senders burst into one receiver (incast across the cluster).
         let mut conns = Vec::new();
         for r in 1..8 {
             for h in 0..4 {
                 let src = topo.racks()[r].hosts[h];
-                let c = sim.open_connection(SimTime::ZERO, src, dst, 80).expect("open");
+                let c = sim
+                    .open_connection(SimTime::ZERO, src, dst, 80)
+                    .expect("open");
                 sim.send_message(c, SimTime::from_micros(10), 200_000, 0, SimDuration::ZERO)
                     .expect("send");
                 conns.push(c);
@@ -1132,13 +1465,18 @@ mod tests {
             SimDuration::from_micros(10),
             SimDuration::from_millis(10),
             vec![rsw],
-        );
+        )
+        .expect("sample");
         let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
         sim.send_message(conn, SimTime::ZERO, 1_000_000, 0, SimDuration::ZERO)
             .expect("send");
         sim.run_until(SimTime::from_millis(35));
         let (out, _) = sim.finish();
-        assert!(out.buffer_stats.len() >= 3, "got {}", out.buffer_stats.len());
+        assert!(
+            out.buffer_stats.len() >= 3,
+            "got {}",
+            out.buffer_stats.len()
+        );
         for w in &out.buffer_stats {
             assert_eq!(w.switch, rsw);
             assert!(w.max >= w.median);
@@ -1163,11 +1501,18 @@ mod tests {
         );
         let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
         assert_eq!(
-            sim.send_message(conn, SimTime::ZERO, 0, 0, SimDuration::ZERO).unwrap_err(),
+            sim.send_message(conn, SimTime::ZERO, 0, 0, SimDuration::ZERO)
+                .unwrap_err(),
             SimError::EmptyRequest
         );
         assert!(matches!(
-            sim.send_message(ConnId { idx: 99, gen: 0 }, SimTime::ZERO, 1, 0, SimDuration::ZERO),
+            sim.send_message(
+                ConnId { idx: 99, gen: 0 },
+                SimTime::ZERO,
+                1,
+                0,
+                SimDuration::ZERO
+            ),
             Err(SimError::NoSuchConn(_))
         ));
         sim.run_until(SimTime::from_secs(1));
@@ -1186,7 +1531,8 @@ mod tests {
         sim.watch_link(topo.host_uplink(a));
         sim.watch_link(topo.host_downlink(a));
         let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
-        sim.close_connection(conn, SimTime::from_millis(1)).expect("close");
+        sim.close_connection(conn, SimTime::from_millis(1))
+            .expect("close");
         // Message scheduled after the close fires: counted, not sent.
         sim.send_message(conn, SimTime::from_millis(2), 100, 0, SimDuration::ZERO)
             .expect("scheduling is allowed; rejection happens at fire time");
@@ -1206,14 +1552,14 @@ mod tests {
         let topo = two_cluster_topo();
         let mut cfg = SimConfig::default();
         cfg.window_segments = 4;
-        let mut sim = Simulator::new(Arc::clone(&topo), cfg, Collector::default())
-            .expect("config");
+        let mut sim = Simulator::new(Arc::clone(&topo), cfg, Collector::default()).expect("config");
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         sim.watch_link(topo.host_uplink(a));
         sim.watch_link(topo.host_downlink(a));
         let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
-        sim.send_message(conn, SimTime::ZERO, 100_000, 0, SimDuration::ZERO).expect("send");
+        sim.send_message(conn, SimTime::ZERO, 100_000, 0, SimDuration::ZERO)
+            .expect("send");
         sim.run_to_quiescence();
         let (_, tap) = sim.finish();
         // Replay the tap chronologically: outstanding = data packets put
@@ -1272,41 +1618,54 @@ mod tests {
         // implies backlog <= capacity / 2 when it is the only user.
         let topo = two_cluster_topo();
         let mut cfg = SimConfig::default();
-        cfg.rsw_buffer = crate::config::BufferConfig { shared_bytes: 64 << 10, alpha: 1.0 };
-        let mut sim =
-            Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("config");
+        cfg.rsw_buffer = crate::config::BufferConfig {
+            shared_bytes: 64 << 10,
+            alpha: 1.0,
+        };
+        let mut sim = Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("config");
         let dst = topo.racks()[0].hosts[0];
         let rsw = topo.racks()[0].rsw;
         sim.sample_buffers(
             SimDuration::from_micros(2),
             SimDuration::from_millis(100),
             vec![rsw],
-        );
+        )
+        .expect("sample");
         // Hammer one downlink from many senders.
         for r in 1..8 {
             for h in 0..4 {
                 let src = topo.racks()[r].hosts[h];
-                let c = sim.open_connection(SimTime::ZERO, src, dst, 80).expect("open");
+                let c = sim
+                    .open_connection(SimTime::ZERO, src, dst, 80)
+                    .expect("open");
                 sim.send_message(c, SimTime::from_micros(1), 500_000, 0, SimDuration::ZERO)
                     .expect("send");
             }
         }
         sim.run_to_quiescence();
         let (out, _) = sim.finish();
-        let max_occ = out.buffer_stats.iter().map(|w| w.max).max().expect("windows");
+        let max_occ = out
+            .buffer_stats
+            .iter()
+            .map(|w| w.max)
+            .max()
+            .expect("windows");
         let cap = 64 << 10;
         assert!(
             max_occ <= cap / 2 + 1600,
             "DT should cap a single queue near half the pool: {max_occ} of {cap}"
         );
-        assert!(max_occ > cap / 4, "the hot queue should reach the DT ceiling: {max_occ}");
+        assert!(
+            max_occ > cap / 4,
+            "the hot queue should reach the DT ceiling: {max_occ}"
+        );
     }
 
     #[test]
     fn latency_recording_measures_rpc_round_trips() {
         let topo = two_cluster_topo();
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
         sim.record_latencies(true);
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
@@ -1329,12 +1688,13 @@ mod tests {
     #[test]
     fn latency_recording_off_by_default() {
         let topo = two_cluster_topo();
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
-        sim.send_message(conn, SimTime::ZERO, 500, 1000, SimDuration::ZERO).expect("send");
+        sim.send_message(conn, SimTime::ZERO, 500, 1000, SimDuration::ZERO)
+            .expect("send");
         sim.run_to_quiescence();
         let (out, _) = sim.finish();
         assert!(out.rpc_latencies.is_empty());
@@ -1349,8 +1709,10 @@ mod tests {
         let quarantine = sim.config().conn_quarantine;
 
         let c1 = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
-        sim.send_message(c1, SimTime::ZERO, 100, 100, SimDuration::ZERO).expect("send");
-        sim.close_connection(c1, SimTime::from_millis(5)).expect("close");
+        sim.send_message(c1, SimTime::ZERO, 100, 100, SimDuration::ZERO)
+            .expect("send");
+        sim.close_connection(c1, SimTime::from_millis(5))
+            .expect("close");
         sim.run_until(SimTime::from_millis(5) + quarantine + SimDuration::from_millis(1));
 
         // The freed slot is reused with a bumped generation.
@@ -1360,10 +1722,12 @@ mod tests {
 
         // The stale handle is rejected, the fresh one works.
         assert_eq!(
-            sim.send_message(c1, sim.now(), 1, 0, SimDuration::ZERO).unwrap_err(),
+            sim.send_message(c1, sim.now(), 1, 0, SimDuration::ZERO)
+                .unwrap_err(),
             SimError::NoSuchConn(c1)
         );
-        sim.send_message(c2, sim.now(), 100, 100, SimDuration::ZERO).expect("send on reused");
+        sim.send_message(c2, sim.now(), 100, 100, SimDuration::ZERO)
+            .expect("send on reused");
         sim.run_until(sim.now() + SimDuration::from_millis(50));
         let (out, _) = sim.finish();
         assert_eq!(out.completed_requests, 2);
@@ -1372,8 +1736,8 @@ mod tests {
     #[test]
     fn many_ephemeral_connections_bound_the_table() {
         let topo = two_cluster_topo();
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         // Open/close 2000 short connections, one every 500 µs; with a
@@ -1381,8 +1745,10 @@ mod tests {
         let mut t = SimTime::ZERO;
         for _ in 0..2000 {
             let c = sim.open_connection(t, a, b, 80).expect("open");
-            sim.send_message(c, t, 200, 200, SimDuration::ZERO).expect("send");
-            sim.close_connection(c, t + SimDuration::from_millis(2)).expect("close");
+            sim.send_message(c, t, 200, 200, SimDuration::ZERO)
+                .expect("send");
+            sim.close_connection(c, t + SimDuration::from_millis(2))
+                .expect("close");
             t += SimDuration::from_micros(500);
             sim.run_until(t);
         }
@@ -1394,6 +1760,255 @@ mod tests {
         );
         let (out, _) = sim.finish();
         assert_eq!(out.completed_requests, 2000);
+    }
+
+    #[test]
+    fn dead_post_mid_transfer_reroutes_and_completes() {
+        let topo = two_cluster_topo();
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        // The first connection from `a` uses client port 32768; recover the
+        // CSW post its ECMP hash pins so the fault provably hits this flow.
+        let key = FlowKey {
+            client: a,
+            server: b,
+            client_port: 32768,
+            server_port: 80,
+        };
+        let path = topo.route(a, b, key.ecmp_hash()).expect("route");
+        let post = match topo.links()[path[1].index()].to {
+            sonet_topology::Node::Switch(s) => s,
+            sonet_topology::Node::Host(_) => unreachable!("hop 1 ends at the CSW"),
+        };
+
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(conn, SimTime::ZERO, 5_000_000, 0, SimDuration::ZERO)
+            .expect("send");
+        sim.inject_fault(SimTime::from_millis(1), FaultKind::SwitchDown(post))
+            .expect("fault");
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        assert_eq!(out.faults_applied, 1);
+        assert_eq!(
+            out.reroutes, 1,
+            "the flow must re-hash onto a surviving post"
+        );
+        assert_eq!(out.reroute_failures, 0);
+        let fault_drops: u64 = out.link_counters.iter().map(|c| c.fault_drop_packets).sum();
+        assert!(
+            fault_drops > 0,
+            "in-flight packets on the dead post must be counted"
+        );
+        // Retransmission over the new path still completes the transfer.
+        assert_eq!(out.completed_requests, 1);
+        assert_eq!(out.aborted_connections, 0);
+    }
+
+    #[test]
+    fn unreachable_server_fails_handshake_instead_of_wedging() {
+        let topo = two_cluster_topo();
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let dst_rsw = topo.racks()[1].rsw;
+        // The destination's ToR dies before the SYN goes out: there is no
+        // redundant path to a rack, so the handshake must give up.
+        sim.inject_fault(SimTime::ZERO, FaultKind::SwitchDown(dst_rsw))
+            .expect("fault");
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(conn, SimTime::ZERO, 1000, 0, SimDuration::ZERO)
+            .expect("send");
+        // Quiescence is the point: SYN retries are capped, so this returns.
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        assert_eq!(out.failed_handshakes, 1);
+        assert_eq!(out.completed_requests, 0);
+        let fault_drops: u64 = out.link_counters.iter().map(|c| c.fault_drop_packets).sum();
+        assert_eq!(
+            fault_drops,
+            SimConfig::default().syn_max_attempts as u64,
+            "every SYN dies on the dead RSW and is counted"
+        );
+    }
+
+    #[test]
+    fn severed_route_aborts_connection_via_rto_cap() {
+        let topo = two_cluster_topo();
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(conn, SimTime::ZERO, 50_000_000, 0, SimDuration::ZERO)
+            .expect("send");
+        // Mid-transfer the destination ToR dies and never recovers.
+        sim.inject_fault(
+            SimTime::from_millis(2),
+            FaultKind::SwitchDown(topo.racks()[1].rsw),
+        )
+        .expect("fault");
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        assert!(
+            out.reroute_failures >= 1,
+            "no healthy alternative to a rack"
+        );
+        assert_eq!(out.reroutes, 0);
+        assert_eq!(out.aborted_connections, 1);
+        assert_eq!(out.completed_requests, 0, "the transfer cannot finish");
+    }
+
+    #[test]
+    fn degraded_link_stretches_serialization() {
+        let topo = two_cluster_topo();
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let run = |factor: Option<f64>| {
+            let mut sim =
+                Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+            if let Some(rate_factor) = factor {
+                sim.inject_fault(
+                    SimTime::ZERO,
+                    FaultKind::DegradeLink {
+                        link: topo.host_uplink(a),
+                        rate_factor,
+                    },
+                )
+                .expect("fault");
+            }
+            let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+            sim.send_message(conn, SimTime::ZERO, 10_000_000, 0, SimDuration::ZERO)
+                .expect("send");
+            sim.run_to_quiescence();
+            let (out, _) = sim.finish();
+            assert_eq!(out.completed_requests, 1);
+            out.ended_at
+        };
+        let nominal = run(None);
+        let degraded = run(Some(0.25));
+        assert!(
+            degraded > nominal,
+            "quarter-rate uplink must finish later: {degraded} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn link_recovery_restores_traffic() {
+        let topo = two_cluster_topo();
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let dst_rsw = topo.racks()[1].rsw;
+        // ToR down at 1 ms, back at 40 ms — inside the SYN retry budget.
+        sim.inject_fault(SimTime::from_millis(1), FaultKind::SwitchDown(dst_rsw))
+            .expect("fault");
+        sim.inject_fault(SimTime::from_millis(40), FaultKind::SwitchUp(dst_rsw))
+            .expect("fault");
+        let conn = sim
+            .open_connection(SimTime::from_millis(2), a, b, 80)
+            .expect("open");
+        sim.send_message(conn, SimTime::from_millis(2), 10_000, 0, SimDuration::ZERO)
+            .expect("send");
+        sim.run_to_quiescence();
+        let (out, _) = sim.finish();
+        assert_eq!(
+            out.completed_requests, 1,
+            "transfer completes after recovery"
+        );
+        assert_eq!(out.failed_handshakes, 0);
+        assert_eq!(out.aborted_connections, 0);
+    }
+
+    #[test]
+    fn fault_injection_validates_arguments() {
+        let topo = two_cluster_topo();
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+        assert!(matches!(
+            sim.inject_fault(SimTime::ZERO, FaultKind::LinkDown(LinkId(99_999))),
+            Err(SimError::Config(_))
+        ));
+        assert!(matches!(
+            sim.inject_fault(SimTime::ZERO, FaultKind::SwitchDown(SwitchId(99_999))),
+            Err(SimError::Config(_))
+        ));
+        assert!(matches!(
+            sim.inject_fault(
+                SimTime::ZERO,
+                FaultKind::DegradeLink {
+                    link: LinkId(0),
+                    rate_factor: 0.0
+                }
+            ),
+            Err(SimError::Config(_))
+        ));
+        assert!(matches!(
+            sim.inject_fault(SimTime::ZERO, FaultKind::MirrorLoss { fraction: 0.5 }),
+            Err(SimError::Config(_))
+        ));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(matches!(
+            sim.inject_fault(SimTime::ZERO, FaultKind::LinkDown(LinkId(0))),
+            Err(SimError::TimeInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let topo = two_cluster_topo();
+        let plan = FaultPlan::new()
+            .at(
+                SimTime::from_millis(1),
+                FaultKind::SwitchDown(topo.racks()[0].rsw),
+            )
+            .at(
+                SimTime::from_millis(3),
+                FaultKind::SwitchUp(topo.racks()[0].rsw),
+            )
+            .at(
+                SimTime::from_millis(2),
+                FaultKind::DegradeLink {
+                    link: LinkId(0),
+                    rate_factor: 0.5,
+                },
+            );
+        let run = || {
+            let mut sim = sim_with_collector(&topo);
+            let a = topo.racks()[0].hosts[0];
+            let b = topo.racks()[2].hosts[1];
+            sim.watch_link(topo.host_uplink(a));
+            sim.inject_faults(&plan).expect("plan");
+            let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+            for i in 0..50 {
+                sim.send_message(
+                    conn,
+                    SimTime::from_micros(i * 37),
+                    700 + i * 13,
+                    300,
+                    SimDuration::from_micros(20),
+                )
+                .expect("send");
+            }
+            sim.run_to_quiescence();
+            let (out, tap) = sim.finish();
+            let fault_drops: u64 = out.link_counters.iter().map(|c| c.fault_drop_packets).sum();
+            (
+                out.delivered_packets,
+                out.completed_requests,
+                out.faults_applied,
+                out.reroutes,
+                fault_drops,
+                tap.pkts.len(),
+                tap.pkts.last().map(|(t, _, _)| *t),
+            )
+        };
+        let first = run();
+        assert_eq!(first, run());
+        assert_eq!(first.2, 3, "all plan events applied");
     }
 
     #[test]
@@ -1417,7 +2032,11 @@ mod tests {
             }
             sim.run_until(SimTime::from_millis(200));
             let (out, tap) = sim.finish();
-            (out.delivered_packets, tap.pkts.len(), tap.pkts.last().map(|(t, _, _)| *t))
+            (
+                out.delivered_packets,
+                tap.pkts.len(),
+                tap.pkts.last().map(|(t, _, _)| *t),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -1446,7 +2065,9 @@ mod tests {
         let web = topo.hosts_with_role(sonet_topology::HostRole::Web)[0];
         let leader = topo.hosts_with_role(sonet_topology::HostRole::CacheLeader)[0];
         sim.watch_link(topo.host_downlink(web));
-        let conn = sim.open_connection(SimTime::ZERO, web, leader, 11211).expect("open");
+        let conn = sim
+            .open_connection(SimTime::ZERO, web, leader, 11211)
+            .expect("open");
         sim.send_message(conn, SimTime::ZERO, 100, 100, SimDuration::ZERO)
             .expect("send");
         sim.run_until(SimTime::from_millis(100));

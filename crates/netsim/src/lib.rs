@@ -36,10 +36,12 @@
 pub mod config;
 pub mod conn;
 pub mod engine;
+pub mod faults;
 pub mod packet;
 pub mod tap;
 
 pub use config::{BufferConfig, SimConfig};
 pub use engine::{BufferWindowStat, LinkCounters, SimError, SimOutputs, Simulator};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use packet::{ConnId, Dir, FlowKey, Packet, PacketKind};
 pub use tap::{NullTap, PacketTap};

@@ -15,7 +15,7 @@ pub struct ImportStats {
     /// Records successfully parsed.
     pub ok: u64,
     /// Lines that failed to parse and were skipped.
-    pub bad: u64,
+    pub skipped: u64,
 }
 
 /// Writes packet records as JSONL.
@@ -43,7 +43,7 @@ pub fn read_packets<R: Read>(input: R) -> io::Result<(Vec<PacketRecord>, ImportS
                 records.push(r);
                 stats.ok += 1;
             }
-            Err(_) => stats.bad += 1,
+            Err(_) => stats.skipped += 1,
         }
     }
     Ok((records, stats))
@@ -74,7 +74,7 @@ pub fn read_flows<R: Read>(input: R) -> io::Result<(Vec<FlowRecord>, ImportStats
                 records.push(r);
                 stats.ok += 1;
             }
-            Err(_) => stats.bad += 1,
+            Err(_) => stats.skipped += 1,
         }
     }
     Ok((records, stats))
@@ -130,7 +130,7 @@ mod tests {
         write_packets(&mut buf, &records).expect("write");
         let (back, stats) = read_packets(buf.as_slice()).expect("read");
         assert_eq!(back, records);
-        assert_eq!(stats, ImportStats { ok: 2, bad: 0 });
+        assert_eq!(stats, ImportStats { ok: 2, skipped: 0 });
     }
 
     #[test]
@@ -142,7 +142,7 @@ mod tests {
         write_packets(&mut buf, &records).expect("append");
         let (back, stats) = read_packets(buf.as_slice()).expect("read");
         assert_eq!(back.len(), 2);
-        assert_eq!(stats, ImportStats { ok: 2, bad: 1 });
+        assert_eq!(stats, ImportStats { ok: 2, skipped: 1 });
     }
 
     #[test]
@@ -162,6 +162,42 @@ mod tests {
         let (back, stats) = read_flows(buf.as_slice()).expect("read");
         assert_eq!(back, records);
         assert_eq!(stats.ok, 1);
+    }
+
+    #[test]
+    fn corrupt_line_mid_file_skips_only_that_record() {
+        // A truncated write (crash mid-spool) corrupts one record in the
+        // middle; everything before and after it must still import.
+        let records = vec![
+            FlowRecord {
+                at: SimTime::from_secs(1),
+                capture_host: HostId(0),
+                src: HostId(0),
+                dst: HostId(1),
+                src_port: 40000,
+                dst_port: 80,
+                bytes: 1234,
+                packets: 3,
+            },
+            FlowRecord {
+                at: SimTime::from_secs(2),
+                capture_host: HostId(1),
+                src: HostId(1),
+                dst: HostId(0),
+                src_port: 40001,
+                dst_port: 443,
+                bytes: 99,
+                packets: 1,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_flows(&mut buf, &records[..1]).expect("write head");
+        // A record cut off mid-object, as a crashed writer leaves behind.
+        buf.extend_from_slice(b"{\"at\":123,\"capture_host\"\n");
+        write_flows(&mut buf, &records[1..]).expect("write tail");
+        let (back, stats) = read_flows(buf.as_slice()).expect("read");
+        assert_eq!(back, records);
+        assert_eq!(stats, ImportStats { ok: 2, skipped: 1 });
     }
 
     #[test]

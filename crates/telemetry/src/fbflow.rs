@@ -28,7 +28,9 @@ pub struct FbflowConfig {
 impl Default for FbflowConfig {
     fn default() -> Self {
         // §3.3.1: "collected with a 1:30,000 sampling rate".
-        FbflowConfig { sampling_rate: 30_000 }
+        FbflowConfig {
+            sampling_rate: 30_000,
+        }
     }
 }
 
@@ -40,6 +42,11 @@ pub struct FbflowSampler {
     /// access link.
     capture_host: Vec<Option<HostId>>,
     samples: Vec<FlowRecord>,
+    /// Injected agent loss, in permille (see `set_agent_loss`).
+    agent_loss_permille: u32,
+    /// Packets that survived nflog sampling (kept + agent-dropped).
+    sampled: u64,
+    agent_dropped: u64,
 }
 
 impl FbflowSampler {
@@ -57,7 +64,34 @@ impl FbflowSampler {
                 _ => None,
             })
             .collect();
-        FbflowSampler { cfg, rng, capture_host, samples: Vec::new() }
+        FbflowSampler {
+            cfg,
+            rng,
+            capture_host,
+            samples: Vec::new(),
+            agent_loss_permille: 0,
+            sampled: 0,
+            agent_dropped: 0,
+        }
+    }
+
+    /// Injects agent-side loss: roughly `fraction` of packets that survive
+    /// nflog sampling are dropped before reaching Scribe (0.0 restores
+    /// full collection). Deterministic — a hash of the running sample
+    /// count, not the RNG — and every drop is counted in
+    /// [`FbflowSampler::agent_dropped`], like a real agent's overflow
+    /// counters.
+    pub fn set_agent_loss(&mut self, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "loss fraction {fraction} outside [0, 1]"
+        );
+        self.agent_loss_permille = (fraction * 1000.0).round() as u32;
+    }
+
+    /// Samples lost to injected agent faults.
+    pub fn agent_dropped(&self) -> u64 {
+        self.agent_dropped
     }
 
     /// Registers every host access link (up and down) on the simulator —
@@ -88,9 +122,20 @@ impl FbflowSampler {
 
 impl PacketTap for FbflowSampler {
     fn on_packet(&mut self, at: SimTime, link: LinkId, pkt: &Packet) {
-        let Some(host) = self.capture_host[link.index()] else { return };
+        let Some(host) = self.capture_host[link.index()] else {
+            return;
+        };
         // nflog statistical sampling: each packet sampled independently.
         if self.cfg.sampling_rate > 1 && self.rng.below(self.cfg.sampling_rate) != 0 {
+            return;
+        }
+        // Agent-side loss happens downstream of sampling: the kernel
+        // sampled the packet, the user-level agent failed to ship it.
+        self.sampled += 1;
+        if self.agent_loss_permille > 0
+            && self.sampled.wrapping_mul(2_654_435_761) % 1000 < self.agent_loss_permille as u64
+        {
+            self.agent_dropped += 1;
             return;
         }
         let (src_port, dst_port) = match pkt.dir {
@@ -177,15 +222,24 @@ mod tests {
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
         let c = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
-        sim.send_message(c, SimTime::ZERO, 1000, 500, SimDuration::ZERO).expect("send");
+        sim.send_message(c, SimTime::ZERO, 1000, 500, SimDuration::ZERO)
+            .expect("send");
         sim.run_until(SimTime::from_millis(50));
         let (out, sampler) = sim.finish();
         // Every packet crosses exactly two host links (src uplink + dst
         // downlink), so sample count = 2 × delivered packets.
         assert_eq!(sampler.samples().len() as u64, 2 * out.delivered_packets);
         // Each packet is observed once by each endpoint's agent.
-        let by_a = sampler.samples().iter().filter(|s| s.capture_host == a).count();
-        let by_b = sampler.samples().iter().filter(|s| s.capture_host == b).count();
+        let by_a = sampler
+            .samples()
+            .iter()
+            .filter(|s| s.capture_host == a)
+            .count();
+        let by_b = sampler
+            .samples()
+            .iter()
+            .filter(|s| s.capture_host == b)
+            .count();
         assert_eq!(by_a, by_b);
         assert_eq!(by_a + by_b, sampler.samples().len());
     }
@@ -211,6 +265,42 @@ mod tests {
             (observed - expected).abs() < expected * 0.25,
             "observed {observed}, expected ≈{expected}"
         );
+    }
+
+    #[test]
+    fn agent_loss_thins_samples_and_counts_drops() {
+        let run = |loss: f64| {
+            let topo = topo();
+            let mut sampler =
+                FbflowSampler::new(&topo, FbflowConfig { sampling_rate: 1 }, Rng::new(7));
+            sampler.set_agent_loss(loss);
+            let mut sim =
+                Simulator::new(Arc::clone(&topo), SimConfig::default(), sampler).expect("config");
+            FbflowSampler::deploy_fleet_wide(&mut sim, &topo);
+            let a = topo.racks()[0].hosts[0];
+            let b = topo.racks()[1].hosts[0];
+            let c = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+            sim.send_message(c, SimTime::ZERO, 200_000, 200_000, SimDuration::ZERO)
+                .expect("send");
+            sim.run_until(SimTime::from_secs(1));
+            let (out, sampler) = sim.finish();
+            (out, sampler)
+        };
+        // Total agent failure: nothing collected, everything counted.
+        let (out, sampler) = run(1.0);
+        assert!(sampler.samples().is_empty());
+        assert_eq!(sampler.agent_dropped(), 2 * out.delivered_packets);
+        // Partial loss: proportional, and deterministic across runs.
+        let (_, a) = run(0.25);
+        let total = a.samples().len() as u64 + a.agent_dropped();
+        let lost = a.agent_dropped() as f64 / total as f64;
+        assert!(
+            (lost - 0.25).abs() < 0.05,
+            "lost fraction {lost}, wanted ≈0.25"
+        );
+        let (_, b) = run(0.25);
+        assert_eq!(a.samples().len(), b.samples().len());
+        assert_eq!(a.agent_dropped(), b.agent_dropped());
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct PortMirror {
     capacity: usize,
     overflow: u64,
     mirrored_hosts: Vec<HostId>,
+    /// Injected capture loss, in permille (see `set_fault_loss`).
+    fault_loss_permille: u32,
+    /// Packets offered to the mirror (captured + overflowed + dropped).
+    seen: u64,
+    fault_dropped: u64,
 }
 
 impl PortMirror {
@@ -35,7 +40,36 @@ impl PortMirror {
             capacity,
             overflow: 0,
             mirrored_hosts: Vec::new(),
+            fault_loss_permille: 0,
+            seen: 0,
+            fault_dropped: 0,
         }
+    }
+
+    /// Injects capture-path loss: from now on, roughly `fraction` of
+    /// offered packets are dropped before buffering (0.0 restores full
+    /// fidelity). The decision is a deterministic hash of the running
+    /// packet count — no RNG — so a faulted capture replays byte-for-byte.
+    /// Every drop is counted in [`PortMirror::fault_dropped`], mirroring
+    /// how production capture loses data while its loss counters keep
+    /// working.
+    pub fn set_fault_loss(&mut self, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "loss fraction {fraction} outside [0, 1]"
+        );
+        self.fault_loss_permille = (fraction * 1000.0).round() as u32;
+    }
+
+    /// Packets lost to injected capture faults (distinct from
+    /// [`PortMirror::overflow`], the memory-limit loss).
+    pub fn fault_dropped(&self) -> u64 {
+        self.fault_dropped
+    }
+
+    /// Packets offered to the mirror, whether captured or lost.
+    pub fn offered(&self) -> u64 {
+        self.seen
     }
 
     /// Registers the bidirectional access links of `host` on `sim` and
@@ -95,11 +129,24 @@ impl PortMirror {
 
 impl PacketTap for PortMirror {
     fn on_packet(&mut self, at: SimTime, link: LinkId, pkt: &sonet_netsim::Packet) {
+        self.seen += 1;
+        // Knuth multiplicative hash of the packet ordinal: spreads drops
+        // evenly through the stream, deterministically.
+        if self.fault_loss_permille > 0
+            && self.seen.wrapping_mul(2_654_435_761) % 1000 < self.fault_loss_permille as u64
+        {
+            self.fault_dropped += 1;
+            return;
+        }
         if self.records.len() >= self.capacity {
             self.overflow += 1;
             return;
         }
-        self.records.push(PacketRecord { at, link, pkt: *pkt });
+        self.records.push(PacketRecord {
+            at,
+            link,
+            pkt: *pkt,
+        });
     }
 }
 
@@ -135,10 +182,12 @@ mod tests {
         sim.watch_link(down);
 
         let c1 = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
-        sim.send_message(c1, SimTime::ZERO, 1000, 1000, SimDuration::ZERO).expect("send");
+        sim.send_message(c1, SimTime::ZERO, 1000, 1000, SimDuration::ZERO)
+            .expect("send");
         // Unrelated flow between b and c must not be captured.
         let c2 = sim.open_connection(SimTime::ZERO, b, c, 80).expect("open");
-        sim.send_message(c2, SimTime::ZERO, 1000, 1000, SimDuration::ZERO).expect("send");
+        sim.send_message(c2, SimTime::ZERO, 1000, 1000, SimDuration::ZERO)
+            .expect("send");
 
         sim.run_until(SimTime::from_millis(50));
         let (_, mirror) = sim.finish();
@@ -194,5 +243,48 @@ mod tests {
     #[should_panic(expected = "at least one packet")]
     fn zero_capacity_rejected() {
         let _ = PortMirror::new(0);
+    }
+
+    fn run_with_loss(fraction: f64) -> PortMirror {
+        let topo = topo();
+        let mut mirror = PortMirror::new(100_000);
+        mirror.set_fault_loss(fraction);
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), mirror).expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        sim.watch_link(topo.host_uplink(a));
+        sim.watch_link(topo.host_downlink(a));
+        let c1 = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        sim.send_message(c1, SimTime::ZERO, 500_000, 500_000, SimDuration::ZERO)
+            .expect("send");
+        sim.run_until(SimTime::from_secs(1));
+        let (_, mirror) = sim.finish();
+        mirror
+    }
+
+    #[test]
+    fn total_capture_loss_drops_everything_but_counts_it() {
+        let mirror = run_with_loss(1.0);
+        assert!(mirror.records().is_empty());
+        assert!(mirror.fault_dropped() > 0);
+        assert_eq!(mirror.fault_dropped(), mirror.offered());
+        assert!(!mirror.truncated(), "fault loss is not memory overflow");
+    }
+
+    #[test]
+    fn partial_capture_loss_is_proportional_and_deterministic() {
+        let a = run_with_loss(0.4);
+        assert!(a.fault_dropped() > 0);
+        assert!(!a.records().is_empty());
+        let lost = a.fault_dropped() as f64 / a.offered() as f64;
+        assert!(
+            (lost - 0.4).abs() < 0.05,
+            "lost fraction {lost}, wanted ≈0.4"
+        );
+        // Same run, same loss schedule: byte-identical capture.
+        let b = run_with_loss(0.4);
+        assert_eq!(a.records().len(), b.records().len());
+        assert_eq!(a.fault_dropped(), b.fault_dropped());
     }
 }

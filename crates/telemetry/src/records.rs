@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 use sonet_netsim::Packet;
-use sonet_topology::{ClusterId, ClusterType, DatacenterId, HostId, HostRole, Locality, LinkId, RackId};
+use sonet_topology::{
+    ClusterId, ClusterType, DatacenterId, HostId, HostRole, LinkId, Locality, RackId,
+};
 use sonet_util::SimTime;
 
 /// A full packet-header capture (port mirroring output).

@@ -85,7 +85,9 @@ pub fn minute_of(at: SimTime) -> u64 {
 mod tests {
     use super::*;
     use crate::records::{FlowRecord, TaggedRecord};
-    use sonet_topology::{ClusterId, ClusterType, DatacenterId, HostId, HostRole, Locality, RackId};
+    use sonet_topology::{
+        ClusterId, ClusterType, DatacenterId, HostId, HostRole, Locality, RackId,
+    };
 
     fn row(at_secs: u64, bytes: u64, locality: Locality) -> TaggedRecord {
         TaggedRecord {
@@ -132,7 +134,11 @@ mod tests {
         let mut t = ScubaTable::from_rows(vec![row(0, 100, Locality::IntraRack)]);
         let only_cluster = t.filtered(|r| r.locality == Locality::IntraCluster);
         assert!(only_cluster.is_empty());
-        t.merge(ScubaTable::from_rows(vec![row(0, 10, Locality::IntraCluster)]));
+        t.merge(ScubaTable::from_rows(vec![row(
+            0,
+            10,
+            Locality::IntraCluster,
+        )]));
         assert_eq!(t.len(), 2);
     }
 

@@ -53,7 +53,10 @@ pub fn fabric_like_spec(clustered: &TopologySpec) -> TopologySpec {
             let mut pods = Vec::new();
             for chunk in racks.chunks(RACKS_PER_POD as usize) {
                 let ctype = dominant_type(chunk);
-                pods.push(ClusterSpec { ctype, racks: chunk.to_vec() });
+                pods.push(ClusterSpec {
+                    ctype,
+                    racks: chunk.to_vec(),
+                });
             }
             datacenters.push(DatacenterSpec { clusters: pods });
         }
@@ -97,10 +100,7 @@ mod tests {
     use crate::topology::Topology;
 
     fn clustered() -> TopologySpec {
-        TopologySpec::single_dc(vec![
-            ClusterSpec::frontend(8, 4),
-            ClusterSpec::hadoop(4, 4),
-        ])
+        TopologySpec::single_dc(vec![ClusterSpec::frontend(8, 4), ClusterSpec::hadoop(4, 4)])
     }
 
     #[test]

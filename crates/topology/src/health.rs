@@ -1,0 +1,149 @@
+//! Live/dead state of the plant: which links and switches are up.
+//!
+//! Production fabrics lose links and whole switches routinely; the 4-post
+//! design exists precisely so that a dead CSW degrades capacity instead of
+//! partitioning a cluster. [`LinkHealth`] is the mask the failure-aware
+//! router ([`crate::Topology::route_healthy`]) and the packet engine
+//! consult: a link is *usable* only when the link itself is up **and**
+//! both of its switch endpoints are up.
+
+use crate::graph::Node;
+use crate::ids::SwitchId;
+use crate::topology::Topology;
+use crate::LinkId;
+
+/// Up/down masks over the links and switches of one [`Topology`].
+///
+/// Freshly constructed health reports everything up; faults flip
+/// individual entries. The mask is intentionally divorced from the
+/// topology itself so one immutable, shared plant can be simulated under
+/// many failure schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkHealth {
+    link_up: Vec<bool>,
+    switch_up: Vec<bool>,
+    down_links: usize,
+    down_switches: usize,
+}
+
+impl LinkHealth {
+    /// All-up health for `topo`.
+    pub fn new(topo: &Topology) -> LinkHealth {
+        LinkHealth {
+            link_up: vec![true; topo.links().len()],
+            switch_up: vec![true; topo.switches().len()],
+            down_links: 0,
+            down_switches: 0,
+        }
+    }
+
+    /// True when no link or switch is down (the fast path: routing can
+    /// skip the per-link checks entirely).
+    pub fn all_up(&self) -> bool {
+        self.down_links == 0 && self.down_switches == 0
+    }
+
+    /// Marks one directed link up or down.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        let flag = &mut self.link_up[link.index()];
+        if *flag != up {
+            *flag = up;
+            if up {
+                self.down_links -= 1;
+            } else {
+                self.down_links += 1;
+            }
+        }
+    }
+
+    /// Marks a switch up or down. A down switch makes every link touching
+    /// it unusable without mutating the per-link flags, so bringing the
+    /// switch back restores exactly the pre-failure link state.
+    pub fn set_switch_up(&mut self, switch: SwitchId, up: bool) {
+        let flag = &mut self.switch_up[switch.index()];
+        if *flag != up {
+            *flag = up;
+            if up {
+                self.down_switches -= 1;
+            } else {
+                self.down_switches += 1;
+            }
+        }
+    }
+
+    /// The raw link flag (ignores switch state).
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.link_up[link.index()]
+    }
+
+    /// The switch flag.
+    pub fn switch_up(&self, switch: SwitchId) -> bool {
+        self.switch_up[switch.index()]
+    }
+
+    /// True when `link` can carry traffic: the link is up and so are both
+    /// of its switch endpoints (host NICs never fail in this model).
+    pub fn link_usable(&self, topo: &Topology, link: LinkId) -> bool {
+        if !self.link_up[link.index()] {
+            return false;
+        }
+        let l = &topo.links()[link.index()];
+        let end_up = |n: Node| match n {
+            Node::Switch(s) => self.switch_up[s.index()],
+            Node::Host(_) => true,
+        };
+        end_up(l.from) && end_up(l.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterSpec, TopologySpec};
+
+    fn topo() -> Topology {
+        Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 2)])).expect("valid")
+    }
+
+    #[test]
+    fn fresh_health_is_all_up() {
+        let t = topo();
+        let h = LinkHealth::new(&t);
+        assert!(h.all_up());
+        for i in 0..t.links().len() {
+            assert!(h.link_usable(&t, LinkId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn link_flags_toggle_and_count() {
+        let t = topo();
+        let mut h = LinkHealth::new(&t);
+        let l = LinkId(0);
+        h.set_link_up(l, false);
+        assert!(!h.all_up());
+        assert!(!h.link_usable(&t, l));
+        // Idempotent: setting down twice still needs one up to recover.
+        h.set_link_up(l, false);
+        h.set_link_up(l, true);
+        assert!(h.all_up());
+        assert!(h.link_usable(&t, l));
+    }
+
+    #[test]
+    fn dead_switch_poisons_adjacent_links_only() {
+        let t = topo();
+        let mut h = LinkHealth::new(&t);
+        let rsw = t.racks()[0].rsw;
+        h.set_switch_up(rsw, false);
+        assert!(!h.switch_up(rsw));
+        for (i, l) in t.links().iter().enumerate() {
+            let touches = l.from == Node::Switch(rsw) || l.to == Node::Switch(rsw);
+            assert_eq!(!h.link_usable(&t, LinkId(i as u32)), touches);
+            // The per-link flags are untouched.
+            assert!(h.link_up(LinkId(i as u32)));
+        }
+        h.set_switch_up(rsw, true);
+        assert!(h.all_up());
+    }
+}

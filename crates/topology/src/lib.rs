@@ -25,6 +25,7 @@
 
 pub mod fabric;
 pub mod graph;
+pub mod health;
 pub mod ids;
 pub mod role;
 pub mod spec;
@@ -32,7 +33,8 @@ pub mod topology;
 
 pub use fabric::fabric_like_spec;
 pub use graph::{Link, LinkId, Node, Switch, SwitchKind};
+pub use health::LinkHealth;
 pub use ids::{ClusterId, DatacenterId, HostId, RackId, SiteId, SwitchId};
 pub use role::{ClusterType, HostRole, Locality};
 pub use spec::{ClusterSpec, DatacenterSpec, RackSpec, SiteSpec, TopologySpec};
-pub use topology::{Host, Topology, TopologyError};
+pub use topology::{Host, RouteError, Topology, TopologyError};

@@ -85,18 +85,33 @@ impl ClusterSpec {
         // Web racks first, then cache, then multifeed, then SLB: the block
         // structure makes Fig 5b's bipartite rack-to-rack pattern visible.
         for _ in 0..web {
-            specs.push(RackSpec { role: HostRole::Web, hosts: hosts_per_rack });
+            specs.push(RackSpec {
+                role: HostRole::Web,
+                hosts: hosts_per_rack,
+            });
         }
         for _ in 0..cache {
-            specs.push(RackSpec { role: HostRole::CacheFollower, hosts: hosts_per_rack });
+            specs.push(RackSpec {
+                role: HostRole::CacheFollower,
+                hosts: hosts_per_rack,
+            });
         }
         for _ in 0..mf {
-            specs.push(RackSpec { role: HostRole::Multifeed, hosts: hosts_per_rack });
+            specs.push(RackSpec {
+                role: HostRole::Multifeed,
+                hosts: hosts_per_rack,
+            });
         }
         for _ in 0..slb {
-            specs.push(RackSpec { role: HostRole::Slb, hosts: hosts_per_rack });
+            specs.push(RackSpec {
+                role: HostRole::Slb,
+                hosts: hosts_per_rack,
+            });
         }
-        ClusterSpec { ctype: ClusterType::Frontend, racks: specs }
+        ClusterSpec {
+            ctype: ClusterType::Frontend,
+            racks: specs,
+        }
     }
 
     /// A homogeneous Hadoop cluster.
@@ -104,7 +119,10 @@ impl ClusterSpec {
         ClusterSpec {
             ctype: ClusterType::Hadoop,
             racks: (0..racks)
-                .map(|_| RackSpec { role: HostRole::Hadoop, hosts: hosts_per_rack })
+                .map(|_| RackSpec {
+                    role: HostRole::Hadoop,
+                    hosts: hosts_per_rack,
+                })
                 .collect(),
         }
     }
@@ -114,7 +132,10 @@ impl ClusterSpec {
         ClusterSpec {
             ctype: ClusterType::Cache,
             racks: (0..racks)
-                .map(|_| RackSpec { role: HostRole::CacheLeader, hosts: hosts_per_rack })
+                .map(|_| RackSpec {
+                    role: HostRole::CacheLeader,
+                    hosts: hosts_per_rack,
+                })
                 .collect(),
         }
     }
@@ -124,7 +145,10 @@ impl ClusterSpec {
         ClusterSpec {
             ctype: ClusterType::Database,
             racks: (0..racks)
-                .map(|_| RackSpec { role: HostRole::Db, hosts: hosts_per_rack })
+                .map(|_| RackSpec {
+                    role: HostRole::Db,
+                    hosts: hosts_per_rack,
+                })
                 .collect(),
         }
     }
@@ -136,12 +160,21 @@ impl ClusterSpec {
         let mf = (racks / 8).max(1);
         let mut specs = Vec::with_capacity(racks as usize);
         for _ in 0..(racks - mf) {
-            specs.push(RackSpec { role: HostRole::Misc, hosts: hosts_per_rack });
+            specs.push(RackSpec {
+                role: HostRole::Misc,
+                hosts: hosts_per_rack,
+            });
         }
         for _ in 0..mf {
-            specs.push(RackSpec { role: HostRole::Multifeed, hosts: hosts_per_rack });
+            specs.push(RackSpec {
+                role: HostRole::Multifeed,
+                hosts: hosts_per_rack,
+            });
         }
-        ClusterSpec { ctype: ClusterType::Service, racks: specs }
+        ClusterSpec {
+            ctype: ClusterType::Service,
+            racks: specs,
+        }
     }
 
     /// Total hosts in the cluster.
@@ -190,7 +223,10 @@ mod tests {
         let cache = c.racks_with_role(HostRole::CacheFollower);
         // Paper annotation on Fig 5b: ~75 % web servers, ~20 % cache.
         assert!((0.70..=0.80).contains(&(web as f64 / 64.0)), "web {web}");
-        assert!((0.15..=0.25).contains(&(cache as f64 / 64.0)), "cache {cache}");
+        assert!(
+            (0.15..=0.25).contains(&(cache as f64 / 64.0)),
+            "cache {cache}"
+        );
         assert!(c.racks_with_role(HostRole::Multifeed) >= 1);
         assert!(c.racks_with_role(HostRole::Slb) >= 1);
     }
@@ -215,10 +251,8 @@ mod tests {
 
     #[test]
     fn spec_host_count_sums() {
-        let spec = TopologySpec::single_dc(vec![
-            ClusterSpec::hadoop(2, 5),
-            ClusterSpec::frontend(8, 3),
-        ]);
+        let spec =
+            TopologySpec::single_dc(vec![ClusterSpec::hadoop(2, 5), ClusterSpec::frontend(8, 3)]);
         assert_eq!(spec.host_count(), 10 + 24);
     }
 

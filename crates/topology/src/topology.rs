@@ -2,6 +2,7 @@
 //! graph connecting them, and deterministic ECMP routing over it.
 
 use crate::graph::{Link, LinkId, Node, Switch, SwitchKind};
+use crate::health::LinkHealth;
 use crate::ids::{ClusterId, DatacenterId, HostId, RackId, SiteId, SwitchId};
 use crate::role::{ClusterType, HostRole, Locality};
 use crate::spec::TopologySpec;
@@ -104,6 +105,34 @@ impl fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// Why a route could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// Source and destination are the same host; loopback traffic never
+    /// touches the network.
+    SelfRoute(HostId),
+    /// Every equal-cost candidate path crosses a dead link or switch.
+    NoPath {
+        /// Route source.
+        src: HostId,
+        /// Route destination.
+        dst: HostId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::SelfRoute(h) => write!(f, "{h} cannot route to itself"),
+            RouteError::NoPath { src, dst } => {
+                write!(f, "no healthy path from {src} to {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// The fully built plant. See the crate docs for the responsibilities.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -131,10 +160,14 @@ impl Topology {
             return Err(TopologyError::Empty);
         }
         if spec.edge_gbps <= 0.0 || spec.rsw_uplink_gbps <= 0.0 || spec.agg_gbps <= 0.0 {
-            return Err(TopologyError::BadProvisioning("link rates must be positive".into()));
+            return Err(TopologyError::BadProvisioning(
+                "link rates must be positive".into(),
+            ));
         }
         if spec.fc_count == 0 {
-            return Err(TopologyError::BadProvisioning("fc_count must be at least 1".into()));
+            return Err(TopologyError::BadProvisioning(
+                "fc_count must be at least 1".into(),
+            ));
         }
 
         let mut t = Topology {
@@ -161,7 +194,9 @@ impl Topology {
 
         for site_spec in &spec.sites {
             let site_id = SiteId(t.sites.len() as u32);
-            t.sites.push(Site { datacenters: Vec::new() });
+            t.sites.push(Site {
+                datacenters: Vec::new(),
+            });
 
             for dc_spec in &site_spec.datacenters {
                 let dc_id = DatacenterId(t.datacenters.len() as u32);
@@ -191,7 +226,12 @@ impl Topology {
 
                 // DR ↔ backbone: provisioned wide enough not to be the story.
                 let bb_gbps = spec.agg_gbps * 16.0;
-                t.add_duplex(Node::Switch(dr), Node::Switch(t.backbone), bb_gbps, INTER_DC_PROP_NS);
+                t.add_duplex(
+                    Node::Switch(dr),
+                    Node::Switch(t.backbone),
+                    bb_gbps,
+                    INTER_DC_PROP_NS,
+                );
 
                 for cluster_spec in &dc_spec.clusters {
                     let cluster_id = ClusterId(t.clusters.len() as u32);
@@ -269,7 +309,10 @@ impl Topology {
                                 INTRA_DC_PROP_NS,
                             );
                             host_ids.push(host_id);
-                            t.hosts_by_role.entry(rack_spec.role).or_default().push(host_id);
+                            t.hosts_by_role
+                                .entry(rack_spec.role)
+                                .or_default()
+                                .push(host_id);
                             t.cluster_role_hosts
                                 .entry((cluster_id, rack_spec.role))
                                 .or_default()
@@ -298,7 +341,12 @@ impl Topology {
     fn add_duplex(&mut self, a: Node, b: Node, gbps: f64, prop_ns: u64) {
         for (from, to) in [(a, b), (b, a)] {
             let id = LinkId(self.links.len() as u32);
-            self.links.push(Link { from, to, gbps, propagation_ns: prop_ns });
+            self.links.push(Link {
+                from,
+                to,
+                gbps,
+                propagation_ns: prop_ns,
+            });
             let prev = self.link_by_endpoints.insert((from, to), id);
             debug_assert!(prev.is_none(), "duplicate link {from}->{to}");
         }
@@ -368,7 +416,10 @@ impl Topology {
 
     /// Every host with the given role, fleet-wide (stable order).
     pub fn hosts_with_role(&self, role: HostRole) -> &[HostId] {
-        self.hosts_by_role.get(&role).map(Vec::as_slice).unwrap_or(&[])
+        self.hosts_by_role
+            .get(&role)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Every host with the given role inside one cluster (stable order).
@@ -407,9 +458,90 @@ impl Topology {
     /// CSW/FC choices, so all packets of one flow take one path (as ECMP
     /// hashing on the 5-tuple does in practice).
     ///
-    /// Panics if `src == dst`; loopback traffic never touches the network.
-    pub fn route(&self, src: HostId, dst: HostId, flow_hash: u64) -> Vec<LinkId> {
-        assert_ne!(src, dst, "route requires distinct endpoints");
+    /// Returns [`RouteError::SelfRoute`] when `src == dst`; loopback
+    /// traffic never touches the network.
+    pub fn route(
+        &self,
+        src: HostId,
+        dst: HostId,
+        flow_hash: u64,
+    ) -> Result<Vec<LinkId>, RouteError> {
+        if src == dst {
+            return Err(RouteError::SelfRoute(src));
+        }
+        let (s1, s2, s3) = Self::ecmp_choices(flow_hash);
+        Ok(self.route_via(src, dst, s1, s2, s3))
+    }
+
+    /// Failure-aware ECMP route: like [`Topology::route`], but only paths
+    /// whose every link is usable under `health` qualify. When the
+    /// hash-selected path is broken, the router re-hashes deterministically
+    /// across the remaining equal-cost CSW/FC choices (offsets from the
+    /// hash-selected indices, tried in a fixed order), exactly as hardware
+    /// ECMP re-balances onto surviving next-hops. On a fully healthy plant
+    /// this returns the identical path to [`Topology::route`].
+    ///
+    /// Returns [`RouteError::NoPath`] when every candidate crosses a dead
+    /// link — e.g. the destination's RSW is down, or all four posts of a
+    /// cluster have failed.
+    pub fn route_healthy(
+        &self,
+        src: HostId,
+        dst: HostId,
+        flow_hash: u64,
+        health: &LinkHealth,
+    ) -> Result<Vec<LinkId>, RouteError> {
+        if src == dst {
+            return Err(RouteError::SelfRoute(src));
+        }
+        let (s1, s2, s3) = Self::ecmp_choices(flow_hash);
+        if health.all_up() {
+            return Ok(self.route_via(src, dst, s1, s2, s3));
+        }
+        let fc_count = self.datacenters[self.hosts[src.index()].datacenter.index()]
+            .fcs
+            .len();
+        let posts = CSW_PER_CLUSTER;
+        for k1 in 0..posts {
+            for k2 in 0..posts {
+                for k3 in 0..fc_count {
+                    let path = self.route_via(
+                        src,
+                        dst,
+                        (s1 + k1) % posts,
+                        (s2 + k2) % posts,
+                        (s3 + k3) % fc_count,
+                    );
+                    if path.iter().all(|&l| health.link_usable(self, l)) {
+                        return Ok(path);
+                    }
+                }
+            }
+        }
+        Err(RouteError::NoPath { src, dst })
+    }
+
+    /// The hash-selected (src-post, dst-post, FC) candidate indices. FC
+    /// index is reduced modulo the datacenter's FC count at use time.
+    fn ecmp_choices(flow_hash: u64) -> (usize, usize, usize) {
+        (
+            (flow_hash % CSW_PER_CLUSTER as u64) as usize,
+            ((flow_hash >> 8) % CSW_PER_CLUSTER as u64) as usize,
+            (flow_hash >> 16) as usize,
+        )
+    }
+
+    /// Builds the path through the given equal-cost choices: `src_post` /
+    /// `dst_post` index the 4 CSWs of the source/destination cluster,
+    /// `fc_choice` the FC layer (reduced modulo the FC count).
+    fn route_via(
+        &self,
+        src: HostId,
+        dst: HostId,
+        src_post: usize,
+        dst_post: usize,
+        fc_choice: usize,
+    ) -> Vec<LinkId> {
         let hs = &self.hosts[src.index()];
         let hd = &self.hosts[dst.index()];
         let src_rsw = self.racks[hs.rack.index()].rsw;
@@ -423,9 +555,8 @@ impl Topology {
             return path;
         }
 
-        // Pick the CSW post by flow hash (ECMP among the 4 posts).
-        let src_csw = self.clusters[hs.cluster.index()].csws
-            [(flow_hash % CSW_PER_CLUSTER as u64) as usize];
+        // Pick the CSW post (ECMP among the 4 posts).
+        let src_csw = self.clusters[hs.cluster.index()].csws[src_post];
         path.push(self.link(Node::Switch(src_rsw), Node::Switch(src_csw)));
 
         if hs.cluster == hd.cluster {
@@ -434,12 +565,11 @@ impl Topology {
             return path;
         }
 
-        let dst_csw = self.clusters[hd.cluster.index()].csws
-            [((flow_hash >> 8) % CSW_PER_CLUSTER as u64) as usize];
+        let dst_csw = self.clusters[hd.cluster.index()].csws[dst_post];
 
         if hs.datacenter == hd.datacenter {
             let fcs = &self.datacenters[hs.datacenter.index()].fcs;
-            let fc = fcs[((flow_hash >> 16) % fcs.len() as u64) as usize];
+            let fc = fcs[fc_choice % fcs.len()];
             path.push(self.link(Node::Switch(src_csw), Node::Switch(fc)));
             path.push(self.link(Node::Switch(fc), Node::Switch(dst_csw)));
         } else {
@@ -482,10 +612,7 @@ mod tests {
             sites: vec![
                 crate::spec::SiteSpec {
                     datacenters: vec![crate::spec::DatacenterSpec {
-                        clusters: vec![
-                            ClusterSpec::frontend(8, 4),
-                            ClusterSpec::hadoop(4, 4),
-                        ],
+                        clusters: vec![ClusterSpec::frontend(8, 4), ClusterSpec::hadoop(4, 4)],
                     }],
                 },
                 crate::spec::SiteSpec {
@@ -536,7 +663,10 @@ mod tests {
         // Hadoop cluster is in the same DC (cluster index 1).
         let hadoop_rack = &t.racks()[8];
         assert_eq!(t.rack(RackId(8)).role, HostRole::Hadoop);
-        assert_eq!(t.locality(a, hadoop_rack.hosts[0]), Locality::IntraDatacenter);
+        assert_eq!(
+            t.locality(a, hadoop_rack.hosts[0]),
+            Locality::IntraDatacenter
+        );
 
         // Cache cluster is in the other DC.
         let cache_host = t.hosts_with_role(HostRole::CacheLeader)[0];
@@ -550,22 +680,22 @@ mod tests {
         let a = rack0.hosts[0];
 
         // Intra-rack: host→RSW→host.
-        let r = t.route(a, rack0.hosts[1], 99);
+        let r = t.route(a, rack0.hosts[1], 99).expect("route");
         assert_eq!(r.len(), 2);
 
         // Intra-cluster: host→RSW→CSW→RSW→host.
         let b = t.racks()[1].hosts[0];
-        let r = t.route(a, b, 99);
+        let r = t.route(a, b, 99).expect("route");
         assert_eq!(r.len(), 4);
 
         // Intra-DC: + CSW→FC→CSW.
         let h = t.hosts_with_role(HostRole::Hadoop)[0];
-        let r = t.route(a, h, 99);
+        let r = t.route(a, h, 99).expect("route");
         assert_eq!(r.len(), 6);
 
         // Inter-DC: + CSW→DR→BB→DR→CSW.
         let c = t.hosts_with_role(HostRole::CacheLeader)[0];
-        let r = t.route(a, c, 99);
+        let r = t.route(a, c, 99).expect("route");
         assert_eq!(r.len(), 8);
     }
 
@@ -575,12 +705,19 @@ mod tests {
         let a = t.racks()[0].hosts[0];
         let c = t.hosts_with_role(HostRole::CacheLeader)[0];
         for hash in [0u64, 1, 7, 12345, u64::MAX] {
-            let path = t.route(a, c, hash);
+            let path = t.route(a, c, hash).expect("route");
             let links = t.links();
             assert_eq!(links[path[0].index()].from, Node::Host(a));
-            assert_eq!(links[path.last().expect("non-empty").index()].to, Node::Host(c));
+            assert_eq!(
+                links[path.last().expect("non-empty").index()].to,
+                Node::Host(c)
+            );
             for w in path.windows(2) {
-                assert_eq!(links[w[0].index()].to, links[w[1].index()].from, "path must chain");
+                assert_eq!(
+                    links[w[0].index()].to,
+                    links[w[1].index()].from,
+                    "path must chain"
+                );
             }
         }
     }
@@ -592,7 +729,7 @@ mod tests {
         let b = t.racks()[1].hosts[0];
         let mut seen = std::collections::HashSet::new();
         for hash in 0..4u64 {
-            let path = t.route(a, b, hash);
+            let path = t.route(a, b, hash).expect("route");
             seen.insert(path[1]); // RSW→CSW link identifies the post
         }
         assert_eq!(seen.len(), 4, "4 hashes should hit all 4 posts");
@@ -630,10 +767,120 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "distinct endpoints")]
-    fn route_to_self_panics() {
+    fn route_to_self_is_an_error() {
         let t = small_plant();
         let a = t.racks()[0].hosts[0];
-        let _ = t.route(a, a, 0);
+        assert_eq!(t.route(a, a, 0).unwrap_err(), RouteError::SelfRoute(a));
+        let h = LinkHealth::new(&t);
+        assert_eq!(
+            t.route_healthy(a, a, 0, &h).unwrap_err(),
+            RouteError::SelfRoute(a)
+        );
+    }
+
+    #[test]
+    fn healthy_plant_routes_identically_with_and_without_health() {
+        let t = small_plant();
+        let h = LinkHealth::new(&t);
+        let a = t.racks()[0].hosts[0];
+        let targets = [
+            t.racks()[0].hosts[1],
+            t.racks()[1].hosts[0],
+            t.hosts_with_role(HostRole::Hadoop)[0],
+            t.hosts_with_role(HostRole::CacheLeader)[0],
+        ];
+        for dst in targets {
+            for hash in [0u64, 3, 99, 123_456_789, u64::MAX] {
+                assert_eq!(
+                    t.route_healthy(a, dst, hash, &h).expect("healthy"),
+                    t.route(a, dst, hash).expect("route"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_post_is_routed_around() {
+        let t = small_plant();
+        let a = t.racks()[0].hosts[0];
+        let b = t.racks()[1].hosts[0];
+        // Hash 0 selects post 0; kill it and the route must shift posts
+        // while keeping the same shape and endpoints.
+        let post0 = t.cluster(t.host(a).cluster).csws[0];
+        let mut h = LinkHealth::new(&t);
+        h.set_switch_up(post0, false);
+        let path = t.route_healthy(a, b, 0, &h).expect("reroute");
+        assert_eq!(path.len(), 4);
+        assert!(path.iter().all(|&l| h.link_usable(&t, l)));
+        let links = t.links();
+        assert_eq!(links[path[0].index()].from, Node::Host(a));
+        assert_eq!(
+            links[path.last().expect("non-empty").index()].to,
+            Node::Host(b)
+        );
+        assert_ne!(
+            path,
+            t.route(a, b, 0).expect("route"),
+            "must avoid the dead post"
+        );
+        // An unaffected flow (hash 1 → post 1) keeps its original path.
+        assert_eq!(
+            t.route_healthy(a, b, 1, &h).expect("healthy"),
+            t.route(a, b, 1).expect("route"),
+        );
+    }
+
+    #[test]
+    fn all_posts_dead_means_no_path() {
+        let t = small_plant();
+        let a = t.racks()[0].hosts[0];
+        let b = t.racks()[1].hosts[0];
+        let mut h = LinkHealth::new(&t);
+        for csw in t.cluster(t.host(a).cluster).csws {
+            h.set_switch_up(csw, false);
+        }
+        assert_eq!(
+            t.route_healthy(a, b, 7, &h).unwrap_err(),
+            RouteError::NoPath { src: a, dst: b },
+        );
+        // Intra-rack traffic does not touch the posts and still routes.
+        let r = t
+            .route_healthy(a, t.racks()[0].hosts[1], 7, &h)
+            .expect("intra-rack");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn dead_access_link_has_no_alternative() {
+        let t = small_plant();
+        let a = t.racks()[0].hosts[0];
+        let b = t.racks()[1].hosts[0];
+        let mut h = LinkHealth::new(&t);
+        h.set_link_up(t.host_uplink(a), false);
+        assert!(matches!(
+            t.route_healthy(a, b, 0, &h),
+            Err(RouteError::NoPath { .. })
+        ));
+        // The reverse direction is unaffected: only the uplink is down.
+        assert!(t.route_healthy(b, a, 0, &h).is_ok());
+    }
+
+    #[test]
+    fn dead_fc_shifts_intra_dc_routes() {
+        let t = small_plant();
+        let a = t.racks()[0].hosts[0];
+        let hdp = t.hosts_with_role(HostRole::Hadoop)[0];
+        let baseline = t.route(a, hdp, 5).expect("route");
+        // Kill the FC the baseline path crosses (hop 2 is CSW→FC).
+        let fc = match t.links()[baseline[2].index()].to {
+            Node::Switch(s) => s,
+            Node::Host(_) => unreachable!("hop 2 of a 6-hop path ends at a switch"),
+        };
+        let mut h = LinkHealth::new(&t);
+        h.set_switch_up(fc, false);
+        let rerouted = t.route_healthy(a, hdp, 5, &h).expect("reroute");
+        assert_eq!(rerouted.len(), 6);
+        assert!(rerouted.iter().all(|&l| h.link_usable(&t, l)));
+        assert_ne!(rerouted, baseline);
     }
 }

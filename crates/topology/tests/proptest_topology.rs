@@ -22,7 +22,9 @@ fn arb_spec() -> impl Strategy<Value = TopologySpec> {
         .prop_map(|(clusters, dcs)| TopologySpec {
             sites: vec![SiteSpec {
                 datacenters: (0..dcs)
-                    .map(|_| DatacenterSpec { clusters: clusters.clone() })
+                    .map(|_| DatacenterSpec {
+                        clusters: clusters.clone(),
+                    })
                     .collect(),
             }],
             ..TopologySpec::default()

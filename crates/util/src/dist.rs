@@ -136,7 +136,10 @@ impl Dist {
                     return Err("bimodal p_hi must be in [0,1]".into());
                 }
             }
-            Dist::Mixture { components, weights } => {
+            Dist::Mixture {
+                components,
+                weights,
+            } => {
                 if components.is_empty() || components.len() != weights.len() {
                     return Err("mixture needs equal, non-zero component/weight counts".into());
                 }
@@ -158,7 +161,9 @@ impl Dist {
                 }
                 let last = points.last().expect("len checked").1;
                 if (last - 1.0).abs() > 1e-9 {
-                    return Err(format!("empirical CDF must end at probability 1.0 (got {last})"));
+                    return Err(format!(
+                        "empirical CDF must end at probability 1.0 (got {last})"
+                    ));
                 }
                 if points[0].1 < 0.0 {
                     return Err("empirical CDF probabilities must be non-negative".into());
@@ -220,9 +225,7 @@ impl Distribution for Dist {
                 let ha = hi.powf(*alpha);
                 (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
             }
-            Dist::Weibull { scale, shape } => {
-                scale * (-rng.f64_open().ln()).powf(1.0 / shape)
-            }
+            Dist::Weibull { scale, shape } => scale * (-rng.f64_open().ln()).powf(1.0 / shape),
             Dist::Bimodal { lo, hi, p_hi } => {
                 if rng.chance(*p_hi) {
                     *hi
@@ -230,7 +233,10 @@ impl Distribution for Dist {
                     *lo
                 }
             }
-            Dist::Mixture { components, weights } => {
+            Dist::Mixture {
+                components,
+                weights,
+            } => {
                 let idx = rng.pick_weighted(weights);
                 components[idx].sample(rng)
             }
@@ -276,19 +282,30 @@ mod tests {
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
         let med = sample_median(&d, 2, 100_001);
-        assert!((med - d.median()).abs() < 0.2, "median {med} vs {}", d.median());
+        assert!(
+            (med - d.median()).abs() < 0.2,
+            "median {med} vs {}",
+            d.median()
+        );
     }
 
     #[test]
     fn lognormal_median_matches_parameter() {
-        let d = Dist::LogNormal { median: 200.0, sigma: 1.5 };
+        let d = Dist::LogNormal {
+            median: 200.0,
+            sigma: 1.5,
+        };
         let med = sample_median(&d, 3, 100_001);
         assert!((med - 200.0).abs() / 200.0 < 0.05, "median {med}");
     }
 
     #[test]
     fn bounded_pareto_respects_bounds() {
-        let d = Dist::ParetoBounded { alpha: 1.2, lo: 100.0, hi: 1e7 };
+        let d = Dist::ParetoBounded {
+            alpha: 1.2,
+            lo: 100.0,
+            hi: 1e7,
+        };
         let mut rng = Rng::new(4);
         for _ in 0..50_000 {
             let v = d.sample(&mut rng);
@@ -302,7 +319,11 @@ mod tests {
 
     #[test]
     fn bimodal_hits_both_modes_at_given_rate() {
-        let d = Dist::Bimodal { lo: 66.0, hi: 1500.0, p_hi: 0.4 };
+        let d = Dist::Bimodal {
+            lo: 66.0,
+            hi: 1500.0,
+            p_hi: 0.4,
+        };
         let mut rng = Rng::new(6);
         let n = 100_000;
         let hi_count = (0..n).filter(|_| d.sample(&mut rng) == 1500.0).count();
@@ -312,7 +333,10 @@ mod tests {
 
     #[test]
     fn weibull_median_analytic() {
-        let d = Dist::Weibull { scale: 5.0, shape: 0.7 };
+        let d = Dist::Weibull {
+            scale: 5.0,
+            shape: 0.7,
+        };
         let med = sample_median(&d, 7, 100_001);
         let want = d.median();
         assert!((med - want).abs() / want < 0.05, "median {med} want {want}");
@@ -349,10 +373,36 @@ mod tests {
     fn validation_catches_bad_parameters() {
         assert!(Dist::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
         assert!(Dist::Exponential { mean: 0.0 }.validate().is_err());
-        assert!(Dist::LogNormal { median: -1.0, sigma: 1.0 }.validate().is_err());
-        assert!(Dist::ParetoBounded { alpha: 1.0, lo: 5.0, hi: 2.0 }.validate().is_err());
-        assert!(Dist::Bimodal { lo: 1.0, hi: 2.0, p_hi: 1.5 }.validate().is_err());
-        assert!(Dist::Mixture { components: vec![], weights: vec![] }.validate().is_err());
-        assert!(Dist::Empirical { points: vec![(1.0, 0.0), (2.0, 0.9)] }.validate().is_err());
+        assert!(Dist::LogNormal {
+            median: -1.0,
+            sigma: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::ParetoBounded {
+            alpha: 1.0,
+            lo: 5.0,
+            hi: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::Bimodal {
+            lo: 1.0,
+            hi: 2.0,
+            p_hi: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::Mixture {
+            components: vec![],
+            weights: vec![]
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::Empirical {
+            points: vec![(1.0, 0.0), (2.0, 0.9)]
+        }
+        .validate()
+        .is_err());
     }
 }

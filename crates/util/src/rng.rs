@@ -239,7 +239,10 @@ mod tests {
         }
         let expected = n as f64 / 7.0;
         for &c in &counts {
-            assert!((c as f64 - expected).abs() < expected * 0.1, "counts {counts:?}");
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "counts {counts:?}"
+            );
         }
     }
 

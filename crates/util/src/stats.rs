@@ -148,7 +148,11 @@ impl EmpiricalCdf {
         let points = max_points.min(n);
         (0..points)
             .map(|i| {
-                let idx = if points == 1 { n - 1 } else { i * (n - 1) / (points - 1) };
+                let idx = if points == 1 {
+                    n - 1
+                } else {
+                    i * (n - 1) / (points - 1)
+                };
                 (self.sorted[idx], (idx + 1) as f64 / n as f64)
             })
             .collect()

@@ -11,11 +11,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An instant on the simulation clock, in nanoseconds since scenario start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -110,7 +114,10 @@ impl SimDuration {
 
     /// Constructs a span from fractional seconds (truncating below 1 ns).
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9) as u64)
     }
 
@@ -171,7 +178,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow: rhs is later than self"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow: rhs is later than self"),
+        )
     }
 }
 
@@ -254,8 +265,14 @@ mod tests {
         let t = SimTime::from_secs(2) + SimDuration::from_millis(500);
         assert_eq!(t.as_millis(), 2_500);
         assert_eq!((t - SimTime::from_secs(1)).as_millis(), 1_500);
-        assert_eq!(SimDuration::from_micros(3) * 4, SimDuration::from_micros(12));
-        assert_eq!(SimDuration::from_micros(12) / 4, SimDuration::from_micros(3));
+        assert_eq!(
+            SimDuration::from_micros(3) * 4,
+            SimDuration::from_micros(12)
+        );
+        assert_eq!(
+            SimDuration::from_micros(12) / 4,
+            SimDuration::from_micros(3)
+        );
     }
 
     #[test]

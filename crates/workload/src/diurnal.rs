@@ -27,7 +27,11 @@ impl DiurnalPattern {
     /// §4.2 observes "over short enough periods of time, the graph looks
     /// essentially flat".
     pub fn flat() -> DiurnalPattern {
-        DiurnalPattern { amplitude: 0.0, period: SimDuration::from_secs(86_400), phase: 0.0 }
+        DiurnalPattern {
+            amplitude: 0.0,
+            period: SimDuration::from_secs(86_400),
+            phase: 0.0,
+        }
     }
 
     /// The paper's 2× day/night swing over a 24-hour period.
@@ -42,7 +46,11 @@ impl DiurnalPattern {
     /// A compressed day for experiments that cannot simulate 24 hours of
     /// packets (see DESIGN.md §3 "Compressed day").
     pub fn compressed(period: SimDuration) -> DiurnalPattern {
-        DiurnalPattern { amplitude: 1.0 / 3.0, period, phase: 0.0 }
+        DiurnalPattern {
+            amplitude: 1.0 / 3.0,
+            period,
+            phase: 0.0,
+        }
     }
 
     /// The rate multiplier at time `t`.
@@ -51,8 +59,7 @@ impl DiurnalPattern {
         if self.amplitude == 0.0 {
             return 1.0;
         }
-        let frac = (t.as_nanos() % self.period.as_nanos()) as f64
-            / self.period.as_nanos() as f64;
+        let frac = (t.as_nanos() % self.period.as_nanos()) as f64 / self.period.as_nanos() as f64;
         1.0 + self.amplitude * (std::f64::consts::TAU * (frac + self.phase)).sin()
     }
 }

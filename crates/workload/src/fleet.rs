@@ -72,7 +72,11 @@ pub fn demand_tables() -> HashMap<HostRole, Vec<DemandEntry>> {
     use HostRole::*;
     use Locality::*;
     let mut t = HashMap::new();
-    let e = |dst_role, locality, weight| DemandEntry { dst_role, locality, weight };
+    let e = |dst_role, locality, weight| DemandEntry {
+        dst_role,
+        locality,
+        weight,
+    };
 
     // Web (FE locality 2.7 / 81.3 / 7.3 / 8.6; Table 2: Cache 63.1,
     // MF 15.2, SLB 5.6, Rest 16.1).
@@ -172,7 +176,13 @@ pub fn demand_tables() -> HashMap<HostRole, Vec<DemandEntry>> {
 /// the 21.4 % generated by unmodeled cluster types is renormalized away).
 pub fn cluster_type_shares() -> [(sonet_topology::ClusterType, f64); 5] {
     use sonet_topology::ClusterType::*;
-    [(Hadoop, 23.7), (Frontend, 21.5), (Service, 18.0), (Cache, 10.2), (Database, 5.2)]
+    [
+        (Hadoop, 23.7),
+        (Frontend, 21.5),
+        (Service, 18.0),
+        (Cache, 10.2),
+        (Database, 5.2),
+    ]
 }
 
 /// The fleet-tier generator.
@@ -229,8 +239,7 @@ impl FleetModel {
     /// bytes are counted once).
     pub fn generate(&mut self) -> Vec<FlowRecord> {
         let n_hosts = self.topo.hosts().len();
-        let mut out =
-            Vec::with_capacity(n_hosts * self.cfg.samples_per_host as usize);
+        let mut out = Vec::with_capacity(n_hosts * self.cfg.samples_per_host as usize);
         for hi in 0..n_hosts {
             let src = HostId(hi as u32);
             for _ in 0..self.cfg.samples_per_host {
@@ -393,8 +402,12 @@ mod tests {
         Arc::new(
             Topology::build(TopologySpec {
                 sites: vec![
-                    SiteSpec { datacenters: vec![dc(0)] },
-                    SiteSpec { datacenters: vec![dc(2)] },
+                    SiteSpec {
+                        datacenters: vec![dc(0)],
+                    },
+                    SiteSpec {
+                        datacenters: vec![dc(2)],
+                    },
                 ],
                 ..TopologySpec::default()
             })
@@ -419,7 +432,10 @@ mod tests {
         let topo = fleet_topo();
         let mut model = FleetModel::new(
             Arc::clone(&topo),
-            FleetConfig { samples_per_host: 60, ..FleetConfig::default() },
+            FleetConfig {
+                samples_per_host: 60,
+                ..FleetConfig::default()
+            },
             11,
         );
         let samples = model.generate();
@@ -429,7 +445,11 @@ mod tests {
         let total = hadoop.total_bytes() as f64;
         let by_loc = hadoop.bytes_by(|r| r.locality);
         let frac = |l: Locality| *by_loc.get(&l).unwrap_or(&0) as f64 / total * 100.0;
-        assert!((frac(Locality::IntraRack) - 13.3).abs() < 4.0, "rack {}", frac(Locality::IntraRack));
+        assert!(
+            (frac(Locality::IntraRack) - 13.3).abs() < 4.0,
+            "rack {}",
+            frac(Locality::IntraRack)
+        );
         assert!(
             (frac(Locality::IntraCluster) - 80.9).abs() < 5.0,
             "cluster {}",
@@ -443,7 +463,10 @@ mod tests {
         let topo = fleet_topo();
         let mut model = FleetModel::new(
             Arc::clone(&topo),
-            FleetConfig { samples_per_host: 80, ..FleetConfig::default() },
+            FleetConfig {
+                samples_per_host: 80,
+                ..FleetConfig::default()
+            },
             13,
         );
         let samples = model.generate();
@@ -458,8 +481,16 @@ mod tests {
             "cache {}",
             frac(HostRole::CacheFollower)
         );
-        assert!((frac(HostRole::Multifeed) - 15.2).abs() < 5.0, "mf {}", frac(HostRole::Multifeed));
-        assert!((frac(HostRole::Slb) - 5.6).abs() < 3.0, "slb {}", frac(HostRole::Slb));
+        assert!(
+            (frac(HostRole::Multifeed) - 15.2).abs() < 5.0,
+            "mf {}",
+            frac(HostRole::Multifeed)
+        );
+        assert!(
+            (frac(HostRole::Slb) - 5.6).abs() < 3.0,
+            "slb {}",
+            frac(HostRole::Slb)
+        );
     }
 
     #[test]
@@ -487,7 +518,10 @@ mod tests {
         let topo = fleet_topo();
         let mut model = FleetModel::new(
             Arc::clone(&topo),
-            FleetConfig { samples_per_host: 30, ..FleetConfig::default() },
+            FleetConfig {
+                samples_per_host: 30,
+                ..FleetConfig::default()
+            },
             19,
         );
         let samples = model.generate();

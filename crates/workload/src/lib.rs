@@ -35,5 +35,7 @@ pub use diurnal::DiurnalPattern;
 pub use fleet::{FleetConfig, FleetModel};
 pub use literature::LiteratureWorkload;
 pub use pool::ConnPool;
-pub use profile::{CallPattern, DestSelector, HotObjectConfig, LoadBalance, PoolMode, RpcProfile, ServiceProfiles};
+pub use profile::{
+    CallPattern, DestSelector, HotObjectConfig, LoadBalance, PoolMode, RpcProfile, ServiceProfiles,
+};
 pub use workload::{Workload, WorkloadError};

@@ -46,10 +46,19 @@ impl Default for LiteratureConfig {
     fn default() -> Self {
         LiteratureConfig {
             p_rack_local: 0.8,
-            on_ms: Dist::LogNormal { median: 80.0, sigma: 0.8 },
-            off_ms: Dist::LogNormal { median: 120.0, sigma: 1.0 },
+            on_ms: Dist::LogNormal {
+                median: 80.0,
+                sigma: 0.8,
+            },
+            off_ms: Dist::LogNormal {
+                median: 120.0,
+                sigma: 1.0,
+            },
             on_rate_per_sec: 120.0,
-            segments_per_msg: Dist::LogNormal { median: 20.0, sigma: 0.9 },
+            segments_per_msg: Dist::LogNormal {
+                median: 20.0,
+                sigma: 0.9,
+            },
             max_partners: 4,
         }
     }
@@ -106,7 +115,13 @@ impl LiteratureWorkload {
                 });
             }
         }
-        LiteratureWorkload { topo, cfg, hosts, generated_until: SimTime::ZERO, issued: 0 }
+        LiteratureWorkload {
+            topo,
+            cfg,
+            hosts,
+            generated_until: SimTime::ZERO,
+            issued: 0,
+        }
     }
 
     /// Bulk messages issued so far.
@@ -123,8 +138,7 @@ impl LiteratureWorkload {
         let mss = sim.config().mss as f64;
         for i in 0..self.hosts.len() {
             loop {
-                let (phase_until, next_msg) =
-                    (self.hosts[i].phase_until, self.hosts[i].next_msg);
+                let (phase_until, next_msg) = (self.hosts[i].phase_until, self.hosts[i].next_msg);
                 let next_event = phase_until.min(next_msg);
                 if next_event >= until {
                     break;
@@ -178,8 +192,7 @@ impl LiteratureWorkload {
             return Some(*rng.pick(&h.partners));
         }
         let rack = self.topo.rack(info.rack);
-        let rack_peers: Vec<HostId> =
-            rack.hosts.iter().copied().filter(|&x| x != src).collect();
+        let rack_peers: Vec<HostId> = rack.hosts.iter().copied().filter(|&x| x != src).collect();
         if rng.chance(self.cfg.p_rack_local) && !rack_peers.is_empty() {
             return Some(*rng.pick(&rack_peers));
         }
@@ -252,15 +265,19 @@ mod tests {
             ClusterId(0),
             5,
         );
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
         let mut t = SimTime::ZERO;
         for _ in 0..20 {
             t += SimDuration::from_millis(100);
             wl.generate(&mut sim, t).expect("generate");
             sim.run_until(t);
         }
-        assert!(wl.issued_messages() > 100, "issued {}", wl.issued_messages());
+        assert!(
+            wl.issued_messages() > 100,
+            "issued {}",
+            wl.issued_messages()
+        );
         let (out, _) = sim.finish();
         // Count bytes by locality from host uplinks vs CSW-bound links:
         // rack-local traffic never crosses an RSW uplink. Compare total
@@ -272,12 +289,11 @@ mod tests {
             let c = out.link_counters[i].tx_bytes;
             match (link.from, link.to) {
                 (Node::Host(_), _) => host_up += c,
-                (Node::Switch(s), Node::Switch(d)) => {
+                (Node::Switch(s), Node::Switch(d))
                     if topo.switches()[s.index()].kind == SwitchKind::Rsw
-                        && topo.switches()[d.index()].kind == SwitchKind::Csw
-                    {
-                        rsw_up += c;
-                    }
+                        && topo.switches()[d.index()].kind == SwitchKind::Csw =>
+                {
+                    rsw_up += c;
                 }
                 _ => {}
             }
@@ -299,9 +315,10 @@ mod tests {
             ClusterId(0),
             7,
         );
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
-        wl.generate(&mut sim, SimTime::from_secs(5)).expect("generate");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+        wl.generate(&mut sim, SimTime::from_secs(5))
+            .expect("generate");
         for h in &wl.hosts {
             assert!(h.partners.len() <= wl.cfg.max_partners + 1);
         }
@@ -313,7 +330,10 @@ mod tests {
         let topo = topo();
         let wl = LiteratureWorkload::new(
             Arc::clone(&topo),
-            LiteratureConfig { p_rack_local: 1.0, ..LiteratureConfig::default() },
+            LiteratureConfig {
+                p_rack_local: 1.0,
+                ..LiteratureConfig::default()
+            },
             ClusterId(0),
             9,
         );

@@ -48,6 +48,7 @@ impl ConnPool {
     /// Returns one of up to `width` pooled connections for
     /// `(src, dst, port)`, opening members lazily and picking uniformly
     /// once the pool is warm.
+    #[allow(clippy::too_many_arguments)]
     pub fn get_one_of<T: PacketTap>(
         &mut self,
         sim: &mut Simulator<T>,
@@ -67,6 +68,18 @@ impl ConnPool {
             return Ok(c);
         }
         Ok(entry[rng.below(entry.len() as u64) as usize])
+    }
+
+    /// Drops a connection the engine closed under it (e.g. aborted after
+    /// a fault made its server unreachable), so the next call opens a
+    /// replacement instead of retrying a dead 5-tuple forever.
+    pub fn evict(&mut self, src: HostId, dst: HostId, port: u16, conn: ConnId) {
+        if let Some(entry) = self.conns.get_mut(&(src, dst, port)) {
+            if let Some(pos) = entry.iter().position(|&c| c == conn) {
+                entry.remove(pos);
+                self.total -= 1;
+            }
+        }
     }
 
     /// Number of live pooled connections.
@@ -93,20 +106,28 @@ mod tests {
             Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 4)]))
                 .expect("valid"),
         );
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
         let mut pool = ConnPool::new();
         let a = topo.racks()[0].hosts[0];
         let b = topo.racks()[1].hosts[0];
-        let c1 = pool.get_or_open(&mut sim, SimTime::ZERO, a, b, 80).expect("open");
-        let c2 = pool.get_or_open(&mut sim, SimTime::ZERO, a, b, 80).expect("reuse");
+        let c1 = pool
+            .get_or_open(&mut sim, SimTime::ZERO, a, b, 80)
+            .expect("open");
+        let c2 = pool
+            .get_or_open(&mut sim, SimTime::ZERO, a, b, 80)
+            .expect("reuse");
         assert_eq!(c1, c2);
         assert_eq!(pool.len(), 1);
         // Different port → different connection.
-        let c3 = pool.get_or_open(&mut sim, SimTime::ZERO, a, b, 443).expect("open");
+        let c3 = pool
+            .get_or_open(&mut sim, SimTime::ZERO, a, b, 443)
+            .expect("open");
         assert_ne!(c1, c3);
         // Reverse direction → different connection.
-        let c4 = pool.get_or_open(&mut sim, SimTime::ZERO, b, a, 80).expect("open");
+        let c4 = pool
+            .get_or_open(&mut sim, SimTime::ZERO, b, a, 80)
+            .expect("open");
         assert_ne!(c1, c4);
         assert_eq!(pool.len(), 3);
         assert!(!pool.is_empty());
@@ -118,8 +139,8 @@ mod tests {
             Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 4)]))
                 .expect("valid"),
         );
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
         let mut pool = ConnPool::new();
         let mut rng = sonet_util::Rng::new(3);
         let a = topo.racks()[0].hosts[0];

@@ -275,17 +275,31 @@ impl ServiceProfiles {
                 if p.burst_window_us < 0.0 {
                     return Err(format!("{}: negative burst window", p.name));
                 }
-                p.burst_size.validate().map_err(|e| format!("{}: burst {e}", p.name))?;
-                p.rpc.request.validate().map_err(|e| format!("{}: req {e}", p.name))?;
-                p.rpc.response.validate().map_err(|e| format!("{}: resp {e}", p.name))?;
+                p.burst_size
+                    .validate()
+                    .map_err(|e| format!("{}: burst {e}", p.name))?;
+                p.rpc
+                    .request
+                    .validate()
+                    .map_err(|e| format!("{}: req {e}", p.name))?;
+                p.rpc
+                    .response
+                    .validate()
+                    .map_err(|e| format!("{}: resp {e}", p.name))?;
                 p.rpc
                     .service_us
                     .validate()
                     .map_err(|e| format!("{}: service {e}", p.name))?;
             }
         }
-        self.hadoop_phases.busy_secs.validate().map_err(|e| format!("busy {e}"))?;
-        self.hadoop_phases.quiet_secs.validate().map_err(|e| format!("quiet {e}"))?;
+        self.hadoop_phases
+            .busy_secs
+            .validate()
+            .map_err(|e| format!("busy {e}"))?;
+        self.hadoop_phases
+            .quiet_secs
+            .validate()
+            .map_err(|e| format!("quiet {e}"))?;
         if !(0.0..=1.0).contains(&self.hadoop_phases.p_start_busy) {
             return Err("p_start_busy must be a probability".into());
         }
@@ -325,9 +339,12 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 2.0, // pages/s per web host (scaled)
                 burst_size: Dist::Uniform { lo: 10.0, hi: 21.0 }, // ~15 objects/page
                 burst_window_us: 3_000.0,
-                dest: RoleInCluster { role: CacheFollower, lb: LoadBalance::Uniform },
+                dest: RoleInCluster {
+                    role: CacheFollower,
+                    lb: LoadBalance::Uniform,
+                },
                 rpc: RpcProfile {
-                    request: ln(120.0, 0.6),  // keys + flags
+                    request: ln(120.0, 0.6), // keys + flags
                     // Object values: mostly hundreds of bytes with a heavy
                     // tail [10]; keeps full-MTU packets at the paper's
                     // 5-10 % (§6.1).
@@ -343,7 +360,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 2.0,
                 burst_size: Dist::Uniform { lo: 2.0, hi: 6.0 }, // ~4 writes/page
                 burst_window_us: 5_000.0,
-                dest: RoleInCluster { role: CacheFollower, lb: LoadBalance::Uniform },
+                dest: RoleInCluster {
+                    role: CacheFollower,
+                    lb: LoadBalance::Uniform,
+                },
                 rpc: RpcProfile {
                     request: ln(2000.0, 1.0), // rendered fragments written back
                     response: Dist::Constant(100.0),
@@ -358,7 +378,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 2.0,
                 burst_size: Dist::Constant(2.0),
                 burst_window_us: 4_000.0,
-                dest: RoleInCluster { role: Multifeed, lb: LoadBalance::Uniform },
+                dest: RoleInCluster {
+                    role: Multifeed,
+                    lb: LoadBalance::Uniform,
+                },
                 rpc: RpcProfile {
                     request: ln(2000.0, 0.5),  // viewer context
                     response: ln(1200.0, 0.9), // ranked story ids + snippets
@@ -375,7 +398,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 2.0,
                 burst_size: Dist::Constant(4.0),
                 burst_window_us: 10_000.0,
-                dest: RoleAnywhere { role: Misc, p_remote_dc: 0.15 },
+                dest: RoleAnywhere {
+                    role: Misc,
+                    p_remote_dc: 0.15,
+                },
                 rpc: RpcProfile {
                     request: ln(850.0, 0.6),
                     response: ln(900.0, 0.8),
@@ -396,7 +422,10 @@ impl Default for ServiceProfiles {
             bursts_per_sec: 2.0, // auto-scaled by web/slb host ratio at build
             burst_size: Dist::Constant(1.0),
             burst_window_us: 0.0,
-            dest: RoleInCluster { role: Web, lb: LoadBalance::Uniform },
+            dest: RoleInCluster {
+                role: Web,
+                lb: LoadBalance::Uniform,
+            },
             rpc: RpcProfile {
                 request: ln(550.0, 0.5),   // HTTP GET + cookies
                 response: ln(1900.0, 0.5), // compressed page (Table 2: SLB gets 5.6 %)
@@ -417,7 +446,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 4.0, // misses + write-throughs
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: CacheLeader, p_remote_dc: 0.2 },
+                dest: RoleAnywhere {
+                    role: CacheLeader,
+                    p_remote_dc: 0.2,
+                },
                 rpc: RpcProfile {
                     request: ln(350.0, 0.8), // write-through values + fetch keys
                     response: ln(600.0, 1.0),
@@ -432,7 +464,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 6.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: Misc, p_remote_dc: 0.1 },
+                dest: RoleAnywhere {
+                    role: Misc,
+                    p_remote_dc: 0.1,
+                },
                 rpc: RpcProfile {
                     request: ln(550.0, 0.7),
                     response: ln(500.0, 0.7),
@@ -456,7 +491,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 18.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: CacheFollower, p_remote_dc: 0.25 },
+                dest: RoleAnywhere {
+                    role: CacheFollower,
+                    p_remote_dc: 0.25,
+                },
                 rpc: RpcProfile {
                     request: ln(500.0, 1.1), // invalidations + object fills
                     response: Dist::Constant(100.0),
@@ -471,7 +509,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 3.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleInCluster { role: CacheLeader, lb: LoadBalance::Uniform },
+                dest: RoleInCluster {
+                    role: CacheLeader,
+                    lb: LoadBalance::Uniform,
+                },
                 rpc: RpcProfile {
                     request: ln(300.0, 0.5),
                     response: ln(300.0, 0.5),
@@ -486,7 +527,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 3.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: Multifeed, p_remote_dc: 0.1 },
+                dest: RoleAnywhere {
+                    role: Multifeed,
+                    p_remote_dc: 0.1,
+                },
                 rpc: RpcProfile {
                     request: ln(550.0, 0.5),
                     response: ln(500.0, 0.6),
@@ -501,7 +545,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 5.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: Db, p_remote_dc: 0.35 },
+                dest: RoleAnywhere {
+                    role: Db,
+                    p_remote_dc: 0.35,
+                },
                 rpc: RpcProfile {
                     request: ln(350.0, 0.5),  // SQL query
                     response: ln(800.0, 1.0), // rows
@@ -525,7 +572,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 30.0, // per host while busy
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: HadoopPlacement { p_rack: 0.757, rack_skew: 1.1 },
+                dest: HadoopPlacement {
+                    p_rack: 0.757,
+                    rack_skew: 1.1,
+                },
                 rpc: RpcProfile {
                     // 72 % tiny task/metadata exchanges, 23 % block-piece
                     // moves, 5 % heavy shuffle/output segments (> 1 MB).
@@ -533,7 +583,11 @@ impl Default for ServiceProfiles {
                         components: vec![
                             ln(480.0, 1.1),
                             ln(15_000.0, 1.2),
-                            Dist::ParetoBounded { alpha: 1.05, lo: 1.0e6, hi: 1.6e7 },
+                            Dist::ParetoBounded {
+                                alpha: 1.05,
+                                lo: 1.0e6,
+                                hi: 1.6e7,
+                            },
                         ],
                         weights: vec![0.72, 0.23, 0.05],
                     },
@@ -549,7 +603,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 15.0, // heartbeats/task control, phase-independent
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: HadoopPlacement { p_rack: 0.10, rack_skew: 0.0 },
+                dest: HadoopPlacement {
+                    p_rack: 0.10,
+                    rack_skew: 0.0,
+                },
                 rpc: RpcProfile {
                     request: ln(300.0, 0.5),
                     response: ln(400.0, 0.5),
@@ -571,7 +628,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 10.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: Misc, p_remote_dc: 0.1 },
+                dest: RoleAnywhere {
+                    role: Misc,
+                    p_remote_dc: 0.1,
+                },
                 rpc: RpcProfile {
                     request: ln(500.0, 0.6),
                     response: ln(2500.0, 0.9),
@@ -586,7 +646,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 2.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: Multifeed, p_remote_dc: 0.2 },
+                dest: RoleAnywhere {
+                    role: Multifeed,
+                    p_remote_dc: 0.2,
+                },
                 rpc: RpcProfile {
                     request: ln(900.0, 0.7),
                     response: ln(900.0, 0.7),
@@ -608,7 +671,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 2.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleInCluster { role: Db, lb: LoadBalance::Uniform },
+                dest: RoleInCluster {
+                    role: Db,
+                    lb: LoadBalance::Uniform,
+                },
                 rpc: RpcProfile {
                     request: ln(3000.0, 1.0), // binlog batches
                     response: Dist::Constant(100.0),
@@ -638,7 +704,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 2.2,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: Db, p_remote_dc: 1.0 },
+                dest: RoleAnywhere {
+                    role: Db,
+                    p_remote_dc: 1.0,
+                },
                 rpc: RpcProfile {
                     request: ln(3000.0, 1.0),
                     response: Dist::Constant(100.0),
@@ -661,7 +730,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 2.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: HadoopPlacement { p_rack: 1.0, rack_skew: 0.0 }, // same-rack shard pair
+                dest: HadoopPlacement {
+                    p_rack: 1.0,
+                    rack_skew: 0.0,
+                }, // same-rack shard pair
                 rpc: RpcProfile {
                     request: ln(900.0, 0.8),
                     response: ln(900.0, 0.8),
@@ -676,7 +748,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 5.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleInCluster { role: Misc, lb: LoadBalance::Uniform },
+                dest: RoleInCluster {
+                    role: Misc,
+                    lb: LoadBalance::Uniform,
+                },
                 rpc: RpcProfile {
                     request: ln(800.0, 0.8),
                     response: ln(1500.0, 1.0),
@@ -691,7 +766,10 @@ impl Default for ServiceProfiles {
                 bursts_per_sec: 3.0,
                 burst_size: Dist::Constant(1.0),
                 burst_window_us: 0.0,
-                dest: RoleAnywhere { role: Misc, p_remote_dc: 0.5 },
+                dest: RoleAnywhere {
+                    role: Misc,
+                    p_remote_dc: 0.5,
+                },
                 rpc: RpcProfile {
                     request: ln(800.0, 0.8),
                     response: ln(1200.0, 1.0),
@@ -734,7 +812,9 @@ mod tests {
 
     #[test]
     fn default_profiles_validate() {
-        ServiceProfiles::default().validate().expect("defaults valid");
+        ServiceProfiles::default()
+            .validate()
+            .expect("defaults valid");
     }
 
     #[test]
@@ -775,7 +855,11 @@ mod tests {
             _ => panic!("unexpected dist in web profile"),
         };
         let rate_of = |c: &CallPattern| c.bursts_per_sec * mean(&c.burst_size);
-        let bytes: Vec<f64> = p.web.iter().map(|c| rate_of(c) * mean(&c.rpc.request)).collect();
+        let bytes: Vec<f64> = p
+            .web
+            .iter()
+            .map(|c| rate_of(c) * mean(&c.rpc.request))
+            .collect();
         let cache = bytes[0] + bytes[1];
         let mf = bytes[2];
         let misc = bytes[3];
@@ -784,10 +868,22 @@ mod tests {
         let slb = 2.0 * mean(&p.slb[0].rpc.response);
         let total = cache + mf + misc + slb;
         // Table 2 Web row: Cache 63.1, MF 15.2, SLB 5.6, Rest 16.1.
-        assert!((cache / total - 0.631).abs() < 0.08, "cache share {}", cache / total);
+        assert!(
+            (cache / total - 0.631).abs() < 0.08,
+            "cache share {}",
+            cache / total
+        );
         assert!((mf / total - 0.152).abs() < 0.05, "mf share {}", mf / total);
-        assert!((slb / total - 0.056).abs() < 0.04, "slb share {}", slb / total);
-        assert!((misc / total - 0.161).abs() < 0.06, "misc share {}", misc / total);
+        assert!(
+            (slb / total - 0.056).abs() < 0.04,
+            "slb share {}",
+            slb / total
+        );
+        assert!(
+            (misc / total - 0.161).abs() < 0.06,
+            "misc share {}",
+            misc / total
+        );
     }
 
     #[test]

@@ -89,6 +89,8 @@ pub struct Workload {
     skipped_calls: u64,
     /// Total calls issued.
     issued_calls: u64,
+    /// Pooled connections replaced after the engine aborted them (faults).
+    reopened_conns: u64,
 }
 
 impl Workload {
@@ -166,7 +168,10 @@ impl Workload {
                             } else {
                                 1.0
                             };
-                            let mut st = PatternState { next_burst: SimTime::ZERO, rate_mult };
+                            let mut st = PatternState {
+                                next_burst: SimTime::ZERO,
+                                rate_mult,
+                            };
                             // Stagger the first burst.
                             let rate = effective_rate(&profiles, p, &st, SimTime::ZERO, 1.0);
                             st.next_burst = if rate > 0.0 {
@@ -190,10 +195,21 @@ impl Workload {
                         }
                     });
                     // Per-agent shuffled order over the cluster's racks.
-                    let mut rack_order: Vec<u32> =
-                        cluster.racks.iter().map(|r| r.0).filter(|&r| r != rid.0).collect();
+                    let mut rack_order: Vec<u32> = cluster
+                        .racks
+                        .iter()
+                        .map(|r| r.0)
+                        .filter(|&r| r != rid.0)
+                        .collect();
                     rng.shuffle(&mut rack_order);
-                    agents.push(Agent { host: hid, role, rng, patterns, phase, rack_order });
+                    agents.push(Agent {
+                        host: hid,
+                        role,
+                        rng,
+                        patterns,
+                        phase,
+                        rack_order,
+                    });
                 }
             }
         }
@@ -211,6 +227,7 @@ impl Workload {
             zipf_cache: HashMap::new(),
             skipped_calls: 0,
             issued_calls: 0,
+            reopened_conns: 0,
         })
     }
 
@@ -222,6 +239,12 @@ impl Workload {
     /// Calls skipped for lack of any feasible destination.
     pub fn skipped_calls(&self) -> u64 {
         self.skipped_calls
+    }
+
+    /// Pooled connections replaced after the engine aborted them (only
+    /// nonzero when faults are injected).
+    pub fn reopened_conns(&self) -> u64 {
+        self.reopened_conns
     }
 
     /// Live pooled connections.
@@ -277,7 +300,9 @@ impl Workload {
     fn advance_phase(&mut self, ai: usize, until: SimTime) {
         let phases = self.profiles.hadoop_phases.clone();
         let agent = &mut self.agents[ai];
-        let Some(phase) = agent.phase.as_mut() else { return };
+        let Some(phase) = agent.phase.as_mut() else {
+            return;
+        };
         while phase.until < until {
             phase.busy = !phase.busy;
             let dur = if phase.busy {
@@ -285,7 +310,7 @@ impl Workload {
             } else {
                 phases.quiet_secs.sample(&mut agent.rng)
             };
-            phase.until = phase.until + SimDuration::from_secs_f64(dur.max(0.1));
+            phase.until += SimDuration::from_secs_f64(dur.max(0.1));
         }
     }
 
@@ -318,8 +343,7 @@ impl Workload {
                             0.0
                         }
                     };
-                    let call_at = burst_at
-                        + SimDuration::from_nanos((offset_us * 1_000.0) as u64);
+                    let call_at = burst_at + SimDuration::from_nanos((offset_us * 1_000.0) as u64);
                     self.issue_call(sim, ai, pattern, call_at)?;
                 }
             }
@@ -393,7 +417,32 @@ impl Workload {
                         &mut agent.rng,
                     )?
                 };
-                sim.send_message(conn, at, req, resp, service)?;
+                match sim.send_message(conn, at, req, resp, service) {
+                    Ok(()) => {}
+                    Err(SimError::ConnClosed(_)) => {
+                        // The engine aborted this pooled connection under
+                        // us (a fault made its server unreachable, or the
+                        // handshake gave up). Evict the dead 5-tuple and
+                        // retry once on a fresh connection — degraded
+                        // service, not a wedged workload.
+                        self.pool.evict(src, dst, port, conn);
+                        self.reopened_conns += 1;
+                        let conn = {
+                            let agent = &mut self.agents[ai];
+                            self.pool.get_one_of(
+                                sim,
+                                at,
+                                src,
+                                dst,
+                                port,
+                                pattern.pool_width,
+                                &mut agent.rng,
+                            )?
+                        };
+                        sim.send_message(conn, at, req, resp, service)?;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             PoolMode::Ephemeral => {
                 let conn = sim.open_connection(at, src, dst, port)?;
@@ -423,17 +472,15 @@ impl Workload {
     /// §5.2 hot-object dynamics: a share of Web→cache gets targets the
     /// current hot object's home follower until mitigation (replication /
     /// web-side caching) spreads the burst again.
-    fn hot_object_dest(
-        &mut self,
-        ai: usize,
-        pattern: &CallPattern,
-        at: SimTime,
-    ) -> Option<HostId> {
+    fn hot_object_dest(&mut self, ai: usize, pattern: &CallPattern, at: SimTime) -> Option<HostId> {
         let cfg = &self.profiles.hot_objects;
         if cfg.hot_fraction <= 0.0 {
             return None;
         }
-        let DestSelector::RoleInCluster { role: HostRole::CacheFollower, .. } = pattern.dest
+        let DestSelector::RoleInCluster {
+            role: HostRole::CacheFollower,
+            ..
+        } = pattern.dest
         else {
             return None;
         };
@@ -473,8 +520,10 @@ impl Workload {
         let src_info = *self.topo.host(src);
         match *selector {
             DestSelector::RoleInCluster { role, lb } => {
-                let hosts =
-                    self.topo.hosts_with_role_in_cluster(src_info.cluster, role).to_vec();
+                let hosts = self
+                    .topo
+                    .hosts_with_role_in_cluster(src_info.cluster, role)
+                    .to_vec();
                 self.pick_from(ai, &hosts, src, lb)
             }
             DestSelector::RoleInDatacenter { role } => {
@@ -557,7 +606,11 @@ impl Workload {
                 let cum = self.zipf_cumulative(order_len as u32, rack_skew);
                 let idx = cum.partition_point(|&c| c < u).min(order_len - 1);
                 let rack_id = self.agents[ai].rack_order[idx];
-                let hosts = self.topo.rack(sonet_topology::RackId(rack_id)).hosts.clone();
+                let hosts = self
+                    .topo
+                    .rack(sonet_topology::RackId(rack_id))
+                    .hosts
+                    .clone();
                 if hosts.is_empty() {
                     return None;
                 }
@@ -666,8 +719,8 @@ mod tests {
         let topo = frontend_topo();
         let mut wl =
             Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 1).expect("workload");
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
         let step = SimDuration::from_millis(100);
         let mut t = SimTime::ZERO;
         for _ in 0..10 {
@@ -689,9 +742,10 @@ mod tests {
         let run = |seed: u64| {
             let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), seed)
                 .expect("workload");
-            let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-                .expect("config");
-            wl.generate(&mut sim, SimTime::from_millis(500)).expect("generate");
+            let mut sim =
+                Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+            wl.generate(&mut sim, SimTime::from_millis(500))
+                .expect("generate");
             sim.run_until(SimTime::from_millis(500));
             let (out, _) = sim.finish();
             (wl.issued_calls(), out.delivered_packets)
@@ -740,7 +794,10 @@ mod tests {
             Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 5).expect("workload");
         let h = wl.monitored_host(HostRole::Hadoop).expect("hadoop host");
         let ai = wl.agents.iter().position(|a| a.host == h).expect("agent");
-        let sel = DestSelector::HadoopPlacement { p_rack: 0.757, rack_skew: 1.1 };
+        let sel = DestSelector::HadoopPlacement {
+            p_rack: 0.757,
+            rack_skew: 1.1,
+        };
         let mut rack = 0;
         let n = 2000;
         for _ in 0..n {
@@ -756,8 +813,7 @@ mod tests {
     #[test]
     fn slb_rate_scales_with_web_population() {
         let topo = frontend_topo();
-        let wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 9)
-            .expect("workload");
+        let wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 9).expect("workload");
         let slb_agent = wl
             .agents
             .iter()
@@ -781,9 +837,10 @@ mod tests {
             &[hadoop_cluster],
         )
         .expect("workload");
-        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
-            .expect("config");
-        wl.generate(&mut sim, SimTime::from_millis(500)).expect("generate");
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("config");
+        wl.generate(&mut sim, SimTime::from_millis(500))
+            .expect("generate");
         sim.run_until(SimTime::from_millis(500));
         let (out, _) = sim.finish();
         // No web-host uplink carries traffic.
@@ -821,7 +878,10 @@ mod tests {
         let picks: Vec<_> = (0..50)
             .map(|_| wl.hot_object_dest(ai, &pattern, t).expect("hot pick"))
             .collect();
-        assert!(picks.windows(2).all(|w| w[0] == w[1]), "hot picks must concentrate");
+        assert!(
+            picks.windows(2).all(|w| w[0] == w[1]),
+            "hot picks must concentrate"
+        );
 
         // Mitigated: past the detection delay, picks fall through to
         // normal load balancing (None from the hot path).
@@ -834,22 +894,22 @@ mod tests {
         };
         let mut wl = Workload::new(Arc::clone(&topo), profiles, 21).expect("workload");
         let ai = wl.agents.iter().position(|a| a.host == web).expect("agent");
-        assert!(wl.hot_object_dest(ai, &pattern, SimTime::from_secs(1)).is_some());
-        assert!(wl.hot_object_dest(ai, &pattern, SimTime::from_secs(50)).is_none());
+        assert!(wl
+            .hot_object_dest(ai, &pattern, SimTime::from_secs(1))
+            .is_some());
+        assert!(wl
+            .hot_object_dest(ai, &pattern, SimTime::from_secs(50))
+            .is_none());
     }
 
     #[test]
     fn empty_active_set_is_an_error() {
         let topo = frontend_topo();
-        let err = match Workload::with_clusters(
-            Arc::clone(&topo),
-            ServiceProfiles::default(),
-            1,
-            &[],
-        ) {
-            Ok(_) => panic!("empty active set should fail"),
-            Err(e) => e,
-        };
+        let err =
+            match Workload::with_clusters(Arc::clone(&topo), ServiceProfiles::default(), 1, &[]) {
+                Ok(_) => panic!("empty active set should fail"),
+                Err(e) => e,
+            };
         assert_eq!(err, WorkloadError::NothingActive);
     }
 }

@@ -26,7 +26,10 @@ fn main() {
         duration: SimDuration::from_secs(secs),
         rate_scale: 25.0,
         sample_interval: SimDuration::from_micros(50),
-        rsw_buffer: BufferConfig { shared_bytes: 32 << 10, alpha: 1.0 },
+        rsw_buffer: BufferConfig {
+            shared_bytes: 32 << 10,
+            alpha: 1.0,
+        },
     });
     println!("{}", report.render());
 
@@ -39,14 +42,18 @@ fn main() {
     );
     for (shared, alpha) in [(256 << 10, 0.5), (1 << 20, 1.0), (12 << 20, 1.0)] {
         let mut cfg = SimConfig::default();
-        cfg.rsw_buffer = BufferConfig { shared_bytes: shared, alpha };
-        let mut sim =
-            Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("valid config");
+        cfg.rsw_buffer = BufferConfig {
+            shared_bytes: shared,
+            alpha,
+        };
+        let mut sim = Simulator::new(Arc::clone(&topo), cfg, NullTap).expect("valid config");
         let dst = topo.racks()[0].hosts[0];
         let mut n = 0u64;
         for rack in topo.racks().iter().skip(1).take(6) {
             for &src in &rack.hosts {
-                let c = sim.open_connection(SimTime::ZERO, src, dst, 80).expect("open");
+                let c = sim
+                    .open_connection(SimTime::ZERO, src, dst, 80)
+                    .expect("open");
                 sim.send_message(c, SimTime::from_micros(5), 400_000, 0, SimDuration::ZERO)
                     .expect("send");
                 n += 1;

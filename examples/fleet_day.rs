@@ -6,8 +6,8 @@
 //! cargo run --release --example fleet_day [samples_per_host] [out.json]
 //! ```
 
-use sonet_dc::core::{FleetData, FleetRunConfig, ScenarioScale};
 use sonet_dc::core::reports::{fig5, table3};
+use sonet_dc::core::{FleetData, FleetRunConfig, ScenarioScale};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -18,6 +18,7 @@ fn main() {
         seed: 2015,
         scale: ScenarioScale::Standard,
         samples_per_host: samples,
+        agent_loss: 0.0,
     });
     println!(
         "fleet: {} hosts, {} Fbflow rows, {} relaxed locality picks\n",
@@ -35,8 +36,11 @@ fn main() {
             "frontend_rack_matrix": f5.frontend_matrix,
             "frontend_bipartite_fraction": f5.frontend_bipartite_fraction,
         });
-        std::fs::write(&path, serde_json::to_string_pretty(&json).expect("serializes"))
-            .expect("write output file");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&json).expect("serializes"),
+        )
+        .expect("write output file");
         println!("matrices written to {path}");
     }
 }

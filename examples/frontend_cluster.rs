@@ -26,6 +26,7 @@ fn main() {
         duration: SimDuration::from_secs(seconds),
         rate_scale: 8.0,
         mirror_capacity: 4_000_000,
+        faults: sonet_dc::netsim::FaultPlan::new(),
     };
     let mut lab = Lab::new(cfg);
 

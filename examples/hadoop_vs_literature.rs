@@ -38,13 +38,20 @@ fn analyze(trace: &HostTrace, topo: &Topology, secs: u64) -> Stats {
         .filter(|o| topo.locality(trace.host(), o.peer) == Locality::IntraRack)
         .map(|o| o.wire_bytes as u64)
         .sum();
-    let counts = binned_counts(trace, SimDuration::from_millis(15), (secs * 1000 / 15) as usize);
+    let counts = binned_counts(
+        trace,
+        SimDuration::from_millis(15),
+        (secs * 1000 / 15) as usize,
+    );
     let conc = concurrency_cdfs(trace, topo, SimDuration::from_millis(5), CountEntity::Hosts);
     Stats {
         rack_local_pct: rack as f64 / out_bytes as f64 * 100.0,
         empty_15ms: onoff_metrics(&counts).empty_fraction,
         median_packet: packet_size_cdf(trace).median().unwrap_or(0.0),
-        median_syn_ms: syn_interarrival_cdf(trace).median().map(|v| v / 1000.0).unwrap_or(0.0),
+        median_syn_ms: syn_interarrival_cdf(trace)
+            .median()
+            .map(|v| v / 1000.0)
+            .unwrap_or(0.0),
         concurrent_hosts: conc.all.median().unwrap_or(0.0),
     }
 }
@@ -66,8 +73,12 @@ fn main() {
         ClusterId(0),
         1,
     );
-    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), PortMirror::new(4_000_000))
-        .expect("config");
+    let mut sim = Simulator::new(
+        Arc::clone(&topo),
+        SimConfig::default(),
+        PortMirror::new(4_000_000),
+    )
+    .expect("config");
     let host = topo.racks()[0].hosts[0];
     sim.watch_link(topo.host_uplink(host));
     sim.watch_link(topo.host_downlink(host));
@@ -86,8 +97,12 @@ fn main() {
     let mut wl = Workload::new(Arc::clone(&topo), profiles, 1).expect("workload");
     let host = wl.monitored_host(HostRole::Hadoop).expect("hadoop host");
     wl.ensure_busy_start(host, secs as f64);
-    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), PortMirror::new(4_000_000))
-        .expect("config");
+    let mut sim = Simulator::new(
+        Arc::clone(&topo),
+        SimConfig::default(),
+        PortMirror::new(4_000_000),
+    )
+    .expect("config");
     sim.watch_link(topo.host_uplink(host));
     sim.watch_link(topo.host_downlink(host));
     let mut t = SimTime::ZERO;

@@ -25,7 +25,9 @@ use std::sync::Arc;
 
 fn run_cachef(topo: &Arc<Topology>, profiles: ServiceProfiles, secs: u64) -> HostTrace {
     let mut wl = Workload::new(Arc::clone(topo), profiles, 42).expect("workload");
-    let host = wl.monitored_host(HostRole::CacheFollower).expect("cache-f exists");
+    let host = wl
+        .monitored_host(HostRole::CacheFollower)
+        .expect("cache-f exists");
     let mut sim = Simulator::new(
         Arc::clone(topo),
         SimConfig::default(),
@@ -59,7 +61,11 @@ fn report(label: &str, trace: &HostTrace, topo: &Topology, secs: u64) {
                  interval's hitters ({}Benson's 35% bar)",
                 agg.label(),
                 p.median_covered_pct,
-                if p.clears_benson_bar() { "clears " } else { "misses " }
+                if p.clears_benson_bar() {
+                    "clears "
+                } else {
+                    "misses "
+                }
             );
         }
     }
@@ -98,7 +104,12 @@ fn main() {
         mitigated: false,
     };
     let trace = run_cachef(&topo, hot, secs);
-    report("sabotaged (hot objects, no mitigation)", &trace, &topo, secs);
+    report(
+        "sabotaged (hot objects, no mitigation)",
+        &trace,
+        &topo,
+        secs,
+    );
 
     println!(
         "paper §5.4: effective load balancing leaves TE little to exploit — \n\

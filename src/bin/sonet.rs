@@ -40,7 +40,10 @@ struct Options {
 }
 
 fn parse_common(args: &[String]) -> Options {
-    let mut opts = Options { seed: 42, fast: false };
+    let mut opts = Options {
+        seed: 42,
+        fast: false,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -183,8 +186,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if let Err(e) =
-                sonet_dc::telemetry::export::write_matrix_csv(file, &f5.frontend_matrix)
+            if let Err(e) = sonet_dc::telemetry::export::write_matrix_csv(file, &f5.frontend_matrix)
             {
                 eprintln!("export failed: {e}");
                 return ExitCode::FAILURE;

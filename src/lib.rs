@@ -24,17 +24,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Statistics, distributions, RNG, simulated time.
-pub use sonet_util as util;
-/// Datacenter topology: clusters, racks, 4-post Clos, locality.
-pub use sonet_topology as topology;
-/// Discrete-event packet simulator.
-pub use sonet_netsim as netsim;
-/// Service workload models (Web, cache, Hadoop, …) and baselines.
-pub use sonet_workload as workload;
-/// Fbflow, port mirroring, Scuba-like storage.
-pub use sonet_telemetry as telemetry;
 /// Flow/locality/heavy-hitter/packet analyses.
 pub use sonet_analysis as analysis;
 /// Scenarios, the experiment Lab, and per-figure reports.
 pub use sonet_core as core;
+/// Discrete-event packet simulator.
+pub use sonet_netsim as netsim;
+/// Fbflow, port mirroring, Scuba-like storage.
+pub use sonet_telemetry as telemetry;
+/// Datacenter topology: clusters, racks, 4-post Clos, locality.
+pub use sonet_topology as topology;
+/// Statistics, distributions, RNG, simulated time.
+pub use sonet_util as util;
+/// Service workload models (Web, cache, Hadoop, …) and baselines.
+pub use sonet_workload as workload;

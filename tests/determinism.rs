@@ -1,7 +1,10 @@
-//! Reproducibility: a scenario seed fully determines every report, and
-//! different seeds genuinely differ.
+//! Reproducibility: a scenario seed fully determines every report — with
+//! or without injected faults — and different seeds genuinely differ.
 
-use sonet_dc::core::{Lab, LabConfig};
+use sonet_dc::core::{packet_tier_spec, Lab, LabConfig, ScenarioScale};
+use sonet_dc::netsim::{FaultKind, FaultPlan};
+use sonet_dc::topology::Topology;
+use sonet_dc::util::{SimDuration, SimTime};
 
 fn report_fingerprint(seed: u64) -> String {
     let mut lab = Lab::new(LabConfig::fast(seed));
@@ -21,6 +24,77 @@ fn same_seed_same_reports() {
 #[test]
 fn different_seed_different_reports() {
     assert_ne!(report_fingerprint(1), report_fingerprint(2));
+}
+
+fn faulted_fingerprint(seed: u64) -> String {
+    // A seed-derived fault plan on the same plant the capture builds:
+    // outages, a degraded link, and a mirror-loss window, all replayed
+    // from the calendar.
+    let topo = Topology::build(packet_tier_spec(ScenarioScale::Tiny)).expect("valid spec");
+    let plan = FaultPlan::random(&topo, seed, SimDuration::from_secs(3), 2);
+    let mut cfg = LabConfig::fast(seed);
+    cfg.capture.faults = plan;
+    let mut lab = Lab::new(cfg);
+    let t2 = serde_json::to_string(&lab.table2()).expect("serializes");
+    let f12 = serde_json::to_string(&lab.fig12()).expect("serializes");
+    let deg = serde_json::to_string(&lab.degradation()).expect("serializes");
+    format!("{t2}|{f12}|{deg}")
+}
+
+#[test]
+fn same_seed_same_reports_under_faults() {
+    assert_eq!(faulted_fingerprint(1234), faulted_fingerprint(1234));
+}
+
+#[test]
+fn faults_change_the_run_but_not_its_reproducibility() {
+    // The faulted run must differ from the healthy baseline of the same
+    // seed (the faults really happened) while staying reproducible.
+    let topo = Topology::build(packet_tier_spec(ScenarioScale::Tiny)).expect("valid spec");
+    let plan = FaultPlan::random(&topo, 77, SimDuration::from_secs(3), 2);
+    let mut cfg = LabConfig::fast(77);
+    cfg.capture.faults = plan;
+    let mut faulted = Lab::new(cfg);
+    let mut healthy = Lab::new(LabConfig::fast(77));
+    let deg = faulted.degradation();
+    assert!(deg.faults_applied > 0);
+    assert!(healthy.degradation().is_clean());
+}
+
+#[test]
+fn acceptance_scenario_switch_death_plus_total_mirror_loss() {
+    // ISSUE acceptance: a mid-run switch failure with 100% mirror capture
+    // loss completes without panicking, reroutes flows, and counts every
+    // lost telemetry packet.
+    let topo = Topology::build(packet_tier_spec(ScenarioScale::Tiny)).expect("valid spec");
+    let csw = topo
+        .switches()
+        .iter()
+        .position(|s| s.kind == sonet_dc::topology::SwitchKind::Csw)
+        .map(|i| sonet_dc::topology::SwitchId(i as u32))
+        .expect("tiny plant has CSWs");
+    let plan = FaultPlan::new()
+        .at(SimTime::from_millis(800), FaultKind::SwitchDown(csw))
+        .at(
+            SimTime::from_millis(800),
+            FaultKind::MirrorLoss { fraction: 1.0 },
+        );
+    let mut cfg = LabConfig::fast(5);
+    cfg.capture.faults = plan;
+    let mut lab = Lab::new(cfg);
+    let deg = lab.degradation();
+    assert_eq!(deg.faults_applied, 1);
+    assert!(deg.reroutes > 0, "flows re-hashed around the dead post");
+    assert!(
+        deg.fault_dropped_packets > 0,
+        "dead-link losses are counted"
+    );
+    assert!(deg.mirror_fault_dropped > 0, "telemetry losses are counted");
+    assert!(deg.telemetry_loss_fraction > 0.0);
+    assert!(deg.render().contains("telemetry loss"));
+    // The analysis pipeline still runs on the degraded capture.
+    let t2 = lab.table2();
+    assert!(!t2.rows.is_empty());
 }
 
 #[test]

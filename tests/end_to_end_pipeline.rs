@@ -5,7 +5,7 @@
 
 use sonet_dc::analysis::HostTrace;
 use sonet_dc::netsim::{SimConfig, Simulator};
-use sonet_dc::telemetry::{FbflowConfig, FbflowSampler, PortMirror, TapPair, Tagger};
+use sonet_dc::telemetry::{FbflowConfig, FbflowSampler, PortMirror, Tagger, TapPair};
 use sonet_dc::topology::{ClusterSpec, HostRole, Topology, TopologySpec};
 use sonet_dc::util::{Rng, SimDuration, SimTime};
 use sonet_dc::workload::{ServiceProfiles, Workload};
@@ -27,12 +27,10 @@ fn plant() -> Arc<Topology> {
 #[test]
 fn mirror_and_counters_agree_exactly() {
     let topo = plant();
-    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 5)
-        .expect("workload");
+    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 5).expect("workload");
     let web = wl.monitored_host(HostRole::Web).expect("web host");
     let mirror = PortMirror::new(5_000_000);
-    let mut sim =
-        Simulator::new(Arc::clone(&topo), SimConfig::default(), mirror).expect("config");
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), mirror).expect("config");
     let up = topo.host_uplink(web);
     let down = topo.host_downlink(web);
     sim.watch_link(up);
@@ -49,13 +47,16 @@ fn mirror_and_counters_agree_exactly() {
 
     // Every packet the engine serialized on the mirrored links must be in
     // the capture, and nothing else.
-    let expected = out.link_counters[up.index()].tx_packets
-        + out.link_counters[down.index()].tx_packets;
+    let expected =
+        out.link_counters[up.index()].tx_packets + out.link_counters[down.index()].tx_packets;
     assert_eq!(mirror.records().len() as u64, expected);
-    let expected_bytes = out.link_counters[up.index()].tx_bytes
-        + out.link_counters[down.index()].tx_bytes;
-    let captured_bytes: u64 =
-        mirror.records().iter().map(|r| r.pkt.wire_bytes as u64).sum();
+    let expected_bytes =
+        out.link_counters[up.index()].tx_bytes + out.link_counters[down.index()].tx_bytes;
+    let captured_bytes: u64 = mirror
+        .records()
+        .iter()
+        .map(|r| r.pkt.wire_bytes as u64)
+        .sum();
     assert_eq!(captured_bytes, expected_bytes);
 
     // The host trace splits the capture without losing packets.
@@ -76,16 +77,20 @@ fn fbflow_estimates_converge_to_mirror_truth() {
     // Fbflow sampler; scaled-up Fbflow byte estimates should land within
     // sampling noise of the truth.
     let topo = plant();
-    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 8)
-        .expect("workload");
+    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 8).expect("workload");
     let web = wl.monitored_host(HostRole::Web).expect("web host");
     let rate = 20;
     let taps = TapPair::new(
         PortMirror::new(5_000_000),
-        FbflowSampler::new(&topo, FbflowConfig { sampling_rate: rate }, Rng::new(3)),
+        FbflowSampler::new(
+            &topo,
+            FbflowConfig {
+                sampling_rate: rate,
+            },
+            Rng::new(3),
+        ),
     );
-    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), taps)
-        .expect("config");
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), taps).expect("config");
     sim.watch_link(topo.host_uplink(web));
     sim.watch_link(topo.host_downlink(web));
 
@@ -99,7 +104,11 @@ fn fbflow_estimates_converge_to_mirror_truth() {
     let (_, taps) = sim.finish();
     let (mirror, sampler) = taps.into_parts();
 
-    let truth: u64 = mirror.records().iter().map(|r| r.pkt.wire_bytes as u64).sum();
+    let truth: u64 = mirror
+        .records()
+        .iter()
+        .map(|r| r.pkt.wire_bytes as u64)
+        .sum();
     let sampled: u64 = sampler.samples().iter().map(|s| s.bytes).sum();
     let estimate = sampled * rate;
     let rel_err = (estimate as f64 - truth as f64).abs() / truth as f64;
@@ -112,14 +121,12 @@ fn fbflow_estimates_converge_to_mirror_truth() {
 #[test]
 fn tagger_locality_matches_topology_for_every_sample() {
     let topo = plant();
-    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 9)
-        .expect("workload");
-    let sampler =
-        FbflowSampler::new(&topo, FbflowConfig { sampling_rate: 10 }, Rng::new(4));
-    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), sampler)
-        .expect("config");
+    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 9).expect("workload");
+    let sampler = FbflowSampler::new(&topo, FbflowConfig { sampling_rate: 10 }, Rng::new(4));
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), sampler).expect("config");
     FbflowSampler::deploy_fleet_wide(&mut sim, &topo);
-    wl.generate(&mut sim, SimTime::from_millis(800)).expect("generate");
+    wl.generate(&mut sim, SimTime::from_millis(800))
+        .expect("generate");
     sim.run_until(SimTime::from_millis(800));
     let (_, sampler) = sim.finish();
     assert!(!sampler.samples().is_empty());
@@ -137,12 +144,9 @@ fn workload_traffic_respects_role_semantics() {
     // Web servers never talk to DB or Hadoop (Fig 2's service graph);
     // Hadoop talks only to Hadoop (Table 2).
     let topo = plant();
-    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 2)
-        .expect("workload");
-    let sampler =
-        FbflowSampler::new(&topo, FbflowConfig { sampling_rate: 1 }, Rng::new(5));
-    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), sampler)
-        .expect("config");
+    let mut wl = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), 2).expect("workload");
+    let sampler = FbflowSampler::new(&topo, FbflowConfig { sampling_rate: 1 }, Rng::new(5));
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), sampler).expect("config");
     FbflowSampler::deploy_fleet_wide(&mut sim, &topo);
     let horizon = SimTime::from_secs(2);
     let mut t = SimTime::ZERO;

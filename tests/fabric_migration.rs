@@ -7,13 +7,15 @@
 //! its structure: minimal diagonal, strong Web↔cache bipartite share.
 
 use sonet_dc::telemetry::Tagger;
-use sonet_dc::topology::{
-    fabric_like_spec, ClusterSpec, HostRole, RackId, Topology, TopologySpec,
-};
+use sonet_dc::topology::{fabric_like_spec, ClusterSpec, HostRole, RackId, Topology, TopologySpec};
 use sonet_dc::workload::{FleetConfig, FleetModel};
 use std::sync::Arc;
 
-fn bipartite_and_diag(topo: &Topology, racks: &[RackId], table: &sonet_dc::telemetry::ScubaTable) -> (f64, f64) {
+fn bipartite_and_diag(
+    topo: &Topology,
+    racks: &[RackId],
+    table: &sonet_dc::telemetry::ScubaTable,
+) -> (f64, f64) {
     let set: std::collections::HashSet<RackId> = racks.iter().copied().collect();
     let mut total = 0u64;
     let mut diag = 0u64;
@@ -57,7 +59,10 @@ fn frontend_matrix_structure_survives_fabric_migration() {
         let topo = Arc::new(Topology::build(spec).expect("valid"));
         let mut model = FleetModel::new(
             Arc::clone(&topo),
-            FleetConfig { samples_per_host: 80, ..FleetConfig::default() },
+            FleetConfig {
+                samples_per_host: 80,
+                ..FleetConfig::default()
+            },
             77,
         );
         let table = Tagger::new(&topo).ingest(model.generate());

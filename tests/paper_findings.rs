@@ -17,11 +17,21 @@ fn finding_1_traffic_is_neither_rack_local_nor_all_to_all() {
 
     // Web traffic: minimal rack-local, dominated by intra-cluster (§4.2).
     let web = f4.locality_fractions(HostRole::Web).expect("web trace");
-    assert!(web[0] < 10.0, "web rack-local {}% should be minimal", web[0]);
-    assert!(web[1] > 50.0, "web cluster-local {}% should dominate", web[1]);
+    assert!(
+        web[0] < 10.0,
+        "web rack-local {}% should be minimal",
+        web[0]
+    );
+    assert!(
+        web[1] > 50.0,
+        "web cluster-local {}% should dominate",
+        web[1]
+    );
 
     // Hadoop: heavily rack+cluster local.
-    let hadoop = f4.locality_fractions(HostRole::Hadoop).expect("hadoop trace");
+    let hadoop = f4
+        .locality_fractions(HostRole::Hadoop)
+        .expect("hadoop trace");
     assert!(
         hadoop[0] + hadoop[1] > 90.0,
         "hadoop rack+cluster {}% should dominate",
@@ -35,7 +45,9 @@ fn finding_1_traffic_is_neither_rack_local_nor_all_to_all() {
     );
 
     // Cache leaders: spread across the datacenter and beyond (§4.2).
-    let leader = f4.locality_fractions(HostRole::CacheLeader).expect("leader trace");
+    let leader = f4
+        .locality_fractions(HostRole::CacheLeader)
+        .expect("leader trace");
     assert!(
         leader[2] + leader[3] > 40.0,
         "leader DC+interDC {}% should be large",
@@ -119,11 +131,17 @@ fn finding_3b_many_concurrent_destinations() {
             .iter()
             .find(|(r, scope, _)| *r == role && scope == "All")
             .map(|(_, _, q)| {
-                q.split('/').nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.0)
+                q.split('/')
+                    .nth(1)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or(0.0)
             })
     };
     let cache = median_of(HostRole::CacheFollower).expect("cache row");
-    assert!(cache >= 2.0, "cache follower should touch several racks per 5 ms: {cache}");
+    assert!(
+        cache >= 2.0,
+        "cache follower should touch several racks per 5 ms: {cache}"
+    );
 }
 
 #[test]
@@ -133,7 +151,12 @@ fn finding_locality_table_shape() {
     let all = &t3.table.all;
     // Neither rack-local-dominated nor all-to-all: intra-cluster is the
     // plurality, and inter-DC exceeds nothing-but-noise levels.
-    assert!(all.cluster > all.rack, "cluster {} > rack {}", all.cluster, all.rack);
+    assert!(
+        all.cluster > all.rack,
+        "cluster {} > rack {}",
+        all.cluster,
+        all.rack
+    );
     assert!(all.inter_dc > 2.0, "inter-DC {}%", all.inter_dc);
     // Hadoop column: most cluster-local; Cache column: most DC-level.
     let col = |t: sonet_dc::topology::ClusterType| {
@@ -147,7 +170,12 @@ fn finding_locality_table_shape() {
     let hadoop = col(sonet_dc::topology::ClusterType::Hadoop);
     assert!(hadoop.cluster > 60.0, "hadoop cluster {}", hadoop.cluster);
     let cache = col(sonet_dc::topology::ClusterType::Cache);
-    assert!(cache.datacenter > cache.rack, "cache DC {} rack {}", cache.datacenter, cache.rack);
+    assert!(
+        cache.datacenter > cache.rack,
+        "cache DC {} rack {}",
+        cache.datacenter,
+        cache.rack
+    );
 }
 
 #[test]

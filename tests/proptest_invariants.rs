@@ -28,7 +28,9 @@ fn arb_spec() -> impl Strategy<Value = TopologySpec> {
             };
             TopologySpec {
                 sites: (0..sites)
-                    .map(|_| SiteSpec { datacenters: vec![dc.clone()] })
+                    .map(|_| SiteSpec {
+                        datacenters: vec![dc.clone()],
+                    })
                     .collect(),
                 ..TopologySpec::default()
             }
@@ -47,7 +49,7 @@ proptest! {
         let a = HostId(pick.0 % n);
         let b = HostId(pick.1 % n);
         prop_assume!(a != b);
-        let path = topo.route(a, b, hash);
+        let path = topo.route(a, b, hash).expect("distinct endpoints");
         let links = topo.links();
         prop_assert_eq!(links[path[0].index()].from, Node::Host(a));
         prop_assert_eq!(links[path[path.len() - 1].index()].to, Node::Host(b));

@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small slice of serde that sonet-dc actually uses: `#[derive(Serialize,
+//! Deserialize)]` plus the trait surface needed by the local `serde_json`
+//! stand-in. Instead of serde's visitor architecture, values convert to and
+//! from a single self-describing [`Content`] tree; the derive macros generate
+//! `to_content` / `from_content` implementations with serde_json-compatible
+//! conventions (struct -> map of field names, newtype -> inner value, unit
+//! enum variant -> string, data-carrying variant -> single-entry map).
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree: the data model shared by `Serialize`,
+/// `Deserialize`, and the `serde_json` stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `None` and unit).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (only used for negative values).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered list of key/value entries.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Content::Null => 0,
+            Content::Bool(_) => 1,
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => 2,
+            Content::Str(_) => 3,
+            Content::Seq(_) => 4,
+            Content::Map(_) => 5,
+        }
+    }
+
+    fn as_f64_lossy(&self) -> f64 {
+        match self {
+            Content::U64(n) => *n as f64,
+            Content::I64(n) => *n as f64,
+            Content::F64(x) => *x,
+            _ => 0.0,
+        }
+    }
+
+    /// A total order over content values, used to sort map entries coming
+    /// from unordered containers so serialization is deterministic.
+    pub fn total_cmp(&self, other: &Content) -> Ordering {
+        match (self, other) {
+            (Content::Bool(a), Content::Bool(b)) => a.cmp(b),
+            (Content::U64(a), Content::U64(b)) => a.cmp(b),
+            (Content::I64(a), Content::I64(b)) => a.cmp(b),
+            (Content::Str(a), Content::Str(b)) => a.cmp(b),
+            (Content::Seq(a), Content::Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.total_cmp(y) {
+                        Ordering::Equal => {}
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) if a.rank() == 2 && b.rank() == 2 => {
+                a.as_f64_lossy().total_cmp(&b.as_f64_lossy())
+            }
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+/// Error produced when a [`Content`] tree does not match the target type.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Constructs an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` to a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Conversion from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a content tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let n = match c {
+                    Content::U64(n) => *n,
+                    Content::I64(n) if *n >= 0 => *n as u64,
+                    // Integer map keys round-trip through JSON as strings.
+                    Content::Str(s) => s.parse::<u64>().map_err(|e| DeError::msg(e.to_string()))?,
+                    other => return Err(DeError::msg(format!("expected unsigned integer, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let n = match c {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n).map_err(|_| DeError::msg("integer out of range"))?,
+                    Content::Str(s) => s.parse::<i64>().map_err(|e| DeError::msg(e.to_string()))?,
+                    other => return Err(DeError::msg(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(x) => Ok(*x as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    // serde_json emits `null` for non-finite floats.
+                    Content::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::msg(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::msg(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::msg(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::from_content(c)?;
+        let n = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| DeError::msg(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            $name::from_content(
+                                it.next().ok_or_else(|| DeError::msg("tuple too short"))?,
+                            )?,
+                        )+))
+                    }
+                    other => Err(DeError::msg(format!("expected tuple sequence, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect();
+        // HashMap iteration order is unstable; sort so output is deterministic.
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}

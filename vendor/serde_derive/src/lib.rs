@@ -1,0 +1,411 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses structs and enums with the raw `proc_macro` API (no syn/quote in an
+//! offline build) and emits `to_content` / `from_content` implementations
+//! following serde_json's conventions:
+//!
+//! * named struct      -> map of field name to value, in declaration order
+//! * newtype struct    -> the inner value
+//! * tuple struct      -> sequence
+//! * unit struct       -> null
+//! * unit variant      -> the variant name as a string
+//! * newtype variant   -> `{ "Name": value }`
+//! * tuple variant     -> `{ "Name": [ ... ] }`
+//! * struct variant    -> `{ "Name": { ... } }`
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; the workspace
+//! uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the offline stand-in");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes type tokens until a comma at zero angle-bracket depth.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        }
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+    }
+    names
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = match &fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::serde::Content::Str(\"{f}\".to_string()), \
+                                 ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Content::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str(\"{vn}\".to_string()), \
+                              ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str(\"{vn}\".to_string()), \
+                                  ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Content::Str(\"{f}\".to_string()), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str(\"{vn}\".to_string()), \
+                                  ::serde::Content::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = gen_fields_de(&name, &fields, "__c");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let ctor = format!("{name}::{}", v.name);
+                    let body = gen_fields_de(&ctor, &v.fields, "__v");
+                    format!("\"{}\" => return {{ {body} }},", v.name)
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Content::Str(__s) = __c {{\n\
+                             match __s.as_str() {{ {} _ => {{}} }}\n\
+                         }}\n\
+                         if let ::serde::Content::Map(__entries) = __c {{\n\
+                             if __entries.len() == 1 {{\n\
+                                 if let Some(__k) = __entries[0].0.as_str() {{\n\
+                                     let __v = &__entries[0].1;\n\
+                                     match __k {{ {} _ => {{}} }}\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::msg(format!(\
+                             \"no variant of {name} matches {{:?}}\", __c)))\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+/// Generates an expression that builds `ctor { ... }` / `ctor(...)` from the
+/// content tree bound to `src`, evaluating to `Result<_, DeError>` via
+/// `return`-free `Ok(..)` / `Err(..)` tails and `?`.
+fn gen_fields_de(ctor: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let lets: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "let __field_{f} = ::serde::Deserialize::from_content(\n\
+                             __m.iter().find(|__kv| __kv.0.as_str() == Some(\"{f}\"))\n\
+                                 .map(|__kv| &__kv.1)\n\
+                                 .unwrap_or(&::serde::Content::Null))?;"
+                    )
+                })
+                .collect();
+            let inits: Vec<String> = names.iter().map(|f| format!("{f}: __field_{f}")).collect();
+            format!(
+                "match {src} {{\n\
+                     ::serde::Content::Map(__m) => {{\n\
+                         {}\n\
+                         Ok({ctor} {{ {} }})\n\
+                     }}\n\
+                     __other => Err(::serde::DeError::msg(format!(\
+                         \"expected map for {ctor}, got {{:?}}\", __other))),\n\
+                 }}",
+                lets.join("\n"),
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({ctor}(::serde::Deserialize::from_content({src})?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "match {src} {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                         Ok({ctor}({})),\n\
+                     __other => Err(::serde::DeError::msg(format!(\
+                         \"expected sequence of {n} for {ctor}, got {{:?}}\", __other))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!("{{ let _ = {src}; Ok({ctor}) }}"),
+    }
+}

@@ -1,0 +1,574 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the local `serde` stand-in's [`Content`] data model to JSON text
+//! and parses JSON text back. Conventions match upstream serde_json where the
+//! workspace depends on them:
+//!
+//! * struct fields keep declaration order; `HashMap`s are emitted sorted (the
+//!   local serde stand-in sorts them), so output is byte-deterministic;
+//! * integer map keys are quoted (`{"3": ...}`) and parse back into integers;
+//! * non-finite floats serialize as `null`;
+//! * `to_string_pretty` indents with two spaces.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+use std::io::Write;
+
+/// Error for serialization, deserialization, or I/O failures.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value(pub Content);
+
+impl Value {
+    /// True if the value is a JSON object.
+    pub fn is_object(&self) -> bool {
+        matches!(self.0, Content::Map(_))
+    }
+
+    /// True if the value is a JSON array.
+    pub fn is_array(&self) -> bool {
+        matches!(self.0, Content::Seq(_))
+    }
+
+    /// True if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self.0, Content::Null)
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<Value> {
+        match &self.0 {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k.as_str() == Some(key))
+                .map(|(_, v)| Value(v.clone())),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Self, serde::DeError> {
+        Ok(Value(c.clone()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(&self.0, &mut out);
+        f.write_str(&out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization entry points
+// ---------------------------------------------------------------------------
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_content(), &mut out, 0);
+    Ok(out)
+}
+
+/// Serializes a value as compact JSON into a writer.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(Value(value.to_content()))
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = Parser::new(s).parse_document()?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_content(&value.0)?)
+}
+
+/// Builds a [`Value`] literal. Object values and array elements may be any
+/// serializable expression (including another `json!` invocation, since
+/// [`Value`] is itself serializable).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value($crate::__private::Content::Null) };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value($crate::__private::Content::Map(vec![
+            $( ($crate::__private::Content::Str($key.to_string()),
+                $crate::__private::Serialize::to_content(&$val)) ),*
+        ]))
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value($crate::__private::Content::Seq(vec![
+            $( $crate::__private::Serialize::to_content(&$elem) ),*
+        ]))
+    };
+    ($other:expr) => {
+        $crate::Value($crate::__private::Serialize::to_content(&$other))
+    };
+}
+
+/// Implementation detail of the `json!` macro.
+#[doc(hidden)]
+pub mod __private {
+    pub use serde::{Content, Serialize};
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_compact(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::F64(x) => write_f64(*x, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_key(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(c: &Content, out: &mut String, indent: usize) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_key(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// JSON object keys must be strings; integers and booleans are quoted the way
+/// serde_json quotes integer map keys.
+fn write_key(k: &Content, out: &mut String) {
+    match k {
+        Content::Str(s) => write_escaped(s, out),
+        Content::U64(n) => write_escaped(&n.to_string(), out),
+        Content::I64(n) => write_escaped(&n.to_string(), out),
+        Content::Bool(b) => write_escaped(if *b { "true" } else { "false" }, out),
+        other => {
+            let mut inner = String::new();
+            write_compact(other, &mut inner);
+            write_escaped(&inner, out);
+        }
+    }
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e16 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Content, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::msg(format!(
+                "trailing characters at byte {}",
+                self.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::msg("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(Error::msg(format!(
+                "expected '{}' at byte {}, got '{}'",
+                b as char, self.pos, got as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek()? {
+            b'n' => self.parse_keyword("null", Content::Null),
+            b't' => self.parse_keyword("true", Content::Bool(true)),
+            b'f' => self.parse_keyword("false", Content::Bool(false)),
+            b'"' => Ok(Content::Str(self.parse_string()?)),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error::msg(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected ',' or ']' at byte {}, got '{}'",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((Content::Str(key), value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected ',' or '}}' at byte {}, got '{}'",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::msg("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs: combine a high surrogate with
+                            // the following \uXXXX low surrogate.
+                            let ch = if (0xd800..0xdc00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xd800) << 10)
+                                        + (lo.wrapping_sub(0xdc00) & 0x3ff);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| Error::msg("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(Error::msg(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input came from &str, so the
+                    // bytes are valid UTF-8).
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("invalid UTF-8"))?;
+                    let ch = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::msg("unterminated string"))?;
+                    if (ch as u32) < 0x20 {
+                        return Err(Error::msg("unescaped control character in string"));
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::msg("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| Error::msg("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|n| Content::I64(-(n as i64)))
+                .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&5u64).unwrap(), "5");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(from_str::<u64>("5").unwrap(), 5);
+        assert_eq!(from_str::<f64>("1.5e3").unwrap(), 1500.0);
+        assert_eq!(from_str::<String>("\"a\\u0041b\"").unwrap(), "aAb");
+    }
+
+    #[test]
+    fn nested_values_parse() {
+        let v: Value = from_str("{\"a\": [1, 2, {\"b\": null}], \"c\": -7 }").unwrap();
+        assert!(v.is_object());
+        assert!(v.get("a").unwrap().is_array());
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({"x": 1u64, "nested": json!({"y": [1u64, 2u64]}), "z": "s"});
+        assert!(v.is_object());
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "{\"x\":1,\"nested\":{\"y\":[1,2]},\"z\":\"s\"}"
+        );
+    }
+}
