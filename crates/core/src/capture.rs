@@ -12,6 +12,7 @@ use sonet_topology::{HostId, HostRole, Topology};
 use sonet_util::{SimDuration, SimTime};
 use sonet_workload::{ServiceProfiles, Workload};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// Configuration of a standard capture run.
@@ -100,19 +101,63 @@ pub struct StandardCapture {
     pub mirror_offered: u64,
 }
 
-impl StandardCapture {
-    /// Runs the capture.
-    pub fn run(cfg: &CaptureConfig) -> StandardCapture {
+/// The live, resumable innards of a capture run: plant, workload, engine
+/// (with the port mirror as its tap), and the telemetry-fault cursor.
+///
+/// [`StandardCapture::run`] drives it start to finish in one go; the
+/// supervised driver ([`crate::supervised`]) drives it window by window so
+/// it can checkpoint at window boundaries and resume mid-trace.
+pub(crate) struct CaptureState {
+    /// The plant.
+    pub(crate) topo: Arc<Topology>,
+    /// Traffic generator.
+    pub(crate) workload: Workload,
+    /// The engine; the port mirror is its tap.
+    pub(crate) sim: Simulator<PortMirror>,
+    /// Monitored host per role.
+    pub(crate) monitored: HashMap<HostRole, HostId>,
+    /// Telemetry fault events, time-ordered.
+    pub(crate) telemetry: Vec<FaultEvent>,
+    /// Next telemetry event to apply.
+    pub(crate) tel_next: usize,
+    /// Virtual time reached so far.
+    pub(crate) t: SimTime,
+}
+
+/// The deterministic structure [`CaptureState::rebuild_static`] recomputes
+/// from a [`CaptureConfig`] on resume; the caller pairs it with the
+/// checkpointed dynamic state (engine, workload RNGs, mirror).
+pub(crate) struct CaptureStatics {
+    /// The plant.
+    pub(crate) topo: Arc<Topology>,
+    /// Traffic generator with freshly built (not yet restored) state.
+    pub(crate) workload: Workload,
+    /// Monitored host per role.
+    pub(crate) monitored: HashMap<HostRole, HostId>,
+    /// Telemetry fault events, time-ordered.
+    pub(crate) telemetry: Vec<FaultEvent>,
+}
+
+/// The generation-window stride of every capture run. Supervised
+/// checkpoints land on these boundaries, which is what keeps a resumed
+/// run's window sequence identical to an uninterrupted one.
+pub(crate) const CAPTURE_WINDOW: SimDuration = SimDuration::from_millis(250);
+
+impl CaptureState {
+    /// Builds the plant, workload, engine, and mirrors for `cfg`. Fallible:
+    /// arbitrary configs (wrong scale spec, invalid fault plan) surface as
+    /// errors instead of panics.
+    pub(crate) fn build(cfg: &CaptureConfig) -> Result<CaptureState, String> {
         let topo =
-            Arc::new(Topology::build(packet_tier_spec(cfg.scale)).expect("preset specs are valid"));
+            Arc::new(Topology::build(packet_tier_spec(cfg.scale)).map_err(|e| e.to_string())?);
         let mut profiles = ServiceProfiles::default();
         profiles.rate_scale = cfg.rate_scale;
-        let mut workload = Workload::new(Arc::clone(&topo), profiles, cfg.seed)
-            .expect("preset profiles are valid");
+        let mut workload =
+            Workload::new(Arc::clone(&topo), profiles, cfg.seed).map_err(|e| e.to_string())?;
 
         let mirror = PortMirror::new(cfg.mirror_capacity);
         let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), mirror)
-            .expect("default sim config is valid");
+            .map_err(|e| e.to_string())?;
 
         // Mirror one host of each monitored role (§3.3.2).
         let mut monitored = HashMap::new();
@@ -130,50 +175,88 @@ impl StandardCapture {
         }
 
         // Network faults ride the engine's event calendar; telemetry
-        // faults are applied to the tap at window boundaries below.
-        cfg.faults
-            .validate(&topo)
-            .expect("fault plan is valid for this plant");
-        sim.inject_faults(&cfg.faults)
-            .expect("validated plan injects cleanly");
+        // faults are applied to the tap at window boundaries.
+        cfg.faults.validate(&topo).map_err(|e| e.to_string())?;
+        sim.inject_faults(&cfg.faults).map_err(|e| e.to_string())?;
         let telemetry: Vec<FaultEvent> = cfg.faults.telemetry_events().copied().collect();
-        let mut tel_next = 0;
-        let mut apply_telemetry = |sim: &mut Simulator<PortMirror>, now: SimTime| {
-            while tel_next < telemetry.len() && telemetry[tel_next].at <= now {
-                if let FaultKind::MirrorLoss { fraction } = telemetry[tel_next].kind {
-                    sim.tap_mut().set_fault_loss(fraction);
-                }
-                tel_next += 1;
-            }
+        let mut state = CaptureState {
+            topo,
+            workload,
+            sim,
+            monitored,
+            telemetry,
+            tel_next: 0,
+            t: SimTime::ZERO,
         };
-        apply_telemetry(&mut sim, SimTime::ZERO);
+        state.apply_telemetry();
+        Ok(state)
+    }
 
-        // Windowed generation keeps memory bounded.
-        let window = SimDuration::from_millis(250);
-        let horizon = SimTime::ZERO + cfg.duration;
-        let mut t = SimTime::ZERO;
-        while t < horizon {
-            t = (t + window).min(horizon);
-            workload
-                .generate(&mut sim, t)
-                .expect("generation stays in the future");
-            sim.run_until(t);
-            apply_telemetry(&mut sim, t);
+    /// Rebuilds the deterministic structure (plant, monitored hosts,
+    /// telemetry schedule) for `cfg` *without* touching dynamic state —
+    /// the restore path: the caller then installs the checkpointed engine,
+    /// workload, and mirror.
+    pub(crate) fn rebuild_static(cfg: &CaptureConfig) -> Result<CaptureStatics, String> {
+        let topo =
+            Arc::new(Topology::build(packet_tier_spec(cfg.scale)).map_err(|e| e.to_string())?);
+        let mut profiles = ServiceProfiles::default();
+        profiles.rate_scale = cfg.rate_scale;
+        let workload =
+            Workload::new(Arc::clone(&topo), profiles, cfg.seed).map_err(|e| e.to_string())?;
+        let mut monitored = HashMap::new();
+        for role in MONITORED_ROLES {
+            if let Some(h) = workload.monitored_host(role) {
+                monitored.insert(role, h);
+            }
         }
-        let issued_calls = workload.issued_calls();
-        let (outputs, mirror) = sim.finish();
+        let telemetry: Vec<FaultEvent> = cfg.faults.telemetry_events().copied().collect();
+        Ok(CaptureStatics {
+            topo,
+            workload,
+            monitored,
+            telemetry,
+        })
+    }
+
+    fn apply_telemetry(&mut self) {
+        while self.tel_next < self.telemetry.len() && self.telemetry[self.tel_next].at <= self.t {
+            if let FaultKind::MirrorLoss { fraction } = self.telemetry[self.tel_next].kind {
+                self.sim.tap_mut().set_fault_loss(fraction);
+            }
+            self.tel_next += 1;
+        }
+    }
+
+    /// Advances one generation window (or to `horizon`, whichever is
+    /// nearer): generate calls, run the engine, apply due telemetry
+    /// faults. Returns the new virtual time.
+    pub(crate) fn advance(&mut self, horizon: SimTime) -> Result<SimTime, String> {
+        self.t = (self.t + CAPTURE_WINDOW).min(horizon);
+        self.workload
+            .generate(&mut self.sim, self.t)
+            .map_err(|e| e.to_string())?;
+        self.sim.run_until(self.t);
+        self.apply_telemetry();
+        Ok(self.t)
+    }
+
+    /// Finishes the run, turning engine state into a [`StandardCapture`].
+    pub(crate) fn finish(self, cfg: &CaptureConfig) -> StandardCapture {
+        let issued_calls = self.workload.issued_calls();
+        let (outputs, mirror) = self.sim.finish();
         let truncated = mirror.truncated();
         let mirror_fault_dropped = mirror.fault_dropped();
         let mirror_overflow = mirror.overflow();
         let mirror_offered = mirror.offered();
         let records = mirror.into_records();
-        let traces = monitored
+        let traces = self
+            .monitored
             .iter()
             .map(|(&role, &host)| (role, HostTrace::from_mirror(&records, host)))
             .collect();
         StandardCapture {
-            topo,
-            monitored,
+            topo: self.topo,
+            monitored: self.monitored,
             traces,
             outputs,
             duration: cfg.duration,
@@ -183,6 +266,32 @@ impl StandardCapture {
             mirror_overflow,
             mirror_offered,
         }
+    }
+}
+
+impl fmt::Debug for StandardCapture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StandardCapture")
+            .field("monitored", &self.monitored.len())
+            .field("duration", &self.duration)
+            .field("issued_calls", &self.issued_calls)
+            .field("mirror_offered", &self.mirror_offered)
+            .field("truncated", &self.truncated)
+            .finish()
+    }
+}
+
+impl StandardCapture {
+    /// Runs the capture.
+    pub fn run(cfg: &CaptureConfig) -> StandardCapture {
+        let mut state = CaptureState::build(cfg).expect("preset capture configs are valid");
+        let horizon = SimTime::ZERO + cfg.duration;
+        while state.t < horizon {
+            state
+                .advance(horizon)
+                .expect("generation stays in the future");
+        }
+        state.finish(cfg)
     }
 
     /// The trace of a monitored role, if that role exists in the plant.

@@ -3,9 +3,10 @@
 
 use crate::scenario::{fleet_spec, ScenarioScale};
 use serde::{Deserialize, Serialize};
-use sonet_telemetry::{ScubaTable, Tagger};
+use sonet_telemetry::{FlowRecord, ScubaTable, Tagger};
 use sonet_topology::Topology;
 use sonet_workload::{FleetConfig, FleetModel};
+use std::fmt;
 use std::sync::Arc;
 
 /// Configuration of a fleet-tier run.
@@ -45,6 +46,28 @@ impl FleetRunConfig {
     }
 }
 
+/// Errors from a fleet-tier run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetRunError {
+    /// `agent_loss` outside `[0, 1]`.
+    AgentLossOutOfRange(f64),
+    /// The plant spec failed to build.
+    Build(String),
+}
+
+impl fmt::Display for FleetRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetRunError::AgentLossOutOfRange(v) => {
+                write!(f, "agent loss {v} outside [0, 1]")
+            }
+            FleetRunError::Build(e) => write!(f, "fleet plant failed to build: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetRunError {}
+
 /// The fleet plant plus its tagged day of Fbflow samples.
 pub struct FleetData {
     /// The plant.
@@ -57,25 +80,47 @@ pub struct FleetData {
     pub agent_dropped: u64,
 }
 
+/// Builds the fleet plant and generator for `cfg`, validating the config
+/// first. Shared between the one-shot [`FleetData::run`] and the
+/// supervised, checkpointable driver in [`crate::supervised`].
+pub(crate) fn build_fleet_model(
+    cfg: &FleetRunConfig,
+) -> Result<(Arc<Topology>, FleetModel), FleetRunError> {
+    if !(0.0..=1.0).contains(&cfg.agent_loss) {
+        return Err(FleetRunError::AgentLossOutOfRange(cfg.agent_loss));
+    }
+    let topo = Arc::new(
+        Topology::build(fleet_spec(cfg.scale)).map_err(|e| FleetRunError::Build(e.to_string()))?,
+    );
+    let model = FleetModel::new(
+        Arc::clone(&topo),
+        FleetConfig {
+            samples_per_host: cfg.samples_per_host,
+            ..FleetConfig::default()
+        },
+        cfg.seed,
+    );
+    Ok((topo, model))
+}
+
 impl FleetData {
     /// Runs the fleet tier.
-    pub fn run(cfg: &FleetRunConfig) -> FleetData {
-        assert!(
-            (0.0..=1.0).contains(&cfg.agent_loss),
-            "agent loss {} outside [0, 1]",
-            cfg.agent_loss
-        );
-        let topo =
-            Arc::new(Topology::build(fleet_spec(cfg.scale)).expect("preset specs are valid"));
-        let mut model = FleetModel::new(
-            Arc::clone(&topo),
-            FleetConfig {
-                samples_per_host: cfg.samples_per_host,
-                ..FleetConfig::default()
-            },
-            cfg.seed,
-        );
+    pub fn run(cfg: &FleetRunConfig) -> Result<FleetData, FleetRunError> {
+        let (topo, mut model) = build_fleet_model(cfg)?;
         let samples = model.generate();
+        Ok(Self::assemble(cfg, topo, samples, model.relaxed_picks()))
+    }
+
+    /// Thins, tags, and tables a time-sorted sample stream. The supervised
+    /// driver calls this with samples recovered across checkpoints; both
+    /// paths funnel through here so a resumed run's table is byte-identical
+    /// to an uninterrupted one.
+    pub(crate) fn assemble(
+        cfg: &FleetRunConfig,
+        topo: Arc<Topology>,
+        samples: Vec<FlowRecord>,
+        relaxed_picks: u64,
+    ) -> FleetData {
         // Agent-side loss thins the stream deterministically (the same
         // ordinal hash the packet-tier telemetry uses), with every drop
         // counted — degraded monitoring, not silently wrong monitoring.
@@ -98,9 +143,19 @@ impl FleetData {
         FleetData {
             topo,
             table,
-            relaxed_picks: model.relaxed_picks(),
+            relaxed_picks,
             agent_dropped,
         }
+    }
+}
+
+impl fmt::Debug for FleetData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetData")
+            .field("rows", &self.table.len())
+            .field("relaxed_picks", &self.relaxed_picks)
+            .field("agent_dropped", &self.agent_dropped)
+            .finish()
     }
 }
 
@@ -110,7 +165,7 @@ mod tests {
 
     #[test]
     fn fleet_run_produces_tagged_rows() {
-        let data = FleetData::run(&FleetRunConfig::fast(3));
+        let data = FleetData::run(&FleetRunConfig::fast(3)).expect("valid config");
         assert!(!data.table.is_empty());
         assert_eq!(data.table.len() as u64, data.topo.hosts().len() as u64 * 50);
         // Relaxations should be rare on a complete plant.
@@ -125,8 +180,8 @@ mod tests {
             agent_loss: 0.3,
             ..FleetRunConfig::fast(3)
         };
-        let a = FleetData::run(&cfg);
-        let healthy = FleetData::run(&FleetRunConfig::fast(3));
+        let a = FleetData::run(&cfg).expect("valid config");
+        let healthy = FleetData::run(&FleetRunConfig::fast(3)).expect("valid config");
         let total = healthy.table.len() as u64;
         assert_eq!(a.table.len() as u64 + a.agent_dropped, total);
         let lost = a.agent_dropped as f64 / total as f64;
@@ -134,18 +189,20 @@ mod tests {
             (lost - 0.3).abs() < 0.05,
             "lost fraction {lost}, wanted ≈0.3"
         );
-        let b = FleetData::run(&cfg);
+        let b = FleetData::run(&cfg).expect("valid config");
         assert_eq!(a.table.len(), b.table.len());
         assert_eq!(a.agent_dropped, b.agent_dropped);
     }
 
     #[test]
-    #[should_panic(expected = "outside [0, 1]")]
-    fn agent_loss_out_of_range_rejected() {
+    fn agent_loss_out_of_range_is_a_typed_error() {
         let cfg = FleetRunConfig {
             agent_loss: 1.5,
             ..FleetRunConfig::fast(3)
         };
-        let _ = FleetData::run(&cfg);
+        match FleetData::run(&cfg) {
+            Err(FleetRunError::AgentLossOutOfRange(v)) => assert_eq!(v, 1.5),
+            other => panic!("expected AgentLossOutOfRange, got {other:?}"),
+        }
     }
 }

@@ -68,7 +68,8 @@ impl Lab {
     /// The fleet-tier data (generated on first call).
     pub fn fleet(&mut self) -> &FleetData {
         if self.fleet.is_none() {
-            self.fleet = Some(FleetData::run(&self.cfg.fleet));
+            self.fleet =
+                Some(FleetData::run(&self.cfg.fleet).expect("preset fleet configs are valid"));
         }
         self.fleet.as_ref().expect("just materialized")
     }
@@ -95,7 +96,7 @@ impl Lab {
 
     /// Fig 5: demand matrices (fleet tier).
     pub fn fig5(&mut self) -> Fig5Report {
-        reports::fig5(self.fleet())
+        reports::fig5(self.fleet()).expect("preset fleet plants have all cluster types")
     }
 
     /// Fig 6: flow size CDFs by locality.
@@ -145,7 +146,7 @@ impl Lab {
 
     /// Fig 15: buffer occupancy study (runs its own simulation).
     pub fn fig15(&mut self) -> Fig15Report {
-        reports::fig15(&self.cfg.fig15)
+        reports::fig15(&self.cfg.fig15).expect("preset fig15 configs are valid")
     }
 
     /// Fig 16: concurrent racks per 5-ms window.

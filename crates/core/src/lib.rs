@@ -30,9 +30,16 @@ pub mod lab;
 pub mod render;
 pub mod reports;
 pub mod scenario;
+pub mod supervised;
+pub mod supervisor;
 
 pub use capture::{CaptureConfig, StandardCapture};
-pub use fleet_run::{FleetData, FleetRunConfig};
+pub use fleet_run::{FleetData, FleetRunConfig, FleetRunError};
 pub use lab::{Lab, LabConfig};
-pub use reports::DegradationReport;
+pub use reports::{DegradationReport, ReportError};
 pub use scenario::{fleet_spec, packet_tier_spec, ScenarioScale};
+pub use supervised::{
+    resume_capture, resume_fleet, run_capture, run_fleet, CaptureCheckpoint, FleetCheckpoint,
+    RunStatus, SuperviseOptions, SupervisedError,
+};
+pub use supervisor::{isolate, BatchSummary, RunBudget, RunSupervisor, StopReason};

@@ -30,6 +30,33 @@ use sonet_util::{percentile, EmpiricalCdf, SimDuration, SimTime};
 use sonet_workload::{DiurnalPattern, ServiceProfiles, Workload};
 use std::sync::Arc;
 
+/// Errors from report computations that build their own inputs or make
+/// structural demands on the plant (currently [`fig5`] and [`fig15`];
+/// capture-fed reports are infallible given a capture).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The plant has no cluster of the required type.
+    MissingClusterType(ClusterType),
+    /// The plant has no rack of the required role.
+    MissingRole(HostRole),
+    /// A report-owned simulation failed to build or run.
+    Build(String),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::MissingClusterType(t) => {
+                write!(f, "plant has no {t:?} cluster")
+            }
+            ReportError::MissingRole(r) => write!(f, "plant has no {r:?} rack"),
+            ReportError::Build(e) => write!(f, "report simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
 /// Roles whose traces the sub-second experiments analyze.
 const TRACE_ROLES: [HostRole; 4] = [
     HostRole::Web,
@@ -382,15 +409,16 @@ pub struct Fig5Report {
     pub hadoop_matrix: Vec<Vec<u64>>,
 }
 
-/// Computes Fig 5 from the fleet tier.
-pub fn fig5(fleet: &FleetData) -> Fig5Report {
+/// Computes Fig 5 from the fleet tier. Errors if the plant lacks a Hadoop
+/// or Frontend cluster (possible with hand-built specs; presets have both).
+pub fn fig5(fleet: &FleetData) -> Result<Fig5Report, ReportError> {
     let topo = &fleet.topo;
     let hadoop_cluster = topo
         .first_cluster_of_type(ClusterType::Hadoop)
-        .expect("fleet preset has a Hadoop cluster");
+        .ok_or(ReportError::MissingClusterType(ClusterType::Hadoop))?;
     let fe_cluster = topo
         .first_cluster_of_type(ClusterType::Frontend)
-        .expect("fleet preset has a Frontend cluster");
+        .ok_or(ReportError::MissingClusterType(ClusterType::Frontend))?;
     let hadoop_matrix = rack_demand_matrix(&fleet.table, topo, hadoop_cluster);
     let frontend_matrix = rack_demand_matrix(&fleet.table, topo, fe_cluster);
     let clusters_m = cluster_demand_matrix(&fleet.table, topo.clusters().len());
@@ -414,7 +442,7 @@ pub fn fig5(fleet: &FleetData) -> Fig5Report {
             }
         }
     }
-    Fig5Report {
+    Ok(Fig5Report {
         hadoop: MatrixStats::of(&hadoop_matrix),
         frontend: MatrixStats::of(&frontend_matrix),
         clusters: MatrixStats::of(&clusters_m),
@@ -425,7 +453,7 @@ pub fn fig5(fleet: &FleetData) -> Fig5Report {
         },
         frontend_matrix,
         hadoop_matrix,
-    }
+    })
 }
 
 impl Fig5Report {
@@ -1108,32 +1136,35 @@ pub struct Fig15Report {
     pub microburst_seconds: usize,
 }
 
-/// Runs the Fig 15 experiment.
-pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
-    let topo =
-        Arc::new(Topology::build(packet_tier_spec(cfg.scale)).expect("preset specs are valid"));
+/// Runs the Fig 15 experiment. Errors if the plant cannot be built, lacks
+/// Web or cache racks, or the simulation setup is rejected.
+pub fn fig15(cfg: &Fig15Config) -> Result<Fig15Report, ReportError> {
+    let topo = Arc::new(
+        Topology::build(packet_tier_spec(cfg.scale))
+            .map_err(|e| ReportError::Build(e.to_string()))?,
+    );
     let mut profiles = ServiceProfiles::default();
     profiles.rate_scale = cfg.rate_scale;
     profiles.diurnal = DiurnalPattern::compressed(cfg.duration);
-    let mut workload =
-        Workload::new(Arc::clone(&topo), profiles, cfg.seed).expect("preset profiles valid");
+    let mut workload = Workload::new(Arc::clone(&topo), profiles, cfg.seed)
+        .map_err(|e| ReportError::Build(e.to_string()))?;
     let mirror = PortMirror::new(1); // unused; Fig 15 is switch-side only
     let mut sim_cfg = SimConfig::default();
     sim_cfg.rsw_buffer = cfg.rsw_buffer;
-    let mut sim =
-        Simulator::new(Arc::clone(&topo), sim_cfg, mirror).expect("default sim config valid");
+    let mut sim = Simulator::new(Arc::clone(&topo), sim_cfg, mirror)
+        .map_err(|e| ReportError::Build(e.to_string()))?;
 
     // The monitored racks: the first Web rack and the first cache rack.
     let web_rack = topo
         .racks()
         .iter()
         .position(|r| r.role == HostRole::Web)
-        .expect("frontend preset has web racks");
+        .ok_or(ReportError::MissingRole(HostRole::Web))?;
     let cache_rack = topo
         .racks()
         .iter()
         .position(|r| r.role == HostRole::CacheFollower)
-        .expect("frontend preset has cache racks");
+        .ok_or(ReportError::MissingRole(HostRole::CacheFollower))?;
     let web_rsw = topo.racks()[web_rack].rsw;
     let cache_rsw = topo.racks()[cache_rack].rsw;
     sim.sample_buffers(
@@ -1141,7 +1172,7 @@ pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
         SimDuration::from_secs(1),
         vec![web_rsw, cache_rsw],
     )
-    .expect("valid sampler periods");
+    .map_err(|e| ReportError::Build(e.to_string()))?;
 
     // Utilization: host access links of both racks.
     let mut util_links = Vec::new();
@@ -1155,7 +1186,7 @@ pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
         util_links.push(topo.host_downlink(h));
     }
     sim.track_utilization(SimDuration::from_secs(1), &util_links)
-        .expect("valid interval");
+        .map_err(|e| ReportError::Build(e.to_string()))?;
 
     // Egress links of the web RSW (drop counters).
     let web_egress: Vec<_> = topo
@@ -1174,7 +1205,7 @@ pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
         let t = SimTime::from_secs(s as u64);
         workload
             .generate(&mut sim, t)
-            .expect("generation stays in the future");
+            .map_err(|e| ReportError::Build(e.to_string()))?;
         sim.run_until(t);
         let total: u64 = web_egress
             .iter()
@@ -1233,7 +1264,7 @@ pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
         .zip(web_util.iter().chain(std::iter::repeat(&0.0)))
         .filter(|(&occ, &util)| occ > 0.7 * dt_ceiling && util < 0.05)
         .count();
-    Fig15Report {
+    Ok(Fig15Report {
         web_median,
         web_max,
         cache_median,
@@ -1243,7 +1274,7 @@ pub fn fig15(cfg: &Fig15Config) -> Fig15Report {
         web_drops,
         web_occ_util_correlation: corr,
         microburst_seconds,
-    }
+    })
 }
 
 fn pearson(a: &[f64], b: &[f64]) -> f64 {

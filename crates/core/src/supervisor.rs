@@ -1,0 +1,277 @@
+//! Run budgets and panic isolation for supervised runs.
+//!
+//! The paper's measurement fleet never gets to run unattended: captures
+//! are wall-clock bounded by collection-server RAM, Fbflow jobs by their
+//! batch scheduler. This module is the simulator-side analogue — a
+//! [`RunSupervisor`] checks wall-clock / event-count / peak-RSS budgets
+//! at cooperative cancellation points (checkpoint boundaries), and
+//! [`isolate`] converts a panicking scenario into an error so a batch of
+//! scenarios degrades to partial results instead of dying wholesale.
+
+use std::fmt;
+use std::panic::{catch_unwind, UnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Resource budget for a supervised run. `None` fields are unlimited.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum wall-clock time.
+    pub wall_clock: Option<Duration>,
+    /// Maximum engine events processed.
+    pub max_events: Option<u64>,
+    /// Maximum peak RSS in bytes (checked against `VmHWM`; only
+    /// enforceable on Linux, silently unlimited elsewhere).
+    pub max_peak_rss: Option<u64>,
+}
+
+impl RunBudget {
+    /// A budget with no limits (every check passes).
+    pub fn unlimited() -> RunBudget {
+        RunBudget::default()
+    }
+}
+
+/// Why a supervised run stopped before completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// The wall-clock budget ran out.
+    WallClock(Duration),
+    /// The event budget ran out after this many processed events.
+    Events(u64),
+    /// Peak RSS exceeded the budget (bytes observed).
+    PeakRss(u64),
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::WallClock(d) => {
+                write!(
+                    f,
+                    "wall-clock budget exhausted after {:.1}s",
+                    d.as_secs_f64()
+                )
+            }
+            StopReason::Events(n) => write!(f, "event budget exhausted after {n} events"),
+            StopReason::PeakRss(b) => {
+                write!(f, "peak RSS {} MiB exceeded budget", b / (1024 * 1024))
+            }
+        }
+    }
+}
+
+/// Watches a run against its [`RunBudget`]. Cancellation is cooperative:
+/// the driver calls [`RunSupervisor::check`] at clean checkpoint
+/// boundaries and stops (after writing a checkpoint) when a limit trips.
+#[derive(Debug)]
+pub struct RunSupervisor {
+    budget: RunBudget,
+    started: Instant,
+}
+
+impl RunSupervisor {
+    /// Starts the wall clock now.
+    pub fn new(budget: RunBudget) -> RunSupervisor {
+        RunSupervisor {
+            budget,
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall-clock time since the supervisor started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Checks every budget axis; `work_units` is the engine's processed
+    /// event count so far. Returns the first exceeded limit, if any.
+    pub fn check(&self, work_units: u64) -> Option<StopReason> {
+        if let Some(limit) = self.budget.wall_clock {
+            let elapsed = self.started.elapsed();
+            if elapsed >= limit {
+                return Some(StopReason::WallClock(elapsed));
+            }
+        }
+        if let Some(limit) = self.budget.max_events {
+            if work_units >= limit {
+                return Some(StopReason::Events(work_units));
+            }
+        }
+        if let Some(limit) = self.budget.max_peak_rss {
+            if let Some(rss) = peak_rss_bytes() {
+                if rss > limit {
+                    return Some(StopReason::PeakRss(rss));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Peak resident set size of this process in bytes, from
+/// `/proc/self/status` `VmHWM`. `None` off Linux or if the field is
+/// missing/unparsable — budget checks then skip the RSS axis rather
+/// than guess.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Runs `f`, converting a panic into `Err` with the panic message. The
+/// unit of isolation for multi-scenario batches: one scenario tripping an
+/// assert (or an auditor `panic!`) must not take down its siblings.
+pub fn isolate<R>(f: impl FnOnce() -> R + UnwindSafe) -> Result<R, String> {
+    match catch_unwind(f) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            };
+            Err(msg)
+        }
+    }
+}
+
+/// Outcome of one scenario in a batch run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// `Ok(summary line)` or `Err(panic/abort message)`.
+    pub result: Result<String, String>,
+}
+
+/// Partial-results rollup of a batch of isolated scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSummary {
+    /// One outcome per scenario, in run order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl BatchSummary {
+    /// An empty summary.
+    pub fn new() -> BatchSummary {
+        BatchSummary::default()
+    }
+
+    /// Records one scenario's outcome.
+    pub fn push(&mut self, name: impl Into<String>, result: Result<String, String>) {
+        self.outcomes.push(ScenarioOutcome {
+            name: name.into(),
+            result,
+        });
+    }
+
+    /// True when every scenario succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.is_ok())
+    }
+
+    /// Number of failed scenarios.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_err()).count()
+    }
+
+    /// ASCII rollup: one line per scenario, failures marked.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            match &o.result {
+                Ok(line) => out.push_str(&format!("ok   {:<14} {}\n", o.name, line)),
+                Err(e) => out.push_str(&format!("FAIL {:<14} {}\n", o.name, e)),
+            }
+        }
+        out.push_str(&format!(
+            "{}/{} scenarios ok\n",
+            self.outcomes.len() - self.failures(),
+            self.outcomes.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let sup = RunSupervisor::new(RunBudget::unlimited());
+        assert_eq!(sup.check(u64::MAX), None);
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_trips_immediately() {
+        let sup = RunSupervisor::new(RunBudget {
+            wall_clock: Some(Duration::ZERO),
+            ..RunBudget::unlimited()
+        });
+        assert!(matches!(sup.check(0), Some(StopReason::WallClock(_))));
+    }
+
+    #[test]
+    fn event_budget_trips_at_threshold() {
+        let sup = RunSupervisor::new(RunBudget {
+            max_events: Some(100),
+            ..RunBudget::unlimited()
+        });
+        assert_eq!(sup.check(99), None);
+        assert_eq!(sup.check(100), Some(StopReason::Events(100)));
+    }
+
+    #[test]
+    fn tiny_rss_budget_trips_on_linux() {
+        let sup = RunSupervisor::new(RunBudget {
+            max_peak_rss: Some(1),
+            ..RunBudget::unlimited()
+        });
+        // Any live process has >1 byte peak RSS; off Linux the axis is
+        // unenforceable and the check passes.
+        if peak_rss_bytes().is_some() {
+            assert!(matches!(sup.check(0), Some(StopReason::PeakRss(_))));
+        } else {
+            assert_eq!(sup.check(0), None);
+        }
+    }
+
+    #[test]
+    fn isolate_returns_ok_value() {
+        assert_eq!(isolate(|| 7), Ok(7));
+    }
+
+    #[test]
+    fn isolate_converts_panics_to_errors() {
+        let r: Result<(), String> = isolate(|| panic!("scenario blew up"));
+        assert_eq!(r, Err("scenario blew up".to_string()));
+    }
+
+    #[test]
+    fn batch_summary_reports_partial_results() {
+        let mut batch = BatchSummary::new();
+        batch.push("table2", Ok("4 rows".into()));
+        batch.push("fig9", Err("index out of bounds".into()));
+        batch.push("fig12", Ok("2 modes".into()));
+        assert!(!batch.all_ok());
+        assert_eq!(batch.failures(), 1);
+        let r = batch.render();
+        assert!(r.contains("FAIL fig9"));
+        assert!(r.contains("2/3 scenarios ok"));
+    }
+}

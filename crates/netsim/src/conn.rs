@@ -7,12 +7,13 @@
 //! costs O(1) memory rather than one entry per packet.
 
 use crate::packet::{ConnId, Dir, FlowKey};
+use serde::{Deserialize, Serialize};
 use sonet_topology::LinkId;
 use sonet_util::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// One run of identical segments awaiting transmission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) struct SegRun {
     /// Number of segments in the run.
     pub count: u64,
@@ -34,7 +35,7 @@ pub(crate) struct Segment {
 }
 
 /// Run-length-encoded FIFO of segments.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub(crate) struct SegQueue {
     runs: VecDeque<SegRun>,
     segments: u64,
@@ -149,7 +150,7 @@ impl SegQueue {
 }
 
 /// Sender + receiver state for one direction of a connection.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub(crate) struct DirState {
     /// Segments not yet put on the wire.
     pub pending: SegQueue,
@@ -184,7 +185,7 @@ impl DirState {
 }
 
 /// Lifecycle of a connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) enum ConnPhase {
     /// SYN sent, not yet accepted.
     Opening,
@@ -197,7 +198,7 @@ pub(crate) enum ConnPhase {
 /// Metadata for a message queued by the application: what the server
 /// should send back and after how long, plus when the client issued it
 /// (for latency accounting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) struct MsgMeta {
     pub response_bytes: u64,
     pub service_time: SimDuration,
@@ -205,7 +206,7 @@ pub(crate) struct MsgMeta {
 }
 
 /// Full state of one simulated connection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Conn {
     #[allow(dead_code)] // identity kept for debugging/assertions
     pub id: ConnId,

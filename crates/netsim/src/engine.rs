@@ -112,6 +112,11 @@ pub struct SimOutputs {
     pub util_interval: Option<SimDuration>,
     /// Buffer occupancy windows, in time order, for sampled switches.
     pub buffer_stats: Vec<BufferWindowStat>,
+    /// Total packets handed to the network (first-hop transmissions
+    /// scheduled), the source side of the conservation law the auditor
+    /// checks: emitted = delivered + dropped + fault-dropped + stale +
+    /// in-flight.
+    pub emitted_packets: u64,
     /// Total packets delivered to hosts.
     pub delivered_packets: u64,
     /// Total application messages whose request fully arrived at servers.
@@ -142,7 +147,7 @@ pub struct SimOutputs {
     pub ended_at: SimTime,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Ev {
     /// Put `pkt` on hop `hop` of its route.
     Transmit { pkt: Packet, hop: u8 },
@@ -174,6 +179,7 @@ enum Ev {
     BufSample,
 }
 
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Scheduled {
     at: SimTime,
     seq: u64,
@@ -197,6 +203,7 @@ impl Ord for Scheduled {
     }
 }
 
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct BufSampler {
     interval: SimDuration,
     window: SimDuration,
@@ -243,6 +250,7 @@ pub struct Simulator<T: PacketTap> {
     buf_sampler: Option<BufSampler>,
     buffer_stats: Vec<BufferWindowStat>,
     // Totals.
+    emitted_packets: u64,
     delivered_packets: u64,
     completed_requests: u64,
     messages_on_closed: u64,
@@ -257,6 +265,9 @@ pub struct Simulator<T: PacketTap> {
     /// Events in the heap that are not periodic buffer samples; lets
     /// [`Simulator::run_to_quiescence`] terminate while sampling is armed.
     real_events: u64,
+    /// Events handled since construction (or since the state captured by
+    /// the restored checkpoint began); the unit of event-count budgets.
+    processed_events: u64,
 }
 
 impl<T: PacketTap> Simulator<T> {
@@ -315,6 +326,7 @@ impl<T: PacketTap> Simulator<T> {
             util_series: HashMap::new(),
             buf_sampler: None,
             buffer_stats: Vec::new(),
+            emitted_packets: 0,
             delivered_packets: 0,
             completed_requests: 0,
             messages_on_closed: 0,
@@ -327,6 +339,7 @@ impl<T: PacketTap> Simulator<T> {
             record_latencies: false,
             latencies: Vec::new(),
             real_events: 0,
+            processed_events: 0,
         })
     }
 
@@ -354,6 +367,22 @@ impl<T: PacketTap> Simulator<T> {
     /// mid-run when a fault plan says so).
     pub fn tap_mut(&mut self) -> &mut T {
         &mut self.tap
+    }
+
+    /// Shared access to the tap (e.g. to checkpoint its state).
+    pub fn tap(&self) -> &T {
+        &self.tap
+    }
+
+    /// Events handled so far; run supervisors use this for event-count
+    /// budgets.
+    pub fn processed_events(&self) -> u64 {
+        self.processed_events
+    }
+
+    /// Events still on the calendar (including housekeeping samples).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
     }
 
     /// Current link/switch health under the faults applied so far.
@@ -628,6 +657,7 @@ impl<T: PacketTap> Simulator<T> {
             if !matches!(ev, Ev::BufSample) {
                 self.real_events -= 1;
             }
+            self.processed_events += 1;
             self.handle(ev);
         }
         self.now = until;
@@ -646,6 +676,7 @@ impl<T: PacketTap> Simulator<T> {
             if !matches!(ev, Ev::BufSample) {
                 self.real_events -= 1;
             }
+            self.processed_events += 1;
             self.handle(ev);
         }
     }
@@ -659,6 +690,7 @@ impl<T: PacketTap> Simulator<T> {
             util_series: self.util_series,
             util_interval: self.util_interval,
             buffer_stats: self.buffer_stats,
+            emitted_packets: self.emitted_packets,
             delivered_packets: self.delivered_packets,
             completed_requests: self.completed_requests,
             messages_on_closed: self.messages_on_closed,
@@ -1199,6 +1231,7 @@ impl<T: PacketTap> Simulator<T> {
             payload,
             wire_bytes: wire,
         };
+        self.emitted_packets += 1;
         self.schedule(self.now, Ev::Transmit { pkt, hop: 0 });
     }
 
@@ -1260,6 +1293,412 @@ impl<T: PacketTap> Simulator<T> {
             while self.now >= sampler.window_start + sampler.window {
                 sampler.window_start += sampler.window;
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------
+
+/// Serialized dynamic state of a [`Simulator`].
+///
+/// Contains everything the engine mutates — the event calendar (drained in
+/// canonical `(time, seq)` order), connection table, link and switch state,
+/// telemetry accumulators, and totals — plus the [`SimConfig`] it ran
+/// under. Topology-derived tables (link rates, propagation delays, buffer
+/// capacities) are rebuilt from the topology passed to
+/// [`Simulator::restore`], so a checkpoint stays small and cannot disagree
+/// with the plant it is replayed against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    cfg: SimConfig,
+    now: SimTime,
+    events: Vec<Scheduled>,
+    next_seq: u64,
+    conns: Vec<Conn>,
+    free_conns: Vec<u32>,
+    next_port: Vec<u16>,
+    link_free_at: Vec<SimTime>,
+    link_backlog: Vec<u64>,
+    link_counters: Vec<LinkCounters>,
+    link_rate_factor: Vec<f64>,
+    health: LinkHealth,
+    watched: Vec<bool>,
+    util_tracked: Vec<bool>,
+    switch_occ: Vec<u64>,
+    util_interval: Option<SimDuration>,
+    /// `util_series` flattened to link-sorted pairs so the serialized form
+    /// is byte-stable across runs.
+    util_series: Vec<(LinkId, Vec<u64>)>,
+    buf_sampler: Option<BufSampler>,
+    buffer_stats: Vec<BufferWindowStat>,
+    emitted_packets: u64,
+    delivered_packets: u64,
+    completed_requests: u64,
+    messages_on_closed: u64,
+    stale_packets: u64,
+    faults_applied: u64,
+    reroutes: u64,
+    reroute_failures: u64,
+    failed_handshakes: u64,
+    aborted_connections: u64,
+    record_latencies: bool,
+    latencies: Vec<SimDuration>,
+    processed_events: u64,
+}
+
+impl EngineCheckpoint {
+    /// Virtual time the checkpoint was taken at.
+    pub fn taken_at(&self) -> SimTime {
+        self.now
+    }
+}
+
+impl<T: PacketTap> Simulator<T> {
+    /// Captures the engine's full dynamic state. Non-destructive: the
+    /// simulator keeps running; the checkpoint is an independent snapshot
+    /// that [`Simulator::restore`] turns back into an identical engine.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        let mut events: Vec<Scheduled> = self.events.iter().map(|r| r.0.clone()).collect();
+        events.sort_by_key(|s| (s.at, s.seq));
+        let mut util_series: Vec<(LinkId, Vec<u64>)> = self
+            .util_series
+            .iter()
+            .map(|(l, v)| (*l, v.clone()))
+            .collect();
+        util_series.sort_by_key(|(l, _)| *l);
+        EngineCheckpoint {
+            cfg: self.cfg.clone(),
+            now: self.now,
+            events,
+            next_seq: self.next_seq,
+            conns: self.conns.clone(),
+            free_conns: self.free_conns.clone(),
+            next_port: self.next_port.clone(),
+            link_free_at: self.link_free_at.clone(),
+            link_backlog: self.link_backlog.clone(),
+            link_counters: self.link_counters.clone(),
+            link_rate_factor: self.link_rate_factor.clone(),
+            health: self.health.clone(),
+            watched: self.watched.clone(),
+            util_tracked: self.util_tracked.clone(),
+            switch_occ: self.switch_occ.clone(),
+            util_interval: self.util_interval,
+            util_series,
+            buf_sampler: self.buf_sampler.clone(),
+            buffer_stats: self.buffer_stats.clone(),
+            emitted_packets: self.emitted_packets,
+            delivered_packets: self.delivered_packets,
+            completed_requests: self.completed_requests,
+            messages_on_closed: self.messages_on_closed,
+            stale_packets: self.stale_packets,
+            faults_applied: self.faults_applied,
+            reroutes: self.reroutes,
+            reroute_failures: self.reroute_failures,
+            failed_handshakes: self.failed_handshakes,
+            aborted_connections: self.aborted_connections,
+            record_latencies: self.record_latencies,
+            latencies: self.latencies.clone(),
+            processed_events: self.processed_events,
+        }
+    }
+
+    /// Rebuilds a simulator from a checkpoint over the same topology.
+    ///
+    /// The restored engine is observationally identical to the one that
+    /// took the checkpoint: continuing both produces byte-identical
+    /// outputs. The tap is supplied by the caller (its state, if any, is
+    /// checkpointed by the layer that owns it). Fails with
+    /// [`SimError::Config`] when the checkpoint's dimensions do not match
+    /// `topo` or its calendar is internally inconsistent.
+    pub fn restore(
+        topo: Arc<Topology>,
+        tap: T,
+        ckpt: EngineCheckpoint,
+    ) -> Result<Simulator<T>, SimError> {
+        let mut sim = Simulator::new(topo, ckpt.cfg.clone(), tap)?;
+        let n_links = sim.topo.links().len();
+        let n_switches = sim.topo.switches().len();
+        let n_hosts = sim.topo.hosts().len();
+        let bad = |what: &str| Err(SimError::Config(format!("checkpoint mismatch: {what}")));
+        if ckpt.link_free_at.len() != n_links
+            || ckpt.link_backlog.len() != n_links
+            || ckpt.link_counters.len() != n_links
+            || ckpt.link_rate_factor.len() != n_links
+            || ckpt.watched.len() != n_links
+            || ckpt.util_tracked.len() != n_links
+        {
+            return bad("link state dimensions do not match the topology");
+        }
+        if ckpt.switch_occ.len() != n_switches {
+            return bad("switch state dimensions do not match the topology");
+        }
+        if ckpt.next_port.len() != n_hosts {
+            return bad("host state dimensions do not match the topology");
+        }
+        if ckpt.health.n_links() != n_links || ckpt.health.n_switches() != n_switches {
+            return bad("health mask dimensions do not match the topology");
+        }
+        for ev in &ckpt.events {
+            if ev.at < ckpt.now {
+                return bad("calendar entry before the checkpointed clock");
+            }
+            if ev.seq >= ckpt.next_seq {
+                return bad("calendar entry with an unissued sequence number");
+            }
+        }
+        for c in &ckpt.conns {
+            if c.route_fwd
+                .iter()
+                .chain(c.route_rev.iter())
+                .any(|l| l.index() >= n_links)
+            {
+                return bad("connection route references an out-of-range link");
+            }
+        }
+        sim.now = ckpt.now;
+        sim.next_seq = ckpt.next_seq;
+        sim.real_events = ckpt
+            .events
+            .iter()
+            .filter(|s| !matches!(s.ev, Ev::BufSample))
+            .count() as u64;
+        sim.events = ckpt.events.into_iter().map(Reverse).collect();
+        sim.conns = ckpt.conns;
+        sim.free_conns = ckpt.free_conns;
+        sim.next_port = ckpt.next_port;
+        sim.link_free_at = ckpt.link_free_at;
+        sim.link_backlog = ckpt.link_backlog;
+        sim.link_counters = ckpt.link_counters;
+        sim.link_rate_factor = ckpt.link_rate_factor;
+        sim.health = ckpt.health;
+        sim.watched = ckpt.watched;
+        sim.util_tracked = ckpt.util_tracked;
+        sim.switch_occ = ckpt.switch_occ;
+        sim.util_interval = ckpt.util_interval;
+        sim.util_series = ckpt.util_series.into_iter().collect();
+        sim.buf_sampler = ckpt.buf_sampler;
+        sim.buffer_stats = ckpt.buffer_stats;
+        sim.emitted_packets = ckpt.emitted_packets;
+        sim.delivered_packets = ckpt.delivered_packets;
+        sim.completed_requests = ckpt.completed_requests;
+        sim.messages_on_closed = ckpt.messages_on_closed;
+        sim.stale_packets = ckpt.stale_packets;
+        sim.faults_applied = ckpt.faults_applied;
+        sim.reroutes = ckpt.reroutes;
+        sim.reroute_failures = ckpt.reroute_failures;
+        sim.failed_handshakes = ckpt.failed_handshakes;
+        sim.aborted_connections = ckpt.aborted_connections;
+        sim.record_latencies = ckpt.record_latencies;
+        sim.latencies = ckpt.latencies;
+        sim.processed_events = ckpt.processed_events;
+        Ok(sim)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invariant auditor
+// ---------------------------------------------------------------------
+
+/// One violated runtime invariant, with the numbers that violated it.
+#[derive(Debug, Clone, Serialize)]
+pub enum AuditViolation {
+    /// Packet conservation broke: every packet the engine ever emitted
+    /// must be delivered, dropped at admission, fault-dropped, counted
+    /// stale, or still in flight on the calendar.
+    PacketConservation {
+        /// Packets handed to the network.
+        emitted: u64,
+        /// Packets delivered to hosts.
+        delivered: u64,
+        /// Packets dropped at buffer admission.
+        dropped: u64,
+        /// Packets lost to injected faults.
+        fault_dropped: u64,
+        /// In-flight packets discarded against recycled connection slots.
+        stale: u64,
+        /// Transmit/Deliver events still on the calendar.
+        in_flight: u64,
+    },
+    /// A link transmitted more bytes than its line rate allows in the time
+    /// it has been busy.
+    LinkOverDelivery {
+        /// The offending link.
+        link: LinkId,
+        /// Bytes the link claims to have serialized.
+        tx_bytes: u64,
+        /// The rate x elapsed bound (with per-packet rounding slack).
+        bound_bytes: u64,
+    },
+    /// A calendar entry is timestamped before the current clock.
+    CalendarInPast {
+        /// The stale entry's timestamp.
+        event_at: SimTime,
+        /// The engine clock.
+        now: SimTime,
+    },
+    /// Telemetry accounting broke: packets offered to a tap must equal
+    /// captured + overflowed + deliberately dropped. (Emitted by the
+    /// capture layer's auditor; the engine itself never raises it.)
+    TelemetryAccounting {
+        /// Packets offered to the collector.
+        offered: u64,
+        /// Packets retained.
+        captured: u64,
+        /// Packets lost to capacity overflow.
+        overflow: u64,
+        /// Packets lost to an injected telemetry fault.
+        fault_dropped: u64,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::PacketConservation {
+                emitted,
+                delivered,
+                dropped,
+                fault_dropped,
+                stale,
+                in_flight,
+            } => write!(
+                f,
+                "packet conservation: emitted {emitted} != delivered {delivered} \
+                 + dropped {dropped} + fault-dropped {fault_dropped} + stale {stale} \
+                 + in-flight {in_flight}"
+            ),
+            AuditViolation::LinkOverDelivery {
+                link,
+                tx_bytes,
+                bound_bytes,
+            } => write!(
+                f,
+                "{link} transmitted {tx_bytes} bytes, above its rate x elapsed \
+                 bound of {bound_bytes}"
+            ),
+            AuditViolation::CalendarInPast { event_at, now } => {
+                write!(f, "calendar entry at {event_at} is before the clock {now}")
+            }
+            AuditViolation::TelemetryAccounting {
+                offered,
+                captured,
+                overflow,
+                fault_dropped,
+            } => write!(
+                f,
+                "telemetry accounting: offered {offered} != captured {captured} \
+                 + overflow {overflow} + fault-dropped {fault_dropped}"
+            ),
+        }
+    }
+}
+
+/// Structured report of every invariant violated at one audit point.
+///
+/// Stringly loud by design: `Display` renders each violation with its
+/// numbers, and the report serializes to JSON for machine consumption.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditReport {
+    /// Virtual time the audit ran at.
+    pub at: SimTime,
+    /// Every invariant that did not hold.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "invariant audit at {} found {} violation(s):",
+            self.at,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AuditReport {}
+
+impl<T: PacketTap> Simulator<T> {
+    /// Checks the engine's conservation laws, failing with a structured
+    /// [`AuditReport`] when any are violated:
+    ///
+    /// 1. packets emitted = delivered + dropped + fault-dropped + stale +
+    ///    in-flight (calendar Transmit/Deliver entries);
+    /// 2. per-link transmitted bytes <= line rate x busy time (plus one
+    ///    nanosecond of serialization-rounding slack per packet);
+    /// 3. the event calendar is monotonic (no entry before the clock).
+    ///
+    /// O(events + links); intended to run at checkpoint boundaries, not in
+    /// the hot loop.
+    pub fn audit(&self) -> Result<(), AuditReport> {
+        let mut violations = Vec::new();
+
+        let mut in_flight = 0u64;
+        for r in self.events.iter() {
+            let s = &r.0;
+            if matches!(s.ev, Ev::Transmit { .. } | Ev::Deliver { .. }) {
+                in_flight += 1;
+            }
+            if s.at < self.now {
+                violations.push(AuditViolation::CalendarInPast {
+                    event_at: s.at,
+                    now: self.now,
+                });
+            }
+        }
+        let dropped: u64 = self.link_counters.iter().map(|c| c.drop_packets).sum();
+        let fault_dropped: u64 = self
+            .link_counters
+            .iter()
+            .map(|c| c.fault_drop_packets)
+            .sum();
+        let accounted =
+            self.delivered_packets + dropped + fault_dropped + self.stale_packets + in_flight;
+        if self.emitted_packets != accounted {
+            violations.push(AuditViolation::PacketConservation {
+                emitted: self.emitted_packets,
+                delivered: self.delivered_packets,
+                dropped,
+                fault_dropped,
+                stale: self.stale_packets,
+                in_flight,
+            });
+        }
+
+        for (li, c) in self.link_counters.iter().enumerate() {
+            if c.tx_bytes == 0 {
+                continue;
+            }
+            // The link serializes back to back, so its cumulative bytes fit
+            // under nominal-rate x the time it has been committed to
+            // (`link_free_at`), plus up to one nanosecond of rounding per
+            // packet. Degraded rates only lower throughput (factor <= 1),
+            // so the nominal rate stays a sound bound.
+            let bytes_per_ns = self.link_gbps[li] * 0.125;
+            let busy_ns = self.link_free_at[li].as_nanos();
+            let bound = bytes_per_ns * (busy_ns + c.tx_packets + 1) as f64;
+            if c.tx_bytes as f64 > bound {
+                violations.push(AuditViolation::LinkOverDelivery {
+                    link: LinkId(li as u32),
+                    tx_bytes: c.tx_bytes,
+                    bound_bytes: bound as u64,
+                });
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(AuditReport {
+                at: self.now,
+                violations,
+            })
         }
     }
 }
@@ -2080,5 +2519,142 @@ mod tests {
             .expect("response observed");
         // SYN + SYN-ACK + request + response = 4 one-way backbone crossings.
         assert!(resp_at >= SimTime::from_millis(4), "resp at {resp_at}");
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpoint / restore / audit
+    // -----------------------------------------------------------------
+
+    /// Builds a busy simulator: several cross-rack connections with
+    /// staggered messages so the calendar holds a mix of every event kind.
+    fn busy_sim(topo: &Arc<Topology>) -> Simulator<NullTap> {
+        let mut sim =
+            Simulator::new(Arc::clone(topo), SimConfig::default(), NullTap).expect("valid config");
+        sim.track_utilization(
+            SimDuration::from_micros(500),
+            &[LinkId(0), LinkId(1), LinkId(2), LinkId(3)],
+        )
+        .expect("track");
+        for i in 0..6 {
+            let a = topo.racks()[i % 3].hosts[i % 4];
+            let b = topo.racks()[3].hosts[(i + 1) % 4];
+            let conn = sim
+                .open_connection(SimTime::from_micros(i as u64 * 50), a, b, 3306)
+                .expect("open");
+            for m in 0..3 {
+                sim.send_message(
+                    conn,
+                    SimTime::from_micros(i as u64 * 50 + m * 200),
+                    400 + m * 100,
+                    5_000 + m * 2_000,
+                    SimDuration::from_micros(80),
+                )
+                .expect("send");
+            }
+        }
+        sim
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let topo = two_cluster_topo();
+
+        // Uninterrupted run.
+        let mut straight = busy_sim(&topo);
+        straight.run_to_quiescence();
+        let (out_straight, _) = straight.finish();
+
+        // Same run, checkpointed mid-flight (traffic still on the wire),
+        // serialized through JSON, restored, then run to completion.
+        let mut first = busy_sim(&topo);
+        first.run_until(SimTime::from_micros(700));
+        assert!(first.pending_events() > 0, "checkpoint must be mid-flight");
+        let json = serde_json::to_string(&first.checkpoint()).expect("serialize");
+        let ckpt: EngineCheckpoint = serde_json::from_str(&json).expect("parse");
+        let mut resumed = Simulator::restore(Arc::clone(&topo), NullTap, ckpt).expect("restore");
+        resumed.run_to_quiescence();
+        let (out_resumed, _) = resumed.finish();
+
+        assert_eq!(
+            serde_json::to_string(&out_straight).expect("json"),
+            serde_json::to_string(&out_resumed).expect("json"),
+            "resumed outputs must be byte-identical to the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_counters_and_clock() {
+        let topo = two_cluster_topo();
+        let mut sim = busy_sim(&topo);
+        sim.run_until(SimTime::from_micros(900));
+        let ckpt = sim.checkpoint();
+        assert_eq!(ckpt.taken_at(), SimTime::from_micros(900));
+        let restored = Simulator::restore(Arc::clone(&topo), NullTap, ckpt).expect("restore");
+        assert_eq!(restored.now(), sim.now());
+        assert_eq!(restored.pending_events(), sim.pending_events());
+        assert_eq!(restored.processed_events(), sim.processed_events());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_topology() {
+        let topo = two_cluster_topo();
+        let mut sim = busy_sim(&topo);
+        sim.run_until(SimTime::from_micros(500));
+        let ckpt = sim.checkpoint();
+        let other = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 2)]))
+                .expect("valid"),
+        );
+        match Simulator::restore(other, NullTap, ckpt) {
+            Err(SimError::Config(msg)) => assert!(msg.contains("checkpoint mismatch")),
+            Err(other) => panic!("expected Config error, got {other:?}"),
+            Ok(_) => panic!("expected Config error, got a restored simulator"),
+        }
+    }
+
+    #[test]
+    fn audit_holds_throughout_a_run() {
+        let topo = two_cluster_topo();
+        let mut sim = busy_sim(&topo);
+        for step in 1..=8u64 {
+            sim.run_until(SimTime::from_micros(step * 300));
+            sim.audit().expect("invariants must hold mid-run");
+        }
+        sim.run_to_quiescence();
+        sim.audit().expect("invariants must hold at quiescence");
+    }
+
+    #[test]
+    fn audit_detects_conservation_break() {
+        let topo = two_cluster_topo();
+        let mut sim = busy_sim(&topo);
+        sim.run_until(SimTime::from_millis(1));
+        sim.delivered_packets += 1; // corrupt a counter behind the engine's back
+        let report = sim.audit().expect_err("corruption must be detected");
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::PacketConservation { .. })));
+        let rendered = report.to_string();
+        assert!(rendered.contains("packet conservation"), "{rendered}");
+    }
+
+    #[test]
+    fn audit_detects_link_over_delivery() {
+        let topo = two_cluster_topo();
+        let mut sim = busy_sim(&topo);
+        sim.run_to_quiescence();
+        // A link that claims traffic while its clock says it was never busy
+        // violates the rate x elapsed bound. Keep packet conservation
+        // intact by inflating only the byte counter.
+        let li = (0..sim.link_counters.len())
+            .find(|&i| sim.link_counters[i].tx_bytes > 0)
+            .expect("some link carried traffic");
+        sim.link_counters[li].tx_bytes += 10_000_000_000;
+        let report = sim.audit().expect_err("over-delivery must be detected");
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::LinkOverDelivery { .. })));
     }
 }

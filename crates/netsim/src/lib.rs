@@ -41,7 +41,10 @@ pub mod packet;
 pub mod tap;
 
 pub use config::{BufferConfig, SimConfig};
-pub use engine::{BufferWindowStat, LinkCounters, SimError, SimOutputs, Simulator};
+pub use engine::{
+    AuditReport, AuditViolation, BufferWindowStat, EngineCheckpoint, LinkCounters, SimError,
+    SimOutputs, Simulator,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use packet::{ConnId, Dir, FlowKey, Packet, PacketKind};
 pub use tap::{NullTap, PacketTap};

@@ -7,7 +7,9 @@
 //! import at the first bad record.
 
 use crate::records::{FlowRecord, PacketRecord};
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 /// Import statistics: what was read and what was rejected.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,6 +80,162 @@ pub fn read_flows<R: Read>(input: R) -> io::Result<(Vec<FlowRecord>, ImportStats
         }
     }
     Ok((records, stats))
+}
+
+/// What [`TraceSpool::recover`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Complete lines retained.
+    pub lines: u64,
+    /// Bytes of torn trailing line discarded (a crash mid-write leaves a
+    /// partial last record; recovery truncates it away).
+    pub dropped_bytes: u64,
+}
+
+/// Crash-safe, append-only JSONL spool.
+///
+/// A supervised run appends records incrementally instead of buffering a
+/// whole capture in memory, and calls [`TraceSpool::sync`] at every
+/// checkpoint so the line count recorded in the checkpoint is durable on
+/// disk. Two recovery paths close the crash window:
+///
+/// * [`TraceSpool::recover`] reopens after an unclean shutdown, truncating
+///   a torn trailing line (the only corruption an append-only writer can
+///   leave behind);
+/// * [`TraceSpool::resume`] reopens at a checkpoint-recorded line count,
+///   discarding records spooled after the last checkpoint so the file and
+///   the restored simulation state agree again.
+///
+/// Either way the file stays valid JSONL that the tolerant readers above
+/// ([`read_flows`], [`ImportStats::skipped`]) accept in full.
+#[derive(Debug)]
+pub struct TraceSpool {
+    w: BufWriter<File>,
+    path: PathBuf,
+    lines: u64,
+}
+
+impl TraceSpool {
+    /// Creates (or truncates) a spool at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<TraceSpool> {
+        let path = path.as_ref().to_path_buf();
+        let f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(TraceSpool {
+            w: BufWriter::new(f),
+            path,
+            lines: 0,
+        })
+    }
+
+    /// Reopens a spool after an unclean shutdown: scans for the last
+    /// complete line, truncates anything after it, and appends from there.
+    pub fn recover(path: impl AsRef<Path>) -> io::Result<(TraceSpool, RecoveryStats)> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = OpenOptions::new().read(true).write(true).open(&path)?;
+        let (lines, end) = scan_complete_lines(&mut f, u64::MAX)?;
+        let file_len = f.seek(SeekFrom::End(0))?;
+        let dropped = file_len - end;
+        if dropped > 0 {
+            f.set_len(end)?;
+        }
+        f.seek(SeekFrom::Start(end))?;
+        Ok((
+            TraceSpool {
+                w: BufWriter::new(f),
+                path,
+                lines,
+            },
+            RecoveryStats {
+                lines,
+                dropped_bytes: dropped,
+            },
+        ))
+    }
+
+    /// Reopens a spool at a checkpoint-recorded line count, truncating any
+    /// records spooled after that checkpoint. Fails with `InvalidData`
+    /// when the file holds fewer complete lines than the checkpoint claims
+    /// — the spool and checkpoint then cannot belong to the same run.
+    pub fn resume(path: impl AsRef<Path>, lines: u64) -> io::Result<TraceSpool> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = OpenOptions::new().read(true).write(true).open(&path)?;
+        let (found, end) = scan_complete_lines(&mut f, lines)?;
+        if found < lines {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "spool {} holds {found} complete lines, checkpoint expects {lines}",
+                    path.display()
+                ),
+            ));
+        }
+        f.set_len(end)?;
+        f.seek(SeekFrom::Start(end))?;
+        Ok(TraceSpool {
+            w: BufWriter::new(f),
+            path,
+            lines,
+        })
+    }
+
+    /// Appends one record as a JSON line.
+    pub fn append<T: serde::Serialize>(&mut self, record: &T) -> io::Result<()> {
+        serde_json::to_writer(&mut self.w, record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.w.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered records and syncs file data to disk, returning the
+    /// durable line count (what a checkpoint should record).
+    pub fn sync(&mut self) -> io::Result<u64> {
+        self.w.flush()?;
+        self.w.get_ref().sync_data()?;
+        Ok(self.lines)
+    }
+
+    /// Complete lines written so far (buffered ones included).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The spool's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Scans up to `max_lines` newline-terminated lines from the start of
+/// `f`, returning `(lines_found, byte_offset_after_last_counted_line)`.
+fn scan_complete_lines(f: &mut File, max_lines: u64) -> io::Result<(u64, u64)> {
+    f.seek(SeekFrom::Start(0))?;
+    let mut r = BufReader::new(&mut *f);
+    let mut lines = 0u64;
+    let mut end = 0u64;
+    let mut pos = 0u64;
+    let mut buf = [0u8; 64 * 1024];
+    'outer: loop {
+        let n = r.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        for &b in &buf[..n] {
+            pos += 1;
+            if b == b'\n' {
+                lines += 1;
+                end = pos;
+                if lines >= max_lines {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Ok((lines, end))
 }
 
 /// Writes a demand matrix as CSV (plotting hand-off for Fig 5).
@@ -198,6 +356,88 @@ mod tests {
         let (back, stats) = read_flows(buf.as_slice()).expect("read");
         assert_eq!(back, records);
         assert_eq!(stats, ImportStats { ok: 2, skipped: 1 });
+    }
+
+    fn flow(at_secs: u64) -> FlowRecord {
+        FlowRecord {
+            at: SimTime::from_secs(at_secs),
+            capture_host: HostId(0),
+            src: HostId(0),
+            dst: HostId(1),
+            src_port: 40000,
+            dst_port: 80,
+            bytes: 1000 + at_secs,
+            packets: 2,
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sonet-export-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn spool_appends_and_reads_back() {
+        let path = temp_path("basic.jsonl");
+        let mut spool = TraceSpool::create(&path).expect("create");
+        for s in 0..5 {
+            spool.append(&flow(s)).expect("append");
+        }
+        assert_eq!(spool.sync().expect("sync"), 5);
+        let (back, stats) = read_flows(File::open(&path).expect("open")).expect("read");
+        assert_eq!(back.len(), 5);
+        assert_eq!(stats.skipped, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spool_recovery_truncates_torn_tail() {
+        let path = temp_path("torn.jsonl");
+        let mut spool = TraceSpool::create(&path).expect("create");
+        for s in 0..3 {
+            spool.append(&flow(s)).expect("append");
+        }
+        spool.sync().expect("sync");
+        drop(spool);
+        // A crash mid-write leaves a partial record with no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        f.write_all(b"{\"at\":999,\"cap").expect("tear");
+        drop(f);
+
+        let (mut spool, stats) = TraceSpool::recover(&path).expect("recover");
+        assert_eq!(stats.lines, 3);
+        assert!(stats.dropped_bytes > 0);
+        spool.append(&flow(3)).expect("append after recovery");
+        spool.sync().expect("sync");
+        let (back, read_stats) = read_flows(File::open(&path).expect("open")).expect("read");
+        assert_eq!(back.len(), 4, "recovered file must be clean JSONL");
+        assert_eq!(read_stats.skipped, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spool_resume_discards_post_checkpoint_records() {
+        let path = temp_path("resume.jsonl");
+        let mut spool = TraceSpool::create(&path).expect("create");
+        for s in 0..4 {
+            spool.append(&flow(s)).expect("append");
+        }
+        let at_checkpoint = spool.sync().expect("sync");
+        // Records spooled after the checkpoint that never made it into one.
+        spool.append(&flow(4)).expect("append");
+        spool.append(&flow(5)).expect("append");
+        spool.sync().expect("sync");
+        drop(spool);
+
+        let spool = TraceSpool::resume(&path, at_checkpoint).expect("resume");
+        assert_eq!(spool.lines(), 4);
+        drop(spool);
+        let (back, _) = read_flows(File::open(&path).expect("open")).expect("read");
+        assert_eq!(back.len(), 4);
+
+        // A checkpoint claiming more lines than the file holds is corrupt.
+        let err = TraceSpool::resume(&path, 10).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

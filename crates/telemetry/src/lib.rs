@@ -28,7 +28,7 @@ pub mod records;
 pub mod scuba;
 pub mod taps;
 
-pub use export::ImportStats;
+pub use export::{ImportStats, RecoveryStats, TraceSpool};
 pub use fbflow::{FbflowConfig, FbflowSampler, Tagger};
 pub use mirror::PortMirror;
 pub use records::{FlowRecord, PacketRecord, TaggedRecord};

@@ -17,7 +17,12 @@ use sonet_topology::{HostId, LinkId, Topology};
 use sonet_util::SimTime;
 
 /// RAM-bounded full-fidelity capture of mirrored ports.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a supervised capture can checkpoint its tap alongside
+/// the engine: the mirror *is* dynamic state (records, loss counters, the
+/// deterministic loss schedule's packet ordinal) and must resume exactly
+/// where it stopped for a resumed capture to be byte-identical.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PortMirror {
     records: Vec<PacketRecord>,
     capacity: usize,

@@ -7,7 +7,9 @@ use sonet_util::{SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// In-memory table of tagged Fbflow rows with simple group-by queries.
-#[derive(Debug, Clone, Default)]
+/// Serializable so determinism suites can fingerprint a whole table and
+/// assert a resumed run reproduced it byte-for-byte.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ScubaTable {
     rows: Vec<TaggedRecord>,
 }

@@ -18,7 +18,7 @@ use crate::LinkId;
 /// individual entries. The mask is intentionally divorced from the
 /// topology itself so one immutable, shared plant can be simulated under
 /// many failure schedules.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct LinkHealth {
     link_up: Vec<bool>,
     switch_up: Vec<bool>,
@@ -69,6 +69,17 @@ impl LinkHealth {
                 self.down_switches += 1;
             }
         }
+    }
+
+    /// Number of links the mask covers (checkpoint restore validates this
+    /// against the topology it is replayed over).
+    pub fn n_links(&self) -> usize {
+        self.link_up.len()
+    }
+
+    /// Number of switches the mask covers.
+    pub fn n_switches(&self) -> usize {
+        self.switch_up.len()
     }
 
     /// The raw link flag (ignores switch state).

@@ -23,7 +23,11 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// A deterministic, forkable pseudo-random number generator
 /// (`xoshiro256**`).
-#[derive(Debug, Clone)]
+///
+/// The state serializes (four words) so a checkpointed run can resume its
+/// streams exactly where they stopped; equality compares the full state,
+/// which is what checkpoint round-trip tests assert.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Rng {
     s: [u64; 4],
 }

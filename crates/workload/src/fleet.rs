@@ -195,6 +195,22 @@ pub struct FleetModel {
     host_sample_bytes: Vec<f64>,
     /// Fallback counter: records whose desired locality had no candidate.
     relaxed: u64,
+    /// Next host to emit samples for (generation is resumable host by
+    /// host; see [`FleetModel::generate_chunk`]).
+    next_host: u32,
+}
+
+/// Serialized dynamic state of a [`FleetModel`].
+///
+/// The demand tables and per-host byte budgets are pure functions of
+/// `(topology, config)` and are rebuilt by [`FleetModel::new`]; the state
+/// carries only the generation cursor, the RNG stream, and the
+/// relaxed-pick counter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetModelState {
+    next_host: u32,
+    rng: Rng,
+    relaxed: u64,
 }
 
 impl FleetModel {
@@ -227,6 +243,7 @@ impl FleetModel {
             demand: demand_tables(),
             host_sample_bytes,
             relaxed: 0,
+            next_host: 0,
         }
     }
 
@@ -235,20 +252,78 @@ impl FleetModel {
         self.relaxed
     }
 
+    /// Hosts whose samples have been emitted so far.
+    pub fn hosts_done(&self) -> u32 {
+        self.next_host
+    }
+
+    /// True once every host's samples have been emitted.
+    pub fn exhausted(&self) -> bool {
+        self.next_host as usize >= self.topo.hosts().len()
+    }
+
+    /// Captures the generator's dynamic state for checkpointing.
+    pub fn state(&self) -> FleetModelState {
+        FleetModelState {
+            next_host: self.next_host,
+            rng: self.rng.clone(),
+            relaxed: self.relaxed,
+        }
+    }
+
+    /// Restores dynamic state captured by [`FleetModel::state`] into a
+    /// model built with identical `(topology, config, seed)`. Fails when
+    /// the cursor lies outside this topology — the telltale of a state
+    /// replayed against the wrong plant.
+    pub fn restore_state(&mut self, state: FleetModelState) -> Result<(), String> {
+        if state.next_host as usize > self.topo.hosts().len() {
+            return Err(format!(
+                "fleet state cursor {} exceeds the {} hosts of this topology",
+                state.next_host,
+                self.topo.hosts().len()
+            ));
+        }
+        self.next_host = state.next_host;
+        self.rng = state.rng;
+        self.relaxed = state.relaxed;
+        Ok(())
+    }
+
     /// Generates the full sample stream (capture agent = the sender, so
     /// bytes are counted once).
     pub fn generate(&mut self) -> Vec<FlowRecord> {
         let n_hosts = self.topo.hosts().len();
-        let mut out = Vec::with_capacity(n_hosts * self.cfg.samples_per_host as usize);
-        for hi in 0..n_hosts {
-            let src = HostId(hi as u32);
+        let mut out = Vec::with_capacity(
+            n_hosts.saturating_sub(self.next_host as usize) * self.cfg.samples_per_host as usize,
+        );
+        while !self.exhausted() {
+            out.extend(self.generate_chunk(u32::MAX));
+        }
+        out.sort_by_key(|r| r.at);
+        out
+    }
+
+    /// Emits the samples of up to `max_hosts` further hosts, advancing the
+    /// cursor. Returns records in emission (host) order, **not** time
+    /// order: a supervised run concatenates chunks across checkpoints and
+    /// applies the same stable time sort `generate` uses at the end, which
+    /// makes a resumed run's stream identical to an uninterrupted one.
+    pub fn generate_chunk(&mut self, max_hosts: u32) -> Vec<FlowRecord> {
+        let n_hosts = self.topo.hosts().len();
+        let stop = (self.next_host as usize).saturating_add(max_hosts as usize);
+        let stop = stop.min(n_hosts);
+        let mut out = Vec::with_capacity(
+            (stop - self.next_host as usize) * self.cfg.samples_per_host as usize,
+        );
+        while (self.next_host as usize) < stop {
+            let src = HostId(self.next_host);
             for _ in 0..self.cfg.samples_per_host {
                 if let Some(rec) = self.one_sample(src) {
                     out.push(rec);
                 }
             }
+            self.next_host += 1;
         }
-        out.sort_by_key(|r| r.at);
         out
     }
 

@@ -32,10 +32,10 @@ pub mod profile;
 pub mod workload;
 
 pub use diurnal::DiurnalPattern;
-pub use fleet::{FleetConfig, FleetModel};
+pub use fleet::{FleetConfig, FleetModel, FleetModelState};
 pub use literature::LiteratureWorkload;
-pub use pool::ConnPool;
+pub use pool::{ConnPool, PoolEntry};
 pub use profile::{
     CallPattern, DestSelector, HotObjectConfig, LoadBalance, PoolMode, RpcProfile, ServiceProfiles,
 };
-pub use workload::{Workload, WorkloadError};
+pub use workload::{Workload, WorkloadCheckpoint, WorkloadError};

@@ -25,6 +25,20 @@ pub struct ConnPool {
     total: usize,
 }
 
+/// One pooled 5-tuple family in a checkpoint: the `(src, dst, port)` key
+/// and its live connection handles, in open order.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PoolEntry {
+    /// Pool source host.
+    pub src: HostId,
+    /// Pool destination host.
+    pub dst: HostId,
+    /// Destination service port.
+    pub port: u16,
+    /// Live connections of this family.
+    pub conns: Vec<ConnId>,
+}
+
 impl ConnPool {
     /// Empty pool.
     pub fn new() -> ConnPool {
@@ -80,6 +94,35 @@ impl ConnPool {
                 self.total -= 1;
             }
         }
+    }
+
+    /// Flattens the pool into key-sorted entries for checkpointing: the
+    /// serialized form is byte-stable regardless of hash-map iteration
+    /// order.
+    pub fn snapshot(&self) -> Vec<PoolEntry> {
+        let mut out: Vec<PoolEntry> = self
+            .conns
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&(src, dst, port), conns)| PoolEntry {
+                src,
+                dst,
+                port,
+                conns: conns.clone(),
+            })
+            .collect();
+        out.sort_by_key(|e| (e.src, e.dst, e.port));
+        out
+    }
+
+    /// Rebuilds a pool from a [`ConnPool::snapshot`].
+    pub fn restore(entries: Vec<PoolEntry>) -> ConnPool {
+        let mut pool = ConnPool::new();
+        for e in entries {
+            pool.total += e.conns.len();
+            pool.conns.insert((e.src, e.dst, e.port), e.conns);
+        }
+        pool
     }
 
     /// Number of live pooled connections.

@@ -8,7 +8,7 @@
 //! to a horizon, then `Simulator::run_until` the same horizon, and repeat —
 //! memory stays bounded no matter how long the trace.
 
-use crate::pool::ConnPool;
+use crate::pool::{ConnPool, PoolEntry};
 use crate::profile::{ports, CallPattern, DestSelector, LoadBalance, PoolMode, ServiceProfiles};
 use sonet_netsim::{PacketTap, SimError, Simulator};
 use sonet_topology::{ClusterId, DatacenterId, HostId, HostRole, Topology};
@@ -24,6 +24,8 @@ pub enum WorkloadError {
     BadProfiles(String),
     /// No hosts were selected for generation.
     NothingActive,
+    /// A checkpoint does not match the workload it is being restored into.
+    BadCheckpoint(String),
 }
 
 impl fmt::Display for WorkloadError {
@@ -31,6 +33,7 @@ impl fmt::Display for WorkloadError {
         match self {
             WorkloadError::BadProfiles(e) => write!(f, "invalid profiles: {e}"),
             WorkloadError::NothingActive => write!(f, "no active hosts in workload"),
+            WorkloadError::BadCheckpoint(e) => write!(f, "checkpoint mismatch: {e}"),
         }
     }
 }
@@ -661,6 +664,117 @@ impl Workload {
             }
             w
         })
+    }
+}
+
+/// Serialized dynamic state of a [`Workload`].
+///
+/// Static structure — the agent roster, pattern rate multipliers, and
+/// per-agent rack preference orders — is a pure function of
+/// `(topology, profiles, seed, active clusters)` and is rebuilt by
+/// constructing a fresh workload with the same arguments; the checkpoint
+/// carries only what generation mutates: each agent's RNG stream, next
+/// burst times, and Hadoop phase machine, plus the connection pool and
+/// counters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadCheckpoint {
+    generated_until: SimTime,
+    agents: Vec<AgentCheckpoint>,
+    pool: Vec<PoolEntry>,
+    skipped_calls: u64,
+    issued_calls: u64,
+    reopened_conns: u64,
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct AgentCheckpoint {
+    host: HostId,
+    rng: Rng,
+    next_bursts: Vec<SimTime>,
+    phase: Option<PhaseCheckpoint>,
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct PhaseCheckpoint {
+    busy: bool,
+    until: SimTime,
+}
+
+impl Workload {
+    /// Captures the workload's dynamic state for checkpointing.
+    pub fn checkpoint(&self) -> WorkloadCheckpoint {
+        WorkloadCheckpoint {
+            generated_until: self.generated_until,
+            agents: self
+                .agents
+                .iter()
+                .map(|a| AgentCheckpoint {
+                    host: a.host,
+                    rng: a.rng.clone(),
+                    next_bursts: a.patterns.iter().map(|p| p.next_burst).collect(),
+                    phase: a.phase.as_ref().map(|p| PhaseCheckpoint {
+                        busy: p.busy,
+                        until: p.until,
+                    }),
+                })
+                .collect(),
+            pool: self.pool.snapshot(),
+            skipped_calls: self.skipped_calls,
+            issued_calls: self.issued_calls,
+            reopened_conns: self.reopened_conns,
+        }
+    }
+
+    /// Restores dynamic state from a checkpoint taken by an identically
+    /// constructed workload (same topology, profiles, seed, and active
+    /// clusters). Fails when the agent roster does not line up — the
+    /// telltale of a checkpoint replayed against the wrong scenario.
+    pub fn restore(&mut self, ckpt: WorkloadCheckpoint) -> Result<(), WorkloadError> {
+        if ckpt.agents.len() != self.agents.len() {
+            return Err(WorkloadError::BadCheckpoint(format!(
+                "checkpoint has {} agents, workload has {}",
+                ckpt.agents.len(),
+                self.agents.len()
+            )));
+        }
+        for (agent, saved) in self.agents.iter().zip(&ckpt.agents) {
+            if agent.host != saved.host {
+                return Err(WorkloadError::BadCheckpoint(format!(
+                    "agent on {} does not match checkpointed {}",
+                    agent.host, saved.host
+                )));
+            }
+            if agent.patterns.len() != saved.next_bursts.len() {
+                return Err(WorkloadError::BadCheckpoint(format!(
+                    "agent on {} has {} patterns, checkpoint has {}",
+                    agent.host,
+                    agent.patterns.len(),
+                    saved.next_bursts.len()
+                )));
+            }
+            if agent.phase.is_some() != saved.phase.is_some() {
+                return Err(WorkloadError::BadCheckpoint(format!(
+                    "agent on {} phase machine presence differs",
+                    agent.host
+                )));
+            }
+        }
+        for (agent, saved) in self.agents.iter_mut().zip(ckpt.agents) {
+            agent.rng = saved.rng;
+            for (st, next) in agent.patterns.iter_mut().zip(saved.next_bursts) {
+                st.next_burst = next;
+            }
+            agent.phase = saved.phase.map(|p| PhaseState {
+                busy: p.busy,
+                until: p.until,
+            });
+        }
+        self.pool = ConnPool::restore(ckpt.pool);
+        self.generated_until = ckpt.generated_until;
+        self.skipped_calls = ckpt.skipped_calls;
+        self.issued_calls = ckpt.issued_calls;
+        self.reopened_conns = ckpt.reopened_conns;
+        Ok(())
     }
 }
 

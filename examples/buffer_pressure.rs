@@ -30,7 +30,8 @@ fn main() {
             shared_bytes: 32 << 10,
             alpha: 1.0,
         },
-    });
+    })
+    .expect("fig15 config is valid");
     println!("{}", report.render());
 
     // Part 2: incast into one host under different shared-buffer budgets.

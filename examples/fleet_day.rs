@@ -4,22 +4,78 @@
 //!
 //! ```sh
 //! cargo run --release --example fleet_day [samples_per_host] [out.json]
+//!     [--tiny] [--max-secs N] [--checkpoint DIR]
 //! ```
+//!
+//! `--max-secs` (and/or `--checkpoint`) routes the run through the
+//! supervised driver: samples spool to disk with rolling checkpoints, the
+//! invariant auditor runs at each boundary, and a budget stop exits with
+//! code 2 leaving a resumable checkpoint behind (CI uses this as its
+//! smoke test of the supervision path).
 
 use sonet_dc::core::reports::{fig5, table3};
+use sonet_dc::core::supervised::{run_fleet, RunStatus, SuperviseOptions};
+use sonet_dc::core::supervisor::RunBudget;
 use sonet_dc::core::{FleetData, FleetRunConfig, ScenarioScale};
+use std::time::Duration;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let samples: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
-    let out_path = args.next();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut samples: u32 = 100;
+    let mut out_path: Option<String> = None;
+    let mut tiny = false;
+    let mut max_secs: Option<u64> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--max-secs" => max_secs = it.next().and_then(|s| s.parse().ok()),
+            "--checkpoint" => checkpoint = it.next().cloned(),
+            other => {
+                if let Ok(n) = other.parse() {
+                    samples = n;
+                } else {
+                    out_path = Some(other.to_string());
+                }
+            }
+        }
+    }
 
-    let fleet = FleetData::run(&FleetRunConfig {
+    let cfg = FleetRunConfig {
         seed: 2015,
-        scale: ScenarioScale::Standard,
+        scale: if tiny {
+            ScenarioScale::Tiny
+        } else {
+            ScenarioScale::Standard
+        },
         samples_per_host: samples,
         agent_loss: 0.0,
-    });
+    };
+
+    let fleet = if max_secs.is_some() || checkpoint.is_some() {
+        let dir = checkpoint.unwrap_or_else(|| "fleet-day-checkpoints".to_string());
+        let opts = SuperviseOptions {
+            budget: RunBudget {
+                wall_clock: max_secs.map(Duration::from_secs),
+                ..RunBudget::unlimited()
+            },
+            ..SuperviseOptions::new(dir)
+        };
+        match run_fleet(&cfg, &opts).expect("supervised fleet run") {
+            (RunStatus::Completed, Some(data)) => data,
+            (RunStatus::Stopped(reason), _) => {
+                eprintln!(
+                    "stopped ({reason}); checkpoint at {}",
+                    opts.fleet_checkpoint_path().display()
+                );
+                std::process::exit(2);
+            }
+            (RunStatus::Completed, None) => unreachable!("completed runs carry results"),
+        }
+    } else {
+        FleetData::run(&cfg).expect("fleet run")
+    };
     println!(
         "fleet: {} hosts, {} Fbflow rows, {} relaxed locality picks\n",
         fleet.topo.hosts().len(),
@@ -27,7 +83,7 @@ fn main() {
         fleet.relaxed_picks
     );
     println!("{}", table3(&fleet).render());
-    let f5 = fig5(&fleet);
+    let f5 = fig5(&fleet).expect("fleet plants have all cluster types");
     println!("{}", f5.render());
 
     if let Some(path) = out_path {

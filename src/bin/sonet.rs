@@ -3,14 +3,31 @@
 //! ```text
 //! sonet list                         list experiment ids
 //! sonet run <id> [--seed N] [--fast] regenerate one table/figure
-//! sonet all [--seed N] [--fast]      regenerate everything
+//! sonet all [--seed N] [--fast]      regenerate everything (panic-isolated)
+//! sonet capture [opts]               supervised packet-tier capture
+//! sonet fleet [opts]                 supervised fleet-tier run
 //! sonet export-fleet <out.jsonl>     dump a fleet-tier Fbflow day
 //! sonet export-matrix <out.csv>      dump the Fig 5 frontend rack matrix
 //! ```
+//!
+//! Supervised runs (`capture`, `fleet`) checkpoint to `--checkpoint DIR`
+//! at regular intervals, audit engine invariants at every checkpoint
+//! boundary (in debug builds or with the `audit` feature), stop cleanly
+//! when a `--max-*` budget trips (exit code 2, resumable), and pick up
+//! from a prior checkpoint with `--resume FILE` — producing final results
+//! byte-identical to an uninterrupted run.
 
 use sonet_dc::core::reports;
-use sonet_dc::core::{FleetData, FleetRunConfig, Lab, LabConfig};
+use sonet_dc::core::supervised::{
+    resume_capture, resume_fleet, run_capture, run_fleet, RunStatus, SuperviseOptions,
+};
+use sonet_dc::core::supervisor::{isolate, BatchSummary, RunBudget};
+use sonet_dc::core::{CaptureConfig, FleetData, FleetRunConfig, Lab, LabConfig};
+use sonet_dc::util::SimDuration;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("table2", "outbound traffic mix per host type (§3.2)"),
@@ -34,9 +51,22 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("te", "traffic-engineering predictability (§5.4)"),
 ];
 
+/// Exit code for a budget-stopped (resumable) supervised run.
+const EXIT_STOPPED: u8 = 2;
+
 struct Options {
     seed: u64,
     fast: bool,
+}
+
+/// Supervision flags shared by `capture` and `fleet`.
+struct SuperviseFlags {
+    checkpoint_dir: PathBuf,
+    every_ms: Option<u64>,
+    resume: Option<PathBuf>,
+    budget: RunBudget,
+    audit: Option<bool>,
+    chunk_hosts: Option<u32>,
 }
 
 fn parse_common(args: &[String]) -> Options {
@@ -56,6 +86,82 @@ fn parse_common(args: &[String]) -> Options {
             _ => {}
         }
     }
+    opts
+}
+
+fn parse_supervise(args: &[String]) -> Result<SuperviseFlags, String> {
+    let mut flags = SuperviseFlags {
+        checkpoint_dir: PathBuf::from("sonet-checkpoints"),
+        every_ms: None,
+        resume: None,
+        budget: RunBudget::unlimited(),
+        audit: None,
+        chunk_hosts: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--checkpoint" => flags.checkpoint_dir = PathBuf::from(value("--checkpoint")?),
+            "--every-ms" => {
+                flags.every_ms = Some(
+                    value("--every-ms")?
+                        .parse()
+                        .map_err(|e| format!("--every-ms: {e}"))?,
+                )
+            }
+            "--resume" => flags.resume = Some(PathBuf::from(value("--resume")?)),
+            "--max-wall-secs" => {
+                let secs: u64 = value("--max-wall-secs")?
+                    .parse()
+                    .map_err(|e| format!("--max-wall-secs: {e}"))?;
+                flags.budget.wall_clock = Some(Duration::from_secs(secs));
+            }
+            "--max-events" => {
+                flags.budget.max_events = Some(
+                    value("--max-events")?
+                        .parse()
+                        .map_err(|e| format!("--max-events: {e}"))?,
+                )
+            }
+            "--max-rss-mb" => {
+                let mb: u64 = value("--max-rss-mb")?
+                    .parse()
+                    .map_err(|e| format!("--max-rss-mb: {e}"))?;
+                flags.budget.max_peak_rss = Some(mb * 1024 * 1024);
+            }
+            "--audit" => {
+                flags.audit = match value("--audit")?.as_str() {
+                    "on" => Some(true),
+                    "off" => Some(false),
+                    other => return Err(format!("--audit takes on|off, not '{other}'")),
+                }
+            }
+            "--chunk-hosts" => {
+                flags.chunk_hosts = Some(
+                    value("--chunk-hosts")?
+                        .parse()
+                        .map_err(|e| format!("--chunk-hosts: {e}"))?,
+                )
+            }
+            _ => {}
+        }
+    }
+    Ok(flags)
+}
+
+fn supervise_options(flags: &SuperviseFlags) -> SuperviseOptions {
+    let mut opts = SuperviseOptions::new(&flags.checkpoint_dir);
+    if let Some(ms) = flags.every_ms {
+        opts.every = SimDuration::from_millis(ms);
+    }
+    if let Some(hosts) = flags.chunk_hosts {
+        opts.hosts_per_chunk = hosts;
+    }
+    opts.budget = flags.budget.clone();
+    opts.audit = flags.audit;
     opts
 }
 
@@ -103,6 +209,103 @@ fn run_one(lab: &mut Lab, id: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_capture(args: &[String]) -> ExitCode {
+    let opts = parse_common(args);
+    let flags = match parse_supervise(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sup = supervise_options(&flags);
+    let result = match &flags.resume {
+        Some(path) => resume_capture(path, &sup),
+        None => {
+            let cfg = if opts.fast {
+                CaptureConfig::fast(opts.seed)
+            } else {
+                CaptureConfig::standard(opts.seed)
+            };
+            run_capture(&cfg, &sup)
+        }
+    };
+    match result {
+        Ok((RunStatus::Completed, Some(cap))) => {
+            println!(
+                "capture complete: {} calls issued, {} packets mirrored \
+                 ({} overflowed, {} fault-dropped){}",
+                cap.issued_calls,
+                cap.mirror_offered,
+                cap.mirror_overflow,
+                cap.mirror_fault_dropped,
+                if cap.truncated { ", TRUNCATED" } else { "" },
+            );
+            ExitCode::SUCCESS
+        }
+        Ok((RunStatus::Stopped(reason), _)) => {
+            eprintln!(
+                "capture stopped ({reason}); resume with:\n  sonet capture --resume {}",
+                sup.capture_checkpoint_path().display()
+            );
+            ExitCode::from(EXIT_STOPPED)
+        }
+        Ok((RunStatus::Completed, None)) => unreachable!("completed runs carry results"),
+        Err(e) => {
+            eprintln!("capture failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    let opts = parse_common(args);
+    let flags = match parse_supervise(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sup = supervise_options(&flags);
+    let result = match &flags.resume {
+        Some(path) => resume_fleet(path, &sup),
+        None => {
+            let cfg = if opts.fast {
+                FleetRunConfig::fast(opts.seed)
+            } else {
+                FleetRunConfig::standard(opts.seed)
+            };
+            run_fleet(&cfg, &sup)
+        }
+    };
+    match result {
+        Ok((RunStatus::Completed, Some(data))) => {
+            println!(
+                "fleet run complete: {} tagged rows ({} relaxed picks, {} agent-dropped); \
+                 samples spooled at {}",
+                data.table.len(),
+                data.relaxed_picks,
+                data.agent_dropped,
+                sup.fleet_spool_path().display(),
+            );
+            ExitCode::SUCCESS
+        }
+        Ok((RunStatus::Stopped(reason), _)) => {
+            eprintln!(
+                "fleet run stopped ({reason}); resume with:\n  sonet fleet --resume {}",
+                sup.fleet_checkpoint_path().display()
+            );
+            ExitCode::from(EXIT_STOPPED)
+        }
+        Ok((RunStatus::Completed, None)) => unreachable!("completed runs carry results"),
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -131,14 +334,26 @@ fn main() -> ExitCode {
         Some("all") => {
             let opts = parse_common(&args[1..]);
             let mut lab = lab_for(&opts);
+            // Each experiment is panic-isolated: one blowing up must not
+            // cost the others already (or yet to be) computed.
+            let mut batch = BatchSummary::new();
             for (id, _) in EXPERIMENTS {
-                if let Err(e) = run_one(&mut lab, id) {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
+                let outcome = match isolate(AssertUnwindSafe(|| run_one(&mut lab, id))) {
+                    Ok(Ok(())) => Ok("rendered".to_string()),
+                    Ok(Err(e)) => Err(e),
+                    Err(panic_msg) => Err(format!("panicked: {panic_msg}")),
+                };
+                batch.push(*id, outcome);
             }
-            ExitCode::SUCCESS
+            eprint!("{}", batch.render());
+            if batch.all_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
+        Some("capture") => cmd_capture(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("export-fleet") => {
             let Some(path) = args.get(1) else {
                 eprintln!("usage: sonet export-fleet <out.jsonl> [--seed N] [--fast]");
@@ -150,7 +365,13 @@ fn main() -> ExitCode {
             } else {
                 FleetRunConfig::standard(opts.seed)
             };
-            let fleet = FleetData::run(&cfg);
+            let fleet = match FleetData::run(&cfg) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("fleet run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let records: Vec<_> = fleet.table.rows().iter().map(|r| r.rec).collect();
             let file = match std::fs::File::create(path) {
                 Ok(f) => f,
@@ -177,8 +398,20 @@ fn main() -> ExitCode {
             } else {
                 FleetRunConfig::standard(opts.seed)
             };
-            let fleet = FleetData::run(&cfg);
-            let f5 = reports::fig5(&fleet);
+            let fleet = match FleetData::run(&cfg) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("fleet run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let f5 = match reports::fig5(&fleet) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("fig5 failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let file = match std::fs::File::create(path) {
                 Ok(f) => f,
                 Err(e) => {
@@ -201,8 +434,15 @@ fn main() -> ExitCode {
                  \x20 sonet list\n\
                  \x20 sonet run <id> [--seed N] [--fast]\n\
                  \x20 sonet all [--seed N] [--fast]\n\
+                 \x20 sonet capture [--seed N] [--fast] [--checkpoint DIR] [--every-ms N]\n\
+                 \x20               [--resume FILE] [--max-wall-secs N] [--max-events N]\n\
+                 \x20               [--max-rss-mb N] [--audit on|off]\n\
+                 \x20 sonet fleet   [--seed N] [--fast] [--checkpoint DIR] [--chunk-hosts N]\n\
+                 \x20               [--resume FILE] [--max-wall-secs N] [--max-events N]\n\
+                 \x20               [--max-rss-mb N] [--audit on|off]\n\
                  \x20 sonet export-fleet <out.jsonl> [--seed N] [--fast]\n\
-                 \x20 sonet export-matrix <out.csv> [--seed N] [--fast]"
+                 \x20 sonet export-matrix <out.csv> [--seed N] [--fast]\n\
+                 supervised runs exit 2 when a budget stops them (resumable)"
             );
             ExitCode::FAILURE
         }

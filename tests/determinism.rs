@@ -1,10 +1,16 @@
 //! Reproducibility: a scenario seed fully determines every report — with
 //! or without injected faults — and different seeds genuinely differ.
 
-use sonet_dc::core::{packet_tier_spec, Lab, LabConfig, ScenarioScale};
+use sonet_dc::core::supervised::{resume_capture, run_capture, RunStatus, SuperviseOptions};
+use sonet_dc::core::supervisor::{isolate, BatchSummary, RunBudget, StopReason};
+use sonet_dc::core::{
+    packet_tier_spec, reports, CaptureConfig, Lab, LabConfig, ScenarioScale, StandardCapture,
+};
 use sonet_dc::netsim::{FaultKind, FaultPlan};
 use sonet_dc::topology::Topology;
 use sonet_dc::util::{SimDuration, SimTime};
+use std::panic::AssertUnwindSafe;
+use std::time::Duration;
 
 fn report_fingerprint(seed: u64) -> String {
     let mut lab = Lab::new(LabConfig::fast(seed));
@@ -95,6 +101,86 @@ fn acceptance_scenario_switch_death_plus_total_mirror_loss() {
     // The analysis pipeline still runs on the degraded capture.
     let t2 = lab.table2();
     assert!(!t2.rows.is_empty());
+}
+
+#[test]
+fn killed_and_resumed_capture_reports_are_byte_identical() {
+    // The ISSUE acceptance criterion, end to end through the public API:
+    // kill a supervised run mid-capture (zero wall-clock budget stops it
+    // at the first checkpoint), resume from the on-disk checkpoint, and
+    // the final reports must match an uninterrupted run byte for byte.
+    let dir = std::env::temp_dir().join(format!("sonet-determinism-{}", std::process::id()));
+    let cfg = CaptureConfig {
+        duration: SimDuration::from_secs(1),
+        ..CaptureConfig::fast(2015)
+    };
+    let stop_opts = SuperviseOptions {
+        every: SimDuration::from_millis(250),
+        budget: RunBudget {
+            wall_clock: Some(Duration::ZERO),
+            ..RunBudget::unlimited()
+        },
+        ..SuperviseOptions::new(&dir)
+    };
+    let (status, cap) = run_capture(&cfg, &stop_opts).expect("supervised run");
+    assert!(matches!(
+        status,
+        RunStatus::Stopped(StopReason::WallClock(_))
+    ));
+    assert!(cap.is_none(), "a stopped run yields no results yet");
+
+    let resume_opts = SuperviseOptions {
+        every: SimDuration::from_millis(250),
+        ..SuperviseOptions::new(&dir)
+    };
+    let (status, cap) =
+        resume_capture(&stop_opts.capture_checkpoint_path(), &resume_opts).expect("resume");
+    assert_eq!(status, RunStatus::Completed);
+    let resumed = cap.expect("completed run yields a capture");
+    let plain = StandardCapture::run(&cfg);
+    assert_eq!(
+        serde_json::to_string(&resumed.outputs).expect("json"),
+        serde_json::to_string(&plain.outputs).expect("json"),
+        "engine outputs must be byte-identical after kill + resume"
+    );
+    assert_eq!(
+        serde_json::to_string(&reports::table2(&resumed)).expect("json"),
+        serde_json::to_string(&reports::table2(&plain)).expect("json"),
+        "downstream reports must be byte-identical after kill + resume"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_panicking_scenario_leaves_the_rest_of_the_batch_intact() {
+    // Panic isolation: the middle scenario blows up; the batch still
+    // finishes, keeps both healthy results, and reports partial success.
+    let mut batch = BatchSummary::new();
+    for name in ["first", "boom", "last"] {
+        let result = isolate(AssertUnwindSafe(|| {
+            if name == "boom" {
+                panic!("deliberate scenario failure");
+            }
+            format!("{name} rendered")
+        }));
+        batch.push(name, result);
+    }
+    assert!(!batch.all_ok());
+    assert_eq!(batch.failures(), 1);
+    assert_eq!(
+        batch.outcomes[0].result.as_deref(),
+        Ok("first rendered"),
+        "scenario before the panic keeps its result"
+    );
+    assert_eq!(
+        batch.outcomes[2].result.as_deref(),
+        Ok("last rendered"),
+        "scenario after the panic still runs"
+    );
+    let rendered = batch.render();
+    assert!(rendered.contains("FAIL boom"));
+    assert!(rendered.contains("deliberate scenario failure"));
+    assert!(rendered.contains("2/3 scenarios ok"));
 }
 
 #[test]

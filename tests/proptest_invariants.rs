@@ -176,6 +176,113 @@ proptest! {
         }
     }
 
+    /// A checkpoint taken at an *arbitrary* mid-run instant — not just a
+    /// tidy window boundary — serializes, deserializes, and restores to
+    /// an engine whose remaining run is byte-identical to the original's.
+    #[test]
+    fn engine_checkpoint_restores_byte_identically(
+        ckpt_us in 100u64..3_000,
+        sizes in prop::collection::vec(1u64..150_000, 1..10),
+    ) {
+        let topo = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 3)]))
+                .expect("valid"),
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[1].hosts[0];
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        for (i, &s) in sizes.iter().enumerate() {
+            sim.send_message(
+                conn,
+                SimTime::from_micros(i as u64 * 200),
+                s,
+                s / 2,
+                SimDuration::ZERO,
+            )
+            .expect("send");
+        }
+        sim.run_until(SimTime::from_micros(ckpt_us));
+        let ckpt = sim.checkpoint();
+        let text = serde_json::to_string(&ckpt).expect("serializes");
+        let back = serde_json::from_str(&text).expect("parses");
+        let mut restored = Simulator::restore(Arc::clone(&topo), NullTap, back)
+            .expect("restore");
+        sim.run_to_quiescence();
+        restored.run_to_quiescence();
+        let (orig, _) = sim.finish();
+        let (res, _) = restored.finish();
+        prop_assert_eq!(
+            serde_json::to_string(&orig).expect("json"),
+            serde_json::to_string(&res).expect("json"),
+            "restored engine must finish byte-identically"
+        );
+    }
+
+    /// The runtime auditor holds at any instant of a healthy run: packet
+    /// conservation, link-rate bounds, calendar monotonicity.
+    #[test]
+    fn audit_holds_at_any_instant(
+        at_us in 1u64..5_000,
+        sizes in prop::collection::vec(1u64..100_000, 1..8),
+    ) {
+        let topo = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 3)]))
+                .expect("valid"),
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[2].hosts[0];
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        for (i, &s) in sizes.iter().enumerate() {
+            sim.send_message(
+                conn,
+                SimTime::from_micros(i as u64 * 150),
+                s,
+                0,
+                SimDuration::ZERO,
+            )
+            .expect("send");
+        }
+        sim.run_until(SimTime::from_micros(at_us));
+        if let Err(report) = sim.audit() {
+            prop_assert!(false, "audit failed: {report}");
+        }
+    }
+
+    /// Chunked fleet generation (what the supervised driver checkpoints
+    /// between) emits exactly the one-shot sample stream for every chunk
+    /// size, so a resumed fleet run tags an identical ScubaTable.
+    #[test]
+    fn fleet_chunked_generation_matches_one_shot(
+        chunk in 1u32..40,
+        seed in any::<u64>(),
+    ) {
+        use sonet_dc::core::{fleet_spec, ScenarioScale};
+        use sonet_dc::workload::{FleetConfig, FleetModel};
+
+        let topo = Arc::new(
+            Topology::build(fleet_spec(ScenarioScale::Tiny)).expect("valid"),
+        );
+        let cfg = FleetConfig {
+            samples_per_host: 5,
+            ..FleetConfig::default()
+        };
+        let mut one_shot = FleetModel::new(Arc::clone(&topo), cfg.clone(), seed);
+        let all = one_shot.generate();
+
+        let mut chunked = FleetModel::new(Arc::clone(&topo), cfg, seed);
+        let mut collected = Vec::new();
+        while !chunked.exhausted() {
+            collected.extend(chunked.generate_chunk(chunk));
+        }
+        collected.sort_by_key(|r| r.at);
+        prop_assert_eq!(&all, &collected);
+        prop_assert_eq!(one_shot.relaxed_picks(), chunked.relaxed_picks());
+    }
+
     /// CDF quantile/fraction are mutually consistent.
     #[test]
     fn cdf_quantile_fraction_consistent(

@@ -10,7 +10,7 @@
 //! enum variant -> string, data-carrying variant -> single-entry map).
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 
@@ -282,6 +282,20 @@ impl<T: Serialize> Serialize for Vec<T> {
     }
 }
 impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::msg(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
     fn from_content(c: &Content) -> Result<Self, DeError> {
         match c {
             Content::Seq(items) => items.iter().map(T::from_content).collect(),

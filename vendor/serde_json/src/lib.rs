@@ -472,19 +472,24 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar (input came from &str, so the
-                    // bytes are valid UTF-8).
-                    let s = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::msg("invalid UTF-8"))?;
-                    let ch = s
-                        .chars()
-                        .next()
-                        .ok_or_else(|| Error::msg("unterminated string"))?;
-                    if (ch as u32) < 0x20 {
-                        return Err(Error::msg("unescaped control character in string"));
+                    // Consume the whole run of plain characters at once. The
+                    // run ends at an ASCII quote, backslash, or control byte —
+                    // none of which can occur inside a multi-byte UTF-8
+                    // sequence — so the span boundaries are char boundaries
+                    // and the slice is valid UTF-8 (input came from &str).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        if b < 0x20 {
+                            return Err(Error::msg("unescaped control character in string"));
+                        }
+                        self.pos += 1;
                     }
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::msg("invalid UTF-8"))?;
+                    out.push_str(s);
                 }
             }
         }
@@ -560,6 +565,27 @@ mod tests {
         assert!(v.get("a").unwrap().is_array());
         let text = to_string(&v).unwrap();
         assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn multibyte_strings_round_trip() {
+        let v = "héllo \u{1f600} wörld\tend";
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn large_documents_parse_in_linear_time() {
+        // Regression: parse_string used to validate the entire remaining
+        // input per character, making big documents quadratic. A document
+        // this size hangs for minutes under that bug and parses instantly
+        // when string spans are consumed in one slice.
+        let row = json!({"name": "a-longish-key-name", "payload": "xyzzy", "n": 7u64});
+        let doc = Value(Content::Seq(vec![row.0; 20_000]));
+        let text = to_string(&doc).unwrap();
+        assert!(text.len() > 1_000_000);
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, doc);
     }
 
     #[test]
