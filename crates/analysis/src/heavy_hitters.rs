@@ -110,16 +110,19 @@ fn heavy_set(bytes: &HashMap<Entity, u64>, fraction: f64) -> IntervalHitters {
 
 /// Heavy hitters for every `bin`-sized interval of the trace (intervals
 /// with no traffic are skipped, like empty capture periods in the paper).
+///
+/// The per-interval covers are independent sort-and-scan problems, so
+/// they fan out across the process-default worker pool; the result stays
+/// in time order for any thread count.
 pub fn hitters_per_interval(
     trace: &HostTrace,
     topo: &Topology,
     bin: SimDuration,
     agg: HeavyHitterAgg,
 ) -> Vec<IntervalHitters> {
-    per_interval_bytes(trace, topo, bin, agg)
-        .into_iter()
-        .map(|(_, bytes)| heavy_set(&bytes, 0.5))
-        .collect()
+    let per = per_interval_bytes(trace, topo, bin, agg);
+    let threads = sonet_util::par::resolve_threads(None);
+    sonet_util::par::map_indexed(threads, per.len(), |i| heavy_set(&per[i].1, 0.5))
 }
 
 /// One interval's heavy hitters together with the full per-entity byte
@@ -143,22 +146,22 @@ pub fn hitters_per_interval_keyed(
     bin: SimDuration,
     agg: HeavyHitterAgg,
 ) -> Vec<(u64, KeyedInterval)> {
-    per_interval_bytes(trace, topo, bin, agg)
-        .into_iter()
-        .map(|(idx, bytes)| {
-            let hh = heavy_set(&bytes, 0.5);
-            let mut entity_bytes: Vec<(Entity, u64)> = bytes.into_iter().collect();
-            entity_bytes.sort_by_key(|a| a.0);
-            (
-                idx,
-                KeyedInterval {
-                    hitters: hh.hitters,
-                    total_bytes: hh.total_bytes,
-                    entity_bytes,
-                },
-            )
-        })
-        .collect()
+    let per = per_interval_bytes(trace, topo, bin, agg);
+    let threads = sonet_util::par::resolve_threads(None);
+    sonet_util::par::map_indexed(threads, per.len(), |i| {
+        let (idx, bytes) = &per[i];
+        let hh = heavy_set(bytes, 0.5);
+        let mut entity_bytes: Vec<(Entity, u64)> = bytes.iter().map(|(&e, &b)| (e, b)).collect();
+        entity_bytes.sort_by_key(|a| a.0);
+        (
+            *idx,
+            KeyedInterval {
+                hitters: hh.hitters,
+                total_bytes: hh.total_bytes,
+                entity_bytes,
+            },
+        )
+    })
 }
 
 /// Table 4 row: count and rate statistics of heavy hitters in 1-ms

@@ -114,19 +114,22 @@ pub struct LocalityTable {
 }
 
 impl LocalityTable {
-    /// Builds Table 3 from a Scuba table.
+    /// Builds Table 3 from a Scuba table. Each cluster-type column scans
+    /// the full table independently, so the columns fan out across the
+    /// process-default worker pool; [`sonet_util::par::map_indexed`]
+    /// returns them in [`ClusterType::ALL`] order regardless of thread
+    /// count, keeping the table deterministic.
     pub fn of(table: &ScubaTable) -> LocalityTable {
         let all = LocalityBreakdown::of(table);
         let total = all.bytes.max(1);
-        let per_type = ClusterType::ALL
-            .iter()
-            .map(|&t| {
-                let sub = table.filtered(|r| r.src_cluster_type == t);
-                let b = LocalityBreakdown::of(&sub);
-                let share = b.bytes as f64 / total as f64 * 100.0;
-                (t, b, share)
-            })
-            .collect();
+        let threads = sonet_util::par::resolve_threads(None);
+        let per_type = sonet_util::par::map_indexed(threads, ClusterType::ALL.len(), |i| {
+            let t = ClusterType::ALL[i];
+            let sub = table.filtered(|r| r.src_cluster_type == t);
+            let b = LocalityBreakdown::of(&sub);
+            let share = b.bytes as f64 / total as f64 * 100.0;
+            (t, b, share)
+        });
         LocalityTable { all, per_type }
     }
 }

@@ -1,0 +1,161 @@
+//! Machine-readable throughput benchmark.
+//!
+//! Measures the three rates the performance work is judged on — engine
+//! events/sec, fleet-tier records/sec (generation + tagging), and
+//! end-to-end scenario wall time (fleet generate + tag + Table 3 +
+//! Fig 5) — and writes them to `BENCH.json` for CI to archive and
+//! regression-check against `crates/bench/BENCH-baseline.json`.
+//!
+//! ```text
+//! cargo bench -p sonet-bench --bench throughput -- --threads 2
+//! SONET_BENCH_FAST=1 cargo bench -p sonet-bench --bench throughput
+//! ```
+//!
+//! `--threads N` (or `SONET_THREADS=N`) sets the worker-pool width; the
+//! outputs are byte-identical for every value, only the rates move.
+//! `SONET_BENCH_OUT` overrides the output path (default `BENCH.json`).
+
+use sonet_bench::{banner, fast_mode, BENCH_SEED};
+use sonet_core::reports;
+use sonet_core::scenario::{packet_tier_spec, ScenarioScale};
+use sonet_core::{FleetData, FleetRunConfig};
+use sonet_netsim::{NullTap, SimConfig, Simulator};
+use sonet_topology::Topology;
+use sonet_util::{par, SimTime};
+use sonet_workload::{ServiceProfiles, Workload};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One timed measurement, printed and serialized.
+struct Measurement {
+    engine_events: u64,
+    engine_secs: f64,
+    fleet_records: u64,
+    fleet_generate_secs: f64,
+    analysis_secs: f64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.engine_events as f64 / self.engine_secs.max(1e-9)
+    }
+
+    fn records_per_sec(&self) -> f64 {
+        self.fleet_records as f64 / self.fleet_generate_secs.max(1e-9)
+    }
+
+    fn scenario_wall_secs(&self) -> f64 {
+        self.fleet_generate_secs + self.analysis_secs
+    }
+}
+
+/// Engine throughput: drive the packet-tier workload on its plant for a
+/// few simulated seconds and count calendar events per wall second.
+fn bench_engine(scale: ScenarioScale, sim_secs: u64) -> (u64, f64) {
+    let topo = Arc::new(Topology::build(packet_tier_spec(scale)).expect("preset spec"));
+    let mut workload = Workload::new(Arc::clone(&topo), ServiceProfiles::default(), BENCH_SEED)
+        .expect("preset workload");
+    let mut sim =
+        Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("preset sim");
+    let start = Instant::now();
+    for s in 1..=sim_secs {
+        let t = SimTime::from_secs(s);
+        workload.generate(&mut sim, t).expect("generation");
+        sim.run_until(t);
+    }
+    let events = sim.processed_events();
+    (events, start.elapsed().as_secs_f64())
+}
+
+/// Fleet tier: generation + tagging rate, then the analysis stage
+/// (Table 3 + Fig 5) on the resulting table.
+fn bench_fleet(cfg: &FleetRunConfig, threads: Option<usize>) -> (u64, f64, f64) {
+    let start = Instant::now();
+    let fleet = FleetData::run_with(cfg, threads).expect("preset fleet config");
+    let generate_secs = start.elapsed().as_secs_f64();
+    let records = fleet.table.len() as u64;
+    let start = Instant::now();
+    let t3 = reports::table3(&fleet);
+    let f5 = reports::fig5(&fleet).expect("preset plants have all cluster types");
+    assert!(t3.table.all.bytes > 0 && f5.hadoop.diagonal_fraction >= 0.0);
+    let analysis_secs = start.elapsed().as_secs_f64();
+    (records, generate_secs, analysis_secs)
+}
+
+fn json(m: &Measurement, threads: usize) -> String {
+    format!(
+        "{{\n  \"schema\": 1,\n  \"threads\": {},\n  \"fast\": {},\n  \
+         \"engine_events\": {},\n  \"engine_secs\": {:.6},\n  \
+         \"events_per_sec\": {:.1},\n  \"fleet_records\": {},\n  \
+         \"fleet_generate_secs\": {:.6},\n  \"fleet_records_per_sec\": {:.1},\n  \
+         \"analysis_secs\": {:.6},\n  \"scenario_wall_secs\": {:.6}\n}}\n",
+        threads,
+        fast_mode(),
+        m.engine_events,
+        m.engine_secs,
+        m.events_per_sec(),
+        m.fleet_records,
+        m.fleet_generate_secs,
+        m.records_per_sec(),
+        m.analysis_secs,
+        m.scenario_wall_secs(),
+    )
+}
+
+fn main() {
+    // Criterion-style flag noise (`--bench`) is ignored; only --threads
+    // matters here.
+    let args: Vec<String> = std::env::args().collect();
+    let mut threads: Option<usize> = std::env::var("SONET_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            threads = it.next().and_then(|v| v.parse().ok());
+        }
+    }
+    if let Some(n) = threads {
+        par::set_threads(n);
+    }
+    let resolved = par::resolve_threads(threads);
+
+    banner("Throughput (machine-readable: BENCH.json)");
+    let (scale, sim_secs, fleet_cfg) = if fast_mode() {
+        (ScenarioScale::Tiny, 2, FleetRunConfig::fast(BENCH_SEED))
+    } else {
+        (
+            ScenarioScale::Standard,
+            4,
+            FleetRunConfig::standard(BENCH_SEED),
+        )
+    };
+
+    let (engine_events, engine_secs) = bench_engine(scale, sim_secs);
+    let (fleet_records, fleet_generate_secs, analysis_secs) = bench_fleet(&fleet_cfg, threads);
+    let m = Measurement {
+        engine_events,
+        engine_secs,
+        fleet_records,
+        fleet_generate_secs,
+        analysis_secs,
+    };
+
+    println!(
+        "threads {}: engine {:.0} events/s ({} events / {:.2}s), fleet {:.0} records/s \
+         ({} records / {:.2}s), analysis {:.2}s, scenario wall {:.2}s",
+        resolved,
+        m.events_per_sec(),
+        m.engine_events,
+        m.engine_secs,
+        m.records_per_sec(),
+        m.fleet_records,
+        m.fleet_generate_secs,
+        m.analysis_secs,
+        m.scenario_wall_secs(),
+    );
+
+    let out = std::env::var("SONET_BENCH_OUT").unwrap_or_else(|_| "BENCH.json".to_string());
+    std::fs::write(&out, json(&m, resolved)).expect("write BENCH.json");
+    println!("wrote {out}");
+}

@@ -249,11 +249,17 @@ impl CaptureState {
         let mirror_overflow = mirror.overflow();
         let mirror_offered = mirror.offered();
         let records = mirror.into_records();
-        let traces = self
-            .monitored
-            .iter()
-            .map(|(&role, &host)| (role, HostTrace::from_mirror(&records, host)))
-            .collect();
+        // Each monitored host filters the full mirror stream independently,
+        // so the per-role trace builds fan out across the worker pool.
+        let monitored: Vec<(HostRole, HostId)> =
+            self.monitored.iter().map(|(&r, &h)| (r, h)).collect();
+        let threads = sonet_util::par::resolve_threads(None);
+        let traces = sonet_util::par::map_indexed(threads, monitored.len(), |i| {
+            let (role, host) = monitored[i];
+            (role, HostTrace::from_mirror(&records, host))
+        })
+        .into_iter()
+        .collect();
         StandardCapture {
             topo: self.topo,
             monitored: self.monitored,

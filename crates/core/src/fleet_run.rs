@@ -104,11 +104,28 @@ pub(crate) fn build_fleet_model(
 }
 
 impl FleetData {
-    /// Runs the fleet tier.
+    /// Runs the fleet tier with the process-default worker count.
     pub fn run(cfg: &FleetRunConfig) -> Result<FleetData, FleetRunError> {
+        Self::run_with(cfg, None)
+    }
+
+    /// Runs the fleet tier on an explicit worker count (`None` defers to
+    /// the process default). The thread count never changes the output —
+    /// only how fast it is produced.
+    pub fn run_with(
+        cfg: &FleetRunConfig,
+        threads: Option<usize>,
+    ) -> Result<FleetData, FleetRunError> {
         let (topo, mut model) = build_fleet_model(cfg)?;
+        model.set_parallelism(threads);
         let samples = model.generate();
-        Ok(Self::assemble(cfg, topo, samples, model.relaxed_picks()))
+        Ok(Self::assemble(
+            cfg,
+            topo,
+            samples,
+            model.relaxed_picks(),
+            threads,
+        ))
     }
 
     /// Thins, tags, and tables a time-sorted sample stream. The supervised
@@ -120,6 +137,7 @@ impl FleetData {
         topo: Arc<Topology>,
         samples: Vec<FlowRecord>,
         relaxed_picks: u64,
+        threads: Option<usize>,
     ) -> FleetData {
         // Agent-side loss thins the stream deterministically (the same
         // ordinal hash the packet-tier telemetry uses), with every drop
@@ -139,7 +157,8 @@ impl FleetData {
             })
             .map(|(_, s)| s)
             .collect();
-        let table = Tagger::new(&topo).ingest(samples);
+        let threads = sonet_util::par::resolve_threads(threads);
+        let table = Tagger::new(&topo).ingest_sharded(&samples, threads);
         FleetData {
             topo,
             table,

@@ -18,6 +18,10 @@ pub struct LabConfig {
     pub fleet: FleetRunConfig,
     /// Fig 15 (buffer study) parameters.
     pub fig15: Fig15Config,
+    /// Worker threads for parallelizable stages (fleet generation,
+    /// tagging, analysis fan-out); `None` defers to the process-wide
+    /// default. Thread count never changes any report, only wall-clock.
+    pub threads: Option<usize>,
 }
 
 impl LabConfig {
@@ -27,6 +31,7 @@ impl LabConfig {
             capture: CaptureConfig::standard(seed),
             fleet: FleetRunConfig::standard(seed),
             fig15: Fig15Config::standard(seed),
+            threads: None,
         }
     }
 
@@ -36,6 +41,7 @@ impl LabConfig {
             capture: CaptureConfig::fast(seed),
             fleet: FleetRunConfig::fast(seed),
             fig15: Fig15Config::fast(seed),
+            threads: None,
         }
     }
 }
@@ -68,8 +74,10 @@ impl Lab {
     /// The fleet-tier data (generated on first call).
     pub fn fleet(&mut self) -> &FleetData {
         if self.fleet.is_none() {
-            self.fleet =
-                Some(FleetData::run(&self.cfg.fleet).expect("preset fleet configs are valid"));
+            self.fleet = Some(
+                FleetData::run_with(&self.cfg.fleet, self.cfg.threads)
+                    .expect("preset fleet configs are valid"),
+            );
         }
         self.fleet.as_ref().expect("just materialized")
     }

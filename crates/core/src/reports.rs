@@ -508,11 +508,13 @@ pub struct FlowCdfReport {
 }
 
 fn flow_cdf_report(cap: &StandardCapture, sizes: bool) -> FlowCdfReport {
-    let mut rows = Vec::new();
-    for role in [HostRole::Web, HostRole::CacheFollower, HostRole::Hadoop] {
-        let Some(trace) = cap.trace(role) else {
-            continue;
-        };
+    // Each role's CDF construction walks its own trace, so the rows fan
+    // out across the worker pool; map_indexed keeps them in role order.
+    let roles = [HostRole::Web, HostRole::CacheFollower, HostRole::Hadoop];
+    let threads = sonet_util::par::resolve_threads(None);
+    let rows = sonet_util::par::map_indexed(threads, roles.len(), |i| {
+        let role = roles[i];
+        let trace = cap.trace(role)?;
         let flows = flow_stats(trace, &cap.topo, FlowAgg::FiveTuple);
         let (per, all) = if sizes {
             size_cdfs_by_locality(&flows)
@@ -522,8 +524,11 @@ fn flow_cdf_report(cap: &StandardCapture, sizes: bool) -> FlowCdfReport {
         let mut per_rows: Vec<(Locality, String)> =
             per.iter().map(|(l, cdf)| (*l, quantiles(cdf))).collect();
         per_rows.sort_by_key(|(l, _)| *l);
-        rows.push((role, per_rows, quantiles(&all)));
-    }
+        Some((role, per_rows, quantiles(&all)))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     FlowCdfReport {
         what: if sizes {
             "size KB".into()

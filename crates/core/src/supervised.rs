@@ -59,6 +59,11 @@ pub struct SuperviseOptions {
     pub audit: Option<bool>,
     /// Fleet runs: hosts sampled per chunk between checkpoints.
     pub hosts_per_chunk: u32,
+    /// Worker-thread override for this run. Takes precedence over the
+    /// config's own setting — which is how `--resume --threads N` runs a
+    /// checkpoint under a different thread count than the original run
+    /// (the output is identical either way; only wall-clock changes).
+    pub threads: Option<usize>,
 }
 
 impl SuperviseOptions {
@@ -71,6 +76,7 @@ impl SuperviseOptions {
             budget: RunBudget::unlimited(),
             audit: None,
             hosts_per_chunk: 64,
+            threads: None,
         }
     }
 
@@ -302,7 +308,8 @@ fn audit_capture(state: &CaptureState) -> Result<(), SupervisedError> {
 pub struct FleetCheckpoint {
     /// The run's configuration.
     pub config: FleetRunConfig,
-    /// Generator dynamic state (host cursor + RNG + relaxation counter).
+    /// Generator dynamic state (host cursor + relaxation counter; RNG
+    /// streams are per-host forks and need no saving).
     pub model: FleetModelState,
     /// Durable lines in the sample spool at snapshot time.
     pub spool_lines: u64,
@@ -313,7 +320,8 @@ pub fn run_fleet(
     cfg: &FleetRunConfig,
     opts: &SuperviseOptions,
 ) -> Result<(RunStatus, Option<FleetData>), SupervisedError> {
-    let (topo, model) = build_fleet_model(cfg).map_err(SupervisedError::Fleet)?;
+    let (topo, mut model) = build_fleet_model(cfg).map_err(SupervisedError::Fleet)?;
+    model.set_parallelism(opts.threads);
     fs::create_dir_all(&opts.checkpoint_dir)?;
     let spool = TraceSpool::create(opts.fleet_spool_path())?;
     drive_fleet(cfg.clone(), topo, model, spool, Vec::new(), opts)
@@ -330,6 +338,7 @@ pub fn resume_fleet(
         .map_err(|e| SupervisedError::Corrupt(format!("{}: {e}", ckpt_path.display())))?;
     let cfg = ckpt.config.clone();
     let (topo, mut model) = build_fleet_model(&cfg).map_err(SupervisedError::Fleet)?;
+    model.set_parallelism(opts.threads);
     model
         .restore_state(ckpt.model)
         .map_err(SupervisedError::Corrupt)?;
@@ -397,7 +406,7 @@ fn drive_fleet(
     // timestamps is the per-host generation order either way, so the
     // assembled table is byte-identical to an uninterrupted run's.
     samples.sort_by_key(|r| r.at);
-    let data = FleetData::assemble(&cfg, topo, samples, model.relaxed_picks());
+    let data = FleetData::assemble(&cfg, topo, samples, model.relaxed_picks(), opts.threads);
     Ok((RunStatus::Completed, Some(data)))
 }
 

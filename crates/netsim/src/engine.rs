@@ -246,7 +246,12 @@ pub struct Simulator<T: PacketTap> {
     // Telemetry.
     tap: T,
     util_interval: Option<SimDuration>,
-    util_series: HashMap<LinkId, Vec<u64>>,
+    /// Per-link utilization bins, dense-indexed by link (empty for
+    /// untracked links): the transmit path increments `util_series[li]`
+    /// directly instead of hashing a `LinkId` per packet. The map-shaped
+    /// views in [`SimOutputs`] and [`EngineCheckpoint`] are built once at
+    /// `finish`/`checkpoint` time.
+    util_series: Vec<Vec<u64>>,
     buf_sampler: Option<BufSampler>,
     buffer_stats: Vec<BufferWindowStat>,
     // Totals.
@@ -323,7 +328,7 @@ impl<T: PacketTap> Simulator<T> {
             switch_alpha,
             tap,
             util_interval: None,
-            util_series: HashMap::new(),
+            util_series: vec![Vec::new(); n_links],
             buf_sampler: None,
             buffer_stats: Vec::new(),
             emitted_packets: 0,
@@ -469,7 +474,6 @@ impl<T: PacketTap> Simulator<T> {
         self.util_interval = Some(interval);
         for &l in links {
             self.util_tracked[l.index()] = true;
-            self.util_series.entry(l).or_default();
         }
         Ok(())
     }
@@ -685,9 +689,18 @@ impl<T: PacketTap> Simulator<T> {
     /// together with the tap.
     pub fn finish(mut self) -> (SimOutputs, T) {
         self.flush_buffer_window(true);
+        // Re-shape the dense per-link bins into the map the analysis layer
+        // indexes by LinkId; only registered links appear, as before.
+        let util_series: HashMap<LinkId, Vec<u64>> = self
+            .util_series
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| self.util_tracked[*i])
+            .map(|(i, series)| (LinkId(i as u32), series))
+            .collect();
         let outputs = SimOutputs {
             link_counters: self.link_counters,
-            util_series: self.util_series,
+            util_series,
             util_interval: self.util_interval,
             buffer_stats: self.buffer_stats,
             emitted_packets: self.emitted_packets,
@@ -819,10 +832,7 @@ impl<T: PacketTap> Simulator<T> {
         if self.util_tracked[li] {
             let interval = self.util_interval.expect("tracked links imply interval");
             let idx = end.bin_index(interval) as usize;
-            let series = self
-                .util_series
-                .get_mut(&link)
-                .expect("tracked links are pre-registered");
+            let series = &mut self.util_series[li];
             if series.len() <= idx {
                 series.resize(idx + 1, 0);
             }
@@ -1256,26 +1266,24 @@ impl<T: PacketTap> Simulator<T> {
     }
 
     fn flush_buffer_window(&mut self, final_flush: bool) {
-        let Some(sampler) = self.buf_sampler.as_mut() else {
+        // Detach the sampler while flushing so its sample buffers can be
+        // sorted in place and reused across windows — no per-window clone
+        // of the switch list or reallocation of the sample vectors.
+        let Some(mut sampler) = self.buf_sampler.take() else {
             return;
         };
         let window_start = sampler.window_start;
-        let switches = sampler.switches.clone();
-        let caps: Vec<u64> = switches
-            .iter()
-            .map(|s| self.switch_cap[s.index()])
-            .collect();
-        for (i, sw) in switches.iter().enumerate() {
-            let samples = std::mem::take(&mut sampler.samples[i]);
+        for (i, sw) in sampler.switches.iter().enumerate() {
+            let samples = &mut sampler.samples[i];
             if samples.is_empty() {
                 continue;
             }
-            let mut sorted = samples;
-            sorted.sort_unstable();
-            let n = sorted.len();
-            let median = sorted[n / 2];
-            let max = *sorted.last().expect("non-empty");
-            let mean = sorted.iter().sum::<u64>() as f64 / n as f64;
+            samples.sort_unstable();
+            let n = samples.len();
+            let median = samples[n / 2];
+            let max = *samples.last().expect("non-empty");
+            let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+            samples.clear();
             self.buffer_stats.push(BufferWindowStat {
                 switch: *sw,
                 window_start,
@@ -1283,17 +1291,17 @@ impl<T: PacketTap> Simulator<T> {
                 max,
                 mean,
                 samples: n as u32,
-                capacity: caps[i],
+                capacity: self.switch_cap[sw.index()],
             });
         }
         if !final_flush {
-            let sampler = self.buf_sampler.as_mut().expect("sampler persists");
             sampler.window_start += sampler.window;
             // If the clock jumped multiple windows, snap forward.
             while self.now >= sampler.window_start + sampler.window {
                 sampler.window_start += sampler.window;
             }
         }
+        self.buf_sampler = Some(sampler);
     }
 }
 
@@ -1362,12 +1370,16 @@ impl<T: PacketTap> Simulator<T> {
     pub fn checkpoint(&self) -> EngineCheckpoint {
         let mut events: Vec<Scheduled> = self.events.iter().map(|r| r.0.clone()).collect();
         events.sort_by_key(|s| (s.at, s.seq));
-        let mut util_series: Vec<(LinkId, Vec<u64>)> = self
+        // Same link-sorted pair layout (and therefore the same serialized
+        // bytes) the HashMap-backed engine produced, now read off the
+        // dense vector in index order.
+        let util_series: Vec<(LinkId, Vec<u64>)> = self
             .util_series
             .iter()
-            .map(|(l, v)| (*l, v.clone()))
+            .enumerate()
+            .filter(|(i, _)| self.util_tracked[*i])
+            .map(|(i, v)| (LinkId(i as u32), v.clone()))
             .collect();
-        util_series.sort_by_key(|(l, _)| *l);
         EngineCheckpoint {
             cfg: self.cfg.clone(),
             now: self.now,
@@ -1477,7 +1489,12 @@ impl<T: PacketTap> Simulator<T> {
         sim.util_tracked = ckpt.util_tracked;
         sim.switch_occ = ckpt.switch_occ;
         sim.util_interval = ckpt.util_interval;
-        sim.util_series = ckpt.util_series.into_iter().collect();
+        for (l, series) in ckpt.util_series {
+            if l.index() >= n_links {
+                return bad("utilization series references an out-of-range link");
+            }
+            sim.util_series[l.index()] = series;
+        }
         sim.buf_sampler = ckpt.buf_sampler;
         sim.buffer_stats = ckpt.buffer_stats;
         sim.emitted_packets = ckpt.emitted_packets;
@@ -2593,6 +2610,98 @@ mod tests {
         assert_eq!(restored.now(), sim.now());
         assert_eq!(restored.pending_events(), sim.pending_events());
         assert_eq!(restored.processed_events(), sim.processed_events());
+    }
+
+    #[test]
+    fn engine_checkpoint_serialization_is_stable() {
+        // Regression guard for the dense-Vec utilization storage: the
+        // checkpoint must keep serializing exactly as the HashMap-backed
+        // engine did — same top-level field order, and `util_series` as
+        // link-sorted `(LinkId, bins)` pairs covering every tracked link.
+        let topo = two_cluster_topo();
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("valid config");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[3].hosts[0];
+        let mut tracked = vec![topo.host_uplink(a), topo.host_downlink(a)];
+        tracked.sort();
+        sim.track_utilization(SimDuration::from_micros(500), &tracked)
+            .expect("track");
+        let conn = sim
+            .open_connection(SimTime::ZERO, a, b, 3306)
+            .expect("open");
+        sim.send_message(
+            conn,
+            SimTime::ZERO,
+            400,
+            5_000,
+            SimDuration::from_micros(80),
+        )
+        .expect("send");
+        sim.run_until(SimTime::from_micros(800));
+        let ckpt = sim.checkpoint();
+        let json = serde_json::to_string(&ckpt).expect("serialize");
+
+        let expected_keys = [
+            "cfg",
+            "now",
+            "events",
+            "next_seq",
+            "conns",
+            "free_conns",
+            "next_port",
+            "link_free_at",
+            "link_backlog",
+            "link_counters",
+            "link_rate_factor",
+            "health",
+            "watched",
+            "util_tracked",
+            "switch_occ",
+            "util_interval",
+            "util_series",
+            "buf_sampler",
+            "buffer_stats",
+            "emitted_packets",
+            "delivered_packets",
+            "completed_requests",
+            "messages_on_closed",
+            "stale_packets",
+            "faults_applied",
+            "reroutes",
+            "reroute_failures",
+            "failed_handshakes",
+            "aborted_connections",
+            "record_latencies",
+            "latencies",
+            "processed_events",
+        ];
+        let mut cursor = 0usize;
+        for key in expected_keys {
+            let needle = format!("\"{key}\":");
+            let at = json[cursor..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("field {key} missing or out of order"));
+            cursor += at + needle.len();
+        }
+
+        // util_series value shape: exactly the tracked links, ascending.
+        let listed: Vec<LinkId> = ckpt.util_series.iter().map(|(l, _)| *l).collect();
+        assert_eq!(listed, tracked, "pairs must cover tracked links in order");
+        assert!(
+            ckpt.util_series.iter().any(|(_, bins)| !bins.is_empty()),
+            "a busy tracked link must have recorded utilization bins"
+        );
+
+        // And the checkpoint round-trips into an engine whose own
+        // checkpoint serializes to the same bytes.
+        let parsed: EngineCheckpoint = serde_json::from_str(&json).expect("parse");
+        let restored = Simulator::restore(Arc::clone(&topo), NullTap, parsed).expect("restore");
+        assert_eq!(
+            serde_json::to_string(&restored.checkpoint()).expect("json"),
+            json,
+            "restore → checkpoint must be the identity on the serialized form"
+        );
     }
 
     #[test]

@@ -192,6 +192,28 @@ impl<'t> Tagger<'t> {
     pub fn ingest(&self, samples: Vec<FlowRecord>) -> ScubaTable {
         ScubaTable::from_rows(samples.into_iter().map(|s| self.tag(s)).collect())
     }
+
+    /// [`Tagger::ingest`] fanned out over `threads` workers: the stream
+    /// is split into contiguous shards, tagged concurrently, and the
+    /// shard tables merged back in stream order. Tagging is a pure
+    /// per-record join, so the resulting table is byte-identical to the
+    /// serial `ingest` for every thread count.
+    pub fn ingest_sharded(&self, samples: &[FlowRecord], threads: usize) -> ScubaTable {
+        let shards = sonet_util::par::split_ranges(threads, samples.len());
+        let tables = sonet_util::par::map_indexed(threads, shards.len(), |s| {
+            ScubaTable::from_rows(
+                samples[shards[s].clone()]
+                    .iter()
+                    .map(|&r| self.tag(r))
+                    .collect(),
+            )
+        });
+        let mut merged = ScubaTable::from_rows(Vec::with_capacity(samples.len()));
+        for t in tables {
+            merged.merge(t);
+        }
+        merged
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

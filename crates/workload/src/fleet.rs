@@ -21,7 +21,7 @@ use crate::diurnal::DiurnalPattern;
 use serde::{Deserialize, Serialize};
 use sonet_telemetry::FlowRecord;
 use sonet_topology::{HostId, HostRole, Locality, Topology};
-use sonet_util::{Rng, SimDuration, SimTime};
+use sonet_util::{par, Rng, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -185,12 +185,125 @@ pub fn cluster_type_shares() -> [(sonet_topology::ClusterType, f64); 5] {
     ]
 }
 
+/// A role's demand table with its weight prefix precomputed, so a sample
+/// costs one uniform draw and a short scan instead of rebuilding the
+/// weight vector per record.
+#[derive(Debug, Clone)]
+struct PreparedDemand {
+    entries: Vec<DemandEntry>,
+    total_weight: f64,
+}
+
+/// A contiguous segment of a [`RoleIndex`] host array.
+#[derive(Debug, Clone, Copy, Default)]
+struct Seg {
+    start: u32,
+    len: u32,
+}
+
+impl Seg {
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-role candidate index: every host of the role sorted by
+/// `(datacenter, cluster, rack, id)`, plus segment tables at each
+/// containment level. Because the sort key is hierarchical, "hosts of
+/// role R in datacenter D but outside cluster C" is one contiguous range
+/// minus one contiguous sub-range — a uniform pick over it is O(1) with a
+/// single index-skip, no filtering or allocation per sample.
+#[derive(Debug, Clone)]
+struct RoleIndex {
+    hosts: Vec<HostId>,
+    rack: Vec<Seg>,
+    cluster: Vec<Seg>,
+    dc: Vec<Seg>,
+}
+
+impl RoleIndex {
+    fn build(topo: &Topology, role: HostRole) -> RoleIndex {
+        let mut hosts: Vec<HostId> = topo.hosts_with_role(role).to_vec();
+        hosts.sort_by_key(|&h| {
+            let info = topo.host(h);
+            (
+                info.datacenter.index(),
+                info.cluster.index(),
+                info.rack.index(),
+                h.index(),
+            )
+        });
+        let mut rack = vec![Seg::default(); topo.racks().len()];
+        let mut cluster = vec![Seg::default(); topo.clusters().len()];
+        let mut dc = vec![Seg::default(); topo.datacenters().len()];
+        for (pos, &h) in hosts.iter().enumerate() {
+            let info = topo.host(h);
+            for seg in [
+                &mut rack[info.rack.index()],
+                &mut cluster[info.cluster.index()],
+                &mut dc[info.datacenter.index()],
+            ] {
+                if seg.is_empty() {
+                    seg.start = pos as u32;
+                }
+                seg.len += 1;
+            }
+        }
+        RoleIndex {
+            hosts,
+            rack,
+            cluster,
+            dc,
+        }
+    }
+
+    /// Uniform pick from segment `seg` minus the (possibly empty)
+    /// sub-segment `hole` contained in it.
+    fn pick_minus(&self, rng: &mut Rng, seg: Seg, hole: Seg) -> Option<HostId> {
+        let count = seg.len - hole.len;
+        if count == 0 {
+            return None;
+        }
+        let mut i = rng.below(count as u64) as u32;
+        if !hole.is_empty() && i >= hole.start - seg.start {
+            i += hole.len;
+        }
+        Some(self.hosts[(seg.start + i) as usize])
+    }
+
+    /// Uniform pick from segment `seg` excluding the single host
+    /// `skip` (which may or may not be in the segment).
+    fn pick_skipping(&self, rng: &mut Rng, seg: Seg, skip: HostId) -> Option<HostId> {
+        let range = seg.start as usize..(seg.start + seg.len) as usize;
+        // Within one rack the hierarchical key degenerates to the host
+        // id, so the segment is id-sorted and the skip position binary-
+        // searchable.
+        let skip_pos = self.hosts[range.clone()].binary_search(&skip).ok();
+        let count = seg.len as u64 - u64::from(skip_pos.is_some());
+        if count == 0 {
+            return None;
+        }
+        let mut i = rng.below(count) as usize;
+        if let Some(p) = skip_pos {
+            if i >= p {
+                i += 1;
+            }
+        }
+        Some(self.hosts[range.start + i])
+    }
+}
+
 /// The fleet-tier generator.
 pub struct FleetModel {
     topo: Arc<Topology>,
     cfg: FleetConfig,
-    rng: Rng,
-    demand: HashMap<HostRole, Vec<DemandEntry>>,
+    /// Seed material for per-host streams. Never advances: host `h`
+    /// always draws from `base.fork_idx("host", h)`, so its records are
+    /// a pure function of `(topology, config, seed, h)` — independent of
+    /// chunk boundaries, thread count, and every other host.
+    base: Rng,
+    demand: HashMap<HostRole, PreparedDemand>,
+    picks: HashMap<HostRole, RoleIndex>,
     /// Bytes per sample for each host (role/cluster-type weighted).
     host_sample_bytes: Vec<f64>,
     /// Fallback counter: records whose desired locality had no candidate.
@@ -198,18 +311,22 @@ pub struct FleetModel {
     /// Next host to emit samples for (generation is resumable host by
     /// host; see [`FleetModel::generate_chunk`]).
     next_host: u32,
+    /// Worker-count override; `None` defers to the process default
+    /// ([`par::resolve_threads`]). Never serialized: the thread count
+    /// must not affect output, so a resumed run may use a different one.
+    threads: Option<usize>,
 }
 
 /// Serialized dynamic state of a [`FleetModel`].
 ///
-/// The demand tables and per-host byte budgets are pure functions of
-/// `(topology, config)` and are rebuilt by [`FleetModel::new`]; the state
-/// carries only the generation cursor, the RNG stream, and the
-/// relaxed-pick counter.
+/// The demand tables, candidate indexes, and per-host byte budgets are
+/// pure functions of `(topology, config)` and are rebuilt by
+/// [`FleetModel::new`]; with per-host RNG streams there is no shared
+/// generator to save either, so the state is just the generation cursor
+/// and the relaxed-pick counter.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetModelState {
     next_host: u32,
-    rng: Rng,
     relaxed: u64,
 }
 
@@ -236,15 +353,41 @@ impl FleetModel {
             let host_total = cfg.total_bytes * share / hosts;
             host_sample_bytes.push(host_total / cfg.samples_per_host.max(1) as f64);
         }
+        let demand = demand_tables()
+            .into_iter()
+            .map(|(role, entries)| {
+                let total_weight = entries.iter().map(|d| d.weight).sum();
+                (
+                    role,
+                    PreparedDemand {
+                        entries,
+                        total_weight,
+                    },
+                )
+            })
+            .collect();
+        let picks = HostRole::ALL
+            .iter()
+            .map(|&role| (role, RoleIndex::build(&topo, role)))
+            .collect();
         FleetModel {
             topo,
             cfg,
-            rng: Rng::new(seed).fork("fleet"),
-            demand: demand_tables(),
+            base: Rng::new(seed).fork("fleet"),
+            demand,
+            picks,
             host_sample_bytes,
             relaxed: 0,
             next_host: 0,
+            threads: None,
         }
+    }
+
+    /// Sets the worker count used by [`FleetModel::generate_chunk`].
+    /// `None` (the default) defers to the process-wide setting; the
+    /// choice never affects the generated stream, only wall-clock time.
+    pub fn set_parallelism(&mut self, threads: Option<usize>) {
+        self.threads = threads;
     }
 
     /// Records whose desired locality was infeasible and got relaxed.
@@ -266,7 +409,6 @@ impl FleetModel {
     pub fn state(&self) -> FleetModelState {
         FleetModelState {
             next_host: self.next_host,
-            rng: self.rng.clone(),
             relaxed: self.relaxed,
         }
     }
@@ -284,7 +426,6 @@ impl FleetModel {
             ));
         }
         self.next_host = state.next_host;
-        self.rng = state.rng;
         self.relaxed = state.relaxed;
         Ok(())
     }
@@ -308,38 +449,72 @@ impl FleetModel {
     /// order: a supervised run concatenates chunks across checkpoints and
     /// applies the same stable time sort `generate` uses at the end, which
     /// makes a resumed run's stream identical to an uninterrupted one.
+    ///
+    /// The host range is sharded across a scoped worker pool. Every host
+    /// draws from its own forked RNG stream and the shard outputs are
+    /// concatenated in host order, so the emitted records are
+    /// byte-identical for every thread count (and for every chunking into
+    /// `generate_chunk` calls).
     pub fn generate_chunk(&mut self, max_hosts: u32) -> Vec<FlowRecord> {
         let n_hosts = self.topo.hosts().len();
-        let stop = (self.next_host as usize).saturating_add(max_hosts as usize);
-        let stop = stop.min(n_hosts);
-        let mut out = Vec::with_capacity(
-            (stop - self.next_host as usize) * self.cfg.samples_per_host as usize,
-        );
-        while (self.next_host as usize) < stop {
-            let src = HostId(self.next_host);
-            for _ in 0..self.cfg.samples_per_host {
-                if let Some(rec) = self.one_sample(src) {
-                    out.push(rec);
-                }
-            }
-            self.next_host += 1;
+        let first = self.next_host as usize;
+        let stop = first.saturating_add(max_hosts as usize).min(n_hosts);
+        let span = stop - first;
+        let threads = par::resolve_threads(self.threads);
+        let shards = par::split_ranges(threads, span);
+        let results: Vec<(Vec<FlowRecord>, u64)> = par::map_indexed(threads, shards.len(), |s| {
+            let hosts = (first + shards[s].start) as u32..(first + shards[s].end) as u32;
+            self.generate_shard(hosts)
+        });
+        self.next_host = stop as u32;
+        let total: usize = results.iter().map(|(recs, _)| recs.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for (recs, relaxed) in results {
+            out.extend(recs);
+            self.relaxed += relaxed;
         }
         out
     }
 
-    fn one_sample(&mut self, src: HostId) -> Option<FlowRecord> {
+    /// Emits the samples of one contiguous host shard. Immutable on
+    /// `self`, so shards run concurrently; returns the shard's records
+    /// (host order) and its relaxed-pick count.
+    fn generate_shard(&self, hosts: std::ops::Range<u32>) -> (Vec<FlowRecord>, u64) {
+        let mut out = Vec::with_capacity(hosts.len() * self.cfg.samples_per_host as usize);
+        let mut relaxed = 0u64;
+        for h in hosts {
+            let src = HostId(h);
+            let mut rng = self.base.fork_idx("host", h as u64);
+            for _ in 0..self.cfg.samples_per_host {
+                if let Some(rec) = self.one_sample(src, &mut rng, &mut relaxed) {
+                    out.push(rec);
+                }
+            }
+        }
+        (out, relaxed)
+    }
+
+    fn one_sample(&self, src: HostId, rng: &mut Rng, relaxed: &mut u64) -> Option<FlowRecord> {
         let role = self.topo.host(src).role;
-        let table = self.demand.get(&role)?.clone();
-        let weights: Vec<f64> = table.iter().map(|d| d.weight).collect();
-        let pick = self.rng.pick_weighted(&weights);
-        let entry = table[pick];
-        let dst = self.pick_host(src, entry.dst_role, entry.locality)?;
-        let at = self.diurnal_time();
+        let prep = self.demand.get(&role)?;
+        // Weighted entry pick, same single-draw semantics as
+        // `Rng::pick_weighted` but against the precomputed total.
+        let mut target = rng.f64() * prep.total_weight;
+        let mut entry = *prep.entries.last()?;
+        for d in &prep.entries {
+            if target < d.weight {
+                entry = *d;
+                break;
+            }
+            target -= d.weight;
+        }
+        let dst = self.pick_host(src, entry.dst_role, entry.locality, rng, relaxed)?;
+        let at = self.diurnal_time(rng);
         // Heavy-tailed per-sample volume around the host's budget: flow
         // volumes in real Fbflow data span many decades, which is what
         // stretches Fig 5's cluster-pair spread past 7 orders of magnitude.
         let jitter = {
-            let z = self.rng.standard_normal();
+            let z = rng.standard_normal();
             (1.5 * z).exp()
         };
         let bytes = (self.host_sample_bytes[src.index()] * jitter).max(1.0) as u64;
@@ -348,7 +523,7 @@ impl FleetModel {
             capture_host: src,
             src,
             dst,
-            src_port: 32768 + (self.rng.below(16_384) as u16),
+            src_port: 32768 + (rng.below(16_384) as u16),
             dst_port: crate::workload::port_for(entry.dst_role),
             bytes,
             packets: (bytes / 700).max(1), // representative mean packet size
@@ -357,13 +532,13 @@ impl FleetModel {
 
     /// A timestamp in `[0, duration)` with density following the diurnal
     /// envelope (rejection sampling).
-    fn diurnal_time(&mut self) -> SimTime {
+    fn diurnal_time(&self, rng: &mut Rng) -> SimTime {
         let span = self.cfg.duration.as_nanos();
         loop {
-            let t = SimTime::from_nanos(self.rng.below(span.max(1)));
+            let t = SimTime::from_nanos(rng.below(span.max(1)));
             let m = self.cfg.diurnal.multiplier(t);
             // Multiplier is within [1-a, 1+a]; accept proportionally.
-            if self.rng.f64() * (1.0 + 1.0) < m {
+            if rng.f64() * (1.0 + 1.0) < m {
                 return t;
             }
         }
@@ -371,7 +546,14 @@ impl FleetModel {
 
     /// Picks a host of `role` at `locality` relative to `src`, relaxing
     /// toward broader localities when the plant has no candidate.
-    fn pick_host(&mut self, src: HostId, role: HostRole, locality: Locality) -> Option<HostId> {
+    fn pick_host(
+        &self,
+        src: HostId,
+        role: HostRole,
+        locality: Locality,
+        rng: &mut Rng,
+        relaxed: &mut u64,
+    ) -> Option<HostId> {
         let order: [Locality; 4] = match locality {
             Locality::IntraRack => [
                 Locality::IntraRack,
@@ -399,9 +581,9 @@ impl FleetModel {
             ],
         };
         for (i, &loc) in order.iter().enumerate() {
-            if let Some(h) = self.try_pick(src, role, loc) {
+            if let Some(h) = self.try_pick(src, role, loc, rng) {
                 if i > 0 {
-                    self.relaxed += 1;
+                    *relaxed += 1;
                 }
                 return Some(h);
             }
@@ -409,50 +591,40 @@ impl FleetModel {
         None
     }
 
-    fn try_pick(&mut self, src: HostId, role: HostRole, locality: Locality) -> Option<HostId> {
-        let info = *self.topo.host(src);
-        let topo = Arc::clone(&self.topo);
+    /// Uniform candidate pick at exactly `locality`, or `None` when the
+    /// plant has no candidate there. O(1) per call (one binary search in
+    /// the intra-rack case): candidates are contiguous ranges of the
+    /// precomputed [`RoleIndex`], with the excluded inner scope skipped
+    /// arithmetically rather than filtered.
+    fn try_pick(
+        &self,
+        src: HostId,
+        role: HostRole,
+        locality: Locality,
+        rng: &mut Rng,
+    ) -> Option<HostId> {
+        let info = self.topo.host(src);
+        let idx = self.picks.get(&role)?;
         match locality {
-            Locality::IntraRack => {
-                let hosts: Vec<HostId> = topo
-                    .rack(info.rack)
-                    .hosts
-                    .iter()
-                    .copied()
-                    .filter(|&h| h != src && topo.host(h).role == role)
-                    .collect();
-                (!hosts.is_empty()).then(|| *self.rng.pick(&hosts))
-            }
-            Locality::IntraCluster => {
-                let hosts: Vec<HostId> = topo
-                    .hosts_with_role_in_cluster(info.cluster, role)
-                    .iter()
-                    .copied()
-                    .filter(|&h| h != src && topo.host(h).rack != info.rack)
-                    .collect();
-                (!hosts.is_empty()).then(|| *self.rng.pick(&hosts))
-            }
-            Locality::IntraDatacenter => {
-                let hosts: Vec<HostId> = topo
-                    .hosts_with_role(role)
-                    .iter()
-                    .copied()
-                    .filter(|&h| {
-                        let hh = topo.host(h);
-                        hh.datacenter == info.datacenter && hh.cluster != info.cluster
-                    })
-                    .collect();
-                (!hosts.is_empty()).then(|| *self.rng.pick(&hosts))
-            }
-            Locality::InterDatacenter => {
-                let hosts: Vec<HostId> = topo
-                    .hosts_with_role(role)
-                    .iter()
-                    .copied()
-                    .filter(|&h| topo.host(h).datacenter != info.datacenter)
-                    .collect();
-                (!hosts.is_empty()).then(|| *self.rng.pick(&hosts))
-            }
+            Locality::IntraRack => idx.pick_skipping(rng, idx.rack[info.rack.index()], src),
+            Locality::IntraCluster => idx.pick_minus(
+                rng,
+                idx.cluster[info.cluster.index()],
+                idx.rack[info.rack.index()],
+            ),
+            Locality::IntraDatacenter => idx.pick_minus(
+                rng,
+                idx.dc[info.datacenter.index()],
+                idx.cluster[info.cluster.index()],
+            ),
+            Locality::InterDatacenter => idx.pick_minus(
+                rng,
+                Seg {
+                    start: 0,
+                    len: idx.hosts.len() as u32,
+                },
+                idx.dc[info.datacenter.index()],
+            ),
         }
     }
 }
@@ -586,6 +758,33 @@ mod tests {
             "hadoop/fe ratio {} vs {expected_ratio}",
             hadoop / fe
         );
+    }
+
+    #[test]
+    fn generation_is_invariant_to_thread_count_and_chunking() {
+        let topo = fleet_topo();
+        let cfg = FleetConfig {
+            samples_per_host: 20,
+            ..FleetConfig::default()
+        };
+        let run = |threads: Option<usize>, chunk: u32| {
+            let mut model = FleetModel::new(Arc::clone(&topo), cfg.clone(), 23);
+            model.set_parallelism(threads);
+            let mut out = Vec::new();
+            while !model.exhausted() {
+                out.extend(model.generate_chunk(chunk));
+            }
+            out.sort_by_key(|r| r.at);
+            (out, model.relaxed_picks())
+        };
+        let baseline = run(Some(1), u32::MAX);
+        for (threads, chunk) in [(Some(2), u32::MAX), (Some(8), u32::MAX), (Some(3), 7)] {
+            let got = run(threads, chunk);
+            assert_eq!(
+                got, baseline,
+                "threads {threads:?} chunk {chunk} must not change the stream"
+            );
+        }
     }
 
     #[test]

@@ -3,12 +3,16 @@
 //! ```text
 //! sonet list                         list experiment ids
 //! sonet run <id> [--seed N] [--fast] regenerate one table/figure
-//! sonet all [--seed N] [--fast]      regenerate everything (panic-isolated)
+//! sonet all [--seed N] [--fast]      regenerate everything (panic-isolated,
+//!                                    experiments fan over the worker pool)
 //! sonet capture [opts]               supervised packet-tier capture
 //! sonet fleet [opts]                 supervised fleet-tier run
 //! sonet export-fleet <out.jsonl>     dump a fleet-tier Fbflow day
 //! sonet export-matrix <out.csv>      dump the Fig 5 frontend rack matrix
 //! ```
+//!
+//! All run commands take `--threads N` (default: available parallelism).
+//! The worker count never changes any output byte — only wall-clock.
 //!
 //! Supervised runs (`capture`, `fleet`) checkpoint to `--checkpoint DIR`
 //! at regular intervals, audit engine invariants at every checkpoint
@@ -17,13 +21,13 @@
 //! from a prior checkpoint with `--resume FILE` — producing final results
 //! byte-identical to an uninterrupted run.
 
-use sonet_dc::core::reports;
+use sonet_dc::core::reports::{self, Fig15Config};
 use sonet_dc::core::supervised::{
     resume_capture, resume_fleet, run_capture, run_fleet, RunStatus, SuperviseOptions,
 };
-use sonet_dc::core::supervisor::{isolate, BatchSummary, RunBudget};
-use sonet_dc::core::{CaptureConfig, FleetData, FleetRunConfig, Lab, LabConfig};
-use sonet_dc::util::SimDuration;
+use sonet_dc::core::supervisor::{isolate, BatchSummary, RunBudget, RunSupervisor};
+use sonet_dc::core::{CaptureConfig, FleetData, FleetRunConfig, LabConfig, StandardCapture};
+use sonet_dc::util::{par, SimDuration};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -57,6 +61,9 @@ const EXIT_STOPPED: u8 = 2;
 struct Options {
     seed: u64,
     fast: bool,
+    /// `--threads N`: worker threads for parallel stages. `None` defers
+    /// to available parallelism. Never changes any output, only speed.
+    threads: Option<usize>,
 }
 
 /// Supervision flags shared by `capture` and `fleet`.
@@ -73,6 +80,7 @@ fn parse_common(args: &[String]) -> Options {
     let mut opts = Options {
         seed: 42,
         fast: false,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -83,8 +91,18 @@ fn parse_common(args: &[String]) -> Options {
                 }
             }
             "--fast" => opts.fast = true,
+            "--threads" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    opts.threads = Some(v);
+                }
+            }
             _ => {}
         }
+    }
+    // Make the explicit count the process-wide default so analysis
+    // stages that fan out internally see the same setting.
+    if let Some(n) = opts.threads {
+        par::set_threads(n);
     }
     opts
 }
@@ -152,61 +170,166 @@ fn parse_supervise(args: &[String]) -> Result<SuperviseFlags, String> {
     Ok(flags)
 }
 
-fn supervise_options(flags: &SuperviseFlags) -> SuperviseOptions {
-    let mut opts = SuperviseOptions::new(&flags.checkpoint_dir);
+fn supervise_options(flags: &SuperviseFlags, opts: &Options) -> SuperviseOptions {
+    let mut sup = SuperviseOptions::new(&flags.checkpoint_dir);
     if let Some(ms) = flags.every_ms {
-        opts.every = SimDuration::from_millis(ms);
+        sup.every = SimDuration::from_millis(ms);
     }
     if let Some(hosts) = flags.chunk_hosts {
-        opts.hosts_per_chunk = hosts;
+        sup.hosts_per_chunk = hosts;
     }
-    opts.budget = flags.budget.clone();
-    opts.audit = flags.audit;
-    opts
+    sup.budget = flags.budget.clone();
+    sup.audit = flags.audit;
+    sup.threads = opts.threads;
+    sup
 }
 
-fn lab_for(opts: &Options) -> Lab {
-    if opts.fast {
-        Lab::new(LabConfig::fast(opts.seed))
+fn lab_config(opts: &Options) -> LabConfig {
+    let mut cfg = if opts.fast {
+        LabConfig::fast(opts.seed)
     } else {
-        Lab::new(LabConfig::standard(opts.seed))
+        LabConfig::standard(opts.seed)
+    };
+    cfg.threads = opts.threads;
+    cfg
+}
+
+/// Which substrates an experiment consumes ([`reports`] free functions
+/// take them explicitly; `fig15` runs its own simulation and needs
+/// neither).
+struct Needs {
+    capture: bool,
+    fleet: bool,
+}
+
+fn experiment_needs(id: &str) -> Needs {
+    match id {
+        "table3" | "fig5" => Needs {
+            capture: false,
+            fleet: true,
+        },
+        "fig15" => Needs {
+            capture: false,
+            fleet: false,
+        },
+        _ => Needs {
+            capture: true,
+            fleet: false,
+        },
     }
 }
 
-fn run_one(lab: &mut Lab, id: &str) -> Result<(), String> {
+/// Renders one experiment from pre-built substrates. Shared by `sonet
+/// run` (which builds only what the experiment needs) and `sonet all`
+/// (which builds both once and fans experiments over a worker pool).
+fn render_report(
+    id: &str,
+    capture: Option<&StandardCapture>,
+    fleet: Option<&FleetData>,
+    fig15: &Fig15Config,
+) -> Result<String, String> {
+    let cap = || capture.ok_or_else(|| format!("{id}: capture unavailable"));
+    let flt = || fleet.ok_or_else(|| format!("{id}: fleet data unavailable"));
     let out = match id {
-        "table2" => lab.table2().render(),
-        "table3" => lab.table3().render(),
-        "table4" => lab.table4().render(),
-        "fig4" => lab.fig4().render(),
-        "fig5" => lab.fig5().render(),
-        "fig6" => lab.fig6().render(),
-        "fig7" => lab.fig7().render(),
-        "fig8" => lab
-            .fig8()
+        "table2" => reports::table2(cap()?).render(),
+        "table3" => reports::table3(flt()?).render(),
+        "table4" => reports::table4(cap()?).render(),
+        "fig4" => reports::fig4(cap()?).render(),
+        "fig5" => reports::fig5(flt()?).map_err(|e| e.to_string())?.render(),
+        "fig6" => reports::fig6(cap()?).render(),
+        "fig7" => reports::fig7(cap()?).render(),
+        "fig8" => reports::fig8(cap()?)
             .map(|r| r.render())
             .unwrap_or_else(|| "fig8: traces missing".into()),
-        "fig9" => lab
-            .fig9()
+        "fig9" => reports::fig9(cap()?)
             .map(|r| r.render())
             .unwrap_or_else(|| "fig9: cache trace missing".into()),
-        "fig10" => lab.fig10().render(),
-        "fig11" => lab.fig11().render(),
-        "fig12" => lab.fig12().render(),
-        "fig13" => lab
-            .fig13()
+        "fig10" => reports::fig10(cap()?).render(),
+        "fig11" => reports::fig11(cap()?).render(),
+        "fig12" => reports::fig12(cap()?).render(),
+        "fig13" => reports::fig13(cap()?)
             .map(|r| r.render())
             .unwrap_or_else(|| "fig13: hadoop trace missing".into()),
-        "fig14" => lab.fig14().render(),
-        "fig15" => lab.fig15().render(),
-        "fig16" => lab.fig16().render(),
-        "fig17" => lab.fig17().render(),
-        "util" => lab.utilization().render(),
-        "te" => lab.te_predictability().render(),
+        "fig14" => reports::fig14(cap()?).render(),
+        "fig15" => reports::fig15(fig15).map_err(|e| e.to_string())?.render(),
+        "fig16" => reports::fig16(cap()?).render(),
+        "fig17" => reports::fig17(cap()?).render(),
+        "util" => reports::utilization(cap()?).render(),
+        "te" => reports::te_predictability(cap()?).render(),
         other => return Err(format!("unknown experiment '{other}' (try `sonet list`)")),
     };
-    println!("{out}");
-    Ok(())
+    Ok(out)
+}
+
+/// `sonet all`: build both substrates concurrently (each panic-isolated),
+/// then fan the experiments over the worker pool. Output order and bytes
+/// are identical for any `--threads` value: renders are collected per
+/// experiment and printed in `EXPERIMENTS` order.
+fn cmd_all(args: &[String]) -> ExitCode {
+    let opts = parse_common(args);
+    let budget = match parse_supervise(args) {
+        Ok(f) => f.budget,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = lab_config(&opts);
+    let threads = par::resolve_threads(opts.threads);
+
+    // Substrate builds are independent scenarios: run them concurrently,
+    // each under `isolate` so one blowing up costs only its dependents.
+    let (capture, fleet) = std::thread::scope(|s| {
+        let cap_cfg = &cfg.capture;
+        let handle = s.spawn(move || isolate(AssertUnwindSafe(|| StandardCapture::run(cap_cfg))));
+        let fleet = isolate(AssertUnwindSafe(|| {
+            FleetData::run_with(&cfg.fleet, cfg.threads)
+        }));
+        (handle.join().expect("capture builder thread"), fleet)
+    });
+    let fleet: Result<FleetData, String> =
+        fleet.and_then(|r| r.map_err(|e| format!("fleet run failed: {e}")));
+
+    // The batch budget is checked at every scenario start — a cooperative
+    // cancellation point, like checkpoint boundaries in supervised runs.
+    let supervisor = RunSupervisor::new(budget);
+    let results = par::map_indexed(threads, EXPERIMENTS.len(), |i| {
+        let id = EXPERIMENTS[i].0;
+        if let Some(reason) = supervisor.check(0) {
+            return Err(format!("skipped: {reason}"));
+        }
+        let needs = experiment_needs(id);
+        if needs.capture {
+            if let Err(e) = &capture {
+                return Err(format!("capture failed: {e}"));
+            }
+        }
+        if needs.fleet {
+            if let Err(e) = &fleet {
+                return Err(e.clone());
+            }
+        }
+        match isolate(AssertUnwindSafe(|| {
+            render_report(id, capture.as_ref().ok(), fleet.as_ref().ok(), &cfg.fig15)
+        })) {
+            Ok(r) => r,
+            Err(panic_msg) => Err(format!("panicked: {panic_msg}")),
+        }
+    });
+
+    let mut batch = BatchSummary::new();
+    for ((id, _), outcome) in EXPERIMENTS.iter().zip(&results) {
+        if let Ok(out) = outcome {
+            println!("{out}");
+        }
+        batch.push(*id, outcome.clone().map(|_| "rendered".to_string()));
+    }
+    eprint!("{}", batch.render());
+    if batch.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_capture(args: &[String]) -> ExitCode {
@@ -218,7 +341,7 @@ fn cmd_capture(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let sup = supervise_options(&flags);
+    let sup = supervise_options(&flags, &opts);
     let result = match &flags.resume {
         Some(path) => resume_capture(path, &sup),
         None => {
@@ -267,7 +390,7 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let sup = supervise_options(&flags);
+    let sup = supervise_options(&flags, &opts);
     let result = match &flags.resume {
         Some(path) => resume_fleet(path, &sup),
         None => {
@@ -318,40 +441,40 @@ fn main() -> ExitCode {
         }
         Some("run") => {
             let Some(id) = args.get(1) else {
-                eprintln!("usage: sonet run <id> [--seed N] [--fast]");
+                eprintln!("usage: sonet run <id> [--seed N] [--fast] [--threads N]");
                 return ExitCode::FAILURE;
             };
+            if !EXPERIMENTS.iter().any(|(e, _)| e == id) {
+                eprintln!("unknown experiment '{id}' (try `sonet list`)");
+                return ExitCode::FAILURE;
+            }
             let opts = parse_common(&args[2..]);
-            let mut lab = lab_for(&opts);
-            match run_one(&mut lab, id) {
-                Ok(()) => ExitCode::SUCCESS,
+            let cfg = lab_config(&opts);
+            let needs = experiment_needs(id);
+            let capture = needs.capture.then(|| StandardCapture::run(&cfg.capture));
+            let fleet = match needs
+                .fleet
+                .then(|| FleetData::run_with(&cfg.fleet, cfg.threads))
+                .transpose()
+            {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("fleet run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match render_report(id, capture.as_ref(), fleet.as_ref(), &cfg.fig15) {
+                Ok(out) => {
+                    println!("{out}");
+                    ExitCode::SUCCESS
+                }
                 Err(e) => {
                     eprintln!("{e}");
                     ExitCode::FAILURE
                 }
             }
         }
-        Some("all") => {
-            let opts = parse_common(&args[1..]);
-            let mut lab = lab_for(&opts);
-            // Each experiment is panic-isolated: one blowing up must not
-            // cost the others already (or yet to be) computed.
-            let mut batch = BatchSummary::new();
-            for (id, _) in EXPERIMENTS {
-                let outcome = match isolate(AssertUnwindSafe(|| run_one(&mut lab, id))) {
-                    Ok(Ok(())) => Ok("rendered".to_string()),
-                    Ok(Err(e)) => Err(e),
-                    Err(panic_msg) => Err(format!("panicked: {panic_msg}")),
-                };
-                batch.push(*id, outcome);
-            }
-            eprint!("{}", batch.render());
-            if batch.all_ok() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+        Some("all") => cmd_all(&args[1..]),
         Some("capture") => cmd_capture(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("export-fleet") => {
@@ -432,14 +555,14 @@ fn main() -> ExitCode {
                 "sonet — reproduce 'Inside the Social Network's (Datacenter) Network'\n\
                  usage:\n\
                  \x20 sonet list\n\
-                 \x20 sonet run <id> [--seed N] [--fast]\n\
-                 \x20 sonet all [--seed N] [--fast]\n\
-                 \x20 sonet capture [--seed N] [--fast] [--checkpoint DIR] [--every-ms N]\n\
-                 \x20               [--resume FILE] [--max-wall-secs N] [--max-events N]\n\
-                 \x20               [--max-rss-mb N] [--audit on|off]\n\
-                 \x20 sonet fleet   [--seed N] [--fast] [--checkpoint DIR] [--chunk-hosts N]\n\
-                 \x20               [--resume FILE] [--max-wall-secs N] [--max-events N]\n\
-                 \x20               [--max-rss-mb N] [--audit on|off]\n\
+                 \x20 sonet run <id> [--seed N] [--fast] [--threads N]\n\
+                 \x20 sonet all [--seed N] [--fast] [--threads N] [--max-wall-secs N]\n\
+                 \x20 sonet capture [--seed N] [--fast] [--threads N] [--checkpoint DIR]\n\
+                 \x20               [--every-ms N] [--resume FILE] [--max-wall-secs N]\n\
+                 \x20               [--max-events N] [--max-rss-mb N] [--audit on|off]\n\
+                 \x20 sonet fleet   [--seed N] [--fast] [--threads N] [--checkpoint DIR]\n\
+                 \x20               [--chunk-hosts N] [--resume FILE] [--max-wall-secs N]\n\
+                 \x20               [--max-events N] [--max-rss-mb N] [--audit on|off]\n\
                  \x20 sonet export-fleet <out.jsonl> [--seed N] [--fast]\n\
                  \x20 sonet export-matrix <out.csv> [--seed N] [--fast]\n\
                  supervised runs exit 2 when a budget stops them (resumable)"

@@ -1,10 +1,13 @@
 //! Reproducibility: a scenario seed fully determines every report — with
 //! or without injected faults — and different seeds genuinely differ.
 
-use sonet_dc::core::supervised::{resume_capture, run_capture, RunStatus, SuperviseOptions};
+use sonet_dc::core::supervised::{
+    resume_capture, resume_fleet, run_capture, run_fleet, RunStatus, SuperviseOptions,
+};
 use sonet_dc::core::supervisor::{isolate, BatchSummary, RunBudget, StopReason};
 use sonet_dc::core::{
-    packet_tier_spec, reports, CaptureConfig, Lab, LabConfig, ScenarioScale, StandardCapture,
+    packet_tier_spec, reports, CaptureConfig, FleetData, FleetRunConfig, Lab, LabConfig,
+    ScenarioScale, StandardCapture,
 };
 use sonet_dc::netsim::{FaultKind, FaultPlan};
 use sonet_dc::topology::Topology;
@@ -147,6 +150,101 @@ fn killed_and_resumed_capture_reports_are_byte_identical() {
         serde_json::to_string(&reports::table2(&resumed)).expect("json"),
         serde_json::to_string(&reports::table2(&plain)).expect("json"),
         "downstream reports must be byte-identical after kill + resume"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every report whose pipeline has a parallel stage (fleet generation,
+/// tagging, Table 3 columns, flow CDF rows, heavy-hitter windows, trace
+/// building), serialized and rendered, at one worker-pool width.
+fn threaded_fingerprint(threads: usize) -> String {
+    // `set_threads` widens the analysis stages that use the process
+    // default; `cfg.threads` widens fleet generation and tagging. Other
+    // tests may race on the global, but that is the claim under test:
+    // the pool width never reaches any output byte.
+    sonet_dc::util::par::set_threads(threads);
+    let mut cfg = LabConfig::fast(2026);
+    cfg.threads = Some(threads);
+    let mut lab = Lab::new(cfg);
+    let t3 = lab.table3();
+    let f5 = lab.fig5();
+    let t4 = lab.table4();
+    let f6 = lab.fig6();
+    let f7 = lab.fig7();
+    let out = format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}",
+        serde_json::to_string(&t3).expect("serializes"),
+        t3.render(),
+        serde_json::to_string(&f5).expect("serializes"),
+        f5.render(),
+        serde_json::to_string(&t4).expect("serializes"),
+        t4.render(),
+        f6.render(),
+        f7.render(),
+    );
+    sonet_dc::util::par::set_threads(0);
+    out
+}
+
+#[test]
+fn fleet_output_and_reports_byte_identical_across_thread_counts() {
+    // The tentpole guarantee: `--threads 1`, `2`, and `8` produce the
+    // same bytes everywhere — samples, tagged table, rendered reports.
+    let base = threaded_fingerprint(1);
+    assert_eq!(base, threaded_fingerprint(2), "threads=2 diverged");
+    assert_eq!(base, threaded_fingerprint(8), "threads=8 diverged");
+}
+
+/// Serialized view of everything a fleet run produces.
+fn fleet_data_fingerprint(data: &FleetData) -> String {
+    let t3 = reports::table3(data);
+    let f5 = reports::fig5(data).expect("preset plants have all cluster types");
+    format!(
+        "rows={} relaxed={} dropped={}|{}|{}",
+        data.table.len(),
+        data.relaxed_picks,
+        data.agent_dropped,
+        serde_json::to_string(&t3).expect("serializes"),
+        serde_json::to_string(&f5).expect("serializes"),
+    )
+}
+
+#[test]
+fn killed_fleet_run_resumed_at_a_different_thread_count_is_byte_identical() {
+    // Kill a supervised fleet run at its first checkpoint (zero
+    // wall-clock budget) on 1 thread, resume it on 8, and compare with
+    // an uninterrupted 2-thread run: all three must agree byte for byte.
+    let dir = std::env::temp_dir().join(format!("sonet-fleet-threads-{}", std::process::id()));
+    let cfg = FleetRunConfig::fast(2027);
+    let stop_opts = SuperviseOptions {
+        hosts_per_chunk: 16,
+        budget: RunBudget {
+            wall_clock: Some(Duration::ZERO),
+            ..RunBudget::unlimited()
+        },
+        threads: Some(1),
+        ..SuperviseOptions::new(&dir)
+    };
+    let (status, data) = run_fleet(&cfg, &stop_opts).expect("supervised run");
+    assert!(matches!(
+        status,
+        RunStatus::Stopped(StopReason::WallClock(_))
+    ));
+    assert!(data.is_none(), "a stopped run yields no results yet");
+
+    let resume_opts = SuperviseOptions {
+        threads: Some(8),
+        ..SuperviseOptions::new(&dir)
+    };
+    let (status, data) =
+        resume_fleet(&stop_opts.fleet_checkpoint_path(), &resume_opts).expect("resume");
+    assert_eq!(status, RunStatus::Completed);
+    let resumed = data.expect("completed run yields fleet data");
+    let plain = FleetData::run_with(&cfg, Some(2)).expect("valid config");
+    assert_eq!(
+        fleet_data_fingerprint(&resumed),
+        fleet_data_fingerprint(&plain),
+        "kill + resume at a different thread count must not change a byte"
     );
     std::fs::remove_dir_all(&dir).ok();
 }
