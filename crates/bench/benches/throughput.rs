@@ -20,8 +20,8 @@ use sonet_core::reports;
 use sonet_core::scenario::{packet_tier_spec, ScenarioScale};
 use sonet_core::{FleetData, FleetRunConfig};
 use sonet_netsim::{NullTap, SimConfig, Simulator};
-use sonet_topology::Topology;
-use sonet_util::{par, SimTime};
+use sonet_topology::{ClusterSpec, DatacenterSpec, HostRole, SiteSpec, Topology, TopologySpec};
+use sonet_util::{par, SimDuration, SimTime};
 use sonet_workload::{ServiceProfiles, Workload};
 use std::sync::Arc;
 use std::time::Instant;
@@ -67,6 +67,108 @@ fn bench_engine(scale: ScenarioScale, sim_secs: u64) -> (u64, f64) {
     (events, start.elapsed().as_secs_f64())
 }
 
+/// One width's partitioned-engine measurement.
+struct PartWidth {
+    threads: usize,
+    events: u64,
+    secs: f64,
+    barriers: u64,
+    /// Fraction of ideal per-barrier balance: processed events divided by
+    /// (partitions × the bottleneck partition's events), summed over all
+    /// windows. 1.0 = perfectly even calendars, 1/partitions = one
+    /// partition does everything.
+    barrier_util: f64,
+}
+
+impl PartWidth {
+    fn rate(&self) -> f64 {
+        self.events as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// A four-datacenter plant: the partitioned engine runs one event
+/// calendar per datacenter, synchronized at 1 ms lookahead barriers.
+fn four_dc_topo(fast: bool) -> Arc<Topology> {
+    let (fr, fh, cr, ch) = if fast { (4, 3, 2, 3) } else { (6, 8, 4, 8) };
+    let dc = || SiteSpec {
+        datacenters: vec![DatacenterSpec {
+            clusters: vec![ClusterSpec::frontend(fr, fh), ClusterSpec::cache(cr, ch)],
+        }],
+    };
+    let spec = TopologySpec {
+        sites: vec![dc(), dc(), dc(), dc()],
+        ..TopologySpec::default()
+    };
+    Arc::new(Topology::build(spec).expect("bench spec"))
+}
+
+/// Partitioned capture-tier throughput at one worker width: a cross-DC
+/// request/response mesh driven through one `run_until` horizon. The
+/// workload is identical for every width — so are all outputs; only the
+/// wall clock moves.
+fn bench_partitioned(topo: &Arc<Topology>, width: usize, fast: bool) -> (PartWidth, String, usize) {
+    let mut sim =
+        Simulator::new(Arc::clone(topo), SimConfig::default(), NullTap).expect("bench sim");
+    sim.set_parallel_width(Some(width));
+    let webs = topo.hosts_with_role(HostRole::Web);
+    let caches = topo.hosts_with_role(HostRole::CacheLeader);
+    let horizon = if fast {
+        SimTime::from_millis(250)
+    } else {
+        SimTime::from_secs(1)
+    };
+    let stride = caches.len() / 4 + 1; // lands most pairs in another DC
+    for (i, &w) in webs.iter().enumerate() {
+        let c = sim
+            .open_connection(
+                SimTime::from_micros(i as u64 * 17),
+                w,
+                caches[(i * stride) % caches.len()],
+                11211,
+            )
+            .expect("open");
+        // A steady request train per connection across the horizon.
+        let mut t = SimTime::from_micros(i as u64 * 17);
+        let mut m = 0u64;
+        while t < horizon {
+            sim.send_message(
+                c,
+                t,
+                4_000 + (m % 7) * 800,
+                1_500,
+                SimDuration::from_micros(60),
+            )
+            .expect("send");
+            t += SimDuration::from_micros(1_900);
+            m += 1;
+        }
+    }
+    let start = Instant::now();
+    sim.run_until(horizon);
+    let secs = start.elapsed().as_secs_f64();
+    let events = sim.processed_events();
+    let stats = sim.parallel_stats();
+    let partitions = sim.partitions() as f64;
+    let util = if stats.bottleneck_events > 0 {
+        stats.events as f64 / (partitions * stats.bottleneck_events as f64)
+    } else {
+        1.0
+    };
+    let n_parts = sim.partitions();
+    let (out, _) = sim.finish();
+    (
+        PartWidth {
+            threads: width,
+            events,
+            secs,
+            barriers: stats.barriers,
+            barrier_util: util,
+        },
+        serde_json::to_string(&out).expect("json"),
+        n_parts,
+    )
+}
+
 /// Fleet tier: generation + tagging rate, then the analysis stage
 /// (Table 3 + Fig 5) on the resulting table.
 fn bench_fleet(cfg: &FleetRunConfig, threads: Option<usize>) -> (u64, f64, f64) {
@@ -82,13 +184,43 @@ fn bench_fleet(cfg: &FleetRunConfig, threads: Option<usize>) -> (u64, f64, f64) 
     (records, generate_secs, analysis_secs)
 }
 
-fn json(m: &Measurement, threads: usize) -> String {
+fn json(m: &Measurement, threads: usize, partitioned: &[PartWidth], partitions: usize) -> String {
+    // The per-width rate fields are deliberately NOT named
+    // "events_per_sec": CI greps that exact key for the serial
+    // regression check and must keep matching exactly one line.
+    let widths: Vec<String> = partitioned
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"threads\": {}, \"events\": {}, \"secs\": {:.6}, \
+                 \"rate\": {:.1}, \"barriers\": {}, \"barrier_util\": {:.4} }}",
+                p.threads,
+                p.events,
+                p.secs,
+                p.rate(),
+                p.barriers,
+                p.barrier_util,
+            )
+        })
+        .collect();
+    let speedup = match (partitioned.first(), partitioned.last()) {
+        (Some(w1), Some(wn)) if w1.threads != wn.threads => wn.rate() / w1.rate().max(1e-9),
+        _ => 1.0,
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let part_block = format!(
+        "  \"partitioned\": {{\n    \"partitions\": {partitions},\n    \"cores\": {cores},\n    \
+         \"widths\": [\n{}\n    ],\n    \"speedup_max_over_w1\": {speedup:.3}\n  }}",
+        widths.join(",\n"),
+    );
     format!(
-        "{{\n  \"schema\": 1,\n  \"threads\": {},\n  \"fast\": {},\n  \
+        "{{\n  \"schema\": 2,\n  \"threads\": {},\n  \"fast\": {},\n  \
          \"engine_events\": {},\n  \"engine_secs\": {:.6},\n  \
          \"events_per_sec\": {:.1},\n  \"fleet_records\": {},\n  \
          \"fleet_generate_secs\": {:.6},\n  \"fleet_records_per_sec\": {:.1},\n  \
-         \"analysis_secs\": {:.6},\n  \"scenario_wall_secs\": {:.6}\n}}\n",
+         \"analysis_secs\": {:.6},\n  \"scenario_wall_secs\": {:.6},\n{}\n}}\n",
         threads,
         fast_mode(),
         m.engine_events,
@@ -99,6 +231,7 @@ fn json(m: &Measurement, threads: usize) -> String {
         m.records_per_sec(),
         m.analysis_secs,
         m.scenario_wall_secs(),
+        part_block,
     )
 }
 
@@ -132,6 +265,33 @@ fn main() {
     };
 
     let (engine_events, engine_secs) = bench_engine(scale, sim_secs);
+
+    // Partitioned engine: the same cross-DC workload at widths 1, 2, 8.
+    // Outputs must not move by a byte; only the wall clock may.
+    let four_dc = four_dc_topo(fast_mode());
+    let mut partitioned = Vec::new();
+    let mut golden: Option<String> = None;
+    let mut partitions = 0;
+    for width in [1usize, 2, 8] {
+        let (pw, out, n_parts) = bench_partitioned(&four_dc, width, fast_mode());
+        match &golden {
+            None => golden = Some(out),
+            Some(g) => assert_eq!(g, &out, "width {width} changed the outputs"),
+        }
+        println!(
+            "partitioned width {}: {:.0} events/s ({} events / {:.2}s), {} barriers, \
+             barrier util {:.2}",
+            pw.threads,
+            pw.rate(),
+            pw.events,
+            pw.secs,
+            pw.barriers,
+            pw.barrier_util,
+        );
+        partitioned.push(pw);
+        partitions = n_parts;
+    }
+
     let (fleet_records, fleet_generate_secs, analysis_secs) = bench_fleet(&fleet_cfg, threads);
     let m = Measurement {
         engine_events,
@@ -156,6 +316,6 @@ fn main() {
     );
 
     let out = std::env::var("SONET_BENCH_OUT").unwrap_or_else(|_| "BENCH.json".to_string());
-    std::fs::write(&out, json(&m, resolved)).expect("write BENCH.json");
+    std::fs::write(&out, json(&m, resolved, &partitioned, partitions)).expect("write BENCH.json");
     println!("wrote {out}");
 }

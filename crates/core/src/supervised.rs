@@ -243,6 +243,9 @@ fn drive_capture(
     fs::create_dir_all(&opts.checkpoint_dir)?;
     let ckpt_path = opts.capture_checkpoint_path();
     let audit_on = opts.audit_enabled();
+    // Engine worker width for the partitioned calendar. `None` defers to
+    // the process default; any value produces identical bytes.
+    state.sim.set_parallel_width(opts.threads);
     let sup = RunSupervisor::new(opts.budget.clone());
     let horizon = SimTime::ZERO + cfg.duration;
     let mut next_ckpt = state.t + opts.every;

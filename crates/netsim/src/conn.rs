@@ -245,13 +245,6 @@ impl Conn {
             Dir::ServerToClient => &mut self.s2c,
         }
     }
-
-    pub fn route(&self, dir: Dir) -> &[LinkId] {
-        match dir {
-            Dir::ClientToServer => &self.route_fwd,
-            Dir::ServerToClient => &self.route_rev,
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1652 @@
+//! The discrete-event engine.
+//!
+//! A calendar of timestamped events drives packets across their routes.
+//! Each directed link is a FIFO: serialization starts when the link frees,
+//! and switch egress queues admit packets against a shared buffer pool
+//! with dynamic-threshold sharing (see [`crate::config::BufferConfig`]).
+//!
+//! # Execution model
+//!
+//! The plant is statically partitioned by datacenter ([`part`] module);
+//! each partition owns a slice of the link/switch/connection state and a
+//! private event calendar. The coordinator advances all partitions in
+//! lockstep *windows* of conservative lookahead — the minimum propagation
+//! delay of any inter-partition link — and exchanges boundary packets,
+//! tap deliveries, latency samples and buffer windows at each barrier in
+//! canonical `(time, source-partition, sequence)` order. Partitions run
+//! on the [`sonet_util::par`] worker pool; because the partitioning, the
+//! windows and every merge order are fixed by the topology and the event
+//! keys (never by thread scheduling), outputs are **byte-identical at any
+//! `--threads` value**, including 1. DESIGN.md §10 gives the protocol and
+//! the determinism argument.
+
+mod part;
+#[cfg(test)]
+mod tests;
+
+use crate::config::SimConfig;
+use crate::conn::{Conn, ConnPhase, MsgMeta};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::packet::{ConnId, Dir, FlowKey};
+use crate::tap::PacketTap;
+use part::{Ev, EvKey, PartSampler, Partition, PartitionMap, Scheduled, SharedCtx, EXT_SRC};
+use serde::{Deserialize, Serialize};
+use sonet_topology::{HostId, LinkHealth, LinkId, Node, SwitchId, Topology};
+use sonet_util::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Checkpoint format version written by this engine. Version 1 was the
+/// serial engine's single-calendar snapshot; it is not loadable here
+/// (restore from a pre-partitioning checkpoint requires the release that
+/// wrote it).
+const CHECKPOINT_VERSION: u32 = 2;
+
+/// Window length used when no link crosses partitions (single-datacenter
+/// plants run as one partition and only need *some* finite window).
+const SOLO_WINDOW: SimDuration = SimDuration::from_nanos(1_000_000);
+
+/// Errors surfaced by the simulator API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The requested time is in the simulated past.
+    TimeInPast {
+        /// The rejected timestamp.
+        requested: SimTime,
+        /// The current simulation clock.
+        now: SimTime,
+    },
+    /// Unknown connection handle.
+    NoSuchConn(ConnId),
+    /// The connection is closed.
+    ConnClosed(ConnId),
+    /// Source and destination host are the same.
+    SelfConnection(HostId),
+    /// A message must carry at least one request byte.
+    EmptyRequest,
+    /// Bad configuration.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TimeInPast { requested, now } => {
+                write!(
+                    f,
+                    "requested time {requested} is before simulation clock {now}"
+                )
+            }
+            SimError::NoSuchConn(c) => write!(f, "unknown connection {c}"),
+            SimError::ConnClosed(c) => write!(f, "{c} is closed"),
+            SimError::SelfConnection(h) => write!(f, "{h} cannot connect to itself"),
+            SimError::EmptyRequest => write!(f, "messages must carry at least 1 request byte"),
+            SimError::Config(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-link transmit/drop counters (the SNMP-style counters of §6.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkCounters {
+    /// Bytes successfully serialized onto the link.
+    pub tx_bytes: u64,
+    /// Packets successfully serialized onto the link.
+    pub tx_packets: u64,
+    /// Bytes dropped at admission (egress drops).
+    pub drop_bytes: u64,
+    /// Packets dropped at admission.
+    pub drop_packets: u64,
+    /// Bytes lost to injected faults (dead link or dead switch endpoint).
+    pub fault_drop_bytes: u64,
+    /// Packets lost to injected faults.
+    pub fault_drop_packets: u64,
+}
+
+/// Aggregated buffer occupancy for one switch over one aggregation window
+/// (the per-second median/max series of Fig 15a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferWindowStat {
+    /// Which switch.
+    pub switch: SwitchId,
+    /// Window start time.
+    pub window_start: SimTime,
+    /// Median sampled occupancy (bytes).
+    pub median: u64,
+    /// Maximum sampled occupancy (bytes).
+    pub max: u64,
+    /// Mean sampled occupancy (bytes).
+    pub mean: f64,
+    /// Number of samples in the window.
+    pub samples: u32,
+    /// Shared pool capacity (bytes), for normalization.
+    pub capacity: u64,
+}
+
+/// Everything the engine hands back at the end of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutputs {
+    /// Per-link counters, indexed by `LinkId`.
+    pub link_counters: Vec<LinkCounters>,
+    /// Per-interval transmitted bytes for utilization-tracked links.
+    pub util_series: HashMap<LinkId, Vec<u64>>,
+    /// Interval used for `util_series`.
+    pub util_interval: Option<SimDuration>,
+    /// Buffer occupancy windows, in time order, for sampled switches.
+    pub buffer_stats: Vec<BufferWindowStat>,
+    /// Total packets handed to the network (first-hop transmissions
+    /// scheduled), the source side of the conservation law the auditor
+    /// checks: emitted = delivered + dropped + fault-dropped + stale +
+    /// in-flight.
+    pub emitted_packets: u64,
+    /// Total packets delivered to hosts.
+    pub delivered_packets: u64,
+    /// Total application messages whose request fully arrived at servers.
+    pub completed_requests: u64,
+    /// Messages rejected because their connection closed first.
+    pub messages_on_closed: u64,
+    /// In-flight packets discarded because their connection endpoint was
+    /// gone or recycled when they arrived.
+    pub stale_packets: u64,
+    /// Fault events the engine applied.
+    pub faults_applied: u64,
+    /// Connection endpoints successfully re-hashed onto a healthy path
+    /// after a fault broke their pinned route.
+    pub reroutes: u64,
+    /// Endpoints whose route broke with no healthy alternative (they keep
+    /// the dead path and eventually abort).
+    pub reroute_failures: u64,
+    /// Handshakes abandoned after the SYN retry cap.
+    pub failed_handshakes: u64,
+    /// Established connections aborted by the consecutive-RTO cap while
+    /// their route was broken.
+    pub aborted_connections: u64,
+    /// End-to-end request latencies (request issue → response fully
+    /// received, or → request fully received for one-way messages), when
+    /// [`Simulator::record_latencies`] was enabled.
+    pub rpc_latencies: Vec<SimDuration>,
+    /// Final simulation clock.
+    pub ended_at: SimTime,
+}
+
+/// Barrier/throughput counters for the partitioned execution, for bench
+/// reporting: `events / (width * bottleneck_events)` is the mean
+/// per-barrier worker utilization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelStats {
+    /// Lookahead windows executed (barriers crossed).
+    pub barriers: u64,
+    /// Events handled across all partitions and windows.
+    pub events: u64,
+    /// Sum over windows of the busiest partition's event count — the
+    /// critical path a perfectly scheduled run cannot beat.
+    pub bottleneck_events: u64,
+}
+
+/// One allocated connection slot: current generation plus the partitions
+/// holding its two endpoints.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gen: u32,
+    cpart: u32,
+    spart: u32,
+}
+
+/// Coordinator-owned state: everything touched only between windows.
+struct Coord<T: PacketTap> {
+    tap: T,
+    now: SimTime,
+    /// Sequence counter for coordinator-scheduled ([`EXT_SRC`]) events.
+    ext_seq: u64,
+    slots: Vec<Slot>,
+    free_conns: Vec<u32>,
+    next_port: Vec<u16>,
+    latencies: Vec<SimDuration>,
+    buffer_stats: Vec<BufferWindowStat>,
+    audit_barriers: bool,
+    pstats: ParallelStats,
+}
+
+/// The packet-level simulator. See the crate docs for the model.
+pub struct Simulator<T: PacketTap> {
+    shared: SharedCtx,
+    coord: Coord<T>,
+    parts: Vec<Partition>,
+    /// Worker-thread override (`None` = the process-wide `--threads`
+    /// setting, resolved at each run call).
+    width_override: Option<usize>,
+}
+
+enum StopMode {
+    Until(SimTime),
+    Quiescence,
+}
+
+impl<T: PacketTap> Simulator<T> {
+    /// Creates a simulator over `topo` with the given transport/buffer
+    /// configuration, delivering watched-link packets to `tap`.
+    pub fn new(topo: Arc<Topology>, cfg: SimConfig, tap: T) -> Result<Simulator<T>, SimError> {
+        cfg.validate().map_err(SimError::Config)?;
+        let n_links = topo.links().len();
+        let n_hosts = topo.hosts().len();
+
+        let mut link_from_switch = Vec::with_capacity(n_links);
+        let mut link_gbps = Vec::with_capacity(n_links);
+        let mut link_prop = Vec::with_capacity(n_links);
+        for link in topo.links() {
+            link_from_switch.push(match link.from {
+                Node::Switch(s) => Some(s.0),
+                Node::Host(_) => None,
+            });
+            link_gbps.push(link.gbps);
+            link_prop.push(link.propagation_ns);
+        }
+        let mut switch_cap = Vec::new();
+        let mut switch_alpha = Vec::new();
+        for sw in topo.switches() {
+            let b = cfg.buffer_for(sw.kind);
+            switch_cap.push(b.shared_bytes);
+            switch_alpha.push(b.alpha);
+        }
+
+        let pmap = PartitionMap::new(&topo);
+        let shared = SharedCtx {
+            topo,
+            cfg,
+            pmap,
+            link_gbps,
+            link_prop,
+            link_from_switch,
+            switch_cap,
+            switch_alpha,
+            watched: vec![false; n_links],
+            util_tracked: vec![false; n_links],
+            util_interval: None,
+            record_latencies: false,
+        };
+        let parts = (0..shared.pmap.n_parts)
+            .map(|i| Partition::new(i, &shared))
+            .collect();
+        Ok(Simulator {
+            shared,
+            coord: Coord {
+                tap,
+                now: SimTime::ZERO,
+                ext_seq: 0,
+                slots: Vec::new(),
+                free_conns: Vec::new(),
+                next_port: vec![32768; n_hosts],
+                latencies: Vec::new(),
+                buffer_stats: Vec::new(),
+                audit_barriers: false,
+                pstats: ParallelStats::default(),
+            },
+            parts,
+            width_override: None,
+        })
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.coord.now
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topo
+    }
+
+    /// Transport configuration in effect.
+    pub fn config(&self) -> &SimConfig {
+        &self.shared.cfg
+    }
+
+    /// Starts delivering packets on `link` to the tap.
+    pub fn watch_link(&mut self, link: LinkId) {
+        self.shared.watched[link.index()] = true;
+    }
+
+    /// Mutable access to the tap (e.g. to degrade a telemetry collector
+    /// mid-run when a fault plan says so).
+    pub fn tap_mut(&mut self) -> &mut T {
+        &mut self.coord.tap
+    }
+
+    /// Shared access to the tap (e.g. to checkpoint its state).
+    pub fn tap(&self) -> &T {
+        &self.coord.tap
+    }
+
+    /// Events handled so far; run supervisors use this for event-count
+    /// budgets.
+    pub fn processed_events(&self) -> u64 {
+        self.parts.iter().map(|p| p.processed_events).sum()
+    }
+
+    /// Events still on the calendar (including housekeeping samples).
+    pub fn pending_events(&self) -> usize {
+        self.parts.iter().map(|p| p.events.len()).sum()
+    }
+
+    /// Current link/switch health under the faults applied so far. (Every
+    /// partition holds an identical replica; partition 0's is returned.)
+    pub fn health(&self) -> &LinkHealth {
+        &self.parts[0].health
+    }
+
+    /// Number of plant partitions (one per datacenter).
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Barrier/utilization counters accumulated so far.
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.coord.pstats
+    }
+
+    /// Overrides the worker width for this simulator (`None` reverts to
+    /// the process-wide `--threads` setting). Output is byte-identical at
+    /// every width; this only chooses how many OS threads carry the
+    /// partitions.
+    pub fn set_parallel_width(&mut self, width: Option<usize>) {
+        self.width_override = width;
+    }
+
+    /// Runs every partition's invariant audit after each window when
+    /// enabled, panicking on the first violation (used by the
+    /// equivalence/property suites to check mid-run states the public
+    /// API cannot observe).
+    pub fn audit_every_barrier(&mut self, on: bool) {
+        self.coord.audit_barriers = on;
+    }
+
+    /// Schedules one network fault. Telemetry faults are rejected — they
+    /// belong to the capture layer, not the engine.
+    pub fn inject_fault(&mut self, at: SimTime, kind: FaultKind) -> Result<(), SimError> {
+        if at < self.coord.now {
+            return Err(SimError::TimeInPast {
+                requested: at,
+                now: self.coord.now,
+            });
+        }
+        if kind.is_telemetry() {
+            return Err(SimError::Config(
+                "telemetry faults are applied by the capture layer, not the engine".into(),
+            ));
+        }
+        let n_links = self.shared.topo.links().len();
+        let n_switches = self.shared.topo.switches().len();
+        match kind {
+            FaultKind::LinkDown(l) | FaultKind::LinkUp(l) if l.index() >= n_links => {
+                return Err(SimError::Config(format!("{l} is out of range")));
+            }
+            FaultKind::SwitchDown(s) | FaultKind::SwitchUp(s) if s.index() >= n_switches => {
+                return Err(SimError::Config(format!("{s} is out of range")));
+            }
+            FaultKind::DegradeLink { link, rate_factor } => {
+                if link.index() >= n_links {
+                    return Err(SimError::Config(format!("{link} is out of range")));
+                }
+                if !(rate_factor > 0.0 && rate_factor <= 1.0) {
+                    return Err(SimError::Config(format!(
+                        "rate factor {rate_factor} outside (0, 1]"
+                    )));
+                }
+            }
+            _ => {}
+        }
+        // Replicate to every partition: each applies the fault to its own
+        // health/rate replica at the same virtual time, so replicas agree
+        // at every barrier without any cross-partition reads.
+        for p in &mut self.parts {
+            let seq = self.coord.ext_seq;
+            self.coord.ext_seq += 1;
+            let part = p.idx;
+            p.push_ext(at, seq, Ev::Fault { kind, part });
+        }
+        Ok(())
+    }
+
+    /// Schedules every *network* event of `plan` (telemetry events are
+    /// skipped; the capture layer replays those against its taps). Events
+    /// in the simulated past are rejected, leaving earlier ones scheduled.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        for ev in plan.network_events() {
+            self.inject_fault(ev.at, ev.kind)?;
+        }
+        Ok(())
+    }
+
+    /// Live view of a link's counters (SNMP-style mid-run poll; the full
+    /// vector is also returned by [`Simulator::finish`]).
+    pub fn link_counters(&self, link: LinkId) -> LinkCounters {
+        let owner = self.shared.pmap.part_of_link[link.index()] as usize;
+        self.parts[owner].link_counters[link.index()]
+    }
+
+    /// Enables end-to-end RPC latency recording (one sample per completed
+    /// message; disabled by default to keep long runs lean).
+    pub fn record_latencies(&mut self, on: bool) {
+        self.shared.record_latencies = on;
+    }
+
+    /// Records per-`interval` transmitted bytes for each given link
+    /// (powers utilization time series such as Fig 15b).
+    pub fn track_utilization(
+        &mut self,
+        interval: SimDuration,
+        links: &[LinkId],
+    ) -> Result<(), SimError> {
+        if interval.is_zero() {
+            return Err(SimError::Config(
+                "utilization interval must be positive".into(),
+            ));
+        }
+        if let Some(&l) = links
+            .iter()
+            .find(|l| l.index() >= self.shared.topo.links().len())
+        {
+            return Err(SimError::Config(format!("{l} is out of range")));
+        }
+        self.shared.util_interval = Some(interval);
+        for &l in links {
+            self.shared.util_tracked[l.index()] = true;
+        }
+        Ok(())
+    }
+
+    /// Samples the shared-buffer occupancy of `switches` every `interval`,
+    /// aggregating (median/max/mean) per `window` — the Fig 15a pipeline:
+    /// 10-µs samples aggregated per second.
+    pub fn sample_buffers(
+        &mut self,
+        interval: SimDuration,
+        window: SimDuration,
+        switches: Vec<SwitchId>,
+    ) -> Result<(), SimError> {
+        if interval.is_zero() || window.is_zero() {
+            return Err(SimError::Config("sampler periods must be positive".into()));
+        }
+        if let Some(&s) = switches
+            .iter()
+            .find(|s| s.index() >= self.shared.topo.switches().len())
+        {
+            return Err(SimError::Config(format!("{s} is out of range")));
+        }
+        // Split the switch list by owning partition, remembering each
+        // switch's index in the caller's list — the canonical order the
+        // barrier merge (and the checkpoint) reassembles.
+        let now = self.coord.now;
+        for p in &mut self.parts {
+            let mut owned = Vec::new();
+            let mut orig = Vec::new();
+            let mut caps = Vec::new();
+            for (i, &sw) in switches.iter().enumerate() {
+                if self.shared.pmap.part_of_switch[sw.index()] == p.idx {
+                    owned.push(sw);
+                    orig.push(i as u32);
+                    caps.push(self.shared.switch_cap[sw.index()]);
+                }
+            }
+            if owned.is_empty() {
+                continue;
+            }
+            let n = owned.len();
+            p.buf_sampler = Some(PartSampler {
+                interval,
+                window,
+                switches: owned,
+                orig,
+                caps,
+                window_start: now,
+                samples: vec![Vec::new(); n],
+            });
+            let seq = self.coord.ext_seq;
+            self.coord.ext_seq += 1;
+            let part = p.idx;
+            p.push_ext(now, seq, Ev::BufSample { part });
+        }
+        Ok(())
+    }
+
+    /// Opens a TCP-like connection from `client` to `server:server_port`
+    /// at absolute time `at` (SYN emission time). Routes are pinned by the
+    /// flow's ECMP hash, as hardware hashing pins real flows.
+    pub fn open_connection(
+        &mut self,
+        at: SimTime,
+        client: HostId,
+        server: HostId,
+        server_port: u16,
+    ) -> Result<ConnId, SimError> {
+        if at < self.coord.now {
+            return Err(SimError::TimeInPast {
+                requested: at,
+                now: self.coord.now,
+            });
+        }
+        if client == server {
+            return Err(SimError::SelfConnection(client));
+        }
+        let port = self.coord.next_port[client.index()];
+        self.coord.next_port[client.index()] = port.checked_add(1).unwrap_or(32768);
+        let key = FlowKey {
+            client,
+            server,
+            client_port: port,
+            server_port,
+        };
+        let hash = key.ecmp_hash();
+        let id = match self.coord.free_conns.pop() {
+            Some(idx) => {
+                // Reusing a quarantined slot evicts the previous
+                // incarnation's endpoint halves from whichever partitions
+                // hold them. Stragglers addressed to the old generation
+                // then count as stale instead of being processed by a
+                // zombie endpoint — and, just as important, the live
+                // tables match exactly what a checkpoint captures, so a
+                // restored run evolves identically to an uninterrupted
+                // one.
+                let old = self.coord.slots[idx as usize];
+                self.parts[old.cpart as usize].clients[idx as usize] = None;
+                self.parts[old.spart as usize].servers[idx as usize] = None;
+                ConnId {
+                    idx,
+                    gen: old.gen + 1,
+                }
+            }
+            None => ConnId {
+                idx: self.coord.slots.len() as u32,
+                gen: 0,
+            },
+        };
+        let cpart = self.shared.pmap.part_of_host[client.index()];
+        let spart = self.shared.pmap.part_of_host[server.index()];
+        let slot = Slot {
+            gen: id.gen,
+            cpart,
+            spart,
+        };
+        if (id.idx as usize) < self.coord.slots.len() {
+            self.coord.slots[id.idx as usize] = slot;
+        } else {
+            self.coord.slots.push(slot);
+        }
+        // Route around current faults where possible; when no healthy
+        // path exists, pin the nominal route anyway — the SYN dies on the
+        // dead hop and the handshake gives up after its retry budget,
+        // which is how a real connect() to an unreachable server behaves.
+        // (The server endpoint pins its reverse route when the SYN
+        // arrives; see `Partition::accept_syn`.)
+        let route_fwd = self
+            .shared
+            .topo
+            .route_healthy(client, server, hash, &self.parts[0].health)
+            .or_else(|_| self.shared.topo.route(client, server, hash))
+            .expect("distinct endpoints were checked above");
+        let conn = Conn {
+            id,
+            key,
+            phase: ConnPhase::Opening,
+            route_fwd,
+            route_rev: Vec::new(),
+            c2s: crate::conn::DirState::default(),
+            s2c: crate::conn::DirState::default(),
+            msg_meta: Vec::new(),
+            resp_req_issued: Vec::new(),
+            pre_open: Vec::new(),
+            next_server_msg: 0,
+            syn_attempts: 0,
+            opened_at: at,
+        };
+        let n_slots = self.coord.slots.len();
+        for p in &mut self.parts {
+            if p.clients.len() < n_slots {
+                p.clients.resize(n_slots, None);
+                p.servers.resize(n_slots, None);
+            }
+        }
+        self.parts[cpart as usize].clients[id.idx as usize] = Some(conn);
+        let seq = self.coord.ext_seq;
+        self.coord.ext_seq += 1;
+        self.parts[cpart as usize].push_ext(at, seq, Ev::OpenConn { conn: id });
+        Ok(id)
+    }
+
+    /// Queues a request/response exchange on `conn` at absolute time `at`:
+    /// the client sends `request_bytes`; once the full request reaches the
+    /// server it works for `service_time` and then sends `response_bytes`
+    /// back (zero for one-way transfers).
+    pub fn send_message(
+        &mut self,
+        conn: ConnId,
+        at: SimTime,
+        request_bytes: u64,
+        response_bytes: u64,
+        service_time: SimDuration,
+    ) -> Result<(), SimError> {
+        if at < self.coord.now {
+            return Err(SimError::TimeInPast {
+                requested: at,
+                now: self.coord.now,
+            });
+        }
+        if request_bytes == 0 {
+            return Err(SimError::EmptyRequest);
+        }
+        let slot = self
+            .coord
+            .slots
+            .get(conn.index())
+            .filter(|s| s.gen == conn.gen)
+            .ok_or(SimError::NoSuchConn(conn))?;
+        let cpart = slot.cpart as usize;
+        let phase = self.parts[cpart].clients[conn.index()]
+            .as_ref()
+            .expect("registered slot has a client endpoint")
+            .phase;
+        if phase == ConnPhase::Closed {
+            return Err(SimError::ConnClosed(conn));
+        }
+        let seq = self.coord.ext_seq;
+        self.coord.ext_seq += 1;
+        self.parts[cpart].push_ext(
+            at,
+            seq,
+            Ev::SendMsg {
+                conn,
+                req: request_bytes,
+                meta: MsgMeta {
+                    response_bytes,
+                    service_time,
+                    issued_at: at,
+                },
+            },
+        );
+        Ok(())
+    }
+
+    /// Closes `conn` at absolute time `at` (FIN emission).
+    pub fn close_connection(&mut self, conn: ConnId, at: SimTime) -> Result<(), SimError> {
+        if at < self.coord.now {
+            return Err(SimError::TimeInPast {
+                requested: at,
+                now: self.coord.now,
+            });
+        }
+        let slot = self
+            .coord
+            .slots
+            .get(conn.index())
+            .filter(|s| s.gen == conn.gen)
+            .ok_or(SimError::NoSuchConn(conn))?;
+        let cpart = slot.cpart as usize;
+        let seq = self.coord.ext_seq;
+        self.coord.ext_seq += 1;
+        self.parts[cpart].push_ext(at, seq, Ev::Close { conn });
+        Ok(())
+    }
+
+    /// Runs the event loop until the clock reaches `until` (all events at
+    /// or before `until` are processed; the clock then rests at `until`).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.run_windows(StopMode::Until(until));
+    }
+
+    /// Drains every remaining event other than the periodic buffer
+    /// sampler, which reschedules itself forever and would otherwise keep
+    /// the calendar non-empty (use after the last injection when a
+    /// natural quiesce is wanted rather than a fixed horizon).
+    pub fn run_to_quiescence(&mut self) {
+        self.run_windows(StopMode::Quiescence);
+    }
+
+    fn run_windows(&mut self, mode: StopMode) {
+        let width = self
+            .width_override
+            .unwrap_or_else(|| sonet_util::par::resolve_threads(None))
+            .clamp(1, self.parts.len());
+        let lookahead = self.shared.pmap.lookahead.unwrap_or(SOLO_WINDOW);
+        let shared = &self.shared;
+        let coord = &mut self.coord;
+        let parts = std::mem::take(&mut self.parts);
+        let parts = sonet_util::par::run_phased(
+            width,
+            parts,
+            |parts: &mut [Partition]| -> bool {
+                barrier_merge(coord, parts, lookahead);
+                for p in parts.iter_mut() {
+                    coord.pstats.events += p.window_events;
+                }
+                if let Some(busiest) = parts.iter().map(|p| p.window_events).max() {
+                    coord.pstats.bottleneck_events += busiest;
+                }
+                for p in parts.iter_mut() {
+                    p.window_events = 0;
+                }
+                if coord.audit_barriers {
+                    let now = parts.iter().map(|p| p.now).max().unwrap_or(coord.now);
+                    if let Err(report) = audit_parts(shared, parts, now) {
+                        panic!("barrier audit failed: {report}");
+                    }
+                }
+                let next = parts
+                    .iter()
+                    .filter_map(|p| p.events.peek().map(|r| r.0.at))
+                    .min();
+                let wend = match mode {
+                    StopMode::Until(until) => match next {
+                        Some(t) if t <= until => {
+                            Some((until + SimDuration::from_nanos(1)).min(t + lookahead))
+                        }
+                        _ => None,
+                    },
+                    StopMode::Quiescence => {
+                        let real: u64 = parts.iter().map(|p| p.real_events).sum();
+                        if real == 0 {
+                            None
+                        } else {
+                            Some(next.expect("real events imply a calendar head") + lookahead)
+                        }
+                    }
+                };
+                match wend {
+                    Some(wend) => {
+                        for p in parts.iter_mut() {
+                            p.wend = wend;
+                        }
+                        coord.pstats.barriers += 1;
+                        true
+                    }
+                    None => {
+                        // Epilogue: rest the clock exactly where the
+                        // serial contract says — at `until`, or at the
+                        // last handled event for a natural quiesce.
+                        let end = match mode {
+                            StopMode::Until(until) => until,
+                            StopMode::Quiescence => parts
+                                .iter()
+                                .map(|p| p.last_at)
+                                .max()
+                                .unwrap_or(coord.now)
+                                .max(coord.now),
+                        };
+                        for p in parts.iter_mut() {
+                            p.now = end;
+                        }
+                        coord.now = end;
+                        false
+                    }
+                }
+            },
+            |_, p| p.drain_window(shared),
+        );
+        self.parts = parts;
+    }
+
+    /// Finishes the run: flushes telemetry windows and returns the outputs
+    /// together with the tap.
+    pub fn finish(mut self) -> (SimOutputs, T) {
+        let mut tail = Vec::new();
+        for p in &mut self.parts {
+            p.flush_buffer_window(true);
+            tail.append(&mut p.window_stats);
+        }
+        tail.sort_by_key(|(start, orig, _)| (*start, *orig));
+        self.coord
+            .buffer_stats
+            .extend(tail.into_iter().map(|(_, _, s)| s));
+
+        let n_links = self.shared.topo.links().len();
+        let mut link_counters = Vec::with_capacity(n_links);
+        let mut util_series = HashMap::new();
+        for li in 0..n_links {
+            let owner = self.shared.pmap.part_of_link[li] as usize;
+            link_counters.push(self.parts[owner].link_counters[li]);
+            if self.shared.util_tracked[li] {
+                util_series.insert(
+                    LinkId(li as u32),
+                    std::mem::take(&mut self.parts[owner].util_series[li]),
+                );
+            }
+        }
+        let sum = |f: fn(&part::Counters) -> u64| -> u64 {
+            self.parts.iter().map(|p| f(&p.counters)).sum()
+        };
+        let outputs = SimOutputs {
+            link_counters,
+            util_series,
+            util_interval: self.shared.util_interval,
+            buffer_stats: std::mem::take(&mut self.coord.buffer_stats),
+            emitted_packets: sum(|c| c.emitted_packets),
+            delivered_packets: sum(|c| c.delivered_packets),
+            completed_requests: sum(|c| c.completed_requests),
+            messages_on_closed: sum(|c| c.messages_on_closed),
+            stale_packets: sum(|c| c.stale_packets),
+            faults_applied: sum(|c| c.faults_applied),
+            reroutes: sum(|c| c.reroutes),
+            reroute_failures: sum(|c| c.reroute_failures),
+            failed_handshakes: sum(|c| c.failed_handshakes),
+            aborted_connections: sum(|c| c.aborted_connections),
+            rpc_latencies: std::mem::take(&mut self.coord.latencies),
+            ended_at: self.coord.now,
+        };
+        (outputs, self.coord.tap)
+    }
+}
+
+/// Exchanges every cross-partition product of the completed window, in
+/// canonical order. Runs on the coordinator thread between phases; also a
+/// no-op on a fresh simulator, so the window loop calls it
+/// unconditionally.
+fn barrier_merge<T: PacketTap>(
+    coord: &mut Coord<T>,
+    parts: &mut [Partition],
+    lookahead: SimDuration,
+) {
+    let n = parts.len();
+
+    // 1. Boundary events: outbox → target calendar. Every entry carries
+    //    its (time, source, seq) key, so heap order — not delivery
+    //    order — decides processing order.
+    for src in 0..n {
+        let boxes: Vec<Vec<Scheduled>> = parts[src].outbox.iter_mut().map(std::mem::take).collect();
+        for (tgt, evs) in boxes.into_iter().enumerate() {
+            for s in evs {
+                debug_assert!(s.at >= parts[tgt].now, "lookahead violation");
+                parts[tgt].real_events += 1;
+                parts[tgt].events.push(Reverse(s));
+            }
+        }
+    }
+
+    // 2. Tap deliveries, merged across partitions by generating-event key
+    //    (exactly the order a width-1 run produces them in).
+    let mut taps: Vec<part::TapCall> = Vec::new();
+    for p in parts.iter_mut() {
+        taps.append(&mut p.tap_buf);
+    }
+    taps.sort_by_key(|t| t.key);
+    for t in &taps {
+        coord.tap.on_packet(t.at, t.link, &t.pkt);
+    }
+
+    // 3. RPC latency samples, same canonical order.
+    let mut lats: Vec<(EvKey, SimDuration)> = Vec::new();
+    for p in parts.iter_mut() {
+        lats.append(&mut p.lat_buf);
+    }
+    lats.sort_by_key(|(k, _)| *k);
+    coord.latencies.extend(lats.into_iter().map(|(_, d)| d));
+
+    // 4. Completed buffer windows, ordered by (window start, position in
+    //    the caller's switch list) — the order the serial sampler emits.
+    let mut wins: Vec<(SimTime, u32, BufferWindowStat)> = Vec::new();
+    for p in parts.iter_mut() {
+        wins.append(&mut p.window_stats);
+    }
+    wins.sort_by_key(|(start, orig, _)| (*start, *orig));
+    coord
+        .buffer_stats
+        .extend(wins.into_iter().map(|(_, _, s)| s));
+
+    // 5. Cross-partition aborts: the peer learns one lookahead after the
+    //    abort instant — like a RST surfacing after the fabric
+    //    round-trip. Tying the notification to the abort's own timestamp
+    //    (not the barrier position) keeps results independent of how the
+    //    caller slices its `run_until` horizon: the window that processed
+    //    the abort at t ended no later than t + lookahead, so the
+    //    notification is never in the peer's past.
+    let mut aborts: Vec<(EvKey, ConnId, bool)> = Vec::new();
+    for p in parts.iter_mut() {
+        aborts.append(&mut p.aborted_buf);
+    }
+    aborts.sort_by_key(|(k, _, _)| *k);
+    for (key, conn, client_aborted) in aborts {
+        let slot = coord.slots[conn.index()];
+        if slot.gen != conn.gen {
+            continue;
+        }
+        let (peer, peer_is_client) = if client_aborted {
+            (slot.spart as usize, false)
+        } else {
+            (slot.cpart as usize, true)
+        };
+        let at = key.0 + lookahead;
+        debug_assert!(
+            at >= parts[peer].now,
+            "abort notification lands in the peer's past"
+        );
+        let seq = coord.ext_seq;
+        coord.ext_seq += 1;
+        parts[peer].push_ext(
+            at,
+            seq,
+            Ev::PeerGone {
+                conn,
+                client: peer_is_client,
+            },
+        );
+    }
+
+    // 6. Retired slots become reusable, in (partition, retirement) order.
+    for p in parts.iter_mut() {
+        for idx in p.retired_buf.drain(..) {
+            coord.free_conns.push(idx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------
+
+/// Serialized sampler state: the canonical (width-independent) view — the
+/// full switch list in registration order with each switch's in-window
+/// samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BufSamplerCkpt {
+    interval: SimDuration,
+    window: SimDuration,
+    switches: Vec<SwitchId>,
+    window_start: SimTime,
+    samples: Vec<Vec<u64>>,
+}
+
+/// Serialized dynamic state of a [`Simulator`] (format version 2).
+///
+/// Contains everything the engine mutates, merged across partitions into
+/// a canonical single-plant view: the event calendar (sorted by
+/// `(time, source, seq)` key), both endpoint tables, link and switch
+/// state, telemetry accumulators, and totals — plus the [`SimConfig`] it
+/// ran under. Topology-derived tables are rebuilt from the topology
+/// passed to [`Simulator::restore`], so a checkpoint stays small and
+/// cannot disagree with the plant it is replayed against. Because the
+/// view is canonical, checkpoint bytes are identical at every worker
+/// width, and a checkpoint taken at one width restores at any other.
+///
+/// Version 1 checkpoints (single-calendar serial engine) fail to
+/// deserialize — resuming one requires the release that wrote it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    version: u32,
+    cfg: SimConfig,
+    now: SimTime,
+    events: Vec<Scheduled>,
+    /// Per-partition event sequence counters, indexed by partition.
+    next_seqs: Vec<u64>,
+    ext_seq: u64,
+    conns_client: Vec<Option<Conn>>,
+    conns_server: Vec<Option<Conn>>,
+    free_conns: Vec<u32>,
+    next_port: Vec<u16>,
+    link_free_at: Vec<SimTime>,
+    link_backlog: Vec<u64>,
+    link_counters: Vec<LinkCounters>,
+    link_rate_factor: Vec<f64>,
+    health: LinkHealth,
+    watched: Vec<bool>,
+    util_tracked: Vec<bool>,
+    switch_occ: Vec<u64>,
+    util_interval: Option<SimDuration>,
+    /// `util_series` flattened to link-sorted pairs so the serialized form
+    /// is byte-stable across runs.
+    util_series: Vec<(LinkId, Vec<u64>)>,
+    buf_sampler: Option<BufSamplerCkpt>,
+    buffer_stats: Vec<BufferWindowStat>,
+    emitted_packets: u64,
+    delivered_packets: u64,
+    completed_requests: u64,
+    messages_on_closed: u64,
+    stale_packets: u64,
+    faults_applied: u64,
+    reroutes: u64,
+    reroute_failures: u64,
+    failed_handshakes: u64,
+    aborted_connections: u64,
+    record_latencies: bool,
+    latencies: Vec<SimDuration>,
+    processed_events: u64,
+}
+
+impl EngineCheckpoint {
+    /// Virtual time the checkpoint was taken at.
+    pub fn taken_at(&self) -> SimTime {
+        self.now
+    }
+}
+
+impl<T: PacketTap> Simulator<T> {
+    /// Captures the engine's full dynamic state. Non-destructive: the
+    /// simulator keeps running; the checkpoint is an independent snapshot
+    /// that [`Simulator::restore`] turns back into an identical engine.
+    /// Must be taken between run calls (at a barrier), which is the only
+    /// time the public API can observe the engine anyway.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        let sh = &self.shared;
+        let n_links = sh.topo.links().len();
+        let n_switches = sh.topo.switches().len();
+
+        let mut events: Vec<Scheduled> = self
+            .parts
+            .iter()
+            .flat_map(|p| p.events.iter().map(|r| r.0.clone()))
+            .collect();
+        events.sort_by_key(Scheduled::key);
+
+        let n_slots = self.coord.slots.len();
+        let mut conns_client: Vec<Option<Conn>> = vec![None; n_slots];
+        let mut conns_server: Vec<Option<Conn>> = vec![None; n_slots];
+        // Two passes: the server filter below consults the client table,
+        // and a conn's server half may live in a lower-indexed partition
+        // than its client half.
+        for p in &self.parts {
+            for (i, c) in p.clients.iter().enumerate() {
+                if let Some(c) = c {
+                    conns_client[i] = Some(c.clone());
+                }
+            }
+        }
+        for p in &self.parts {
+            for (i, c) in p.servers.iter().enumerate() {
+                if let Some(c) = c {
+                    // The canonical server endpoint is the one matching
+                    // the current client generation; stale halves left in
+                    // other partitions by slot reuse stay behind (they
+                    // only ever absorb stragglers).
+                    let current = conns_client[i]
+                        .as_ref()
+                        .is_some_and(|cl| cl.id.gen == c.id.gen);
+                    if current {
+                        conns_server[i] = Some(c.clone());
+                    }
+                }
+            }
+        }
+
+        let mut link_free_at = vec![SimTime::ZERO; n_links];
+        let mut link_backlog = vec![0u64; n_links];
+        let mut link_counters = vec![LinkCounters::default(); n_links];
+        let mut link_rate_factor = vec![1.0f64; n_links];
+        let mut util_series = Vec::new();
+        for li in 0..n_links {
+            let owner = &self.parts[sh.pmap.part_of_link[li] as usize];
+            link_free_at[li] = owner.link_free_at[li];
+            link_backlog[li] = owner.link_backlog[li];
+            link_counters[li] = owner.link_counters[li];
+            link_rate_factor[li] = owner.link_rate_factor[li];
+            if sh.util_tracked[li] {
+                util_series.push((LinkId(li as u32), owner.util_series[li].clone()));
+            }
+        }
+        let mut switch_occ = vec![0u64; n_switches];
+        for (si, occ) in switch_occ.iter_mut().enumerate() {
+            *occ = self.parts[sh.pmap.part_of_switch[si] as usize].switch_occ[si];
+        }
+
+        // Reassemble the canonical sampler from the per-partition shards,
+        // ordered by each switch's position in the original registration.
+        let mut shard_refs: Vec<(&PartSampler, usize)> = Vec::new();
+        for p in &self.parts {
+            if let Some(s) = &p.buf_sampler {
+                for i in 0..s.switches.len() {
+                    shard_refs.push((s, i));
+                }
+            }
+        }
+        shard_refs.sort_by_key(|(s, i)| s.orig[*i]);
+        let buf_sampler = shard_refs.first().map(|(first, _)| BufSamplerCkpt {
+            interval: first.interval,
+            window: first.window,
+            switches: shard_refs.iter().map(|(s, i)| s.switches[*i]).collect(),
+            window_start: first.window_start,
+            samples: shard_refs
+                .iter()
+                .map(|(s, i)| s.samples[*i].clone())
+                .collect(),
+        });
+
+        let sum = |f: fn(&part::Counters) -> u64| -> u64 {
+            self.parts.iter().map(|p| f(&p.counters)).sum()
+        };
+        EngineCheckpoint {
+            version: CHECKPOINT_VERSION,
+            cfg: sh.cfg.clone(),
+            now: self.coord.now,
+            events,
+            next_seqs: self.parts.iter().map(|p| p.next_seq).collect(),
+            ext_seq: self.coord.ext_seq,
+            conns_client,
+            conns_server,
+            free_conns: self.coord.free_conns.clone(),
+            next_port: self.coord.next_port.clone(),
+            link_free_at,
+            link_backlog,
+            link_counters,
+            link_rate_factor,
+            health: self.parts[0].health.clone(),
+            watched: sh.watched.clone(),
+            util_tracked: sh.util_tracked.clone(),
+            switch_occ,
+            util_interval: sh.util_interval,
+            util_series,
+            buf_sampler,
+            buffer_stats: self.coord.buffer_stats.clone(),
+            emitted_packets: sum(|c| c.emitted_packets),
+            delivered_packets: sum(|c| c.delivered_packets),
+            completed_requests: sum(|c| c.completed_requests),
+            messages_on_closed: sum(|c| c.messages_on_closed),
+            stale_packets: sum(|c| c.stale_packets),
+            faults_applied: sum(|c| c.faults_applied),
+            reroutes: sum(|c| c.reroutes),
+            reroute_failures: sum(|c| c.reroute_failures),
+            failed_handshakes: sum(|c| c.failed_handshakes),
+            aborted_connections: sum(|c| c.aborted_connections),
+            record_latencies: sh.record_latencies,
+            latencies: self.coord.latencies.clone(),
+            processed_events: self.processed_events(),
+        }
+    }
+
+    /// Rebuilds a simulator from a checkpoint over the same topology.
+    ///
+    /// The restored engine is observationally identical to the one that
+    /// took the checkpoint: continuing both produces byte-identical
+    /// outputs, at any worker width. The tap is supplied by the caller
+    /// (its state, if any, is checkpointed by the layer that owns it).
+    /// Fails with [`SimError::Config`] when the checkpoint's version or
+    /// dimensions do not match or its calendar is internally
+    /// inconsistent.
+    pub fn restore(
+        topo: Arc<Topology>,
+        tap: T,
+        ckpt: EngineCheckpoint,
+    ) -> Result<Simulator<T>, SimError> {
+        let mut sim = Simulator::new(topo, ckpt.cfg.clone(), tap)?;
+        let sh = &sim.shared;
+        let n_links = sh.topo.links().len();
+        let n_switches = sh.topo.switches().len();
+        let n_hosts = sh.topo.hosts().len();
+        let n_parts = sh.pmap.n_parts as usize;
+        let bad = |what: &str| Err(SimError::Config(format!("checkpoint mismatch: {what}")));
+        if ckpt.version != CHECKPOINT_VERSION {
+            return bad("unsupported checkpoint version");
+        }
+        if ckpt.link_free_at.len() != n_links
+            || ckpt.link_backlog.len() != n_links
+            || ckpt.link_counters.len() != n_links
+            || ckpt.link_rate_factor.len() != n_links
+            || ckpt.watched.len() != n_links
+            || ckpt.util_tracked.len() != n_links
+        {
+            return bad("link state dimensions do not match the topology");
+        }
+        if ckpt.switch_occ.len() != n_switches {
+            return bad("switch state dimensions do not match the topology");
+        }
+        if ckpt.next_port.len() != n_hosts {
+            return bad("host state dimensions do not match the topology");
+        }
+        if ckpt.health.n_links() != n_links || ckpt.health.n_switches() != n_switches {
+            return bad("health mask dimensions do not match the topology");
+        }
+        if ckpt.next_seqs.len() != n_parts {
+            return bad("partition count does not match the topology");
+        }
+        if ckpt.conns_server.len() != ckpt.conns_client.len() {
+            return bad("endpoint tables disagree on slot count");
+        }
+        let n_slots = ckpt.conns_client.len();
+
+        // Rebuild the slot registry from the client endpoints (the client
+        // half exists for every allocated slot and persists after
+        // retirement, so generation and both partitions are derivable).
+        let mut slots = Vec::with_capacity(n_slots);
+        for (i, c) in ckpt.conns_client.iter().enumerate() {
+            let Some(c) = c else {
+                return bad("allocated slot without a client endpoint");
+            };
+            if c.id.idx as usize != i {
+                return bad("client endpoint in the wrong slot");
+            }
+            if c.route_fwd.iter().any(|l| l.index() >= n_links) {
+                return bad("connection route references an out-of-range link");
+            }
+            slots.push(Slot {
+                gen: c.id.gen,
+                cpart: sh.pmap.part_of_host[c.key.client.index()],
+                spart: sh.pmap.part_of_host[c.key.server.index()],
+            });
+        }
+        for c in ckpt.conns_server.iter().flatten() {
+            if c.route_rev.iter().any(|l| l.index() >= n_links) {
+                return bad("connection route references an out-of-range link");
+            }
+        }
+
+        for ev in &ckpt.events {
+            if ev.at < ckpt.now {
+                return bad("calendar entry before the checkpointed clock");
+            }
+            let issued = if ev.src == EXT_SRC {
+                ckpt.ext_seq
+            } else if (ev.src as usize) < n_parts {
+                ckpt.next_seqs[ev.src as usize]
+            } else {
+                return bad("calendar entry from an unknown partition");
+            };
+            if ev.seq >= issued {
+                return bad("calendar entry with an unissued sequence number");
+            }
+        }
+
+        sim.coord.now = ckpt.now;
+        sim.coord.ext_seq = ckpt.ext_seq;
+        sim.coord.slots = slots;
+        sim.coord.free_conns = ckpt.free_conns;
+        sim.coord.next_port = ckpt.next_port;
+        sim.coord.buffer_stats = ckpt.buffer_stats;
+        sim.coord.latencies = ckpt.latencies;
+        sim.shared.watched = ckpt.watched;
+        sim.shared.util_tracked = ckpt.util_tracked;
+        sim.shared.util_interval = ckpt.util_interval;
+        sim.shared.record_latencies = ckpt.record_latencies;
+        let sh = &sim.shared;
+
+        for p in &mut sim.parts {
+            p.now = ckpt.now;
+            p.wend = ckpt.now;
+            p.health = ckpt.health.clone();
+            p.clients.resize(n_slots, None);
+            p.servers.resize(n_slots, None);
+        }
+        for (i, p) in sim.parts.iter_mut().enumerate() {
+            p.next_seq = ckpt.next_seqs[i];
+        }
+        for (i, c) in ckpt.conns_client.into_iter().enumerate() {
+            let cpart = sim.coord.slots[i].cpart as usize;
+            sim.parts[cpart].clients[i] = c;
+        }
+        for (i, c) in ckpt.conns_server.into_iter().enumerate() {
+            if let Some(c) = c {
+                let spart = sh.pmap.part_of_host[c.key.server.index()] as usize;
+                sim.parts[spart].servers[i] = Some(c);
+            }
+        }
+        for li in 0..n_links {
+            let owner = sh.pmap.part_of_link[li] as usize;
+            sim.parts[owner].link_free_at[li] = ckpt.link_free_at[li];
+            sim.parts[owner].link_backlog[li] = ckpt.link_backlog[li];
+            sim.parts[owner].link_counters[li] = ckpt.link_counters[li];
+            sim.parts[owner].link_rate_factor[li] = ckpt.link_rate_factor[li];
+        }
+        for si in 0..n_switches {
+            let owner = sh.pmap.part_of_switch[si] as usize;
+            sim.parts[owner].switch_occ[si] = ckpt.switch_occ[si];
+        }
+        for (l, series) in ckpt.util_series {
+            if l.index() >= n_links {
+                return bad("utilization series references an out-of-range link");
+            }
+            let owner = sh.pmap.part_of_link[l.index()] as usize;
+            sim.parts[owner].util_series[l.index()] = series;
+        }
+        if let Some(s) = ckpt.buf_sampler {
+            if s.samples.len() != s.switches.len() {
+                return bad("sampler sample/switch lists disagree");
+            }
+            if let Some(&sw) = s.switches.iter().find(|sw| sw.index() >= n_switches) {
+                return bad(&format!("sampler references out-of-range {sw}"));
+            }
+            for p in &mut sim.parts {
+                let mut owned = Vec::new();
+                let mut orig = Vec::new();
+                let mut caps = Vec::new();
+                let mut samples = Vec::new();
+                for (i, &sw) in s.switches.iter().enumerate() {
+                    if sh.pmap.part_of_switch[sw.index()] == p.idx {
+                        owned.push(sw);
+                        orig.push(i as u32);
+                        caps.push(sh.switch_cap[sw.index()]);
+                        samples.push(s.samples[i].clone());
+                    }
+                }
+                if owned.is_empty() {
+                    continue;
+                }
+                p.buf_sampler = Some(PartSampler {
+                    interval: s.interval,
+                    window: s.window,
+                    switches: owned,
+                    orig,
+                    caps,
+                    window_start: s.window_start,
+                    samples,
+                });
+            }
+        }
+
+        // Route every calendar entry to the partition that owns its
+        // subject, then recount the housekeeping split per partition.
+        for ev in ckpt.events {
+            let target = match &ev.ev {
+                Ev::Transmit { pkt, hop } => {
+                    let hops = pkt.route.as_slice();
+                    let Some(&link) = hops.get(*hop as usize) else {
+                        return bad("transmit event beyond its route");
+                    };
+                    sh.pmap.part_of_link[link.index()] as usize
+                }
+                Ev::Deliver { pkt } => sh.pmap.part_of_host[pkt.p.wire_dst().index()] as usize,
+                Ev::Release { link, .. } => {
+                    if *link as usize >= n_links {
+                        return bad("release event for an out-of-range link");
+                    }
+                    sh.pmap.part_of_link[*link as usize] as usize
+                }
+                Ev::Rto { conn, dir } => {
+                    let Some(slot) = sim.coord.slots.get(conn.index()) else {
+                        return bad("timer event for an unknown slot");
+                    };
+                    if *dir == Dir::ClientToServer {
+                        slot.cpart as usize
+                    } else {
+                        slot.spart as usize
+                    }
+                }
+                Ev::Service { conn, .. } => {
+                    let Some(slot) = sim.coord.slots.get(conn.index()) else {
+                        return bad("service event for an unknown slot");
+                    };
+                    slot.spart as usize
+                }
+                Ev::OpenConn { conn }
+                | Ev::SynRetry { conn }
+                | Ev::SendMsg { conn, .. }
+                | Ev::Close { conn }
+                | Ev::Retire { conn } => {
+                    let Some(slot) = sim.coord.slots.get(conn.index()) else {
+                        return bad("connection event for an unknown slot");
+                    };
+                    slot.cpart as usize
+                }
+                Ev::PeerGone { conn, client } => {
+                    let Some(slot) = sim.coord.slots.get(conn.index()) else {
+                        return bad("peer-gone event for an unknown slot");
+                    };
+                    if *client {
+                        slot.cpart as usize
+                    } else {
+                        slot.spart as usize
+                    }
+                }
+                Ev::Fault { part, .. } | Ev::BufSample { part } => {
+                    if *part as usize >= n_parts {
+                        return bad("event addressed to an unknown partition");
+                    }
+                    *part as usize
+                }
+            };
+            let p = &mut sim.parts[target];
+            if !matches!(ev.ev, Ev::BufSample { .. }) {
+                p.real_events += 1;
+            }
+            p.events.push(Reverse(ev));
+        }
+
+        // Flat totals land on partition 0; reports only ever read sums.
+        sim.parts[0].counters = part::Counters {
+            emitted_packets: ckpt.emitted_packets,
+            delivered_packets: ckpt.delivered_packets,
+            completed_requests: ckpt.completed_requests,
+            messages_on_closed: ckpt.messages_on_closed,
+            stale_packets: ckpt.stale_packets,
+            faults_applied: ckpt.faults_applied,
+            reroutes: ckpt.reroutes,
+            reroute_failures: ckpt.reroute_failures,
+            failed_handshakes: ckpt.failed_handshakes,
+            aborted_connections: ckpt.aborted_connections,
+        };
+        sim.parts[0].processed_events = ckpt.processed_events;
+        for p in &mut sim.parts {
+            p.last_at = ckpt.now;
+        }
+        Ok(sim)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invariant auditor
+// ---------------------------------------------------------------------
+
+/// One violated runtime invariant, with the numbers that violated it.
+#[derive(Debug, Clone, Serialize)]
+pub enum AuditViolation {
+    /// Packet conservation broke: every packet the engine ever emitted
+    /// must be delivered, dropped at admission, fault-dropped, counted
+    /// stale, or still in flight on the calendar.
+    PacketConservation {
+        /// Packets handed to the network.
+        emitted: u64,
+        /// Packets delivered to hosts.
+        delivered: u64,
+        /// Packets dropped at buffer admission.
+        dropped: u64,
+        /// Packets lost to injected faults.
+        fault_dropped: u64,
+        /// In-flight packets discarded against recycled connection slots.
+        stale: u64,
+        /// Transmit/Deliver events still on the calendar.
+        in_flight: u64,
+    },
+    /// A link transmitted more bytes than its line rate allows in the time
+    /// it has been busy.
+    LinkOverDelivery {
+        /// The offending link.
+        link: LinkId,
+        /// Bytes the link claims to have serialized.
+        tx_bytes: u64,
+        /// The rate x elapsed bound (with per-packet rounding slack).
+        bound_bytes: u64,
+    },
+    /// A calendar entry is timestamped before the current clock.
+    CalendarInPast {
+        /// The stale entry's timestamp.
+        event_at: SimTime,
+        /// The engine clock.
+        now: SimTime,
+    },
+    /// Telemetry accounting broke: packets offered to a tap must equal
+    /// captured + overflowed + deliberately dropped. (Emitted by the
+    /// capture layer's auditor; the engine itself never raises it.)
+    TelemetryAccounting {
+        /// Packets offered to the collector.
+        offered: u64,
+        /// Packets retained.
+        captured: u64,
+        /// Packets lost to capacity overflow.
+        overflow: u64,
+        /// Packets lost to an injected telemetry fault.
+        fault_dropped: u64,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::PacketConservation {
+                emitted,
+                delivered,
+                dropped,
+                fault_dropped,
+                stale,
+                in_flight,
+            } => write!(
+                f,
+                "packet conservation: emitted {emitted} != delivered {delivered} \
+                 + dropped {dropped} + fault-dropped {fault_dropped} + stale {stale} \
+                 + in-flight {in_flight}"
+            ),
+            AuditViolation::LinkOverDelivery {
+                link,
+                tx_bytes,
+                bound_bytes,
+            } => write!(
+                f,
+                "{link} transmitted {tx_bytes} bytes, above its rate x elapsed \
+                 bound of {bound_bytes}"
+            ),
+            AuditViolation::CalendarInPast { event_at, now } => {
+                write!(f, "calendar entry at {event_at} is before the clock {now}")
+            }
+            AuditViolation::TelemetryAccounting {
+                offered,
+                captured,
+                overflow,
+                fault_dropped,
+            } => write!(
+                f,
+                "telemetry accounting: offered {offered} != captured {captured} \
+                 + overflow {overflow} + fault-dropped {fault_dropped}"
+            ),
+        }
+    }
+}
+
+/// Structured report of every invariant violated at one audit point.
+///
+/// Stringly loud by design: `Display` renders each violation with its
+/// numbers, and the report serializes to JSON for machine consumption.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditReport {
+    /// Virtual time the audit ran at.
+    pub at: SimTime,
+    /// Every invariant that did not hold.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "invariant audit at {} found {} violation(s):",
+            self.at,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AuditReport {}
+
+/// Audit body shared by [`Simulator::audit`] and the per-barrier hook
+/// (which only has the partition slice, not the whole simulator).
+fn audit_parts(shared: &SharedCtx, parts: &[Partition], now: SimTime) -> Result<(), AuditReport> {
+    let mut violations = Vec::new();
+
+    let mut in_flight = 0u64;
+    for p in parts {
+        for r in p.events.iter() {
+            let s = &r.0;
+            if matches!(s.ev, Ev::Transmit { .. } | Ev::Deliver { .. }) {
+                in_flight += 1;
+            }
+            if s.at < p.now {
+                violations.push(AuditViolation::CalendarInPast {
+                    event_at: s.at,
+                    now: p.now,
+                });
+            }
+        }
+        for outbox in &p.outbox {
+            for s in outbox {
+                if matches!(s.ev, Ev::Transmit { .. } | Ev::Deliver { .. }) {
+                    in_flight += 1;
+                }
+            }
+        }
+    }
+    let sum_links = |f: fn(&LinkCounters) -> u64| -> u64 {
+        shared
+            .pmap
+            .part_of_link
+            .iter()
+            .enumerate()
+            .map(|(li, &owner)| f(&parts[owner as usize].link_counters[li]))
+            .sum()
+    };
+    let dropped = sum_links(|c| c.drop_packets);
+    let fault_dropped = sum_links(|c| c.fault_drop_packets);
+    let sum = |f: fn(&part::Counters) -> u64| -> u64 { parts.iter().map(|p| f(&p.counters)).sum() };
+    let emitted = sum(|c| c.emitted_packets);
+    let delivered = sum(|c| c.delivered_packets);
+    let stale = sum(|c| c.stale_packets);
+    let accounted = delivered + dropped + fault_dropped + stale + in_flight;
+    if emitted != accounted {
+        violations.push(AuditViolation::PacketConservation {
+            emitted,
+            delivered,
+            dropped,
+            fault_dropped,
+            stale,
+            in_flight,
+        });
+    }
+
+    for (li, &owner) in shared.pmap.part_of_link.iter().enumerate() {
+        let p = &parts[owner as usize];
+        let c = &p.link_counters[li];
+        if c.tx_bytes == 0 {
+            continue;
+        }
+        // The link serializes back to back, so its cumulative bytes fit
+        // under nominal-rate x the time it has been committed to
+        // (`link_free_at`), plus up to one nanosecond of rounding per
+        // packet. Degraded rates only lower throughput (factor <= 1),
+        // so the nominal rate stays a sound bound.
+        let bytes_per_ns = shared.link_gbps[li] * 0.125;
+        let busy_ns = p.link_free_at[li].as_nanos();
+        let bound = bytes_per_ns * (busy_ns + c.tx_packets + 1) as f64;
+        if c.tx_bytes as f64 > bound {
+            violations.push(AuditViolation::LinkOverDelivery {
+                link: LinkId(li as u32),
+                tx_bytes: c.tx_bytes,
+                bound_bytes: bound as u64,
+            });
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(AuditReport {
+            at: now,
+            violations,
+        })
+    }
+}
+
+impl<T: PacketTap> Simulator<T> {
+    /// Checks the engine's conservation laws, failing with a structured
+    /// [`AuditReport`] when any are violated:
+    ///
+    /// 1. packets emitted = delivered + dropped + fault-dropped + stale +
+    ///    in-flight (calendar Transmit/Deliver entries);
+    /// 2. per-link transmitted bytes <= line rate x busy time (plus one
+    ///    nanosecond of serialization-rounding slack per packet);
+    /// 3. every partition's event calendar is monotonic (no entry before
+    ///    its clock).
+    ///
+    /// O(events + links); intended to run at checkpoint boundaries, not in
+    /// the hot loop.
+    pub fn audit(&self) -> Result<(), AuditReport> {
+        audit_parts(&self.shared, &self.parts, self.coord.now)
+    }
+}

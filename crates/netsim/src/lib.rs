@@ -42,8 +42,8 @@ pub mod tap;
 
 pub use config::{BufferConfig, SimConfig};
 pub use engine::{
-    AuditReport, AuditViolation, BufferWindowStat, EngineCheckpoint, LinkCounters, SimError,
-    SimOutputs, Simulator,
+    AuditReport, AuditViolation, BufferWindowStat, EngineCheckpoint, LinkCounters, ParallelStats,
+    SimError, SimOutputs, Simulator,
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use packet::{ConnId, Dir, FlowKey, Packet, PacketKind};

@@ -13,6 +13,10 @@
 //!
 //! All run commands take `--threads N` (default: available parallelism).
 //! The worker count never changes any output byte — only wall-clock.
+//! For `capture` the flag also sets the engine's worker width: each
+//! datacenter of the plant runs its own event calendar, synchronized at
+//! conservative lookahead barriers (see DESIGN.md §10), so a multi-DC
+//! capture uses up to one worker per datacenter.
 //!
 //! Supervised runs (`capture`, `fleet`) checkpoint to `--checkpoint DIR`
 //! at regular intervals, audit engine invariants at every checkpoint
