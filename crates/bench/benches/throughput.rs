@@ -21,6 +21,7 @@ use sonet_core::scenario::{packet_tier_spec, ScenarioScale};
 use sonet_core::{FleetData, FleetRunConfig};
 use sonet_netsim::{NullTap, SimConfig, Simulator};
 use sonet_topology::{ClusterSpec, DatacenterSpec, HostRole, SiteSpec, Topology, TopologySpec};
+use sonet_util::obs::{self, ObsMode};
 use sonet_util::{par, SimDuration, SimTime};
 use sonet_workload::{ServiceProfiles, Workload};
 use std::sync::Arc;
@@ -169,6 +170,26 @@ fn bench_partitioned(topo: &Arc<Topology>, width: usize, fast: bool) -> (PartWid
     )
 }
 
+/// Flight-recorder overhead: the same serial engine workload with the
+/// recorder off and at `--obs summary`, interleaved best-of-N in this
+/// process. Comparing sibling runs (not the committed baseline) keeps
+/// the ≤2% overhead gate insensitive to how fast the runner itself is.
+fn bench_obs_overhead(scale: ScenarioScale, sim_secs: u64, rounds: u32) -> (f64, f64) {
+    let run_at = |mode: ObsMode| {
+        obs::set_mode(mode);
+        let (events, secs) = bench_engine(scale, sim_secs);
+        obs::set_mode(ObsMode::Off);
+        events as f64 / secs.max(1e-9)
+    };
+    let mut off = 0.0f64;
+    let mut summary = 0.0f64;
+    for _ in 0..rounds {
+        off = off.max(run_at(ObsMode::Off));
+        summary = summary.max(run_at(ObsMode::Summary));
+    }
+    (off, summary)
+}
+
 /// Fleet tier: generation + tagging rate, then the analysis stage
 /// (Table 3 + Fig 5) on the resulting table.
 fn bench_fleet(cfg: &FleetRunConfig, threads: Option<usize>) -> (u64, f64, f64) {
@@ -184,7 +205,13 @@ fn bench_fleet(cfg: &FleetRunConfig, threads: Option<usize>) -> (u64, f64, f64) 
     (records, generate_secs, analysis_secs)
 }
 
-fn json(m: &Measurement, threads: usize, partitioned: &[PartWidth], partitions: usize) -> String {
+fn json(
+    m: &Measurement,
+    threads: usize,
+    partitioned: &[PartWidth],
+    partitions: usize,
+    obs_rates: (f64, f64),
+) -> String {
     // The per-width rate fields are deliberately NOT named
     // "events_per_sec": CI greps that exact key for the serial
     // regression check and must keep matching exactly one line.
@@ -215,12 +242,22 @@ fn json(m: &Measurement, threads: usize, partitioned: &[PartWidth], partitions: 
          \"widths\": [\n{}\n    ],\n    \"speedup_max_over_w1\": {speedup:.3}\n  }}",
         widths.join(",\n"),
     );
+    // The obs keys avoid the substrings CI greps for elsewhere
+    // ("events_per_sec", the per-width "rate" lines): the overhead gate
+    // matches "overhead_pct" and nothing else may.
+    let (off, summary) = obs_rates;
+    let obs_block = format!(
+        "  \"obs\": {{\n    \"off_events_sec\": {off:.1},\n    \
+         \"summary_events_sec\": {summary:.1},\n    \
+         \"overhead_pct\": {:.2}\n  }}",
+        (off - summary) / off.max(1e-9) * 100.0,
+    );
     format!(
-        "{{\n  \"schema\": 2,\n  \"threads\": {},\n  \"fast\": {},\n  \
+        "{{\n  \"schema\": 3,\n  \"threads\": {},\n  \"fast\": {},\n  \
          \"engine_events\": {},\n  \"engine_secs\": {:.6},\n  \
          \"events_per_sec\": {:.1},\n  \"fleet_records\": {},\n  \
          \"fleet_generate_secs\": {:.6},\n  \"fleet_records_per_sec\": {:.1},\n  \
-         \"analysis_secs\": {:.6},\n  \"scenario_wall_secs\": {:.6},\n{}\n}}\n",
+         \"analysis_secs\": {:.6},\n  \"scenario_wall_secs\": {:.6},\n{},\n{}\n}}\n",
         threads,
         fast_mode(),
         m.engine_events,
@@ -232,6 +269,7 @@ fn json(m: &Measurement, threads: usize, partitioned: &[PartWidth], partitions: 
         m.analysis_secs,
         m.scenario_wall_secs(),
         part_block,
+        obs_block,
     )
 }
 
@@ -292,6 +330,16 @@ fn main() {
         partitions = n_parts;
     }
 
+    // Flight-recorder overhead on the serial engine, off vs summary.
+    let rounds = if fast_mode() { 5 } else { 3 };
+    let (obs_off, obs_summary) = bench_obs_overhead(scale, sim_secs, rounds);
+    println!(
+        "obs overhead: off {:.0} events/s, summary {:.0} events/s ({:+.2}%)",
+        obs_off,
+        obs_summary,
+        (obs_off - obs_summary) / obs_off.max(1e-9) * 100.0,
+    );
+
     let (fleet_records, fleet_generate_secs, analysis_secs) = bench_fleet(&fleet_cfg, threads);
     let m = Measurement {
         engine_events,
@@ -316,6 +364,16 @@ fn main() {
     );
 
     let out = std::env::var("SONET_BENCH_OUT").unwrap_or_else(|_| "BENCH.json".to_string());
-    std::fs::write(&out, json(&m, resolved, &partitioned, partitions)).expect("write BENCH.json");
+    std::fs::write(
+        &out,
+        json(
+            &m,
+            resolved,
+            &partitioned,
+            partitions,
+            (obs_off, obs_summary),
+        ),
+    )
+    .expect("write BENCH.json");
     println!("wrote {out}");
 }

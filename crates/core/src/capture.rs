@@ -232,9 +232,13 @@ impl CaptureState {
     /// faults. Returns the new virtual time.
     pub(crate) fn advance(&mut self, horizon: SimTime) -> Result<SimTime, String> {
         self.t = (self.t + CAPTURE_WINDOW).min(horizon);
-        self.workload
-            .generate(&mut self.sim, self.t)
-            .map_err(|e| e.to_string())?;
+        {
+            let _span = sonet_util::obs::trace::span("generate");
+            self.workload
+                .generate(&mut self.sim, self.t)
+                .map_err(|e| e.to_string())?;
+        }
+        let _span = sonet_util::obs::trace::span("ingest");
         self.sim.run_until(self.t);
         self.apply_telemetry();
         Ok(self.t)
@@ -242,6 +246,7 @@ impl CaptureState {
 
     /// Finishes the run, turning engine state into a [`StandardCapture`].
     pub(crate) fn finish(self, cfg: &CaptureConfig) -> StandardCapture {
+        let _span = sonet_util::obs::trace::span("analyze");
         let issued_calls = self.workload.issued_calls();
         let (outputs, mirror) = self.sim.finish();
         let truncated = mirror.truncated();
@@ -292,10 +297,12 @@ impl StandardCapture {
     pub fn run(cfg: &CaptureConfig) -> StandardCapture {
         let mut state = CaptureState::build(cfg).expect("preset capture configs are valid");
         let horizon = SimTime::ZERO + cfg.duration;
+        let mut hb = sonet_util::obs::report::Heartbeat::new("capture");
         while state.t < horizon {
             state
                 .advance(horizon)
                 .expect("generation stays in the future");
+            hb.tick(state.sim.processed_events());
         }
         state.finish(cfg)
     }

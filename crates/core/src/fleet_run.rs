@@ -118,7 +118,10 @@ impl FleetData {
     ) -> Result<FleetData, FleetRunError> {
         let (topo, mut model) = build_fleet_model(cfg)?;
         model.set_parallelism(threads);
-        let samples = model.generate();
+        let samples = {
+            let _span = sonet_util::obs::trace::span("generate");
+            model.generate()
+        };
         Ok(Self::assemble(
             cfg,
             topo,
@@ -158,6 +161,8 @@ impl FleetData {
             .map(|(_, s)| s)
             .collect();
         let threads = sonet_util::par::resolve_threads(threads);
+        let _span = sonet_util::obs::trace::span("ingest");
+        sonet_util::obs::counter_add!("fleet.agent_dropped", agent_dropped);
         let table = Tagger::new(&topo).ingest_sharded(&samples, threads);
         FleetData {
             topo,

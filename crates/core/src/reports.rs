@@ -1538,6 +1538,48 @@ impl DegradationReport {
         self.faults_applied == 0 && self.mirror_fault_dropped == 0
     }
 
+    /// Publishes the rollup into the flight-recorder metrics registry so
+    /// `RUNINFO.json` records *why* a run degraded, not just that it did.
+    pub fn publish_obs(&self) {
+        use sonet_util::obs;
+        obs::gauge_set!("degradation.faults_applied", self.faults_applied);
+        obs::gauge_set!("degradation.reroutes", self.reroutes);
+        obs::gauge_set!("degradation.reroute_failures", self.reroute_failures);
+        obs::gauge_set!(
+            "degradation.fault_dropped_packets",
+            self.fault_dropped_packets
+        );
+        obs::gauge_set!("degradation.failed_handshakes", self.failed_handshakes);
+        obs::gauge_set!("degradation.aborted_connections", self.aborted_connections);
+        obs::gauge_set!("degradation.mirror_overflow", self.mirror_overflow);
+        obs::gauge_set!(
+            "degradation.mirror_fault_dropped",
+            self.mirror_fault_dropped
+        );
+        obs::gauge_set!(
+            "degradation.telemetry_loss_permille",
+            (self.telemetry_loss_fraction * 1000.0).round() as u64
+        );
+    }
+
+    /// One-line rollup for run-manifest notes.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "faults={} reroutes={} reroute_failures={} fault_drops={} \
+             failed_handshakes={} aborted_conns={} mirror_overflow={} \
+             mirror_fault_drops={} telemetry_loss={:.3}",
+            self.faults_applied,
+            self.reroutes,
+            self.reroute_failures,
+            self.fault_dropped_packets,
+            self.failed_handshakes,
+            self.aborted_connections,
+            self.mirror_overflow,
+            self.mirror_fault_dropped,
+            self.telemetry_loss_fraction,
+        )
+    }
+
     /// ASCII summary.
     pub fn render(&self) -> String {
         let headers = ["Quantity", "Value"];

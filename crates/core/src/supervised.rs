@@ -40,6 +40,9 @@ pub const CAPTURE_CKPT: &str = "capture.ckpt";
 pub const FLEET_CKPT: &str = "fleet.ckpt";
 /// File name of the fleet sample spool inside the checkpoint dir.
 pub const FLEET_SPOOL: &str = "fleet_samples.jsonl";
+/// File name of the flight-recorder run manifest inside the checkpoint
+/// dir (written only when observability is on).
+pub const RUNINFO: &str = "RUNINFO.json";
 
 /// How a run is supervised: where checkpoints go, how often they are
 /// taken, what budget applies, and whether the auditor runs.
@@ -99,6 +102,43 @@ impl SuperviseOptions {
     pub fn fleet_spool_path(&self) -> PathBuf {
         self.checkpoint_dir.join(FLEET_SPOOL)
     }
+
+    /// Path of the run manifest under this options' dir.
+    pub fn runinfo_path(&self) -> PathBuf {
+        self.checkpoint_dir.join(RUNINFO)
+    }
+}
+
+/// Freezes and writes the run manifest, if one is being kept. Failures
+/// to write are reported, never fatal — observability must not take a
+/// run down.
+fn finish_runinfo(
+    runinfo: &mut Option<sonet_util::obs::runinfo::RunInfo>,
+    path: &Path,
+    status: String,
+    notes: Vec<String>,
+) {
+    if let Some(mut ri) = runinfo.take() {
+        for n in notes {
+            ri.note(n);
+        }
+        ri.finish(status);
+        if let Err(e) = ri.write_atomic(path) {
+            sonet_util::obs::report::warn(&format!("could not write {}: {e}", path.display()));
+        }
+    }
+}
+
+/// Surfaces a supervised-run failure into the metrics registry and
+/// returns the manifest notes describing it. Audit reports get their
+/// violation count as a gauge — a supervised run records *why* it
+/// degraded, not just that it did.
+fn error_obs(e: &SupervisedError) -> Vec<String> {
+    use sonet_util::obs;
+    if let SupervisedError::Audit(r) = e {
+        obs::gauge_set!("supervisor.audit_violations", r.violations.len() as u64);
+    }
+    vec![format!("{e}")]
 }
 
 /// Errors from supervised runs.
@@ -151,6 +191,9 @@ pub enum RunStatus {
 /// fsync, rename over the target, fsync the directory. A crash at any
 /// point leaves either the previous checkpoint or the new one intact.
 fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Flight recorder: checkpoint write latency + size. The wall-clock
+    // read lives behind the obs gate, strictly on the side channel.
+    let started = sonet_util::obs::on().then(std::time::Instant::now);
     let tmp = path.with_extension("ckpt.tmp");
     {
         let mut f = File::create(&tmp)?;
@@ -162,6 +205,16 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         if let Ok(dir) = File::open(parent) {
             dir.sync_all()?;
         }
+    }
+    if let Some(started) = started {
+        use sonet_util::obs;
+        obs::counter_add!("supervisor.checkpoints", 1);
+        obs::gauge_set!("supervisor.checkpoint_bytes", bytes.len() as u64);
+        obs::hist_observe!(
+            "supervisor.checkpoint_write_us",
+            started.elapsed().as_micros() as u64,
+            obs::metrics::BOUNDS_POW4
+        );
     }
     Ok(())
 }
@@ -240,23 +293,47 @@ fn drive_capture(
     mut state: CaptureState,
     opts: &SuperviseOptions,
 ) -> Result<(RunStatus, Option<StandardCapture>), SupervisedError> {
+    use sonet_util::obs;
     fs::create_dir_all(&opts.checkpoint_dir)?;
     let ckpt_path = opts.capture_checkpoint_path();
     let audit_on = opts.audit_enabled();
     // Engine worker width for the partitioned calendar. `None` defers to
     // the process default; any value produces identical bytes.
     state.sim.set_parallel_width(opts.threads);
+    // Flight recorder: run manifest + heartbeat. Strictly write-only side
+    // channel — a run behaves identically with this on or off.
+    let mut runinfo = obs::on().then(|| {
+        obs::runinfo::RunInfo::start(
+            "capture",
+            cfg.seed,
+            &serde_json::to_string(&cfg).unwrap_or_default(),
+            sonet_util::par::resolve_threads(opts.threads),
+        )
+    });
+    let runinfo_path = opts.runinfo_path();
+    let mut hb = obs::report::Heartbeat::new("capture");
     let sup = RunSupervisor::new(opts.budget.clone());
     let horizon = SimTime::ZERO + cfg.duration;
     let mut next_ckpt = state.t + opts.every;
     while state.t < horizon {
         state.advance(horizon).map_err(SupervisedError::Build)?;
+        hb.tick(state.sim.processed_events());
         if state.t < next_ckpt && state.t < horizon {
             continue;
         }
         // A clean boundary: audit, checkpoint, then honor the budget.
         if audit_on {
-            audit_capture(&state)?;
+            if let Err(e) = audit_capture(&state) {
+                let notes = error_obs(&e);
+                finish_runinfo(
+                    &mut runinfo,
+                    &runinfo_path,
+                    "failed: audit".to_owned(),
+                    notes,
+                );
+                return Err(e);
+            }
+            obs::gauge_set!("supervisor.audit_violations", 0);
         }
         let snapshot = CaptureCheckpoint {
             config: cfg.clone(),
@@ -272,11 +349,28 @@ fn drive_capture(
         next_ckpt = state.t + opts.every;
         if state.t < horizon {
             if let Some(reason) = sup.check(state.sim.processed_events()) {
+                finish_runinfo(
+                    &mut runinfo,
+                    &runinfo_path,
+                    format!("stopped: {reason}"),
+                    Vec::new(),
+                );
                 return Ok((RunStatus::Stopped(reason), None));
             }
         }
     }
-    Ok((RunStatus::Completed, Some(state.finish(&cfg))))
+    let capture = state.finish(&cfg);
+    if runinfo.is_some() {
+        let deg = crate::reports::degradation(&capture);
+        deg.publish_obs();
+        let notes = if deg.is_clean() {
+            Vec::new()
+        } else {
+            vec![format!("degradation: {}", deg.summary_line())]
+        };
+        finish_runinfo(&mut runinfo, &runinfo_path, "completed".to_owned(), notes);
+    }
+    Ok((RunStatus::Completed, Some(capture)))
 }
 
 /// Audits the engine plus the telemetry-accounting invariant the engine
@@ -374,12 +468,26 @@ fn drive_fleet(
     mut samples: Vec<FlowRecord>,
     opts: &SuperviseOptions,
 ) -> Result<(RunStatus, Option<FleetData>), SupervisedError> {
+    use sonet_util::obs;
     let ckpt_path = opts.fleet_checkpoint_path();
     let audit_on = opts.audit_enabled();
+    let mut runinfo = obs::on().then(|| {
+        obs::runinfo::RunInfo::start(
+            "fleet",
+            cfg.seed,
+            &serde_json::to_string(&cfg).unwrap_or_default(),
+            sonet_util::par::resolve_threads(opts.threads),
+        )
+    });
+    let runinfo_path = opts.runinfo_path();
+    let mut hb = obs::report::Heartbeat::new("fleet");
     let sup = RunSupervisor::new(opts.budget.clone());
     let chunk_hosts = opts.hosts_per_chunk.max(1);
     while !model.exhausted() {
-        let chunk = model.generate_chunk(chunk_hosts);
+        let chunk = {
+            let _span = obs::trace::span("generate");
+            model.generate_chunk(chunk_hosts)
+        };
         for r in &chunk {
             spool.append(r)?;
         }
@@ -387,8 +495,21 @@ fn drive_fleet(
         // A clean boundary: make the spool durable, audit the accounting,
         // snapshot the generator, then honor the budget.
         let durable = spool.sync()?;
+        obs::gauge_set!("fleet.samples", samples.len() as u64);
+        obs::gauge_set!("fleet.spool_durable_lines", durable);
+        hb.tick(samples.len() as u64);
         if audit_on {
-            audit_fleet(&cfg, &model, &samples, durable)?;
+            if let Err(e) = audit_fleet(&cfg, &model, &samples, durable) {
+                let notes = error_obs(&e);
+                finish_runinfo(
+                    &mut runinfo,
+                    &runinfo_path,
+                    "failed: audit".to_owned(),
+                    notes,
+                );
+                return Err(e);
+            }
+            obs::gauge_set!("supervisor.audit_violations", 0);
         }
         let snapshot = FleetCheckpoint {
             config: cfg.clone(),
@@ -400,6 +521,12 @@ fn drive_fleet(
         atomic_write(&ckpt_path, text.as_bytes())?;
         if !model.exhausted() {
             if let Some(reason) = sup.check(samples.len() as u64) {
+                finish_runinfo(
+                    &mut runinfo,
+                    &runinfo_path,
+                    format!("stopped: {reason}"),
+                    Vec::new(),
+                );
                 return Ok((RunStatus::Stopped(reason), None));
             }
         }
@@ -410,6 +537,12 @@ fn drive_fleet(
     // assembled table is byte-identical to an uninterrupted run's.
     samples.sort_by_key(|r| r.at);
     let data = FleetData::assemble(&cfg, topo, samples, model.relaxed_picks(), opts.threads);
+    finish_runinfo(
+        &mut runinfo,
+        &runinfo_path,
+        "completed".to_owned(),
+        Vec::new(),
+    );
     Ok((RunStatus::Completed, Some(data)))
 }
 

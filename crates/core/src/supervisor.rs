@@ -85,20 +85,36 @@ impl RunSupervisor {
 
     /// Checks every budget axis; `work_units` is the engine's processed
     /// event count so far. Returns the first exceeded limit, if any.
+    ///
+    /// Each axis also publishes its remaining headroom as a flight-
+    /// recorder gauge (obs side channel; write-only, so budgets behave
+    /// identically with observability off or on).
     pub fn check(&self, work_units: u64) -> Option<StopReason> {
         if let Some(limit) = self.budget.wall_clock {
             let elapsed = self.started.elapsed();
+            sonet_util::obs::gauge_set!(
+                "supervisor.headroom_wall_ms",
+                limit.saturating_sub(elapsed).as_millis() as u64
+            );
             if elapsed >= limit {
                 return Some(StopReason::WallClock(elapsed));
             }
         }
         if let Some(limit) = self.budget.max_events {
+            sonet_util::obs::gauge_set!(
+                "supervisor.headroom_events",
+                limit.saturating_sub(work_units)
+            );
             if work_units >= limit {
                 return Some(StopReason::Events(work_units));
             }
         }
         if let Some(limit) = self.budget.max_peak_rss {
             if let Some(rss) = peak_rss_bytes() {
+                sonet_util::obs::gauge_set!(
+                    "supervisor.headroom_rss_bytes",
+                    limit.saturating_sub(rss)
+                );
                 if rss > limit {
                     return Some(StopReason::PeakRss(rss));
                 }

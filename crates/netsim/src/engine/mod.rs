@@ -713,17 +713,39 @@ impl<T: PacketTap> Simulator<T> {
         let lookahead = self.shared.pmap.lookahead.unwrap_or(SOLO_WINDOW);
         let shared = &self.shared;
         let coord = &mut self.coord;
+        // Flight-recorder handles, resolved once per run. Everything the
+        // closure records is write-only side-channel state (DESIGN.md
+        // §11): nothing below feeds back into event processing, so the
+        // calendar stays byte-identical with observability off or on.
+        let part_ev_counters: Option<Vec<_>> = sonet_util::obs::on().then(|| {
+            (0..self.parts.len())
+                .map(|i| {
+                    sonet_util::obs::metrics::global().counter(&format!("engine.part{i}.events"))
+                })
+                .collect()
+        });
         let parts = std::mem::take(&mut self.parts);
+        let mut win_start_us: Option<u64> = None;
         let parts = sonet_util::par::run_phased(
             width,
             parts,
             |parts: &mut [Partition]| -> bool {
+                if let Some(start) = win_start_us.take() {
+                    sonet_util::obs::trace::complete(
+                        "engine.window",
+                        sonet_util::obs::trace::Category::Window,
+                        start,
+                    );
+                }
                 barrier_merge(coord, parts, lookahead);
                 for p in parts.iter_mut() {
                     coord.pstats.events += p.window_events;
                 }
                 if let Some(busiest) = parts.iter().map(|p| p.window_events).max() {
                     coord.pstats.bottleneck_events += busiest;
+                }
+                if let Some(ctrs) = &part_ev_counters {
+                    record_window_metrics(parts, ctrs);
                 }
                 for p in parts.iter_mut() {
                     p.window_events = 0;
@@ -760,6 +782,10 @@ impl<T: PacketTap> Simulator<T> {
                             p.wend = wend;
                         }
                         coord.pstats.barriers += 1;
+                        sonet_util::obs::counter_add!("engine.barriers", 1);
+                        if sonet_util::obs::deep() {
+                            win_start_us = Some(sonet_util::obs::trace::now_us());
+                        }
                         true
                     }
                     None => {
@@ -839,6 +865,51 @@ impl<T: PacketTap> Simulator<T> {
     }
 }
 
+/// Publishes per-barrier flight-recorder metrics: window event volume and
+/// balance, per-partition event counters, calendar size, and cumulative
+/// drops by cause. Called from the coordinator between phases, only when
+/// observability is on; purely write-only into the obs side channel.
+fn record_window_metrics(
+    parts: &[Partition],
+    ctrs: &[std::sync::Arc<sonet_util::obs::metrics::Counter>],
+) {
+    use sonet_util::obs;
+    let total: u64 = parts.iter().map(|p| p.window_events).sum();
+    if total > 0 {
+        obs::counter_add!("engine.events", total);
+        obs::hist_observe!("engine.events_per_window", total, obs::metrics::BOUNDS_POW4);
+        let busiest = parts.iter().map(|p| p.window_events).max().unwrap_or(0);
+        let lightest = parts.iter().map(|p| p.window_events).min().unwrap_or(0);
+        if parts.len() > 1 && busiest > 0 {
+            obs::hist_observe!(
+                "engine.barrier_balance_permille",
+                lightest * 1000 / busiest,
+                obs::metrics::BOUNDS_PERMILLE
+            );
+        }
+        for (i, p) in parts.iter().enumerate() {
+            if p.window_events > 0 {
+                ctrs[i].add(p.window_events);
+            }
+        }
+    }
+    obs::gauge_set!(
+        "engine.calendar_events",
+        parts.iter().map(|p| p.real_events).sum::<u64>()
+    );
+    let sum = |f: fn(&part::Counters) -> u64| -> u64 { parts.iter().map(|p| f(&p.counters)).sum() };
+    obs::gauge_set!("engine.drop.stale_packets", sum(|c| c.stale_packets));
+    obs::gauge_set!(
+        "engine.drop.messages_on_closed",
+        sum(|c| c.messages_on_closed)
+    );
+    obs::gauge_set!("engine.drop.reroute_failures", sum(|c| c.reroute_failures));
+    obs::gauge_set!(
+        "engine.drop.aborted_connections",
+        sum(|c| c.aborted_connections)
+    );
+}
+
 /// Exchanges every cross-partition product of the completed window, in
 /// canonical order. Runs on the coordinator thread between phases; also a
 /// no-op on a fresh simulator, so the window loop calls it
@@ -853,7 +924,17 @@ fn barrier_merge<T: PacketTap>(
     // 1. Boundary events: outbox → target calendar. Every entry carries
     //    its (time, source, seq) key, so heap order — not delivery
     //    order — decides processing order.
+    let mut boundary: u64 = 0;
     for src in 0..n {
+        if sonet_util::obs::on() {
+            let depth: usize = parts[src].outbox.iter().map(Vec::len).sum();
+            sonet_util::obs::hist_observe!(
+                "engine.outbox_depth",
+                depth as u64,
+                sonet_util::obs::metrics::BOUNDS_POW4
+            );
+            boundary += depth as u64;
+        }
         let boxes: Vec<Vec<Scheduled>> = parts[src].outbox.iter_mut().map(std::mem::take).collect();
         for (tgt, evs) in boxes.into_iter().enumerate() {
             for s in evs {
@@ -862,6 +943,9 @@ fn barrier_merge<T: PacketTap>(
                 parts[tgt].events.push(Reverse(s));
             }
         }
+    }
+    if boundary > 0 {
+        sonet_util::obs::counter_add!("engine.boundary_events", boundary);
     }
 
     // 2. Tap deliveries, merged across partitions by generating-event key

@@ -1,0 +1,377 @@
+//! Lock-free metrics: monotonic counters, gauges, and fixed-bucket
+//! histograms, sharded per worker thread and merged in canonical order.
+//!
+//! Hot-path writes are a single relaxed `fetch_add` on a per-thread shard
+//! — no locks, no allocation, no wall-clock reads. The registry's mutex
+//! is touched only on first registration of a name (cold) and at snapshot
+//! time (coordinator only). Because every merge is a commutative sum over
+//! shards and the snapshot iterates a name-sorted map, the rendered
+//! snapshot is independent of worker scheduling — the property
+//! `merged_histogram_independent_of_worker_scheduling` pins below.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of counter/histogram shards. Worker threads hash onto shards by
+/// a process-unique thread id, so contention is bounded regardless of
+/// `--threads` width.
+const SHARDS: usize = 16;
+
+/// Geometric ×4 bucket bounds (1 … 4^15 ≈ 1.07e9): the default for event
+/// counts, byte sizes, and microsecond latencies.
+pub const BOUNDS_POW4: &[u64] = &[
+    1,
+    4,
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+    1_073_741_824,
+];
+
+/// Linear permille bounds (100 … 1000): for balance/ratio metrics.
+pub const BOUNDS_PERMILLE: &[u64] = &[100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+
+/// Process-unique id for the calling thread, assigned on first use.
+fn thread_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ID: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id) % SHARDS
+}
+
+/// A monotonic counter, sharded across [`SHARDS`] atomics.
+pub struct Counter {
+    shards: [AtomicU64; SHARDS],
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            shards: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds `delta` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.shards[thread_shard()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The merged total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A last-writer-wins gauge (single atomic; gauges are set from the
+/// coordinator at barriers, never raced from workers).
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: per-shard bucket counts plus sum/count, with
+/// one overflow bucket past the last bound.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `SHARDS` rows of `bounds.len() + 1` bucket counters.
+    buckets: Vec<Vec<AtomicU64>>,
+    sum: [AtomicU64; SHARDS],
+    count: [AtomicU64; SHARDS],
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending bounds");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..SHARDS)
+                .map(|_| (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+            sum: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation into the calling thread's shard.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let shard = thread_shard();
+        let b = self.bounds.partition_point(|&bound| bound < value);
+        self.buckets[shard][b].fetch_add(1, Ordering::Relaxed);
+        self.sum[shard].fetch_add(value, Ordering::Relaxed);
+        self.count[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The merged per-bucket counts (one overflow bucket at the end).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        (0..=self.bounds.len())
+            .map(|b| {
+                self.buckets
+                    .iter()
+                    .map(|row| row[b].load(Ordering::Relaxed))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Merged observation count.
+    pub fn count(&self) -> u64 {
+        self.count.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Merged observation sum.
+    pub fn sum(&self) -> u64 {
+        self.sum.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+enum Entry {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A metrics registry: a name-sorted map of counters, gauges, and
+/// histograms. Use [`global`] in instrumented code; instantiate directly
+/// only in tests.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// Panics if `name` is already registered as a different metric kind
+    /// — a programming error worth failing loudly on.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        match entries
+            .entry(name.to_owned())
+            .or_insert_with(|| Entry::Counter(Arc::new(Counter::new())))
+        {
+            Entry::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        match entries
+            .entry(name.to_owned())
+            .or_insert_with(|| Entry::Gauge(Arc::new(Gauge::new())))
+        {
+            Entry::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it with `bounds`
+    /// on first use (later callers share the original buckets).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        match entries
+            .entry(name.to_owned())
+            .or_insert_with(|| Entry::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Entry::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// A point-in-time snapshot of every metric, in canonical (name
+    /// sorted) order. Independent of worker scheduling: counters and
+    /// histograms merge by commutative sums over shards.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        Snapshot {
+            entries: entries
+                .iter()
+                .map(|(name, entry)| match entry {
+                    Entry::Counter(c) => SnapshotEntry {
+                        name: name.clone(),
+                        kind: "counter",
+                        value: c.get(),
+                        histogram: None,
+                    },
+                    Entry::Gauge(g) => SnapshotEntry {
+                        name: name.clone(),
+                        kind: "gauge",
+                        value: g.get(),
+                        histogram: None,
+                    },
+                    Entry::Histogram(h) => SnapshotEntry {
+                        name: name.clone(),
+                        kind: "histogram",
+                        value: h.count(),
+                        histogram: Some(HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.bucket_counts(),
+                            sum: h.sum(),
+                            count: h.count(),
+                        }),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry used by the instrumentation macros.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A frozen, canonically ordered view of a [`Registry`].
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All metrics, sorted by name.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// One metric in a [`Snapshot`].
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// Dotted metric name, e.g. `engine.events`.
+    pub name: String,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: &'static str,
+    /// Counter total, gauge value, or histogram observation count.
+    pub value: u64,
+    /// Bucket detail, histograms only (`null` for counters and gauges).
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+/// Merged histogram state in a [`Snapshot`].
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one extra overflow bucket at the end.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn counter_merges_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("t.counter");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8 * 1000 * 3);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let reg = Registry::new();
+        let h = reg.histogram("t.hist", &[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5_000] {
+            h.observe(v);
+        }
+        // ≤10: {0, 10}; ≤100: {11, 100}; overflow: {101, 5000}.
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 101 + 5_000);
+    }
+
+    #[test]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("t.mismatch");
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.gauge("t.mismatch")
+        }))
+        .is_err());
+    }
+
+    /// The satellite-task property: the merged histogram (and the whole
+    /// snapshot) is independent of how observations were scheduled onto
+    /// worker threads. The same multiset of observations is recorded
+    /// serially, split across 2 threads, and split across 8 threads with
+    /// a barrier forcing maximal interleaving — all three snapshots must
+    /// serialize identically.
+    #[test]
+    fn merged_histogram_independent_of_worker_scheduling() {
+        let observations: Vec<u64> = (0..4096).map(|i| (i * 2654435761u64) % 1_000_000).collect();
+        let record = |splits: usize| {
+            let reg = Registry::new();
+            let h = reg.histogram("sched.hist", BOUNDS_POW4);
+            let c = reg.counter("sched.counter");
+            let chunk = observations.len().div_ceil(splits);
+            let barrier = Barrier::new(splits);
+            std::thread::scope(|s| {
+                for part in observations.chunks(chunk) {
+                    let h = Arc::clone(&h);
+                    let c = Arc::clone(&c);
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        for &v in part {
+                            h.observe(v);
+                            c.add(v);
+                        }
+                    });
+                }
+            });
+            serde_json::to_string(&reg.snapshot()).expect("snapshot serializes")
+        };
+        let serial = record(1);
+        assert_eq!(serial, record(2), "2-way split changed the snapshot");
+        assert_eq!(serial, record(8), "8-way split changed the snapshot");
+    }
+}

@@ -1,0 +1,129 @@
+//! The stderr reporter: serialized progress lines and the throttled
+//! heartbeat.
+//!
+//! Everything human-facing the simulator prints while running goes
+//! through here, so concurrent scenarios under `--threads` emit whole
+//! lines instead of interleaved fragments. The reporter writes only to
+//! stderr — stdout carries rendered reports and stays a deterministic
+//! artifact.
+
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+fn stderr_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Prints one progress line to stderr, atomically with respect to every
+/// other reporter caller. Always active — this replaces ad-hoc
+/// `eprintln!`, it is not gated on the obs mode.
+pub fn line(msg: &str) {
+    let _guard = stderr_lock().lock().expect("reporter lock poisoned");
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{msg}");
+}
+
+/// Prints one warning line to stderr (prefixed `warning:`), atomically.
+pub fn warn(msg: &str) {
+    line(&format!("warning: {msg}"));
+}
+
+/// Current resident set size in bytes, from `/proc/self/status` `VmRSS`.
+/// Best-effort: `None` off Linux or if the field is missing.
+pub fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for l in status.lines() {
+        if let Some(rest) = l.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// A throttled single-line stderr heartbeat:
+/// `[hb label] t=12.5s events=1034122 ev/s=82.7k mem=213MiB`.
+///
+/// Ticks are free until the interval elapses; at `ObsMode::Off` they are
+/// a single atomic load. Wall-clock reads stay inside this struct — the
+/// caller passes only its deterministic progress counter.
+pub struct Heartbeat {
+    label: &'static str,
+    started: Instant,
+    last: Instant,
+    last_events: u64,
+    interval: Duration,
+}
+
+impl Heartbeat {
+    /// A heartbeat named `label`, printing at most every 2 seconds.
+    pub fn new(label: &'static str) -> Heartbeat {
+        let now = Instant::now();
+        Heartbeat {
+            label,
+            started: now,
+            last: now,
+            last_events: 0,
+            interval: Duration::from_secs(2),
+        }
+    }
+
+    /// Records progress (`events` is cumulative) and prints a line if the
+    /// throttle interval has elapsed. No-op when obs is off.
+    pub fn tick(&mut self, events: u64) {
+        if !crate::on() {
+            return;
+        }
+        let now = Instant::now();
+        let since = now.duration_since(self.last);
+        if since < self.interval {
+            return;
+        }
+        let rate = (events.saturating_sub(self.last_events)) as f64 / since.as_secs_f64();
+        let mem = match rss_bytes() {
+            Some(b) => format!("{}MiB", b / (1024 * 1024)),
+            None => "?".to_owned(),
+        };
+        line(&format!(
+            "[hb {}] t={:.1}s events={} ev/s={} mem={}",
+            self.label,
+            now.duration_since(self.started).as_secs_f64(),
+            events,
+            human_rate(rate),
+            mem,
+        ));
+        self.last = now;
+        self.last_events = events;
+    }
+}
+
+fn human_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rates() {
+        assert_eq!(human_rate(12.0), "12");
+        assert_eq!(human_rate(82_700.0), "82.7k");
+        assert_eq!(human_rate(2_500_000.0), "2.5M");
+    }
+
+    #[test]
+    fn rss_is_plausible_on_linux() {
+        if let Some(b) = rss_bytes() {
+            assert!(b > 1024 * 1024, "a test process uses more than 1 MiB");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The `RUNINFO.json` run manifest: everything needed to identify,
+//! reproduce, and profile a run, written atomically next to checkpoints.
+//!
+//! The manifest is an observability artifact, not a deterministic one —
+//! it records wall/CPU time and metric finals, so its bytes vary run to
+//! run. Its *schema* is pinned by `schemas/runinfo.schema.json` in the
+//! workspace root and validated by `tests/observability.rs` and the CI
+//! obs smoke job.
+
+use crate::metrics::Snapshot;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// Schema version of the manifest. Bump on breaking shape changes and
+/// update `schemas/runinfo.schema.json` in the same commit.
+pub const SCHEMA: u32 = 1;
+
+/// The run manifest. Build with [`RunInfo::start`], fill in progress,
+/// and persist with [`RunInfo::write_atomic`].
+#[derive(Debug, Clone, Serialize)]
+pub struct RunInfo {
+    /// Manifest schema version ([`SCHEMA`]).
+    pub schema: u32,
+    /// The driving command (e.g. `capture`, `fleet`, `all`).
+    pub command: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// FNV-1a 64 hash (hex) of the canonical config JSON.
+    pub config_hash: String,
+    /// Worker threads the run was started with (0 = auto).
+    pub threads: usize,
+    /// Observability mode name (`off`/`summary`/`deep`).
+    pub obs_mode: String,
+    /// Git revision of the working tree, best-effort.
+    pub git_rev: Option<String>,
+    /// `completed`, `stopped: <reason>`, or `failed: <reason>`.
+    pub status: String,
+    /// Wall-clock seconds from [`RunInfo::start`] to the final write.
+    pub wall_secs: f64,
+    /// Process CPU seconds (utime+stime, self), best-effort.
+    pub cpu_secs: Option<f64>,
+    /// Peak resident set size in bytes (`VmHWM`), best-effort.
+    pub peak_rss_bytes: Option<u64>,
+    /// Wall seconds per pipeline phase, from the span tracer.
+    pub phases: BTreeMap<String, f64>,
+    /// Free-form annotations: audit violations, degradation summary,
+    /// stop reasons.
+    pub notes: Vec<String>,
+    /// Final metric values, canonically ordered.
+    pub metrics: Snapshot,
+    /// Microseconds since the process trace epoch when the manifest was
+    /// started (internal bookkeeping for `wall_secs`).
+    pub started_us: u64,
+}
+
+impl RunInfo {
+    /// Begins a manifest for `command`. `config_json` is the canonical
+    /// serialized config, hashed (never stored) so artifacts from
+    /// different configs cannot be confused.
+    pub fn start(command: &str, seed: u64, config_json: &str, threads: usize) -> RunInfo {
+        RunInfo {
+            schema: SCHEMA,
+            command: command.to_owned(),
+            seed,
+            config_hash: format!("{:016x}", fnv1a64(config_json.as_bytes())),
+            threads,
+            obs_mode: crate::mode().name().to_owned(),
+            git_rev: git_rev(),
+            status: "running".to_owned(),
+            wall_secs: 0.0,
+            cpu_secs: None,
+            peak_rss_bytes: None,
+            phases: BTreeMap::new(),
+            notes: Vec::new(),
+            metrics: Snapshot {
+                entries: Vec::new(),
+            },
+            started_us: crate::trace::now_us(),
+        }
+    }
+
+    /// Adds a free-form note (audit violation, degradation line, …).
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Freezes the manifest: stamps status, wall/CPU time, peak RSS,
+    /// phase totals, and the current global metric snapshot.
+    pub fn finish(&mut self, status: impl Into<String>) {
+        self.status = status.into();
+        self.wall_secs = crate::trace::now_us().saturating_sub(self.started_us) as f64 / 1e6;
+        self.cpu_secs = cpu_secs();
+        self.peak_rss_bytes = peak_rss_bytes();
+        self.phases = crate::trace::phase_totals();
+        self.metrics = crate::metrics::global().snapshot();
+    }
+
+    /// Writes the manifest atomically (tmp + fsync + rename + dir sync),
+    /// mirroring the checkpoint write discipline so a crash never leaves
+    /// a torn `RUNINFO.json`.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("runinfo serializes");
+        let tmp = path.with_extension("json.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The current git revision, read straight from `.git` (no subprocess):
+/// walks up from the current directory to find `.git/HEAD`, then chases
+/// one level of `ref:` indirection. Best-effort.
+fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git").join("HEAD");
+        if let Ok(contents) = std::fs::read_to_string(&head) {
+            let contents = contents.trim();
+            if let Some(r) = contents.strip_prefix("ref: ") {
+                let rev = std::fs::read_to_string(dir.join(".git").join(r.trim())).ok()?;
+                return Some(rev.trim().to_owned());
+            }
+            return Some(contents.to_owned());
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Process CPU seconds (utime+stime) from `/proc/self/stat`, assuming
+/// the near-universal `CLK_TCK = 100`. Best-effort.
+fn cpu_secs() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields 14 and 15 (1-based) are utime/stime, counted after the
+    // parenthesized comm field (which may itself contain spaces).
+    let after_comm = &stat[stat.rfind(')')? + 2..];
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// Peak resident set size in bytes, from `/proc/self/status` `VmHWM`.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for l in status.lines() {
+        if let Some(rest) = l.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a 64 of the empty string and of "a" are published vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn manifest_writes_and_parses() {
+        let mut info = RunInfo::start("unit", 42, "{\"cfg\":1}", 4);
+        info.note("unit test note");
+        info.finish("completed");
+        assert!(info.wall_secs >= 0.0);
+        let path =
+            std::env::temp_dir().join(format!("sonet-obs-runinfo-{}.json", std::process::id()));
+        info.write_atomic(&path).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let v: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+        assert_eq!(v.get("command").expect("command").0.as_str(), Some("unit"));
+        assert_eq!(
+            v.get("status").expect("status").0.as_str(),
+            Some("completed")
+        );
+        assert!(
+            v.get("config_hash")
+                .expect("hash")
+                .0
+                .as_str()
+                .unwrap()
+                .len()
+                == 16
+        );
+        assert!(v.get("metrics").is_some());
+    }
+}

@@ -1,0 +1,265 @@
+//! Hierarchical span tracing exported as Chrome `trace_event` JSON.
+//!
+//! Spans are *complete events* (`"ph":"X"`) with microsecond timestamps
+//! relative to a process-wide epoch, tagged with a per-thread `tid`, so
+//! the exported file drops straight into Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing` and renders one lane per worker thread.
+//!
+//! The buffer is capped ([`MAX_EVENTS`]); past the cap new spans are
+//! counted in [`dropped`] rather than silently discarded — a truncated
+//! trace always says so. Wall-clock reads happen only here, behind the
+//! mode gate, never on a deterministic code path.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Trace-buffer capacity, in events. At deep mode a fast capture emits a
+/// few thousand window spans; 1M leaves ample headroom for long runs
+/// while bounding memory (~100 B/event).
+pub const MAX_EVENTS: usize = 1 << 20;
+
+/// Span categories: coarse pipeline phases vs. per-window engine detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Pipeline phase (generate → ingest → analyze → render); recorded
+    /// at `summary` and above and aggregated into `RUNINFO.json`.
+    Phase,
+    /// Per-window engine span; recorded only at `deep`.
+    Window,
+}
+
+impl Category {
+    fn name(self) -> &'static str {
+        match self {
+            Category::Phase => "phase",
+            Category::Window => "window",
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Event {
+    name: String,
+    cat: Category,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+struct Buffer {
+    events: Mutex<Vec<Event>>,
+    dropped: AtomicU64,
+}
+
+fn buffer() -> &'static Buffer {
+    static BUF: OnceLock<Buffer> = OnceLock::new();
+    BUF.get_or_init(|| Buffer {
+        events: Mutex::new(Vec::new()),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+/// The process trace epoch: all span timestamps are relative to the
+/// first call, so traces start near t=0.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the trace epoch. Wall-clock read — obs side
+/// channel only.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Process-unique lane id for the calling thread (Perfetto `tid`).
+fn thread_lane() -> u64 {
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    thread_local! {
+        static LANE: u64 = NEXT.fetch_add(1, Ordering::Relaxed) as u64;
+    }
+    LANE.with(|l| *l)
+}
+
+fn record(name: &str, cat: Category, ts_us: u64, dur_us: u64) {
+    let buf = buffer();
+    let mut events = buf.events.lock().expect("trace buffer poisoned");
+    if events.len() >= MAX_EVENTS {
+        buf.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    events.push(Event {
+        name: name.to_owned(),
+        cat,
+        ts_us,
+        dur_us,
+        tid: thread_lane(),
+    });
+}
+
+/// Records a complete span from an explicit start timestamp (taken with
+/// [`now_us`]) to now. For call sites that cannot hold a guard across
+/// the measured region (e.g. the engine's window plan closure).
+pub fn complete(name: &str, cat: Category, start_us: u64) {
+    record(name, cat, start_us, now_us().saturating_sub(start_us));
+}
+
+/// An RAII span: records a complete event from construction to drop.
+/// Construct through [`span`] / [`deep_span`] so disabled modes cost a
+/// single atomic load.
+pub struct SpanGuard {
+    name: &'static str,
+    cat: Category,
+    start_us: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        record(
+            self.name,
+            self.cat,
+            self.start_us,
+            now_us().saturating_sub(self.start_us),
+        );
+    }
+}
+
+/// Opens a phase span (recorded at `summary` and above). Returns `None`
+/// when observability is off — bind it (`let _span = …`) and the region
+/// is measured only when someone is watching.
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    if !crate::on() {
+        return None;
+    }
+    Some(SpanGuard {
+        name,
+        cat: Category::Phase,
+        start_us: now_us(),
+    })
+}
+
+/// Opens a per-window span (recorded only at `deep`).
+pub fn deep_span(name: &'static str) -> Option<SpanGuard> {
+    if !crate::deep() {
+        return None;
+    }
+    Some(SpanGuard {
+        name,
+        cat: Category::Window,
+        start_us: now_us(),
+    })
+}
+
+/// Number of spans dropped after the buffer cap was reached.
+pub fn dropped() -> u64 {
+    buffer().dropped.load(Ordering::Relaxed)
+}
+
+/// Total wall time per phase-span name, in seconds — the `phases` block
+/// of `RUNINFO.json`. Window spans are excluded (they nest inside
+/// phases and would double-count).
+pub fn phase_totals() -> BTreeMap<String, f64> {
+    let events = buffer().events.lock().expect("trace buffer poisoned");
+    let mut totals: BTreeMap<String, f64> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.cat == Category::Phase) {
+        *totals.entry(e.name.clone()).or_insert(0.0) += e.dur_us as f64 / 1e6;
+    }
+    totals
+}
+
+/// One Chrome `trace_event` entry: a complete event (`ph:"X"`).
+///
+/// The vendored serde derive emits field names verbatim (no rename
+/// support), so the Chrome-mandated keys are spelled as Rust idents.
+#[derive(Serialize)]
+struct ChromeEvent {
+    name: String,
+    cat: &'static str,
+    ph: &'static str,
+    ts: u64,
+    dur: u64,
+    pid: u64,
+    tid: u64,
+}
+
+/// The top-level Chrome trace object (`traceEvents` array form).
+#[derive(Serialize)]
+#[allow(non_snake_case)]
+struct ChromeTrace {
+    traceEvents: Vec<ChromeEvent>,
+    displayTimeUnit: &'static str,
+    otherData: BTreeMap<&'static str, String>,
+}
+
+/// Exports the trace buffer as Chrome `trace_event` JSON at `path`,
+/// viewable in Perfetto. Returns the number of events written.
+pub fn export_chrome(path: &Path) -> std::io::Result<usize> {
+    let events = buffer()
+        .events
+        .lock()
+        .expect("trace buffer poisoned")
+        .clone();
+    let n = events.len();
+    let trace = ChromeTrace {
+        traceEvents: events
+            .into_iter()
+            .map(|e| ChromeEvent {
+                name: e.name,
+                cat: e.cat.name(),
+                ph: "X",
+                ts: e.ts_us,
+                dur: e.dur_us,
+                pid: 1,
+                tid: e.tid,
+            })
+            .collect(),
+        displayTimeUnit: "ms",
+        otherData: BTreeMap::from([("dropped_spans", dropped().to_string())]),
+    };
+    let json = serde_json::to_string(&trace).expect("trace serializes");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    f.sync_all()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_events_round_trip_through_chrome_export() {
+        // Record directly (bypassing the mode gate, which other tests in
+        // this process own) and check the exported file shape.
+        record("unit.phase", Category::Phase, 10, 250);
+        record("unit.window", Category::Window, 20, 5);
+        let path =
+            std::env::temp_dir().join(format!("sonet-obs-trace-{}.json", std::process::id()));
+        let n = export_chrome(&path).expect("export");
+        assert!(n >= 2);
+        let body = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let v: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+        let events = v.get("traceEvents").expect("traceEvents present");
+        let serde::Content::Seq(items) = &events.0 else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(items.len() >= 2);
+        for item in items {
+            let e = serde_json::Value(item.clone());
+            assert_eq!(e.get("ph").expect("ph").0.as_str(), Some("X"));
+            assert!(e.get("name").expect("name").0.as_str().is_some());
+            assert!(matches!(e.get("ts").expect("ts").0, serde::Content::U64(_)));
+            assert!(matches!(
+                e.get("dur").expect("dur").0,
+                serde::Content::U64(_)
+            ));
+        }
+        assert!(phase_totals().contains_key("unit.phase"));
+    }
+}

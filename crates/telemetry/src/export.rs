@@ -184,10 +184,13 @@ impl TraceSpool {
 
     /// Appends one record as a JSON line.
     pub fn append<T: serde::Serialize>(&mut self, record: &T) -> io::Result<()> {
-        serde_json::to_writer(&mut self.w, record)
+        let line = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.w.write_all(line.as_bytes())?;
         self.w.write_all(b"\n")?;
         self.lines += 1;
+        sonet_util::obs::counter_add!("telemetry.spool_records", 1);
+        sonet_util::obs::counter_add!("telemetry.spool_bytes", line.len() as u64 + 1);
         Ok(())
     }
 

@@ -199,6 +199,7 @@ impl<'t> Tagger<'t> {
     /// per-record join, so the resulting table is byte-identical to the
     /// serial `ingest` for every thread count.
     pub fn ingest_sharded(&self, samples: &[FlowRecord], threads: usize) -> ScubaTable {
+        sonet_util::obs::counter_add!("telemetry.samples_tagged", samples.len() as u64);
         let shards = sonet_util::par::split_ranges(threads, samples.len());
         let tables = sonet_util::par::map_indexed(threads, shards.len(), |s| {
             ScubaTable::from_rows(

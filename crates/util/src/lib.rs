@@ -19,6 +19,11 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+/// The flight recorder (re-export of [`sonet_obs`]): deterministic-safe
+/// metrics, span tracing, run manifests, and the stderr reporter. Every
+/// downstream crate reaches observability through this edge.
+pub use sonet_obs as obs;
+
 pub use dist::{Dist, Distribution};
 pub use rng::Rng;
 pub use stats::{percentile, percentile_sorted, EmpiricalCdf, Histogram, Summary};

@@ -289,15 +289,58 @@ impl Workload {
         // Take fields apart to satisfy the borrow checker: agents are
         // mutated while profile data is read.
         let profiles = Arc::clone(&self.profiles);
+        // Flight recorder: per-role opened/aborted deltas, accumulated
+        // locally (roles are few, linear scan) and published once per
+        // window. Write-only side channel — never read back.
+        let obs_on = sonet_util::obs::on();
+        let mut role_deltas: Vec<(HostRole, u64, u64)> = Vec::new();
         for ai in 0..self.agents.len() {
             self.advance_phase(ai, until);
             let role = self.agents[ai].role;
+            let (issued0, reopened0) = (self.issued_calls, self.reopened_conns);
             for (pi, pattern) in profiles.for_role(role).iter().enumerate() {
                 self.run_pattern(sim, ai, pi, pattern, from, until)?;
             }
+            if obs_on {
+                let opened = self.issued_calls - issued0;
+                let aborted = self.reopened_conns - reopened0;
+                if opened > 0 || aborted > 0 {
+                    match role_deltas.iter_mut().find(|(r, _, _)| *r == role) {
+                        Some(d) => {
+                            d.1 += opened;
+                            d.2 += aborted;
+                        }
+                        None => role_deltas.push((role, opened, aborted)),
+                    }
+                }
+            }
+        }
+        if obs_on {
+            self.publish_window_metrics(&role_deltas);
         }
         self.generated_until = until;
         Ok(())
+    }
+
+    /// Publishes the per-window workload metrics: cumulative call/pool
+    /// gauges plus per-role flows opened/aborted counters.
+    fn publish_window_metrics(&self, role_deltas: &[(HostRole, u64, u64)]) {
+        use sonet_util::obs;
+        obs::gauge_set!("workload.issued_calls", self.issued_calls);
+        obs::gauge_set!("workload.skipped_calls", self.skipped_calls);
+        obs::gauge_set!("workload.pool_evictions", self.reopened_conns);
+        obs::gauge_set!("workload.pooled_connections", self.pool.len() as u64);
+        let reg = obs::metrics::global();
+        for &(role, opened, aborted) in role_deltas {
+            if opened > 0 {
+                reg.counter(&format!("workload.role.{role:?}.flows_opened"))
+                    .add(opened);
+            }
+            if aborted > 0 {
+                reg.counter(&format!("workload.role.{role:?}.flows_aborted"))
+                    .add(aborted);
+            }
+        }
     }
 
     fn advance_phase(&mut self, ai: usize, until: SimTime) {

@@ -17,6 +17,7 @@ use sonet_dc::core::reports::{fig5, table3};
 use sonet_dc::core::supervised::{run_fleet, RunStatus, SuperviseOptions};
 use sonet_dc::core::supervisor::RunBudget;
 use sonet_dc::core::{FleetData, FleetRunConfig, ScenarioScale};
+use sonet_dc::util::obs::report;
 use std::time::Duration;
 
 fn main() {
@@ -65,10 +66,10 @@ fn main() {
         match run_fleet(&cfg, &opts).expect("supervised fleet run") {
             (RunStatus::Completed, Some(data)) => data,
             (RunStatus::Stopped(reason), _) => {
-                eprintln!(
+                report::line(&format!(
                     "stopped ({reason}); checkpoint at {}",
                     opts.fleet_checkpoint_path().display()
-                );
+                ));
                 std::process::exit(2);
             }
             (RunStatus::Completed, None) => unreachable!("completed runs carry results"),

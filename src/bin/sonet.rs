@@ -11,6 +11,11 @@
 //! sonet export-matrix <out.csv>      dump the Fig 5 frontend rack matrix
 //! ```
 //!
+//! Every command also takes `--obs[=off|summary|deep]` (flight-recorder
+//! level; bare `--obs` means `summary`) and `--trace-out FILE` (Chrome
+//! `trace_event` JSON for Perfetto). Observability is strictly a side
+//! channel: no output byte of any run changes with it off, on, or deep.
+//!
 //! All run commands take `--threads N` (default: available parallelism).
 //! The worker count never changes any output byte — only wall-clock.
 //! For `capture` the flag also sets the engine's worker width: each
@@ -31,6 +36,7 @@ use sonet_dc::core::supervised::{
 };
 use sonet_dc::core::supervisor::{isolate, BatchSummary, RunBudget, RunSupervisor};
 use sonet_dc::core::{CaptureConfig, FleetData, FleetRunConfig, LabConfig, StandardCapture};
+use sonet_dc::util::obs::{self, report};
 use sonet_dc::util::{par, SimDuration};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
@@ -109,6 +115,88 @@ fn parse_common(args: &[String]) -> Options {
         par::set_threads(n);
     }
     opts
+}
+
+/// Flight-recorder flags, valid on every subcommand.
+struct ObsFlags {
+    mode: obs::ObsMode,
+    trace_out: Option<PathBuf>,
+}
+
+/// Parses `--obs[=off|summary|deep]` (bare `--obs` means `summary`) and
+/// `--trace-out PATH` from anywhere on the command line, so the flight
+/// recorder covers every subcommand uniformly.
+fn parse_obs(args: &[String]) -> Result<ObsFlags, String> {
+    let mut flags = ObsFlags {
+        mode: obs::ObsMode::Off,
+        trace_out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--obs" {
+            // The value is optional: consume the next token only when it
+            // names a mode, so `--obs --threads 4` still parses.
+            match args
+                .get(i + 1)
+                .map(String::as_str)
+                .and_then(obs::ObsMode::parse)
+            {
+                Some(m) => {
+                    flags.mode = m;
+                    i += 1;
+                }
+                None => flags.mode = obs::ObsMode::Summary,
+            }
+        } else if let Some(v) = a.strip_prefix("--obs=") {
+            flags.mode = obs::ObsMode::parse(v)
+                .ok_or_else(|| format!("--obs takes off|summary|deep, not '{v}'"))?;
+        } else if a == "--trace-out" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--trace-out needs a path".to_owned())?;
+            flags.trace_out = Some(PathBuf::from(v));
+            i += 1;
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+/// Exports the span trace at process exit when `--trace-out` was given.
+fn finish_obs(flags: &ObsFlags) {
+    let Some(path) = &flags.trace_out else { return };
+    if !obs::on() {
+        report::warn("--trace-out set but --obs is off; writing an empty trace");
+    }
+    match obs::trace::export_chrome(path) {
+        Ok(n) => report::line(&format!("wrote {n} trace events to {}", path.display())),
+        Err(e) => report::warn(&format!("trace export to {} failed: {e}", path.display())),
+    }
+}
+
+/// Starts a `RUNINFO.json` manifest for the unsupervised commands when
+/// observability is on. Supervised runs (`capture`, `fleet`) write theirs
+/// next to their checkpoints instead.
+fn cli_runinfo(command: &str, opts: &Options) -> Option<obs::runinfo::RunInfo> {
+    obs::on().then(|| {
+        obs::runinfo::RunInfo::start(
+            command,
+            opts.seed,
+            &format!("{{\"seed\":{},\"fast\":{}}}", opts.seed, opts.fast),
+            par::resolve_threads(opts.threads),
+        )
+    })
+}
+
+/// Finalizes and writes `./RUNINFO.json` (no-op with observability off).
+fn finish_cli_runinfo(runinfo: Option<obs::runinfo::RunInfo>, status: String) {
+    let Some(mut info) = runinfo else { return };
+    info.finish(status);
+    let path = PathBuf::from("RUNINFO.json");
+    if let Err(e) = info.write_atomic(&path) {
+        report::warn(&format!("could not write {}: {e}", path.display()));
+    }
 }
 
 fn parse_supervise(args: &[String]) -> Result<SuperviseFlags, String> {
@@ -274,10 +362,11 @@ fn cmd_all(args: &[String]) -> ExitCode {
     let budget = match parse_supervise(args) {
         Ok(f) => f.budget,
         Err(e) => {
-            eprintln!("{e}");
+            report::line(&e);
             return ExitCode::FAILURE;
         }
     };
+    let mut runinfo = cli_runinfo("all", &opts);
     let cfg = lab_config(&opts);
     let threads = par::resolve_threads(opts.threads);
 
@@ -328,10 +417,20 @@ fn cmd_all(args: &[String]) -> ExitCode {
         }
         batch.push(*id, outcome.clone().map(|_| "rendered".to_string()));
     }
-    eprint!("{}", batch.render());
+    report::line(batch.render().trim_end());
+    if let Some(info) = runinfo.as_mut() {
+        for o in &batch.outcomes {
+            if let Err(e) = &o.result {
+                info.note(format!("{}: {e}", o.name));
+            }
+        }
+    }
     if batch.all_ok() {
+        finish_cli_runinfo(runinfo, "completed".to_owned());
         ExitCode::SUCCESS
     } else {
+        let failures = batch.failures();
+        finish_cli_runinfo(runinfo, format!("failed: {failures} scenarios"));
         ExitCode::FAILURE
     }
 }
@@ -341,7 +440,7 @@ fn cmd_capture(args: &[String]) -> ExitCode {
     let flags = match parse_supervise(args) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{e}");
+            report::line(&e);
             return ExitCode::FAILURE;
         }
     };
@@ -371,15 +470,15 @@ fn cmd_capture(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok((RunStatus::Stopped(reason), _)) => {
-            eprintln!(
+            report::line(&format!(
                 "capture stopped ({reason}); resume with:\n  sonet capture --resume {}",
                 sup.capture_checkpoint_path().display()
-            );
+            ));
             ExitCode::from(EXIT_STOPPED)
         }
         Ok((RunStatus::Completed, None)) => unreachable!("completed runs carry results"),
         Err(e) => {
-            eprintln!("capture failed: {e}");
+            report::line(&format!("capture failed: {e}"));
             ExitCode::FAILURE
         }
     }
@@ -390,7 +489,7 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
     let flags = match parse_supervise(args) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{e}");
+            report::line(&e);
             return ExitCode::FAILURE;
         }
     };
@@ -419,15 +518,55 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok((RunStatus::Stopped(reason), _)) => {
-            eprintln!(
+            report::line(&format!(
                 "fleet run stopped ({reason}); resume with:\n  sonet fleet --resume {}",
                 sup.fleet_checkpoint_path().display()
-            );
+            ));
             ExitCode::from(EXIT_STOPPED)
         }
         Ok((RunStatus::Completed, None)) => unreachable!("completed runs carry results"),
         Err(e) => {
-            eprintln!("fleet run failed: {e}");
+            report::line(&format!("fleet run failed: {e}"));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(id) = args.first() else {
+        report::line("usage: sonet run <id> [--seed N] [--fast] [--threads N]");
+        return ExitCode::FAILURE;
+    };
+    if !EXPERIMENTS.iter().any(|(e, _)| e == id) {
+        report::line(&format!("unknown experiment '{id}' (try `sonet list`)"));
+        return ExitCode::FAILURE;
+    }
+    let opts = parse_common(&args[1..]);
+    let runinfo = cli_runinfo(&format!("run {id}"), &opts);
+    let cfg = lab_config(&opts);
+    let needs = experiment_needs(id);
+    let capture = needs.capture.then(|| StandardCapture::run(&cfg.capture));
+    let fleet = match needs
+        .fleet
+        .then(|| FleetData::run_with(&cfg.fleet, cfg.threads))
+        .transpose()
+    {
+        Ok(f) => f,
+        Err(e) => {
+            report::line(&format!("fleet run failed: {e}"));
+            finish_cli_runinfo(runinfo, format!("failed: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    match render_report(id, capture.as_ref(), fleet.as_ref(), &cfg.fig15) {
+        Ok(out) => {
+            println!("{out}");
+            finish_cli_runinfo(runinfo, "completed".to_owned());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            report::line(&e);
+            finish_cli_runinfo(runinfo, format!("failed: {e}"));
             ExitCode::FAILURE
         }
     }
@@ -435,6 +574,20 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_flags = match parse_obs(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            report::line(&e);
+            return ExitCode::FAILURE;
+        }
+    };
+    obs::set_mode(obs_flags.mode);
+    let code = dispatch(&args);
+    finish_obs(&obs_flags);
+    code
+}
+
+fn dispatch(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("experiments:");
@@ -443,47 +596,13 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("run") => {
-            let Some(id) = args.get(1) else {
-                eprintln!("usage: sonet run <id> [--seed N] [--fast] [--threads N]");
-                return ExitCode::FAILURE;
-            };
-            if !EXPERIMENTS.iter().any(|(e, _)| e == id) {
-                eprintln!("unknown experiment '{id}' (try `sonet list`)");
-                return ExitCode::FAILURE;
-            }
-            let opts = parse_common(&args[2..]);
-            let cfg = lab_config(&opts);
-            let needs = experiment_needs(id);
-            let capture = needs.capture.then(|| StandardCapture::run(&cfg.capture));
-            let fleet = match needs
-                .fleet
-                .then(|| FleetData::run_with(&cfg.fleet, cfg.threads))
-                .transpose()
-            {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("fleet run failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match render_report(id, capture.as_ref(), fleet.as_ref(), &cfg.fig15) {
-                Ok(out) => {
-                    println!("{out}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
+        Some("run") => cmd_run(&args[1..]),
         Some("all") => cmd_all(&args[1..]),
         Some("capture") => cmd_capture(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("export-fleet") => {
             let Some(path) = args.get(1) else {
-                eprintln!("usage: sonet export-fleet <out.jsonl> [--seed N] [--fast]");
+                report::line("usage: sonet export-fleet <out.jsonl> [--seed N] [--fast]");
                 return ExitCode::FAILURE;
             };
             let opts = parse_common(&args[2..]);
@@ -495,7 +614,7 @@ fn main() -> ExitCode {
             let fleet = match FleetData::run(&cfg) {
                 Ok(f) => f,
                 Err(e) => {
-                    eprintln!("fleet run failed: {e}");
+                    report::line(&format!("fleet run failed: {e}"));
                     return ExitCode::FAILURE;
                 }
             };
@@ -503,12 +622,12 @@ fn main() -> ExitCode {
             let file = match std::fs::File::create(path) {
                 Ok(f) => f,
                 Err(e) => {
-                    eprintln!("cannot create {path}: {e}");
+                    report::line(&format!("cannot create {path}: {e}"));
                     return ExitCode::FAILURE;
                 }
             };
             if let Err(e) = sonet_dc::telemetry::export::write_flows(file, &records) {
-                eprintln!("export failed: {e}");
+                report::line(&format!("export failed: {e}"));
                 return ExitCode::FAILURE;
             }
             println!("wrote {} Fbflow samples to {path}", records.len());
@@ -516,7 +635,7 @@ fn main() -> ExitCode {
         }
         Some("export-matrix") => {
             let Some(path) = args.get(1) else {
-                eprintln!("usage: sonet export-matrix <out.csv> [--seed N] [--fast]");
+                report::line("usage: sonet export-matrix <out.csv> [--seed N] [--fast]");
                 return ExitCode::FAILURE;
             };
             let opts = parse_common(&args[2..]);
@@ -528,34 +647,34 @@ fn main() -> ExitCode {
             let fleet = match FleetData::run(&cfg) {
                 Ok(f) => f,
                 Err(e) => {
-                    eprintln!("fleet run failed: {e}");
+                    report::line(&format!("fleet run failed: {e}"));
                     return ExitCode::FAILURE;
                 }
             };
             let f5 = match reports::fig5(&fleet) {
                 Ok(f) => f,
                 Err(e) => {
-                    eprintln!("fig5 failed: {e}");
+                    report::line(&format!("fig5 failed: {e}"));
                     return ExitCode::FAILURE;
                 }
             };
             let file = match std::fs::File::create(path) {
                 Ok(f) => f,
                 Err(e) => {
-                    eprintln!("cannot create {path}: {e}");
+                    report::line(&format!("cannot create {path}: {e}"));
                     return ExitCode::FAILURE;
                 }
             };
             if let Err(e) = sonet_dc::telemetry::export::write_matrix_csv(file, &f5.frontend_matrix)
             {
-                eprintln!("export failed: {e}");
+                report::line(&format!("export failed: {e}"));
                 return ExitCode::FAILURE;
             }
             println!("wrote frontend rack-to-rack matrix to {path}");
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!(
+            report::line(
                 "sonet — reproduce 'Inside the Social Network's (Datacenter) Network'\n\
                  usage:\n\
                  \x20 sonet list\n\
@@ -569,7 +688,8 @@ fn main() -> ExitCode {
                  \x20               [--max-events N] [--max-rss-mb N] [--audit on|off]\n\
                  \x20 sonet export-fleet <out.jsonl> [--seed N] [--fast]\n\
                  \x20 sonet export-matrix <out.csv> [--seed N] [--fast]\n\
-                 supervised runs exit 2 when a budget stops them (resumable)"
+                 every command also takes --obs[=off|summary|deep] and --trace-out FILE\n\
+                 supervised runs exit 2 when a budget stops them (resumable)",
             );
             ExitCode::FAILURE
         }

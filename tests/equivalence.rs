@@ -13,10 +13,14 @@
 use sonet_dc::core::reports::Fig15Config;
 use sonet_dc::core::supervised::{run_capture, RunStatus, SuperviseOptions};
 use sonet_dc::core::supervisor::RunBudget;
-use sonet_dc::core::{packet_tier_spec, reports, CaptureConfig, ScenarioScale, StandardCapture};
+use sonet_dc::core::{
+    packet_tier_spec, reports, CaptureConfig, FleetData, FleetRunConfig, ScenarioScale,
+    StandardCapture,
+};
 use sonet_dc::netsim::{FaultPlan, NullTap, SimConfig, Simulator};
 use sonet_dc::telemetry::{FbflowConfig, FbflowSampler};
 use sonet_dc::topology::{HostRole, Topology};
+use sonet_dc::util::obs::{self, ObsMode};
 use sonet_dc::util::{par, Rng, SimDuration, SimTime};
 use sonet_dc::workload::{ServiceProfiles, Workload};
 use std::sync::Arc;
@@ -42,6 +46,21 @@ fn at_width<T>(w: usize, f: impl FnOnce() -> T) -> T {
     par::set_threads(w);
     let out = f();
     par::set_threads(0);
+    out
+}
+
+/// The observability modes swept by the flight-recorder legs.
+const OBS_MODES: [ObsMode; 3] = [ObsMode::Off, ObsMode::Summary, ObsMode::Deep];
+
+/// Runs `f` with the process-wide observability mode pinned to `m`,
+/// restoring `Off` afterwards. The determinism firewall (DESIGN.md §11)
+/// claims the mode — like the worker width — cannot be observed in any
+/// output byte, so a concurrent test seeing the altered global is
+/// harmless by construction.
+fn at_obs<T>(m: ObsMode, f: impl FnOnce() -> T) -> T {
+    obs::set_mode(m);
+    let out = f();
+    obs::set_mode(ObsMode::Off);
     out
 }
 
@@ -171,6 +190,101 @@ fn buffer_sampler_series_identical_at_every_width() {
             serde_json::to_string(&reports::fig15(&cfg).expect("fig15")).expect("serialize")
         });
         assert_eq!(base, got, "width {w} changed the buffer sampler series");
+    }
+}
+
+#[test]
+fn capture_identical_at_every_obs_mode_and_width() {
+    // The flight recorder is a write-only side channel: counters,
+    // histograms, heartbeats, and (at deep) per-window spans all record
+    // while the capture runs, and none of it may move an output byte —
+    // at any worker width.
+    let cfg = CaptureConfig::fast(4242);
+    let base = at_obs(ObsMode::Off, || at_width(1, || capture_fingerprint(&cfg)));
+    // The mode sweep at the serial width, then the expensive tier (deep,
+    // with per-window spans recording) against the full width matrix.
+    for m in [ObsMode::Summary, ObsMode::Deep] {
+        assert_eq!(
+            base,
+            at_obs(m, || at_width(1, || capture_fingerprint(&cfg))),
+            "--obs {} changed a capture output byte",
+            m.name()
+        );
+    }
+    for w in widths() {
+        assert_eq!(
+            base,
+            at_obs(ObsMode::Deep, || at_width(w, || capture_fingerprint(&cfg))),
+            "--obs deep at width {w} changed a capture output byte"
+        );
+    }
+}
+
+#[test]
+fn fleet_table_identical_at_every_obs_mode() {
+    // The fleet tier's deterministic artifacts — the tagged Scuba table
+    // and the reports rendered from it — against the obs-mode sweep.
+    let cfg = FleetRunConfig::fast(7);
+    let fingerprint = || {
+        let data = FleetData::run(&cfg).expect("fleet run");
+        format!(
+            "rows={}|relaxed={}|dropped={}|t3={}|f5={}",
+            data.table.len(),
+            data.relaxed_picks,
+            data.agent_dropped,
+            reports::table3(&data).render(),
+            reports::fig5(&data).expect("fig5").render(),
+        )
+    };
+    let base = at_obs(ObsMode::Off, fingerprint);
+    for m in OBS_MODES {
+        assert_eq!(
+            base,
+            at_obs(m, fingerprint),
+            "--obs {} changed a fleet output byte",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn checkpoint_bytes_identical_with_obs_deep() {
+    // Deep observability writes a RUNINFO.json next to the checkpoint;
+    // the checkpoint itself must stay byte-identical to an unobserved
+    // run's — the manifest is a sibling artifact, never an ingredient.
+    let ckpt_at = |m: ObsMode| {
+        let dir = std::env::temp_dir().join(format!(
+            "sonet-equivalence-obs-{}-{}",
+            m.name(),
+            std::process::id()
+        ));
+        let cfg = CaptureConfig {
+            duration: SimDuration::from_secs(1),
+            ..CaptureConfig::fast(88)
+        };
+        let opts = SuperviseOptions {
+            every: SimDuration::from_millis(250),
+            budget: RunBudget {
+                wall_clock: Some(Duration::ZERO),
+                ..RunBudget::unlimited()
+            },
+            threads: Some(2),
+            ..SuperviseOptions::new(&dir)
+        };
+        let (status, _) = at_obs(m, || run_capture(&cfg, &opts).expect("supervised run"));
+        assert!(matches!(status, RunStatus::Stopped(_)));
+        let bytes = std::fs::read(opts.capture_checkpoint_path()).expect("checkpoint on disk");
+        std::fs::remove_dir_all(&dir).ok();
+        bytes
+    };
+    let base = ckpt_at(ObsMode::Off);
+    for m in [ObsMode::Summary, ObsMode::Deep] {
+        assert_eq!(
+            base,
+            ckpt_at(m),
+            "--obs {} changed the on-disk checkpoint bytes",
+            m.name()
+        );
     }
 }
 

@@ -1,0 +1,250 @@
+//! The flight recorder's artifacts, end to end: a supervised run with
+//! observability on must emit a `RUNINFO.json` that validates against the
+//! checked-in schema, and a deep run must export a well-formed Chrome
+//! `trace_event` file.
+//!
+//! The validator below implements the JSON-Schema keyword subset the
+//! schema uses — `type`, `required`, `properties`, `items`, `enum` — over
+//! the vendored `serde_json` value model, so the test needs no external
+//! schema crate. `schemas/runinfo.schema.json` stays the single source of
+//! truth shared with the CI obs smoke job.
+
+use sonet_dc::core::supervised::{run_capture, RunStatus, SuperviseOptions};
+use sonet_dc::core::CaptureConfig;
+use sonet_dc::util::obs::{self, ObsMode};
+use sonet_dc::util::SimDuration;
+use std::path::PathBuf;
+
+use serde::Content;
+use serde_json::Value;
+
+/// Validates `value` against the schema keyword subset, appending one
+/// message per violation to `errors`. `path` locates the value in the
+/// document (e.g. `$.metrics.entries[3]`).
+fn validate(schema: &Value, value: &Value, path: &str, errors: &mut Vec<String>) {
+    if let Some(ty) = schema.get("type") {
+        let allowed: Vec<String> = match &ty.0 {
+            Content::Str(s) => vec![s.clone()],
+            Content::Seq(items) => items
+                .iter()
+                .filter_map(|c| c.as_str())
+                .map(str::to_owned)
+                .collect(),
+            _ => Vec::new(),
+        };
+        if !allowed.iter().any(|t| type_matches(t, &value.0)) {
+            errors.push(format!(
+                "{path}: expected type {allowed:?}, got {}",
+                type_name(&value.0)
+            ));
+            return;
+        }
+    }
+    if let Some(en) = schema.get("enum") {
+        if let Content::Seq(candidates) = &en.0 {
+            let rendered = Value(value.0.clone()).to_string();
+            if !candidates
+                .iter()
+                .any(|c| Value(c.clone()).to_string() == rendered)
+            {
+                errors.push(format!("{path}: {rendered} not in enum"));
+            }
+        }
+    }
+    // Object keywords apply only when the value is an object: a field
+    // typed `["object", "null"]` with `required` inside is legal as null.
+    if value.is_object() {
+        if let Some(req) = schema.get("required") {
+            if let Content::Seq(keys) = &req.0 {
+                for key in keys.iter().filter_map(Content::as_str) {
+                    if value.get(key).is_none() {
+                        errors.push(format!("{path}: missing required field '{key}'"));
+                    }
+                }
+            }
+        }
+        if let Some(props) = schema.get("properties") {
+            if let Content::Map(entries) = &props.0 {
+                for (k, sub) in entries {
+                    if let Some(key) = k.as_str() {
+                        if let Some(field) = value.get(key) {
+                            validate(
+                                &Value(sub.clone()),
+                                &field,
+                                &format!("{path}.{key}"),
+                                errors,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Content::Seq(items) = &value.0 {
+        if let Some(item_schema) = schema.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                validate(
+                    &item_schema,
+                    &Value(item.clone()),
+                    &format!("{path}[{i}]"),
+                    errors,
+                );
+            }
+        }
+    }
+}
+
+fn type_matches(name: &str, c: &Content) -> bool {
+    match name {
+        "object" => matches!(c, Content::Map(_)),
+        "array" => matches!(c, Content::Seq(_)),
+        "string" => matches!(c, Content::Str(_)),
+        "integer" => matches!(c, Content::U64(_) | Content::I64(_)),
+        "number" => matches!(c, Content::U64(_) | Content::I64(_) | Content::F64(_)),
+        "boolean" => matches!(c, Content::Bool(_)),
+        "null" => matches!(c, Content::Null),
+        _ => false,
+    }
+}
+
+fn type_name(c: &Content) -> &'static str {
+    match c {
+        Content::Null => "null",
+        Content::Bool(_) => "boolean",
+        Content::U64(_) | Content::I64(_) => "integer",
+        Content::F64(_) => "number",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "array",
+        Content::Map(_) => "object",
+    }
+}
+
+fn load_schema() -> Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("schemas/runinfo.schema.json");
+    let body = std::fs::read_to_string(&path).expect("schema file");
+    serde_json::from_str(&body).expect("schema parses")
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sonet-observability-{label}-{}",
+        std::process::id()
+    ))
+}
+
+/// One deep supervised run; asserts on every flight-recorder artifact it
+/// emits. A single test (rather than one per artifact) because the obs
+/// mode is process-global and parallel test threads would race on it.
+#[test]
+fn deep_supervised_run_emits_valid_artifacts() {
+    obs::set_mode(ObsMode::Deep);
+    let dir = scratch_dir("capture");
+    let cfg = CaptureConfig {
+        duration: SimDuration::from_secs(1),
+        ..CaptureConfig::fast(19)
+    };
+    let opts = SuperviseOptions::new(&dir);
+    let (status, cap) = run_capture(&cfg, &opts).expect("supervised run");
+    obs::set_mode(ObsMode::Off);
+    assert!(matches!(status, RunStatus::Completed));
+    assert!(cap.is_some());
+
+    // The manifest exists, parses, and validates against the pinned schema.
+    let body = std::fs::read_to_string(opts.runinfo_path()).expect("RUNINFO.json written");
+    let doc: Value = serde_json::from_str(&body).expect("RUNINFO.json parses");
+    let mut errors = Vec::new();
+    validate(&load_schema(), &doc, "$", &mut errors);
+    assert!(errors.is_empty(), "schema violations: {errors:#?}");
+    assert_eq!(
+        doc.get("status").expect("status").0.as_str(),
+        Some("completed")
+    );
+    assert_eq!(
+        doc.get("command").expect("command").0.as_str(),
+        Some("capture")
+    );
+
+    // The engine actually recorded into the registry during the run.
+    let metrics = doc.get("metrics").expect("metrics");
+    let entries = match &metrics.get("entries").expect("entries").0 {
+        Content::Seq(items) => items.clone(),
+        other => panic!("entries must be an array, got {other:?}"),
+    };
+    let events = entries
+        .iter()
+        .find_map(|e| {
+            let v = Value(e.clone());
+            (v.get("name")?.0.as_str()? == "engine.events").then(|| v.get("value"))?
+        })
+        .expect("engine.events metric present");
+    assert!(
+        matches!(events.0, Content::U64(n) if n > 0),
+        "engine.events must be a positive count, got {:?}",
+        events.0
+    );
+
+    // The deep run's span buffer exports as a well-formed Chrome trace.
+    let trace_path = dir.join("trace.json");
+    let n = obs::trace::export_chrome(&trace_path).expect("trace export");
+    assert!(n > 0, "a deep run records spans");
+    let trace: Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).expect("trace file"))
+            .expect("trace parses");
+    let events = match &trace.get("traceEvents").expect("traceEvents").0 {
+        Content::Seq(items) => items.clone(),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert_eq!(events.len(), n);
+    for e in &events {
+        let v = Value(e.clone());
+        assert_eq!(v.get("ph").expect("ph").0.as_str(), Some("X"));
+        for field in ["name", "cat", "ts", "dur", "pid", "tid"] {
+            assert!(v.get(field).is_some(), "trace event missing '{field}'");
+        }
+    }
+    assert!(
+        events.iter().any(|e| {
+            Value(e.clone())
+                .get("name")
+                .and_then(|n| n.0.as_str().map(str::to_owned))
+                == Some("engine.window".to_owned())
+        }),
+        "deep mode records per-window engine spans"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validator_rejects_malformed_manifests() {
+    let schema = load_schema();
+    // Missing nearly every required field, and a wrong-typed `schema`.
+    let doc: Value = serde_json::from_str(r#"{"schema": "one", "command": 7}"#).expect("parses");
+    let mut errors = Vec::new();
+    validate(&schema, &doc, "$", &mut errors);
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.contains("missing required field 'seed'")),
+        "missing fields must be reported: {errors:?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("$.schema")),
+        "type mismatches must be reported: {errors:?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("$.command")),
+        "wrong-typed command must be reported: {errors:?}"
+    );
+
+    // A bad obs_mode trips the enum keyword.
+    let doc: Value = serde_json::from_str(r#"{"obs_mode": "loud"}"#).expect("parses");
+    let mut errors = Vec::new();
+    validate(&schema, &doc, "$", &mut errors);
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.contains("$.obs_mode") && e.contains("not in enum")),
+        "enum violations must be reported: {errors:?}"
+    );
+}
