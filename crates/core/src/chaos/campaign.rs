@@ -1,0 +1,634 @@
+//! The campaign driver: sweep profiles × seeds × scales, judge every run
+//! against the recovery SLOs, shrink the violations.
+//!
+//! ## Determinism contract
+//!
+//! A campaign report is a pure function of its [`CampaignConfig`]. Runs
+//! execute on the [`sonet_util::par`] pool but results are assembled in
+//! matrix order ([`par::map_indexed`] is index-ordered), report fields are
+//! simulation-derived only (no wall clock, no RSS), and the per-run event
+//! budget counts engine events (deterministic), so the same config yields
+//! byte-identical reports at any thread count.
+//!
+//! ## Resumability
+//!
+//! With an output directory the driver writes a manifest
+//! (`campaign-manifest.json`) after every chunk of runs. A `--resume`
+//! campaign whose config hash matches the manifest reuses the recorded
+//! run results verbatim and continues with the first unfinished chunk.
+
+use serde::{Deserialize, Serialize};
+use sonet_netsim::{FaultPlan, NullTap, SimConfig, Simulator};
+use sonet_topology::Topology;
+use sonet_util::{obs, par, SimDuration, SimTime};
+use sonet_workload::{ServiceProfiles, Workload};
+use std::path::Path;
+use std::sync::Arc;
+
+use super::profile::{known_bad_plan, ChaosProfile};
+use super::shrink::{shrink_plan, ReproFile, ShrinkRecord};
+use super::slo::{evaluate, SloResult, SloSpec};
+use super::{fnv1a64, plan_hash};
+use crate::scenario::{packet_tier_spec, ScenarioScale};
+use crate::supervisor::isolate;
+
+/// Report schema version (bump on any shape change).
+pub const CAMPAIGN_SCHEMA: u32 = 1;
+
+/// How many runs between manifest flushes (the resume granularity).
+const CHUNK: usize = 8;
+
+/// Generation-window stride of a chaos run — matches the capture layer's
+/// 250 ms window so blackhole streaks are measured on the same clock.
+const WINDOW: SimDuration = SimDuration::from_millis(250);
+
+/// Everything a single engine run needs, independent of profiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Plant size.
+    pub scale: ScenarioScale,
+    /// Workload + plan seed.
+    pub seed: u64,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Rate multiplier over the profile defaults.
+    pub rate_scale: f64,
+    /// Engine-event budget per run (deterministic); `None` = unlimited.
+    pub max_events: Option<u64>,
+}
+
+/// Campaign-wide configuration; its canonical JSON is FNV-hashed into the
+/// campaign id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Profiles to sweep, in matrix order.
+    pub profiles: Vec<ChaosProfile>,
+    /// Seeds per profile: `base_seed`, `base_seed + 1`, …
+    pub seeds: u64,
+    /// First seed of the sweep.
+    pub base_seed: u64,
+    /// Plant sizes to sweep.
+    pub scales: Vec<ScenarioScale>,
+    /// Simulated length of every run.
+    pub duration: SimDuration,
+    /// Rate multiplier for every run.
+    pub rate_scale: f64,
+    /// SLO limits every run is held to.
+    pub slo: SloSpec,
+    /// Per-run engine-event budget (None = unlimited).
+    pub max_events_per_run: Option<u64>,
+    /// Shrink at most this many violating runs (in matrix order).
+    pub max_shrinks: usize,
+    /// Append the seeded known-bad plan as an extra synthetic run (CI's
+    /// shrinker smoke test; also `sonet chaos --inject-bad`).
+    pub inject_known_bad: bool,
+}
+
+impl CampaignConfig {
+    /// A small default campaign: all builtin profiles, tiny plant, 2 s
+    /// runs.
+    pub fn new(profiles: Vec<ChaosProfile>, seeds: u64, base_seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            profiles,
+            seeds,
+            base_seed,
+            scales: vec![ScenarioScale::Tiny],
+            duration: SimDuration::from_secs(2),
+            rate_scale: 5.0,
+            slo: SloSpec::default(),
+            max_events_per_run: Some(200_000_000),
+            max_shrinks: 4,
+            inject_known_bad: false,
+        }
+    }
+
+    /// Stable campaign identity: `c` + FNV-1a64 of the canonical config
+    /// JSON.
+    pub fn campaign_id(&self) -> String {
+        let json = serde_json::to_string(self).unwrap_or_default();
+        format!("c{:016x}", fnv1a64(json.as_bytes()))
+    }
+}
+
+/// Deterministic measurements of one engine run — the facts the SLOs are
+/// evaluated over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// RPC calls the workload issued.
+    pub issued_calls: u64,
+    /// Requests fully arrived at servers.
+    pub completed_requests: u64,
+    /// Packets handed to the network.
+    pub emitted_packets: u64,
+    /// Packets delivered to hosts.
+    pub delivered_packets: u64,
+    /// Packets lost to injected faults (incl. gray drops).
+    pub fault_dropped_packets: u64,
+    /// The gray-link subset of the fault drops.
+    pub gray_dropped_packets: u64,
+    /// Endpoints re-hashed onto healthy paths.
+    pub reroutes: u64,
+    /// Endpoints stranded on dead paths.
+    pub reroute_failures: u64,
+    /// Established connections aborted by the RTO cap.
+    pub aborted_connections: u64,
+    /// Handshakes abandoned at the SYN retry cap.
+    pub failed_handshakes: u64,
+    /// p99 end-to-end request latency in microseconds (0 when no request
+    /// completed).
+    pub p99_latency_us: u64,
+    /// Longest streak of 250 ms windows losing packets to faults, in
+    /// milliseconds.
+    pub blackhole_ms: u64,
+    /// Invariants the engine auditor flagged at the end of the run.
+    pub audit_violations: u64,
+    /// Engine events processed (the budget denominator).
+    pub processed_events: u64,
+}
+
+/// The fault-free baseline at a given seed/scale, shared by every faulted
+/// run of that seed/scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwinSummary {
+    /// Requests the fault-free run completed.
+    pub completed_requests: u64,
+    /// Its p99 request latency in microseconds.
+    pub p99_latency_us: u64,
+    /// Calls it issued.
+    pub issued_calls: u64,
+}
+
+/// One cell of the campaign matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Profile name (`known-bad` for the injected synthetic run).
+    pub profile: String,
+    /// Seed the plan and workload were generated from.
+    pub seed: u64,
+    /// Plant size.
+    pub scale: ScenarioScale,
+    /// Identity of the exact plan this run executed.
+    pub plan_hash: String,
+    /// Events in the plan.
+    pub plan_events: usize,
+    /// `"ok"`, `"budget: …"`, or `"panic: …"`.
+    pub status: String,
+    /// SLO verdicts (empty when the run itself failed).
+    pub slos: Vec<SloResult>,
+    /// True when the run completed and every SLO passed.
+    pub pass: bool,
+    /// Measurements (None when the run itself failed).
+    pub metrics: Option<RunMetrics>,
+}
+
+/// The full campaign result: the matrix plus shrink outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Report schema version.
+    pub schema: u32,
+    /// Campaign identity (config hash).
+    pub campaign_id: String,
+    /// Runs in matrix order (scale-major, then profile, then seed).
+    pub runs: Vec<RunRecord>,
+    /// Matrix cells that completed and passed every SLO.
+    pub passed: usize,
+    /// Matrix cells that completed and violated at least one SLO.
+    pub violated: usize,
+    /// Matrix cells that did not complete (panic or budget).
+    pub infra_failed: usize,
+    /// Shrink outcomes for violating runs, in matrix order.
+    pub shrinks: Vec<ShrinkRecord>,
+}
+
+/// Manifest written to the output directory for resume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    schema: u32,
+    campaign_id: String,
+    completed: Vec<RunRecord>,
+}
+
+/// Runs `plan` under `exec` and returns the deterministic measurements.
+/// Errors are infrastructure problems (bad config, budget exhausted), not
+/// SLO violations.
+pub fn execute_run(exec: &ExecConfig, plan: &FaultPlan) -> Result<RunMetrics, String> {
+    let topo = Arc::new(Topology::build(packet_tier_spec(exec.scale)).map_err(|e| e.to_string())?);
+    plan.validate(&topo)?;
+    let mut profiles = ServiceProfiles::default();
+    profiles.rate_scale = exec.rate_scale;
+    let mut workload =
+        Workload::new(Arc::clone(&topo), profiles, exec.seed).map_err(|e| e.to_string())?;
+    let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+        .map_err(|e| e.to_string())?;
+    sim.record_latencies(true);
+    sim.inject_faults(plan).map_err(|e| e.to_string())?;
+
+    // Window loop: generate traffic, advance, poll the live counters for
+    // the blackhole streak. A window in which injected faults eat packets
+    // is "black"; the SLO bounds the longest consecutive streak — a
+    // recovered outage stops dropping once reroutes and repairs land,
+    // while an unrecovered one stays black to the end of the run.
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + exec.duration;
+    let mut prev = sim.live_counters();
+    let mut streak = 0u64;
+    let mut worst_streak = 0u64;
+    while t < end {
+        t = (t + WINDOW).min(end);
+        workload.generate(&mut sim, t).map_err(|e| e.to_string())?;
+        sim.run_until(t);
+        let now = sim.live_counters();
+        let lost = now.fault_dropped_packets - prev.fault_dropped_packets;
+        if lost > 0 {
+            streak += 1;
+            worst_streak = worst_streak.max(streak);
+        } else {
+            streak = 0;
+        }
+        prev = now;
+        if let Some(budget) = exec.max_events {
+            if sim.processed_events() > budget {
+                return Err(format!(
+                    "budget: {} engine events exceed the {budget}-event budget at {t:?}",
+                    sim.processed_events()
+                ));
+            }
+        }
+    }
+    // Drain in-flight work so aborts and completions settle.
+    sim.run_to_quiescence();
+    let audit_violations = match sim.audit() {
+        Ok(()) => 0,
+        Err(report) => report.violations.len() as u64,
+    };
+    let processed_events = sim.processed_events();
+    let issued_calls = workload.issued_calls();
+    let (outputs, _) = sim.finish();
+
+    let mut lat_us: Vec<u64> = outputs
+        .rpc_latencies
+        .iter()
+        .map(|d| d.as_micros())
+        .collect();
+    lat_us.sort_unstable();
+    let p99_latency_us = if lat_us.is_empty() {
+        0
+    } else {
+        lat_us[(lat_us.len() - 1) * 99 / 100]
+    };
+
+    Ok(RunMetrics {
+        issued_calls,
+        completed_requests: outputs.completed_requests,
+        emitted_packets: outputs.emitted_packets,
+        delivered_packets: outputs.delivered_packets,
+        fault_dropped_packets: outputs
+            .link_counters
+            .iter()
+            .map(|c| c.fault_drop_packets)
+            .sum(),
+        gray_dropped_packets: outputs.gray_dropped_packets,
+        reroutes: outputs.reroutes,
+        reroute_failures: outputs.reroute_failures,
+        aborted_connections: outputs.aborted_connections,
+        failed_handshakes: outputs.failed_handshakes,
+        p99_latency_us,
+        blackhole_ms: worst_streak * WINDOW.as_millis(),
+        audit_violations,
+        processed_events,
+    })
+}
+
+/// Runs the fault-free twin for a seed/scale.
+pub fn execute_twin(exec: &ExecConfig) -> Result<TwinSummary, String> {
+    let m = execute_run(exec, &FaultPlan::new())?;
+    Ok(TwinSummary {
+        completed_requests: m.completed_requests,
+        p99_latency_us: m.p99_latency_us,
+        issued_calls: m.issued_calls,
+    })
+}
+
+/// One planned cell of the matrix, before execution.
+struct RunSpec {
+    profile: String,
+    seed: u64,
+    scale: ScenarioScale,
+    plan: FaultPlan,
+}
+
+fn build_specs(cfg: &CampaignConfig) -> Result<Vec<RunSpec>, String> {
+    let mut specs = Vec::new();
+    for &scale in &cfg.scales {
+        let topo = Arc::new(Topology::build(packet_tier_spec(scale)).map_err(|e| e.to_string())?);
+        for profile in &cfg.profiles {
+            for k in 0..cfg.seeds {
+                let seed = cfg.base_seed + k;
+                let plan = profile.generate(&topo, seed, cfg.duration);
+                specs.push(RunSpec {
+                    profile: profile.name.clone(),
+                    seed,
+                    scale,
+                    plan,
+                });
+            }
+        }
+        if cfg.inject_known_bad {
+            specs.push(RunSpec {
+                profile: "known-bad".into(),
+                seed: cfg.base_seed,
+                scale,
+                plan: known_bad_plan(&topo, cfg.duration),
+            });
+        }
+    }
+    Ok(specs)
+}
+
+fn read_manifest(dir: &Path, campaign_id: &str) -> Option<Vec<RunRecord>> {
+    let raw = std::fs::read_to_string(dir.join("campaign-manifest.json")).ok()?;
+    let m: Manifest = serde_json::from_str(&raw).ok()?;
+    (m.schema == CAMPAIGN_SCHEMA && m.campaign_id == campaign_id).then_some(m.completed)
+}
+
+fn write_manifest(dir: &Path, campaign_id: &str, completed: &[RunRecord]) -> Result<(), String> {
+    let m = Manifest {
+        schema: CAMPAIGN_SCHEMA,
+        campaign_id: campaign_id.to_string(),
+        completed: completed.to_vec(),
+    };
+    let json = serde_json::to_string(&m).map_err(|e| e.to_string())?;
+    let tmp = dir.join("campaign-manifest.json.tmp");
+    std::fs::write(&tmp, json).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, dir.join("campaign-manifest.json")).map_err(|e| e.to_string())
+}
+
+/// Drives a full campaign: twins, faulted runs, SLO evaluation, and
+/// shrinking. `out_dir` (when given) receives the manifest, the report,
+/// and one repro file per shrunk violation; `resume` reuses a matching
+/// manifest's completed runs.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    out_dir: Option<&Path>,
+    resume: bool,
+) -> Result<CampaignReport, String> {
+    let campaign_id = cfg.campaign_id();
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    let specs = build_specs(cfg)?;
+    let threads = par::resolve_threads(None);
+
+    // Phase 1: fault-free twins, one per (scale, seed) in use.
+    let _span = obs::trace::span("chaos.twins");
+    let mut twin_keys: Vec<(ScenarioScale, u64)> =
+        specs.iter().map(|s| (s.scale, s.seed)).collect();
+    twin_keys.sort_unstable_by_key(|&(s, seed)| (scale_ord(s), seed));
+    twin_keys.dedup();
+    let twin_results: Vec<Result<TwinSummary, String>> =
+        par::map_indexed(threads, twin_keys.len(), |i| {
+            let (scale, seed) = twin_keys[i];
+            let exec = ExecConfig {
+                scale,
+                seed,
+                duration: cfg.duration,
+                rate_scale: cfg.rate_scale,
+                max_events: cfg.max_events_per_run,
+            };
+            isolate(move || execute_twin(&exec)).unwrap_or_else(|p| Err(format!("panic: {p}")))
+        });
+    drop(_span);
+    let twin_of = |scale: ScenarioScale, seed: u64| -> Result<TwinSummary, String> {
+        let i = twin_keys
+            .iter()
+            .position(|&(s, sd)| s == scale && sd == seed)
+            .expect("twin key exists for every spec");
+        twin_results[i].clone()
+    };
+
+    // Phase 2: the faulted matrix, chunked for manifest flushes.
+    let _span = obs::trace::span("chaos.runs");
+    let mut runs: Vec<RunRecord> = if resume {
+        out_dir
+            .and_then(|d| read_manifest(d, &campaign_id))
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    // Only whole chunks are trustworthy (the manifest is flushed per
+    // chunk), and a manifest longer than the matrix means a stale config.
+    runs.truncate(specs.len().min(runs.len()));
+    runs.truncate(runs.len() - runs.len() % CHUNK);
+    while runs.len() < specs.len() {
+        let lo = runs.len();
+        let hi = (lo + CHUNK).min(specs.len());
+        let chunk: Vec<RunRecord> = par::map_indexed(threads, hi - lo, |j| {
+            let spec = &specs[lo + j];
+            let exec = ExecConfig {
+                scale: spec.scale,
+                seed: spec.seed,
+                duration: cfg.duration,
+                rate_scale: cfg.rate_scale,
+                max_events: cfg.max_events_per_run,
+            };
+            let hash = plan_hash(&spec.plan);
+            let outcome = isolate(|| execute_run(&exec, &spec.plan))
+                .unwrap_or_else(|p| Err(format!("panic: {p}")));
+            match outcome {
+                Ok(metrics) => {
+                    let slo = match twin_of(spec.scale, spec.seed) {
+                        Ok(twin) => evaluate(&cfg.slo, &metrics, &twin),
+                        Err(e) => {
+                            return RunRecord {
+                                profile: spec.profile.clone(),
+                                seed: spec.seed,
+                                scale: spec.scale,
+                                plan_hash: hash,
+                                plan_events: spec.plan.len(),
+                                status: format!("twin failed: {e}"),
+                                slos: Vec::new(),
+                                pass: false,
+                                metrics: Some(metrics),
+                            }
+                        }
+                    };
+                    let pass = slo.pass();
+                    RunRecord {
+                        profile: spec.profile.clone(),
+                        seed: spec.seed,
+                        scale: spec.scale,
+                        plan_hash: hash,
+                        plan_events: spec.plan.len(),
+                        status: "ok".into(),
+                        slos: slo.results,
+                        pass,
+                        metrics: Some(metrics),
+                    }
+                }
+                Err(e) => RunRecord {
+                    profile: spec.profile.clone(),
+                    seed: spec.seed,
+                    scale: spec.scale,
+                    plan_hash: hash,
+                    plan_events: spec.plan.len(),
+                    status: e,
+                    slos: Vec::new(),
+                    pass: false,
+                    metrics: None,
+                },
+            }
+        });
+        runs.extend(chunk);
+        if let Some(dir) = out_dir {
+            write_manifest(dir, &campaign_id, &runs)?;
+        }
+    }
+    drop(_span);
+
+    // Phase 3: shrink the first `max_shrinks` SLO violations.
+    let _span = obs::trace::span("chaos.shrink");
+    let mut shrinks = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        if shrinks.len() >= cfg.max_shrinks {
+            break;
+        }
+        if run.status != "ok" || run.pass {
+            continue;
+        }
+        let violated: Vec<String> = run
+            .slos
+            .iter()
+            .filter(|s| !s.pass)
+            .map(|s| s.name.clone())
+            .collect();
+        let Some(target) = violated.first() else {
+            continue;
+        };
+        let exec = ExecConfig {
+            scale: run.scale,
+            seed: run.seed,
+            duration: cfg.duration,
+            rate_scale: cfg.rate_scale,
+            max_events: cfg.max_events_per_run,
+        };
+        let twin = twin_of(run.scale, run.seed)?;
+        let plan = specs[i].plan.clone();
+        let outcome = shrink_plan(&exec, &twin, &cfg.slo, &plan, target, 64);
+        let repro = ReproFile {
+            schema: 1,
+            kind: "chaos-repro".into(),
+            profile: run.profile.clone(),
+            campaign_id: campaign_id.clone(),
+            scale: run.scale,
+            seed: run.seed,
+            duration_ms: cfg.duration.as_millis(),
+            rate_scale: cfg.rate_scale,
+            slo: target.clone(),
+            plan_hash: plan_hash(&outcome.plan),
+            plan: outcome.plan.clone(),
+        };
+        let mut repro_path = String::new();
+        if let Some(dir) = out_dir {
+            let name = format!("repro-{}-{}.json", run.profile, run.seed);
+            let path = dir.join(&name);
+            let json = serde_json::to_string_pretty(&repro).map_err(|e| e.to_string())?;
+            std::fs::write(&path, json).map_err(|e| e.to_string())?;
+            repro_path = name;
+        }
+        obs::counter_add!("chaos.shrinks", 1);
+        shrinks.push(ShrinkRecord {
+            profile: run.profile.clone(),
+            seed: run.seed,
+            scale: run.scale,
+            violated_slo: target.clone(),
+            events_before: outcome.events_before,
+            events_after: outcome.events_after,
+            runs_used: outcome.runs_used,
+            shrunk_plan_hash: plan_hash(&outcome.plan),
+            repro_file: repro_path,
+        });
+    }
+    drop(_span);
+
+    let passed = runs.iter().filter(|r| r.status == "ok" && r.pass).count();
+    let violated = runs.iter().filter(|r| r.status == "ok" && !r.pass).count();
+    let infra_failed = runs.iter().filter(|r| r.status != "ok").count();
+    obs::counter_add!("chaos.runs", runs.len() as u64);
+    obs::counter_add!("chaos.violations", violated as u64);
+    obs::gauge_set!("chaos.infra_failures", infra_failed as u64);
+
+    let report = CampaignReport {
+        schema: CAMPAIGN_SCHEMA,
+        campaign_id,
+        runs,
+        passed,
+        violated,
+        infra_failed,
+        shrinks,
+    };
+    if let Some(dir) = out_dir {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("campaign-report.json"), json).map_err(|e| e.to_string())?;
+    }
+    Ok(report)
+}
+
+/// Stable ordering key for scales (matrix order).
+fn scale_ord(s: ScenarioScale) -> u8 {
+    match s {
+        ScenarioScale::Tiny => 0,
+        ScenarioScale::Standard => 1,
+        ScenarioScale::Fleet => 2,
+    }
+}
+
+impl CampaignReport {
+    /// ASCII pass/fail matrix for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chaos campaign {}: {} runs — {} passed, {} violated, {} infra-failed\n",
+            self.campaign_id,
+            self.runs.len(),
+            self.passed,
+            self.violated,
+            self.infra_failed
+        ));
+        for r in &self.runs {
+            let verdict = if r.status != "ok" {
+                format!("INFRA ({})", r.status)
+            } else if r.pass {
+                "pass".into()
+            } else {
+                let names: Vec<&str> = r
+                    .slos
+                    .iter()
+                    .filter(|s| !s.pass)
+                    .map(|s| s.name.as_str())
+                    .collect();
+                format!("VIOLATED [{}]", names.join(", "))
+            };
+            out.push_str(&format!(
+                "  {:>14} seed={} {:?} plan={} ({} ev): {}\n",
+                r.profile, r.seed, r.scale, r.plan_hash, r.plan_events, verdict
+            ));
+        }
+        for s in &self.shrinks {
+            out.push_str(&format!(
+                "  shrink {} seed={}: {} → {} events ({} runs) for {} → {}\n",
+                s.profile,
+                s.seed,
+                s.events_before,
+                s.events_after,
+                s.runs_used,
+                s.violated_slo,
+                if s.repro_file.is_empty() {
+                    "(no repro file)"
+                } else {
+                    &s.repro_file
+                }
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,76 @@
+//! Deterministic chaos campaigns: generative fault sweeps, recovery SLOs,
+//! and automatic fault-plan shrinking.
+//!
+//! The paper's Fabric argument (§6) is that the plant must *degrade
+//! gracefully* — load balancing and fault tolerance hinge on surviving
+//! link/switch loss with bounded impact. This module turns that claim into
+//! a search problem:
+//!
+//! 1. **Profiles** ([`profile`]): a seeded grammar of [`ChaosElement`]s —
+//!    correlated rack/pod outages (via [`sonet_topology::FailureDomain`]),
+//!    flapping links, gray failures, asymmetric partitions, degraded-rate
+//!    ramps — each profile expanding deterministically into a
+//!    [`FaultPlan`](sonet_netsim::FaultPlan) for a given `(topology, seed)`.
+//! 2. **Campaigns** ([`campaign`]): sweep profiles × seeds × scales on the
+//!    [`sonet_util::par`] pool, each run panic-isolated and event-budgeted,
+//!    evaluated against declarative recovery SLOs ([`slo`]) plus the
+//!    engine's invariant auditor. Reports contain only simulation-derived
+//!    fields, so the same campaign config yields byte-identical reports at
+//!    any `--threads`.
+//! 3. **Shrinking** ([`shrink`]): any SLO violation is delta-debugged —
+//!    drop event subsets, narrow fault windows, reduce severities — until
+//!    a minimal plan still reproducing the violation remains, emitted as a
+//!    committed-format repro file that replays standalone.
+
+pub mod campaign;
+pub mod profile;
+pub mod shrink;
+pub mod slo;
+
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignReport, ExecConfig, RunMetrics, RunRecord, TwinSummary,
+};
+pub use profile::{ChaosElement, ChaosProfile};
+pub use shrink::{replay_repro, shrink_plan, ReproFile, ShrinkOutcome, ShrinkRecord};
+pub use slo::{SloReport, SloResult, SloSpec};
+
+use sonet_netsim::FaultPlan;
+
+/// FNV-1a 64-bit over `bytes` — the same construction RUNINFO uses for
+/// its config hash, duplicated here because plan hashes must be computable
+/// without an obs session.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable identity of a fault plan: `f` + FNV-1a64 of its canonical JSON.
+/// Recorded in RUNINFO, trace metadata, campaign reports, and repro files
+/// so a failing run is attributable from artifacts alone.
+pub fn plan_hash(plan: &FaultPlan) -> String {
+    let json = serde_json::to_string(plan).unwrap_or_default();
+    format!("f{:016x}", fnv1a64(json.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonet_netsim::FaultKind;
+    use sonet_topology::LinkId;
+    use sonet_util::SimTime;
+
+    #[test]
+    fn plan_hash_is_stable_and_content_sensitive() {
+        let a = FaultPlan::new().at(SimTime::from_millis(5), FaultKind::LinkDown(LinkId(3)));
+        let b = FaultPlan::new().at(SimTime::from_millis(5), FaultKind::LinkDown(LinkId(3)));
+        let c = FaultPlan::new().at(SimTime::from_millis(6), FaultKind::LinkDown(LinkId(3)));
+        assert_eq!(plan_hash(&a), plan_hash(&b));
+        assert_ne!(plan_hash(&a), plan_hash(&c));
+        assert!(plan_hash(&a).starts_with('f'));
+        assert_eq!(plan_hash(&a).len(), 17);
+    }
+}

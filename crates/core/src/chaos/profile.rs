@@ -1,0 +1,431 @@
+//! The chaos profile grammar.
+//!
+//! A [`ChaosProfile`] is a named list of [`ChaosElement`]s; each element is
+//! a *generator* of correlated fault events, not a fixed event list. The
+//! expansion `profile.generate(topo, seed, horizon)` is a pure function of
+//! its arguments: element `i` draws from `Rng::new(seed).fork("chaos")
+//! .fork(name).fork_idx("elem", i)`, so adding or removing elements never
+//! perturbs the draws of the others, and the same `(profile, topo, seed)`
+//! always yields the same [`FaultPlan`].
+
+use serde::{Deserialize, Serialize};
+use sonet_netsim::{FaultKind, FaultPlan};
+use sonet_topology::{enumerate_domains, FailureDomain, LinkId, Topology};
+use sonet_util::{Rng, SimDuration, SimTime};
+
+/// One generative element of a chaos profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChaosElement {
+    /// Take `count` whole racks dark (their RSWs go down, correlated) and,
+    /// when `recover` is set, bring them back before the horizon.
+    RackOutage {
+        /// Number of distinct racks to fail.
+        count: u32,
+        /// Whether the RSWs come back up inside the run.
+        recover: bool,
+    },
+    /// Partial pod outage: fail `csws` of one cluster's 4-post CSW bank
+    /// (correlated — same pod), recovering inside the run when `recover`.
+    PodOutage {
+        /// CSWs of the chosen pod to fail (clamped to the bank size).
+        csws: u32,
+        /// Whether the CSWs come back up inside the run.
+        recover: bool,
+    },
+    /// Flapping fabric links: each chosen link runs a down/up train.
+    LinkFlaps {
+        /// Number of distinct fabric links to flap.
+        links: u32,
+        /// Down/up cycles per link.
+        cycles: u32,
+    },
+    /// Gray failures on fabric links: routing keeps using them while they
+    /// silently eat a seeded fraction of offered packets; healed before
+    /// the horizon.
+    GrayCore {
+        /// Number of distinct fabric links to gray out.
+        links: u32,
+        /// Inclusive lower bound on the drop fraction.
+        min_fraction: f64,
+        /// Inclusive upper bound on the drop fraction.
+        max_fraction: f64,
+    },
+    /// Asymmetric partitions: one *direction* of a fabric cable goes down
+    /// while the reverse direction stays up (links are directed), healing
+    /// before the horizon.
+    AsymPartition {
+        /// Number of single-direction cuts.
+        links: u32,
+    },
+    /// Brownout ramp: a fabric link's line rate steps down toward
+    /// `floor_factor` and back up, one DegradeLink event per step.
+    DegradedRamp {
+        /// Number of distinct fabric links to ramp.
+        links: u32,
+        /// Steps down (and back up) per link.
+        steps: u32,
+        /// Lowest rate factor reached at the bottom of the ramp.
+        floor_factor: f64,
+    },
+}
+
+/// A named, seeded fault-scenario generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosProfile {
+    /// Stable name — campaign matrix row key, RUNINFO note, repro field.
+    pub name: String,
+    /// Elements expanded independently into the plan.
+    pub elements: Vec<ChaosElement>,
+}
+
+/// Fabric links (switch↔switch, no host access links), in id order —
+/// the candidate pool for link-level chaos.
+fn fabric_links(topo: &Topology) -> Vec<LinkId> {
+    topo.links()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.touches_host())
+        .map(|(i, _)| LinkId(i as u32))
+        .collect()
+}
+
+/// Draw `count` distinct items from `pool` (all of them if `count`
+/// exceeds the pool).
+fn draw_distinct<T: Copy>(rng: &mut Rng, pool: &[T], count: usize) -> Vec<T> {
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    rng.shuffle(&mut idx);
+    idx.truncate(count.min(pool.len()));
+    idx.sort_unstable();
+    idx.into_iter().map(|i| pool[i]).collect()
+}
+
+impl ChaosProfile {
+    /// Expands the profile into a deterministic [`FaultPlan`] over
+    /// `[0, horizon)`. Every event lands strictly inside the horizon so a
+    /// run of that length observes the whole scenario.
+    pub fn generate(&self, topo: &Topology, seed: u64, horizon: SimDuration) -> FaultPlan {
+        let root = Rng::new(seed).fork("chaos").fork(&self.name);
+        let h_ms = horizon.as_millis().max(10);
+        let at_frac = |f: f64| SimTime::from_millis(((h_ms as f64) * f) as u64);
+        let fabric = fabric_links(topo);
+        let domains = enumerate_domains(topo);
+        let mut plan = FaultPlan::new();
+        for (i, elem) in self.elements.iter().enumerate() {
+            let mut rng = root.fork_idx("elem", i as u64);
+            match *elem {
+                ChaosElement::RackOutage { count, recover } => {
+                    let racks: Vec<FailureDomain> = domains
+                        .iter()
+                        .copied()
+                        .filter(|d| matches!(d, FailureDomain::Rack(_)))
+                        .collect();
+                    let start = at_frac(rng.range_f64(0.10, 0.25));
+                    let up = at_frac(rng.range_f64(0.35, 0.45));
+                    for dom in draw_distinct(&mut rng, &racks, count as usize) {
+                        for sw in dom.switches(topo) {
+                            plan = plan.at(start, FaultKind::SwitchDown(sw));
+                            if recover {
+                                plan = plan.at(up, FaultKind::SwitchUp(sw));
+                            }
+                        }
+                    }
+                }
+                ChaosElement::PodOutage { csws, recover } => {
+                    let pods: Vec<FailureDomain> = domains
+                        .iter()
+                        .copied()
+                        .filter(|d| matches!(d, FailureDomain::Pod(_)))
+                        .collect();
+                    let dom = *rng.pick(&pods);
+                    let bank = dom.switches(topo);
+                    let start = at_frac(rng.range_f64(0.10, 0.25));
+                    let up = at_frac(rng.range_f64(0.35, 0.45));
+                    for sw in draw_distinct(&mut rng, &bank, csws as usize) {
+                        plan = plan.at(start, FaultKind::SwitchDown(sw));
+                        if recover {
+                            plan = plan.at(up, FaultKind::SwitchUp(sw));
+                        }
+                    }
+                }
+                ChaosElement::LinkFlaps { links, cycles } => {
+                    for link in draw_distinct(&mut rng, &fabric, links as usize) {
+                        let start = at_frac(rng.range_f64(0.10, 0.40));
+                        // Keep the whole train inside the horizon and the
+                        // drop streak under the blackhole SLO.
+                        let span_ms = (h_ms as f64 * 0.3) as u64;
+                        let half =
+                            SimDuration::from_millis((span_ms / (2 * cycles.max(1) as u64)).max(1));
+                        plan = plan.at(
+                            start,
+                            FaultKind::FlapLink {
+                                link,
+                                half_period: half,
+                                cycles: cycles.max(1),
+                            },
+                        );
+                    }
+                }
+                ChaosElement::GrayCore {
+                    links,
+                    min_fraction,
+                    max_fraction,
+                } => {
+                    for link in draw_distinct(&mut rng, &fabric, links as usize) {
+                        let start = at_frac(rng.range_f64(0.10, 0.25));
+                        let heal = at_frac(rng.range_f64(0.35, 0.45));
+                        let frac = rng.range_f64(min_fraction, max_fraction);
+                        plan = plan.at(
+                            start,
+                            FaultKind::GrayLink {
+                                link,
+                                drop_fraction: frac,
+                            },
+                        );
+                        plan = plan.at(
+                            heal,
+                            FaultKind::GrayLink {
+                                link,
+                                drop_fraction: 0.0,
+                            },
+                        );
+                    }
+                }
+                ChaosElement::AsymPartition { links } => {
+                    for link in draw_distinct(&mut rng, &fabric, links as usize) {
+                        let start = at_frac(rng.range_f64(0.10, 0.25));
+                        let heal = at_frac(rng.range_f64(0.35, 0.45));
+                        plan = plan.at(start, FaultKind::LinkDown(link));
+                        plan = plan.at(heal, FaultKind::LinkUp(link));
+                    }
+                }
+                ChaosElement::DegradedRamp {
+                    links,
+                    steps,
+                    floor_factor,
+                } => {
+                    let steps = steps.max(1);
+                    for link in draw_distinct(&mut rng, &fabric, links as usize) {
+                        let start = rng.range_f64(0.10, 0.25);
+                        let end = rng.range_f64(0.65, 0.85);
+                        let n = steps as f64;
+                        for s in 0..steps {
+                            // Down the ramp…
+                            let f = 1.0 - (1.0 - floor_factor) * ((s + 1) as f64 / n);
+                            let t = start + (end - start) * 0.5 * (s as f64 / n);
+                            plan = plan.at(
+                                at_frac(t),
+                                FaultKind::DegradeLink {
+                                    link,
+                                    rate_factor: f.max(0.01),
+                                },
+                            );
+                        }
+                        for s in 0..steps {
+                            // …and back up, ending at nominal rate.
+                            let f = floor_factor + (1.0 - floor_factor) * ((s + 1) as f64 / n);
+                            let t = start + (end - start) * (0.5 + 0.5 * ((s + 1) as f64 / n));
+                            plan = plan.at(
+                                at_frac(t),
+                                FaultKind::DegradeLink {
+                                    link,
+                                    rate_factor: f.min(1.0),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// The built-in profile library, in matrix order.
+    pub fn builtin() -> Vec<ChaosProfile> {
+        vec![
+            ChaosProfile {
+                name: "rack-outage".into(),
+                elements: vec![ChaosElement::RackOutage {
+                    count: 1,
+                    recover: true,
+                }],
+            },
+            ChaosProfile {
+                name: "pod-outage".into(),
+                elements: vec![ChaosElement::PodOutage {
+                    csws: 2,
+                    recover: true,
+                }],
+            },
+            ChaosProfile {
+                name: "flaky-links".into(),
+                elements: vec![ChaosElement::LinkFlaps {
+                    links: 2,
+                    cycles: 3,
+                }],
+            },
+            ChaosProfile {
+                name: "gray-core".into(),
+                elements: vec![ChaosElement::GrayCore {
+                    links: 2,
+                    min_fraction: 0.05,
+                    max_fraction: 0.25,
+                }],
+            },
+            ChaosProfile {
+                name: "asym-partition".into(),
+                elements: vec![ChaosElement::AsymPartition { links: 2 }],
+            },
+            ChaosProfile {
+                name: "brownout".into(),
+                elements: vec![ChaosElement::DegradedRamp {
+                    links: 2,
+                    steps: 3,
+                    floor_factor: 0.25,
+                }],
+            },
+            ChaosProfile {
+                name: "compound".into(),
+                elements: vec![
+                    ChaosElement::RackOutage {
+                        count: 1,
+                        recover: true,
+                    },
+                    ChaosElement::GrayCore {
+                        links: 1,
+                        min_fraction: 0.05,
+                        max_fraction: 0.15,
+                    },
+                    ChaosElement::LinkFlaps {
+                        links: 1,
+                        cycles: 2,
+                    },
+                ],
+            },
+        ]
+    }
+
+    /// Looks up builtin profiles by a CLI-style selector: `all`, or a
+    /// comma-separated name list.
+    pub fn select(selector: &str) -> Result<Vec<ChaosProfile>, String> {
+        let lib = ChaosProfile::builtin();
+        if selector == "all" {
+            return Ok(lib);
+        }
+        let mut out = Vec::new();
+        for name in selector.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match lib.iter().find(|p| p.name == name) {
+                Some(p) => out.push(p.clone()),
+                None => {
+                    let known: Vec<&str> = lib.iter().map(|p| p.name.as_str()).collect();
+                    return Err(format!(
+                        "unknown profile '{name}' (known: {})",
+                        known.join(", ")
+                    ));
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err("no profiles selected".into());
+        }
+        Ok(out)
+    }
+}
+
+/// A deliberately SLO-violating plan for CI's shrinker smoke test: one
+/// permanent RSW outage (the actual violation) buried under decoy events
+/// the shrinker must strip away. Deterministic — no RNG.
+pub fn known_bad_plan(topo: &Topology, horizon: SimDuration) -> FaultPlan {
+    let rsw0 = topo.racks()[0].rsw;
+    let fabric = fabric_links(topo);
+    let mid = SimTime::from_millis(horizon.as_millis() / 3);
+    let mut plan = FaultPlan::new()
+        // The culprit: rack 0 goes dark early and never recovers.
+        .at(
+            SimTime::from_millis(horizon.as_millis() / 10),
+            FaultKind::SwitchDown(rsw0),
+        )
+        // Decoys: harmless telemetry loss and mild degradations.
+        .at(mid, FaultKind::MirrorLoss { fraction: 0.05 })
+        .at(mid, FaultKind::FbflowLoss { fraction: 0.05 });
+    if let Some(&l) = fabric.first() {
+        plan = plan.at(
+            mid,
+            FaultKind::DegradeLink {
+                link: l,
+                rate_factor: 0.95,
+            },
+        );
+    }
+    if let Some(&l) = fabric.last() {
+        plan = plan.at(
+            mid,
+            FaultKind::GrayLink {
+                link: l,
+                drop_fraction: 0.01,
+            },
+        );
+        plan = plan.at(
+            SimTime::from_millis(horizon.as_millis() / 2),
+            FaultKind::GrayLink {
+                link: l,
+                drop_fraction: 0.0,
+            },
+        );
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{packet_tier_spec, ScenarioScale};
+    use std::sync::Arc;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::build(packet_tier_spec(ScenarioScale::Tiny)).expect("build"))
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let t = topo();
+        let h = SimDuration::from_secs(2);
+        for p in ChaosProfile::builtin() {
+            let a = p.generate(&t, 7, h);
+            let b = p.generate(&t, 7, h);
+            assert_eq!(a, b, "{} must be deterministic", p.name);
+            assert!(!a.is_empty(), "{} must generate events", p.name);
+            a.validate(&t).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let c = p.generate(&t, 8, h);
+            assert_ne!(a, c, "{} must vary with the seed", p.name);
+            for ev in a.events() {
+                assert!(
+                    ev.at < SimTime::ZERO + h,
+                    "{}: event at {:?} outside horizon",
+                    p.name,
+                    ev.at
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selector_resolves_names_and_rejects_unknown() {
+        assert_eq!(
+            ChaosProfile::select("all").expect("all").len(),
+            ChaosProfile::builtin().len()
+        );
+        let two = ChaosProfile::select("gray-core, rack-outage").expect("pair");
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0].name, "gray-core");
+        assert!(ChaosProfile::select("nope").is_err());
+    }
+
+    #[test]
+    fn known_bad_plan_validates_and_keeps_the_culprit_first() {
+        let t = topo();
+        let plan = known_bad_plan(&t, SimDuration::from_secs(2));
+        plan.validate(&t).expect("valid");
+        assert!(plan.len() >= 4, "needs decoys for the shrinker to strip");
+        assert!(matches!(plan.events()[0].kind, FaultKind::SwitchDown(_)));
+    }
+}

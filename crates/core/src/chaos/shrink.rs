@@ -1,0 +1,291 @@
+//! Delta-debugging shrinker for violating fault plans.
+//!
+//! Given a plan whose run violates an SLO, [`shrink_plan`] searches for a
+//! minimal plan that still violates the *same* SLO, re-running the
+//! deterministic engine on each candidate:
+//!
+//! 1. **ddmin** over the event list — drop halves, then quarters, … then
+//!    single events, keeping any subset that still violates;
+//! 2. **severity reduction** — halve gray-drop fractions, pull degraded
+//!    rate factors back toward 1.0, halve flap cycle counts;
+//! 3. **window narrowing** — move each down event's matching up event
+//!    earlier (midpoint bisection), shortening the outage.
+//!
+//! Every candidate run costs one engine execution, so the search is
+//! bounded by `max_runs`; the result is minimal *with respect to the
+//! passes that fit the budget*, which in practice strips decoy events in
+//! well under the default 64 runs.
+
+use serde::{Deserialize, Serialize};
+use sonet_netsim::{FaultEvent, FaultKind, FaultPlan};
+use sonet_util::SimTime;
+
+use super::campaign::{execute_run, ExecConfig, TwinSummary};
+use super::slo::{evaluate, SloSpec};
+use crate::scenario::ScenarioScale;
+
+/// Result of one shrink search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShrinkOutcome {
+    /// The minimal violating plan found.
+    pub plan: FaultPlan,
+    /// Events in the original plan.
+    pub events_before: usize,
+    /// Events in the shrunk plan.
+    pub events_after: usize,
+    /// Engine runs the search spent.
+    pub runs_used: usize,
+}
+
+/// Campaign-report record of a shrink (the plan itself goes to the repro
+/// file; the report carries its identity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShrinkRecord {
+    /// Profile whose run was shrunk.
+    pub profile: String,
+    /// Seed of the violating run.
+    pub seed: u64,
+    /// Plant size of the violating run.
+    pub scale: ScenarioScale,
+    /// The SLO the shrink preserved.
+    pub violated_slo: String,
+    /// Events before shrinking.
+    pub events_before: usize,
+    /// Events after shrinking.
+    pub events_after: usize,
+    /// Engine runs the search spent.
+    pub runs_used: usize,
+    /// Identity of the shrunk plan.
+    pub shrunk_plan_hash: String,
+    /// Repro file name in the campaign output directory (empty when no
+    /// output directory was given).
+    pub repro_file: String,
+}
+
+/// Committed repro-file format: everything needed to re-run a violation
+/// standalone (`sonet chaos --replay FILE`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproFile {
+    /// Repro schema version.
+    pub schema: u32,
+    /// Always `"chaos-repro"`.
+    pub kind: String,
+    /// Profile that generated the original plan.
+    pub profile: String,
+    /// Campaign the violation was found in.
+    pub campaign_id: String,
+    /// Plant size.
+    pub scale: ScenarioScale,
+    /// Workload seed.
+    pub seed: u64,
+    /// Simulated run length in milliseconds.
+    pub duration_ms: u64,
+    /// Workload rate multiplier.
+    pub rate_scale: f64,
+    /// The SLO this plan violates.
+    pub slo: String,
+    /// Identity of `plan`.
+    pub plan_hash: String,
+    /// The minimal violating plan.
+    pub plan: FaultPlan,
+}
+
+impl ReproFile {
+    /// Reads and parses a repro file from disk.
+    pub fn read(path: &std::path::Path) -> Result<ReproFile, String> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::from_str(&body)
+            .map_err(|e| format!("{} is not a chaos repro file: {e}", path.display()))
+    }
+}
+
+fn plan_from(events: &[FaultEvent]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for ev in events {
+        plan = plan.at(ev.at, ev.kind);
+    }
+    plan
+}
+
+/// A bounded test oracle: does this candidate still violate `target`?
+struct Oracle<'a> {
+    exec: &'a ExecConfig,
+    twin: &'a TwinSummary,
+    slo: &'a SloSpec,
+    target: &'a str,
+    runs_used: usize,
+    max_runs: usize,
+}
+
+impl Oracle<'_> {
+    fn violates(&mut self, events: &[FaultEvent]) -> bool {
+        if self.runs_used >= self.max_runs {
+            return false;
+        }
+        self.runs_used += 1;
+        let plan = plan_from(events);
+        match execute_run(self.exec, &plan) {
+            Ok(metrics) => evaluate(self.slo, &metrics, self.twin)
+                .violated()
+                .contains(&self.target),
+            // A candidate that breaks the run outright (invalid plan,
+            // budget) is not a reproduction of the SLO violation.
+            Err(_) => false,
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.runs_used >= self.max_runs
+    }
+}
+
+/// Shrinks `plan` to a minimal plan still violating `target_slo` when run
+/// under `exec`, spending at most `max_runs` engine executions.
+///
+/// The input plan is assumed to violate `target_slo` (the campaign only
+/// shrinks observed violations); if re-execution disagrees the original
+/// plan is returned unshrunk.
+pub fn shrink_plan(
+    exec: &ExecConfig,
+    twin: &TwinSummary,
+    slo: &SloSpec,
+    plan: &FaultPlan,
+    target_slo: &str,
+    max_runs: usize,
+) -> ShrinkOutcome {
+    let original: Vec<FaultEvent> = plan.events().to_vec();
+    let mut oracle = Oracle {
+        exec,
+        twin,
+        slo,
+        target: target_slo,
+        runs_used: 0,
+        max_runs,
+    };
+    let mut current = original.clone();
+
+    // Pass 1: ddmin — remove chunks, halving the chunk size until single
+    // events survive or the run budget is gone.
+    let mut chunk = current.len().div_ceil(2).max(1);
+    while chunk >= 1 && current.len() > 1 && !oracle.exhausted() {
+        let mut i = 0;
+        while i < current.len() && current.len() > 1 && !oracle.exhausted() {
+            let hi = (i + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(i..hi);
+            if !candidate.is_empty() && oracle.violates(&candidate) {
+                current = candidate;
+                // Re-test from the same offset: the list shrank under us.
+            } else {
+                i = hi;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2);
+    }
+
+    // Pass 2: severity reduction on the survivors.
+    for i in 0..current.len() {
+        if oracle.exhausted() {
+            break;
+        }
+        let softened = match current[i].kind {
+            FaultKind::GrayLink {
+                link,
+                drop_fraction,
+            } if drop_fraction > 0.02 => Some(FaultKind::GrayLink {
+                link,
+                drop_fraction: drop_fraction / 2.0,
+            }),
+            FaultKind::DegradeLink { link, rate_factor } if rate_factor < 0.9 => {
+                Some(FaultKind::DegradeLink {
+                    link,
+                    rate_factor: (rate_factor + 1.0) / 2.0,
+                })
+            }
+            FaultKind::FlapLink {
+                link,
+                half_period,
+                cycles,
+            } if cycles > 1 => Some(FaultKind::FlapLink {
+                link,
+                half_period,
+                cycles: cycles / 2,
+            }),
+            _ => None,
+        };
+        if let Some(kind) = softened {
+            let mut candidate = current.clone();
+            candidate[i] = FaultEvent {
+                at: candidate[i].at,
+                kind,
+            };
+            if oracle.violates(&candidate) {
+                current = candidate;
+            }
+        }
+    }
+
+    // Pass 3: window narrowing — pull each recovery event toward its down
+    // event, halving the outage window.
+    for i in 0..current.len() {
+        if oracle.exhausted() {
+            break;
+        }
+        let down_at = current[i].at;
+        let up_idx = match current[i].kind {
+            FaultKind::LinkDown(l) => current
+                .iter()
+                .position(|e| e.at > down_at && e.kind == FaultKind::LinkUp(l)),
+            FaultKind::SwitchDown(s) => current
+                .iter()
+                .position(|e| e.at > down_at && e.kind == FaultKind::SwitchUp(s)),
+            _ => None,
+        };
+        if let Some(j) = up_idx {
+            let up_at = current[j].at;
+            let mid = SimTime::from_nanos((down_at.as_nanos() + up_at.as_nanos()) / 2);
+            if mid > down_at && mid < up_at {
+                let mut candidate = current.clone();
+                candidate[j] = FaultEvent {
+                    at: mid,
+                    kind: candidate[j].kind,
+                };
+                candidate.sort_by_key(|e| e.at);
+                if oracle.violates(&candidate) {
+                    current = candidate;
+                }
+            }
+        }
+    }
+
+    ShrinkOutcome {
+        plan: plan_from(&current),
+        events_before: original.len(),
+        events_after: current.len(),
+        runs_used: oracle.runs_used,
+    }
+}
+
+/// Replays a repro file: returns `Ok(true)` when the recorded SLO
+/// violation reproduces, `Ok(false)` when it does not, `Err` on
+/// infrastructure failure.
+pub fn replay_repro(repro: &ReproFile) -> Result<bool, String> {
+    if repro.kind != "chaos-repro" {
+        return Err(format!("not a chaos repro file (kind={})", repro.kind));
+    }
+    let exec = ExecConfig {
+        scale: repro.scale,
+        seed: repro.seed,
+        duration: sonet_util::SimDuration::from_millis(repro.duration_ms),
+        rate_scale: repro.rate_scale,
+        max_events: None,
+    };
+    let twin = super::campaign::execute_twin(&exec)?;
+    let metrics = execute_run(&exec, &repro.plan)?;
+    let report = evaluate(&SloSpec::default(), &metrics, &twin);
+    Ok(report.violated().contains(&repro.slo.as_str()))
+}

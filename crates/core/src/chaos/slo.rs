@@ -1,0 +1,250 @@
+//! Declarative recovery SLOs.
+//!
+//! Each chaos run is judged against five objectives, all computed from
+//! deterministic simulation outputs (never wall clock):
+//!
+//! | name                | meaning                                            |
+//! |---------------------|----------------------------------------------------|
+//! | `blackhole_ms`      | longest streak of 250 ms windows losing packets to injected faults |
+//! | `fct_p99_inflation` | p99 request latency vs. the fault-free twin run    |
+//! | `abort_fraction`    | aborted connections + failed handshakes per issued call |
+//! | `conservation`      | engine invariant auditor (packet conservation)     |
+//! | `completion_fraction` | requests completed vs. the fault-free twin       |
+
+use serde::{Deserialize, Serialize};
+use sonet_util::SimDuration;
+
+use super::campaign::{RunMetrics, TwinSummary};
+
+/// Limits for the recovery SLOs. All limits are inclusive ("actual ≤
+/// limit passes", or ≥ for floors).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Longest tolerated blackhole streak.
+    pub max_blackhole: SimDuration,
+    /// Highest tolerated p99 latency ratio vs. the fault-free twin.
+    pub max_fct_inflation: f64,
+    /// Highest tolerated (aborts + failed handshakes) / issued calls.
+    pub max_abort_fraction: f64,
+    /// Lowest tolerated completed-requests ratio vs. the fault-free twin.
+    pub min_completion_fraction: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> SloSpec {
+        SloSpec {
+            max_blackhole: SimDuration::from_millis(1_000),
+            max_fct_inflation: 4.0,
+            max_abort_fraction: 0.05,
+            min_completion_fraction: 0.50,
+        }
+    }
+}
+
+/// One evaluated SLO: the measured value, the limit it was held to, and
+/// the verdict. `margin` is `limit - actual` for ceilings and `actual -
+/// limit` for floors, so positive always means headroom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloResult {
+    /// SLO name (stable report key).
+    pub name: String,
+    /// Measured value.
+    pub actual: f64,
+    /// Limit the value was held to.
+    pub limit: f64,
+    /// Headroom (positive = passing with room to spare).
+    pub margin: f64,
+    /// Verdict.
+    pub pass: bool,
+}
+
+impl SloResult {
+    fn ceiling(name: &str, actual: f64, limit: f64) -> SloResult {
+        SloResult {
+            name: name.into(),
+            actual,
+            limit,
+            margin: limit - actual,
+            pass: actual <= limit,
+        }
+    }
+
+    fn floor(name: &str, actual: f64, limit: f64) -> SloResult {
+        SloResult {
+            name: name.into(),
+            actual,
+            limit,
+            margin: actual - limit,
+            pass: actual >= limit,
+        }
+    }
+}
+
+/// The full verdict for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Every SLO, in canonical order.
+    pub results: Vec<SloResult>,
+}
+
+impl SloReport {
+    /// True when every SLO passed.
+    pub fn pass(&self) -> bool {
+        self.results.iter().all(|r| r.pass)
+    }
+
+    /// Names of violated SLOs, in canonical order.
+    pub fn violated(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|r| !r.pass)
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// The violated SLO with the worst (most negative) margin.
+    pub fn worst_violation(&self) -> Option<&SloResult> {
+        self.results
+            .iter()
+            .filter(|r| !r.pass)
+            .min_by(|a, b| a.margin.partial_cmp(&b.margin).expect("finite margins"))
+    }
+}
+
+/// Evaluates `metrics` from a faulted run against `spec`, using `twin`
+/// (the fault-free run at the same seed/scale) as the baseline for the
+/// relative SLOs.
+pub fn evaluate(spec: &SloSpec, metrics: &RunMetrics, twin: &TwinSummary) -> SloReport {
+    let mut results = Vec::with_capacity(5);
+
+    results.push(SloResult::ceiling(
+        "blackhole_ms",
+        metrics.blackhole_ms as f64,
+        spec.max_blackhole.as_millis() as f64,
+    ));
+
+    // Latency inflation needs both sides to have a baseline; a silent twin
+    // (no recorded latencies) makes the ratio 1.0 — degenerate scenarios
+    // should not fail this SLO, they fail the completion floor instead.
+    let inflation = if twin.p99_latency_us > 0 && metrics.p99_latency_us > 0 {
+        metrics.p99_latency_us as f64 / twin.p99_latency_us as f64
+    } else {
+        1.0
+    };
+    results.push(SloResult::ceiling(
+        "fct_p99_inflation",
+        inflation,
+        spec.max_fct_inflation,
+    ));
+
+    let aborts = metrics.aborted_connections + metrics.failed_handshakes;
+    let abort_fraction = aborts as f64 / metrics.issued_calls.max(1) as f64;
+    results.push(SloResult::ceiling(
+        "abort_fraction",
+        abort_fraction,
+        spec.max_abort_fraction,
+    ));
+
+    // The auditor is binary: actual = number of violated invariants.
+    results.push(SloResult::ceiling(
+        "conservation",
+        metrics.audit_violations as f64,
+        0.0,
+    ));
+
+    let completion = metrics.completed_requests as f64 / twin.completed_requests.max(1) as f64;
+    results.push(SloResult::floor(
+        "completion_fraction",
+        completion,
+        spec.min_completion_fraction,
+    ));
+
+    SloReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            issued_calls: 1000,
+            completed_requests: 950,
+            emitted_packets: 10_000,
+            delivered_packets: 9_900,
+            fault_dropped_packets: 100,
+            gray_dropped_packets: 40,
+            reroutes: 3,
+            reroute_failures: 0,
+            aborted_connections: 5,
+            failed_handshakes: 5,
+            p99_latency_us: 2_000,
+            blackhole_ms: 500,
+            audit_violations: 0,
+            processed_events: 123_456,
+        }
+    }
+
+    fn twin() -> TwinSummary {
+        TwinSummary {
+            completed_requests: 1000,
+            p99_latency_us: 1_000,
+            issued_calls: 1000,
+        }
+    }
+
+    #[test]
+    fn healthy_run_passes_all_five() {
+        let report = evaluate(&SloSpec::default(), &metrics(), &twin());
+        assert_eq!(report.results.len(), 5);
+        assert!(report.pass(), "violated: {:?}", report.violated());
+        assert!(report.worst_violation().is_none());
+    }
+
+    #[test]
+    fn each_limit_trips_its_own_slo() {
+        let spec = SloSpec::default();
+        let t = twin();
+
+        let mut m = metrics();
+        m.blackhole_ms = 1_750;
+        assert_eq!(evaluate(&spec, &m, &t).violated(), vec!["blackhole_ms"]);
+
+        let mut m = metrics();
+        m.p99_latency_us = 10_000;
+        assert_eq!(
+            evaluate(&spec, &m, &t).violated(),
+            vec!["fct_p99_inflation"]
+        );
+
+        let mut m = metrics();
+        m.aborted_connections = 100;
+        assert_eq!(evaluate(&spec, &m, &t).violated(), vec!["abort_fraction"]);
+
+        let mut m = metrics();
+        m.audit_violations = 2;
+        assert_eq!(evaluate(&spec, &m, &t).violated(), vec!["conservation"]);
+
+        let mut m = metrics();
+        m.completed_requests = 100;
+        assert_eq!(
+            evaluate(&spec, &m, &t).violated(),
+            vec!["completion_fraction"]
+        );
+    }
+
+    #[test]
+    fn silent_twin_never_trips_latency_inflation() {
+        let spec = SloSpec::default();
+        let mut t = twin();
+        t.p99_latency_us = 0;
+        let report = evaluate(&spec, &metrics(), &t);
+        let lat = report
+            .results
+            .iter()
+            .find(|r| r.name == "fct_p99_inflation")
+            .expect("present");
+        assert!(lat.pass);
+        assert_eq!(lat.actual, 1.0);
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod capture;
+pub mod chaos;
 pub mod fleet_run;
 pub mod lab;
 pub mod render;

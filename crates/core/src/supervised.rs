@@ -303,12 +303,18 @@ fn drive_capture(
     // Flight recorder: run manifest + heartbeat. Strictly write-only side
     // channel — a run behaves identically with this on or off.
     let mut runinfo = obs::on().then(|| {
-        obs::runinfo::RunInfo::start(
+        let mut ri = obs::runinfo::RunInfo::start(
             "capture",
             cfg.seed,
             &serde_json::to_string(&cfg).unwrap_or_default(),
             sonet_util::par::resolve_threads(opts.threads),
-        )
+        );
+        if !cfg.faults.is_empty() {
+            let hash = crate::chaos::plan_hash(&cfg.faults);
+            obs::trace::set_export_meta("fault_plan_hash", hash.clone());
+            ri.fault_plan_hash = Some(hash);
+        }
+        ri
     });
     let runinfo_path = opts.runinfo_path();
     let mut hb = obs::report::Heartbeat::new("capture");

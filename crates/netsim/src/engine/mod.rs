@@ -39,10 +39,10 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Checkpoint format version written by this engine. Version 1 was the
-/// serial engine's single-calendar snapshot; it is not loadable here
-/// (restore from a pre-partitioning checkpoint requires the release that
-/// wrote it).
-const CHECKPOINT_VERSION: u32 = 2;
+/// serial engine's single-calendar snapshot; version 2 predates
+/// gray-failure link state. Neither is loadable here (restoring an old
+/// checkpoint requires the release that wrote it).
+const CHECKPOINT_VERSION: u32 = 3;
 
 /// Window length used when no link crosses partitions (single-datacenter
 /// plants run as one partition and only need *some* finite window).
@@ -165,12 +165,41 @@ pub struct SimOutputs {
     /// Established connections aborted by the consecutive-RTO cap while
     /// their route was broken.
     pub aborted_connections: u64,
+    /// Packets silently eaten by gray links (also counted in the owning
+    /// link's `fault_drop_*`, so conservation still balances).
+    pub gray_dropped_packets: u64,
     /// End-to-end request latencies (request issue → response fully
     /// received, or → request fully received for one-way messages), when
     /// [`Simulator::record_latencies`] was enabled.
     pub rpc_latencies: Vec<SimDuration>,
     /// Final simulation clock.
     pub ended_at: SimTime,
+}
+
+/// Snapshot of the engine's running totals, readable mid-run between run
+/// calls via [`Simulator::live_counters`]. Window-to-window *deltas* of
+/// these are what the chaos recovery SLOs are defined over.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveCounters {
+    /// Packets handed to the network so far.
+    pub emitted_packets: u64,
+    /// Packets delivered to hosts so far.
+    pub delivered_packets: u64,
+    /// Application messages fully arrived at servers so far.
+    pub completed_requests: u64,
+    /// Packets lost to injected faults so far (dead links/switches plus
+    /// gray-link drops).
+    pub fault_dropped_packets: u64,
+    /// The gray-link subset of `fault_dropped_packets`.
+    pub gray_dropped_packets: u64,
+    /// Endpoints re-hashed onto a healthy path so far.
+    pub reroutes: u64,
+    /// Endpoints left on a dead path (no healthy alternative) so far.
+    pub reroute_failures: u64,
+    /// Handshakes abandoned after the SYN retry cap so far.
+    pub failed_handshakes: u64,
+    /// Established connections aborted by the RTO cap so far.
+    pub aborted_connections: u64,
 }
 
 /// Barrier/throughput counters for the partitioned execution, for bench
@@ -397,6 +426,47 @@ impl<T: PacketTap> Simulator<T> {
                     )));
                 }
             }
+            FaultKind::GrayLink {
+                link,
+                drop_fraction,
+            } => {
+                if link.index() >= n_links {
+                    return Err(SimError::Config(format!("{link} is out of range")));
+                }
+                if !(0.0..=1.0).contains(&drop_fraction) {
+                    return Err(SimError::Config(format!(
+                        "gray drop fraction {drop_fraction} outside [0, 1]"
+                    )));
+                }
+            }
+            FaultKind::FlapLink {
+                link,
+                half_period,
+                cycles,
+            } => {
+                if link.index() >= n_links {
+                    return Err(SimError::Config(format!("{link} is out of range")));
+                }
+                if half_period.as_nanos() == 0 {
+                    return Err(SimError::Config("flap half-period must be positive".into()));
+                }
+                if cycles == 0 || cycles > crate::faults::MAX_FLAP_CYCLES {
+                    return Err(SimError::Config(format!(
+                        "flap cycles {cycles} outside 1..={}",
+                        crate::faults::MAX_FLAP_CYCLES
+                    )));
+                }
+                // Expand the flap into primitive down/up events so every
+                // replica (and every checkpoint) sees only the kinds the
+                // fault handler applies directly.
+                for c in 0..cycles as u64 {
+                    let down_at = at + half_period * (2 * c);
+                    let up_at = at + half_period * (2 * c + 1);
+                    self.inject_fault(down_at, FaultKind::LinkDown(link))?;
+                    self.inject_fault(up_at, FaultKind::LinkUp(link))?;
+                }
+                return Ok(());
+            }
             _ => {}
         }
         // Replicate to every partition: each applies the fault to its own
@@ -426,6 +496,37 @@ impl<T: PacketTap> Simulator<T> {
     pub fn link_counters(&self, link: LinkId) -> LinkCounters {
         let owner = self.shared.pmap.part_of_link[link.index()] as usize;
         self.parts[owner].link_counters[link.index()]
+    }
+
+    /// Live engine totals, observable between run calls (at a barrier, the
+    /// only time the public API can see the engine). Deterministic at any
+    /// worker width; the chaos SLO evaluator polls these per window to
+    /// measure blackhole durations and recovery.
+    pub fn live_counters(&self) -> LiveCounters {
+        let sum = |f: fn(&part::Counters) -> u64| -> u64 {
+            self.parts.iter().map(|p| f(&p.counters)).sum()
+        };
+        // Per-link state is only ever touched by its owner; every other
+        // partition's entry stays zero, so summing all replicas is exact.
+        let mut fault_dropped_packets = 0;
+        for p in &self.parts {
+            fault_dropped_packets += p
+                .link_counters
+                .iter()
+                .map(|c| c.fault_drop_packets)
+                .sum::<u64>();
+        }
+        LiveCounters {
+            emitted_packets: sum(|c| c.emitted_packets),
+            delivered_packets: sum(|c| c.delivered_packets),
+            completed_requests: sum(|c| c.completed_requests),
+            fault_dropped_packets,
+            gray_dropped_packets: sum(|c| c.gray_dropped_packets),
+            reroutes: sum(|c| c.reroutes),
+            reroute_failures: sum(|c| c.reroute_failures),
+            failed_handshakes: sum(|c| c.failed_handshakes),
+            aborted_connections: sum(|c| c.aborted_connections),
+        }
     }
 
     /// Enables end-to-end RPC latency recording (one sample per completed
@@ -858,6 +959,7 @@ impl<T: PacketTap> Simulator<T> {
             reroute_failures: sum(|c| c.reroute_failures),
             failed_handshakes: sum(|c| c.failed_handshakes),
             aborted_connections: sum(|c| c.aborted_connections),
+            gray_dropped_packets: sum(|c| c.gray_dropped_packets),
             rpc_latencies: std::mem::take(&mut self.coord.latencies),
             ended_at: self.coord.now,
         };
@@ -904,6 +1006,7 @@ fn record_window_metrics(
         sum(|c| c.messages_on_closed)
     );
     obs::gauge_set!("engine.drop.reroute_failures", sum(|c| c.reroute_failures));
+    obs::gauge_set!("engine.drop.gray_packets", sum(|c| c.gray_dropped_packets));
     obs::gauge_set!(
         "engine.drop.aborted_connections",
         sum(|c| c.aborted_connections)
@@ -1072,6 +1175,8 @@ pub struct EngineCheckpoint {
     link_backlog: Vec<u64>,
     link_counters: Vec<LinkCounters>,
     link_rate_factor: Vec<f64>,
+    link_gray: Vec<f64>,
+    link_gray_seq: Vec<u64>,
     health: LinkHealth,
     watched: Vec<bool>,
     util_tracked: Vec<bool>,
@@ -1092,6 +1197,7 @@ pub struct EngineCheckpoint {
     reroute_failures: u64,
     failed_handshakes: u64,
     aborted_connections: u64,
+    gray_dropped_packets: u64,
     record_latencies: bool,
     latencies: Vec<SimDuration>,
     processed_events: u64,
@@ -1156,6 +1262,8 @@ impl<T: PacketTap> Simulator<T> {
         let mut link_backlog = vec![0u64; n_links];
         let mut link_counters = vec![LinkCounters::default(); n_links];
         let mut link_rate_factor = vec![1.0f64; n_links];
+        let mut link_gray = vec![0.0f64; n_links];
+        let mut link_gray_seq = vec![0u64; n_links];
         let mut util_series = Vec::new();
         for li in 0..n_links {
             let owner = &self.parts[sh.pmap.part_of_link[li] as usize];
@@ -1163,6 +1271,8 @@ impl<T: PacketTap> Simulator<T> {
             link_backlog[li] = owner.link_backlog[li];
             link_counters[li] = owner.link_counters[li];
             link_rate_factor[li] = owner.link_rate_factor[li];
+            link_gray[li] = owner.link_gray[li];
+            link_gray_seq[li] = owner.link_gray_seq[li];
             if sh.util_tracked[li] {
                 util_series.push((LinkId(li as u32), owner.util_series[li].clone()));
             }
@@ -1212,6 +1322,8 @@ impl<T: PacketTap> Simulator<T> {
             link_backlog,
             link_counters,
             link_rate_factor,
+            link_gray,
+            link_gray_seq,
             health: self.parts[0].health.clone(),
             watched: sh.watched.clone(),
             util_tracked: sh.util_tracked.clone(),
@@ -1230,6 +1342,7 @@ impl<T: PacketTap> Simulator<T> {
             reroute_failures: sum(|c| c.reroute_failures),
             failed_handshakes: sum(|c| c.failed_handshakes),
             aborted_connections: sum(|c| c.aborted_connections),
+            gray_dropped_packets: sum(|c| c.gray_dropped_packets),
             record_latencies: sh.record_latencies,
             latencies: self.coord.latencies.clone(),
             processed_events: self.processed_events(),
@@ -1264,6 +1377,8 @@ impl<T: PacketTap> Simulator<T> {
             || ckpt.link_backlog.len() != n_links
             || ckpt.link_counters.len() != n_links
             || ckpt.link_rate_factor.len() != n_links
+            || ckpt.link_gray.len() != n_links
+            || ckpt.link_gray_seq.len() != n_links
             || ckpt.watched.len() != n_links
             || ckpt.util_tracked.len() != n_links
         {
@@ -1367,6 +1482,8 @@ impl<T: PacketTap> Simulator<T> {
             sim.parts[owner].link_backlog[li] = ckpt.link_backlog[li];
             sim.parts[owner].link_counters[li] = ckpt.link_counters[li];
             sim.parts[owner].link_rate_factor[li] = ckpt.link_rate_factor[li];
+            sim.parts[owner].link_gray[li] = ckpt.link_gray[li];
+            sim.parts[owner].link_gray_seq[li] = ckpt.link_gray_seq[li];
         }
         for si in 0..n_switches {
             let owner = sh.pmap.part_of_switch[si] as usize;
@@ -1494,6 +1611,7 @@ impl<T: PacketTap> Simulator<T> {
             reroute_failures: ckpt.reroute_failures,
             failed_handshakes: ckpt.failed_handshakes,
             aborted_connections: ckpt.aborted_connections,
+            gray_dropped_packets: ckpt.gray_dropped_packets,
         };
         sim.parts[0].processed_events = ckpt.processed_events;
         for p in &mut sim.parts {

@@ -256,6 +256,7 @@ pub(crate) struct Counters {
     pub reroute_failures: u64,
     pub failed_handshakes: u64,
     pub aborted_connections: u64,
+    pub gray_dropped_packets: u64,
 }
 
 /// Per-partition buffer occupancy sampler over the switches this
@@ -307,6 +308,13 @@ pub(crate) struct Partition {
     pub link_backlog: Vec<u64>,
     pub link_counters: Vec<LinkCounters>,
     pub link_rate_factor: Vec<f64>,
+    /// Gray-failure drop fraction per link (0.0 = healthy). Unlike the
+    /// health mask this is invisible to routing — that is the point.
+    pub link_gray: Vec<f64>,
+    /// Per-link count of packets offered to a gray link so far: the
+    /// deterministic sequence number feeding the drop decision. Only the
+    /// link's owner advances it, so it is width-independent.
+    pub link_gray_seq: Vec<u64>,
     /// Replica of the fault-health state. Every partition processes the
     /// same fault schedule in the same key order, so replicas agree at
     /// every barrier.
@@ -354,6 +362,8 @@ impl Partition {
             link_backlog: vec![0; n_links],
             link_counters: vec![LinkCounters::default(); n_links],
             link_rate_factor: vec![1.0; n_links],
+            link_gray: vec![0.0; n_links],
+            link_gray_seq: vec![0; n_links],
             health: LinkHealth::new(&sh.topo),
             switch_occ: vec![0; n_switches],
             util_series: vec![Vec::new(); n_links],
@@ -523,6 +533,22 @@ impl Partition {
             self.link_counters[li].fault_drop_bytes += w as u64;
             self.link_counters[li].fault_drop_packets += 1;
             return;
+        }
+
+        // A gray link looks healthy to routing (ECMP keeps using it) but
+        // silently eats a deterministic pseudo-random fraction of offered
+        // packets. The per-link offer counter — not an RNG stream — feeds
+        // the decision, so it is identical at every worker width.
+        let gray = self.link_gray[li];
+        if gray > 0.0 {
+            let seq = self.link_gray_seq[li];
+            self.link_gray_seq[li] = seq + 1;
+            if gray_drop(li as u64, seq, gray) {
+                self.link_counters[li].fault_drop_bytes += w as u64;
+                self.link_counters[li].fault_drop_packets += 1;
+                self.counters.gray_dropped_packets += 1;
+                return;
+            }
         }
 
         // Shared-buffer admission at switch egress.
@@ -1051,9 +1077,18 @@ impl Partition {
             FaultKind::DegradeLink { link, rate_factor } => {
                 self.link_rate_factor[link.index()] = rate_factor;
             }
-            // Telemetry faults never reach the engine (inject_fault
+            FaultKind::GrayLink {
+                link,
+                drop_fraction,
+            } => {
+                self.link_gray[link.index()] = drop_fraction;
+            }
+            // Flaps are expanded into LinkDown/LinkUp at injection time
+            // and telemetry faults never reach the engine (inject_fault
             // rejects them); keep the match exhaustive without panicking.
-            FaultKind::MirrorLoss { .. } | FaultKind::FbflowLoss { .. } => {}
+            FaultKind::FlapLink { .. }
+            | FaultKind::MirrorLoss { .. }
+            | FaultKind::FbflowLoss { .. } => {}
         }
     }
 
@@ -1279,4 +1314,22 @@ impl Partition {
         }
         self.buf_sampler = Some(sampler);
     }
+}
+
+/// The gray-failure drop decision for the `seq`-th packet offered to
+/// `link` under drop fraction `fraction`. A splitmix64-style mix of
+/// (link, seq) — pure data, no RNG stream, no shared state — so the
+/// decision sequence is identical at every worker width and across
+/// checkpoint/restore (the per-link counter is checkpointed).
+pub(crate) fn gray_drop(link: u64, seq: u64, fraction: f64) -> bool {
+    let mut z = link
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seq)
+        .wrapping_add(0x243f_6a88_85a3_08d3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // 53 uniform mantissa bits → [0, 1); strict `<` keeps fraction 0.0
+    // lossless and 1.0 total.
+    ((z >> 11) as f64 / (1u64 << 53) as f64) < fraction
 }

@@ -1009,7 +1009,7 @@ fn checkpoint_restore_preserves_counters_and_clock() {
 
 #[test]
 fn engine_checkpoint_serialization_is_stable() {
-    // Regression guard for the version-2 partitioned checkpoint: same
+    // Regression guard for the version-3 partitioned checkpoint: same
     // top-level field order on every run, `util_series` as link-sorted
     // `(LinkId, bins)` pairs covering every tracked link, and the
     // version tag leading the record.
@@ -1052,6 +1052,8 @@ fn engine_checkpoint_serialization_is_stable() {
         "link_backlog",
         "link_counters",
         "link_rate_factor",
+        "link_gray",
+        "link_gray_seq",
         "health",
         "watched",
         "util_tracked",
@@ -1070,6 +1072,7 @@ fn engine_checkpoint_serialization_is_stable() {
         "reroute_failures",
         "failed_handshakes",
         "aborted_connections",
+        "gray_dropped_packets",
         "record_latencies",
         "latencies",
         "processed_events",
@@ -1082,7 +1085,7 @@ fn engine_checkpoint_serialization_is_stable() {
             .unwrap_or_else(|| panic!("field {key} missing or out of order"));
         cursor += at + needle.len();
     }
-    assert!(json.starts_with("{\"version\":2,"), "version must lead");
+    assert!(json.starts_with("{\"version\":3,"), "version must lead");
 
     // util_series value shape: exactly the tracked links, ascending.
     let listed: Vec<LinkId> = ckpt.util_series.iter().map(|(l, _)| *l).collect();
@@ -1264,7 +1267,7 @@ fn restore_rejects_foreign_version() {
     let mut sim = busy_sim(&topo);
     sim.run_until(SimTime::from_micros(500));
     let json = serde_json::to_string(&sim.checkpoint()).expect("serialize");
-    let forged = json.replacen("{\"version\":2,", "{\"version\":1,", 1);
+    let forged = json.replacen("{\"version\":3,", "{\"version\":2,", 1);
     assert_ne!(json, forged, "the version tag must be present to forge");
     let ckpt: EngineCheckpoint = serde_json::from_str(&forged).expect("parse");
     match Simulator::restore(Arc::clone(&topo), NullTap, ckpt) {
@@ -1438,4 +1441,127 @@ fn run_until_step_size_is_unobservable_under_aborts() {
         serde_json::to_string(&b).expect("json"),
         "step size leaked into outputs when aborts cross the barrier"
     );
+}
+
+#[test]
+fn gray_link_drops_fraction_without_touching_routing() {
+    let topo = two_cluster_topo();
+    let a = topo.racks()[0].hosts[0];
+    let b = topo.racks()[1].hosts[0];
+    let uplink = topo.host_uplink(a);
+
+    let run = |gray: f64| {
+        let mut sim =
+            Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("valid config");
+        if gray > 0.0 {
+            sim.inject_fault(
+                SimTime::ZERO,
+                FaultKind::GrayLink {
+                    link: uplink,
+                    drop_fraction: gray,
+                },
+            )
+            .expect("inject");
+        }
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        for i in 0..20 {
+            sim.send_message(conn, SimTime::from_millis(i), 20_000, 0, SimDuration::ZERO)
+                .expect("send");
+        }
+        sim.run_to_quiescence();
+        sim.audit().expect("conservation holds under gray loss");
+        let (outputs, _) = sim.finish();
+        outputs
+    };
+
+    let healthy = run(0.0);
+    assert_eq!(healthy.gray_dropped_packets, 0);
+
+    let gray = run(0.3);
+    assert!(gray.gray_dropped_packets > 0, "gray link ate packets");
+    // Gray drops ride the fault-drop counters for conservation.
+    let fault_drops: u64 = gray
+        .link_counters
+        .iter()
+        .map(|c| c.fault_drop_packets)
+        .sum();
+    assert_eq!(fault_drops, gray.gray_dropped_packets);
+    // The control plane never saw a fault: nothing rerouted.
+    assert_eq!(gray.reroutes, 0);
+    assert_eq!(gray.reroute_failures, 0);
+    // Transports still completed everything via retransmission.
+    assert_eq!(gray.completed_requests, healthy.completed_requests);
+
+    // Deterministic: same plan, same drops.
+    let again = run(0.3);
+    assert_eq!(again.gray_dropped_packets, gray.gray_dropped_packets);
+    assert_eq!(again.delivered_packets, gray.delivered_packets);
+}
+
+#[test]
+fn flap_expands_into_down_up_train() {
+    let topo = two_cluster_topo();
+    let a = topo.racks()[0].hosts[0];
+    let b = topo.racks()[1].hosts[0];
+    let uplink = topo.host_uplink(a);
+    let mut sim =
+        Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("valid config");
+    sim.inject_fault(
+        SimTime::from_millis(1),
+        FaultKind::FlapLink {
+            link: uplink,
+            half_period: SimDuration::from_millis(2),
+            cycles: 3,
+        },
+    )
+    .expect("inject");
+    let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+    for i in 0..10 {
+        sim.send_message(conn, SimTime::from_millis(i), 5_000, 0, SimDuration::ZERO)
+            .expect("send");
+    }
+    sim.run_to_quiescence();
+    sim.audit().expect("conservation holds under flaps");
+    let (outputs, _) = sim.finish();
+    // 3 cycles → 6 primitive down/up fault events applied.
+    assert_eq!(outputs.faults_applied, 6);
+    assert!(outputs.delivered_packets > 0);
+    // After the final up the link works again; the health mask is clean.
+}
+
+#[test]
+fn flap_validation_rejects_degenerate_trains() {
+    let topo = two_cluster_topo();
+    let mut sim =
+        Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap).expect("valid config");
+    let uplink = topo.host_uplink(topo.racks()[0].hosts[0]);
+    assert!(sim
+        .inject_fault(
+            SimTime::ZERO,
+            FaultKind::FlapLink {
+                link: uplink,
+                half_period: SimDuration::ZERO,
+                cycles: 1,
+            },
+        )
+        .is_err());
+    assert!(sim
+        .inject_fault(
+            SimTime::ZERO,
+            FaultKind::FlapLink {
+                link: uplink,
+                half_period: SimDuration::from_millis(1),
+                cycles: 0,
+            },
+        )
+        .is_err());
+    assert!(sim
+        .inject_fault(
+            SimTime::ZERO,
+            FaultKind::GrayLink {
+                link: uplink,
+                drop_fraction: -0.1,
+            },
+        )
+        .is_err());
 }

@@ -18,6 +18,10 @@ use serde::{Deserialize, Serialize};
 use sonet_topology::{LinkId, SwitchId, SwitchKind, Topology};
 use sonet_util::{Rng, SimDuration, SimTime};
 
+/// Upper bound on [`FaultKind::FlapLink`] cycles — each cycle expands to
+/// two calendar events, so the cap bounds plan-to-calendar blowup.
+pub const MAX_FLAP_CYCLES: u32 = 1000;
+
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -36,6 +40,30 @@ pub enum FaultKind {
         link: LinkId,
         /// Multiplier on the nominal line rate.
         rate_factor: f64,
+    },
+    /// A *gray* failure: the link stays up as far as routing is concerned
+    /// (ECMP keeps hashing flows onto it, `route_healthy` never avoids
+    /// it), but it silently eats this fraction of the packets offered to
+    /// it. 0.0 heals the link. The defining property of a gray failure is
+    /// that the control plane cannot see it — only transports bleed.
+    GrayLink {
+        /// The gray link.
+        link: LinkId,
+        /// Fraction of offered packets silently dropped, in `[0, 1]`.
+        drop_fraction: f64,
+    },
+    /// A flapping link: starting at the event time the link goes down,
+    /// comes back `half_period` later, and repeats for `cycles`
+    /// down/up trains. The engine expands the flap into plain
+    /// `LinkDown`/`LinkUp` events at injection time, so checkpoints and
+    /// replicas only ever see the primitive kinds.
+    FlapLink {
+        /// The flapping link.
+        link: LinkId,
+        /// Time spent in each down (and each up) state.
+        half_period: SimDuration,
+        /// Number of down/up cycles (≥ 1).
+        cycles: u32,
     },
     /// The port-mirror capture path starts dropping this fraction of
     /// packets (counted as losses; 0.0 restores full fidelity).
@@ -144,6 +172,34 @@ impl FaultPlan {
                     }
                     if !(rate_factor > 0.0 && rate_factor <= 1.0) {
                         return Err(format!("rate factor {rate_factor} outside (0, 1]"));
+                    }
+                }
+                FaultKind::GrayLink {
+                    link,
+                    drop_fraction,
+                } => {
+                    if link.index() >= n_links {
+                        return Err(format!("{link} is out of range ({n_links} links)"));
+                    }
+                    if !(0.0..=1.0).contains(&drop_fraction) {
+                        return Err(format!("gray drop fraction {drop_fraction} outside [0, 1]"));
+                    }
+                }
+                FaultKind::FlapLink {
+                    link,
+                    half_period,
+                    cycles,
+                } => {
+                    if link.index() >= n_links {
+                        return Err(format!("{link} is out of range ({n_links} links)"));
+                    }
+                    if half_period.as_nanos() == 0 {
+                        return Err("flap half-period must be positive".into());
+                    }
+                    if cycles == 0 || cycles > MAX_FLAP_CYCLES {
+                        return Err(format!(
+                            "flap cycles {cycles} outside 1..={MAX_FLAP_CYCLES}"
+                        ));
                     }
                 }
                 FaultKind::MirrorLoss { fraction } | FaultKind::FbflowLoss { fraction } => {
@@ -278,6 +334,54 @@ mod tests {
         let bad_fraction =
             FaultPlan::new().at(SimTime::ZERO, FaultKind::MirrorLoss { fraction: 1.5 });
         assert!(bad_fraction.validate(&t).is_err());
+    }
+
+    #[test]
+    fn validation_covers_gray_and_flap_kinds() {
+        let t = topo();
+        let ok = FaultPlan::new()
+            .at(
+                SimTime::ZERO,
+                FaultKind::GrayLink {
+                    link: LinkId(0),
+                    drop_fraction: 0.3,
+                },
+            )
+            .at(
+                SimTime::from_millis(1),
+                FaultKind::FlapLink {
+                    link: LinkId(1),
+                    half_period: SimDuration::from_millis(100),
+                    cycles: 3,
+                },
+            );
+        assert!(ok.validate(&t).is_ok());
+        let bad_gray = FaultPlan::new().at(
+            SimTime::ZERO,
+            FaultKind::GrayLink {
+                link: LinkId(0),
+                drop_fraction: 1.5,
+            },
+        );
+        assert!(bad_gray.validate(&t).is_err());
+        let bad_flap_period = FaultPlan::new().at(
+            SimTime::ZERO,
+            FaultKind::FlapLink {
+                link: LinkId(0),
+                half_period: SimDuration::from_nanos(0),
+                cycles: 1,
+            },
+        );
+        assert!(bad_flap_period.validate(&t).is_err());
+        let bad_flap_cycles = FaultPlan::new().at(
+            SimTime::ZERO,
+            FaultKind::FlapLink {
+                link: LinkId(0),
+                half_period: SimDuration::from_millis(1),
+                cycles: 0,
+            },
+        );
+        assert!(bad_flap_cycles.validate(&t).is_err());
     }
 
     #[test]

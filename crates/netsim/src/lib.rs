@@ -42,9 +42,9 @@ pub mod tap;
 
 pub use config::{BufferConfig, SimConfig};
 pub use engine::{
-    AuditReport, AuditViolation, BufferWindowStat, EngineCheckpoint, LinkCounters, ParallelStats,
-    SimError, SimOutputs, Simulator,
+    AuditReport, AuditViolation, BufferWindowStat, EngineCheckpoint, LinkCounters, LiveCounters,
+    ParallelStats, SimError, SimOutputs, Simulator,
 };
-pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, MAX_FLAP_CYCLES};
 pub use packet::{ConnId, Dir, FlowKey, Packet, PacketKind};
 pub use tap::{NullTap, PacketTap};

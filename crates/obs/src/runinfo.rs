@@ -35,6 +35,12 @@ pub struct RunInfo {
     pub obs_mode: String,
     /// Git revision of the working tree, best-effort.
     pub git_rev: Option<String>,
+    /// FNV-1a 64 hash (hex, `f`-prefixed) of the active fault plan's
+    /// canonical JSON, when the run injected faults.
+    pub fault_plan_hash: Option<String>,
+    /// Chaos-campaign identity (`c`-prefixed config hash) when the run
+    /// was part of a campaign.
+    pub campaign_id: Option<String>,
     /// `completed`, `stopped: <reason>`, or `failed: <reason>`.
     pub status: String,
     /// Wall-clock seconds from [`RunInfo::start`] to the final write.
@@ -68,6 +74,8 @@ impl RunInfo {
             threads,
             obs_mode: crate::mode().name().to_owned(),
             git_rev: git_rev(),
+            fault_plan_hash: None,
+            campaign_id: None,
             status: "running".to_owned(),
             wall_secs: 0.0,
             cpu_secs: None,

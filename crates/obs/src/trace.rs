@@ -160,6 +160,27 @@ pub fn dropped() -> u64 {
     buffer().dropped.load(Ordering::Relaxed)
 }
 
+/// Run-attribution metadata merged into the Chrome trace's `otherData`
+/// block (fault-plan hash, campaign id, …).
+fn export_meta() -> &'static Mutex<BTreeMap<&'static str, String>> {
+    static META: OnceLock<Mutex<BTreeMap<&'static str, String>>> = OnceLock::new();
+    META.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Attaches a key/value to the Chrome trace export's `otherData` block,
+/// so a trace file is attributable on its own (e.g. `fault_plan_hash`,
+/// `campaign_id`). Last write per key wins; inert when observability is
+/// off.
+pub fn set_export_meta(key: &'static str, value: impl Into<String>) {
+    if !crate::on() {
+        return;
+    }
+    export_meta()
+        .lock()
+        .expect("trace meta poisoned")
+        .insert(key, value.into());
+}
+
 /// Total wall time per phase-span name, in seconds — the `phases` block
 /// of `RUNINFO.json`. Window spans are excluded (they nest inside
 /// phases and would double-count).
@@ -219,7 +240,11 @@ pub fn export_chrome(path: &Path) -> std::io::Result<usize> {
             })
             .collect(),
         displayTimeUnit: "ms",
-        otherData: BTreeMap::from([("dropped_spans", dropped().to_string())]),
+        otherData: {
+            let mut other = export_meta().lock().expect("trace meta poisoned").clone();
+            other.insert("dropped_spans", dropped().to_string());
+            other
+        },
     };
     let json = serde_json::to_string(&trace).expect("trace serializes");
     let mut f = std::fs::File::create(path)?;

@@ -1,0 +1,153 @@
+//! Correlated-failure domains.
+//!
+//! The 4-post plant of §3.1 fails in *correlated* units, not one link at a
+//! time: an RSW reboot takes a whole rack dark, a bad CSW line card degrades
+//! a quarter of a cluster's uplink capacity, and an FC-layer event touches
+//! every cluster in the building. This module enumerates those blast radii
+//! as [`FailureDomain`] values so fault generators (the chaos profile
+//! grammar in `sonet-core`) can compose *realistic* correlated outages
+//! instead of independent per-link coin flips.
+//!
+//! A domain names the set of switches that share fate; callers turn that
+//! into `SwitchDown`/`SwitchUp` fault events. Host access links are never
+//! part of a domain — the paper's resilience argument is about the switch
+//! fabric, and a dead host NIC is a workload concern, not a network one.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::SwitchKind;
+use crate::ids::SwitchId;
+use crate::ids::{ClusterId, DatacenterId, RackId};
+use crate::topology::Topology;
+
+/// A unit of correlated switch failure in the 4-post plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FailureDomain {
+    /// One rack's top-of-rack switch: every host in the rack loses the
+    /// fabric at once (the classic "rack power event").
+    Rack(RackId),
+    /// One cluster's CSW bank — the "pod". Taking the whole bank down
+    /// black-holes inter-rack traffic for the cluster; taking a strict
+    /// subset models partial pod degradation.
+    Pod(ClusterId),
+    /// One datacenter's Fat Cat aggregation layer: inter-cluster traffic
+    /// inside the building shares fate with these switches.
+    Spine(DatacenterId),
+}
+
+impl FailureDomain {
+    /// The switches that share fate in this domain, in id order.
+    pub fn switches(&self, topo: &Topology) -> Vec<SwitchId> {
+        match *self {
+            FailureDomain::Rack(r) => vec![topo.rack(r).rsw],
+            FailureDomain::Pod(c) => topo.cluster(c).csws.to_vec(),
+            FailureDomain::Spine(d) => topo.datacenters()[d.index()].fcs.clone(),
+        }
+    }
+
+    /// Number of hosts whose connectivity the domain can affect — the
+    /// blast radius used to weight domain selection and to size SLO
+    /// expectations.
+    pub fn blast_radius(&self, topo: &Topology) -> usize {
+        match *self {
+            FailureDomain::Rack(r) => topo.rack(r).hosts.len(),
+            FailureDomain::Pod(c) => topo
+                .cluster(c)
+                .racks
+                .iter()
+                .map(|&r| topo.rack(r).hosts.len())
+                .sum(),
+            FailureDomain::Spine(d) => topo.datacenters()[d.index()]
+                .clusters
+                .iter()
+                .flat_map(|&c| topo.cluster(c).racks.iter())
+                .map(|&r| topo.rack(r).hosts.len())
+                .sum(),
+        }
+    }
+
+    /// Stable human-readable tag for reports and repro files.
+    pub fn label(&self) -> String {
+        match *self {
+            FailureDomain::Rack(r) => format!("rack{}", r.index()),
+            FailureDomain::Pod(c) => format!("pod{}", c.index()),
+            FailureDomain::Spine(d) => format!("spine{}", d.index()),
+        }
+    }
+}
+
+/// Every failure domain in the topology: all racks, then all pods, then all
+/// spines, each in id order. Deterministic, so seeded generators can index
+/// into the list.
+pub fn enumerate_domains(topo: &Topology) -> Vec<FailureDomain> {
+    let mut out =
+        Vec::with_capacity(topo.racks().len() + topo.clusters().len() + topo.datacenters().len());
+    out.extend((0..topo.racks().len()).map(|i| FailureDomain::Rack(RackId::from(i))));
+    out.extend((0..topo.clusters().len()).map(|i| FailureDomain::Pod(ClusterId::from(i))));
+    out.extend((0..topo.datacenters().len()).map(|i| FailureDomain::Spine(DatacenterId::from(i))));
+    out
+}
+
+/// Sanity cross-check: every switch a domain claims really has the kind
+/// the domain implies. Used by tests and the chaos generator's debug
+/// assertions.
+pub fn domain_kind_consistent(topo: &Topology, domain: &FailureDomain) -> bool {
+    let want = match domain {
+        FailureDomain::Rack(_) => SwitchKind::Rsw,
+        FailureDomain::Pod(_) => SwitchKind::Csw,
+        FailureDomain::Spine(_) => SwitchKind::Fc,
+    };
+    domain
+        .switches(topo)
+        .iter()
+        .all(|&s| topo.switches()[s.index()].kind == want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterSpec, TopologySpec};
+    use std::sync::Arc;
+
+    fn topo() -> Arc<Topology> {
+        Topology::build(TopologySpec::single_dc(vec![
+            ClusterSpec::frontend(8, 4),
+            ClusterSpec::hadoop(4, 4),
+        ]))
+        .expect("valid spec")
+        .into()
+    }
+
+    #[test]
+    fn enumeration_covers_every_level_in_order() {
+        let t = topo();
+        let domains = enumerate_domains(&t);
+        assert_eq!(
+            domains.len(),
+            t.racks().len() + t.clusters().len() + t.datacenters().len()
+        );
+        // Racks first, in id order.
+        assert_eq!(domains[0], FailureDomain::Rack(RackId::from(0usize)));
+        let pods = domains
+            .iter()
+            .filter(|d| matches!(d, FailureDomain::Pod(_)))
+            .count();
+        assert_eq!(pods, t.clusters().len());
+        for d in &domains {
+            assert!(domain_kind_consistent(&t, d), "{} wrong kind", d.label());
+        }
+    }
+
+    #[test]
+    fn blast_radius_orders_levels() {
+        let t = topo();
+        let rack = FailureDomain::Rack(RackId::from(0usize));
+        let pod = FailureDomain::Pod(ClusterId::from(0usize));
+        let spine = FailureDomain::Spine(DatacenterId::from(0usize));
+        assert!(rack.blast_radius(&t) < pod.blast_radius(&t));
+        assert!(pod.blast_radius(&t) <= spine.blast_radius(&t));
+        assert_eq!(rack.switches(&t).len(), 1);
+        assert_eq!(pod.switches(&t).len(), 4);
+        assert!(!spine.switches(&t).is_empty());
+    }
+}

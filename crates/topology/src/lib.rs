@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domains;
 pub mod fabric;
 pub mod graph;
 pub mod health;
@@ -31,6 +32,7 @@ pub mod role;
 pub mod spec;
 pub mod topology;
 
+pub use domains::{domain_kind_consistent, enumerate_domains, FailureDomain};
 pub use fabric::fabric_like_spec;
 pub use graph::{Link, LinkId, Node, Switch, SwitchKind};
 pub use health::LinkHealth;

@@ -451,43 +451,41 @@ impl Workload {
         let at = at.max(sim.now());
         match pattern.pool {
             PoolMode::Pooled => {
-                let conn = {
-                    let agent = &mut self.agents[ai];
-                    self.pool.get_one_of(
-                        sim,
-                        at,
-                        src,
-                        dst,
-                        port,
-                        pattern.pool_width,
-                        &mut agent.rng,
-                    )?
-                };
-                match sim.send_message(conn, at, req, resp, service) {
-                    Ok(()) => {}
-                    Err(SimError::ConnClosed(_)) => {
-                        // The engine aborted this pooled connection under
-                        // us (a fault made its server unreachable, or the
-                        // handshake gave up). Evict the dead 5-tuple and
-                        // retry once on a fresh connection — degraded
-                        // service, not a wedged workload.
-                        self.pool.evict(src, dst, port, conn);
-                        self.reopened_conns += 1;
-                        let conn = {
-                            let agent = &mut self.agents[ai];
-                            self.pool.get_one_of(
-                                sim,
-                                at,
-                                src,
-                                dst,
-                                port,
-                                pattern.pool_width,
-                                &mut agent.rng,
-                            )?
-                        };
-                        sim.send_message(conn, at, req, resp, service)?;
+                // The engine may abort pooled connections under us (a
+                // fault made their server unreachable, or the handshake
+                // gave up) — and may already have freed the handle
+                // (`NoSuchConn`). Under a sustained outage several
+                // members of the same pool die together, so one retry is
+                // not enough: evict each dead 5-tuple we draw and retry
+                // until the pool hands out a live (or freshly opened)
+                // connection — degraded service, not a wedged workload.
+                // Bounded: every retry evicts one member, and once the
+                // pool is below width it opens a fresh connection.
+                let mut attempts = 0u32;
+                loop {
+                    let conn = {
+                        let agent = &mut self.agents[ai];
+                        self.pool.get_one_of(
+                            sim,
+                            at,
+                            src,
+                            dst,
+                            port,
+                            pattern.pool_width,
+                            &mut agent.rng,
+                        )?
+                    };
+                    match sim.send_message(conn, at, req, resp, service) {
+                        Ok(()) => break,
+                        Err(SimError::ConnClosed(_)) | Err(SimError::NoSuchConn(_))
+                            if attempts <= pattern.pool_width =>
+                        {
+                            self.pool.evict(src, dst, port, conn);
+                            self.reopened_conns += 1;
+                            attempts += 1;
+                        }
+                        Err(e) => return Err(e),
                     }
-                    Err(e) => return Err(e),
                 }
             }
             PoolMode::Ephemeral => {

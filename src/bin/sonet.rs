@@ -7,6 +7,10 @@
 //!                                    experiments fan over the worker pool)
 //! sonet capture [opts]               supervised packet-tier capture
 //! sonet fleet [opts]                 supervised fleet-tier run
+//! sonet chaos [opts]                 deterministic fault-injection campaign:
+//!                                    profiles × seeds, recovery SLOs, and
+//!                                    automatic fault-plan shrinking; or
+//!                                    --replay FILE to re-run a shrunk repro
 //! sonet export-fleet <out.jsonl>     dump a fleet-tier Fbflow day
 //! sonet export-matrix <out.csv>      dump the Fig 5 frontend rack matrix
 //! ```
@@ -30,6 +34,7 @@
 //! from a prior checkpoint with `--resume FILE` — producing final results
 //! byte-identical to an uninterrupted run.
 
+use sonet_dc::core::chaos::{replay_repro, run_campaign, CampaignConfig, ChaosProfile, ReproFile};
 use sonet_dc::core::reports::{self, Fig15Config};
 use sonet_dc::core::supervised::{
     resume_capture, resume_fleet, run_capture, run_fleet, RunStatus, SuperviseOptions,
@@ -320,6 +325,12 @@ fn render_report(
     fleet: Option<&FleetData>,
     fig15: &Fig15Config,
 ) -> Result<String, String> {
+    // Test hook: lets the integration suite force one experiment to blow
+    // up under the batch isolator and assert on the process exit code,
+    // without shipping a deliberately broken scenario.
+    if std::env::var("SONET_PANIC_EXPERIMENT").as_deref() == Ok(id) {
+        panic!("{id}: injected test panic (SONET_PANIC_EXPERIMENT)");
+    }
     let cap = || capture.ok_or_else(|| format!("{id}: capture unavailable"));
     let flt = || fleet.ok_or_else(|| format!("{id}: fleet data unavailable"));
     let out = match id {
@@ -432,6 +443,179 @@ fn cmd_all(args: &[String]) -> ExitCode {
         let failures = batch.failures();
         finish_cli_runinfo(runinfo, format!("failed: {failures} scenarios"));
         ExitCode::FAILURE
+    }
+}
+
+/// Flags specific to `sonet chaos`.
+struct ChaosFlags {
+    profiles: String,
+    seeds: u64,
+    duration_ms: Option<u64>,
+    out_dir: PathBuf,
+    resume: bool,
+    inject_bad: bool,
+    max_shrinks: Option<usize>,
+    replay: Option<PathBuf>,
+}
+
+fn parse_chaos(args: &[String]) -> Result<ChaosFlags, String> {
+    let mut flags = ChaosFlags {
+        profiles: "all".to_owned(),
+        seeds: 4,
+        duration_ms: None,
+        out_dir: PathBuf::from("sonet-chaos"),
+        resume: false,
+        inject_bad: false,
+        max_shrinks: None,
+        replay: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--profiles" => flags.profiles = value("--profiles")?.clone(),
+            "--seeds" => {
+                flags.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--duration-ms" => {
+                flags.duration_ms = Some(
+                    value("--duration-ms")?
+                        .parse()
+                        .map_err(|e| format!("--duration-ms: {e}"))?,
+                )
+            }
+            "--out" => flags.out_dir = PathBuf::from(value("--out")?),
+            "--resume" => flags.resume = true,
+            "--inject-bad" => flags.inject_bad = true,
+            "--max-shrinks" => {
+                flags.max_shrinks = Some(
+                    value("--max-shrinks")?
+                        .parse()
+                        .map_err(|e| format!("--max-shrinks: {e}"))?,
+                )
+            }
+            "--replay" => flags.replay = Some(PathBuf::from(value("--replay")?)),
+            _ => {}
+        }
+    }
+    Ok(flags)
+}
+
+/// `sonet chaos --replay FILE`: re-run a shrunk repro file standalone.
+/// Exits 0 iff the recorded SLO violation reproduces.
+fn cmd_chaos_replay(path: &std::path::Path) -> ExitCode {
+    let repro = match ReproFile::read(path) {
+        Ok(r) => r,
+        Err(e) => {
+            report::line(&e);
+            return ExitCode::FAILURE;
+        }
+    };
+    obs::trace::set_export_meta("fault_plan_hash", repro.plan_hash.clone());
+    match replay_repro(&repro) {
+        Ok(true) => {
+            println!(
+                "repro {}: SLO '{}' violation REPRODUCES ({} fault events)",
+                repro.plan_hash,
+                repro.slo,
+                repro.plan.events().len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!(
+                "repro {}: SLO '{}' violation did NOT reproduce",
+                repro.plan_hash, repro.slo
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            report::line(&format!("replay failed: {e}"));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `sonet chaos`: drive a deterministic fault-injection campaign —
+/// generative profiles × seeds, fault-free twins, recovery-SLO
+/// evaluation, and automatic shrinking of violating fault plans.
+/// Campaign completion is success regardless of SLO verdicts (violations
+/// are results, written to the report); only infrastructure failures
+/// exit nonzero.
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    let opts = parse_common(args);
+    let flags = match parse_chaos(args) {
+        Ok(f) => f,
+        Err(e) => {
+            report::line(&e);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &flags.replay {
+        return cmd_chaos_replay(path);
+    }
+    let profiles = match ChaosProfile::select(&flags.profiles) {
+        Ok(p) => p,
+        Err(e) => {
+            report::line(&e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = CampaignConfig::new(profiles, flags.seeds, opts.seed);
+    if let Some(ms) = flags.duration_ms {
+        cfg.duration = SimDuration::from_millis(ms);
+    }
+    if let Some(n) = flags.max_shrinks {
+        cfg.max_shrinks = n;
+    }
+    cfg.inject_known_bad = flags.inject_bad;
+
+    let campaign_id = cfg.campaign_id();
+    obs::trace::set_export_meta("campaign_id", campaign_id.clone());
+    let mut runinfo = cli_runinfo("chaos", &opts);
+    if let Some(info) = runinfo.as_mut() {
+        info.campaign_id = Some(campaign_id.clone());
+    }
+
+    match run_campaign(&cfg, Some(&flags.out_dir), flags.resume) {
+        Ok(rep) => {
+            print!("{}", rep.render());
+            report::line(&format!(
+                "campaign report: {}",
+                flags.out_dir.join("campaign-report.json").display()
+            ));
+            if let Some(info) = runinfo.as_mut() {
+                for r in rep.runs.iter().filter(|r| !r.pass) {
+                    info.note(format!(
+                        "{} seed={}: {}",
+                        r.profile,
+                        r.seed,
+                        if r.status == "ok" {
+                            "SLO violated".to_owned()
+                        } else {
+                            r.status.clone()
+                        }
+                    ));
+                }
+            }
+            finish_cli_runinfo(
+                runinfo,
+                format!(
+                    "completed: {} passed, {} violated, {} infra-failed",
+                    rep.passed, rep.violated, rep.infra_failed
+                ),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            report::line(&format!("chaos campaign failed: {e}"));
+            finish_cli_runinfo(runinfo, format!("failed: {e}"));
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -600,6 +784,7 @@ fn dispatch(args: &[String]) -> ExitCode {
         Some("all") => cmd_all(&args[1..]),
         Some("capture") => cmd_capture(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("export-fleet") => {
             let Some(path) = args.get(1) else {
                 report::line("usage: sonet export-fleet <out.jsonl> [--seed N] [--fast]");
@@ -686,6 +871,9 @@ fn dispatch(args: &[String]) -> ExitCode {
                  \x20 sonet fleet   [--seed N] [--fast] [--threads N] [--checkpoint DIR]\n\
                  \x20               [--chunk-hosts N] [--resume FILE] [--max-wall-secs N]\n\
                  \x20               [--max-events N] [--max-rss-mb N] [--audit on|off]\n\
+                 \x20 sonet chaos   [--profiles all|a,b,…] [--seeds N] [--seed BASE]\n\
+                 \x20               [--duration-ms N] [--out DIR] [--resume] [--threads N]\n\
+                 \x20               [--max-shrinks N] [--inject-bad] [--replay FILE]\n\
                  \x20 sonet export-fleet <out.jsonl> [--seed N] [--fast]\n\
                  \x20 sonet export-matrix <out.csv> [--seed N] [--fast]\n\
                  every command also takes --obs[=off|summary|deep] and --trace-out FILE\n\

@@ -37,6 +37,61 @@ fn arb_spec() -> impl Strategy<Value = TopologySpec> {
         })
 }
 
+/// Strategy: any fault kind, including the gray-failure and flap variants
+/// the chaos subsystem introduced.
+fn arb_fault_kind() -> impl Strategy<Value = sonet_dc::netsim::FaultKind> {
+    use sonet_dc::netsim::FaultKind;
+    use sonet_dc::topology::{LinkId, SwitchId};
+    prop_oneof![
+        (0u32..64).prop_map(|l| FaultKind::LinkDown(LinkId(l))),
+        (0u32..64).prop_map(|l| FaultKind::LinkUp(LinkId(l))),
+        (0u32..16).prop_map(|s| FaultKind::SwitchDown(SwitchId(s))),
+        (0u32..16).prop_map(|s| FaultKind::SwitchUp(SwitchId(s))),
+        (0u32..64, 0.01f64..1.0).prop_map(|(l, f)| FaultKind::DegradeLink {
+            link: LinkId(l),
+            rate_factor: f,
+        }),
+        (0u32..64, 0.0f64..1.0).prop_map(|(l, f)| FaultKind::GrayLink {
+            link: LinkId(l),
+            drop_fraction: f,
+        }),
+        (0u32..64, 1u64..5_000, 1u32..20).prop_map(|(l, half_us, cycles)| {
+            FaultKind::FlapLink {
+                link: LinkId(l),
+                half_period: SimDuration::from_micros(half_us),
+                cycles,
+            }
+        }),
+        (0.0f64..1.0).prop_map(|f| FaultKind::MirrorLoss { fraction: f }),
+        (0.0f64..1.0).prop_map(|f| FaultKind::FbflowLoss { fraction: f }),
+    ]
+}
+
+/// Strategy: any chaos-profile element, bounds chosen to stay valid.
+fn arb_chaos_element() -> impl Strategy<Value = sonet_dc::core::chaos::ChaosElement> {
+    use sonet_dc::core::chaos::ChaosElement;
+    prop_oneof![
+        (1u32..4, any::<bool>())
+            .prop_map(|(count, recover)| ChaosElement::RackOutage { count, recover }),
+        (1u32..4, any::<bool>())
+            .prop_map(|(csws, recover)| ChaosElement::PodOutage { csws, recover }),
+        (1u32..4, 1u32..6).prop_map(|(links, cycles)| ChaosElement::LinkFlaps { links, cycles }),
+        (1u32..4, 0.05f64..0.4).prop_map(|(links, lo)| ChaosElement::GrayCore {
+            links,
+            min_fraction: lo,
+            max_fraction: lo + 0.3,
+        }),
+        (1u32..4).prop_map(|links| ChaosElement::AsymPartition { links }),
+        (1u32..4, 1u32..5, 0.1f64..0.9).prop_map(|(links, steps, floor_factor)| {
+            ChaosElement::DegradedRamp {
+                links,
+                steps,
+                floor_factor,
+            }
+        }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -340,6 +395,59 @@ proptest! {
         collected.sort_by_key(|r| r.at);
         prop_assert_eq!(&all, &collected);
         prop_assert_eq!(one_shot.relaxed_picks(), chunked.relaxed_picks());
+    }
+
+    /// Any fault plan — every kind, including the gray-failure and flap
+    /// variants — survives a JSON round trip exactly: same value, same
+    /// canonical bytes, same FNV identity hash.
+    #[test]
+    fn fault_plan_serialization_round_trips(
+        events in prop::collection::vec(
+            (0u64..10_000, arb_fault_kind()),
+            0..20,
+        ),
+    ) {
+        use sonet_dc::core::chaos::plan_hash;
+        use sonet_dc::netsim::FaultPlan;
+
+        let mut plan = FaultPlan::new();
+        for &(at_us, kind) in &events {
+            plan = plan.at(SimTime::from_micros(at_us), kind);
+        }
+        let json = serde_json::to_string(&plan).expect("plan serializes");
+        let back: FaultPlan = serde_json::from_str(&json).expect("plan parses");
+        prop_assert_eq!(&back, &plan);
+        prop_assert_eq!(
+            serde_json::to_string(&back).expect("re-serializes"),
+            json,
+            "canonical bytes must be stable"
+        );
+        prop_assert_eq!(plan_hash(&back), plan_hash(&plan));
+    }
+
+    /// A chaos profile round-trips through JSON, and the parsed copy
+    /// expands to the identical fault plan — the property the committed
+    /// repro-file format depends on.
+    #[test]
+    fn chaos_profile_serialization_round_trips(
+        elements in prop::collection::vec(arb_chaos_element(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        use sonet_dc::core::chaos::ChaosProfile;
+        use sonet_dc::core::{packet_tier_spec, ScenarioScale};
+
+        let profile = ChaosProfile {
+            name: "prop-profile".into(),
+            elements,
+        };
+        let json = serde_json::to_string(&profile).expect("profile serializes");
+        let back: ChaosProfile = serde_json::from_str(&json).expect("profile parses");
+        prop_assert_eq!(&back, &profile);
+
+        let topo = Topology::build(packet_tier_spec(ScenarioScale::Tiny)).expect("valid");
+        let horizon = SimDuration::from_millis(2_000);
+        let plan = profile.generate(&topo, seed, horizon);
+        prop_assert_eq!(back.generate(&topo, seed, horizon), plan);
     }
 
     /// CDF quantile/fraction are mutually consistent.
