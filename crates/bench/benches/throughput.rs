@@ -74,10 +74,16 @@ struct PartWidth {
     events: u64,
     secs: f64,
     barriers: u64,
-    /// Fraction of ideal per-barrier balance: processed events divided by
-    /// (partitions × the bottleneck partition's events), summed over all
-    /// windows. 1.0 = perfectly even calendars, 1/partitions = one
-    /// partition does everything.
+    /// Partition calendars stolen off another worker's deque.
+    steals: u64,
+    /// Partition count under the granularity this run resolved.
+    partitions: usize,
+    /// Measured worker utilization: wall time the pool's workers spent
+    /// draining calendars divided by (width × the pool's elapsed wall
+    /// time across all windows). 1.0 = no idle gaps; low values mean
+    /// workers starved waiting at barriers. Unlike an event-count proxy,
+    /// this moves with the width: more workers racing the same windows
+    /// means more idle time unless stealing rebalances them.
     barrier_util: f64,
 }
 
@@ -88,7 +94,9 @@ impl PartWidth {
 }
 
 /// A four-datacenter plant: the partitioned engine runs one event
-/// calendar per datacenter, synchronized at 1 ms lookahead barriers.
+/// calendar per cluster (plus per-DC hub and backbone calendars),
+/// synchronized at barriers whose horizon is the minimum cross-partition
+/// bound over pairs with pending cross traffic.
 fn four_dc_topo(fast: bool) -> Arc<Topology> {
     let (fr, fh, cr, ch) = if fast { (4, 3, 2, 3) } else { (6, 8, 4, 8) };
     let dc = || SiteSpec {
@@ -103,33 +111,35 @@ fn four_dc_topo(fast: bool) -> Arc<Topology> {
     Arc::new(Topology::build(spec).expect("bench spec"))
 }
 
-/// Partitioned capture-tier throughput at one worker width: a cross-DC
-/// request/response mesh driven through one `run_until` horizon. The
-/// workload is identical for every width — so are all outputs; only the
-/// wall clock moves.
-fn bench_partitioned(topo: &Arc<Topology>, width: usize, fast: bool) -> (PartWidth, String, usize) {
+/// Partitioned capture-tier throughput at one worker width, driven
+/// through one `run_until` horizon. The traffic mix follows the paper's
+/// frontend locality (Table 3): every web server keeps a steady request
+/// train to a cache follower in its *own* cluster, and one in four adds a
+/// sparse miss train to a cache leader in a *different* datacenter. The
+/// intra-cluster bulk never straddles a partition at cluster granularity,
+/// so those calendars run in wide windows; the thin cross-DC tail is what
+/// the per-pair lookahead has to fence. The workload is identical for
+/// every width — so are all outputs; only the wall clock moves.
+fn bench_partitioned(topo: &Arc<Topology>, width: usize, fast: bool) -> (PartWidth, String) {
     let mut sim =
         Simulator::new(Arc::clone(topo), SimConfig::default(), NullTap).expect("bench sim");
     sim.set_parallel_width(Some(width));
     let webs = topo.hosts_with_role(HostRole::Web);
-    let caches = topo.hosts_with_role(HostRole::CacheLeader);
+    let leaders = topo.hosts_with_role(HostRole::CacheLeader);
     let horizon = if fast {
         SimTime::from_millis(250)
     } else {
         SimTime::from_secs(1)
     };
-    let stride = caches.len() / 4 + 1; // lands most pairs in another DC
     for (i, &w) in webs.iter().enumerate() {
+        let host = topo.host(w);
+        let followers = topo.hosts_with_role_in_cluster(host.cluster, HostRole::CacheFollower);
+        let t0 = SimTime::from_micros(i as u64 * 17);
         let c = sim
-            .open_connection(
-                SimTime::from_micros(i as u64 * 17),
-                w,
-                caches[(i * stride) % caches.len()],
-                11211,
-            )
+            .open_connection(t0, w, followers[i % followers.len()], 11211)
             .expect("open");
-        // A steady request train per connection across the horizon.
-        let mut t = SimTime::from_micros(i as u64 * 17);
+        // The intra-cluster request train: bulk of the event volume.
+        let mut t = t0;
         let mut m = 0u64;
         while t < horizon {
             sim.send_message(
@@ -143,15 +153,31 @@ fn bench_partitioned(topo: &Arc<Topology>, width: usize, fast: bool) -> (PartWid
             t += SimDuration::from_micros(1_900);
             m += 1;
         }
+        if i % 4 == 0 {
+            // The cross-DC miss train: an order of magnitude sparser.
+            let remote: Vec<_> = leaders
+                .iter()
+                .copied()
+                .filter(|&l| topo.host(l).datacenter != host.datacenter)
+                .collect();
+            let l = remote[(i / 4) % remote.len()];
+            let t0 = t0 + SimDuration::from_micros(7);
+            let c = sim.open_connection(t0, w, l, 11211).expect("open");
+            let mut t = t0;
+            while t < horizon {
+                sim.send_message(c, t, 6_200, 1_500, SimDuration::from_micros(120))
+                    .expect("send");
+                t += SimDuration::from_micros(19_000);
+            }
+        }
     }
     let start = Instant::now();
     sim.run_until(horizon);
     let secs = start.elapsed().as_secs_f64();
     let events = sim.processed_events();
     let stats = sim.parallel_stats();
-    let partitions = sim.partitions() as f64;
-    let util = if stats.bottleneck_events > 0 {
-        stats.events as f64 / (partitions * stats.bottleneck_events as f64)
+    let util = if stats.wall_ns > 0 {
+        stats.busy_ns as f64 / (width as f64 * stats.wall_ns as f64)
     } else {
         1.0
     };
@@ -163,10 +189,11 @@ fn bench_partitioned(topo: &Arc<Topology>, width: usize, fast: bool) -> (PartWid
             events,
             secs,
             barriers: stats.barriers,
+            steals: stats.steals,
+            partitions: n_parts,
             barrier_util: util,
         },
         serde_json::to_string(&out).expect("json"),
-        n_parts,
     )
 }
 
@@ -220,12 +247,15 @@ fn json(
         .map(|p| {
             format!(
                 "    {{ \"threads\": {}, \"events\": {}, \"secs\": {:.6}, \
-                 \"rate\": {:.1}, \"barriers\": {}, \"barrier_util\": {:.4} }}",
+                 \"rate\": {:.1}, \"barriers\": {}, \"steal_count\": {}, \
+                 \"partitions\": {}, \"barrier_util\": {:.4} }}",
                 p.threads,
                 p.events,
                 p.secs,
                 p.rate(),
                 p.barriers,
+                p.steals,
+                p.partitions,
                 p.barrier_util,
             )
         })
@@ -253,7 +283,7 @@ fn json(
         (off - summary) / off.max(1e-9) * 100.0,
     );
     format!(
-        "{{\n  \"schema\": 3,\n  \"threads\": {},\n  \"fast\": {},\n  \
+        "{{\n  \"schema\": 4,\n  \"threads\": {},\n  \"fast\": {},\n  \
          \"engine_events\": {},\n  \"engine_secs\": {:.6},\n  \
          \"events_per_sec\": {:.1},\n  \"fleet_records\": {},\n  \
          \"fleet_generate_secs\": {:.6},\n  \"fleet_records_per_sec\": {:.1},\n  \
@@ -304,30 +334,31 @@ fn main() {
 
     let (engine_events, engine_secs) = bench_engine(scale, sim_secs);
 
-    // Partitioned engine: the same cross-DC workload at widths 1, 2, 8.
-    // Outputs must not move by a byte; only the wall clock may.
+    // Partitioned engine: the same locality-mix workload at widths 1, 2,
+    // 8. Outputs must not move by a byte; only the wall clock may.
     let four_dc = four_dc_topo(fast_mode());
     let mut partitioned = Vec::new();
     let mut golden: Option<String> = None;
     let mut partitions = 0;
     for width in [1usize, 2, 8] {
-        let (pw, out, n_parts) = bench_partitioned(&four_dc, width, fast_mode());
+        let (pw, out) = bench_partitioned(&four_dc, width, fast_mode());
         match &golden {
             None => golden = Some(out),
             Some(g) => assert_eq!(g, &out, "width {width} changed the outputs"),
         }
         println!(
             "partitioned width {}: {:.0} events/s ({} events / {:.2}s), {} barriers, \
-             barrier util {:.2}",
+             {} steals, barrier util {:.2}",
             pw.threads,
             pw.rate(),
             pw.events,
             pw.secs,
             pw.barriers,
+            pw.steals,
             pw.barrier_util,
         );
+        partitions = pw.partitions;
         partitioned.push(pw);
-        partitions = n_parts;
     }
 
     // Flight-recorder overhead on the serial engine, off vs summary.

@@ -7,18 +7,26 @@
 //!
 //! # Execution model
 //!
-//! The plant is statically partitioned by datacenter ([`part`] module);
-//! each partition owns a slice of the link/switch/connection state and a
-//! private event calendar. The coordinator advances all partitions in
-//! lockstep *windows* of conservative lookahead — the minimum propagation
-//! delay of any inter-partition link — and exchanges boundary packets,
-//! tap deliveries, latency samples and buffer windows at each barrier in
-//! canonical `(time, source-partition, sequence)` order. Partitions run
-//! on the [`sonet_util::par`] worker pool; because the partitioning, the
-//! windows and every merge order are fixed by the topology and the event
-//! keys (never by thread scheduling), outputs are **byte-identical at any
-//! `--threads` value**, including 1. DESIGN.md §10 gives the protocol and
-//! the determinism argument.
+//! The plant is statically partitioned into topology-fixed *regions* —
+//! one per cluster, one per datacenter hub tier, one for the backbone —
+//! grouped per-cluster by default or per-datacenter under
+//! `SONET_PARTITION=dc` ([`part`] module); each partition owns a slice
+//! of the link/switch/connection state and a private event calendar.
+//! The coordinator advances all partitions in lockstep *windows* of
+//! conservative lookahead: each partition classifies every enqueued
+//! event with a lower bound on when handling it could first reach
+//! another partition, and the window end is the minimum such bound
+//! (capped at 1 ms). Intra-cluster work — the bulk of the paper's
+//! traffic — never produces a bound, so cluster-partitioned windows
+//! stay long. Boundary packets, tap deliveries, latency samples and
+//! buffer windows are exchanged at each barrier in canonical
+//! `(time, source-region, sequence)` order. Partitions run on the
+//! [`sonet_util::par`] work-stealing pool; because the region keys, the
+//! windows and every merge order are fixed by the topology and the
+//! event keys (never by thread scheduling or the region grouping),
+//! outputs are **byte-identical at any `--threads` value and either
+//! granularity**, including 1. DESIGN.md §10 gives the protocol and the
+//! determinism argument.
 
 mod part;
 #[cfg(test)]
@@ -29,6 +37,7 @@ use crate::conn::{Conn, ConnPhase, MsgMeta};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::packet::{ConnId, Dir, FlowKey};
 use crate::tap::PacketTap;
+pub use part::{set_granularity_override, Granularity};
 use part::{Ev, EvKey, PartSampler, Partition, PartitionMap, Scheduled, SharedCtx, EXT_SRC};
 use serde::{Deserialize, Serialize};
 use sonet_topology::{HostId, LinkHealth, LinkId, Node, SwitchId, Topology};
@@ -40,13 +49,22 @@ use std::sync::Arc;
 
 /// Checkpoint format version written by this engine. Version 1 was the
 /// serial engine's single-calendar snapshot; version 2 predates
-/// gray-failure link state. Neither is loadable here (restoring an old
-/// checkpoint requires the release that wrote it).
-const CHECKPOINT_VERSION: u32 = 3;
+/// gray-failure link state; version 3 keyed events by partition rather
+/// than region. None is loadable here (restoring an old checkpoint
+/// requires the release that wrote it).
+const CHECKPOINT_VERSION: u32 = 4;
 
-/// Window length used when no link crosses partitions (single-datacenter
-/// plants run as one partition and only need *some* finite window).
-const SOLO_WINDOW: SimDuration = SimDuration::from_nanos(1_000_000);
+/// Hard cap on window length: with no pending cross-bound traffic the
+/// engine still barriers this often, bounding how stale the
+/// coordinator's view can get (and how far a quiescing plant coasts).
+const WINDOW_CAP: SimDuration = SimDuration::from_nanos(1_000_000);
+
+/// Delay after which a cross-region abort notification reaches the peer
+/// (a RST surfacing after the fabric round-trip). **Must be ≥
+/// [`WINDOW_CAP`]**: an abort at `t` is buffered by a window that ends
+/// no later than `t + WINDOW_CAP`, so the injected `PeerGone` at
+/// `t + ABORT_NOTIFY_DELAY` can never land in the peer's past.
+const ABORT_NOTIFY_DELAY: SimDuration = WINDOW_CAP;
 
 /// Errors surfaced by the simulator API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -203,8 +221,9 @@ pub struct LiveCounters {
 }
 
 /// Barrier/throughput counters for the partitioned execution, for bench
-/// reporting: `events / (width * bottleneck_events)` is the mean
-/// per-barrier worker utilization.
+/// reporting. The event counts are deterministic; the `*_ns` fields and
+/// `steals` are wall-clock measurements of the worker pool (they vary
+/// run to run and never feed back into simulation state).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParallelStats {
     /// Lookahead windows executed (barriers crossed).
@@ -214,6 +233,16 @@ pub struct ParallelStats {
     /// Sum over windows of the busiest partition's event count — the
     /// critical path a perfectly scheduled run cannot beat.
     pub bottleneck_events: u64,
+    /// Partitions executed by a worker other than the one their weight
+    /// seeded them on (work-stealing migrations).
+    pub steals: u64,
+    /// Total worker time spent draining partitions (wall clock).
+    pub busy_ns: u64,
+    /// Total worker time spent idle at barriers waiting for the slowest
+    /// worker (wall clock): `wall_ns * width - busy_ns`.
+    pub idle_ns: u64,
+    /// Total in-phase wall time across windows (one lane).
+    pub wall_ns: u64,
 }
 
 /// One allocated connection slot: current generation plus the partitions
@@ -367,7 +396,9 @@ impl<T: PacketTap> Simulator<T> {
         &self.parts[0].health
     }
 
-    /// Number of plant partitions (one per datacenter).
+    /// Number of plant partitions — one per cluster/hub-tier/backbone
+    /// region at the default `cluster` granularity, one per datacenter
+    /// under `SONET_PARTITION=dc`.
     pub fn partitions(&self) -> usize {
         self.parts.len()
     }
@@ -471,12 +502,14 @@ impl<T: PacketTap> Simulator<T> {
         }
         // Replicate to every partition: each applies the fault to its own
         // health/rate replica at the same virtual time, so replicas agree
-        // at every barrier without any cross-partition reads.
+        // at every barrier without any cross-partition reads. All
+        // replicas share ONE sequence number — they are the same
+        // canonical event, so the checkpoint calendar (which dedups the
+        // replicas) is independent of the partition count.
+        let seq = self.coord.ext_seq;
+        self.coord.ext_seq += 1;
         for p in &mut self.parts {
-            let seq = self.coord.ext_seq;
-            self.coord.ext_seq += 1;
-            let part = p.idx;
-            p.push_ext(at, seq, Ev::Fault { kind, part });
+            p.push_ext(&self.shared, at, seq, Ev::Fault { kind });
         }
         Ok(())
     }
@@ -578,16 +611,18 @@ impl<T: PacketTap> Simulator<T> {
         {
             return Err(SimError::Config(format!("{s} is out of range")));
         }
-        // Split the switch list by owning partition, remembering each
-        // switch's index in the caller's list — the canonical order the
-        // barrier merge (and the checkpoint) reassembles.
+        // Split the switch list by *region*, remembering each switch's
+        // index in the caller's list — the canonical order the barrier
+        // merge (and the checkpoint) reassembles. Sharding by region,
+        // with each shard's sample chain keyed by its region, makes the
+        // event stream independent of how regions group into partitions.
         let now = self.coord.now;
-        for p in &mut self.parts {
+        for region in 0..self.shared.pmap.n_regions {
             let mut owned = Vec::new();
             let mut orig = Vec::new();
             let mut caps = Vec::new();
             for (i, &sw) in switches.iter().enumerate() {
-                if self.shared.pmap.part_of_switch[sw.index()] == p.idx {
+                if self.shared.pmap.region_of_switch[sw.index()] == region {
                     owned.push(sw);
                     orig.push(i as u32);
                     caps.push(self.shared.switch_cap[sw.index()]);
@@ -597,7 +632,12 @@ impl<T: PacketTap> Simulator<T> {
                 continue;
             }
             let n = owned.len();
-            p.buf_sampler = Some(PartSampler {
+            let p = &mut self.parts[self.shared.pmap.part_of_region[region as usize] as usize];
+            // Re-registering replaces the region's shard (the old chain's
+            // events die against the fresh shard state).
+            p.buf_samplers.retain(|s| s.region != region);
+            p.buf_samplers.push(PartSampler {
+                region,
                 interval,
                 window,
                 switches: owned,
@@ -606,10 +646,8 @@ impl<T: PacketTap> Simulator<T> {
                 window_start: now,
                 samples: vec![Vec::new(); n],
             });
-            let seq = self.coord.ext_seq;
-            self.coord.ext_seq += 1;
-            let part = p.idx;
-            p.push_ext(now, seq, Ev::BufSample { part });
+            p.buf_samplers.sort_by_key(|s| s.region);
+            p.push_region(&self.shared, region, now, Ev::BufSample { region });
         }
         Ok(())
     }
@@ -714,7 +752,7 @@ impl<T: PacketTap> Simulator<T> {
         self.parts[cpart as usize].clients[id.idx as usize] = Some(conn);
         let seq = self.coord.ext_seq;
         self.coord.ext_seq += 1;
-        self.parts[cpart as usize].push_ext(at, seq, Ev::OpenConn { conn: id });
+        self.parts[cpart as usize].push_ext(&self.shared, at, seq, Ev::OpenConn { conn: id });
         Ok(id)
     }
 
@@ -756,6 +794,7 @@ impl<T: PacketTap> Simulator<T> {
         let seq = self.coord.ext_seq;
         self.coord.ext_seq += 1;
         self.parts[cpart].push_ext(
+            &self.shared,
             at,
             seq,
             Ev::SendMsg {
@@ -788,7 +827,7 @@ impl<T: PacketTap> Simulator<T> {
         let cpart = slot.cpart as usize;
         let seq = self.coord.ext_seq;
         self.coord.ext_seq += 1;
-        self.parts[cpart].push_ext(at, seq, Ev::Close { conn });
+        self.parts[cpart].push_ext(&self.shared, at, seq, Ev::Close { conn });
         Ok(())
     }
 
@@ -811,7 +850,6 @@ impl<T: PacketTap> Simulator<T> {
             .width_override
             .unwrap_or_else(|| sonet_util::par::resolve_threads(None))
             .clamp(1, self.parts.len());
-        let lookahead = self.shared.pmap.lookahead.unwrap_or(SOLO_WINDOW);
         let shared = &self.shared;
         let coord = &mut self.coord;
         // Flight-recorder handles, resolved once per run. Everything the
@@ -825,12 +863,40 @@ impl<T: PacketTap> Simulator<T> {
                 })
                 .collect()
         });
+        let part_idle_counters: Option<Vec<_>> = sonet_util::obs::deep().then(|| {
+            (0..self.parts.len())
+                .map(|i| {
+                    sonet_util::obs::metrics::global().counter(&format!("engine.part{i}.idle_ns"))
+                })
+                .collect()
+        });
+        // Registered up front (not lazily on first increment) so a run
+        // that never steals still reports `engine.steals: 0` in its
+        // RUNINFO manifest rather than omitting the metric.
+        let pool_counters = sonet_util::obs::on().then(|| {
+            let m = sonet_util::obs::metrics::global();
+            (
+                m.counter("engine.steals"),
+                m.counter("engine.worker_idle_ns"),
+            )
+        });
         let parts = std::mem::take(&mut self.parts);
         let mut win_start_us: Option<u64> = None;
-        let parts = sonet_util::par::run_phased(
+        let mut win_idx: u64 = 0;
+        let mut pending_part_events: Vec<u64> = vec![0; parts.len()];
+        // Scalar counters ride the same 64-window flush cadence as the
+        // per-partition batch: plain u64 adds per window, registry traffic
+        // once per flush. (barriers, boundary events, steals, idle ns.)
+        let mut pend = [0u64; 4];
+        // Per-partition load estimate (integer EWMA of window event
+        // counts) feeding the stealing pool's seed assignment: heavy
+        // partitions spread across workers first, and persistently idle
+        // ones ride along as steal fodder.
+        let mut ewma: Vec<u64> = vec![0; parts.len()];
+        let parts = sonet_util::par::run_phased_stealing(
             width,
             parts,
-            |parts: &mut [Partition]| -> bool {
+            |parts: &mut [Partition], ctl: &mut sonet_util::par::StealCtl| -> bool {
                 if let Some(start) = win_start_us.take() {
                     sonet_util::obs::trace::complete(
                         "engine.window",
@@ -838,17 +904,39 @@ impl<T: PacketTap> Simulator<T> {
                         start,
                     );
                 }
-                barrier_merge(coord, parts, lookahead);
+                pend[1] += barrier_merge(coord, shared, parts);
                 for p in parts.iter_mut() {
-                    coord.pstats.events += p.window_events;
+                    coord.pstats.events += p.window_counted;
+                    p.window_counted = 0;
                 }
                 if let Some(busiest) = parts.iter().map(|p| p.window_events).max() {
                     coord.pstats.bottleneck_events += busiest;
                 }
+                coord.pstats.steals += ctl.stats.steals;
+                coord.pstats.busy_ns += ctl.stats.busy_ns;
+                coord.pstats.idle_ns += ctl.stats.idle_ns;
+                coord.pstats.wall_ns += ctl.stats.wall_ns;
+                pend[2] += ctl.stats.steals;
+                pend[3] += ctl.stats.idle_ns;
                 if let Some(ctrs) = &part_ev_counters {
-                    record_window_metrics(parts, ctrs);
+                    win_idx += 1;
+                    let flush = win_idx.is_multiple_of(OBS_FLUSH_WINDOWS);
+                    record_window_metrics(parts, ctrs, &mut pending_part_events, flush);
+                    if flush {
+                        flush_scalar_metrics(&mut pend, &pool_counters);
+                    }
                 }
-                for p in parts.iter_mut() {
+                if let Some(ctrs) = &part_idle_counters {
+                    for (i, &busy) in ctl.stats.slot_busy_ns.iter().enumerate() {
+                        let idle = ctl.stats.wall_ns.saturating_sub(busy);
+                        if idle > 0 && i < ctrs.len() {
+                            ctrs[i].add(idle);
+                        }
+                    }
+                }
+                for (i, p) in parts.iter_mut().enumerate() {
+                    ewma[i] = (ewma[i] + p.window_events) / 2;
+                    ctl.weights[i] = ewma[i] + 1;
                     p.window_events = 0;
                 }
                 if coord.audit_barriers {
@@ -861,10 +949,28 @@ impl<T: PacketTap> Simulator<T> {
                     .iter()
                     .filter_map(|p| p.events.peek().map(|r| r.0.at))
                     .min();
+                // Window horizon: the cap, tightened by the earliest
+                // instant any partition's pending work could cross into
+                // another partition (stale bounds — classified for events
+                // already processed — are popped on the way).
+                let horizon = next.map(|t| {
+                    let mut horizon = t + WINDOW_CAP;
+                    for p in parts.iter_mut() {
+                        while let Some(&Reverse((bound, at))) = p.cross_bounds.peek() {
+                            if at < p.now {
+                                p.cross_bounds.pop();
+                            } else {
+                                horizon = horizon.min(bound);
+                                break;
+                            }
+                        }
+                    }
+                    horizon
+                });
                 let wend = match mode {
-                    StopMode::Until(until) => match next {
-                        Some(t) if t <= until => {
-                            Some((until + SimDuration::from_nanos(1)).min(t + lookahead))
+                    StopMode::Until(until) => match (next, horizon) {
+                        (Some(t), Some(h)) if t <= until => {
+                            Some((until + SimDuration::from_nanos(1)).min(h))
                         }
                         _ => None,
                     },
@@ -873,7 +979,7 @@ impl<T: PacketTap> Simulator<T> {
                         if real == 0 {
                             None
                         } else {
-                            Some(next.expect("real events imply a calendar head") + lookahead)
+                            Some(horizon.expect("real events imply a calendar head"))
                         }
                     }
                 };
@@ -883,7 +989,15 @@ impl<T: PacketTap> Simulator<T> {
                             p.wend = wend;
                         }
                         coord.pstats.barriers += 1;
-                        sonet_util::obs::counter_add!("engine.barriers", 1);
+                        pend[0] += 1;
+                        if sonet_util::obs::on() {
+                            let t = next.expect("a scheduled window has a calendar head");
+                            sonet_util::obs::hist_observe!(
+                                "engine.effective_lookahead_ns",
+                                (wend - t).as_nanos(),
+                                sonet_util::obs::metrics::BOUNDS_POW4
+                            );
+                        }
                         if sonet_util::obs::deep() {
                             win_start_us = Some(sonet_util::obs::trace::now_us());
                         }
@@ -906,6 +1020,13 @@ impl<T: PacketTap> Simulator<T> {
                             p.now = end;
                         }
                         coord.now = end;
+                        // Final drain: whatever the 64-window batching
+                        // still holds lands in the registry before the
+                        // run's RUNINFO snapshot is taken.
+                        if let Some(ctrs) = &part_ev_counters {
+                            flush_window_metrics(parts, ctrs, &mut pending_part_events);
+                            flush_scalar_metrics(&mut pend, &pool_counters);
+                        }
                         false
                     }
                 }
@@ -920,7 +1041,7 @@ impl<T: PacketTap> Simulator<T> {
     pub fn finish(mut self) -> (SimOutputs, T) {
         let mut tail = Vec::new();
         for p in &mut self.parts {
-            p.flush_buffer_window(true);
+            p.flush_buffer_windows();
             tail.append(&mut p.window_stats);
         }
         tail.sort_by_key(|(start, orig, _)| (*start, *orig));
@@ -971,27 +1092,93 @@ impl<T: PacketTap> Simulator<T> {
 /// balance, per-partition event counters, calendar size, and cumulative
 /// drops by cause. Called from the coordinator between phases, only when
 /// observability is on; purely write-only into the obs side channel.
+///
+/// Per-cluster granularity runs one to two orders of magnitude more
+/// windows than the old per-DC engine, so per-window registry traffic is
+/// now a measurable tax (CI pins `--obs summary` to ≤2% of events/sec).
+/// Counters therefore accumulate into `pending` (one slot per partition)
+/// and flush every `OBS_FLUSH_WINDOWS` barriers — exact totals, just
+/// batched — gauges refresh on the same cadence (they are last-write
+/// snapshots, so sampling loses nothing at the end of the run), and the
+/// per-window distribution histograms ride with the other per-window
+/// detail in deep mode.
+const OBS_FLUSH_WINDOWS: u64 = 64;
+
 fn record_window_metrics(
     parts: &[Partition],
     ctrs: &[std::sync::Arc<sonet_util::obs::metrics::Counter>],
+    pending: &mut [u64],
+    flush: bool,
 ) {
     use sonet_util::obs;
-    let total: u64 = parts.iter().map(|p| p.window_events).sum();
+    for (acc, p) in pending.iter_mut().zip(parts) {
+        *acc += p.window_events;
+    }
+    if obs::deep() {
+        let total: u64 = parts.iter().map(|p| p.window_events).sum();
+        if total > 0 {
+            obs::hist_observe!("engine.events_per_window", total, obs::metrics::BOUNDS_POW4);
+            let busiest = parts.iter().map(|p| p.window_events).max().unwrap_or(0);
+            let lightest = parts.iter().map(|p| p.window_events).min().unwrap_or(0);
+            if parts.len() > 1 && busiest > 0 {
+                obs::hist_observe!(
+                    "engine.barrier_balance_permille",
+                    lightest * 1000 / busiest,
+                    obs::metrics::BOUNDS_PERMILLE
+                );
+            }
+        }
+    }
+    if flush {
+        flush_window_metrics(parts, ctrs, pending);
+    }
+}
+
+/// Drains the batched scalar counters — `pend` is `[barriers,
+/// boundary_events, steals, worker_idle_ns]` — on the same cadence as
+/// `flush_window_metrics`. The steal/idle handles are the pre-registered
+/// pair, so a run that never steals still reports explicit zeros.
+fn flush_scalar_metrics(
+    pend: &mut [u64; 4],
+    pool: &Option<(
+        std::sync::Arc<sonet_util::obs::metrics::Counter>,
+        std::sync::Arc<sonet_util::obs::metrics::Counter>,
+    )>,
+) {
+    use sonet_util::obs;
+    if pend[0] > 0 {
+        obs::counter_add!("engine.barriers", pend[0]);
+    }
+    if pend[1] > 0 {
+        obs::counter_add!("engine.boundary_events", pend[1]);
+    }
+    if let Some((steal_ctr, idle_ctr)) = pool {
+        if pend[2] > 0 {
+            steal_ctr.add(pend[2]);
+        }
+        if pend[3] > 0 {
+            idle_ctr.add(pend[3]);
+        }
+    }
+    *pend = [0; 4];
+}
+
+/// Drains the batched per-partition counters and refreshes the snapshot
+/// gauges. Runs on the flush cadence and once more from the epilogue, so
+/// RUNINFO finals are exact regardless of where the run stopped.
+fn flush_window_metrics(
+    parts: &[Partition],
+    ctrs: &[std::sync::Arc<sonet_util::obs::metrics::Counter>],
+    pending: &mut [u64],
+) {
+    use sonet_util::obs;
+    let total: u64 = pending.iter().sum();
     if total > 0 {
         obs::counter_add!("engine.events", total);
-        obs::hist_observe!("engine.events_per_window", total, obs::metrics::BOUNDS_POW4);
-        let busiest = parts.iter().map(|p| p.window_events).max().unwrap_or(0);
-        let lightest = parts.iter().map(|p| p.window_events).min().unwrap_or(0);
-        if parts.len() > 1 && busiest > 0 {
-            obs::hist_observe!(
-                "engine.barrier_balance_permille",
-                lightest * 1000 / busiest,
-                obs::metrics::BOUNDS_PERMILLE
-            );
-        }
-        for (i, p) in parts.iter().enumerate() {
-            if p.window_events > 0 {
-                ctrs[i].add(p.window_events);
+        for (acc, ctr) in pending.iter_mut().zip(ctrs) {
+            if *acc > 0 {
+                ctr.add(*acc);
+                *acc = 0;
             }
         }
     }
@@ -1016,62 +1203,86 @@ fn record_window_metrics(
 /// Exchanges every cross-partition product of the completed window, in
 /// canonical order. Runs on the coordinator thread between phases; also a
 /// no-op on a fresh simulator, so the window loop calls it
-/// unconditionally.
+/// unconditionally. Returns the number of boundary events delivered so
+/// the caller can batch the `engine.boundary_events` counter.
 fn barrier_merge<T: PacketTap>(
     coord: &mut Coord<T>,
+    sh: &SharedCtx,
     parts: &mut [Partition],
-    lookahead: SimDuration,
-) {
+) -> u64 {
     let n = parts.len();
 
-    // 1. Boundary events: outbox → target calendar. Every entry carries
-    //    its (time, source, seq) key, so heap order — not delivery
-    //    order — decides processing order.
+    // 1. Boundary events: outbox → target calendar, coalesced per target
+    //    across every source so each target's bookkeeping (calendar
+    //    growth, cross-bound classification) runs once per barrier
+    //    instead of once per partition pair. Every entry carries its
+    //    (time, source, seq) key, so heap order — not delivery order —
+    //    decides processing order.
     let mut boundary: u64 = 0;
-    for src in 0..n {
-        if sonet_util::obs::on() {
-            let depth: usize = parts[src].outbox.iter().map(Vec::len).sum();
+    let mut incoming: Vec<Vec<Scheduled>> = vec![Vec::new(); n];
+    for src in parts.iter_mut() {
+        // Per-source outbox histograms are deep-mode detail: at cluster
+        // granularity they would cost `partitions` registry ops on every
+        // one of the (much more numerous) windows in summary mode.
+        if sonet_util::obs::deep() {
+            let depth: usize = src.outbox.iter().map(Vec::len).sum();
             sonet_util::obs::hist_observe!(
                 "engine.outbox_depth",
                 depth as u64,
                 sonet_util::obs::metrics::BOUNDS_POW4
             );
-            boundary += depth as u64;
         }
-        let boxes: Vec<Vec<Scheduled>> = parts[src].outbox.iter_mut().map(std::mem::take).collect();
-        for (tgt, evs) in boxes.into_iter().enumerate() {
-            for s in evs {
-                debug_assert!(s.at >= parts[tgt].now, "lookahead violation");
-                parts[tgt].real_events += 1;
-                parts[tgt].events.push(Reverse(s));
-            }
+        for (tgt, evs) in src.outbox.iter_mut().enumerate() {
+            incoming[tgt].append(evs);
         }
     }
-    if boundary > 0 {
-        sonet_util::obs::counter_add!("engine.boundary_events", boundary);
+    for (tgt, evs) in incoming.into_iter().enumerate() {
+        if evs.is_empty() {
+            continue;
+        }
+        boundary += evs.len() as u64;
+        let p = &mut parts[tgt];
+        p.real_events += evs.len() as u64;
+        for s in evs {
+            debug_assert!(s.at >= p.now, "lookahead violation");
+            p.note_cross(sh, s.at, &s.ev);
+            p.events.push(Reverse(s));
+        }
     }
+
+    // A partition drains its window in key order, so each per-partition
+    // product buffer is already key-sorted — the canonical merge sort is
+    // only needed when more than one partition contributed this window.
 
     // 2. Tap deliveries, merged across partitions by generating-event key
     //    (exactly the order a width-1 run produces them in).
+    let multi = parts.iter().filter(|p| !p.tap_buf.is_empty()).count() > 1;
     let mut taps: Vec<part::TapCall> = Vec::new();
     for p in parts.iter_mut() {
         taps.append(&mut p.tap_buf);
     }
-    taps.sort_by_key(|t| t.key);
+    if multi {
+        taps.sort_by_key(|t| t.key);
+    }
     for t in &taps {
         coord.tap.on_packet(t.at, t.link, &t.pkt);
     }
 
     // 3. RPC latency samples, same canonical order.
+    let multi = parts.iter().filter(|p| !p.lat_buf.is_empty()).count() > 1;
     let mut lats: Vec<(EvKey, SimDuration)> = Vec::new();
     for p in parts.iter_mut() {
         lats.append(&mut p.lat_buf);
     }
-    lats.sort_by_key(|(k, _)| *k);
+    if multi {
+        lats.sort_by_key(|(k, _)| *k);
+    }
     coord.latencies.extend(lats.into_iter().map(|(_, d)| d));
 
     // 4. Completed buffer windows, ordered by (window start, position in
     //    the caller's switch list) — the order the serial sampler emits.
+    //    Always sorted: one partition can own several region shards whose
+    //    flushes interleave out of (start, orig) order.
     let mut wins: Vec<(SimTime, u32, BufferWindowStat)> = Vec::new();
     for p in parts.iter_mut() {
         wins.append(&mut p.window_stats);
@@ -1081,18 +1292,21 @@ fn barrier_merge<T: PacketTap>(
         .buffer_stats
         .extend(wins.into_iter().map(|(_, _, s)| s));
 
-    // 5. Cross-partition aborts: the peer learns one lookahead after the
-    //    abort instant — like a RST surfacing after the fabric
+    // 5. Cross-region aborts: the peer learns one notification delay
+    //    after the abort instant — like a RST surfacing after the fabric
     //    round-trip. Tying the notification to the abort's own timestamp
     //    (not the barrier position) keeps results independent of how the
-    //    caller slices its `run_until` horizon: the window that processed
-    //    the abort at t ended no later than t + lookahead, so the
-    //    notification is never in the peer's past.
+    //    caller slices its `run_until` horizon: no window ever extends
+    //    past its start by more than `WINDOW_CAP <= ABORT_NOTIFY_DELAY`,
+    //    so the notification is never in the peer's past.
+    let multi = parts.iter().filter(|p| !p.aborted_buf.is_empty()).count() > 1;
     let mut aborts: Vec<(EvKey, ConnId, bool)> = Vec::new();
     for p in parts.iter_mut() {
         aborts.append(&mut p.aborted_buf);
     }
-    aborts.sort_by_key(|(k, _, _)| *k);
+    if multi {
+        aborts.sort_by_key(|(k, _, _)| *k);
+    }
     for (key, conn, client_aborted) in aborts {
         let slot = coord.slots[conn.index()];
         if slot.gen != conn.gen {
@@ -1103,7 +1317,7 @@ fn barrier_merge<T: PacketTap>(
         } else {
             (slot.cpart as usize, true)
         };
-        let at = key.0 + lookahead;
+        let at = key.0 + ABORT_NOTIFY_DELAY;
         debug_assert!(
             at >= parts[peer].now,
             "abort notification lands in the peer's past"
@@ -1111,6 +1325,7 @@ fn barrier_merge<T: PacketTap>(
         let seq = coord.ext_seq;
         coord.ext_seq += 1;
         parts[peer].push_ext(
+            sh,
             at,
             seq,
             Ev::PeerGone {
@@ -1120,12 +1335,22 @@ fn barrier_merge<T: PacketTap>(
         );
     }
 
-    // 6. Retired slots become reusable, in (partition, retirement) order.
+    // 6. Retired slots become reusable in retiring-event order — the
+    //    same order a width-1 run grows `free_conns` in, whatever the
+    //    partition count.
+    let multi = parts.iter().filter(|p| !p.retired_buf.is_empty()).count() > 1;
+    let mut retired: Vec<(EvKey, u32)> = Vec::new();
     for p in parts.iter_mut() {
-        for idx in p.retired_buf.drain(..) {
-            coord.free_conns.push(idx);
-        }
+        retired.append(&mut p.retired_buf);
     }
+    if multi {
+        retired.sort_by_key(|(k, _)| *k);
+    }
+    coord
+        .free_conns
+        .extend(retired.into_iter().map(|(_, idx)| idx));
+
+    boundary
 }
 
 // ---------------------------------------------------------------------
@@ -1144,7 +1369,7 @@ struct BufSamplerCkpt {
     samples: Vec<Vec<u64>>,
 }
 
-/// Serialized dynamic state of a [`Simulator`] (format version 2).
+/// Serialized dynamic state of a [`Simulator`].
 ///
 /// Contains everything the engine mutates, merged across partitions into
 /// a canonical single-plant view: the event calendar (sorted by
@@ -1153,18 +1378,23 @@ struct BufSamplerCkpt {
 /// ran under. Topology-derived tables are rebuilt from the topology
 /// passed to [`Simulator::restore`], so a checkpoint stays small and
 /// cannot disagree with the plant it is replayed against. Because the
-/// view is canonical, checkpoint bytes are identical at every worker
-/// width, and a checkpoint taken at one width restores at any other.
+/// view is canonical — events keyed by topology-fixed regions, fault
+/// replicas deduplicated, sequence counters region-indexed — checkpoint
+/// bytes are identical at every worker width *and* every partition
+/// granularity, and a checkpoint taken under one configuration restores
+/// under any other.
 ///
-/// Version 1 checkpoints (single-calendar serial engine) fail to
-/// deserialize — resuming one requires the release that wrote it.
+/// Checkpoints from older format versions fail to restore — resuming
+/// one requires the release that wrote it.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineCheckpoint {
     version: u32,
     cfg: SimConfig,
     now: SimTime,
     events: Vec<Scheduled>,
-    /// Per-partition event sequence counters, indexed by partition.
+    /// Per-region event sequence counters, indexed by region (clusters,
+    /// then per-DC hub tiers, then the backbone) — partition-count-
+    /// independent because event sources are regions, not partitions.
     next_seqs: Vec<u64>,
     ext_seq: u64,
     conns_client: Vec<Option<Conn>>,
@@ -1227,6 +1457,10 @@ impl<T: PacketTap> Simulator<T> {
             .flat_map(|p| p.events.iter().map(|r| r.0.clone()))
             .collect();
         events.sort_by_key(Scheduled::key);
+        // Fault events are replicated into every partition under one
+        // shared key; the canonical calendar keeps a single copy (restore
+        // fans it back out), so the bytes are partition-count-independent.
+        events.dedup_by(|a, b| a.key() == b.key());
 
         let n_slots = self.coord.slots.len();
         let mut conns_client: Vec<Option<Conn>> = vec![None; n_slots];
@@ -1282,11 +1516,11 @@ impl<T: PacketTap> Simulator<T> {
             *occ = self.parts[sh.pmap.part_of_switch[si] as usize].switch_occ[si];
         }
 
-        // Reassemble the canonical sampler from the per-partition shards,
+        // Reassemble the canonical sampler from the per-region shards,
         // ordered by each switch's position in the original registration.
         let mut shard_refs: Vec<(&PartSampler, usize)> = Vec::new();
         for p in &self.parts {
-            if let Some(s) = &p.buf_sampler {
+            for s in &p.buf_samplers {
                 for i in 0..s.switches.len() {
                     shard_refs.push((s, i));
                 }
@@ -1312,7 +1546,9 @@ impl<T: PacketTap> Simulator<T> {
             cfg: sh.cfg.clone(),
             now: self.coord.now,
             events,
-            next_seqs: self.parts.iter().map(|p| p.next_seq).collect(),
+            next_seqs: (0..sh.pmap.n_regions as usize)
+                .map(|r| self.parts[sh.pmap.part_of_region[r] as usize].next_seqs[r])
+                .collect(),
             ext_seq: self.coord.ext_seq,
             conns_client,
             conns_server,
@@ -1368,7 +1604,7 @@ impl<T: PacketTap> Simulator<T> {
         let n_links = sh.topo.links().len();
         let n_switches = sh.topo.switches().len();
         let n_hosts = sh.topo.hosts().len();
-        let n_parts = sh.pmap.n_parts as usize;
+        let n_regions = sh.pmap.n_regions as usize;
         let bad = |what: &str| Err(SimError::Config(format!("checkpoint mismatch: {what}")));
         if ckpt.version != CHECKPOINT_VERSION {
             return bad("unsupported checkpoint version");
@@ -1393,8 +1629,8 @@ impl<T: PacketTap> Simulator<T> {
         if ckpt.health.n_links() != n_links || ckpt.health.n_switches() != n_switches {
             return bad("health mask dimensions do not match the topology");
         }
-        if ckpt.next_seqs.len() != n_parts {
-            return bad("partition count does not match the topology");
+        if ckpt.next_seqs.len() != n_regions {
+            return bad("region count does not match the topology");
         }
         if ckpt.conns_server.len() != ckpt.conns_client.len() {
             return bad("endpoint tables disagree on slot count");
@@ -1433,10 +1669,10 @@ impl<T: PacketTap> Simulator<T> {
             }
             let issued = if ev.src == EXT_SRC {
                 ckpt.ext_seq
-            } else if (ev.src as usize) < n_parts {
+            } else if (ev.src as usize) < n_regions {
                 ckpt.next_seqs[ev.src as usize]
             } else {
-                return bad("calendar entry from an unknown partition");
+                return bad("calendar entry from an unknown region");
             };
             if ev.seq >= issued {
                 return bad("calendar entry with an unissued sequence number");
@@ -1463,8 +1699,12 @@ impl<T: PacketTap> Simulator<T> {
             p.clients.resize(n_slots, None);
             p.servers.resize(n_slots, None);
         }
-        for (i, p) in sim.parts.iter_mut().enumerate() {
-            p.next_seq = ckpt.next_seqs[i];
+        // Each region's counter lands on the partition that owns the
+        // region under the *current* granularity — which may differ from
+        // the granularity that took the checkpoint.
+        for (r, &seq) in ckpt.next_seqs.iter().enumerate() {
+            let owner = sh.pmap.part_of_region[r] as usize;
+            sim.parts[owner].next_seqs[r] = seq;
         }
         for (i, c) in ckpt.conns_client.into_iter().enumerate() {
             let cpart = sim.coord.slots[i].cpart as usize;
@@ -1503,13 +1743,13 @@ impl<T: PacketTap> Simulator<T> {
             if let Some(&sw) = s.switches.iter().find(|sw| sw.index() >= n_switches) {
                 return bad(&format!("sampler references out-of-range {sw}"));
             }
-            for p in &mut sim.parts {
+            for region in 0..n_regions as u32 {
                 let mut owned = Vec::new();
                 let mut orig = Vec::new();
                 let mut caps = Vec::new();
                 let mut samples = Vec::new();
                 for (i, &sw) in s.switches.iter().enumerate() {
-                    if sh.pmap.part_of_switch[sw.index()] == p.idx {
+                    if sh.pmap.region_of_switch[sw.index()] == region {
                         owned.push(sw);
                         orig.push(i as u32);
                         caps.push(sh.switch_cap[sw.index()]);
@@ -1519,7 +1759,9 @@ impl<T: PacketTap> Simulator<T> {
                 if owned.is_empty() {
                     continue;
                 }
-                p.buf_sampler = Some(PartSampler {
+                let p = &mut sim.parts[sh.pmap.part_of_region[region as usize] as usize];
+                p.buf_samplers.push(PartSampler {
+                    region,
                     interval: s.interval,
                     window: s.window,
                     switches: owned,
@@ -1533,6 +1775,9 @@ impl<T: PacketTap> Simulator<T> {
 
         // Route every calendar entry to the partition that owns its
         // subject, then recount the housekeeping split per partition.
+        // Each push re-classifies the event against its new owner's
+        // cross-bound heap, so the first window after a resume is sized
+        // by the same rule as any other.
         for ev in ckpt.events {
             let target = match &ev.ev {
                 Ev::Transmit { pkt, hop } => {
@@ -1585,17 +1830,28 @@ impl<T: PacketTap> Simulator<T> {
                         slot.spart as usize
                     }
                 }
-                Ev::Fault { part, .. } | Ev::BufSample { part } => {
-                    if *part as usize >= n_parts {
-                        return bad("event addressed to an unknown partition");
+                Ev::Fault { .. } => {
+                    // The canonical calendar holds one copy; the live
+                    // engine replicates faults into every partition so
+                    // each health replica stays in lockstep.
+                    for p in &mut sim.parts {
+                        p.real_events += 1;
+                        p.events.push(Reverse(ev.clone()));
                     }
-                    *part as usize
+                    continue;
+                }
+                Ev::BufSample { region } => {
+                    if *region as usize >= n_regions {
+                        return bad("buffer sample for an unknown region");
+                    }
+                    sh.pmap.part_of_region[*region as usize] as usize
                 }
             };
             let p = &mut sim.parts[target];
             if !matches!(ev.ev, Ev::BufSample { .. }) {
                 p.real_events += 1;
             }
+            p.note_cross(sh, ev.at, &ev.ev);
             p.events.push(Reverse(ev));
         }
 

@@ -1,9 +1,14 @@
 //! Partition-local state and event handling for the conservative
 //! parallel engine.
 //!
-//! The plant is partitioned **by datacenter** (the backbone switch rides
-//! with partition 0). Every piece of mutable simulation state has exactly
-//! one owning partition:
+//! The plant decomposes into topology-fixed **regions**: one per
+//! cluster, one per datacenter's FC/DR hub tier, and one for the
+//! backbone switch. Regions group into runtime **partitions** at the
+//! granularity selected by [`Granularity`] — per-cluster by default
+//! (every region its own partition, dozens of them), or per-datacenter
+//! (`SONET_PARTITION=dc`: a DC's clusters and hub fold together, the
+//! backbone rides with partition 0). Every piece of mutable simulation
+//! state has exactly one owning partition:
 //!
 //! * link and switch state — owned by the partition of the link's
 //!   *transmitting* node;
@@ -16,26 +21,30 @@
 //! peer needs travels inside the packet ([`WirePacket`] carries the
 //! route it was emitted on, plus request metadata / issue timestamps on
 //! message-boundary segments). The only events that cross a partition
-//! boundary are `Transmit` hops over an inter-datacenter link, whose
-//! propagation delay is the engine's conservative lookahead.
+//! boundary are `Transmit` hops onto a link owned elsewhere, whose
+//! propagation delay feeds the engine's conservative lookahead.
 //!
 //! Determinism: every event carries the key `(at, src, seq)` where `src`
-//! is the partition that scheduled it (or [`EXT_SRC`] for the
-//! coordinator) and `seq` a per-source counter. Each partition drains its
-//! calendar strictly in key order, and the coordinator merges every
+//! is the **region** of the event's subject — not the partition, so the
+//! key is identical at every granularity — or [`EXT_SRC`] for the
+//! coordinator, and `seq` a per-region counter advanced only by the
+//! region's owning partition. Each partition drains its calendar
+//! strictly in key order, and the coordinator merges every
 //! cross-partition product (boundary events, tap calls, latency samples,
 //! buffer windows) in key order at each barrier — so nothing observable
-//! depends on how many worker threads carried the partitions.
+//! depends on how many worker threads carried the partitions, or on how
+//! regions were grouped into partitions.
 
 use crate::config::SimConfig;
 use crate::conn::{Conn, ConnPhase, DirState, MsgMeta};
 use crate::faults::FaultKind;
-use crate::packet::{ConnId, Dir, Packet, PacketKind};
+use crate::packet::{ConnId, Dir, FlowKey, Packet, PacketKind};
 use serde::{Deserialize, Serialize};
 use sonet_topology::{LinkHealth, LinkId, Node, SwitchId, Topology};
 use sonet_util::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use super::{BufferWindowStat, LinkCounters};
@@ -131,10 +140,13 @@ pub(crate) enum Ev {
     /// Barrier-injected notification that the peer endpoint aborted;
     /// `client` selects which endpoint this event is addressed to.
     PeerGone { conn: ConnId, client: bool },
-    /// An injected fault takes effect on partition `part`'s replica.
-    Fault { kind: FaultKind, part: u32 },
-    /// Periodic buffer occupancy sample on partition `part`.
-    BufSample { part: u32 },
+    /// An injected fault takes effect. One calendar entry per partition
+    /// replica, all sharing a single `(at, EXT_SRC, seq)` key so the
+    /// canonical (checkpoint) calendar is partition-count-independent.
+    Fault { kind: FaultKind },
+    /// Periodic buffer occupancy sample for the sampler shard of
+    /// `region` (processed by the region's owning partition).
+    BufSample { region: u32 },
 }
 
 /// Canonical event key: `(at, src, seq)`.
@@ -174,42 +186,153 @@ impl Ord for Scheduled {
     }
 }
 
-/// Static datacenter partitioning of the plant.
+/// How regions group into runtime partitions. The grouping never
+/// changes outputs — event keys are region-scoped — only how much
+/// parallelism the plant decomposes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// One partition per datacenter; a DC's clusters and hub tier fold
+    /// together and the backbone rides with partition 0 (the pre-cluster
+    /// engine's decomposition — coarse, but cheap on barriers).
+    Dc,
+    /// One partition per region: every cluster, every DC hub tier and
+    /// the backbone run alone (the default — dozens of partitions whose
+    /// intra-cluster traffic never crosses a boundary).
+    Cluster,
+}
+
+/// Process-wide granularity override: 0 = unset (consult the
+/// `SONET_PARTITION` env var, default cluster), 1 = dc, 2 = cluster.
+static GRANULARITY_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide partition granularity override. `None` restores
+/// the default resolution (`SONET_PARTITION=dc|cluster`, else cluster).
+/// Takes effect for simulators built afterwards.
+pub fn set_granularity_override(g: Option<Granularity>) {
+    let v = match g {
+        None => 0,
+        Some(Granularity::Dc) => 1,
+        Some(Granularity::Cluster) => 2,
+    };
+    GRANULARITY_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+fn resolve_granularity() -> Granularity {
+    match GRANULARITY_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return Granularity::Dc,
+        2 => return Granularity::Cluster,
+        _ => {}
+    }
+    match std::env::var("SONET_PARTITION").ok().as_deref() {
+        Some("dc") => Granularity::Dc,
+        _ => Granularity::Cluster,
+    }
+}
+
+/// Static decomposition of the plant: topology-fixed regions (clusters,
+/// per-DC hub tiers, backbone) grouped into runtime partitions.
 #[derive(Debug, Clone)]
 pub(crate) struct PartitionMap {
     pub n_parts: u32,
+    /// Region count — clusters + datacenters + 1 (backbone). Fixed by
+    /// the topology, independent of the partition granularity; event
+    /// sources and checkpoint sequence counters are region-indexed.
+    pub n_regions: u32,
     pub part_of_host: Vec<u32>,
     pub part_of_switch: Vec<u32>,
     /// Partition of the link's *transmitting* node — the owner of the
     /// link's queue, counters and utilization bins.
     pub part_of_link: Vec<u32>,
-    /// Minimum propagation delay over links whose receiving node lives in
-    /// a different partition than the link owner: the conservative
-    /// lookahead. `None` when no event can cross (single-partition plant).
-    pub lookahead: Option<SimDuration>,
+    /// Region of each host (= its cluster).
+    pub region_of_host: Vec<u32>,
+    /// Region of each switch: its cluster; else its datacenter's hub
+    /// region; else the backbone region.
+    pub region_of_switch: Vec<u32>,
+    /// Region of each link's transmitting node.
+    pub region_of_link: Vec<u32>,
+    /// Owning partition of each region.
+    pub part_of_region: Vec<u32>,
+    /// Per-partition minimum propagation delay (ns) over links this
+    /// partition owns whose receiving node lives elsewhere — the
+    /// earliest any chain of local events can reach another partition.
+    /// `None` when the partition has no outbound boundary link.
+    pub min_exit_ns: Vec<Option<u64>>,
 }
 
 impl PartitionMap {
     pub(crate) fn new(topo: &Topology) -> PartitionMap {
-        let n_parts = (topo.datacenters().len() as u32).max(1);
-        let part_of_host: Vec<u32> = topo.hosts().iter().map(|h| h.datacenter.0).collect();
-        // The backbone switch (datacenter = None) folds into partition 0.
-        let part_of_switch: Vec<u32> = topo
+        Self::with_granularity(topo, resolve_granularity())
+    }
+
+    pub(crate) fn with_granularity(topo: &Topology, gran: Granularity) -> PartitionMap {
+        let n_clusters = topo.clusters().len() as u32;
+        let n_dcs = topo.datacenters().len() as u32;
+        let backbone_region = n_clusters + n_dcs;
+        let n_regions = backbone_region + 1;
+
+        let region_of_host: Vec<u32> = topo
+            .hosts()
+            .iter()
+            .map(|h| h.cluster.index() as u32)
+            .collect();
+        let region_of_switch: Vec<u32> = topo
             .switches()
             .iter()
-            .map(|s| s.datacenter.map_or(0, |d| d.0))
+            .map(|s| match (s.cluster, s.datacenter) {
+                (Some(c), _) => c.index() as u32,
+                (None, Some(d)) => n_clusters + d.index() as u32,
+                (None, None) => backbone_region,
+            })
+            .collect();
+        let region_of_node = |n: Node| match n {
+            Node::Host(h) => region_of_host[h.index()],
+            Node::Switch(s) => region_of_switch[s.index()],
+        };
+        let region_of_link: Vec<u32> = topo
+            .links()
+            .iter()
+            .map(|l| region_of_node(l.from))
+            .collect();
+
+        // Region → partition: identity at cluster granularity; at dc
+        // granularity a cluster maps to its datacenter, a hub region to
+        // its datacenter, and the backbone folds into partition 0 —
+        // exactly the pre-cluster engine's decomposition.
+        let (n_parts, part_of_region) = match gran {
+            Granularity::Cluster => (n_regions, (0..n_regions).collect::<Vec<u32>>()),
+            Granularity::Dc => {
+                let mut v = Vec::with_capacity(n_regions as usize);
+                for c in topo.clusters() {
+                    v.push(c.datacenter.index() as u32);
+                }
+                for d in 0..n_dcs {
+                    v.push(d);
+                }
+                v.push(0);
+                (n_dcs.max(1), v)
+            }
+        };
+
+        let part_of_host: Vec<u32> = region_of_host
+            .iter()
+            .map(|&r| part_of_region[r as usize])
+            .collect();
+        let part_of_switch: Vec<u32> = region_of_switch
+            .iter()
+            .map(|&r| part_of_region[r as usize])
             .collect();
         let part_of_node = |n: Node| match n {
             Node::Host(h) => part_of_host[h.index()],
             Node::Switch(s) => part_of_switch[s.index()],
         };
         let mut part_of_link = Vec::with_capacity(topo.links().len());
-        let mut lookahead: Option<u64> = None;
+        let mut min_exit_ns: Vec<Option<u64>> = vec![None; n_parts as usize];
         for link in topo.links() {
             let owner = part_of_node(link.from);
             part_of_link.push(owner);
             if part_of_node(link.to) != owner {
-                lookahead = Some(match lookahead {
+                let slot = &mut min_exit_ns[owner as usize];
+                *slot = Some(match *slot {
                     Some(l) => l.min(link.propagation_ns),
                     None => link.propagation_ns,
                 });
@@ -217,10 +340,15 @@ impl PartitionMap {
         }
         PartitionMap {
             n_parts,
+            n_regions,
             part_of_host,
             part_of_switch,
             part_of_link,
-            lookahead: lookahead.map(SimDuration::from_nanos),
+            region_of_host,
+            region_of_switch,
+            region_of_link,
+            part_of_region,
+            min_exit_ns,
         }
     }
 }
@@ -259,12 +387,17 @@ pub(crate) struct Counters {
     pub gray_dropped_packets: u64,
 }
 
-/// Per-partition buffer occupancy sampler over the switches this
-/// partition owns. `orig[i]` is the switch's index in the full list the
-/// caller registered, which keys the canonical merge order of the
-/// produced windows.
-#[derive(Debug, Clone)]
+/// Per-region buffer occupancy sampler shard over the switches of one
+/// region (held by the region's owning partition, so shard membership —
+/// like everything region-scoped — is granularity-independent).
+/// `orig[i]` is the switch's index in the full list the caller
+/// registered, which keys the canonical merge order of the produced
+/// windows.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct PartSampler {
+    /// Region whose switches this shard samples (keys the shard's
+    /// `BufSample` event chain).
+    pub region: u32,
     pub interval: SimDuration,
     pub window: SimDuration,
     pub switches: Vec<SwitchId>,
@@ -294,9 +427,19 @@ pub(crate) struct Partition {
     pub wend: SimTime,
     /// Key of the event currently being handled (tags buffered outputs).
     cur_key: EvKey,
+    /// Region of the event currently being handled — the `src` every
+    /// event scheduled by the handler is keyed with.
+    cur_region: u32,
     pub events: BinaryHeap<Reverse<Scheduled>>,
-    /// Per-source sequence counter for events this partition schedules.
-    pub next_seq: u64,
+    /// Per-region sequence counters (full region-count size; only the
+    /// regions this partition owns ever advance). Region-scoped so event
+    /// keys — and checkpoints — are identical at every granularity.
+    pub next_seqs: Vec<u64>,
+    /// Lower bounds on when pending work could first schedule into
+    /// another partition: `(bound, event time)`, min-heap by bound. The
+    /// coordinator reads the head to size the next window and lazily
+    /// pops entries whose event time has passed.
+    pub cross_bounds: BinaryHeap<Reverse<(SimTime, SimTime)>>,
     /// Client endpoints, dense by connection slot (None = this partition
     /// does not own the slot's client side).
     pub clients: Vec<Option<Conn>>,
@@ -321,7 +464,9 @@ pub(crate) struct Partition {
     pub health: LinkHealth,
     pub switch_occ: Vec<u64>,
     pub util_series: Vec<Vec<u64>>,
-    pub buf_sampler: Option<PartSampler>,
+    /// Sampler shards for the regions this partition owns, ordered by
+    /// region.
+    pub buf_samplers: Vec<PartSampler>,
     // Per-window products, drained by the coordinator at each barrier.
     /// Cross-partition events, indexed by target partition.
     pub outbox: Vec<Vec<Scheduled>>,
@@ -333,14 +478,20 @@ pub(crate) struct Partition {
     /// Endpoints that aborted this window: (event key, conn, true when
     /// the *client* endpoint aborted).
     pub aborted_buf: Vec<(EvKey, ConnId, bool)>,
-    /// Connection slots retired this window.
-    pub retired_buf: Vec<u32>,
+    /// Connection slots retired this window, with the retiring event's
+    /// key — the granularity-independent order `free_conns` grows in.
+    pub retired_buf: Vec<(EvKey, u32)>,
     pub counters: Counters,
     /// Non-housekeeping events in this partition's heap + outboxes.
     pub real_events: u64,
     pub processed_events: u64,
-    /// Events handled in the current window (for barrier utilization).
+    /// Events handled in the current window (for load accounting — fault
+    /// replicas and everything else count here).
     pub window_events: u64,
+    /// The `processed_events` contribution of the current window: like
+    /// `window_events` but counting fault replicas only once (on
+    /// partition 0), so the total is partition-count-independent.
+    pub window_counted: u64,
     /// Timestamp of the last handled event (quiescence clock).
     pub last_at: SimTime,
 }
@@ -354,8 +505,10 @@ impl Partition {
             now: SimTime::ZERO,
             wend: SimTime::ZERO,
             cur_key: (SimTime::ZERO, 0, 0),
+            cur_region: 0,
             events: BinaryHeap::new(),
-            next_seq: 0,
+            next_seqs: vec![0; sh.pmap.n_regions as usize],
+            cross_bounds: BinaryHeap::new(),
             clients: Vec::new(),
             servers: Vec::new(),
             link_free_at: vec![SimTime::ZERO; n_links],
@@ -367,7 +520,7 @@ impl Partition {
             health: LinkHealth::new(&sh.topo),
             switch_occ: vec![0; n_switches],
             util_series: vec![Vec::new(); n_links],
-            buf_sampler: None,
+            buf_samplers: Vec::new(),
             outbox: vec![Vec::new(); sh.pmap.n_parts as usize],
             tap_buf: Vec::new(),
             lat_buf: Vec::new(),
@@ -378,16 +531,18 @@ impl Partition {
             real_events: 0,
             processed_events: 0,
             window_events: 0,
+            window_counted: 0,
             last_at: SimTime::ZERO,
         }
     }
 
     /// Pushes a coordinator-scheduled event (no ownership routing; the
     /// coordinator already picked this partition).
-    pub(crate) fn push_ext(&mut self, at: SimTime, seq: u64, ev: Ev) {
+    pub(crate) fn push_ext(&mut self, sh: &SharedCtx, at: SimTime, seq: u64, ev: Ev) {
         if !matches!(ev, Ev::BufSample { .. }) {
             self.real_events += 1;
         }
+        self.note_cross(sh, at, &ev);
         self.events.push(Reverse(Scheduled {
             at,
             src: EXT_SRC,
@@ -396,20 +551,38 @@ impl Partition {
         }));
     }
 
-    /// Schedules a partition-local event.
-    fn schedule(&mut self, at: SimTime, ev: Ev) {
+    /// Coordinator-side scheduling under a *region* key: consumes the
+    /// region's sequence counter, exactly as a handler running in that
+    /// region would (used to seed per-region event chains like the
+    /// buffer sampler's).
+    pub(crate) fn push_region(&mut self, sh: &SharedCtx, region: u32, at: SimTime, ev: Ev) {
+        debug_assert_eq!(sh.pmap.part_of_region[region as usize], self.idx);
+        if !matches!(ev, Ev::BufSample { .. }) {
+            self.real_events += 1;
+        }
+        let seq = self.next_seqs[region as usize];
+        self.next_seqs[region as usize] += 1;
+        self.note_cross(sh, at, &ev);
+        self.events.push(Reverse(Scheduled {
+            at,
+            src: region,
+            seq,
+            ev,
+        }));
+    }
+
+    /// Schedules a partition-local event, keyed by the region of the
+    /// event currently being handled.
+    fn schedule(&mut self, sh: &SharedCtx, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "scheduling into the past");
         if !matches!(ev, Ev::BufSample { .. }) {
             self.real_events += 1;
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(Reverse(Scheduled {
-            at,
-            src: self.idx,
-            seq,
-            ev,
-        }));
+        let src = self.cur_region;
+        let seq = self.next_seqs[src as usize];
+        self.next_seqs[src as usize] += 1;
+        self.note_cross(sh, at, &ev);
+        self.events.push(Reverse(Scheduled { at, src, seq, ev }));
     }
 
     /// Schedules an event into another partition's next window. The
@@ -419,15 +592,134 @@ impl Partition {
     fn schedule_cross(&mut self, target: u32, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now);
         // real_events is credited to the *target* when the coordinator
-        // merges the outbox at the barrier.
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.outbox[target as usize].push(Scheduled {
-            at,
-            src: self.idx,
-            seq,
-            ev,
-        });
+        // merges the outbox at the barrier (which also classifies the
+        // event against the target's cross-bound heap).
+        let src = self.cur_region;
+        let seq = self.next_seqs[src as usize];
+        self.next_seqs[src as usize] += 1;
+        self.outbox[target as usize].push(Scheduled { at, src, seq, ev });
+    }
+
+    /// Records the cross-partition lower bound of a freshly enqueued
+    /// event, if handling it could ever reach another partition.
+    pub(crate) fn note_cross(&mut self, sh: &SharedCtx, at: SimTime, ev: &Ev) {
+        if let Some(bound) = self.cross_bound(sh, at, ev) {
+            self.cross_bounds.push(Reverse((bound, at)));
+        }
+    }
+
+    /// Lower bound on the earliest instant that handling `ev` at `at` —
+    /// or any chain of strictly-local events it spawns — could schedule
+    /// an event into another partition; `None` when no such chain
+    /// exists. Soundness argument in DESIGN.md §10: every cross-schedule
+    /// performed inside a window descends from some pre-window event,
+    /// and this classification of that ancestor already bounds it.
+    fn cross_bound(&self, sh: &SharedCtx, at: SimTime, ev: &Ev) -> Option<SimTime> {
+        let pm = &sh.pmap;
+        let min_exit = pm.min_exit_ns[self.idx as usize]?;
+        let conn_bound =
+            |straddles: bool| straddles.then(|| at + SimDuration::from_nanos(min_exit));
+        let key_straddles = |key: &FlowKey| {
+            pm.part_of_host[key.client.index()] != pm.part_of_host[key.server.index()]
+        };
+        match ev {
+            Ev::Transmit { pkt, hop } => {
+                // Walk the route while it stays on links we own,
+                // accumulating propagation; the first hop whose next
+                // location is foreign bounds the crossing exactly.
+                let hops = pkt.route.as_slice();
+                let mut acc = at;
+                for k in *hop as usize..hops.len() {
+                    let li = hops[k].index();
+                    debug_assert_eq!(pm.part_of_link[li], self.idx, "classifying a foreign hop");
+                    acc += SimDuration::from_nanos(sh.link_prop[li]);
+                    let next_part = if k + 1 == hops.len() {
+                        pm.part_of_host[pkt.p.wire_dst().index()]
+                    } else {
+                        pm.part_of_link[hops[k + 1].index()]
+                    };
+                    if next_part != self.idx {
+                        return Some(acc);
+                    }
+                }
+                // The packet terminates here; its delivery can still
+                // spawn reverse traffic that leaves (ACKs and responses
+                // of a partition-straddling connection).
+                conn_bound(key_straddles(&pkt.p.key))
+            }
+            Ev::Deliver { pkt } => conn_bound(key_straddles(&pkt.p.key)),
+            Ev::Rto { conn, dir } => {
+                conn_bound(self.conn_straddles(sh, *conn, *dir == Dir::ClientToServer))
+            }
+            Ev::Service { conn, .. } => conn_bound(self.conn_straddles(sh, *conn, false)),
+            Ev::OpenConn { conn }
+            | Ev::SynRetry { conn }
+            | Ev::SendMsg { conn, .. }
+            | Ev::Close { conn } => conn_bound(self.conn_straddles(sh, *conn, true)),
+            // Release/Retire mutate bookkeeping only; PeerGone tears a
+            // half down (Retire stays local); Fault mutates replicas;
+            // BufSample chains stay inside the region.
+            Ev::Release { .. }
+            | Ev::Retire { .. }
+            | Ev::PeerGone { .. }
+            | Ev::Fault { .. }
+            | Ev::BufSample { .. } => None,
+        }
+    }
+
+    /// Whether `conn`'s endpoints live in different partitions,
+    /// consulted through the endpoint table given which half the event
+    /// addresses. An absent or superseded half answers `true` — the
+    /// handler will no-op, and a conservative bound is always sound.
+    fn conn_straddles(&self, sh: &SharedCtx, conn: ConnId, client: bool) -> bool {
+        let table = if client { &self.clients } else { &self.servers };
+        match table.get(conn.index()).and_then(Option::as_ref) {
+            Some(c) => {
+                sh.pmap.part_of_host[c.key.client.index()]
+                    != sh.pmap.part_of_host[c.key.server.index()]
+            }
+            None => true,
+        }
+    }
+
+    /// Region of the event's subject: the host/link it touches, or the
+    /// endpoint host it addresses — the `src` its handler schedules
+    /// under. Fixed by the topology, never by the grouping.
+    fn region_of_event(&self, sh: &SharedCtx, ev: &Ev) -> u32 {
+        let pm = &sh.pmap;
+        match ev {
+            Ev::Transmit { pkt, hop } => {
+                pm.region_of_link[pkt.route.as_slice()[*hop as usize].index()]
+            }
+            Ev::Deliver { pkt } => pm.region_of_host[pkt.p.wire_dst().index()],
+            Ev::Release { link, .. } => pm.region_of_link[*link as usize],
+            Ev::Rto { conn, dir } => self.conn_region(sh, *conn, *dir == Dir::ClientToServer),
+            Ev::Service { conn, .. } => self.conn_region(sh, *conn, false),
+            Ev::OpenConn { conn }
+            | Ev::SynRetry { conn }
+            | Ev::SendMsg { conn, .. }
+            | Ev::Close { conn }
+            | Ev::Retire { conn } => self.conn_region(sh, *conn, true),
+            Ev::PeerGone { conn, client } => self.conn_region(sh, *conn, *client),
+            // Fault handlers never schedule, so the region is unused;
+            // BufSample chains carry their region explicitly.
+            Ev::Fault { .. } => 0,
+            Ev::BufSample { region } => *region,
+        }
+    }
+
+    /// Region of the addressed endpoint's host. A dead or superseded
+    /// endpoint returns region 0 — its handler no-ops and schedules
+    /// nothing, so the value never reaches an event key.
+    fn conn_region(&self, sh: &SharedCtx, conn: ConnId, client: bool) -> u32 {
+        let table = if client { &self.clients } else { &self.servers };
+        match table.get(conn.index()).and_then(Option::as_ref) {
+            Some(c) => {
+                let host = if client { c.key.client } else { c.key.server };
+                sh.pmap.region_of_host[host.index()]
+            }
+            None => 0,
+        }
     }
 
     /// Drains every event with `at < self.wend`, in key order.
@@ -440,10 +732,17 @@ impl Partition {
             self.now = sched.at;
             self.last_at = sched.at;
             self.cur_key = sched.key();
+            self.cur_region = self.region_of_event(sh, &sched.ev);
             if !matches!(sched.ev, Ev::BufSample { .. }) {
                 self.real_events -= 1;
             }
-            self.processed_events += 1;
+            // Fault replicas are processed once per partition but exist
+            // once in the canonical calendar: count them only on
+            // partition 0 so `processed_events` is grouping-independent.
+            if !matches!(sched.ev, Ev::Fault { .. }) || self.idx == 0 {
+                self.processed_events += 1;
+                self.window_counted += 1;
+            }
             self.window_events += 1;
             self.handle(sh, sched.ev);
         }
@@ -495,12 +794,12 @@ impl Partition {
             }
             Ev::Retire { conn } => {
                 if self.half_live(true, conn) {
-                    self.retired_buf.push(conn.idx);
+                    self.retired_buf.push((self.cur_key, conn.idx));
                 }
             }
             Ev::PeerGone { conn, client } => self.on_peer_gone(sh, conn, client),
-            Ev::Fault { kind, .. } => self.on_fault(kind),
-            Ev::BufSample { .. } => self.on_buf_sample(),
+            Ev::Fault { kind } => self.on_fault(kind),
+            Ev::BufSample { region } => self.on_buf_sample(sh, region),
         }
     }
 
@@ -576,6 +875,7 @@ impl Partition {
         self.link_counters[li].tx_bytes += w as u64;
         self.link_counters[li].tx_packets += 1;
         self.schedule(
+            sh,
             end,
             Ev::Release {
                 link: li as u32,
@@ -616,7 +916,7 @@ impl Partition {
             sh.pmap.part_of_link[route.as_slice()[hop as usize + 1].index()]
         };
         if target == self.idx {
-            self.schedule(arrive, next);
+            self.schedule(sh, arrive, next);
         } else {
             self.schedule_cross(target, arrive, next);
         }
@@ -756,6 +1056,7 @@ impl Partition {
             let meta = pkt.meta.expect("last client->server segment carries meta");
             if meta.response_bytes > 0 {
                 self.schedule(
+                    sh,
                     self.now + meta.service_time,
                     Ev::Service {
                         conn: p.conn,
@@ -825,7 +1126,7 @@ impl Partition {
             Action::Idle => {}
             Action::Rearm => {
                 let at = self.now + rto;
-                self.schedule(at, Ev::Rto { conn, dir });
+                self.schedule(sh, at, Ev::Rto { conn, dir });
             }
             Action::Retransmit => {
                 // No progress since arming. If the pinned route broke,
@@ -902,14 +1203,17 @@ impl Partition {
         // phase, backing off exponentially (capped) like a real
         // connect().
         let backoff = sh.cfg.rto * (1u64 << (attempts - 1).min(10));
-        self.schedule(self.now + backoff, Ev::SynRetry { conn });
+        self.schedule(sh, self.now + backoff, Ev::SynRetry { conn });
     }
 
     /// Closes one endpoint abruptly (no FIN): queues are dropped, pending
-    /// timers find nothing in flight. A peer in this partition learns of
-    /// the abort at the abort instant — the serial engine's atomic
-    /// whole-connection teardown; a peer in another partition is notified
-    /// through the coordinator one lookahead later. The slot (client side
+    /// timers find nothing in flight. A peer in the *same region* learns
+    /// of the abort at the abort instant — the serial engine's atomic
+    /// whole-connection teardown, and a same-region peer shares this
+    /// partition at every granularity so the choice is
+    /// grouping-independent. A peer in another region is notified
+    /// through the coordinator [`super::ABORT_NOTIFY_DELAY`] later (a
+    /// RST surfacing after the fabric round-trip). The slot (client side
     /// only) retires after quarantine.
     fn abort_half(&mut self, sh: &SharedCtx, conn: ConnId, client: bool) {
         let ci = conn.index();
@@ -927,10 +1231,11 @@ impl Partition {
             // A conn that closed normally already scheduled its Retire;
             // scheduling a second one would double-free the slot.
             let at = self.now + sh.cfg.conn_quarantine;
-            self.schedule(at, Ev::Retire { conn });
+            self.schedule(sh, at, Ev::Retire { conn });
         }
-        if sh.pmap.part_of_host[peer_host.index()] == self.idx {
+        if sh.pmap.region_of_host[peer_host.index()] == self.cur_region {
             self.schedule(
+                sh,
                 self.now,
                 Ev::PeerGone {
                     conn,
@@ -960,7 +1265,7 @@ impl Partition {
         };
         if client && !was_closed {
             let at = self.now + sh.cfg.conn_quarantine;
-            self.schedule(at, Ev::Retire { conn });
+            self.schedule(sh, at, Ev::Retire { conn });
         }
     }
 
@@ -1131,7 +1436,7 @@ impl Partition {
             // confused with a future occupant (generation tags guard
             // regardless).
             let at = self.now + sh.cfg.conn_quarantine;
-            self.schedule(at, Ev::Retire { conn });
+            self.schedule(sh, at, Ev::Retire { conn });
         }
     }
 
@@ -1179,7 +1484,7 @@ impl Partition {
         if ds.in_flight() > 0 && !ds.rto_armed {
             ds.rto_armed = true;
             ds.acked_at_arm = ds.acked;
-            self.schedule(now + rto, Ev::Rto { conn, dir });
+            self.schedule(sh, now + rto, Ev::Rto { conn, dir });
         }
     }
 
@@ -1251,34 +1556,38 @@ impl Partition {
             self.idx,
             "first hop of an emitted packet is always local"
         );
-        self.schedule(self.now, Ev::Transmit { pkt, hop: 0 });
+        self.schedule(sh, self.now, Ev::Transmit { pkt, hop: 0 });
     }
 
     // ------------------------------------------------------------------
     // Buffer sampling
     // ------------------------------------------------------------------
 
-    fn on_buf_sample(&mut self) {
-        let Some(sampler) = self.buf_sampler.as_mut() else {
+    fn on_buf_sample(&mut self, sh: &SharedCtx, region: u32) {
+        let Some(si) = self.buf_samplers.iter().position(|s| s.region == region) else {
             return;
         };
-        // Close the window first if we've crossed its boundary.
-        if self.now >= sampler.window_start + sampler.window {
-            self.flush_buffer_window(false);
+        // Close the shard's window first if we've crossed its boundary.
+        if self.now >= self.buf_samplers[si].window_start + self.buf_samplers[si].window {
+            self.flush_shard(si, false);
         }
-        let sampler = self.buf_sampler.as_mut().expect("sampler persists");
-        for (i, sw) in sampler.switches.iter().enumerate() {
-            sampler.samples[i].push(self.switch_occ[sw.index()]);
+        let shard = &mut self.buf_samplers[si];
+        for (i, sw) in shard.switches.iter().enumerate() {
+            shard.samples[i].push(self.switch_occ[sw.index()]);
         }
-        let next = self.now + sampler.interval;
-        let part = self.idx;
-        self.schedule(next, Ev::BufSample { part });
+        let next = self.now + shard.interval;
+        self.schedule(sh, next, Ev::BufSample { region });
     }
 
-    pub(crate) fn flush_buffer_window(&mut self, final_flush: bool) {
-        let Some(mut sampler) = self.buf_sampler.take() else {
-            return;
-        };
+    /// Flushes every sampler shard's current window (end of run).
+    pub(crate) fn flush_buffer_windows(&mut self) {
+        for si in 0..self.buf_samplers.len() {
+            self.flush_shard(si, true);
+        }
+    }
+
+    fn flush_shard(&mut self, si: usize, final_flush: bool) {
+        let mut sampler = std::mem::take(&mut self.buf_samplers[si]);
         let window_start = sampler.window_start;
         for (i, sw) in sampler.switches.iter().enumerate() {
             let samples = &mut sampler.samples[i];
@@ -1312,7 +1621,7 @@ impl Partition {
                 sampler.window_start += sampler.window;
             }
         }
-        self.buf_sampler = Some(sampler);
+        self.buf_samplers[si] = sampler;
     }
 }
 

@@ -820,19 +820,33 @@ fn inter_datacenter_rtt_reflects_backbone_propagation() {
 // -----------------------------------------------------------------
 
 #[test]
-fn partition_count_follows_datacenters() {
+fn partition_count_follows_granularity() {
+    // Cluster granularity (the default): one partition per cluster, plus
+    // one per datacenter's hub tier, plus the backbone. Forced via the
+    // override so a SONET_PARTITION=dc environment cannot skew the test.
+    crate::engine::set_granularity_override(Some(crate::engine::Granularity::Cluster));
     let one_dc = two_cluster_topo();
     let sim = sim_with_collector(&one_dc);
-    assert_eq!(sim.partitions(), 1);
+    assert_eq!(sim.partitions(), 2 + 1 + 1);
 
     let two_dc = two_dc_topo();
     let sim = sim_with_collector(&two_dc);
-    assert_eq!(sim.partitions(), 2);
-    // Lookahead is the backbone propagation delay (1 ms).
+    assert_eq!(sim.partitions(), 2 + 2 + 1);
+    // Every region is its own partition, so the region→partition map is
+    // the identity.
     assert_eq!(
-        sim.shared.pmap.lookahead,
-        Some(SimDuration::from_nanos(1_000_000))
+        sim.shared.pmap.part_of_region,
+        (0..sim.shared.pmap.n_regions).collect::<Vec<u32>>()
     );
+
+    // Coarse (dc) granularity folds clusters into their datacenter —
+    // the pre-cluster engine's decomposition.
+    crate::engine::set_granularity_override(Some(crate::engine::Granularity::Dc));
+    let sim_one = sim_with_collector(&one_dc);
+    let sim_two = sim_with_collector(&two_dc);
+    crate::engine::set_granularity_override(None);
+    assert_eq!(sim_one.partitions(), 1);
+    assert_eq!(sim_two.partitions(), 2);
 }
 
 /// Two-DC workload with faults and telemetry, run at a given width; the
@@ -1009,7 +1023,7 @@ fn checkpoint_restore_preserves_counters_and_clock() {
 
 #[test]
 fn engine_checkpoint_serialization_is_stable() {
-    // Regression guard for the version-3 partitioned checkpoint: same
+    // Regression guard for the version-4 region-keyed checkpoint: same
     // top-level field order on every run, `util_series` as link-sorted
     // `(LinkId, bins)` pairs covering every tracked link, and the
     // version tag leading the record.
@@ -1085,7 +1099,7 @@ fn engine_checkpoint_serialization_is_stable() {
             .unwrap_or_else(|| panic!("field {key} missing or out of order"));
         cursor += at + needle.len();
     }
-    assert!(json.starts_with("{\"version\":3,"), "version must lead");
+    assert!(json.starts_with("{\"version\":4,"), "version must lead");
 
     // util_series value shape: exactly the tracked links, ascending.
     let listed: Vec<LinkId> = ckpt.util_series.iter().map(|(l, _)| *l).collect();
@@ -1267,7 +1281,7 @@ fn restore_rejects_foreign_version() {
     let mut sim = busy_sim(&topo);
     sim.run_until(SimTime::from_micros(500));
     let json = serde_json::to_string(&sim.checkpoint()).expect("serialize");
-    let forged = json.replacen("{\"version\":3,", "{\"version\":2,", 1);
+    let forged = json.replacen("{\"version\":4,", "{\"version\":3,", 1);
     assert_ne!(json, forged, "the version tag must be present to forge");
     let ckpt: EngineCheckpoint = serde_json::from_str(&forged).expect("parse");
     match Simulator::restore(Arc::clone(&topo), NullTap, ckpt) {

@@ -42,8 +42,8 @@ pub mod tap;
 
 pub use config::{BufferConfig, SimConfig};
 pub use engine::{
-    AuditReport, AuditViolation, BufferWindowStat, EngineCheckpoint, LinkCounters, LiveCounters,
-    ParallelStats, SimError, SimOutputs, Simulator,
+    set_granularity_override, AuditReport, AuditViolation, BufferWindowStat, EngineCheckpoint,
+    Granularity, LinkCounters, LiveCounters, ParallelStats, SimError, SimOutputs, Simulator,
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan, MAX_FLAP_CYCLES};
 pub use packet::{ConnId, Dir, FlowKey, Packet, PacketKind};

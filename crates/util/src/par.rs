@@ -191,13 +191,17 @@ where
                         if i >= n {
                             break;
                         }
-                        let mut slot = slots_ref[i].lock().expect("slot lock never poisons");
-                        let mut s = slot.take().expect("cursor hands each slot out once");
+                        // The whole claim is inside the catch: a panic
+                        // anywhere (the work itself, a poisoned slot, a
+                        // double claim) must reach the stop path below —
+                        // a worker dying silently would strand everyone
+                        // else on the barrier condvars forever.
                         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            work(i, &mut s)
+                            let mut slot = slots_ref[i].lock().expect("slot lock never poisons");
+                            let mut s = slot.take().expect("cursor hands each slot out once");
+                            work(i, &mut s);
+                            *slot = Some(s);
                         }));
-                        *slot = Some(s);
-                        drop(slot);
                         let mut c = ctrl.lock().expect("ctrl lock never poisons");
                         if let Err(payload) = r {
                             let mut p = panic_payload.lock().expect("panic slot");
@@ -220,9 +224,20 @@ where
         }
 
         // Coordinator: alternate plan (exclusive access) with released
-        // phases until plan declines or a worker panics.
+        // phases until plan declines or a worker panics. A panic *in
+        // plan* is caught and converted into the normal stop path first:
+        // unwinding out of the scope with workers parked on the condvar
+        // would deadlock the join.
         loop {
-            if !plan(&mut states) {
+            let cont = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan(&mut states)))
+                .unwrap_or_else(|payload| {
+                    let mut p = panic_payload.lock().expect("panic slot");
+                    if p.is_none() {
+                        *p = Some(payload);
+                    }
+                    false
+                });
+            if !cont {
                 let mut c = ctrl.lock().expect("ctrl lock never poisons");
                 c.stop = true;
                 to_workers.notify_all();
@@ -242,6 +257,316 @@ where
                 }
                 if c.stop {
                     break;
+                }
+            }
+            for slot in slots_ref.iter() {
+                let s = slot
+                    .lock()
+                    .expect("slot lock never poisons")
+                    .take()
+                    .expect("phase barrier returned every state");
+                states.push(s);
+            }
+        }
+    });
+
+    if let Some(payload) = panic_payload
+        .lock()
+        .expect("panic slot lock never poisons")
+        .take()
+    {
+        std::panic::resume_unwind(payload);
+    }
+    states
+}
+
+/// Timing and steal counters for one completed phase of
+/// [`run_phased_stealing`], filled in by the pool before each `plan`
+/// call. Purely observational: nothing in here feeds back into what any
+/// state computes, so wall-clock nondeterminism never touches outputs.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Work items executed by a worker other than the one they were
+    /// seeded to.
+    pub steals: u64,
+    /// Total time workers spent inside `work` calls, summed over workers.
+    pub busy_ns: u64,
+    /// Total time workers spent in-phase but not inside `work` (queue
+    /// scans plus waiting out the stragglers), summed over workers.
+    pub idle_ns: u64,
+    /// Longest single worker's in-phase time — the phase's critical path.
+    pub wall_ns: u64,
+    /// Time spent inside `work(i, ..)` for each state `i`.
+    pub slot_busy_ns: Vec<u64>,
+}
+
+/// Coordinator-side handle for [`run_phased_stealing`]: the previous
+/// phase's [`PhaseStats`] plus the per-state weights that seed the next
+/// phase's queues.
+#[derive(Debug, Clone, Default)]
+pub struct StealCtl {
+    /// Stats of the phase that just completed (zeroed before the first).
+    pub stats: PhaseStats,
+    /// Relative cost estimate per state, read when seeding the next
+    /// phase: heavier states are dealt to emptier workers first (greedy
+    /// LPT). Scheduling only — weights never change any state's value.
+    pub weights: Vec<u64>,
+}
+
+/// Deterministic greedy LPT deal: states sorted by (weight desc, index
+/// asc), each placed on the currently lightest worker (ties to the
+/// lowest worker id). Pure function of the weights, so the seeding —
+/// unlike the stealing that follows — is reproducible run to run.
+fn seed_queues(threads: usize, weights: &[u64]) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut loads = vec![0u64; threads];
+    for i in order {
+        let w = (0..threads).min_by_key(|&w| (loads[w], w)).expect(">=1");
+        loads[w] += weights[i].max(1);
+        queues[w].push(i);
+    }
+    queues
+}
+
+/// [`run_phased`] with work stealing inside each phase.
+///
+/// Between phases the coordinator seeds one queue per worker from
+/// `ctl.weights` (heaviest states first, greedy LPT). During a phase
+/// each worker drains its own queue front-first; a worker whose queue
+/// runs dry scans the others round-robin from its right-hand neighbour
+/// and steals from the *back* (the victim's lightest remaining states),
+/// so a skewed window no longer serializes behind one worker.
+///
+/// Determinism is inherited from the same structure as [`run_phased`]:
+/// every state is claimed by exactly one worker per phase and mutated
+/// only through `work(i, &mut states[i])`, so *which* thread runs a
+/// state can never change what the state computes — stealing reorders
+/// execution, never results. `plan` runs on the caller's thread between
+/// phases with exclusive access to all states and the completed phase's
+/// [`PhaseStats`]; it returns `false` to stop. With `threads <= 1` the
+/// phases run inline in index order and only `slot_busy_ns`, `busy_ns`
+/// and `wall_ns` are meaningful.
+pub fn run_phased_stealing<S, P, W>(
+    threads: usize,
+    mut states: Vec<S>,
+    mut plan: P,
+    work: W,
+) -> Vec<S>
+where
+    S: Send,
+    P: FnMut(&mut [S], &mut StealCtl) -> bool,
+    W: Fn(usize, &mut S) + Sync,
+{
+    let n = states.len();
+    let threads = threads.max(1).min(n.max(1));
+    let mut ctl = StealCtl {
+        stats: PhaseStats {
+            slot_busy_ns: vec![0; n],
+            ..PhaseStats::default()
+        },
+        weights: vec![1; n],
+    };
+    if threads <= 1 {
+        loop {
+            if !plan(&mut states, &mut ctl) {
+                return states;
+            }
+            let phase_start = std::time::Instant::now();
+            let mut busy = 0u64;
+            for (i, s) in states.iter_mut().enumerate() {
+                let t0 = std::time::Instant::now();
+                work(i, s);
+                let ns = t0.elapsed().as_nanos() as u64;
+                ctl.stats.slot_busy_ns[i] = ns;
+                busy += ns;
+            }
+            ctl.stats.steals = 0;
+            ctl.stats.busy_ns = busy;
+            ctl.stats.idle_ns = 0;
+            ctl.stats.wall_ns = phase_start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// What one worker reports back at the end of a phase.
+    #[derive(Default)]
+    struct WorkerReport {
+        steals: u64,
+        busy_ns: u64,
+        wall_ns: u64,
+        slot_busy: Vec<(usize, u64)>,
+    }
+    struct Ctrl {
+        /// Bumped by the coordinator to release workers into a phase.
+        phase: u64,
+        /// Workers still inside the current phase.
+        pending: usize,
+        /// Set when the run is over (normally or by a worker panic).
+        stop: bool,
+    }
+    let ctrl = Mutex::new(Ctrl {
+        phase: 0,
+        pending: 0,
+        stop: false,
+    });
+    let to_workers = std::sync::Condvar::new();
+    let to_coord = std::sync::Condvar::new();
+    let mut slots: Vec<Mutex<Option<S>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || Mutex::new(None));
+    let mut queues: Vec<Mutex<std::collections::VecDeque<usize>>> = Vec::with_capacity(threads);
+    queues.resize_with(threads, || Mutex::new(std::collections::VecDeque::new()));
+    let mut reports: Vec<Mutex<WorkerReport>> = Vec::with_capacity(threads);
+    reports.resize_with(threads, || Mutex::new(WorkerReport::default()));
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let (ctrl, to_workers, to_coord) = (&ctrl, &to_workers, &to_coord);
+    let (slots_ref, queues_ref, reports_ref) = (&slots, &queues, &reports);
+    let panic_payload = &panic_payload;
+    let work = &work;
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            scope.spawn(move || {
+                let mut seen = 0u64;
+                loop {
+                    {
+                        let mut c = ctrl.lock().expect("ctrl lock never poisons");
+                        while c.phase == seen && !c.stop {
+                            c = to_workers.wait(c).expect("ctrl lock never poisons");
+                        }
+                        if c.stop {
+                            return;
+                        }
+                        seen = c.phase;
+                    }
+                    let phase_start = std::time::Instant::now();
+                    let mut report = WorkerReport::default();
+                    // The whole phase body is inside the catch: a panic
+                    // anywhere (the work itself, a double claim, a
+                    // poisoned lock) must reach the stop path below — a
+                    // worker dying silently would strand the coordinator
+                    // and its siblings on the barrier condvars forever.
+                    let r =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| 'phase: loop {
+                            // Own queue first (front = heaviest remaining),
+                            // then scan neighbours and steal from the back.
+                            // Each pop is bound to a `let` so its queue guard
+                            // drops before any other queue is touched: an
+                            // `if let` scrutinee guard would live through the
+                            // else branch, and two workers stealing from each
+                            // other would deadlock on each other's queues.
+                            let own = queues_ref[w]
+                                .lock()
+                                .expect("queue lock never poisons")
+                                .pop_front();
+                            let mut claimed = own;
+                            if claimed.is_none() {
+                                for off in 1..threads {
+                                    let v = (w + off) % threads;
+                                    let stolen = queues_ref[v]
+                                        .lock()
+                                        .expect("queue lock never poisons")
+                                        .pop_back();
+                                    if let Some(i) = stolen {
+                                        report.steals += 1;
+                                        claimed = Some(i);
+                                        break;
+                                    }
+                                }
+                            }
+                            let Some(i) = claimed else { break 'phase };
+                            let mut slot = slots_ref[i].lock().expect("slot lock never poisons");
+                            let mut s = slot.take().expect("each slot is claimed once per phase");
+                            let t0 = std::time::Instant::now();
+                            work(i, &mut s);
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            *slot = Some(s);
+                            drop(slot);
+                            report.busy_ns += ns;
+                            report.slot_busy.push((i, ns));
+                        }));
+                    if let Err(payload) = r {
+                        let mut c = ctrl.lock().expect("ctrl lock never poisons");
+                        let mut p = panic_payload.lock().expect("panic slot");
+                        if p.is_none() {
+                            *p = Some(payload);
+                        }
+                        c.stop = true;
+                        c.pending = 0;
+                        to_workers.notify_all();
+                        to_coord.notify_all();
+                        return;
+                    }
+                    report.wall_ns = phase_start.elapsed().as_nanos() as u64;
+                    *reports_ref[w].lock().expect("report lock never poisons") = report;
+                    let mut c = ctrl.lock().expect("ctrl lock never poisons");
+                    // Saturating: a concurrent panic path forces pending
+                    // to zero to wake the coordinator immediately.
+                    c.pending = c.pending.saturating_sub(1);
+                    if c.pending == 0 {
+                        to_coord.notify_all();
+                    }
+                }
+            });
+        }
+
+        // Coordinator: alternate plan (exclusive access) with released
+        // phases until plan declines or a worker panics. A panic *in
+        // plan* is caught and converted into the normal stop path first:
+        // unwinding out of the scope with workers parked on the condvar
+        // would deadlock the join.
+        loop {
+            let cont = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                plan(&mut states, &mut ctl)
+            }))
+            .unwrap_or_else(|payload| {
+                let mut p = panic_payload.lock().expect("panic slot");
+                if p.is_none() {
+                    *p = Some(payload);
+                }
+                false
+            });
+            if !cont {
+                let mut c = ctrl.lock().expect("ctrl lock never poisons");
+                c.stop = true;
+                to_workers.notify_all();
+                break;
+            }
+            if ctl.weights.len() != n {
+                ctl.weights.resize(n, 1);
+            }
+            for (slot, s) in slots_ref.iter().zip(states.drain(..)) {
+                *slot.lock().expect("slot lock never poisons") = Some(s);
+            }
+            for (q, seed) in queues_ref.iter().zip(seed_queues(threads, &ctl.weights)) {
+                *q.lock().expect("queue lock never poisons") = seed.into();
+            }
+            {
+                let mut c = ctrl.lock().expect("ctrl lock never poisons");
+                c.pending = threads;
+                c.phase += 1;
+                to_workers.notify_all();
+                while c.pending > 0 {
+                    c = to_coord.wait(c).expect("ctrl lock never poisons");
+                }
+                if c.stop {
+                    break;
+                }
+            }
+            ctl.stats.steals = 0;
+            ctl.stats.busy_ns = 0;
+            ctl.stats.idle_ns = 0;
+            ctl.stats.wall_ns = 0;
+            ctl.stats.slot_busy_ns.fill(0);
+            for r in reports_ref.iter() {
+                let mut r = r.lock().expect("report lock never poisons");
+                ctl.stats.steals += r.steals;
+                ctl.stats.busy_ns += r.busy_ns;
+                ctl.stats.idle_ns += r.wall_ns.saturating_sub(r.busy_ns);
+                ctl.stats.wall_ns = ctl.stats.wall_ns.max(r.wall_ns);
+                for (i, ns) in r.slot_busy.drain(..) {
+                    ctl.stats.slot_busy_ns[i] = ns;
                 }
             }
             for slot in slots_ref.iter() {
@@ -423,6 +748,164 @@ mod tests {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("phase worker"), "payload: {msg}");
+    }
+
+    #[test]
+    fn seed_queues_deal_every_state_exactly_once() {
+        for threads in [1usize, 2, 3, 7] {
+            for n in [1usize, 2, 5, 16] {
+                let t = threads.min(n);
+                let weights: Vec<u64> = (0..n).map(|i| ((i * 37) % 11) as u64).collect();
+                let queues = seed_queues(t, &weights);
+                let mut all: Vec<usize> = queues.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..n).collect::<Vec<_>>(), "t={t} n={n}");
+                // Deterministic: same weights, same deal.
+                assert_eq!(queues, seed_queues(t, &weights));
+            }
+        }
+    }
+
+    #[test]
+    fn run_phased_stealing_matches_serial_at_any_width() {
+        // Same shape as the run_phased test, with per-phase weight churn
+        // thrown in: weights may reshuffle who runs what, never what any
+        // state computes.
+        let run = |threads: usize| -> Vec<u64> {
+            let mut phase = 0u64;
+            run_phased_stealing(
+                threads,
+                vec![0u64; 5],
+                |states, ctl| {
+                    if phase > 0 {
+                        let total: u64 = states.iter().sum();
+                        states[0] += total % 7;
+                    }
+                    for (i, w) in ctl.weights.iter_mut().enumerate() {
+                        *w = (phase * 13 + i as u64 * 5) % 17 + 1;
+                    }
+                    phase += 1;
+                    phase <= 10
+                },
+                |i, s| {
+                    *s += (i as u64 + 1) * 3;
+                },
+            )
+        };
+        let want = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_phase() {
+        // Worker 0 is seeded one fast state; worker 1 gets a slow state
+        // plus two more. Worker 0 finishes, finds its queue dry while
+        // worker 1 is still inside the slow state, and must steal —
+        // and the per-phase stats must say so.
+        let mut phase = 0u64;
+        let mut steals_seen = 0u64;
+        let mut busy_seen = 0u64;
+        let out = run_phased_stealing(
+            2,
+            vec![0u64; 4],
+            |_, ctl| {
+                steals_seen += ctl.stats.steals;
+                busy_seen += ctl.stats.busy_ns;
+                ctl.weights.copy_from_slice(&[100, 90, 1, 1]);
+                phase += 1;
+                phase <= 3
+            },
+            |i, s| {
+                if i == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                *s += 1;
+            },
+        );
+        assert_eq!(out, vec![3u64; 4]);
+        assert!(steals_seen >= 1, "skew must force at least one steal");
+        assert!(busy_seen > 0, "workers must report busy time");
+    }
+
+    #[test]
+    fn run_phased_stealing_worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut phase = 0;
+            run_phased_stealing(
+                3,
+                vec![0u32; 6],
+                |_, _| {
+                    phase += 1;
+                    phase <= 3
+                },
+                |i, s| {
+                    if *s == 2 && i == 4 {
+                        panic!("stealing worker exploded");
+                    }
+                    *s += 1;
+                },
+            )
+        }));
+        let payload = caught.expect_err("panic must cross the pool");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("stealing worker"), "payload: {msg}");
+    }
+
+    /// A panic in `plan` must tear the barrier down and re-raise on the
+    /// caller — not strand the workers on the phase condvar (the join at
+    /// scope exit would then deadlock).
+    #[test]
+    fn run_phased_stealing_plan_panics_propagate() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut phase = 0;
+            run_phased_stealing(
+                4,
+                vec![0u32; 8],
+                |_, _| {
+                    phase += 1;
+                    if phase == 3 {
+                        panic!("plan exploded");
+                    }
+                    true
+                },
+                |_, s| *s += 1,
+            )
+        }));
+        let payload = caught.expect_err("plan panic must cross the pool");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("plan exploded"), "payload: {msg}");
+    }
+
+    #[test]
+    fn run_phased_plan_panics_propagate() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut phase = 0;
+            run_phased(
+                3,
+                vec![0u32; 6],
+                |_| {
+                    phase += 1;
+                    if phase == 2 {
+                        panic!("plan exploded");
+                    }
+                    true
+                },
+                |_, s| *s += 1,
+            )
+        }));
+        assert!(caught.is_err(), "plan panic must cross the pool");
     }
 
     #[test]

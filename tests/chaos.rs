@@ -1,6 +1,8 @@
 //! Chaos-campaign integration tests: determinism of the campaign report
-//! across thread widths, the shrinker on the known-bad plan, standalone
-//! repro replay, checkpoint/resume inside an active fault window, and
+//! across thread widths AND partition granularities, resume of a
+//! campaign killed at a manifest barrier on a different width and
+//! granularity, the shrinker on the known-bad plan, standalone repro
+//! replay, checkpoint/resume inside an active fault window, and
 //! abort/reopen accounting under flapping links.
 
 use sonet_core::chaos::campaign::{execute_run, execute_twin};
@@ -11,11 +13,19 @@ use sonet_core::chaos::{
     plan_hash, replay_repro, run_campaign, CampaignConfig, ChaosProfile, ExecConfig, ReproFile,
 };
 use sonet_core::scenario::{packet_tier_spec, ScenarioScale};
-use sonet_netsim::{FaultKind, FaultPlan, NullTap, SimConfig, Simulator};
+use sonet_netsim::{
+    set_granularity_override, FaultKind, FaultPlan, Granularity, NullTap, SimConfig, Simulator,
+};
 use sonet_topology::Topology;
 use sonet_util::{par, SimDuration, SimTime};
 use sonet_workload::{ServiceProfiles, Workload};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Serializes the tests that flip the process-global partition
+/// granularity override, so each leg really runs at the granularity its
+/// label claims (byte identity would hold either way — labels matter for
+/// diagnosing a failure).
+static GRAN_LOCK: Mutex<()> = Mutex::new(());
 
 fn tiny_exec(seed: u64) -> ExecConfig {
     ExecConfig {
@@ -62,19 +72,96 @@ fn known_bad_plan_violates_and_shrinks_to_one_event() {
 }
 
 #[test]
-fn campaign_report_is_byte_identical_across_widths() {
+fn campaign_report_is_byte_identical_across_widths_and_granularities() {
+    let _g = GRAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let profiles = ChaosProfile::select("rack-outage,gray-core").expect("profiles");
     let mut cfg = CampaignConfig::new(profiles, 2, 42);
     cfg.max_shrinks = 1;
+    let legs = [
+        (Granularity::Dc, 1usize),
+        (Granularity::Dc, 2),
+        (Granularity::Dc, 8),
+        (Granularity::Cluster, 8),
+    ];
     let mut reports = Vec::new();
-    for width in [1usize, 2, 8] {
+    for (granularity, width) in legs {
+        set_granularity_override(Some(granularity));
         par::set_threads(width);
         let report = run_campaign(&cfg, None, false).expect("campaign");
         reports.push(serde_json::to_string(&report).expect("json"));
     }
     par::set_threads(0);
-    assert_eq!(reports[0], reports[1], "width 1 vs 2");
-    assert_eq!(reports[0], reports[2], "width 1 vs 8");
+    set_granularity_override(None);
+    for (i, (granularity, width)) in legs.iter().enumerate().skip(1) {
+        assert_eq!(
+            reports[0], reports[i],
+            "{granularity:?} × width {width} changed the report"
+        );
+    }
+}
+
+#[test]
+fn campaign_killed_at_a_barrier_resumes_at_new_width_and_granularity() {
+    let _g = GRAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("sonet-chaos-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Nine runs: one more than the 8-run manifest chunk, so a kill after
+    // the first flush leaves genuinely unfinished work behind.
+    let mut cfg = CampaignConfig::new(ChaosProfile::select("rack-outage").expect("p"), 9, 13);
+    cfg.max_shrinks = 0;
+
+    // The uninterrupted reference: serial, per-datacenter calendars.
+    set_granularity_override(Some(Granularity::Dc));
+    par::set_threads(1);
+    run_campaign(&cfg, Some(&dir), false).expect("campaign");
+    let reference = std::fs::read(dir.join("campaign-report.json")).expect("report");
+
+    // "Kill" the campaign at the first chunk barrier: rewind the manifest
+    // to the eight runs the first flush recorded and drop the final
+    // report — exactly the on-disk state a SIGKILL between the first and
+    // second chunk leaves (manifest writes are atomic renames).
+    let manifest_path = dir.join("campaign-manifest.json");
+    let mut manifest: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).expect("manifest"))
+            .expect("parse manifest");
+    let recorded = {
+        let serde::Content::Map(entries) = &mut manifest.0 else {
+            panic!("manifest must be an object");
+        };
+        let completed = entries
+            .iter_mut()
+            .find(|(k, _)| k.as_str() == Some("completed"))
+            .map(|(_, v)| v)
+            .expect("manifest has a completed list");
+        let serde::Content::Seq(runs) = completed else {
+            panic!("completed must be an array");
+        };
+        let recorded = runs.len();
+        runs.truncate(8);
+        recorded
+    };
+    assert_eq!(recorded, 9, "nine-run campaign must record 9 runs");
+    std::fs::write(
+        &manifest_path,
+        serde_json::to_string(&manifest).expect("json"),
+    )
+    .expect("write manifest");
+    std::fs::remove_file(dir.join("campaign-report.json")).expect("drop report");
+
+    // Resume on a different worker width AND partition granularity: the
+    // ninth run re-executes under per-cluster calendars at width 8, yet
+    // the report must come back byte-for-byte.
+    set_granularity_override(Some(Granularity::Cluster));
+    par::set_threads(8);
+    run_campaign(&cfg, Some(&dir), true).expect("resume");
+    par::set_threads(0);
+    set_granularity_override(None);
+    assert_eq!(
+        std::fs::read(dir.join("campaign-report.json")).expect("resumed report"),
+        reference,
+        "resumed campaign-report.json must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -176,7 +263,18 @@ fn checkpoint_inside_fault_window_resumes_identically_across_widths() {
     origin.run_until(SimTime::from_millis(6));
     let reference = serde_json::to_string(&origin.checkpoint()).expect("json");
 
-    for width in [1usize, 2, 8] {
+    // The checkpoint canonicalizes to the serial form, so a resume may
+    // pick any worker width AND any partition granularity — including
+    // ones the saving run never used.
+    let _g = GRAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for (granularity, width) in [
+        (Granularity::Dc, 1usize),
+        (Granularity::Dc, 2),
+        (Granularity::Dc, 8),
+        (Granularity::Cluster, 1),
+        (Granularity::Cluster, 8),
+    ] {
+        set_granularity_override(Some(granularity));
         let ckpt = serde_json::from_str(&saved).expect("parse");
         let mut resumed = Simulator::restore(Arc::clone(&topo), NullTap, ckpt).expect("restore");
         resumed.set_parallel_width(Some(width));
@@ -184,9 +282,10 @@ fn checkpoint_inside_fault_window_resumes_identically_across_widths() {
         assert_eq!(
             serde_json::to_string(&resumed.checkpoint()).expect("json"),
             reference,
-            "width-{width} resume diverged from the uninterrupted run"
+            "{granularity:?} width-{width} resume diverged from the uninterrupted run"
         );
     }
+    set_granularity_override(None);
 }
 
 #[test]

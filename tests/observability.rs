@@ -183,6 +183,39 @@ fn deep_supervised_run_emits_valid_artifacts() {
         events.0
     );
 
+    // The stealing pool's metrics land in the manifest: the counters are
+    // registered up front (present even when a serial run never steals),
+    // and the effective-lookahead histogram gets one observation per
+    // scheduled window.
+    let find = |name: &str| {
+        entries.iter().find_map(|e| {
+            let v = Value(e.clone());
+            (v.get("name")?.0.as_str()? == name).then_some(v)
+        })
+    };
+    for name in [
+        "engine.steals",
+        "engine.worker_idle_ns",
+        "engine.part0.idle_ns",
+    ] {
+        let m = find(name).unwrap_or_else(|| panic!("{name} metric missing from RUNINFO"));
+        assert_eq!(
+            m.get("kind").expect("kind").0.as_str(),
+            Some("counter"),
+            "{name} must be a counter"
+        );
+    }
+    let look = find("engine.effective_lookahead_ns").expect("effective-lookahead histogram");
+    assert_eq!(
+        look.get("kind").expect("kind").0.as_str(),
+        Some("histogram")
+    );
+    let hist = look.get("histogram").expect("histogram payload");
+    assert!(
+        matches!(hist.get("count").expect("count").0, Content::U64(n) if n > 0),
+        "every scheduled window must observe its effective lookahead"
+    );
+
     // The deep run's span buffer exports as a well-formed Chrome trace.
     let trace_path = dir.join("trace.json");
     let n = obs::trace::export_chrome(&trace_path).expect("trace export");
