@@ -6,7 +6,10 @@
 use crate::scenario::{packet_tier_spec, ScenarioScale};
 use serde::{Deserialize, Serialize};
 use sonet_analysis::HostTrace;
-use sonet_netsim::{FaultEvent, FaultKind, FaultPlan, SimConfig, SimOutputs, Simulator};
+use sonet_netsim::{
+    FaultEvent, FaultKind, FaultPlan, FidelityConfig, FidelityMode, SimConfig, SimOutputs,
+    Simulator,
+};
 use sonet_telemetry::PortMirror;
 use sonet_topology::{HostId, HostRole, Topology};
 use sonet_util::{SimDuration, SimTime};
@@ -33,6 +36,10 @@ pub struct CaptureConfig {
     /// Network faults go to the engine; mirror-loss faults are applied to
     /// the capture path at the next 250 ms generation-window boundary.
     pub faults: FaultPlan,
+    /// Engine fidelity: full packet DES (default) or the hybrid
+    /// flow/packet fast path. Mirrored hosts are fidelity islands, so
+    /// traces stay packet-exact either way.
+    pub fidelity: FidelityMode,
 }
 
 impl CaptureConfig {
@@ -45,6 +52,7 @@ impl CaptureConfig {
             rate_scale: 10.0,
             mirror_capacity: 4_000_000,
             faults: FaultPlan::new(),
+            fidelity: FidelityMode::Packet,
         }
     }
 
@@ -57,12 +65,19 @@ impl CaptureConfig {
             rate_scale: 5.0,
             mirror_capacity: 500_000,
             faults: FaultPlan::new(),
+            fidelity: FidelityMode::Packet,
         }
     }
 
     /// The same capture with `faults` injected.
     pub fn with_faults(mut self, faults: FaultPlan) -> CaptureConfig {
         self.faults = faults;
+        self
+    }
+
+    /// The same capture under a different engine fidelity.
+    pub fn with_fidelity(mut self, fidelity: FidelityMode) -> CaptureConfig {
+        self.fidelity = fidelity;
         self
     }
 }
@@ -158,6 +173,10 @@ impl CaptureState {
         let mirror = PortMirror::new(cfg.mirror_capacity);
         let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), mirror)
             .map_err(|e| e.to_string())?;
+        if cfg.fidelity == FidelityMode::Hybrid {
+            sim.set_fidelity(FidelityConfig::hybrid())
+                .map_err(|e| e.to_string())?;
+        }
 
         // Mirror one host of each monitored role (§3.3.2).
         let mut monitored = HashMap::new();

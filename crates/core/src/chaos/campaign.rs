@@ -18,7 +18,7 @@
 //! run results verbatim and continues with the first unfinished chunk.
 
 use serde::{Deserialize, Serialize};
-use sonet_netsim::{FaultPlan, NullTap, SimConfig, Simulator};
+use sonet_netsim::{FaultPlan, FidelityConfig, FidelityMode, NullTap, SimConfig, Simulator};
 use sonet_topology::Topology;
 use sonet_util::{obs, par, SimDuration, SimTime};
 use sonet_workload::{ServiceProfiles, Workload};
@@ -55,6 +55,10 @@ pub struct ExecConfig {
     pub rate_scale: f64,
     /// Engine-event budget per run (deterministic); `None` = unlimited.
     pub max_events: Option<u64>,
+    /// Engine fidelity: full packet DES (default) or the hybrid
+    /// flow/packet fast path. Faulted territory is always packet-mode,
+    /// so SLO verdicts see real per-packet fault behaviour either way.
+    pub fidelity: FidelityMode,
 }
 
 /// Campaign-wide configuration; its canonical JSON is FNV-hashed into the
@@ -82,6 +86,8 @@ pub struct CampaignConfig {
     /// Append the seeded known-bad plan as an extra synthetic run (CI's
     /// shrinker smoke test; also `sonet chaos --inject-bad`).
     pub inject_known_bad: bool,
+    /// Engine fidelity for every run in the matrix.
+    pub fidelity: FidelityMode,
 }
 
 impl CampaignConfig {
@@ -99,6 +105,7 @@ impl CampaignConfig {
             max_events_per_run: Some(200_000_000),
             max_shrinks: 4,
             inject_known_bad: false,
+            fidelity: FidelityMode::Packet,
         }
     }
 
@@ -220,6 +227,10 @@ pub fn execute_run(exec: &ExecConfig, plan: &FaultPlan) -> Result<RunMetrics, St
         Workload::new(Arc::clone(&topo), profiles, exec.seed).map_err(|e| e.to_string())?;
     let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
         .map_err(|e| e.to_string())?;
+    if exec.fidelity == FidelityMode::Hybrid {
+        sim.set_fidelity(FidelityConfig::hybrid())
+            .map_err(|e| e.to_string())?;
+    }
     sim.record_latencies(true);
     sim.inject_faults(plan).map_err(|e| e.to_string())?;
 
@@ -394,6 +405,7 @@ pub fn run_campaign(
                 duration: cfg.duration,
                 rate_scale: cfg.rate_scale,
                 max_events: cfg.max_events_per_run,
+                fidelity: cfg.fidelity,
             };
             isolate(move || execute_twin(&exec)).unwrap_or_else(|p| Err(format!("panic: {p}")))
         });
@@ -430,6 +442,7 @@ pub fn run_campaign(
                 duration: cfg.duration,
                 rate_scale: cfg.rate_scale,
                 max_events: cfg.max_events_per_run,
+                fidelity: cfg.fidelity,
             };
             let hash = plan_hash(&spec.plan);
             let outcome = isolate(|| execute_run(&exec, &spec.plan))
@@ -510,6 +523,7 @@ pub fn run_campaign(
             duration: cfg.duration,
             rate_scale: cfg.rate_scale,
             max_events: cfg.max_events_per_run,
+            fidelity: cfg.fidelity,
         };
         let twin = twin_of(run.scale, run.seed)?;
         let plan = specs[i].plan.clone();

@@ -283,6 +283,7 @@ pub fn replay_repro(repro: &ReproFile) -> Result<bool, String> {
         duration: sonet_util::SimDuration::from_millis(repro.duration_ms),
         rate_scale: repro.rate_scale,
         max_events: None,
+        fidelity: Default::default(),
     };
     let twin = super::campaign::execute_twin(&exec)?;
     let metrics = execute_run(&exec, &repro.plan)?;

@@ -28,6 +28,7 @@
 //! granularity**, including 1. DESIGN.md §10 gives the protocol and the
 //! determinism argument.
 
+mod fidelity;
 mod part;
 #[cfg(test)]
 mod tests;
@@ -37,6 +38,8 @@ use crate::conn::{Conn, ConnPhase, MsgMeta};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::packet::{ConnId, Dir, FlowKey};
 use crate::tap::PacketTap;
+use fidelity::{FastKind, FastPath};
+pub use fidelity::{FidelityConfig, FidelityMode};
 pub use part::{set_granularity_override, Granularity};
 use part::{Ev, EvKey, PartSampler, Partition, PartitionMap, Scheduled, SharedCtx, EXT_SRC};
 use serde::{Deserialize, Serialize};
@@ -50,9 +53,10 @@ use std::sync::Arc;
 /// Checkpoint format version written by this engine. Version 1 was the
 /// serial engine's single-calendar snapshot; version 2 predates
 /// gray-failure link state; version 3 keyed events by partition rather
-/// than region. None is loadable here (restoring an old checkpoint
-/// requires the release that wrote it).
-const CHECKPOINT_VERSION: u32 = 4;
+/// than region; version 4 predates the hybrid fidelity engine's
+/// flow-mode section. None is loadable here (restoring an old
+/// checkpoint requires the release that wrote it).
+const CHECKPOINT_VERSION: u32 = 5;
 
 /// Hard cap on window length: with no pending cross-bound traffic the
 /// engine still barriers this often, bounding how stale the
@@ -190,6 +194,24 @@ pub struct SimOutputs {
     /// received, or → request fully received for one-way messages), when
     /// [`Simulator::record_latencies`] was enabled.
     pub rpc_latencies: Vec<SimDuration>,
+    /// Flows the hybrid planner put on the analytic fast path at open
+    /// time (always 0 in packet mode).
+    pub flows_fast: u64,
+    /// Flows assigned to the packet engine at open time (every flow, in
+    /// packet mode).
+    pub flows_packet: u64,
+    /// Fast flows demoted to the packet engine mid-life — a fault window
+    /// opened on their route, or a heavy-hitter-sized transfer appeared.
+    pub fast_path_demotions: u64,
+    /// Messages completed analytically (a subset of
+    /// `completed_requests`).
+    pub fast_completed_requests: u64,
+    /// Application bytes offered to the fast path.
+    pub fast_bytes_offered: u64,
+    /// Application bytes the fast path completed.
+    pub fast_bytes_completed: u64,
+    /// Application bytes the fast path aborted under faults.
+    pub fast_bytes_aborted: u64,
     /// Final simulation clock.
     pub ended_at: SimTime,
 }
@@ -267,6 +289,8 @@ struct Coord<T: PacketTap> {
     buffer_stats: Vec<BufferWindowStat>,
     audit_barriers: bool,
     pstats: ParallelStats,
+    /// The hybrid engine's flow-level fast path (inert in packet mode).
+    fast: FastPath,
 }
 
 /// The packet-level simulator. See the crate docs for the model.
@@ -329,6 +353,7 @@ impl<T: PacketTap> Simulator<T> {
         let parts = (0..shared.pmap.n_parts)
             .map(|i| Partition::new(i, &shared))
             .collect();
+        let n_switches = shared.switch_cap.len();
         Ok(Simulator {
             shared,
             coord: Coord {
@@ -342,10 +367,31 @@ impl<T: PacketTap> Simulator<T> {
                 buffer_stats: Vec::new(),
                 audit_barriers: false,
                 pstats: ParallelStats::default(),
+                fast: FastPath::new(n_links, n_switches),
             },
             parts,
             width_override: None,
         })
+    }
+
+    /// Selects the fidelity mode for flows opened from now on (the
+    /// default is [`FidelityMode::Packet`], which leaves the engine
+    /// byte-identical to its pre-hybrid behaviour). Call before opening
+    /// connections: already-open flows keep the mode they were planned
+    /// with.
+    pub fn set_fidelity(&mut self, cfg: FidelityConfig) -> Result<(), SimError> {
+        if cfg.heavy_flow_bytes == 0 {
+            return Err(SimError::Config(
+                "heavy-flow threshold must be positive".into(),
+            ));
+        }
+        self.coord.fast.cfg = cfg;
+        Ok(())
+    }
+
+    /// The fidelity configuration in effect.
+    pub fn fidelity(&self) -> FidelityConfig {
+        self.coord.fast.cfg
     }
 
     /// Current simulation clock.
@@ -379,15 +425,16 @@ impl<T: PacketTap> Simulator<T> {
         &self.coord.tap
     }
 
-    /// Events handled so far; run supervisors use this for event-count
-    /// budgets.
+    /// Events handled so far (packet events plus fast-path flow events);
+    /// run supervisors use this for event-count budgets.
     pub fn processed_events(&self) -> u64 {
-        self.parts.iter().map(|p| p.processed_events).sum()
+        self.parts.iter().map(|p| p.processed_events).sum::<u64>() + self.coord.fast.counters.events
     }
 
-    /// Events still on the calendar (including housekeeping samples).
+    /// Events still on the calendar (including housekeeping samples and
+    /// scheduled fast-path flow events).
     pub fn pending_events(&self) -> usize {
-        self.parts.iter().map(|p| p.events.len()).sum()
+        self.parts.iter().map(|p| p.events.len()).sum::<usize>() + self.coord.fast.pending()
     }
 
     /// Current link/switch health under the faults applied so far. (Every
@@ -500,6 +547,24 @@ impl<T: PacketTap> Simulator<T> {
             }
             _ => {}
         }
+        // The fast path replays the same schedule: the touched link or
+        // switch becomes island territory for future opens, and any live
+        // fast flow whose pinned route the fault degrades is handed to
+        // the packet engine at the fault instant.
+        self.coord.fast.note_fault(at, kind);
+        if self.coord.fast.hybrid() {
+            for idx in self
+                .coord
+                .fast
+                .slots_hit_by(&kind, &self.shared.link_from_switch)
+            {
+                let conn = ConnId {
+                    idx,
+                    gen: self.coord.slots[idx as usize].gen,
+                };
+                self.coord.fast.push(at, FastKind::Demote { conn });
+            }
+        }
         // Replicate to every partition: each applies the fault to its own
         // health/rate replica at the same virtual time, so replicas agree
         // at every barrier without any cross-partition reads. All
@@ -552,13 +617,17 @@ impl<T: PacketTap> Simulator<T> {
         LiveCounters {
             emitted_packets: sum(|c| c.emitted_packets),
             delivered_packets: sum(|c| c.delivered_packets),
-            completed_requests: sum(|c| c.completed_requests),
+            // Fast-path completions ride the same totals the chaos SLOs
+            // are defined over: a hybrid run's recovery behaviour is
+            // measured on all of its traffic, not just the islands.
+            completed_requests: sum(|c| c.completed_requests) + self.coord.fast.counters.completed,
             fault_dropped_packets,
             gray_dropped_packets: sum(|c| c.gray_dropped_packets),
             reroutes: sum(|c| c.reroutes),
             reroute_failures: sum(|c| c.reroute_failures),
             failed_handshakes: sum(|c| c.failed_handshakes),
-            aborted_connections: sum(|c| c.aborted_connections),
+            aborted_connections: sum(|c| c.aborted_connections)
+                + self.coord.fast.counters.aborted_flows,
         }
     }
 
@@ -610,6 +679,12 @@ impl<T: PacketTap> Simulator<T> {
             .find(|s| s.index() >= self.shared.topo.switches().len())
         {
             return Err(SimError::Config(format!("{s} is out of range")));
+        }
+        // Buffer-sampled switches are fidelity islands: flows opened from
+        // now on that cross them stay on the packet path, so occupancy
+        // series keep seeing real packet streams.
+        for &sw in &switches {
+            self.coord.fast.sampled_switches[sw.index()] = true;
         }
         // Split the switch list by *region*, remembering each switch's
         // index in the caller's list — the canonical order the barrier
@@ -727,6 +802,39 @@ impl<T: PacketTap> Simulator<T> {
             .route_healthy(client, server, hash, &self.parts[0].health)
             .or_else(|_| self.shared.topo.route(client, server, hash))
             .expect("distinct endpoints were checked above");
+        // The fidelity planner: in hybrid mode a flow whose two routes
+        // avoid every island (watched/tracked links, sampled switches,
+        // fault-plan territory) is advanced analytically; everything
+        // else — and everything, in packet mode — goes through the DES.
+        self.coord.fast.reset_slot(id.idx as usize);
+        let mut fast = false;
+        if self.coord.fast.hybrid() {
+            let route_rev = self
+                .shared
+                .topo
+                .route_healthy(server, client, hash, &self.parts[0].health)
+                .or_else(|_| self.shared.topo.route(server, client, hash))
+                .expect("distinct endpoints were checked above");
+            let island = |route: &[LinkId]| {
+                self.coord.fast.route_in_island(
+                    route,
+                    &self.shared.watched,
+                    &self.shared.util_tracked,
+                    &self.shared.link_from_switch,
+                )
+            };
+            if !island(&route_fwd) && !island(&route_rev) {
+                fast = true;
+                self.coord
+                    .fast
+                    .adopt(id.idx as usize, route_fwd.clone(), route_rev);
+            }
+        }
+        if fast {
+            self.coord.fast.counters.flows_fast += 1;
+        } else {
+            self.coord.fast.counters.flows_packet += 1;
+        }
         let conn = Conn {
             id,
             key,
@@ -750,9 +858,16 @@ impl<T: PacketTap> Simulator<T> {
             }
         }
         self.parts[cpart as usize].clients[id.idx as usize] = Some(conn);
-        let seq = self.coord.ext_seq;
-        self.coord.ext_seq += 1;
-        self.parts[cpart as usize].push_ext(&self.shared, at, seq, Ev::OpenConn { conn: id });
+        // A fast flow's endpoint record still lives in the partition
+        // tables (checkpoints and slot reuse work unchanged), but no
+        // packet handshake is scheduled: the analytic model charges the
+        // SYN round trip on the flow's first send, and a later demotion
+        // simply schedules the `OpenConn` this branch skipped.
+        if !fast {
+            let seq = self.coord.ext_seq;
+            self.coord.ext_seq += 1;
+            self.parts[cpart as usize].push_ext(&self.shared, at, seq, Ev::OpenConn { conn: id });
+        }
         Ok(id)
     }
 
@@ -791,6 +906,9 @@ impl<T: PacketTap> Simulator<T> {
         if phase == ConnPhase::Closed {
             return Err(SimError::ConnClosed(conn));
         }
+        if self.coord.fast.is_fast(conn.index()) {
+            return self.send_fast(conn, at, request_bytes, response_bytes, service_time);
+        }
         let seq = self.coord.ext_seq;
         self.coord.ext_seq += 1;
         self.parts[cpart].push_ext(
@@ -810,6 +928,261 @@ impl<T: PacketTap> Simulator<T> {
         Ok(())
     }
 
+    /// Advances one request/response exchange analytically on a fast
+    /// flow. Heavy-hitter-sized transfers demote the flow to the packet
+    /// engine instead; fault state on the pinned routes turns into RTO
+    /// delays or aborts derived from the same schedule the packet
+    /// replicas apply.
+    fn send_fast(
+        &mut self,
+        conn: ConnId,
+        at: SimTime,
+        request_bytes: u64,
+        response_bytes: u64,
+        service_time: SimDuration,
+    ) -> Result<(), SimError> {
+        let idx = conn.index();
+        // Heavy-hitter island: hand the flow over and let the packet
+        // path carry this message (and all later ones).
+        if request_bytes + response_bytes >= self.coord.fast.cfg.heavy_flow_bytes {
+            self.demote_to_packet(conn, at);
+            let cpart = self.coord.slots[idx].cpart as usize;
+            let seq = self.coord.ext_seq;
+            self.coord.ext_seq += 1;
+            self.parts[cpart].push_ext(
+                &self.shared,
+                at,
+                seq,
+                Ev::SendMsg {
+                    conn,
+                    req: request_bytes,
+                    meta: MsgMeta {
+                        response_bytes,
+                        service_time,
+                        issued_at: at,
+                    },
+                },
+            );
+            return Ok(());
+        }
+        // Defer the analytic evaluation to the send instant: the fast
+        // calendar drains in `(at, seq)` order, so the virtual link
+        // queues are charged causally even though callers (the workload
+        // generator above all) issue whole windows of future-stamped
+        // messages in arbitrary order.
+        self.coord.fast.push(
+            at,
+            FastKind::Send {
+                conn,
+                req: request_bytes,
+                resp: response_bytes,
+                service: service_time,
+            },
+        );
+        Ok(())
+    }
+
+    /// Evaluates one deferred fast send at its issue instant `at`: fault
+    /// state turns into RTO delays or aborts, everything else becomes
+    /// analytic transfers on the virtual queues. Runs from the fast
+    /// calendar, so evaluation order is global time order.
+    fn fast_send_eval(
+        &mut self,
+        conn: ConnId,
+        at: SimTime,
+        request_bytes: u64,
+        response_bytes: u64,
+        service_time: SimDuration,
+    ) {
+        let idx = conn.index();
+        if !self.slot_live(conn) {
+            self.coord.fast.counters.on_closed += 1;
+            return;
+        }
+        if !self.coord.fast.is_fast(idx) {
+            // The flow demoted between issue and send instant: the packet
+            // engine carries this message.
+            let cpart = self.coord.slots[idx].cpart as usize;
+            let seq = self.coord.ext_seq;
+            self.coord.ext_seq += 1;
+            self.parts[cpart].push_ext(
+                &self.shared,
+                at,
+                seq,
+                Ev::SendMsg {
+                    conn,
+                    req: request_bytes,
+                    meta: MsgMeta {
+                        response_bytes,
+                        service_time,
+                        issued_at: at,
+                    },
+                },
+            );
+            return;
+        }
+        let cpart = self.coord.slots[idx].cpart as usize;
+        let closed = self.parts[cpart].clients[idx]
+            .as_ref()
+            .map(|c| c.phase == ConnPhase::Closed)
+            .unwrap_or(true);
+        if closed {
+            // The flow aborted before the send instant.
+            self.coord.fast.counters.on_closed += 1;
+            return;
+        }
+        let cfg = &self.shared.cfg;
+        let fast = &mut self.coord.fast;
+        fast.counters.bytes_offered += request_bytes + response_bytes;
+        let (fwd, rev) = fast.routes(idx).clone();
+        let rf_fwd = fast.route_fault_at(&fwd, at, &self.shared.link_from_switch);
+        let rf_rev = fast.route_fault_at(&rev, at, &self.shared.link_from_switch);
+        if rf_fwd.down || rf_rev.down {
+            // A dead hop on the pinned route: the transport burns its
+            // consecutive-RTO budget and aborts, as the packet engine's
+            // RTO cap would.
+            let abort_at = at + cfg.rto * cfg.max_consecutive_rtos as u64;
+            fast.push(
+                abort_at,
+                FastKind::Abort {
+                    conn,
+                    bytes: request_bytes + response_bytes,
+                },
+            );
+            return;
+        }
+        let mut t0 = at;
+        if fast.establish(idx) {
+            t0 += fast.handshake(
+                &fwd,
+                &rev,
+                cfg.control_bytes,
+                &self.shared.link_gbps,
+                &self.shared.link_prop,
+            );
+        }
+        // Gray loss: deterministic drop trials on the worst gray hop add
+        // one RTO each; a full budget of consecutive drops aborts. The
+        // same splitmix hash as the packet path, keyed by (flow, message,
+        // trial) instead of the per-link packet ordinal.
+        let msg = fast.next_msg(idx);
+        if let Some((l, f)) = rf_fwd.gray.or(rf_rev.gray) {
+            let mut gray_delay = SimDuration::ZERO;
+            let mut trials = 0u32;
+            while trials < cfg.max_consecutive_rtos
+                && part::gray_drop(
+                    l.index() as u64,
+                    ((conn.idx as u64) << 32) | (msg << 8) | trials as u64,
+                    f,
+                )
+            {
+                gray_delay += cfg.rto;
+                trials += 1;
+            }
+            if trials >= cfg.max_consecutive_rtos {
+                fast.push(
+                    at + gray_delay,
+                    FastKind::Abort {
+                        conn,
+                        bytes: request_bytes + response_bytes,
+                    },
+                );
+                return;
+            }
+            t0 += gray_delay;
+        }
+        let req_done = fast.transfer(
+            &fwd,
+            request_bytes,
+            t0,
+            cfg.mss,
+            cfg.header_bytes,
+            cfg.window_segments,
+            &self.shared.link_gbps,
+            &self.shared.link_prop,
+        );
+        if response_bytes == 0 {
+            let latency = self.shared.record_latencies.then(|| req_done - at);
+            fast.push(
+                req_done,
+                FastKind::ReqDone {
+                    conn,
+                    req: request_bytes,
+                    latency,
+                },
+            );
+        } else {
+            fast.push(
+                req_done,
+                FastKind::ReqDone {
+                    conn,
+                    req: request_bytes,
+                    latency: None,
+                },
+            );
+            // The response transfer starts after the server's think time;
+            // defer its virtual-queue charge to that instant so it too is
+            // evaluated in global time order.
+            fast.push(
+                req_done + service_time,
+                FastKind::RespStart {
+                    conn,
+                    resp: response_bytes,
+                    issued_at: at,
+                },
+            );
+        }
+    }
+
+    /// Evaluates a deferred response transfer at its start instant.
+    fn fast_resp_eval(&mut self, conn: ConnId, start: SimTime, resp: u64, issued_at: SimTime) {
+        let cfg = &self.shared.cfg;
+        let fast = &mut self.coord.fast;
+        let rev = fast.routes(conn.index()).1.clone();
+        let resp_done = fast.transfer(
+            &rev,
+            resp,
+            start,
+            cfg.mss,
+            cfg.header_bytes,
+            cfg.window_segments,
+            &self.shared.link_gbps,
+            &self.shared.link_prop,
+        );
+        fast.push(
+            resp_done,
+            FastKind::RespDone {
+                conn,
+                resp,
+                latency: resp_done - issued_at,
+            },
+        );
+    }
+
+    /// Hands a fast flow to the packet engine: the `OpenConn` skipped at
+    /// open time is scheduled now, so the packet handshake (with pre-open
+    /// queueing for subsequent sends) takes over. In-flight analytic
+    /// transfers still complete on the fast calendar.
+    fn demote_to_packet(&mut self, conn: ConnId, at: SimTime) {
+        let idx = conn.index();
+        if !self.coord.fast.is_fast(idx) {
+            return;
+        }
+        self.coord.fast.drop_fast(idx);
+        self.coord.fast.counters.demotions += 1;
+        let cpart = self.coord.slots[idx].cpart as usize;
+        let closed = self.parts[cpart].clients[idx]
+            .as_ref()
+            .map(|c| c.phase == ConnPhase::Closed)
+            .unwrap_or(true);
+        if closed {
+            return;
+        }
+        let seq = self.coord.ext_seq;
+        self.coord.ext_seq += 1;
+        self.parts[cpart].push_ext(&self.shared, at, seq, Ev::OpenConn { conn });
+    }
+
     /// Closes `conn` at absolute time `at` (FIN emission).
     pub fn close_connection(&mut self, conn: ConnId, at: SimTime) -> Result<(), SimError> {
         if at < self.coord.now {
@@ -825,16 +1198,161 @@ impl<T: PacketTap> Simulator<T> {
             .filter(|s| s.gen == conn.gen)
             .ok_or(SimError::NoSuchConn(conn))?;
         let cpart = slot.cpart as usize;
+        if self.coord.fast.is_fast(conn.index()) {
+            // Fast flows close on the fast calendar; if the flow demotes
+            // before the FIN instant, the event handler forwards a packet
+            // close instead.
+            self.coord.fast.push(at, FastKind::Close { conn });
+            return Ok(());
+        }
         let seq = self.coord.ext_seq;
         self.coord.ext_seq += 1;
         self.parts[cpart].push_ext(&self.shared, at, seq, Ev::Close { conn });
         Ok(())
     }
 
+    /// True when `conn` still names the slot's current incarnation.
+    fn slot_live(&self, conn: ConnId) -> bool {
+        self.coord
+            .slots
+            .get(conn.index())
+            .map(|s| s.gen == conn.gen)
+            .unwrap_or(false)
+    }
+
+    /// Applies every fast-path event due at or before `t`, in canonical
+    /// `(at, seq)` order. Runs on the coordinator between windows — the
+    /// packet clock has already reached `t` — so completions, latency
+    /// samples and retirements land in global time order and are
+    /// byte-identical at any worker width or partition granularity.
+    fn apply_fast_due(&mut self, t: SimTime) {
+        // One event at a time: handling a `Send` or `RespStart` schedules
+        // follow-up events that may themselves already be due, and they
+        // must drain in canonical `(at, seq)` order with everything else.
+        while let Some(ev) = self.coord.fast.pop_next_due(t) {
+            self.coord.fast.counters.events += 1;
+            match ev.kind {
+                FastKind::Send {
+                    conn,
+                    req,
+                    resp,
+                    service,
+                } => {
+                    self.fast_send_eval(conn, ev.at, req, resp, service);
+                }
+                FastKind::RespStart {
+                    conn,
+                    resp,
+                    issued_at,
+                } => {
+                    self.fast_resp_eval(conn, ev.at, resp, issued_at);
+                }
+                FastKind::ReqDone { conn, req, latency } => {
+                    // Conservation credits survive slot turnover: the
+                    // bytes finished transferring whether or not the flow
+                    // is still the slot's current incarnation.
+                    let _ = conn;
+                    self.coord.fast.counters.completed += 1;
+                    self.coord.fast.counters.bytes_completed += req;
+                    if let Some(d) = latency {
+                        self.coord.latencies.push(d);
+                    }
+                }
+                FastKind::RespDone {
+                    conn,
+                    resp,
+                    latency,
+                } => {
+                    let _ = conn;
+                    self.coord.fast.counters.bytes_completed += resp;
+                    if self.shared.record_latencies {
+                        self.coord.latencies.push(latency);
+                    }
+                }
+                FastKind::Demote { conn } => {
+                    if self.slot_live(conn) {
+                        self.demote_to_packet(conn, ev.at);
+                    }
+                }
+                FastKind::Abort { conn, bytes } => {
+                    self.coord.fast.counters.aborted_messages += 1;
+                    self.coord.fast.counters.bytes_aborted += bytes;
+                    if self.slot_live(conn) && self.coord.fast.is_fast(conn.index()) {
+                        let cpart = self.coord.slots[conn.index()].cpart as usize;
+                        if let Some(c) = self.parts[cpart].clients[conn.index()].as_mut() {
+                            if c.phase != ConnPhase::Closed {
+                                c.phase = ConnPhase::Closed;
+                                self.coord.fast.counters.aborted_flows += 1;
+                                self.coord.fast.push(
+                                    ev.at + self.shared.cfg.conn_quarantine,
+                                    FastKind::Retire { idx: conn.idx },
+                                );
+                            }
+                        }
+                    }
+                }
+                FastKind::Close { conn } => {
+                    if !self.slot_live(conn) {
+                        continue;
+                    }
+                    if self.coord.fast.is_fast(conn.index()) {
+                        let cpart = self.coord.slots[conn.index()].cpart as usize;
+                        if let Some(c) = self.parts[cpart].clients[conn.index()].as_mut() {
+                            if c.phase != ConnPhase::Closed {
+                                c.phase = ConnPhase::Closed;
+                                self.coord.fast.push(
+                                    ev.at + self.shared.cfg.conn_quarantine,
+                                    FastKind::Retire { idx: conn.idx },
+                                );
+                            }
+                        }
+                    } else {
+                        // The flow demoted between FIN issue and FIN
+                        // instant: close it the packet way.
+                        let cpart = self.coord.slots[conn.index()].cpart as usize;
+                        let seq = self.coord.ext_seq;
+                        self.coord.ext_seq += 1;
+                        self.parts[cpart].push_ext(&self.shared, ev.at, seq, Ev::Close { conn });
+                    }
+                }
+                FastKind::Retire { idx } => {
+                    self.coord.free_conns.push(idx);
+                }
+            }
+        }
+    }
+
+    /// Publishes the fast path's RUNINFO gauges (write-only side channel;
+    /// no-op with observability off).
+    fn flush_fast_gauges(&self) {
+        use sonet_util::obs;
+        if !obs::on() {
+            return;
+        }
+        let c = &self.coord.fast.counters;
+        obs::gauge_set!("engine.flows_fast", c.flows_fast);
+        obs::gauge_set!("engine.flows_packet", c.flows_packet);
+        obs::gauge_set!("engine.fast_path_demotions", c.demotions);
+        obs::gauge_set!("engine.fast_completed_requests", c.completed);
+    }
+
     /// Runs the event loop until the clock reaches `until` (all events at
     /// or before `until` are processed; the clock then rests at `until`).
     pub fn run_until(&mut self, until: SimTime) {
+        // Interleave the two calendars at fixed, state-independent
+        // points: advance the packet engine to the next fast event's
+        // instant, apply every fast event due there, repeat. The fast
+        // path is coordinator-serial, so hybrid runs stay byte-identical
+        // at any worker width and partition granularity.
+        while let Some(tf) = self.coord.fast.peek_at() {
+            if tf > until {
+                break;
+            }
+            self.run_windows(StopMode::Until(tf));
+            self.apply_fast_due(tf);
+        }
         self.run_windows(StopMode::Until(until));
+        self.flush_fast_gauges();
     }
 
     /// Drains every remaining event other than the periodic buffer
@@ -842,7 +1360,12 @@ impl<T: PacketTap> Simulator<T> {
     /// the calendar non-empty (use after the last injection when a
     /// natural quiesce is wanted rather than a fixed horizon).
     pub fn run_to_quiescence(&mut self) {
+        while let Some(tf) = self.coord.fast.peek_at() {
+            self.run_windows(StopMode::Until(tf));
+            self.apply_fast_due(tf);
+        }
         self.run_windows(StopMode::Quiescence);
+        self.flush_fast_gauges();
     }
 
     fn run_windows(&mut self, mode: StopMode) {
@@ -1065,6 +1588,7 @@ impl<T: PacketTap> Simulator<T> {
         let sum = |f: fn(&part::Counters) -> u64| -> u64 {
             self.parts.iter().map(|p| f(&p.counters)).sum()
         };
+        let fc = self.coord.fast.counters;
         let outputs = SimOutputs {
             link_counters,
             util_series,
@@ -1072,16 +1596,23 @@ impl<T: PacketTap> Simulator<T> {
             buffer_stats: std::mem::take(&mut self.coord.buffer_stats),
             emitted_packets: sum(|c| c.emitted_packets),
             delivered_packets: sum(|c| c.delivered_packets),
-            completed_requests: sum(|c| c.completed_requests),
-            messages_on_closed: sum(|c| c.messages_on_closed),
+            completed_requests: sum(|c| c.completed_requests) + fc.completed,
+            messages_on_closed: sum(|c| c.messages_on_closed) + fc.on_closed,
             stale_packets: sum(|c| c.stale_packets),
             faults_applied: sum(|c| c.faults_applied),
             reroutes: sum(|c| c.reroutes),
             reroute_failures: sum(|c| c.reroute_failures),
             failed_handshakes: sum(|c| c.failed_handshakes),
-            aborted_connections: sum(|c| c.aborted_connections),
+            aborted_connections: sum(|c| c.aborted_connections) + fc.aborted_flows,
             gray_dropped_packets: sum(|c| c.gray_dropped_packets),
             rpc_latencies: std::mem::take(&mut self.coord.latencies),
+            flows_fast: fc.flows_fast,
+            flows_packet: fc.flows_packet,
+            fast_path_demotions: fc.demotions,
+            fast_completed_requests: fc.completed,
+            fast_bytes_offered: fc.bytes_offered,
+            fast_bytes_completed: fc.bytes_completed,
+            fast_bytes_aborted: fc.bytes_aborted,
             ended_at: self.coord.now,
         };
         (outputs, self.coord.tap)
@@ -1431,6 +1962,10 @@ pub struct EngineCheckpoint {
     record_latencies: bool,
     latencies: Vec<SimDuration>,
     processed_events: u64,
+    /// The hybrid engine's flow-mode section (version 5+): fast calendar,
+    /// per-slot flow modes and routes, per-link analytic queue state, the
+    /// replayable fault schedule, and the fast totals.
+    fast: fidelity::FastCkpt,
 }
 
 impl EngineCheckpoint {
@@ -1581,7 +2116,8 @@ impl<T: PacketTap> Simulator<T> {
             gray_dropped_packets: sum(|c| c.gray_dropped_packets),
             record_latencies: sh.record_latencies,
             latencies: self.coord.latencies.clone(),
-            processed_events: self.processed_events(),
+            processed_events: self.parts.iter().map(|p| p.processed_events).sum(),
+            fast: self.coord.fast.to_ckpt(n_slots),
         }
     }
 
@@ -1636,6 +2172,32 @@ impl<T: PacketTap> Simulator<T> {
             return bad("endpoint tables disagree on slot count");
         }
         let n_slots = ckpt.conns_client.len();
+        if ckpt.fast.link_free.len() != n_links
+            || ckpt.fast.link_rho.len() != n_links
+            || ckpt.fast.link_epoch_bytes.len() != n_links
+            || ckpt.fast.link_epoch_start.len() != n_links
+        {
+            return bad("fast-path link state dimensions do not match the topology");
+        }
+        if ckpt.fast.sampled_switches.len() != n_switches {
+            return bad("fast-path switch state dimensions do not match the topology");
+        }
+        if ckpt.fast.fast.len() != n_slots
+            || ckpt.fast.established.len() != n_slots
+            || ckpt.fast.routes.len() != n_slots
+            || ckpt.fast.msgs.len() != n_slots
+        {
+            return bad("fast-path slot tables do not match the endpoint tables");
+        }
+        if ckpt
+            .fast
+            .routes
+            .iter()
+            .flat_map(|(f, r)| f.iter().chain(r.iter()))
+            .any(|l| l.index() >= n_links)
+        {
+            return bad("fast-path route references an out-of-range link");
+        }
 
         // Rebuild the slot registry from the client endpoints (the client
         // half exists for every allocated slot and persists after
@@ -1686,6 +2248,7 @@ impl<T: PacketTap> Simulator<T> {
         sim.coord.next_port = ckpt.next_port;
         sim.coord.buffer_stats = ckpt.buffer_stats;
         sim.coord.latencies = ckpt.latencies;
+        sim.coord.fast.restore(ckpt.fast);
         sim.shared.watched = ckpt.watched;
         sim.shared.util_tracked = ckpt.util_tracked;
         sim.shared.util_interval = ckpt.util_interval;
@@ -1931,6 +2494,19 @@ pub enum AuditViolation {
         /// Packets lost to an injected telemetry fault.
         fault_dropped: u64,
     },
+    /// Flow conservation broke on the fast path: every byte offered to a
+    /// flow-mode message must complete, abort, or still be in flight on
+    /// the fast calendar.
+    FlowConservation {
+        /// Bytes offered to fast-path messages.
+        offered: u64,
+        /// Bytes whose transfers completed.
+        completed: u64,
+        /// Bytes lost to fault-driven aborts.
+        aborted: u64,
+        /// Bytes still pending on the fast calendar.
+        in_flight: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -1970,6 +2546,16 @@ impl fmt::Display for AuditViolation {
                 f,
                 "telemetry accounting: offered {offered} != captured {captured} \
                  + overflow {overflow} + fault-dropped {fault_dropped}"
+            ),
+            AuditViolation::FlowConservation {
+                offered,
+                completed,
+                aborted,
+                in_flight,
+            } => write!(
+                f,
+                "flow conservation: offered {offered} bytes != completed {completed} \
+                 + aborted {aborted} + in-flight {in_flight}"
             ),
         }
     }
@@ -2104,7 +2690,31 @@ impl<T: PacketTap> Simulator<T> {
     ///
     /// O(events + links); intended to run at checkpoint boundaries, not in
     /// the hot loop.
+    ///
+    /// When the hybrid fast path is active a fourth law joins the list:
+    /// bytes offered to flow-mode messages = completed + aborted +
+    /// in-flight on the fast calendar.
     pub fn audit(&self) -> Result<(), AuditReport> {
-        audit_parts(&self.shared, &self.parts, self.coord.now)
+        let mut result = audit_parts(&self.shared, &self.parts, self.coord.now);
+        let fc = &self.coord.fast.counters;
+        let in_flight = self.coord.fast.bytes_in_flight();
+        if fc.bytes_offered != fc.bytes_completed + fc.bytes_aborted + in_flight {
+            let v = AuditViolation::FlowConservation {
+                offered: fc.bytes_offered,
+                completed: fc.bytes_completed,
+                aborted: fc.bytes_aborted,
+                in_flight,
+            };
+            match &mut result {
+                Ok(()) => {
+                    result = Err(AuditReport {
+                        at: self.coord.now,
+                        violations: vec![v],
+                    });
+                }
+                Err(report) => report.violations.push(v),
+            }
+        }
+        result
     }
 }

@@ -27,6 +27,7 @@ fn main() {
         rate_scale: 8.0,
         mirror_capacity: 4_000_000,
         faults: sonet_dc::netsim::FaultPlan::new(),
+        fidelity: sonet_dc::netsim::FidelityMode::Packet,
     };
     let mut lab = Lab::new(cfg);
 

@@ -41,6 +41,7 @@ use sonet_dc::core::supervised::{
 };
 use sonet_dc::core::supervisor::{isolate, BatchSummary, RunBudget, RunSupervisor};
 use sonet_dc::core::{CaptureConfig, FleetData, FleetRunConfig, LabConfig, StandardCapture};
+use sonet_dc::netsim::FidelityMode;
 use sonet_dc::util::obs::{self, report};
 use sonet_dc::util::{par, SimDuration};
 use std::panic::AssertUnwindSafe;
@@ -79,6 +80,9 @@ struct Options {
     /// `--threads N`: worker threads for parallel stages. `None` defers
     /// to available parallelism. Never changes any output, only speed.
     threads: Option<usize>,
+    /// `--fidelity packet|hybrid`: packet-level DES everywhere (default)
+    /// or the flow-level fast path outside fidelity islands.
+    fidelity: FidelityMode,
 }
 
 /// Supervision flags shared by `capture` and `fleet`.
@@ -96,6 +100,7 @@ fn parse_common(args: &[String]) -> Options {
         seed: 42,
         fast: false,
         threads: None,
+        fidelity: FidelityMode::Packet,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -111,7 +116,20 @@ fn parse_common(args: &[String]) -> Options {
                     opts.threads = Some(v);
                 }
             }
-            _ => {}
+            "--fidelity" => match it.next().map(String::as_str).and_then(FidelityMode::parse) {
+                Some(m) => opts.fidelity = m,
+                None => report::warn("--fidelity takes packet|hybrid; staying on packet"),
+            },
+            other => {
+                if let Some(v) = other.strip_prefix("--fidelity=") {
+                    match FidelityMode::parse(v) {
+                        Some(m) => opts.fidelity = m,
+                        None => report::warn(&format!(
+                            "--fidelity takes packet|hybrid, not '{v}'; staying on packet"
+                        )),
+                    }
+                }
+            }
         }
     }
     // Make the explicit count the process-wide default so analysis
@@ -188,7 +206,12 @@ fn cli_runinfo(command: &str, opts: &Options) -> Option<obs::runinfo::RunInfo> {
         obs::runinfo::RunInfo::start(
             command,
             opts.seed,
-            &format!("{{\"seed\":{},\"fast\":{}}}", opts.seed, opts.fast),
+            &format!(
+                "{{\"seed\":{},\"fast\":{},\"fidelity\":\"{}\"}}",
+                opts.seed,
+                opts.fast,
+                opts.fidelity.name()
+            ),
             par::resolve_threads(opts.threads),
         )
     })
@@ -288,6 +311,7 @@ fn lab_config(opts: &Options) -> LabConfig {
         LabConfig::standard(opts.seed)
     };
     cfg.threads = opts.threads;
+    cfg.capture.fidelity = opts.fidelity;
     cfg
 }
 
@@ -573,6 +597,7 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
         cfg.max_shrinks = n;
     }
     cfg.inject_known_bad = flags.inject_bad;
+    cfg.fidelity = opts.fidelity;
 
     let campaign_id = cfg.campaign_id();
     obs::trace::set_export_meta("campaign_id", campaign_id.clone());
@@ -636,7 +661,8 @@ fn cmd_capture(args: &[String]) -> ExitCode {
                 CaptureConfig::fast(opts.seed)
             } else {
                 CaptureConfig::standard(opts.seed)
-            };
+            }
+            .with_fidelity(opts.fidelity);
             run_capture(&cfg, &sup)
         }
     };
@@ -678,6 +704,11 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
         }
     };
     let sup = supervise_options(&flags, &opts);
+    if opts.fidelity == FidelityMode::Hybrid {
+        report::line(
+            "note: the fleet tier samples flows directly; --fidelity=hybrid changes nothing there",
+        );
+    }
     let result = match &flags.resume {
         Some(path) => resume_fleet(path, &sup),
         None => {
@@ -876,6 +907,9 @@ fn dispatch(args: &[String]) -> ExitCode {
                  \x20               [--max-shrinks N] [--inject-bad] [--replay FILE]\n\
                  \x20 sonet export-fleet <out.jsonl> [--seed N] [--fast]\n\
                  \x20 sonet export-matrix <out.csv> [--seed N] [--fast]\n\
+                 run, capture, fleet, and chaos also take --fidelity packet|hybrid\n\
+                 (default packet; hybrid advances bulk flows analytically outside\n\
+                 fidelity islands — mirrored hosts, sampled switches, faulted paths)\n\
                  every command also takes --obs[=off|summary|deep] and --trace-out FILE\n\
                  supervised runs exit 2 when a budget stops them (resumable)",
             );

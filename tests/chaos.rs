@@ -34,6 +34,7 @@ fn tiny_exec(seed: u64) -> ExecConfig {
         duration: SimDuration::from_secs(2),
         rate_scale: 5.0,
         max_events: None,
+        fidelity: Default::default(),
     }
 }
 

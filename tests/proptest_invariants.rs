@@ -469,4 +469,154 @@ proptest! {
         let lo = cdf.quantile(q / 2.0).expect("non-empty");
         prop_assert!(lo <= v);
     }
+
+    /// Forced-fast vs forced-packet on random traffic: the hybrid engine
+    /// must complete the same requests, close its byte-conservation law
+    /// exactly once drained, and land its FCT means within the
+    /// calibrated error bound of the packet engine (tests/fidelity.rs
+    /// calibrates the same bound on the standard workload).
+    #[test]
+    fn hybrid_fast_path_matches_packet_on_random_traffic(
+        sizes in prop::collection::vec((1u64..150_000, 0u64..40_000), 1..8),
+        spacing_us in 100u64..3_000,
+        service_us in 0u64..200,
+    ) {
+        use sonet_dc::netsim::{FidelityConfig, FidelityMode};
+
+        let topo = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 3)]))
+                .expect("valid"),
+        );
+        let drive = |fidelity: FidelityMode| {
+            let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+                .expect("config");
+            if fidelity == FidelityMode::Hybrid {
+                sim.set_fidelity(FidelityConfig::hybrid()).expect("hybrid");
+            }
+            sim.record_latencies(true);
+            let a = topo.racks()[0].hosts[0];
+            let b = topo.racks()[2].hosts[0];
+            let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+            for (i, &(req, resp)) in sizes.iter().enumerate() {
+                sim.send_message(
+                    conn,
+                    SimTime::from_micros(i as u64 * spacing_us),
+                    req,
+                    resp,
+                    SimDuration::from_micros(service_us),
+                )
+                .expect("send");
+            }
+            sim.run_to_quiescence();
+            sim.audit().expect("conservation");
+            let (out, _) = sim.finish();
+            out
+        };
+        let packet = drive(FidelityMode::Packet);
+        let hybrid = drive(FidelityMode::Hybrid);
+
+        prop_assert_eq!(packet.completed_requests, sizes.len() as u64);
+        prop_assert_eq!(hybrid.completed_requests, packet.completed_requests);
+        prop_assert_eq!(hybrid.flows_fast, 1, "the lone flow must plan fast");
+        prop_assert_eq!(hybrid.flows_packet, 0);
+        // Drained and fault-free: offered closes against completed alone.
+        prop_assert_eq!(hybrid.fast_bytes_offered, hybrid.fast_bytes_completed);
+        prop_assert_eq!(
+            hybrid.fast_bytes_offered,
+            sizes.iter().map(|&(r, p)| r + p).sum::<u64>()
+        );
+
+        let mean = |out: &sonet_dc::netsim::SimOutputs| {
+            out.rpc_latencies.iter().map(|d| d.as_nanos() as f64).sum::<f64>()
+                / out.rpc_latencies.len().max(1) as f64
+        };
+        let (mp, mh) = (mean(&packet), mean(&hybrid));
+        // The fidelity harness's calibrated mean bound, with an absolute
+        // floor for µs-scale means where one RTT of slack dominates.
+        prop_assert!(
+            (mh - mp).abs() <= (0.35 * mp).max(100_000.0),
+            "hybrid mean FCT {mh:.0} ns drifted from packet {mp:.0} ns"
+        );
+    }
+
+    /// A fault landing mid-flow on a fast route demotes the flow to the
+    /// packet engine without breaking conservation: every offered byte is
+    /// still accounted for across both calendars afterwards.
+    #[test]
+    fn demoted_fast_flows_keep_conservation(
+        sizes in prop::collection::vec(1u64..100_000, 2..8),
+        fault_at_us in 100u64..2_000,
+        spacing_us in 100u64..1_000,
+    ) {
+        use sonet_dc::netsim::{FaultKind, FaultPlan, FidelityConfig};
+
+        let topo = Arc::new(
+            Topology::build(TopologySpec::single_dc(vec![ClusterSpec::frontend(4, 3)]))
+                .expect("valid"),
+        );
+        let mut sim = Simulator::new(Arc::clone(&topo), SimConfig::default(), NullTap)
+            .expect("config");
+        sim.set_fidelity(FidelityConfig::hybrid()).expect("hybrid");
+        let a = topo.racks()[0].hosts[0];
+        let b = topo.racks()[2].hosts[0];
+        let conn = sim.open_connection(SimTime::ZERO, a, b, 80).expect("open");
+        // The flow plans fast on the clean plant; the fault then hits its
+        // pinned route mid-life.
+        let fault_at = SimTime::from_micros(fault_at_us);
+        let plan = FaultPlan::new()
+            .at(fault_at, FaultKind::LinkDown(topo.host_uplink(a)))
+            .at(fault_at + SimDuration::from_millis(2), FaultKind::LinkUp(topo.host_uplink(a)));
+        sim.inject_faults(&plan).expect("inject");
+        for (i, &s) in sizes.iter().enumerate() {
+            sim.send_message(
+                conn,
+                SimTime::from_micros(i as u64 * spacing_us),
+                s,
+                0,
+                SimDuration::ZERO,
+            )
+            .expect("send");
+        }
+        sim.run_to_quiescence();
+        if let Err(report) = sim.audit() {
+            prop_assert!(false, "audit failed after demotion: {report}");
+        }
+        let (out, _) = sim.finish();
+        prop_assert_eq!(out.flows_fast, 1, "the flow must open fast");
+        prop_assert!(
+            out.fast_path_demotions >= 1,
+            "the fault window must demote the flow off the fast path"
+        );
+        // Whatever the fast path accepted before the demotion is fully
+        // accounted: nothing stays in flight after quiescence.
+        prop_assert_eq!(
+            out.fast_bytes_offered,
+            out.fast_bytes_completed + out.fast_bytes_aborted
+        );
+    }
+}
+
+/// The checked-in `.proptest-regressions` file must stay loadable, and
+/// the runner must actually replay its seeds before fresh cases — a
+/// saved failure that silently stops being exercised is how regressions
+/// come back.
+#[test]
+fn saved_regression_seeds_load_and_replay() {
+    let path = proptest::regressions_path(file!());
+    let seeds = proptest::load_regression_seeds(file!());
+    assert!(
+        !seeds.is_empty(),
+        "no seeds parsed from {path}; the committed regressions file went stale"
+    );
+    let cfg = ProptestConfig::with_cases(3);
+    let mut runs = 0usize;
+    proptest::run_case_loop_for(&cfg, file!(), |_rng| {
+        runs += 1;
+        Ok(())
+    });
+    assert_eq!(
+        runs,
+        3 + seeds.len(),
+        "the runner must replay every saved seed before the fresh cases"
+    );
 }

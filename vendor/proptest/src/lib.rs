@@ -29,6 +29,12 @@ impl TestRng {
         }
     }
 
+    /// A generator seeded directly with a saved regression state (the
+    /// `cc <16-hex>` entries of a `.proptest-regressions` file).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
     /// Next raw 64-bit value (splitmix64).
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -314,8 +320,64 @@ impl Default for ProptestConfig {
 /// Outcome of one property case; `Err` carries the failure message.
 pub type CaseResult = Result<(), String>;
 
+/// The sibling `.proptest-regressions` path of a test source file (the
+/// upstream convention: `tests/foo.rs` → `tests/foo.proptest-regressions`).
+pub fn regressions_path(source_file: &str) -> String {
+    let stem = source_file.strip_suffix(".rs").unwrap_or(source_file);
+    format!("{stem}.proptest-regressions")
+}
+
+/// Loads the saved regression seeds for a test source file.
+///
+/// Each non-comment line has the upstream shape `cc <hex> [# note]`; the
+/// first 16 hex digits seed [`TestRng::from_seed`] directly. Longer hex
+/// blobs (seeds saved by upstream proptest's 32-byte RNG) contribute
+/// their leading 16 digits, so a checked-in upstream file still replays
+/// a deterministic case rather than being silently skipped. A missing
+/// file is an empty seed list, and unparsable lines are ignored.
+pub fn load_regression_seeds(source_file: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regressions_path(source_file)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_hexdigit())
+                .take(16)
+                .collect();
+            if hex.is_empty() {
+                return None;
+            }
+            u64::from_str_radix(&hex, 16).ok()
+        })
+        .collect()
+}
+
 #[doc(hidden)]
-pub fn run_case_loop(cfg: &ProptestConfig, mut case: impl FnMut(&mut TestRng) -> CaseResult) {
+pub fn run_case_loop(cfg: &ProptestConfig, case: impl FnMut(&mut TestRng) -> CaseResult) {
+    run_case_loop_for(cfg, "", case);
+}
+
+/// Runs a property: saved regression seeds of `source_file` first (so a
+/// once-failing case is retried before anything else), then the fresh
+/// per-case loop.
+#[doc(hidden)]
+pub fn run_case_loop_for(
+    cfg: &ProptestConfig,
+    source_file: &str,
+    mut case: impl FnMut(&mut TestRng) -> CaseResult,
+) {
+    if !source_file.is_empty() {
+        for (i, seed) in load_regression_seeds(source_file).into_iter().enumerate() {
+            let mut rng = TestRng::from_seed(seed);
+            if let Err(msg) = case(&mut rng) {
+                panic!("property failed at saved regression seed {i} ({seed:#018x}): {msg}");
+            }
+        }
+    }
     for i in 0..cfg.cases {
         let mut rng = TestRng::for_case(i as u64);
         if let Err(msg) = case(&mut rng) {
@@ -358,7 +420,7 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
-            $crate::run_case_loop(&__cfg, |__rng| {
+            $crate::run_case_loop_for(&__cfg, file!(), |__rng| {
                 let ($($pat,)+) = ($($crate::Strategy::pick(&($strat), __rng),)+);
                 $body
                 Ok(())
